@@ -1,0 +1,1 @@
+bench/fig_cloudsc.ml: Daisy_benchmarks Daisy_machine Float Format Harness List Printf

@@ -1,0 +1,1 @@
+bench/fig_polybench.ml: Daisy_benchmarks Daisy_lang Daisy_support Float Format Harness List

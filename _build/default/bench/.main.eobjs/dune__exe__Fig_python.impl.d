@@ -1,0 +1,1 @@
+bench/fig_python.ml: Daisy_benchmarks Daisy_scheduler Format Harness List

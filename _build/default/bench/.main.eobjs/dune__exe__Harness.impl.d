@@ -1,0 +1,1 @@
+bench/harness.ml: Array Daisy_benchmarks Daisy_loopir Daisy_machine Daisy_scheduler Daisy_support Format List Printf String

@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Array Fig_cloudsc Fig_polybench Fig_python Format List Micro String Sys

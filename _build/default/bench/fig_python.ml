@@ -1,0 +1,60 @@
+(** Reproduction of Figure 9: the NPBench implementations under NumPy,
+    Numba, DaCe, and daisy with/without normalization — runtime relative to
+    daisy (lower is better). *)
+
+open Harness
+module Np = Daisy_benchmarks.Npbench
+module Fw = Daisy_benchmarks.Frameworks
+module S = Daisy_scheduler
+
+let run_framework (fw : Fw.framework) (ctx : S.Common.ctx)
+    (b : Np.benchmark) : float =
+  let ir = Fw.lower fw b.Np.program in
+  match fw with
+  | Fw.Numpy ->
+      (* NumPy is single-threaded outside BLAS *)
+      S.Common.runtime_ms { ctx with S.Common.threads = 1 } ir
+  | Fw.Numba | Fw.DaceF -> S.Common.runtime_ms ctx ir
+  | Fw.DaisyPy ->
+      let r = S.Daisy.schedule ctx ~db:(database ()) ir in
+      S.Common.runtime_ms ctx r.S.Daisy.program
+  | Fw.DaisyPyNoNorm ->
+      let r =
+        S.Daisy.schedule
+          ~options:{ S.Daisy.normalize = false; transfer = true }
+          ctx ~db:(database ()) ir
+      in
+      S.Common.runtime_ms ctx r.S.Daisy.program
+
+let fig9 () =
+  let results =
+    List.map
+      (fun (b : Np.benchmark) ->
+        let ctx = ctx_for b.Np.sim_sizes in
+        (b.Np.name, List.map (fun fw -> (fw, run_framework fw ctx b)) Fw.all))
+      Np.all
+  in
+  let rows =
+    List.map
+      (fun (name, per) ->
+        let daisy = List.assoc Fw.DaisyPy per in
+        name
+        :: List.map (fun fw -> fx (List.assoc fw per /. daisy)) Fw.all)
+      results
+  in
+  print_table
+    ~title:
+      "Figure 9: NPBench implementations, runtime relative to daisy\n\
+       (lower is better; the daisy database was seeded from the C variants)"
+    ~header:("benchmark" :: List.map Fw.name Fw.all)
+    rows;
+  let geo fw =
+    geomean_of
+      (List.map
+         (fun (_, per) -> List.assoc fw per /. List.assoc Fw.DaisyPy per)
+         results)
+  in
+  Format.printf
+    "@.geomean speedup of daisy: NumPy %.2f (paper 9.04), Numba %.2f \
+     (paper 3.92), DaCe %.2f (paper 1.47)@."
+    (geo Fw.Numpy) (geo Fw.Numba) (geo Fw.DaceF)

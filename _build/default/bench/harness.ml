@@ -1,0 +1,112 @@
+(** Shared infrastructure for the experiment reproductions: contexts,
+    database seeding, schedulers-by-name, and table printing. *)
+
+module Ir = Daisy_loopir.Ir
+module S = Daisy_scheduler
+module Pb = Daisy_benchmarks.Polybench
+module Variants = Daisy_benchmarks.Variants
+module Cost = Daisy_machine.Cost
+
+let threads = 12
+let sample = 8
+
+let ctx_for (sizes : (string * int) list) : S.Common.ctx =
+  S.Common.make_ctx ~threads ~sample_outer:sample ~sizes ()
+
+(* ------------------------------------------------------------------ *)
+(* A/B variants *)
+
+let variant_a (b : Pb.benchmark) = Pb.program b
+
+let variant_b (b : Pb.benchmark) =
+  Variants.generate ~seed:("bvariant-" ^ b.Pb.name) (Pb.program b)
+
+(* ------------------------------------------------------------------ *)
+(* Database: seeded once from all normalized A variants (paper §4) *)
+
+let shared_db : S.Database.t option ref = ref None
+
+let database () : S.Database.t =
+  match !shared_db with
+  | Some db -> db
+  | None ->
+      let db = S.Database.create () in
+      Format.printf "  [seeding the scheduling database from A variants...]@.";
+      List.iter
+        (fun (b : Pb.benchmark) ->
+          let ctx = ctx_for b.Pb.sim_sizes in
+          S.Seed.seed_database ~epochs:2 ~population:6 ~iterations:2 ctx ~db
+            [ (b.Pb.name, variant_a b) ])
+        Pb.all;
+      Format.printf "  [database ready: %d entries]@." (S.Database.size db);
+      shared_db := Some db;
+      db
+
+(* ------------------------------------------------------------------ *)
+(* Schedulers by name *)
+
+type sched_result = Time of float | X  (** X = scheduler not applicable *)
+
+let run_scheduler (name : string) (ctx : S.Common.ctx) (p : Ir.program) :
+    sched_result =
+  match name with
+  | "clang" -> Time (S.Common.runtime_ms ctx (S.Baselines.clang_like p))
+  | "icc" -> Time (S.Common.runtime_ms ctx (S.Baselines.icc_like p))
+  | "polly" -> Time (S.Common.runtime_ms ctx (S.Baselines.polly_like p))
+  | "tiramisu" -> (
+      match S.Tiramisu.schedule ctx p with
+      | S.Tiramisu.Scheduled p' -> Time (S.Common.runtime_ms ctx p')
+      | S.Tiramisu.Unsupported _ -> X)
+  | "daisy" ->
+      let r = S.Daisy.schedule ctx ~db:(database ()) p in
+      Time (S.Common.runtime_ms ctx r.S.Daisy.program)
+  | "daisy-nonorm" ->
+      let r =
+        S.Daisy.schedule
+          ~options:{ S.Daisy.normalize = false; transfer = true }
+          ctx ~db:(database ()) p
+      in
+      Time (S.Common.runtime_ms ctx r.S.Daisy.program)
+  | "daisy-notransfer" ->
+      let r =
+        S.Daisy.schedule
+          ~options:{ S.Daisy.normalize = true; transfer = false }
+          ctx ~db:(database ()) p
+      in
+      Time (S.Common.runtime_ms ctx r.S.Daisy.program)
+  | _ -> invalid_arg ("unknown scheduler " ^ name)
+
+(* ------------------------------------------------------------------ *)
+(* Pretty tables *)
+
+let hline width = String.make width '-'
+
+let print_table ~(title : string) ~(header : string list)
+    (rows : string list list) : unit =
+  let ncol = List.length header in
+  let widths = Array.make ncol 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    (header :: rows);
+  let pad i s = Printf.sprintf "%-*s" widths.(i) s in
+  let total = Array.fold_left ( + ) 0 widths + (3 * (ncol - 1)) in
+  Format.printf "@.%s@.%s@." title (hline total);
+  Format.printf "%s@." (String.concat " | " (List.mapi pad header));
+  Format.printf "%s@." (hline total);
+  List.iter
+    (fun row -> Format.printf "%s@." (String.concat " | " (List.mapi pad row)))
+    rows;
+  Format.printf "%s@." (hline total)
+
+let fms = Printf.sprintf "%.3f"
+let fx = Printf.sprintf "%.2f"
+
+let cell = function Time t -> fms t | X -> "X"
+
+let rel base = function
+  | Time t -> fx (t /. base)
+  | X -> "X"
+
+let geomean_of xs = Daisy_support.Util.geomean xs

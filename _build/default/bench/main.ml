@@ -1,0 +1,44 @@
+(** The experiment harness: reproduces every table and figure of the
+    paper's evaluation. Run all experiments with [dune exec bench/main.exe]
+    or a single one by name:
+
+    {v dune exec bench/main.exe -- fig1 fig6 fig7 fig9 table1 fig11 fig12a
+       fig12b ablation micro v} *)
+
+let experiments =
+  [
+    ("fig1", "GEMM loop-structure variants across schedulers", Fig_polybench.fig1);
+    ("fig6", "A/B robustness of auto-schedulers on 15 benchmarks", Fig_polybench.fig6);
+    ("fig7", "ablation: normalization and transfer tuning in isolation", Fig_polybench.fig7);
+    ("fig9", "Python frameworks on NPBench implementations", Fig_python.fig9);
+    ("table1", "CLOUDSC erosion kernel before/after", Fig_cloudsc.table1);
+    ("fig11", "CLOUDSC full model, sequential", Fig_cloudsc.fig11);
+    ("fig12a", "CLOUDSC strong scaling", Fig_cloudsc.fig12a);
+    ("fig12b", "CLOUDSC weak scaling", Fig_cloudsc.fig12b);
+    ("ablation", "design-choice ablations", Ablation.run);
+    ("micro", "toolchain micro-benchmarks (bechamel)", Micro.run);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map (fun (n, _, _) -> n) experiments
+  in
+  Format.printf
+    "daisy experiment harness — reproduction of 'A Priori Loop Nest \
+     Normalization' (CGO 2025)@.";
+  Format.printf
+    "All runtimes are simulated milliseconds on the scaled machine model \
+     (see DESIGN.md).@.";
+  List.iter
+    (fun name ->
+      match List.find_opt (fun (n, _, _) -> n = name) experiments with
+      | Some (n, desc, f) ->
+          Format.printf "@.=== %s: %s ===@." n desc;
+          f ()
+      | None ->
+          Format.printf "unknown experiment %s (available: %s)@." name
+            (String.concat ", " (List.map (fun (n, _, _) -> n) experiments)))
+    requested;
+  Format.printf "@.done.@."

@@ -1,0 +1,80 @@
+(** Bechamel micro-benchmarks of the toolchain itself: how fast the
+    compiler machinery (parsing, dependence testing, normalization, cache
+    simulation, scheduling) runs. One [Test.make] per component. *)
+
+module Pb = Daisy_benchmarks.Polybench
+module Pipeline = Daisy_normalize.Pipeline
+module Cost = Daisy_machine.Cost
+module Config = Daisy_machine.Config
+open Bechamel
+open Toolkit
+
+let gemm_src = Pb.gemm.Pb.source
+
+let test_parse =
+  Test.make ~name:"frontend: parse+sema+lower gemm"
+    (Staged.stage (fun () ->
+         ignore (Daisy_lang.Lower.program_of_string gemm_src)))
+
+let test_lift =
+  Test.make ~name:"lift: gemm through lir"
+    (Staged.stage (fun () ->
+         ignore
+           (Daisy_lift.Lift.lift (Daisy_lir.From_ast.func_of_string gemm_src))))
+
+let program = Daisy_lang.Lower.program_of_string gemm_src
+
+let test_dependence =
+  let nest =
+    match (Daisy_normalize.Iter_norm.run program).Daisy_loopir.Ir.body with
+    | Daisy_loopir.Ir.Nloop l :: _ -> l
+    | _ -> assert false
+  in
+  Test.make ~name:"dependence: band vectors of gemm nest"
+    (Staged.stage (fun () ->
+         let band, body = Daisy_dependence.Legality.perfect_band nest in
+         ignore (Daisy_dependence.Legality.band_dep_vectors ~outer:[] band body)))
+
+let test_normalize =
+  Test.make ~name:"normalize: full pipeline on gemm"
+    (Staged.stage (fun () ->
+         ignore (Pipeline.normalize ~sizes:Pb.gemm.Pb.sim_sizes program)))
+
+let test_simulate =
+  Test.make ~name:"machine: simulate gemm (sampled)"
+    (Staged.stage (fun () ->
+         ignore
+           (Cost.evaluate Config.default program ~sizes:Pb.gemm.Pb.sim_sizes
+              ~sample_outer:8 ())))
+
+let test_interp =
+  Test.make ~name:"interp: execute gemm (tiny)"
+    (Staged.stage (fun () ->
+         ignore
+           (Daisy_interp.Interp.run_fresh program ~sizes:Pb.gemm.Pb.test_sizes
+              ())))
+
+let benchmarks =
+  [ test_parse; test_lift; test_dependence; test_normalize; test_simulate;
+    test_interp ]
+
+let run () =
+  Format.printf "@.Toolchain micro-benchmarks (bechamel)@.";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let results =
+        Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false
+                       ~predictors:[| Measure.run |])
+          Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] ->
+              Format.printf "  %-45s %10.1f ns/run@." name est
+          | _ -> Format.printf "  %-45s (no estimate)@." name)
+        results)
+    benchmarks

@@ -1,0 +1,233 @@
+(** daisyc — the command-line driver for the daisy toolchain.
+
+    {v
+    daisyc parse file.c            print the lowered loop IR
+    daisyc lir file.c              print the LLVM-like low-level IR
+    daisyc normalize file.c        print the normalized (canonical) IR
+    daisyc schedule file.c         normalize + schedule + simulate
+    daisyc bench file.c            compare all scheduler models
+    v}
+
+    Problem sizes are given as [-D name=value]; unset size parameters
+    default to 64. *)
+
+open Cmdliner
+module Ir = Daisy.Loopir.Ir
+module S = Daisy.Scheduler
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let with_diagnostics f =
+  match f () with
+  | v -> v
+  | exception Daisy.Support.Diag.Error d ->
+      Fmt.epr "%a@." Daisy.Support.Diag.pp d;
+      exit 1
+  | exception Daisy.Lift.Lift.Unsupported reason ->
+      Fmt.epr "lifting failed: %s@." reason;
+      exit 1
+
+let load path =
+  with_diagnostics (fun () ->
+      Daisy.Lang.Lower.program_of_string ~source:path (read_file path))
+
+let sizes_of (defs : (string * int) list) (p : Ir.program) :
+    (string * int) list =
+  List.map
+    (fun name ->
+      match List.assoc_opt name defs with Some v -> (name, v) | None -> (name, 64))
+    p.Ir.size_params
+
+(* ---------------- arguments ---------------- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Kernel source file.")
+
+let define_conv : (string * int) Arg.conv =
+  let parse s =
+    match String.index_opt s '=' with
+    | Some i ->
+        let name = String.sub s 0 i in
+        let v = String.sub s (i + 1) (String.length s - i - 1) in
+        (try Ok (name, int_of_string v)
+         with _ -> Error (`Msg "expected name=int"))
+    | None -> Error (`Msg "expected name=int")
+  in
+  Arg.conv (parse, fun ppf (n, v) -> Fmt.pf ppf "%s=%d" n v)
+
+let defines_arg =
+  Arg.(value & opt_all define_conv [] & info [ "D"; "define" ] ~docv:"NAME=N"
+         ~doc:"Set a size parameter for simulation.")
+
+let threads_arg =
+  Arg.(value & opt int 12 & info [ "j"; "threads" ] ~doc:"Simulated core count.")
+
+(* ---------------- commands ---------------- *)
+
+let parse_cmd =
+  let run file =
+    let p = load file in
+    Fmt.pr "%a@." Ir.pp_program p
+  in
+  Cmd.v (Cmd.info "parse" ~doc:"Parse and print the loop IR")
+    Term.(const run $ file_arg)
+
+let lir_cmd =
+  let run file =
+    let f =
+      with_diagnostics (fun () ->
+          Daisy.Lir.From_ast.func_of_string ~source:file (read_file file))
+    in
+    Fmt.pr "%a@." Daisy.Lir.Ir.pp_func f
+  in
+  Cmd.v (Cmd.info "lir" ~doc:"Print the LLVM-like low-level IR")
+    Term.(const run $ file_arg)
+
+let normalize_cmd =
+  let run file defs =
+    let p = load file in
+    let sizes = sizes_of defs p in
+    let normalized, report =
+      Daisy.Normalize.Pipeline.run
+        ~options:(Daisy.Normalize.Pipeline.default_options ~sizes ())
+        p
+    in
+    Fmt.pr "%a@.@.%a@." Daisy.Normalize.Pipeline.pp_report report
+      Ir.pp_program normalized
+  in
+  Cmd.v (Cmd.info "normalize" ~doc:"Apply a priori loop nest normalization")
+    Term.(const run $ file_arg $ defines_arg)
+
+let schedule_cmd =
+  let run file defs threads =
+    let p = load file in
+    let sizes = sizes_of defs p in
+    let ctx = S.Common.make_ctx ~threads ~sizes () in
+    let db = S.Database.create () in
+    S.Seed.seed_database ~epochs:1 ~population:6 ~iterations:2 ctx ~db
+      [ (p.Ir.pname, p) ];
+    let report = S.Daisy.schedule ctx ~db p in
+    List.iter
+      (fun d -> Fmt.pr "  %a@." S.Daisy.pp_decision d)
+      report.S.Daisy.decisions;
+    Fmt.pr "@.%a@." Ir.pp_program report.S.Daisy.program;
+    Fmt.pr "@.simulated runtime: %.3f ms (original %.3f ms, %.2fx)@."
+      (S.Common.runtime_ms ctx report.S.Daisy.program)
+      (S.Common.runtime_ms ctx p)
+      (S.Common.runtime_ms ctx p
+      /. S.Common.runtime_ms ctx report.S.Daisy.program)
+  in
+  Cmd.v
+    (Cmd.info "schedule" ~doc:"Normalize, auto-schedule and simulate a kernel")
+    Term.(const run $ file_arg $ defines_arg $ threads_arg)
+
+let bench_cmd =
+  let run file defs threads =
+    let p = load file in
+    let sizes = sizes_of defs p in
+    let ctx = S.Common.make_ctx ~threads ~sizes () in
+    let db = S.Database.create () in
+    S.Seed.seed_database ~epochs:1 ~population:6 ~iterations:2 ctx ~db
+      [ (p.Ir.pname, p) ];
+    Fmt.pr "%-10s %10s@." "scheduler" "ms";
+    List.iter
+      (fun (name, prog) ->
+        match prog with
+        | Some prog -> Fmt.pr "%-10s %10.3f@." name (S.Common.runtime_ms ctx prog)
+        | None -> Fmt.pr "%-10s %10s@." name "X")
+      [
+        ("clang", Some (S.Baselines.clang_like p));
+        ("icc", Some (S.Baselines.icc_like p));
+        ("polly", Some (S.Baselines.polly_like p));
+        ("tiramisu",
+         (match S.Tiramisu.schedule ctx p with
+         | S.Tiramisu.Scheduled q -> Some q
+         | S.Tiramisu.Unsupported _ -> None));
+        ("daisy", Some (S.Daisy.schedule ctx ~db p).S.Daisy.program);
+      ]
+  in
+  Cmd.v (Cmd.info "bench" ~doc:"Compare all scheduler models on a kernel")
+    Term.(const run $ file_arg $ defines_arg $ threads_arg)
+
+let reuse_cmd =
+  let run file defs =
+    let p = load file in
+    let sizes = sizes_of defs p in
+    let module Reuse = Daisy.Machine.Reuse in
+    let module Config = Daisy.Machine.Config in
+    let show label q =
+      let h = Reuse.of_program Config.default q ~sizes ~sample_outer:8 () in
+      Fmt.pr "@.%s:@.%a@." label Reuse.pp_histogram h
+    in
+    show "original" p;
+    show "normalized" (Daisy.Normalize.Pipeline.normalize ~sizes p)
+  in
+  Cmd.v
+    (Cmd.info "reuse"
+       ~doc:"Reuse-distance histograms before/after normalization")
+    Term.(const run $ file_arg $ defines_arg)
+
+let polybench_cmd =
+  let run name threads =
+    let module Pb = Daisy.Benchmarks.Polybench in
+    let b = try Pb.find name with Invalid_argument m -> Fmt.epr "%s@." m; exit 1 in
+    let p = Pb.program b in
+    let ctx = S.Common.make_ctx ~threads ~sizes:b.Pb.sim_sizes () in
+    let db = S.Database.create () in
+    S.Seed.seed_database ~epochs:1 ~population:6 ~iterations:2 ctx ~db
+      [ (name, p) ];
+    let bv = Daisy.Benchmarks.Variants.generate ~seed:("bvariant-" ^ name) p in
+    Fmt.pr "%-10s %12s %12s@." "scheduler" "A [ms]" "B [ms]";
+    let row label fa fb =
+      Fmt.pr "%-10s %12s %12s@." label fa fb
+    in
+    let t q = Printf.sprintf "%.3f" (S.Common.runtime_ms ctx q) in
+    row "clang" (t (S.Baselines.clang_like p)) (t (S.Baselines.clang_like bv));
+    row "icc" (t (S.Baselines.icc_like p)) (t (S.Baselines.icc_like bv));
+    row "polly" (t (S.Baselines.polly_like p)) (t (S.Baselines.polly_like bv));
+    let tiramisu q =
+      match S.Tiramisu.schedule ctx q with
+      | S.Tiramisu.Scheduled r -> t r
+      | S.Tiramisu.Unsupported _ -> "X"
+    in
+    row "tiramisu" (tiramisu p) (tiramisu bv);
+    let daisy q = t (S.Daisy.schedule ctx ~db q).S.Daisy.program in
+    row "daisy" (daisy p) (daisy bv)
+  in
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME"
+           ~doc:"Benchmark name (gemm, 2mm, ..., or an extra like doitgen).")
+  in
+  Cmd.v
+    (Cmd.info "polybench"
+       ~doc:"Run a built-in benchmark (A and generated B variant) across all              schedulers")
+    Term.(const run $ name_arg $ threads_arg)
+
+let variant_cmd =
+  let run file seed =
+    let p = load file in
+    let v = Daisy.Benchmarks.Variants.generate ~seed p in
+    Fmt.pr "%a@." Ir.pp_program v
+  in
+  let seed_arg =
+    Arg.(value & opt string "daisyc" & info [ "seed" ] ~doc:"Variant seed.")
+  in
+  Cmd.v
+    (Cmd.info "variant"
+       ~doc:"Generate a random semantically-equivalent loop-structure variant")
+    Term.(const run $ file_arg $ seed_arg)
+
+let () =
+  let info =
+    Cmd.info "daisyc" ~version:"1.0.0"
+      ~doc:"A priori loop nest normalization and auto-scheduling (CGO 2025)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ parse_cmd; lir_cmd; normalize_cmd; schedule_cmd; bench_cmd;
+            reuse_cmd; variant_cmd; polybench_cmd ]))

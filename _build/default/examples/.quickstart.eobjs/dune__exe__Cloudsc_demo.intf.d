@@ -1,0 +1,1 @@
+examples/cloudsc_demo.mli:

@@ -1,0 +1,1 @@
+examples/python_frameworks.ml: Daisy Fmt List

@@ -1,0 +1,1 @@
+examples/stencil.ml: Daisy Fmt List String

@@ -1,0 +1,41 @@
+(** Cross-language scheduling (paper §4.3): the same benchmark written in
+    NumPy style is lowered by different framework policies and scheduled by
+    daisy using a database seeded from the C variants.
+
+    {v dune exec examples/python_frameworks.exe v} *)
+
+module Np = Daisy.Benchmarks.Npbench
+module Fw = Daisy.Benchmarks.Frameworks
+module Pb = Daisy.Benchmarks.Polybench
+module S = Daisy.Scheduler
+module Ir = Daisy.Loopir.Ir
+
+let () =
+  let b = Np.find "syrk" in
+  Fmt.pr "NPBench syrk (NumPy-style source):@.%a@.@."
+    Daisy.Arraylang.Alang.pp_program b.Np.program;
+  Fmt.pr "lowered by the daisy frontend:@.%a@.@."
+    Ir.pp_program
+    (Daisy.Arraylang.Lower.lower Daisy.Arraylang.Lower.frontend_policy
+       b.Np.program);
+  (* seed from the C implementation, schedule the Python one *)
+  let ctx = S.Common.make_ctx ~sizes:b.Np.sim_sizes () in
+  let db = S.Database.create () in
+  S.Seed.seed_database ~epochs:1 ~population:6 ~iterations:2 ctx ~db
+    [ ("syrk-C", Pb.program (Pb.find "syrk")) ];
+  List.iter
+    (fun fw ->
+      let ir = Fw.lower fw b.Np.program in
+      let ms =
+        match fw with
+        | Fw.Numpy -> S.Common.runtime_ms { ctx with S.Common.threads = 1 } ir
+        | Fw.Numba | Fw.DaceF -> S.Common.runtime_ms ctx ir
+        | Fw.DaisyPy | Fw.DaisyPyNoNorm ->
+            let options =
+              { S.Daisy.normalize = fw = Fw.DaisyPy; transfer = true }
+            in
+            S.Common.runtime_ms ctx
+              (S.Daisy.schedule ~options ctx ~db ir).S.Daisy.program
+      in
+      Fmt.pr "%-14s %8.3f ms@." (Fw.name fw) ms)
+    Fw.all

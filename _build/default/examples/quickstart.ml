@@ -1,0 +1,37 @@
+(** Quickstart: compile one kernel through the whole pipeline.
+
+    {v dune exec examples/quickstart.exe v}
+
+    Parses a GEMM kernel written the "wrong" way (j outside k), lifts it
+    through the low-level IR, normalizes it (fission + stride
+    minimization), schedules it with daisy and reports simulated runtimes
+    on the modeled machine. *)
+
+let source =
+  {|void gemm(int ni, int nj, int nk, double alpha, double beta,
+          double C[ni][nj], double A[ni][nk], double B[nk][nj])
+{
+  for (int i = 0; i < ni; i++) {
+    for (int j = 0; j < nj; j++)
+      C[i][j] *= beta;
+    for (int j = 0; j < nj; j++)
+      for (int k = 0; k < nk; k++)
+        C[i][j] += alpha * A[i][k] * B[k][j];
+  }
+}|}
+
+let () =
+  let sizes = [ ("ni", 125); ("nj", 137); ("nk", 150) ] in
+  let result = Daisy.compile ~sizes source in
+  Fmt.pr "=== original (lifted from the low-level IR) ===@.%a@.@."
+    Daisy.Loopir.Ir.pp_program result.Daisy.original;
+  Fmt.pr "=== after a priori normalization ===@.%a@.@."
+    Daisy.Loopir.Ir.pp_program result.Daisy.normalized;
+  Fmt.pr "=== after daisy scheduling ===@.%a@.@."
+    Daisy.Loopir.Ir.pp_program result.Daisy.scheduled;
+  List.iter
+    (fun d -> Fmt.pr "  %a@." Daisy.Scheduler.Daisy.pp_decision d)
+    result.Daisy.report.Daisy.Scheduler.Daisy.decisions;
+  Fmt.pr "@.simulated runtime: %.3f ms -> %.3f ms (%.1fx)@."
+    result.Daisy.original_ms result.Daisy.scheduled_ms
+    (result.Daisy.original_ms /. result.Daisy.scheduled_ms)

@@ -1,0 +1,1 @@
+lib/arraylang/alang.ml: Daisy_loopir Daisy_poly Daisy_support Float Fmt List String

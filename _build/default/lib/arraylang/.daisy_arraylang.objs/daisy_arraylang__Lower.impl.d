@@ -1,0 +1,1 @@
+lib/arraylang/lower.ml: Alang Daisy_loopir Daisy_poly Daisy_support List Printf Util

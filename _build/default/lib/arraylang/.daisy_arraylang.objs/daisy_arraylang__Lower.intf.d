@@ -1,0 +1,1 @@
+lib/arraylang/lower.mli: Alang Daisy_loopir

@@ -1,0 +1,218 @@
+(** A NumPy-style tensor-statement language ("arraylang").
+
+    This is the substrate for the paper's §4.3 cross-language experiment:
+    the NPBench implementations use array slices, [np.dot], transposes and
+    whole-array arithmetic instead of explicit loops. Different frameworks
+    lower the same statements differently ({!Lower.policy}), which is
+    exactly what distinguishes NumPy, Numba and DaCe in Figure 9.
+
+    Shapes are symbolic ({!Daisy_poly.Expr}); slicing is half-open
+    [[start, stop)]. Broadcasting is limited to scalars (rank 0) against
+    anything — all the benchmarks need. *)
+
+module Expr = Daisy_poly.Expr
+
+type slice = { start : Expr.t; stop : Expr.t }
+
+type tindex =
+  | Ipoint of Expr.t  (** [a[i]] — drops the dimension *)
+  | Islice of slice  (** [a[lo:hi]] *)
+
+type texpr =
+  | Tview of string * tindex list  (** array view *)
+  | Ttranspose of string  (** 2-D transposed view, [A.T] *)
+  | Tconst of float
+  | Tint of Expr.t  (** integer expression used as a value (e.g. [/ n]) *)
+  | Tscalar of string  (** scalar parameter *)
+  | Tbin of Daisy_loopir.Ir.vbinop * texpr * texpr  (** elementwise *)
+  | Tneg of texpr
+  | Tcall of string * texpr list  (** elementwise intrinsic *)
+  | Tdot of texpr * texpr  (** matrix/vector product *)
+  | Touter of texpr * texpr  (** outer product of two vectors *)
+  | Treduce of [ `Sum ] * int * texpr  (** reduction along one axis *)
+
+type stmt =
+  | Assign of (string * tindex list) * texpr
+  | Aug of Daisy_loopir.Ir.vbinop * (string * tindex list) * texpr
+  | For of string * Expr.t * Expr.t * stmt list
+      (** [for v in range(lo, hi)] (hi exclusive) *)
+
+type program = {
+  name : string;
+  size_params : string list;
+  scalar_params : string list;
+  arrays : (string * Expr.t list) list;  (** parameter arrays *)
+  body : stmt list;
+}
+
+(* Convenience constructors *)
+let full = Islice { start = Expr.zero; stop = Expr.zero }
+(* [full] is resolved against the array's declared dimension at lowering:
+   stop = 0 is the marker for "whole dimension". *)
+
+let sl ?(start = Expr.zero) stop = Islice { start; stop }
+let pt e = Ipoint e
+let v ?(idx = []) name = Tview (name, idx)
+let ( *: ) a b = Tbin (Daisy_loopir.Ir.Vmul, a, b)
+let ( +: ) a b = Tbin (Daisy_loopir.Ir.Vadd, a, b)
+let ( -: ) a b = Tbin (Daisy_loopir.Ir.Vsub, a, b)
+let ( /: ) a b = Tbin (Daisy_loopir.Ir.Vdiv, a, b)
+let c f = Tconst f
+let sc s = Tscalar s
+
+(* ------------------------------------------------------------------ *)
+(* Shape inference                                                      *)
+
+exception Shape_error of string
+
+let shape_error fmt = Fmt.kstr (fun m -> raise (Shape_error m)) fmt
+
+type env = { dims_of : string -> Expr.t list }
+
+let view_shape (env : env) (name : string) (idx : tindex list) : Expr.t list =
+  let dims = env.dims_of name in
+  let idx =
+    if idx = [] then List.map (fun _ -> full) dims (* bare name = whole array *)
+    else idx
+  in
+  if List.length idx <> List.length dims then
+    shape_error "view of %s has %d indices for rank %d" name (List.length idx)
+      (List.length dims);
+  List.concat
+    (List.map2
+       (fun i d ->
+         match i with
+         | Ipoint _ -> []
+         | Islice { start; stop } ->
+             let stop = if Expr.equal stop Expr.zero then d else stop in
+             [ Expr.sub stop start ])
+       idx dims)
+
+let rec shape (env : env) (e : texpr) : Expr.t list =
+  match e with
+  | Tview (name, idx) -> view_shape env name idx
+  | Ttranspose name -> (
+      match env.dims_of name with
+      | [ a; b ] -> [ b; a ]
+      | _ -> shape_error "transpose of non-matrix %s" name)
+  | Tconst _ | Tint _ | Tscalar _ -> []
+  | Tneg a -> shape env a
+  | Tcall (_, args) -> (
+      let shapes = List.map (shape env) args in
+      match List.find_opt (fun s -> s <> []) shapes with
+      | Some s -> s
+      | None -> [])
+  | Tbin (_, a, b) -> (
+      (* trailing-dimension broadcasting, NumPy style *)
+      match (shape env a, shape env b) with
+      | [], s | s, [] -> s
+      | sa, sb -> if List.length sa >= List.length sb then sa else sb)
+  | Tdot (a, b) -> (
+      match (shape env a, shape env b) with
+      | [ m; _k ], [ _k'; n ] -> [ m; n ]
+      | [ m; _k ], [ _k' ] -> [ m ]
+      | [ _k ], [ _k'; n ] -> [ n ]
+      | [ _k ], [ _k' ] -> []
+      | _ -> shape_error "dot of tensors with unsupported ranks")
+  | Touter (a, b) -> (
+      match (shape env a, shape env b) with
+      | [ m ], [ n ] -> [ m; n ]
+      | _ -> shape_error "outer of non-vectors")
+  | Treduce (_, axis, a) ->
+      let s = shape env a in
+      if axis < 0 || axis >= List.length s then shape_error "bad reduce axis";
+      List.filteri (fun i _ -> i <> axis) s
+
+(* statements that the program writes to (for documentation/testing) *)
+let rec written_arrays (stmts : stmt list) : string list =
+  List.concat_map
+    (function
+      | Assign ((a, _), _) | Aug (_, (a, _), _) -> [ a ]
+      | For (_, _, _, body) -> written_arrays body)
+    stmts
+  |> Daisy_support.Util.dedup ~eq:String.equal
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing (NumPy-like surface syntax)                          *)
+
+let pp_index env name ppf (idx : tindex list) =
+  if idx = [] then ()
+  else begin
+    let dims = try env.dims_of name with _ -> List.map (fun _ -> Expr.zero) idx in
+    Fmt.pf ppf "[%a]"
+      (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (i, d) ->
+           match i with
+           | Ipoint e -> Expr.pp ppf e
+           | Islice { start; stop } ->
+               let stop = if Expr.equal stop Expr.zero then d else stop in
+               if Expr.equal start Expr.zero && Expr.equal stop d then
+                 Fmt.string ppf ":"
+               else if Expr.equal stop d then Fmt.pf ppf "%a:" Expr.pp start
+               else if Expr.equal start Expr.zero then
+                 Fmt.pf ppf ":%a" Expr.pp stop
+               else Fmt.pf ppf "%a:%a" Expr.pp start Expr.pp stop))
+      (List.combine idx dims)
+  end
+
+let rec pp_texpr env ppf (e : texpr) =
+  match e with
+  | Tview (name, idx) -> Fmt.pf ppf "%s%a" name (pp_index env name) idx
+  | Ttranspose name -> Fmt.pf ppf "%s.T" name
+  | Tconst f ->
+      if Float.is_integer f && Float.abs f < 1e15 then Fmt.pf ppf "%.1f" f
+      else Fmt.pf ppf "%.17g" f
+  | Tint ie -> Expr.pp ppf ie
+  | Tscalar s -> Fmt.string ppf s
+  | Tbin (op, a, b) ->
+      let s =
+        match op with
+        | Daisy_loopir.Ir.Vadd -> "+"
+        | Daisy_loopir.Ir.Vsub -> "-"
+        | Daisy_loopir.Ir.Vmul -> "*"
+        | Daisy_loopir.Ir.Vdiv -> "/"
+      in
+      Fmt.pf ppf "(%a %s %a)" (pp_texpr env) a s (pp_texpr env) b
+  | Tneg a -> Fmt.pf ppf "(-%a)" (pp_texpr env) a
+  | Tcall (f, args) ->
+      Fmt.pf ppf "np.%s(%a)" f (Fmt.list ~sep:(Fmt.any ", ") (pp_texpr env)) args
+  | Tdot (a, b) -> Fmt.pf ppf "(%a @@ %a)" (pp_texpr env) a (pp_texpr env) b
+  | Touter (a, b) ->
+      Fmt.pf ppf "np.outer(%a, %a)" (pp_texpr env) a (pp_texpr env) b
+  | Treduce (`Sum, axis, a) ->
+      Fmt.pf ppf "np.sum(%a, axis=%d)" (pp_texpr env) a axis
+
+let rec pp_stmt env ind ppf (s : stmt) =
+  let pad = String.make (4 * ind) ' ' in
+  match s with
+  | Assign ((name, idx), e) ->
+      Fmt.pf ppf "%s%s%a = %a" pad name (pp_index env name) idx (pp_texpr env) e
+  | Aug (op, (name, idx), e) ->
+      let so =
+        match op with
+        | Daisy_loopir.Ir.Vadd -> "+="
+        | Daisy_loopir.Ir.Vsub -> "-="
+        | Daisy_loopir.Ir.Vmul -> "*="
+        | Daisy_loopir.Ir.Vdiv -> "/="
+      in
+      Fmt.pf ppf "%s%s%a %s %a" pad name (pp_index env name) idx so
+        (pp_texpr env) e
+  | For (v, lo, hi, body) ->
+      if Expr.equal lo Expr.zero then
+        Fmt.pf ppf "%sfor %s in range(%a):@,%a" pad v Expr.pp hi
+          (Fmt.list ~sep:Fmt.cut (pp_stmt env (ind + 1)))
+          body
+      else
+        Fmt.pf ppf "%sfor %s in range(%a, %a):@,%a" pad v Expr.pp lo Expr.pp hi
+          (Fmt.list ~sep:Fmt.cut (pp_stmt env (ind + 1)))
+          body
+
+let pp_program ppf (p : program) =
+  let env = { dims_of = (fun name -> List.assoc name p.arrays) } in
+  Fmt.pf ppf "@[<v>def %s(%a):@,%a@]" p.name
+    (Fmt.list ~sep:(Fmt.any ", ") Fmt.string)
+    (p.size_params @ p.scalar_params
+    @ List.map fst p.arrays)
+    (Fmt.list ~sep:Fmt.cut (pp_stmt env 1))
+    p.body
+
+let program_to_string p = Fmt.str "%a" pp_program p

@@ -1,0 +1,425 @@
+(** Lowering arraylang programs to loopir under a framework policy.
+
+    - [per_op_temps]: every elementwise operator materializes its result
+      into a fresh temporary before the next operator consumes it — NumPy's
+      eager evaluation. With it off, each statement becomes one fused loop
+      nest (what a JIT like Numba or a dataflow frontend like DaCe's
+      produces per statement).
+    - [blas_dot]: [np.dot] on whole arrays becomes a tuned library call;
+      sliced operands always fall back to contraction loops (this is why
+      frameworks lose on syrk/syr2k, whose NPBench code slices — paper
+      Fig. 9). *)
+
+open Daisy_support
+module Ir = Daisy_loopir.Ir
+module Expr = Daisy_poly.Expr
+open Alang
+
+type policy = { per_op_temps : bool; blas_dot : bool }
+
+let numpy_policy = { per_op_temps = true; blas_dot = true }
+let fused_policy = { per_op_temps = false; blas_dot = true }
+
+(** The daisy frontend path: fused statements, no framework BLAS (idiom
+    detection will find the BLAS nests itself after normalization). *)
+let frontend_policy = { per_op_temps = false; blas_dot = false }
+
+type state = {
+  policy : policy;
+  env : env;
+  mutable temps : (string * Expr.t list) list;  (** reversed *)
+  mutable counter : int;
+  mutable bounds : (Expr.t * Expr.t) Util.SMap.t;
+      (** python-for variables -> (lo, hi exclusive), for temp sizing *)
+}
+
+let fresh st prefix =
+  let k = st.counter in
+  st.counter <- k + 1;
+  Printf.sprintf "%s%d" prefix k
+
+(* A temp array allocated outside any python-for loop: dimensions that
+   reference loop variables are maximized over the loop range (affine dims
+   attain their extremum at a corner, so the max of the two corner
+   substitutions is exact). *)
+let new_temp st (shape : Expr.t list) : string =
+  let maximize e =
+    Util.SMap.fold
+      (fun v (lo, hi) e ->
+        let at_lo = Expr.subst1 v lo e in
+        let at_hi = Expr.subst1 v (Expr.sub hi Expr.one) e in
+        Expr.max_ at_lo at_hi)
+      st.bounds e
+  in
+  let dims = List.map maximize shape in
+  let name = fresh st "_tmp" in
+  st.temps <- (name, dims) :: st.temps;
+  name
+
+let full_env st : env =
+  {
+    dims_of =
+      (fun name ->
+        match List.assoc_opt name st.temps with
+        | Some dims -> dims
+        | None -> st.env.dims_of name);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Elementwise compilation                                              *)
+
+(* iters: one symbolic iterator expression per result dimension *)
+let view_access st (name : string) (idx : tindex list) (iters : Expr.t list) :
+    Ir.access =
+  let dims = (full_env st).dims_of name in
+  let idx = if idx = [] then List.map (fun _ -> full) dims else idx in
+  let rec go idx iters =
+    match (idx, iters) with
+    | [], _ -> []
+    | Ipoint e :: rest, iters -> e :: go rest iters
+    | Islice { start; _ } :: rest, it :: iters ->
+        Expr.add start it :: go rest iters
+    | Islice _ :: _, [] -> shape_error "view rank exceeds loop rank"
+  in
+  { Ir.array = name; indices = go idx iters }
+
+let rec compile_ew st (e : texpr) (iters : Expr.t list) : Ir.vexpr =
+  let env = full_env st in
+  let rank0 x = shape env x = [] in
+  (* NumPy trailing-dimension broadcasting: a lower-rank operand aligns
+     with the last dimensions of the context *)
+  let align x =
+    let r = List.length (shape env x) in
+    Util.drop (List.length iters - r) iters
+  in
+  match e with
+  | Tconst f -> Ir.Vfloat f
+  | Tint ie -> Ir.Vint ie
+  | Tscalar s -> Ir.Vscalar s
+  | Tview (name, idx) ->
+      ignore rank0;
+      Ir.Vread (view_access st name idx (align e))
+  | Ttranspose name -> (
+      match align e with
+      | [ a; b ] -> Ir.Vread { Ir.array = name; indices = [ b; a ] }
+      | _ -> shape_error "transpose outside a 2-D context")
+  | Tneg a -> Ir.Vneg (compile_ew st a iters)
+  | Tbin (op, a, b) ->
+      Ir.Vbin (op, compile_ew st a (align a), compile_ew st b (align b))
+  | Tcall (f, args) ->
+      Ir.Vcall (f, List.map (fun a -> compile_ew st a (align a)) args)
+  | Tdot _ | Touter _ | Treduce _ ->
+      shape_error "contraction not materialized before elementwise compilation"
+
+(* ------------------------------------------------------------------ *)
+(* Nest builders                                                        *)
+
+(** [nest_over st shape f] — perfect nest over [shape] with body [f iters]. *)
+let nest_over st (shape : Expr.t list) (f : Expr.t list -> Ir.node list) :
+    Ir.node list =
+  let iters = List.map (fun _ -> fresh st "a") shape in
+  let body = f (List.map Expr.var iters) in
+  List.fold_right2
+    (fun it extent inner ->
+      [ Ir.Nloop
+          (Ir.mk_loop ~iter:it ~lo:Expr.zero ~hi:(Expr.sub extent Expr.one)
+             inner) ])
+    iters shape body
+
+let zero_init st (name : string) (shape : Expr.t list) : Ir.node list =
+  nest_over st shape (fun iters ->
+      [ Ir.Ncomp
+          (Ir.mk_comp (Ir.Darray { Ir.array = name; indices = iters })
+             (Ir.Vfloat 0.0)) ])
+
+(* ------------------------------------------------------------------ *)
+(* Contraction materialization                                          *)
+
+(* a "full" operand for BLAS: an unsliced array view or transpose *)
+let blas_operand (e : texpr) : (string * bool) option =
+  match e with
+  | Tview (name, []) -> Some (name, false)
+  | Ttranspose name -> Some (name, true)
+  | _ -> None
+
+let rec materialize st (e : texpr) : texpr * Ir.node list =
+  match e with
+  | Tconst _ | Tint _ | Tscalar _ | Tview _ | Ttranspose _ -> (e, [])
+  | Tneg a ->
+      let a', n = materialize st a in
+      maybe_op_temp st (Tneg a') n
+  | Tbin (op, a, b) ->
+      let a', na = materialize st a in
+      let b', nb = materialize st b in
+      maybe_op_temp st (Tbin (op, a', b')) (na @ nb)
+  | Tcall (f, args) ->
+      let args', nests =
+        List.fold_left
+          (fun (args, nests) a ->
+            let a', n = materialize st a in
+            (args @ [ a' ], nests @ n))
+          ([], []) args
+      in
+      maybe_op_temp st (Tcall (f, args')) nests
+  | Touter (a, b) ->
+      let a', na = materialize st a in
+      let b', nb = materialize st b in
+      let env = full_env st in
+      let m = List.hd (shape env a') and n = List.hd (shape env b') in
+      let t = new_temp st [ m; n ] in
+      let nest =
+        nest_over st [ m; n ] (fun iters ->
+            match iters with
+            | [ i; j ] ->
+                [ Ir.Ncomp
+                    (Ir.mk_comp
+                       (Ir.Darray { Ir.array = t; indices = [ i; j ] })
+                       (Ir.Vbin
+                          (Ir.Vmul, compile_ew st a' [ i ], compile_ew st b' [ j ]))) ]
+            | _ -> assert false)
+      in
+      (Tview (t, []), na @ nb @ nest)
+  | Treduce (`Sum, axis, a) ->
+      let a', na = materialize st a in
+      let env = full_env st in
+      let s = shape env a' in
+      let out_shape = List.filteri (fun i _ -> i <> axis) s in
+      let t = new_temp st out_shape in
+      let init = zero_init st t out_shape in
+      let nest =
+        nest_over st s (fun iters ->
+            let out_iters = List.filteri (fun i _ -> i <> axis) iters in
+            let tgt = { Ir.array = t; indices = out_iters } in
+            [ Ir.Ncomp
+                (Ir.mk_comp (Ir.Darray tgt)
+                   (Ir.Vbin (Ir.Vadd, Ir.Vread tgt, compile_ew st a' iters))) ])
+      in
+      (Tview (t, []), na @ init @ nest)
+  | Tdot (a, b) ->
+      let a', na = materialize st a in
+      let b', nb = materialize st b in
+      let env = full_env st in
+      let sa = shape env a' and sb = shape env b' in
+      let out_shape =
+        match (sa, sb) with
+        | [ m; _ ], [ _; n ] -> [ m; n ]
+        | [ m; _ ], [ _ ] -> [ m ]
+        | [ _ ], [ _; n ] -> [ n ]
+        | [ _ ], [ _ ] -> []
+        | _ -> shape_error "dot ranks"
+      in
+      let t = new_temp st (if out_shape = [] then [ Expr.one ] else out_shape) in
+      let t_view =
+        if out_shape = [] then Tview (t, [ pt Expr.zero ]) else Tview (t, [])
+      in
+      let init = zero_init st t (if out_shape = [] then [ Expr.one ] else out_shape) in
+      let blas =
+        if not st.policy.blas_dot then None
+        else
+          match (blas_operand a', blas_operand b', sa, sb) with
+          | Some (an, false), Some (bn, false), [ m; k ], [ _; n ] ->
+              Some
+                (Ir.Ncall
+                   {
+                     Ir.kid = Ir.fresh_id ();
+                     kernel = "gemm";
+                     args = [ t; an; bn ];
+                     scalar_args = [ Ir.Vfloat 1.0 ];
+                     dims = [ m; n; k ];
+                     writes_to = [ t ];
+                   })
+          | Some (an, false), Some (bn, false), [ m; n ], [ _ ] ->
+              Some
+                (Ir.Ncall
+                   {
+                     Ir.kid = Ir.fresh_id ();
+                     kernel = "gemv";
+                     args = [ t; an; bn ];
+                     scalar_args = [ Ir.Vfloat 1.0 ];
+                     dims = [ m; n ];
+                     writes_to = [ t ];
+                   })
+          | Some (an, false), Some (bn, false), [ m ], [ _; _ ] ->
+              (* x @ A: y[j] += A[i][j] * x[i] *)
+              let n = List.hd out_shape in
+              Some
+                (Ir.Ncall
+                   {
+                     Ir.kid = Ir.fresh_id ();
+                     kernel = "gemvt";
+                     args = [ t; bn; an ];
+                     scalar_args = [ Ir.Vfloat 1.0 ];
+                     dims = [ m; n ];
+                     writes_to = [ t ];
+                   })
+          | Some (an, true), Some (bn, false), [ _; _ ], [ m ] ->
+              (* dot(A.T, x): y[j] += A[i][j] * x[i] *)
+              let n = List.hd out_shape in
+              Some
+                (Ir.Ncall
+                   {
+                     Ir.kid = Ir.fresh_id ();
+                     kernel = "gemvt";
+                     args = [ t; an; bn ];
+                     scalar_args = [ Ir.Vfloat 1.0 ];
+                     dims = [ m; n ];
+                     writes_to = [ t ];
+                   })
+          | _ -> None
+      in
+      let work =
+        match blas with
+        | Some call -> [ call ]
+        | None ->
+            (* generic contraction loops *)
+            let contraction =
+              match (sa, sb) with
+              | [ m; k ], [ _; n ] ->
+                  nest_over st [ m; k; n ] (fun iters ->
+                      match iters with
+                      | [ i; kk; j ] ->
+                          let tgt = { Ir.array = t; indices = [ i; j ] } in
+                          [ Ir.Ncomp
+                              (Ir.mk_comp (Ir.Darray tgt)
+                                 (Ir.Vbin
+                                    ( Ir.Vadd,
+                                      Ir.Vread tgt,
+                                      Ir.Vbin
+                                        ( Ir.Vmul,
+                                          compile_ew st a' [ i; kk ],
+                                          compile_ew st b' [ kk; j ] ) ))) ]
+                      | _ -> assert false)
+              | [ m; k ], [ _ ] ->
+                  nest_over st [ m; k ] (fun iters ->
+                      match iters with
+                      | [ i; kk ] ->
+                          let tgt = { Ir.array = t; indices = [ i ] } in
+                          [ Ir.Ncomp
+                              (Ir.mk_comp (Ir.Darray tgt)
+                                 (Ir.Vbin
+                                    ( Ir.Vadd,
+                                      Ir.Vread tgt,
+                                      Ir.Vbin
+                                        ( Ir.Vmul,
+                                          compile_ew st a' [ i; kk ],
+                                          compile_ew st b' [ kk ] ) ))) ]
+                      | _ -> assert false)
+              | [ k ], [ _; n ] ->
+                  nest_over st [ k; n ] (fun iters ->
+                      match iters with
+                      | [ kk; j ] ->
+                          let tgt = { Ir.array = t; indices = [ j ] } in
+                          [ Ir.Ncomp
+                              (Ir.mk_comp (Ir.Darray tgt)
+                                 (Ir.Vbin
+                                    ( Ir.Vadd,
+                                      Ir.Vread tgt,
+                                      Ir.Vbin
+                                        ( Ir.Vmul,
+                                          compile_ew st a' [ kk ],
+                                          compile_ew st b' [ kk; j ] ) ))) ]
+                      | _ -> assert false)
+              | [ k ], [ _ ] ->
+                  nest_over st [ k ] (fun iters ->
+                      let tgt = { Ir.array = t; indices = [ Expr.zero ] } in
+                      [ Ir.Ncomp
+                          (Ir.mk_comp (Ir.Darray tgt)
+                             (Ir.Vbin
+                                ( Ir.Vadd,
+                                  Ir.Vread tgt,
+                                  Ir.Vbin
+                                    ( Ir.Vmul,
+                                      compile_ew st a' iters,
+                                      compile_ew st b' iters ) ))) ])
+              | _ -> shape_error "dot ranks"
+            in
+            contraction
+      in
+      (t_view, na @ nb @ init @ work)
+
+(* NumPy policy: each elementwise operator materializes a temp. *)
+and maybe_op_temp st (e : texpr) (prelude : Ir.node list) :
+    texpr * Ir.node list =
+  if not st.policy.per_op_temps then (e, prelude)
+  else
+    let env = full_env st in
+    let s = shape env e in
+    if s = [] then (e, prelude) (* scalar expressions stay in registers *)
+    else begin
+      let t = new_temp st s in
+      let nest =
+        nest_over st s (fun iters ->
+            [ Ir.Ncomp
+                (Ir.mk_comp (Ir.Darray { Ir.array = t; indices = iters })
+                   (compile_ew st e iters)) ])
+      in
+      (Tview (t, []), prelude @ nest)
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                           *)
+
+let rec lower_stmt st (s : stmt) : Ir.node list =
+  match s with
+  | Assign ((name, idx), e) | Aug (_, (name, idx), e) -> (
+      let e', prelude = materialize st e in
+      let tgt_shape = view_access_shape st name idx in
+      let combine tgt rhs =
+        match s with
+        | Assign _ -> rhs
+        | Aug (op, _, _) -> Ir.Vbin (op, Ir.Vread tgt, rhs)
+        | For _ -> assert false
+      in
+      match tgt_shape with
+      | [] ->
+          let tgt = view_access st name idx [] in
+          prelude
+          @ [ Ir.Ncomp
+                (Ir.mk_comp (Ir.Darray tgt) (combine tgt (compile_ew st e' []))) ]
+      | shape ->
+          prelude
+          @ nest_over st shape (fun iters ->
+                let tgt = view_access st name idx iters in
+                let env = full_env st in
+                let rhs_iters = if Alang.shape env e' = [] then [] else iters in
+                [ Ir.Ncomp
+                    (Ir.mk_comp (Ir.Darray tgt)
+                       (combine tgt (compile_ew st e' rhs_iters))) ]))
+  | For (var, lo, hi, body) ->
+      let saved = st.bounds in
+      st.bounds <- Util.SMap.add var (lo, hi) st.bounds;
+      let nodes = List.concat_map (lower_stmt st) body in
+      st.bounds <- saved;
+      [ Ir.Nloop
+          (Ir.mk_loop ~iter:var ~lo ~hi:(Expr.sub hi Expr.one) nodes) ]
+
+and view_access_shape st name idx =
+  view_shape (full_env st) name idx
+
+(** [lower policy p] — lower an arraylang program to loopir. *)
+let lower (policy : policy) (p : program) : Ir.program =
+  let env = { dims_of = (fun name ->
+      match List.assoc_opt name p.arrays with
+      | Some dims -> dims
+      | None -> shape_error "unknown array %s" name) }
+  in
+  let st = { policy; env; temps = []; counter = 0; bounds = Util.SMap.empty } in
+  let body = List.concat_map (lower_stmt st) p.body in
+  let arrays =
+    List.map
+      (fun (name, dims) ->
+        { Ir.name; elem = Ir.Fdouble; dims; storage = Ir.Sparam })
+      p.arrays
+    @ List.rev_map
+        (fun (name, dims) ->
+          { Ir.name; elem = Ir.Fdouble; dims; storage = Ir.Slocal })
+        st.temps
+  in
+  {
+    Ir.pname = p.name;
+    size_params = p.size_params;
+    scalar_params = p.scalar_params;
+    arrays;
+    local_scalars = [];
+    body;
+  }

@@ -1,0 +1,18 @@
+(** Lowering arraylang programs to loopir under a framework policy. *)
+
+type policy = {
+  per_op_temps : bool;
+      (** NumPy's eager evaluation: every operator materializes a temp *)
+  blas_dot : bool;
+      (** [np.dot] on whole arrays becomes a library call; sliced operands
+          always fall back to contraction loops *)
+}
+
+val numpy_policy : policy
+val fused_policy : policy
+
+val frontend_policy : policy
+(** The daisy frontend path: fused statements, no framework BLAS (idiom
+    detection finds the BLAS nests after normalization). *)
+
+val lower : policy -> Alang.program -> Daisy_loopir.Ir.program

@@ -1,0 +1,1 @@
+lib/benchmarks/cloudsc.ml: Buffer Daisy_lang Daisy_loopir Daisy_machine Daisy_normalize Daisy_poly Daisy_scheduler Daisy_transforms List Printf String

@@ -1,0 +1,1 @@
+lib/benchmarks/frameworks.mli: Daisy_arraylang Daisy_loopir

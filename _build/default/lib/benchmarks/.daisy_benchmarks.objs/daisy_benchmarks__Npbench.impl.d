@@ -1,0 +1,1 @@
+lib/benchmarks/npbench.ml: Daisy_arraylang Daisy_loopir Daisy_poly List Polybench String

@@ -1,0 +1,1 @@
+lib/benchmarks/npbench.mli: Daisy_arraylang

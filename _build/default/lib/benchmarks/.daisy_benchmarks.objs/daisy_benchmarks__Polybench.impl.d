@@ -1,0 +1,1 @@
+lib/benchmarks/polybench.ml: Daisy_lang Daisy_loopir List String

@@ -1,0 +1,1 @@
+lib/benchmarks/polybench.mli: Daisy_loopir

@@ -1,0 +1,1 @@
+lib/benchmarks/variants.ml: Array Daisy_dependence Daisy_loopir Daisy_normalize Daisy_scheduler Daisy_support Daisy_transforms List Rng Util

@@ -1,0 +1,1 @@
+lib/benchmarks/variants.mli: Daisy_loopir

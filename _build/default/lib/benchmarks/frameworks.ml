@@ -1,0 +1,55 @@
+(** Framework execution models for the Python experiment (paper §4.3,
+    Fig. 9): how NumPy, Numba and DaCe turn the same NPBench statements
+    into executable loop nests.
+
+    - {b NumPy}: eager per-operator temporaries, BLAS for [np.dot] on whole
+      arrays, vectorized C kernels, single-threaded.
+    - {b Numba}: JIT fuses each statement into one loop nest, vectorizes,
+      and auto-parallelizes outer parallel loops; BLAS for [np.dot].
+    - {b DaCe}: SDFG per statement with greedy map fusion, auto
+      parallelization and vectorization; BLAS library nodes.
+    - {b daisy}: the frontend lowering (fused statements, {e no} framework
+      BLAS) followed by the daisy pipeline — normalization recovers the
+      BLAS calls by idiom detection and the database supplies the rest. *)
+
+module Ir = Daisy_loopir.Ir
+module Al = Daisy_arraylang.Lower
+module Baselines = Daisy_scheduler.Baselines
+module Fusion = Daisy_transforms.Fusion
+module Iter_norm = Daisy_normalize.Iter_norm
+
+type framework = Numpy | Numba | DaceF | DaisyPy | DaisyPyNoNorm
+
+let name = function
+  | Numpy -> "NumPy"
+  | Numba -> "Numba"
+  | DaceF -> "DaCe"
+  | DaisyPy -> "daisy"
+  | DaisyPyNoNorm -> "daisy-nonorm"
+
+let all = [ Numpy; Numba; DaceF; DaisyPy; DaisyPyNoNorm ]
+
+(** Lower an NPBench program the way each framework executes it. The daisy
+    variants return the {e frontend} program; the caller runs them through
+    {!Daisy_scheduler.Daisy.schedule}. *)
+let lower (fw : framework) (p : Daisy_arraylang.Alang.program) : Ir.program =
+  match fw with
+  | Numpy ->
+      (* eager temporaries; vectorized kernels; single thread *)
+      let ir = Al.lower Al.numpy_policy p in
+      Baselines.vectorize_innermost (Iter_norm.run ir)
+  | Numba ->
+      (* per-statement fusion + vectorize + outer auto-parallelization *)
+      let ir = Al.lower Al.fused_policy p in
+      Baselines.icc_like ir
+  | DaceF ->
+      (* dataflow: per-statement maps, greedy fusion of adjacent maps,
+         parallelization and vectorization *)
+      let ir = Al.lower Al.fused_policy p in
+      let ir = Iter_norm.run ir in
+      let ir, _ = Fusion.fuse_greedy ir in
+      Baselines.icc_like ir
+  | DaisyPy | DaisyPyNoNorm ->
+      (* the DaCe Python frontend path: fused statements, BLAS left to
+         idiom detection after normalization *)
+      Al.lower Al.frontend_policy p

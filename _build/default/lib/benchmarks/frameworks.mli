@@ -1,0 +1,12 @@
+(** Framework execution models for the Python experiment (paper §4.3):
+    how NumPy, Numba and DaCe turn the same NPBench statements into
+    executable loop nests. *)
+
+type framework = Numpy | Numba | DaceF | DaisyPy | DaisyPyNoNorm
+
+val name : framework -> string
+val all : framework list
+
+val lower : framework -> Daisy_arraylang.Alang.program -> Daisy_loopir.Ir.program
+(** The daisy variants return the frontend program; run it through
+    {!Daisy_scheduler.Daisy.schedule}. *)

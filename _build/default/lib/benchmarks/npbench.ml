@@ -1,0 +1,432 @@
+(** NPBench-style implementations of the 15 benchmarks in arraylang — the
+    Python side of the paper's cross-language experiment (§4.3, Fig. 9).
+
+    These follow the NPBench coding style: whole-array statements, slices,
+    [np.dot]/[@], transposes and reductions instead of explicit loops; the
+    "same benchmarks in Python — increasing the number of implementation
+    variants considered". Input sizes are adapted to the PolyBench LARGE
+    (scaled) variants for comparability, as in the paper. *)
+
+open Daisy_arraylang.Alang
+module Expr = Daisy_poly.Expr
+module A = Daisy_arraylang.Alang
+
+let n = Expr.var
+let i1 e = Expr.add e Expr.one
+
+type benchmark = {
+  name : string;
+  program : A.program;
+  sim_sizes : (string * int) list;
+  test_sizes : (string * int) list;
+}
+
+let pb name = (Polybench.find name).Polybench.sim_sizes
+let pbt name = (Polybench.find name).Polybench.test_sizes
+
+let gemm =
+  {
+    name = "gemm";
+    program =
+      {
+        A.name = "gemm";
+        size_params = [ "ni"; "nj"; "nk" ];
+        scalar_params = [ "alpha"; "beta" ];
+        arrays =
+          [ ("C", [ n "ni"; n "nj" ]); ("A", [ n "ni"; n "nk" ]);
+            ("B", [ n "nk"; n "nj" ]) ];
+        (* C[:] = alpha * A @ B + beta * C *)
+        body =
+          [ Assign (("C", []),
+                (sc "alpha" *: Tdot (v "A", v "B")) +: (sc "beta" *: v "C")) ];
+      };
+    sim_sizes = pb "gemm";
+    test_sizes = pbt "gemm";
+  }
+
+let two_mm =
+  {
+    name = "2mm";
+    program =
+      {
+        A.name = "k2mm";
+        size_params = [ "ni"; "nj"; "nk"; "nl" ];
+        scalar_params = [ "alpha"; "beta" ];
+        arrays =
+          [ ("A", [ n "ni"; n "nk" ]); ("B", [ n "nk"; n "nj" ]);
+            ("C", [ n "nj"; n "nl" ]); ("D", [ n "ni"; n "nl" ]) ];
+        (* D[:] = alpha * A @ B @ C + beta * D *)
+        body =
+          [ Assign (("D", []),
+                (sc "alpha" *: Tdot (Tdot (v "A", v "B"), v "C"))
+                +: (sc "beta" *: v "D")) ];
+      };
+    sim_sizes = pb "2mm";
+    test_sizes = pbt "2mm";
+  }
+
+let three_mm =
+  {
+    name = "3mm";
+    program =
+      {
+        A.name = "k3mm";
+        size_params = [ "ni"; "nj"; "nk"; "nl"; "nm" ];
+        scalar_params = [];
+        arrays =
+          [ ("A", [ n "ni"; n "nk" ]); ("B", [ n "nk"; n "nj" ]);
+            ("C", [ n "nj"; n "nm" ]); ("D", [ n "nm"; n "nl" ]);
+            ("G", [ n "ni"; n "nl" ]) ];
+        (* G[:] = (A @ B) @ (C @ D) *)
+        body =
+          [ Assign (("G", []),
+                Tdot (Tdot (v "A", v "B"), Tdot (v "C", v "D"))) ];
+      };
+    sim_sizes = pb "3mm";
+    test_sizes = pbt "3mm";
+  }
+
+let syrk =
+  {
+    name = "syrk";
+    program =
+      {
+        A.name = "syrk";
+        size_params = [ "n"; "m" ];
+        scalar_params = [ "alpha"; "beta" ];
+        arrays = [ ("C", [ n "n"; n "n" ]); ("A", [ n "n"; n "m" ]) ];
+        (* NPBench (paper Fig. 8b):
+           for i in range(n):
+             C[i, :i+1] *= beta
+             for k in range(m):
+               C[i, :i+1] += alpha * A[i, k] * A[:i+1, k] *)
+        body =
+          [ For ("i", Expr.zero, n "n",
+                [ Aug (Daisy_loopir.Ir.Vmul,
+                      ("C", [ pt (n "i"); sl (i1 (n "i")) ]), sc "beta");
+                  For ("k", Expr.zero, n "m",
+                      [ Aug (Daisy_loopir.Ir.Vadd,
+                            ("C", [ pt (n "i"); sl (i1 (n "i")) ]),
+                            sc "alpha"
+                            *: v "A" ~idx:[ pt (n "i"); pt (n "k") ]
+                            *: v "A" ~idx:[ sl (i1 (n "i")); pt (n "k") ]) ]) ]) ];
+      };
+    sim_sizes = pb "syrk";
+    test_sizes = pbt "syrk";
+  }
+
+let syr2k =
+  {
+    name = "syr2k";
+    program =
+      {
+        A.name = "syr2k";
+        size_params = [ "n"; "m" ];
+        scalar_params = [ "alpha"; "beta" ];
+        arrays =
+          [ ("C", [ n "n"; n "n" ]); ("A", [ n "n"; n "m" ]);
+            ("B", [ n "n"; n "m" ]) ];
+        body =
+          [ For ("i", Expr.zero, n "n",
+                [ Aug (Daisy_loopir.Ir.Vmul,
+                      ("C", [ pt (n "i"); sl (i1 (n "i")) ]), sc "beta");
+                  For ("k", Expr.zero, n "m",
+                      [ Aug (Daisy_loopir.Ir.Vadd,
+                            ("C", [ pt (n "i"); sl (i1 (n "i")) ]),
+                            (v "A" ~idx:[ sl (i1 (n "i")); pt (n "k") ]
+                             *: (sc "alpha" *: v "B" ~idx:[ pt (n "i"); pt (n "k") ]))
+                            +: (v "B" ~idx:[ sl (i1 (n "i")); pt (n "k") ]
+                                *: (sc "alpha" *: v "A" ~idx:[ pt (n "i"); pt (n "k") ]))) ]) ]) ];
+      };
+    sim_sizes = pb "syr2k";
+    test_sizes = pbt "syr2k";
+  }
+
+let gemver =
+  {
+    name = "gemver";
+    program =
+      {
+        A.name = "gemver";
+        size_params = [ "n" ];
+        scalar_params = [ "alpha"; "beta" ];
+        arrays =
+          [ ("A", [ n "n"; n "n" ]); ("u1", [ n "n" ]); ("v1", [ n "n" ]);
+            ("u2", [ n "n" ]); ("v2", [ n "n" ]); ("w", [ n "n" ]);
+            ("x", [ n "n" ]); ("y", [ n "n" ]); ("z", [ n "n" ]) ];
+        (* A += outer(u1, v1) + outer(u2, v2)
+           x += beta * (A.T @ y) + z
+           w += alpha * (A @ x) *)
+        body =
+          [ Aug (Daisy_loopir.Ir.Vadd, ("A", []),
+                Touter (v "u1", v "v1") +: Touter (v "u2", v "v2"));
+            Aug (Daisy_loopir.Ir.Vadd, ("x", []),
+                (sc "beta" *: Tdot (Ttranspose "A", v "y")) +: v "z");
+            Aug (Daisy_loopir.Ir.Vadd, ("w", []),
+                sc "alpha" *: Tdot (v "A", v "x")) ];
+      };
+    sim_sizes = pb "gemver";
+    test_sizes = pbt "gemver";
+  }
+
+let gesummv =
+  {
+    name = "gesummv";
+    program =
+      {
+        A.name = "gesummv";
+        size_params = [ "n" ];
+        scalar_params = [ "alpha"; "beta" ];
+        arrays =
+          [ ("A", [ n "n"; n "n" ]); ("B", [ n "n"; n "n" ]);
+            ("x", [ n "n" ]); ("y", [ n "n" ]) ];
+        (* y[:] = alpha * (A @ x) + beta * (B @ x) *)
+        body =
+          [ Assign (("y", []),
+                (sc "alpha" *: Tdot (v "A", v "x"))
+                +: (sc "beta" *: Tdot (v "B", v "x"))) ];
+      };
+    sim_sizes = pb "gesummv";
+    test_sizes = pbt "gesummv";
+  }
+
+let atax =
+  {
+    name = "atax";
+    program =
+      {
+        A.name = "atax";
+        size_params = [ "m"; "n" ];
+        scalar_params = [];
+        arrays = [ ("A", [ n "m"; n "n" ]); ("x", [ n "n" ]); ("y", [ n "n" ]) ];
+        (* y[:] = (A @ x) @ A *)
+        body = [ Assign (("y", []), Tdot (Tdot (v "A", v "x"), v "A")) ];
+      };
+    sim_sizes = pb "atax";
+    test_sizes = pbt "atax";
+  }
+
+let bicg =
+  {
+    name = "bicg";
+    program =
+      {
+        A.name = "bicg";
+        size_params = [ "n"; "m" ];
+        scalar_params = [];
+        arrays =
+          [ ("A", [ n "n"; n "m" ]); ("s", [ n "m" ]); ("q", [ n "n" ]);
+            ("p", [ n "m" ]); ("r", [ n "n" ]) ];
+        (* s[:] = r @ A ; q[:] = A @ p *)
+        body =
+          [ Assign (("s", []), Tdot (v "r", v "A"));
+            Assign (("q", []), Tdot (v "A", v "p")) ];
+      };
+    sim_sizes = pb "bicg";
+    test_sizes = pbt "bicg";
+  }
+
+let mvt =
+  {
+    name = "mvt";
+    program =
+      {
+        A.name = "mvt";
+        size_params = [ "n" ];
+        scalar_params = [];
+        arrays =
+          [ ("A", [ n "n"; n "n" ]); ("x1", [ n "n" ]); ("x2", [ n "n" ]);
+            ("y1", [ n "n" ]); ("y2", [ n "n" ]) ];
+        (* x1 += A @ y1 ; x2 += y2 @ A *)
+        body =
+          [ Aug (Daisy_loopir.Ir.Vadd, ("x1", []), Tdot (v "A", v "y1"));
+            Aug (Daisy_loopir.Ir.Vadd, ("x2", []), Tdot (v "y2", v "A")) ];
+      };
+    sim_sizes = pb "mvt";
+    test_sizes = pbt "mvt";
+  }
+
+(* interior slice [1 : d-1] *)
+let mid d = sl ~start:Expr.one (Expr.sub (n d) Expr.one)
+(* shifted slices *)
+let lo2 d = sl (Expr.sub (n d) (Expr.const 2)) (* [0 : d-2] *)
+let hi2 d = sl ~start:(Expr.const 2) (n d) (* [2 : d] *)
+
+let jacobi_2d =
+  let stencil tgt src =
+    Assign ((tgt, [ mid "n"; mid "n" ]),
+        c 0.2
+        *: (v src ~idx:[ mid "n"; mid "n" ]
+            +: v src ~idx:[ mid "n"; lo2 "n" ]
+            +: v src ~idx:[ mid "n"; hi2 "n" ]
+            +: v src ~idx:[ hi2 "n"; mid "n" ]
+            +: v src ~idx:[ lo2 "n"; mid "n" ]))
+  in
+  {
+    name = "jacobi-2d";
+    program =
+      {
+        A.name = "jacobi2d";
+        size_params = [ "n"; "tsteps" ];
+        scalar_params = [];
+        arrays = [ ("A", [ n "n"; n "n" ]); ("B", [ n "n"; n "n" ]) ];
+        body =
+          [ For ("t", Expr.zero, n "tsteps", [ stencil "B" "A"; stencil "A" "B" ]) ];
+      };
+    sim_sizes = pb "jacobi-2d";
+    test_sizes = pbt "jacobi-2d";
+  }
+
+let heat_3d =
+  let m = mid "n" in
+  let axis3 src d =
+    (* second difference along dimension d of the interior *)
+    let shift which k = if k = d then which else m in
+    c 0.125
+    *: (v src ~idx:(List.init 3 (shift (hi2 "n")))
+        -: (c 2.0 *: v src ~idx:[ m; m; m ])
+        +: v src ~idx:(List.init 3 (shift (lo2 "n"))))
+  in
+  let stencil tgt src =
+    Assign ((tgt, [ m; m; m ]),
+        axis3 src 0 +: axis3 src 1 +: axis3 src 2 +: v src ~idx:[ m; m; m ])
+  in
+  {
+    name = "heat-3d";
+    program =
+      {
+        A.name = "heat3d";
+        size_params = [ "n"; "tsteps" ];
+        scalar_params = [];
+        arrays = [ ("A", [ n "n"; n "n"; n "n" ]); ("B", [ n "n"; n "n"; n "n" ]) ];
+        body =
+          [ For ("t", Expr.one, i1 (n "tsteps"),
+                [ stencil "B" "A"; stencil "A" "B" ]) ];
+      };
+    sim_sizes = pb "heat-3d";
+    test_sizes = pbt "heat-3d";
+  }
+
+let fdtd_2d =
+  let all_but_first d = sl ~start:Expr.one (n d) in
+  let all_but_last d = sl (Expr.sub (n d) Expr.one) in
+  {
+    name = "fdtd-2d";
+    program =
+      {
+        A.name = "fdtd2d";
+        size_params = [ "nx"; "ny"; "tmax" ];
+        scalar_params = [];
+        arrays =
+          [ ("ex", [ n "nx"; n "ny" ]); ("ey", [ n "nx"; n "ny" ]);
+            ("hz", [ n "nx"; n "ny" ]); ("fict", [ n "tmax" ]) ];
+        body =
+          [ For ("t", Expr.zero, n "tmax",
+                [ Assign (("ey", [ pt Expr.zero; full ]),
+                      v "fict" ~idx:[ pt (n "t") ]);
+                  Aug (Daisy_loopir.Ir.Vsub,
+                      ("ey", [ all_but_first "nx"; full ]),
+                      c 0.5
+                      *: (v "hz" ~idx:[ all_but_first "nx"; full ]
+                          -: v "hz" ~idx:[ all_but_last "nx"; full ]));
+                  Aug (Daisy_loopir.Ir.Vsub,
+                      ("ex", [ full; all_but_first "ny" ]),
+                      c 0.5
+                      *: (v "hz" ~idx:[ full; all_but_first "ny" ]
+                          -: v "hz" ~idx:[ full; all_but_last "ny" ]));
+                  Aug (Daisy_loopir.Ir.Vsub,
+                      ("hz", [ all_but_last "nx"; all_but_last "ny" ]),
+                      c 0.7
+                      *: (v "ex" ~idx:[ all_but_last "nx"; all_but_first "ny" ]
+                          -: v "ex" ~idx:[ all_but_last "nx"; all_but_last "ny" ]
+                          +: v "ey" ~idx:[ all_but_first "nx"; all_but_last "ny" ]
+                          -: v "ey" ~idx:[ all_but_last "nx"; all_but_last "ny" ])) ]) ];
+      };
+    sim_sizes = pb "fdtd-2d";
+    test_sizes = pbt "fdtd-2d";
+  }
+
+let correlation =
+  {
+    name = "correlation";
+    program =
+      {
+        A.name = "correlation";
+        size_params = [ "m"; "n" ];
+        scalar_params = [];
+        arrays =
+          [ ("data", [ n "n"; n "m" ]); ("corr", [ n "m"; n "m" ]);
+            ("mean", [ n "m" ]); ("stddev", [ n "m" ]) ];
+        (* mean = np.mean(data, axis=0)
+           stddev = sqrt(np.mean((data - mean)^2, axis=0)); clamped
+           data = (data - mean) / (sqrt(n) * stddev)
+           for i in range(m-1):
+             corr[i, i] = 1
+             corr[i, i+1:] = data[:, i] @ data[:, i+1:]
+             corr[i+1:, i] = corr[i, i+1:]
+           corr[m-1, m-1] = 1 *)
+        body =
+          [ Assign (("mean", []),
+                Treduce (`Sum, 0, v "data") /: Tint (n "n"));
+            Assign (("stddev", []),
+                Tcall ("sqrt",
+                    [ Treduce (`Sum, 0,
+                          (v "data" -: v "mean") *: (v "data" -: v "mean"))
+                      /: Tint (n "n") ]));
+            (* NPBench resets tiny deviations; the clamp keeps the
+               statement liftable, see DESIGN.md *)
+            Assign (("stddev", []), Tcall ("max", [ v "stddev"; c 0.1 ]));
+            Assign (("data", []),
+                (v "data" -: v "mean")
+                /: (Tcall ("sqrt", [ Tint (n "n") ]) *: v "stddev"));
+            For ("i", Expr.zero, Expr.sub (n "m") Expr.one,
+                [ Assign (("corr", [ pt (n "i"); pt (n "i") ]), c 1.0);
+                  Assign (("corr", [ pt (n "i"); sl ~start:(i1 (n "i")) (n "m") ]),
+                      Tdot (v "data" ~idx:[ full; pt (n "i") ],
+                          v "data" ~idx:[ full; sl ~start:(i1 (n "i")) (n "m") ]));
+                  Assign (("corr", [ sl ~start:(i1 (n "i")) (n "m"); pt (n "i") ]),
+                      v "corr" ~idx:[ pt (n "i"); sl ~start:(i1 (n "i")) (n "m") ]) ]);
+            Assign (("corr",
+                  [ pt (Expr.sub (n "m") Expr.one); pt (Expr.sub (n "m") Expr.one) ]),
+                c 1.0) ];
+      };
+    sim_sizes = pb "correlation";
+    test_sizes = pbt "correlation";
+  }
+
+let covariance =
+  {
+    name = "covariance";
+    program =
+      {
+        A.name = "covariance";
+        size_params = [ "m"; "n" ];
+        scalar_params = [];
+        arrays =
+          [ ("data", [ n "n"; n "m" ]); ("cov", [ n "m"; n "m" ]);
+            ("mean", [ n "m" ]) ];
+        body =
+          [ Assign (("mean", []), Treduce (`Sum, 0, v "data") /: Tint (n "n"));
+            Aug (Daisy_loopir.Ir.Vsub, ("data", []), v "mean");
+            For ("i", Expr.zero, n "m",
+                [ Assign (("cov", [ pt (n "i"); sl ~start:(n "i") (n "m") ]),
+                      Tdot (v "data" ~idx:[ full; pt (n "i") ],
+                          v "data" ~idx:[ full; sl ~start:(n "i") (n "m") ])
+                      /: Tint (Expr.sub (n "n") Expr.one));
+                  Assign (("cov", [ sl ~start:(n "i") (n "m"); pt (n "i") ]),
+                      v "cov" ~idx:[ pt (n "i"); sl ~start:(n "i") (n "m") ]) ]) ];
+      };
+    sim_sizes = pb "covariance";
+    test_sizes = pbt "covariance";
+  }
+
+let all : benchmark list =
+  [
+    gemm; two_mm; three_mm; syrk; syr2k; gemver; gesummv; atax; bicg; mvt;
+    jacobi_2d; heat_3d; fdtd_2d; correlation; covariance;
+  ]
+
+let find name =
+  match List.find_opt (fun b -> String.equal b.name name) all with
+  | Some b -> b
+  | None -> invalid_arg ("unknown npbench benchmark " ^ name)

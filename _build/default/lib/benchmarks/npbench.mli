@@ -1,0 +1,29 @@
+(** NPBench-style implementations of the 15 benchmarks in arraylang — the
+    Python side of the paper's cross-language experiment (§4.3). Input
+    sizes are adapted to the (scaled) PolyBench LARGE variants. *)
+
+type benchmark = {
+  name : string;
+  program : Daisy_arraylang.Alang.program;
+  sim_sizes : (string * int) list;
+  test_sizes : (string * int) list;
+}
+
+val gemm : benchmark
+val two_mm : benchmark
+val three_mm : benchmark
+val syrk : benchmark
+val syr2k : benchmark
+val gemver : benchmark
+val gesummv : benchmark
+val atax : benchmark
+val bicg : benchmark
+val mvt : benchmark
+val jacobi_2d : benchmark
+val heat_3d : benchmark
+val fdtd_2d : benchmark
+val correlation : benchmark
+val covariance : benchmark
+
+val all : benchmark list
+val find : string -> benchmark

@@ -1,0 +1,462 @@
+(** The 15 parallelizable PolyBench benchmarks used in the paper's
+    evaluation (§4), written in the kernel DSL in their reference (A
+    variant) form.
+
+    [sim_sizes] are the paper's LARGE datasets scaled down ~8x linearly (the
+    machine model's caches are scaled by the same factor — see DESIGN.md
+    §7); [test_sizes] are small shapes for interpreter-based equivalence
+    checks. *)
+
+module Ir = Daisy_loopir.Ir
+
+type benchmark = {
+  name : string;
+  source : string;
+  sim_sizes : (string * int) list;
+  test_sizes : (string * int) list;
+}
+
+let gemm =
+  {
+    name = "gemm";
+    source =
+      {|void gemm(int ni, int nj, int nk, double alpha, double beta,
+           double C[ni][nj], double A[ni][nk], double B[nk][nj])
+{
+  for (int i = 0; i < ni; i++) {
+    for (int j = 0; j < nj; j++)
+      C[i][j] *= beta;
+    for (int k = 0; k < nk; k++)
+      for (int j = 0; j < nj; j++)
+        C[i][j] += alpha * A[i][k] * B[k][j];
+  }
+}|};
+    sim_sizes = [ ("ni", 125); ("nj", 137); ("nk", 150) ];
+    test_sizes = [ ("ni", 9); ("nj", 10); ("nk", 11) ];
+  }
+
+let two_mm =
+  {
+    name = "2mm";
+    source =
+      {|void k2mm(int ni, int nj, int nk, int nl, double alpha, double beta,
+          double tmp[ni][nj], double A[ni][nk], double B[nk][nj],
+          double C[nj][nl], double D[ni][nl])
+{
+  for (int i = 0; i < ni; i++)
+    for (int j = 0; j < nj; j++) {
+      tmp[i][j] = 0.0;
+      for (int k = 0; k < nk; k++)
+        tmp[i][j] += alpha * A[i][k] * B[k][j];
+    }
+  for (int i = 0; i < ni; i++)
+    for (int j = 0; j < nl; j++) {
+      D[i][j] *= beta;
+      for (int k = 0; k < nj; k++)
+        D[i][j] += tmp[i][k] * C[k][j];
+    }
+}|};
+    sim_sizes = [ ("ni", 100); ("nj", 112); ("nk", 125); ("nl", 137) ];
+    test_sizes = [ ("ni", 7); ("nj", 8); ("nk", 9); ("nl", 10) ];
+  }
+
+let three_mm =
+  {
+    name = "3mm";
+    source =
+      {|void k3mm(int ni, int nj, int nk, int nl, int nm,
+          double E[ni][nj], double A[ni][nk], double B[nk][nj],
+          double F[nj][nl], double C[nj][nm], double D[nm][nl],
+          double G[ni][nl])
+{
+  for (int i = 0; i < ni; i++)
+    for (int j = 0; j < nj; j++) {
+      E[i][j] = 0.0;
+      for (int k = 0; k < nk; k++)
+        E[i][j] += A[i][k] * B[k][j];
+    }
+  for (int i = 0; i < nj; i++)
+    for (int j = 0; j < nl; j++) {
+      F[i][j] = 0.0;
+      for (int k = 0; k < nm; k++)
+        F[i][j] += C[i][k] * D[k][j];
+    }
+  for (int i = 0; i < ni; i++)
+    for (int j = 0; j < nl; j++) {
+      G[i][j] = 0.0;
+      for (int k = 0; k < nj; k++)
+        G[i][j] += E[i][k] * F[k][j];
+    }
+}|};
+    sim_sizes =
+      [ ("ni", 100); ("nj", 112); ("nk", 125); ("nl", 137); ("nm", 150) ];
+    test_sizes = [ ("ni", 6); ("nj", 7); ("nk", 8); ("nl", 9); ("nm", 10) ];
+  }
+
+let syrk =
+  {
+    name = "syrk";
+    source =
+      {|void syrk(int n, int m, double alpha, double beta,
+          double C[n][n], double A[n][m])
+{
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j <= i; j++)
+      C[i][j] *= beta;
+    for (int k = 0; k < m; k++)
+      for (int j = 0; j <= i; j++)
+        C[i][j] += alpha * A[i][k] * A[j][k];
+  }
+}|};
+    sim_sizes = [ ("n", 150); ("m", 125) ];
+    test_sizes = [ ("n", 10); ("m", 8) ];
+  }
+
+let syr2k =
+  {
+    name = "syr2k";
+    source =
+      {|void syr2k(int n, int m, double alpha, double beta,
+           double C[n][n], double A[n][m], double B[n][m])
+{
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j <= i; j++)
+      C[i][j] *= beta;
+    for (int k = 0; k < m; k++)
+      for (int j = 0; j <= i; j++)
+        C[i][j] += A[j][k] * alpha * B[i][k] + B[j][k] * alpha * A[i][k];
+  }
+}|};
+    sim_sizes = [ ("n", 150); ("m", 125) ];
+    test_sizes = [ ("n", 10); ("m", 8) ];
+  }
+
+let gemver =
+  {
+    name = "gemver";
+    source =
+      {|void gemver(int n, double alpha, double beta,
+            double A[n][n], double u1[n], double v1[n], double u2[n],
+            double v2[n], double w[n], double x[n], double y[n], double z[n])
+{
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++)
+      A[i][j] = A[i][j] + u1[i] * v1[j] + u2[i] * v2[j];
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++)
+      x[i] = x[i] + beta * A[j][i] * y[j];
+  for (int i = 0; i < n; i++)
+    x[i] = x[i] + z[i];
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++)
+      w[i] = w[i] + alpha * A[i][j] * x[j];
+}|};
+    sim_sizes = [ ("n", 250) ];
+    test_sizes = [ ("n", 13) ];
+  }
+
+let gesummv =
+  {
+    name = "gesummv";
+    source =
+      {|void gesummv(int n, double alpha, double beta,
+             double A[n][n], double B[n][n], double tmp[n],
+             double x[n], double y[n])
+{
+  for (int i = 0; i < n; i++) {
+    tmp[i] = 0.0;
+    y[i] = 0.0;
+    for (int j = 0; j < n; j++) {
+      tmp[i] = A[i][j] * x[j] + tmp[i];
+      y[i] = B[i][j] * x[j] + y[i];
+    }
+    y[i] = alpha * tmp[i] + beta * y[i];
+  }
+}|};
+    sim_sizes = [ ("n", 162) ];
+    test_sizes = [ ("n", 11) ];
+  }
+
+let atax =
+  {
+    name = "atax";
+    source =
+      {|void atax(int m, int n, double A[m][n], double x[n], double y[n],
+          double tmp[m])
+{
+  for (int i = 0; i < n; i++)
+    y[i] = 0.0;
+  for (int i = 0; i < m; i++) {
+    tmp[i] = 0.0;
+    for (int j = 0; j < n; j++)
+      tmp[i] = tmp[i] + A[i][j] * x[j];
+    for (int j = 0; j < n; j++)
+      y[j] = y[j] + A[i][j] * tmp[i];
+  }
+}|};
+    sim_sizes = [ ("m", 237); ("n", 262) ];
+    test_sizes = [ ("m", 9); ("n", 11) ];
+  }
+
+let bicg =
+  {
+    name = "bicg";
+    source =
+      {|void bicg(int n, int m, double A[n][m], double s[m], double q[n],
+          double p[m], double r[n])
+{
+  for (int i = 0; i < m; i++)
+    s[i] = 0.0;
+  for (int i = 0; i < n; i++) {
+    q[i] = 0.0;
+    for (int j = 0; j < m; j++) {
+      s[j] = s[j] + r[i] * A[i][j];
+      q[i] = q[i] + A[i][j] * p[j];
+    }
+  }
+}|};
+    sim_sizes = [ ("n", 262); ("m", 237) ];
+    test_sizes = [ ("n", 11); ("m", 9) ];
+  }
+
+let mvt =
+  {
+    name = "mvt";
+    source =
+      {|void mvt(int n, double x1[n], double x2[n], double y1[n], double y2[n],
+         double A[n][n])
+{
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++)
+      x1[i] = x1[i] + A[i][j] * y1[j];
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++)
+      x2[i] = x2[i] + A[j][i] * y2[j];
+}|};
+    sim_sizes = [ ("n", 250) ];
+    test_sizes = [ ("n", 12) ];
+  }
+
+let jacobi_2d =
+  {
+    name = "jacobi-2d";
+    source =
+      {|void jacobi2d(int n, int tsteps, double A[n][n], double B[n][n])
+{
+  for (int t = 0; t < tsteps; t++) {
+    for (int i = 1; i < n - 1; i++)
+      for (int j = 1; j < n - 1; j++)
+        B[i][j] = 0.2 * (A[i][j] + A[i][j - 1] + A[i][1 + j]
+                         + A[1 + i][j] + A[i - 1][j]);
+    for (int i = 1; i < n - 1; i++)
+      for (int j = 1; j < n - 1; j++)
+        A[i][j] = 0.2 * (B[i][j] + B[i][j - 1] + B[i][1 + j]
+                         + B[1 + i][j] + B[i - 1][j]);
+  }
+}|};
+    sim_sizes = [ ("n", 162); ("tsteps", 40) ];
+    test_sizes = [ ("n", 10); ("tsteps", 4) ];
+  }
+
+let heat_3d =
+  {
+    name = "heat-3d";
+    source =
+      {|void heat3d(int n, int tsteps, double A[n][n][n], double B[n][n][n])
+{
+  for (int t = 1; t <= tsteps; t++) {
+    for (int i = 1; i < n - 1; i++)
+      for (int j = 1; j < n - 1; j++)
+        for (int k = 1; k < n - 1; k++)
+          B[i][j][k] = 0.125 * (A[i + 1][j][k] - 2.0 * A[i][j][k] + A[i - 1][j][k])
+                     + 0.125 * (A[i][j + 1][k] - 2.0 * A[i][j][k] + A[i][j - 1][k])
+                     + 0.125 * (A[i][j][k + 1] - 2.0 * A[i][j][k] + A[i][j][k - 1])
+                     + A[i][j][k];
+    for (int i = 1; i < n - 1; i++)
+      for (int j = 1; j < n - 1; j++)
+        for (int k = 1; k < n - 1; k++)
+          A[i][j][k] = 0.125 * (B[i + 1][j][k] - 2.0 * B[i][j][k] + B[i - 1][j][k])
+                     + 0.125 * (B[i][j + 1][k] - 2.0 * B[i][j][k] + B[i][j - 1][k])
+                     + 0.125 * (B[i][j][k + 1] - 2.0 * B[i][j][k] + B[i][j][k - 1])
+                     + B[i][j][k];
+  }
+}|};
+    sim_sizes = [ ("n", 40); ("tsteps", 30) ];
+    test_sizes = [ ("n", 8); ("tsteps", 3) ];
+  }
+
+let fdtd_2d =
+  {
+    name = "fdtd-2d";
+    source =
+      {|void fdtd2d(int nx, int ny, int tmax, double ex[nx][ny],
+            double ey[nx][ny], double hz[nx][ny], double fict[tmax])
+{
+  for (int t = 0; t < tmax; t++) {
+    for (int j = 0; j < ny; j++)
+      ey[0][j] = fict[t];
+    for (int i = 1; i < nx; i++)
+      for (int j = 0; j < ny; j++)
+        ey[i][j] = ey[i][j] - 0.5 * (hz[i][j] - hz[i - 1][j]);
+    for (int i = 0; i < nx; i++)
+      for (int j = 1; j < ny; j++)
+        ex[i][j] = ex[i][j] - 0.5 * (hz[i][j] - hz[i][j - 1]);
+    for (int i = 0; i < nx - 1; i++)
+      for (int j = 0; j < ny - 1; j++)
+        hz[i][j] = hz[i][j] - 0.7 * (ex[i][j + 1] - ex[i][j]
+                                     + ey[i + 1][j] - ey[i][j]);
+  }
+}|};
+    sim_sizes = [ ("nx", 125); ("ny", 150); ("tmax", 40) ];
+    test_sizes = [ ("nx", 8); ("ny", 9); ("tmax", 4) ];
+  }
+
+let correlation =
+  {
+    name = "correlation";
+    source =
+      {|void correlation(int m, int n, double data[n][m], double corr[m][m],
+                 double mean[m], double stddev[m])
+{
+  for (int j = 0; j < m; j++) {
+    mean[j] = 0.0;
+    for (int i = 0; i < n; i++)
+      mean[j] += data[i][j];
+    mean[j] /= n;
+  }
+  for (int j = 0; j < m; j++) {
+    stddev[j] = 0.0;
+    for (int i = 0; i < n; i++)
+      stddev[j] += (data[i][j] - mean[j]) * (data[i][j] - mean[j]);
+    stddev[j] /= n;
+    stddev[j] = sqrt(stddev[j]);
+    if (stddev[j] <= 0.1)
+      stddev[j] = 1.0;
+  }
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < m; j++) {
+      data[i][j] -= mean[j];
+      data[i][j] /= sqrt(1.0 * n) * stddev[j];
+    }
+  for (int i = 0; i < m - 1; i++) {
+    corr[i][i] = 1.0;
+    for (int j = i + 1; j < m; j++) {
+      corr[i][j] = 0.0;
+      for (int k = 0; k < n; k++)
+        corr[i][j] += data[k][i] * data[k][j];
+      corr[j][i] = corr[i][j];
+    }
+  }
+  corr[m - 1][m - 1] = 1.0;
+}|};
+    sim_sizes = [ ("m", 150); ("n", 162) ];
+    test_sizes = [ ("m", 9); ("n", 11) ];
+  }
+
+let covariance =
+  {
+    name = "covariance";
+    source =
+      {|void covariance(int m, int n, double data[n][m], double cov[m][m],
+                double mean[m])
+{
+  for (int j = 0; j < m; j++) {
+    mean[j] = 0.0;
+    for (int i = 0; i < n; i++)
+      mean[j] += data[i][j];
+    mean[j] /= n;
+  }
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < m; j++)
+      data[i][j] -= mean[j];
+  for (int i = 0; i < m; i++)
+    for (int j = i; j < m; j++) {
+      cov[i][j] = 0.0;
+      for (int k = 0; k < n; k++)
+        cov[i][j] += data[k][i] * data[k][j];
+      cov[i][j] /= n - 1;
+      cov[j][i] = cov[i][j];
+    }
+}|};
+    sim_sizes = [ ("m", 150); ("n", 162) ];
+    test_sizes = [ ("m", 9); ("n", 11) ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Extra kernels beyond the paper's 15 (available to the CLI and tests;
+   not part of the figure reproductions) *)
+
+let doitgen =
+  {
+    name = "doitgen";
+    source =
+      {|void doitgen(int nr, int nq, int np, double A[nr][nq][np],
+             double C4[np][np], double sum[np])
+{
+  for (int r = 0; r < nr; r++)
+    for (int q = 0; q < nq; q++) {
+      for (int p = 0; p < np; p++) {
+        sum[p] = 0.0;
+        for (int s = 0; s < np; s++)
+          sum[p] += A[r][q][s] * C4[s][p];
+      }
+      for (int p = 0; p < np; p++)
+        A[r][q][p] = sum[p];
+    }
+}|};
+    sim_sizes = [ ("nr", 18); ("nq", 20); ("np", 32) ];
+    test_sizes = [ ("nr", 4); ("nq", 5); ("np", 6) ];
+  }
+
+let trisolv =
+  {
+    name = "trisolv";
+    source =
+      {|void trisolv(int n, double L[n][n], double x[n], double b[n])
+{
+  for (int i = 0; i < n; i++) {
+    x[i] = b[i];
+    for (int j = 0; j < i; j++)
+      x[i] -= L[i][j] * x[j];
+    x[i] = x[i] / L[i][i];
+  }
+}|};
+    sim_sizes = [ ("n", 250) ];
+    test_sizes = [ ("n", 12) ];
+  }
+
+let seidel_2d =
+  {
+    name = "seidel-2d";
+    source =
+      {|void seidel2d(int n, int tsteps, double A[n][n])
+{
+  for (int t = 0; t < tsteps; t++)
+    for (int i = 1; i < n - 1; i++)
+      for (int j = 1; j < n - 1; j++)
+        A[i][j] = (A[i - 1][j - 1] + A[i - 1][j] + A[i - 1][j + 1]
+                   + A[i][j - 1] + A[i][j] + A[i][j + 1]
+                   + A[i + 1][j - 1] + A[i + 1][j] + A[i + 1][j + 1]) / 9.0;
+}|};
+    sim_sizes = [ ("n", 250); ("tsteps", 20) ];
+    test_sizes = [ ("n", 10); ("tsteps", 3) ];
+  }
+
+let extras : benchmark list = [ doitgen; trisolv; seidel_2d ]
+
+(** The 15 benchmarks of the paper's Figure 6/7 evaluation, in display
+    order. *)
+let all : benchmark list =
+  [
+    gemm; two_mm; three_mm; syrk; syr2k; gemver; gesummv; atax; bicg; mvt;
+    jacobi_2d; heat_3d; fdtd_2d; correlation; covariance;
+  ]
+
+let find name =
+  match List.find_opt (fun b -> String.equal b.name name) (all @ extras) with
+  | Some b -> b
+  | None -> invalid_arg ("unknown benchmark " ^ name)
+
+(** Parse and lower a benchmark's A variant. *)
+let program (b : benchmark) : Ir.program =
+  Daisy_lang.Lower.program_of_string ~source:(b.name ^ ".c") b.source

@@ -1,0 +1,44 @@
+(** The 15 parallelizable PolyBench benchmarks of the paper's evaluation
+    (§4), in their reference (A variant) DSL form, plus extra kernels.
+    [sim_sizes] are the paper's LARGE datasets scaled ~8x linearly
+    (matching the scaled machine model); [test_sizes] are small shapes for
+    interpreter-based equivalence checks. *)
+
+type benchmark = {
+  name : string;
+  source : string;
+  sim_sizes : (string * int) list;
+  test_sizes : (string * int) list;
+}
+
+val gemm : benchmark
+val two_mm : benchmark
+val three_mm : benchmark
+val syrk : benchmark
+val syr2k : benchmark
+val gemver : benchmark
+val gesummv : benchmark
+val atax : benchmark
+val bicg : benchmark
+val mvt : benchmark
+val jacobi_2d : benchmark
+val heat_3d : benchmark
+val fdtd_2d : benchmark
+val correlation : benchmark
+val covariance : benchmark
+
+val all : benchmark list
+(** The 15 benchmarks of Figures 6/7, in display order. *)
+
+val doitgen : benchmark
+val trisolv : benchmark
+val seidel_2d : benchmark
+
+val extras : benchmark list
+(** Kernels beyond the figure set (CLI + tests). *)
+
+val find : string -> benchmark
+(** Lookup by name across [all] and [extras]. *)
+
+val program : benchmark -> Daisy_loopir.Ir.program
+(** Parse and lower the A variant. *)

@@ -1,0 +1,118 @@
+(** Random generation of semantically-equivalent B variants (paper §4:
+    "we randomly generate an alternative B variant for each benchmark based
+    on different permutations and compositions").
+
+    All rewrites are legality-checked (dependence-preserving), so B is
+    equivalent by construction; the test suite additionally verifies
+    equivalence by execution. *)
+
+open Daisy_support
+module Ir = Daisy_loopir.Ir
+module Legality = Daisy_dependence.Legality
+module Stride = Daisy_normalize.Stride
+module Fusion = Daisy_transforms.Fusion
+module Iter_norm = Daisy_normalize.Iter_norm
+
+(** Pick a random legal, expressible permutation of the nest's perfect band
+    (possibly the identity). *)
+let random_permutation (rng : Rng.t) ~outer (nest : Ir.loop) : Ir.loop =
+  let band, body = Legality.perfect_band nest in
+  let n = List.length band in
+  if n < 2 || n > 5 then nest
+  else begin
+    let vectors = Legality.band_dep_vectors ~outer band body in
+    let legal_orders =
+      List.filter
+        (fun order ->
+          let perm =
+            Array.of_list
+              (List.map
+                 (fun (l : Ir.loop) ->
+                   match
+                     Util.list_index_of
+                       (fun a (b : Ir.loop) -> a.Ir.lid = b.Ir.lid)
+                       l band
+                   with
+                   | Some i -> i
+                   | None -> assert false)
+                 order)
+          in
+          Legality.legal_permutation vectors perm && Stride.expressible order)
+        (Util.permutations band)
+    in
+    match legal_orders with
+    | [] -> nest
+    | orders -> Stride.rebuild_band (Rng.choose rng orders) body
+  end
+
+(* Unliftable nests (data-dependent guards, transposed self-aliases) are
+   left untouched: the generator models a developer re-arranging the
+   regular compute phases, and keeping these nests fixed ensures the A and
+   B variants exercise the same lifting failures (paper §4.1). *)
+let fixed (n : Ir.node) : bool = not (Daisy_scheduler.Common.liftable n)
+
+(* Recursively permute bands: the top band, then the bands of the loops
+   below it. *)
+let rec permute_tree (rng : Rng.t) ~outer (nodes : Ir.node list) : Ir.node list
+    =
+  List.map
+    (fun n ->
+      match n with
+      | Ir.Nloop _ when fixed n -> n
+      | Ir.Nloop l ->
+          let l =
+            if Rng.float rng < 0.75 then random_permutation rng ~outer l else l
+          in
+          let band, body = Legality.perfect_band l in
+          let body' = permute_tree rng ~outer:(outer @ band) body in
+          Ir.Nloop (Stride.rebuild_band band body')
+      | other -> other)
+    nodes
+
+(* Random fusion of adjacent loops at every level. *)
+let rec fuse_tree (rng : Rng.t) ~outer (nodes : Ir.node list) : Ir.node list =
+  let nodes =
+    List.map
+      (fun n ->
+        match n with
+        | Ir.Nloop _ when fixed n -> n
+        | Ir.Nloop l ->
+            Ir.Nloop { l with Ir.body = fuse_tree rng ~outer:(outer @ [ l ]) l.Ir.body }
+        | other -> other)
+      nodes
+  in
+  let rec sweep = function
+    | (Ir.Nloop l1 as n1) :: (Ir.Nloop l2 as n2) :: rest
+      when Rng.float rng < 0.6 && (not (fixed n1)) && not (fixed n2) -> (
+        match Fusion.fuse ~outer l1 l2 with
+        | Ok fused -> sweep (Ir.Nloop fused :: rest)
+        | Error _ -> Ir.Nloop l1 :: sweep (Ir.Nloop l2 :: rest))
+    | n :: rest -> n :: sweep rest
+    | [] -> []
+  in
+  sweep nodes
+
+(** [generate ~seed p] — a random semantically-equivalent restructuring of
+    [p]: iterator normalization, random legal composition (fusion), then
+    random legal permutations. *)
+let generate ~(seed : string) (p : Ir.program) : Ir.program =
+  let rng = Rng.of_string seed in
+  let p = Iter_norm.run p in
+  let body = fuse_tree rng ~outer:[] p.Ir.body in
+  let body = permute_tree rng ~outer:[] body in
+  { p with Ir.body }
+
+(** The paper's Figure 1 explicit GEMM variants (different loop order in
+    the update nest). *)
+let gemm_variant_2_source =
+  {|void gemm(int ni, int nj, int nk, double alpha, double beta,
+           double C[ni][nj], double A[ni][nk], double B[nk][nj])
+{
+  for (int i = 0; i < ni; i++) {
+    for (int j = 0; j < nj; j++)
+      C[i][j] *= beta;
+    for (int j = 0; j < nj; j++)
+      for (int k = 0; k < nk; k++)
+        C[i][j] += alpha * A[i][k] * B[k][j];
+  }
+}|}

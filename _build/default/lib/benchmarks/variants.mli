@@ -1,0 +1,8 @@
+(** Random generation of semantically-equivalent B variants (paper §4):
+    legality-checked loop permutations and fusions. Unliftable nests are
+    kept fixed so A and B exercise the same lifting failures. *)
+
+val generate : seed:string -> Daisy_loopir.Ir.program -> Daisy_loopir.Ir.program
+
+val gemm_variant_2_source : string
+(** The paper's Figure-1 explicit second GEMM variant. *)

@@ -1,0 +1,1 @@
+lib/blas/patterns.ml: Daisy_dependence Daisy_loopir Daisy_poly Daisy_support List Option String Util

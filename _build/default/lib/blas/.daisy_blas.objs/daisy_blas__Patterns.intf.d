@@ -1,0 +1,1 @@
+lib/blas/patterns.mli: Daisy_loopir

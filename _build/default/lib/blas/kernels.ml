@@ -1,0 +1,97 @@
+(** Reference implementations of the BLAS kernels used by idiom detection.
+
+    These define the semantics of {!Daisy_loopir.Ir.Ncall} nodes. The
+    interpreter executes them directly; the machine model costs them with a
+    tuned-library profile (blocked, vectorized, near-peak for BLAS-3).
+
+    All matrices are row-major flat [float array]s.
+
+    Call conventions (matching {!Patterns}):
+    - ["gemm"]  args [C; A; B], scalars [alpha], dims [m; n; k]:
+      [C[i][j] += alpha * A[i][k] * B[k][j]]
+    - ["gemv"]  args [y; A; x], scalars [alpha], dims [m; n]:
+      [y[i] += alpha * A[i][j] * x[j]]
+    - ["gemvt"] args [y; A; x], scalars [alpha], dims [m; n]:
+      [y[j] += alpha * A[i][j] * x[i]]  (transposed access)
+    - ["syrk"]  args [C; A], scalars [alpha], dims [n; m]:
+      [C[i][j] += alpha * A[i][k] * A[j][k]] for [j <= i]
+    - ["syr2k"] args [C; A; B], scalars [alpha], dims [n; m]:
+      [C[i][j] += alpha*A[i][k]*B[j][k] + alpha*B[i][k]*A[j][k]] for [j <= i]
+*)
+
+let idx cols i j = (i * cols) + j
+
+let gemm ~m ~n ~k ~alpha (a : float array) (b : float array) (c : float array) =
+  (* blocked j-k-i order is irrelevant for semantics; plain triple loop *)
+  for i = 0 to m - 1 do
+    for p = 0 to k - 1 do
+      let aip = alpha *. a.(idx k i p) in
+      for j = 0 to n - 1 do
+        c.(idx n i j) <- c.(idx n i j) +. (aip *. b.(idx n p j))
+      done
+    done
+  done
+
+let gemv ~m ~n ~alpha (a : float array) (x : float array) (y : float array) =
+  for i = 0 to m - 1 do
+    let acc = ref 0.0 in
+    for j = 0 to n - 1 do
+      acc := !acc +. (a.(idx n i j) *. x.(j))
+    done;
+    y.(i) <- y.(i) +. (alpha *. !acc)
+  done
+
+let gemvt ~m ~n ~alpha (a : float array) (x : float array) (y : float array) =
+  for i = 0 to m - 1 do
+    let xi = alpha *. x.(i) in
+    for j = 0 to n - 1 do
+      y.(j) <- y.(j) +. (a.(idx n i j) *. xi)
+    done
+  done
+
+(** Triangular update: [j <= i] only, as in PolyBench's SYRK. *)
+let syrk ~n ~m ~alpha (a : float array) (c : float array) =
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      let acc = ref 0.0 in
+      for k = 0 to m - 1 do
+        acc := !acc +. (a.(idx m i k) *. a.(idx m j k))
+      done;
+      c.(idx n i j) <- c.(idx n i j) +. (alpha *. !acc)
+    done
+  done
+
+let syr2k ~n ~m ~alpha (a : float array) (b : float array) (c : float array) =
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      let acc = ref 0.0 in
+      for k = 0 to m - 1 do
+        acc :=
+          !acc +. (a.(idx m i k) *. b.(idx m j k)) +. (b.(idx m i k) *. a.(idx m j k))
+      done;
+      c.(idx n i j) <- c.(idx n i j) +. (alpha *. !acc)
+    done
+  done
+
+(** Floating-point operations performed by each kernel (used by the machine
+    model's FLOP accounting). *)
+let flops kernel dims =
+  match (kernel, dims) with
+  | "gemm", [ m; n; k ] -> 2. *. float m *. float n *. float k
+  | ("gemv" | "gemvt"), [ m; n ] -> 2. *. float m *. float n
+  | "syrk", [ n; m ] -> float n *. (float n +. 1.) *. float m
+  | "syr2k", [ n; m ] -> 2. *. float n *. (float n +. 1.) *. float m
+  | _ -> invalid_arg ("Kernels.flops: unknown kernel " ^ kernel)
+
+(** Bytes moved from memory assuming a perfectly blocked implementation
+    (each operand streamed a bounded number of times). *)
+let min_bytes kernel dims =
+  let d = 8. in
+  match (kernel, dims) with
+  | "gemm", [ m; n; k ] ->
+      d *. ((float m *. float k) +. (float k *. float n) +. (2. *. float m *. float n))
+  | ("gemv" | "gemvt"), [ m; n ] ->
+      d *. ((float m *. float n) +. float n +. (2. *. float m))
+  | "syrk", [ n; m ] -> d *. ((float n *. float m) +. float n *. float n)
+  | "syr2k", [ n; m ] -> d *. ((2. *. float n *. float m) +. (float n *. float n))
+  | _ -> invalid_arg ("Kernels.min_bytes: unknown kernel " ^ kernel)

@@ -1,0 +1,31 @@
+(** Reference implementations of the BLAS kernels used by idiom detection —
+    the semantics of {!Daisy_loopir.Ir.Ncall} nodes. Matrices are row-major
+    flat arrays; see the implementation header for the call conventions. *)
+
+val idx : int -> int -> int -> int
+(** [idx cols i j] — row-major linear index. *)
+
+val gemm :
+  m:int -> n:int -> k:int -> alpha:float ->
+  float array -> float array -> float array -> unit
+(** [gemm ~m ~n ~k ~alpha a b c] — [c += alpha * a * b]. *)
+
+val gemv :
+  m:int -> n:int -> alpha:float -> float array -> float array -> float array -> unit
+(** [y += alpha * A x]. *)
+
+val gemvt :
+  m:int -> n:int -> alpha:float -> float array -> float array -> float array -> unit
+(** [y += alpha * A^T x]. *)
+
+val syrk : n:int -> m:int -> alpha:float -> float array -> float array -> unit
+(** Triangular update [C[i][j] += alpha * A[i][k] * A[j][k]], [j <= i]. *)
+
+val syr2k :
+  n:int -> m:int -> alpha:float -> float array -> float array -> float array -> unit
+
+val flops : string -> int list -> float
+(** FLOPs performed by a kernel at given dims (machine-model accounting). *)
+
+val min_bytes : string -> int list -> float
+(** Bytes moved from memory by a perfectly blocked implementation. *)

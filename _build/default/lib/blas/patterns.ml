@@ -1,0 +1,256 @@
+(** BLAS idiom detection on normalized loop nests.
+
+    The daisy scheduler replaces loop nests matching BLAS kernels with
+    library calls ("For each loop nest corresponding to a BLAS-3 kernel, we
+    add an optimization recipe to perform idiom detection, i.e., replacing
+    the loop nest with the matching BLAS library call", paper §4).
+
+    Detection operates on the canonical form produced by normalization:
+    iterator-normalized perfect bands with a single reduction computation.
+    This is precisely why normalization matters here — the paper shows BLAS
+    lifting fails without it on 2mm, 3mm and gemm (§4.3). *)
+
+open Daisy_support
+module Ir = Daisy_loopir.Ir
+module Expr = Daisy_poly.Expr
+module Legality = Daisy_dependence.Legality
+
+let ( let* ) = Option.bind
+
+(* Flatten a multiplication tree into factors. *)
+let rec mul_factors (e : Ir.vexpr) : Ir.vexpr list =
+  match e with
+  | Ir.Vbin (Ir.Vmul, a, b) -> mul_factors a @ mul_factors b
+  | e -> [ e ]
+
+(* Flatten an addition tree into terms. *)
+let rec add_terms (e : Ir.vexpr) : Ir.vexpr list =
+  match e with
+  | Ir.Vbin (Ir.Vadd, a, b) -> add_terms a @ add_terms b
+  | e -> [ e ]
+
+(* A "product term": scalar factors and array reads, nothing else. *)
+type product = { scalars : Ir.vexpr list; reads : Ir.access list }
+
+let product_of (e : Ir.vexpr) : product option =
+  let factors = mul_factors e in
+  List.fold_left
+    (fun acc f ->
+      let* p = acc in
+      match f with
+      | Ir.Vfloat _ | Ir.Vscalar _ -> Some { p with scalars = p.scalars @ [ f ] }
+      | Ir.Vread a -> Some { p with reads = p.reads @ [ a ] }
+      | _ -> None)
+    (Some { scalars = []; reads = [] })
+    factors
+
+let alpha_of (scalars : Ir.vexpr list) : Ir.vexpr =
+  match scalars with
+  | [] -> Ir.Vfloat 1.0
+  | s :: rest -> List.fold_left (fun acc x -> Ir.Vbin (Ir.Vmul, acc, x)) s rest
+
+(* indices must be exactly [Var a; Var b] *)
+let two_vars (a : Ir.access) : (string * string) option =
+  match a.Ir.indices with
+  | [ Expr.Var x; Expr.Var y ] -> Some (x, y)
+  | _ -> None
+
+let one_var (a : Ir.access) : string option =
+  match a.Ir.indices with [ Expr.Var x ] -> Some x | _ -> None
+
+(* trip count of a normalized loop *)
+let trip (l : Ir.loop) : Expr.t = Expr.add l.Ir.hi Expr.one
+
+(* rectangular: 0-based and the bound does not reference band iterators *)
+let rectangular (band : Ir.loop list) (l : Ir.loop) : bool =
+  let iters = Util.SSet.of_list (List.map (fun (x : Ir.loop) -> x.Ir.iter) band) in
+  Expr.equal l.Ir.lo Expr.zero
+  && Util.SSet.is_empty (Util.SSet.inter iters (Expr.free_vars l.Ir.hi))
+
+(* triangular inner loop: j in 0 .. i *)
+let triangular_on (l : Ir.loop) (i : string) : bool =
+  Expr.equal l.Ir.lo Expr.zero && Expr.equal l.Ir.hi (Expr.var i)
+
+let find_loop (band : Ir.loop list) (iter : string) : Ir.loop option =
+  List.find_opt (fun (l : Ir.loop) -> String.equal l.Ir.iter iter) band
+
+let mk_call kernel args scalar_args dims writes_to =
+  { Ir.kid = Ir.fresh_id (); kernel; args; scalar_args; dims; writes_to }
+
+(* ------------------------------------------------------------------ *)
+(* Individual matchers; all receive the band and the destination access. *)
+
+(* C[i][j] (+)= alpha * A[i][k] * B[k][j], rectangular -> gemm
+   C[i][j] (+)= alpha * A[i][k] * A[j][k], j <= i      -> syrk *)
+let try_level3 band (dest : Ir.access) (p : product) : Ir.libcall option =
+  let* i, j = two_vars dest in
+  if List.length band <> 3 then None
+  else
+    let* kl =
+      List.find_opt (fun (l : Ir.loop) -> l.Ir.iter <> i && l.Ir.iter <> j) band
+    in
+    let k = kl.Ir.iter in
+    let* li = find_loop band i in
+    let* lj = find_loop band j in
+    if not (rectangular band li && rectangular band kl) then None
+    else
+      match p.reads with
+      | [ ra; rb ] -> (
+          (* factors may appear in either order *)
+          let classify (r : Ir.access) =
+            let* v1, v2 = two_vars r in
+            Some (v1, v2)
+          in
+          let* pa = classify ra in
+          let* pb = classify rb in
+          let r1, (a1, a2), r2, (b1, b2) =
+            (* prefer the (i, k) read first *)
+            if fst pa = i then (ra, pa, rb, pb) else (rb, pb, ra, pa)
+          in
+          if rectangular band lj && a1 = i && a2 = k && b1 = k && b2 = j then
+            Some
+              (mk_call "gemm"
+                 [ dest.Ir.array; r1.Ir.array; r2.Ir.array ]
+                 [ alpha_of p.scalars ]
+                 [ trip li; trip lj; trip kl ]
+                 [ dest.Ir.array ])
+          else if
+            triangular_on lj i
+            && String.equal r1.Ir.array r2.Ir.array
+            && a1 = i && a2 = k && b1 = j && b2 = k
+          then
+            Some
+              (mk_call "syrk"
+                 [ dest.Ir.array; r1.Ir.array ]
+                 [ alpha_of p.scalars ]
+                 [ trip li; trip kl ]
+                 [ dest.Ir.array ])
+          else None)
+      | _ -> None
+
+(* y[i] += alpha * A[i][j] * x[j] -> gemv
+   y[j] += alpha * A[i][j] * x[i] -> gemvt *)
+let try_level2 band (dest : Ir.access) (p : product) : Ir.libcall option =
+  let* dv = one_var dest in
+  if List.length band <> 2 then None
+  else
+    let* ol = List.find_opt (fun (l : Ir.loop) -> l.Ir.iter <> dv) band in
+    let* dl = find_loop band dv in
+    if not (List.for_all (rectangular band) band) then None
+    else
+      match p.reads with
+      | [ r1; r2 ] -> (
+          let mat, vec =
+            if List.length r1.Ir.indices = 2 then (r1, r2) else (r2, r1)
+          in
+          let* m1, m2 = two_vars mat in
+          let* vv = one_var vec in
+          if m1 = dv && m2 = ol.Ir.iter && vv = ol.Ir.iter then
+            Some
+              (mk_call "gemv"
+                 [ dest.Ir.array; mat.Ir.array; vec.Ir.array ]
+                 [ alpha_of p.scalars ]
+                 [ trip dl; trip ol ]
+                 [ dest.Ir.array ])
+          else if m1 = ol.Ir.iter && m2 = dv && vv = ol.Ir.iter then
+            Some
+              (mk_call "gemvt"
+                 [ dest.Ir.array; mat.Ir.array; vec.Ir.array ]
+                 [ alpha_of p.scalars ]
+                 [ trip ol; trip dl ]
+                 [ dest.Ir.array ])
+          else None)
+      | _ -> None
+
+(* C[i][j] += a*A[i][k]*B[j][k] + a*B[i][k]*A[j][k], j <= i -> syr2k *)
+let try_syr2k band (dest : Ir.access) (p1 : product) (p2 : product) :
+    Ir.libcall option =
+  let* i, j = two_vars dest in
+  if List.length band <> 3 then None
+  else
+    let* kl =
+      List.find_opt (fun (l : Ir.loop) -> l.Ir.iter <> i && l.Ir.iter <> j) band
+    in
+    let k = kl.Ir.iter in
+    let* li = find_loop band i in
+    let* lj = find_loop band j in
+    if not (rectangular band li && rectangular band kl && triangular_on lj i)
+    then None
+    else
+      let arrays_of p =
+        (* factors may appear in either order: find the (i,k) read and the
+           (j,k) read *)
+        match p.reads with
+        | [ x; y ] ->
+            let pattern (r : Ir.access) =
+              let* r1, r2 = two_vars r in
+              if r1 = i && r2 = k then Some `IK
+              else if r1 = j && r2 = k then Some `JK
+              else None
+            in
+            let* px = pattern x in
+            let* py = pattern y in
+            (match (px, py) with
+            | `IK, `JK -> Some (x.Ir.array, y.Ir.array)
+            | `JK, `IK -> Some (y.Ir.array, x.Ir.array)
+            | _ -> None)
+        | _ -> None
+      in
+      let* a1, b1 = arrays_of p1 in
+      let* a2, b2 = arrays_of p2 in
+      if String.equal a1 b2 && String.equal b1 a2 && not (String.equal a1 b1)
+      then
+        Some
+          (mk_call "syr2k"
+             [ dest.Ir.array; a1; b1 ]
+             [ alpha_of p1.scalars ]
+             [ trip li; trip kl ]
+             [ dest.Ir.array ])
+      else None
+
+(** Try to match one nest against the BLAS patterns. The nest must be a
+    perfect band whose body is a single unguarded reduction computation. *)
+let detect_nest (nest : Ir.loop) : Ir.libcall option =
+  let band, body = Legality.perfect_band nest in
+  match body with
+  | [ Ir.Ncomp c ] when c.Ir.guard = None -> (
+      match c.Ir.dest with
+      | Ir.Dscalar _ -> None
+      | Ir.Darray dest -> (
+          let terms = add_terms c.Ir.rhs in
+          let dest_read, others =
+            List.partition (fun t -> t = Ir.Vread dest) terms
+          in
+          match (dest_read, others) with
+          | [ _ ], [ t1 ] -> (
+              match product_of t1 with
+              | None -> None
+              | Some p -> (
+                  match try_level3 band dest p with
+                  | Some call -> Some call
+                  | None -> try_level2 band dest p))
+          | [ _ ], [ t1; t2 ] -> (
+              match (product_of t1, product_of t2) with
+              | Some p1, Some p2 -> try_syr2k band dest p1 p2
+              | _ -> None)
+          | _ -> None))
+  | _ -> None
+
+(** Replace every matching top-level nest with its library call. Returns
+    the rewritten program and the number of replacements. *)
+let replace_all (p : Ir.program) : Ir.program * int =
+  let count = ref 0 in
+  let body =
+    List.map
+      (fun n ->
+        match n with
+        | Ir.Nloop l -> (
+            match detect_nest l with
+            | Some call ->
+                incr count;
+                Ir.Ncall call
+            | None -> n)
+        | other -> other)
+      p.Ir.body
+  in
+  ({ p with Ir.body }, !count)

@@ -1,0 +1,9 @@
+(** BLAS idiom detection on normalized loop nests (paper §4): replace
+    nests matching gemm / gemv / gemvt / syrk / syr2k with library calls.
+    Detection operates on the canonical form produced by normalization —
+    which is exactly why normalization matters here (§4.3). *)
+
+val detect_nest : Daisy_loopir.Ir.loop -> Daisy_loopir.Ir.libcall option
+
+val replace_all : Daisy_loopir.Ir.program -> Daisy_loopir.Ir.program * int
+(** Replace every matching top-level nest; returns the count. *)

@@ -1,0 +1,68 @@
+(** The daisy toolchain — umbrella module.
+
+    Re-exports every library of the reproduction of "A Priori Loop Nest
+    Normalization: Automatic Loop Scheduling in Complex Applications"
+    (CGO 2025) and provides the one-call {!compile} convenience pipeline.
+
+    Layering (bottom to top):
+    {ul
+    {- {!Support}, {!Poly}: utilities and the affine/Fourier–Motzkin core.}
+    {- {!Lang}: the C-like kernel DSL (parser, sema, direct lowering).}
+    {- {!Lir}, {!Lift}: the LLVM-like low-level IR and the §3 lifting pass.}
+    {- {!Loopir}: the symbolic loop-nest tree all passes operate on.}
+    {- {!Dependence}: direction vectors, distribution graphs, legality.}
+    {- {!Normalize}: iterator normalization, scalar expansion, maximal
+       fission, stride minimization — the paper's contribution.}
+    {- {!Transforms}: interchange/tiling/fusion/marking + recipes.}
+    {- {!Machine}: cache-simulator + roofline cost model ("the hardware").}
+    {- {!Interp}: reference interpreter for semantics validation.}
+    {- {!Blas}, {!Embedding}: idiom detection and performance embeddings.}
+    {- {!Scheduler}: the daisy auto-scheduler and all baseline models.}
+    {- {!Arraylang}: the NumPy-style frontend for the Python experiments.}
+    {- {!Benchmarks}: PolyBench A/B variants, NPBench versions, CLOUDSC.}} *)
+
+module Support = Daisy_support
+module Poly = Daisy_poly
+module Lang = Daisy_lang
+module Lir = Daisy_lir
+module Lift = Daisy_lift
+module Loopir = Daisy_loopir
+module Dependence = Daisy_dependence
+module Interp = Daisy_interp
+module Normalize = Daisy_normalize
+module Transforms = Daisy_transforms
+module Machine = Daisy_machine
+module Blas = Daisy_blas
+module Embedding = Daisy_embedding
+module Scheduler = Daisy_scheduler
+module Arraylang = Daisy_arraylang
+module Benchmarks = Daisy_benchmarks
+
+(** Result of the one-call pipeline. *)
+type compiled = {
+  original : Loopir.Ir.program;
+  normalized : Loopir.Ir.program;
+  scheduled : Loopir.Ir.program;
+  report : Scheduler.Daisy.schedule_report;
+  original_ms : float;
+  scheduled_ms : float;
+}
+
+(** [compile ?db ?threads ~sizes source] — parse a DSL kernel, lift it
+    through the low-level IR, normalize, schedule with daisy, and simulate
+    both versions on the default machine. *)
+let compile ?db ?threads ~sizes (source : string) : compiled =
+  let func = Lir.From_ast.func_of_string source in
+  let original = Lift.Lift.lift func in
+  let ctx = Scheduler.Common.make_ctx ?threads ~sizes () in
+  let db = match db with Some db -> db | None -> Scheduler.Database.create () in
+  let normalized = Normalize.Pipeline.normalize ~sizes original in
+  let report = Scheduler.Daisy.schedule ctx ~db original in
+  {
+    original;
+    normalized;
+    scheduled = report.Scheduler.Daisy.program;
+    report;
+    original_ms = Scheduler.Common.runtime_ms ctx original;
+    scheduled_ms = Scheduler.Common.runtime_ms ctx report.Scheduler.Daisy.program;
+  }

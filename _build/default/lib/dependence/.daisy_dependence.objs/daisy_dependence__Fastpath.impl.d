@@ -1,0 +1,1 @@
+lib/dependence/fastpath.ml: Daisy_poly Daisy_support List String Util

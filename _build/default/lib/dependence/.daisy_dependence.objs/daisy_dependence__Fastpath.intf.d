@@ -1,0 +1,1 @@
+lib/dependence/fastpath.mli: Daisy_poly Daisy_support

@@ -1,0 +1,1 @@
+lib/dependence/graph.ml: Array Daisy_loopir Daisy_support Hashtbl List Set Test Util

@@ -1,0 +1,1 @@
+lib/dependence/graph.mli: Daisy_loopir Daisy_support

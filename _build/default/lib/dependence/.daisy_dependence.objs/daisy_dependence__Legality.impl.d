@@ -1,0 +1,1 @@
+lib/dependence/legality.ml: Array Daisy_loopir Daisy_support List String Test Util

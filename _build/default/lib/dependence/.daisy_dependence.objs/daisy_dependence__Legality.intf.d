@@ -1,0 +1,1 @@
+lib/dependence/legality.mli: Daisy_loopir Daisy_support Test

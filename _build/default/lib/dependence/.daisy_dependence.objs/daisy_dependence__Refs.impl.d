@@ -1,0 +1,1 @@
+lib/dependence/refs.ml: Daisy_loopir Daisy_poly Fmt List String

@@ -1,0 +1,1 @@
+lib/dependence/refs.mli: Daisy_loopir Daisy_poly Fmt

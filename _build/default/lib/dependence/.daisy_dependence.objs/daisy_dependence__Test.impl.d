@@ -1,0 +1,1 @@
+lib/dependence/test.ml: Daisy_loopir Daisy_poly Daisy_support Fastpath Fmt List Refs Util

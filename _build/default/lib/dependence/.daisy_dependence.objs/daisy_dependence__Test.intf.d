@@ -1,0 +1,1 @@
+lib/dependence/test.mli: Daisy_loopir Daisy_support Fmt Refs

@@ -1,0 +1,100 @@
+(** Classic dependence fast paths: ZIV, strong SIV and the GCD test.
+
+    These run before the Fourier–Motzkin machinery as quick filters — the
+    standard staged organization (Goff–Kennedy–Tseng). Each test answers on
+    a {e single subscript pair} under the convention that iterators of the
+    two instances are distinct variables related by the probe:
+
+    - {b ZIV} (zero index variable): both subscripts constant — they either
+      always or never alias.
+    - {b Strong SIV}: both subscripts are [a*i + c] with the same
+      coefficient on the same single iterator — alias iff the distance
+      [(c2 - c1) / a] is integral (and within the loop extent, checked by
+      the caller's domain constraints).
+    - {b GCD}: a linear Diophantine equation [sum a_i x_i = c] has a
+      solution iff [gcd(a_i) | c].
+
+    Results are three-valued: [`Independent] is definitive, [`Dependent]
+    means "aliases for some iteration pair" (direction still needs FM),
+    [`Unknown] defers to the exact test. *)
+
+open Daisy_support
+module Expr = Daisy_poly.Expr
+module Affine = Daisy_poly.Affine
+
+type verdict = [ `Independent | `Dependent | `Unknown ]
+
+(** [ziv a1 a2] — both affine subscripts constant? *)
+let ziv (a1 : Affine.t) (a2 : Affine.t) : verdict =
+  match (Affine.to_const a1, Affine.to_const a2) with
+  | Some c1, Some c2 -> if c1 = c2 then `Dependent else `Independent
+  | _ -> `Unknown
+
+(** [strong_siv ~extent a1 a2] — subscripts [a*i + c1] and [a*i' + c2] on
+    one shared iterator name with equal coefficients. The dependence
+    distance is [(c1 - c2) / a]; no alias when it is non-integral or
+    provably outside the iteration extent (when the extent is known). *)
+let strong_siv ?(extent : int option) (a1 : Affine.t) (a2 : Affine.t) : verdict
+    =
+  let vars1 = Affine.vars a1 and vars2 = Affine.vars a2 in
+  match (Util.SSet.elements vars1, Util.SSet.elements vars2) with
+  | [ v1 ], [ v2 ] when String.equal v1 v2 ->
+      let a = Affine.coeff v1 a1 in
+      if a <> Affine.coeff v2 a2 || a = 0 then `Unknown
+      else
+        let diff = a1.Affine.const - a2.Affine.const in
+        if diff mod a <> 0 then `Independent
+        else
+          let distance = abs (diff / a) in
+          (match extent with
+          | Some e when distance >= e -> `Independent
+          | _ -> `Dependent)
+  | _ -> `Unknown
+
+(** [gcd_test a1 a2] — the equation [a1(i...) = a2(i'...)] with all
+    iterator occurrences as free integer unknowns: solvable iff
+    [gcd(coefficients) | constant difference]. Shared symbolic parameters
+    cancel only when their coefficients match; otherwise they stay as
+    unknowns (conservative). *)
+let gcd_test (a1 : Affine.t) (a2 : Affine.t) : verdict =
+  let d = Affine.sub a1 a2 in
+  match Affine.to_const d with
+  | Some 0 -> `Dependent
+  | Some _ -> `Independent
+  | None ->
+      let g = Affine.coeff_gcd d in
+      if g > 1 && d.Affine.const mod g <> 0 then `Independent else `Unknown
+
+(** Combined fast path for one subscript pair. [extent] bounds the shared
+    iterator's trip count when known. The two affine forms use the {e
+    same} iterator names for corresponding loops (pre-renaming). *)
+let subscript_pair ?extent (a1 : Affine.t) (a2 : Affine.t) : verdict =
+  match ziv a1 a2 with
+  | (`Independent | `Dependent) as v -> v
+  | `Unknown -> (
+      match strong_siv ?extent a1 a2 with
+      | (`Independent | `Dependent) as v -> v
+      | `Unknown -> gcd_test a1 a2)
+
+(** [independent_accesses ?extents idx1 idx2] — [true] when some dimension
+    of the two subscript vectors can never alias (so the whole access pair
+    is independent). [extents] maps iterator names to trip counts. *)
+let independent_accesses ?(extents = Util.SMap.empty) (idx1 : Expr.t list)
+    (idx2 : Expr.t list) : bool =
+  List.length idx1 = List.length idx2
+  && List.exists2
+       (fun e1 e2 ->
+         match (Affine.of_expr e1, Affine.of_expr e2) with
+         | Some a1, Some a2 ->
+             let extent =
+               match
+                 ( Util.SSet.elements (Affine.vars a1),
+                   Util.SSet.elements (Affine.vars a2) )
+               with
+               | [ v1 ], [ v2 ] when String.equal v1 v2 ->
+                   Util.SMap.find_opt v1 extents
+               | _ -> None
+             in
+             subscript_pair ?extent a1 a2 = `Independent
+         | _ -> false)
+       idx1 idx2

@@ -1,0 +1,27 @@
+(** Classic dependence fast paths (ZIV / strong SIV / GCD), run as quick
+    filters before the exact Fourier–Motzkin machinery — the standard
+    staged organization (Goff–Kennedy–Tseng). *)
+
+type verdict = [ `Independent | `Dependent | `Unknown ]
+
+val ziv : Daisy_poly.Affine.t -> Daisy_poly.Affine.t -> verdict
+(** Both subscripts constant. *)
+
+val strong_siv :
+  ?extent:int -> Daisy_poly.Affine.t -> Daisy_poly.Affine.t -> verdict
+(** Subscripts [a*i + c] with equal coefficients on one shared iterator;
+    independent when the distance is non-integral or beyond [extent]. *)
+
+val gcd_test : Daisy_poly.Affine.t -> Daisy_poly.Affine.t -> verdict
+(** Linear Diophantine solvability: [gcd(coefficients) | constant]. *)
+
+val subscript_pair :
+  ?extent:int -> Daisy_poly.Affine.t -> Daisy_poly.Affine.t -> verdict
+(** Combined fast path for one subscript pair. *)
+
+val independent_accesses :
+  ?extents:int Daisy_support.Util.SMap.t ->
+  Daisy_poly.Expr.t list ->
+  Daisy_poly.Expr.t list ->
+  bool
+(** Some dimension of the two subscript vectors can never alias. *)

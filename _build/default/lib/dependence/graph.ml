@@ -1,0 +1,168 @@
+(** Statement-level dependence graph of a loop body, and its SCC
+    condensation — the engine behind maximal loop fission (Kennedy-style
+    loop distribution).
+
+    Units are the top-level nodes of the body (computations and whole
+    sub-loops). An edge [u -> v] means some instance of a computation in [u]
+    must execute before some instance of a computation in [v]; distribution
+    must keep [u]'s loop before [v]'s. Units in a dependence cycle are
+    atomic: they stay in one loop. *)
+
+open Daisy_support
+module Ir = Daisy_loopir.Ir
+
+type t = {
+  units : Ir.node array;
+  edges : Util.ISet.t array;  (** adjacency: edges.(i) = successors of i *)
+}
+
+(** Comps of a unit paired with the loops {e inside} the unit enclosing
+    them. *)
+let unit_comps (n : Ir.node) : (Ir.loop list * Ir.comp) list =
+  Ir.comps_with_context [ n ]
+
+(** [build ~outer ~loop] — dependence graph of the units of [loop]'s body,
+    where [outer] are the loops enclosing [loop] (outermost first).
+
+    Only dependences {e not} carried by an outer loop constrain
+    distribution: if the source and destination instances live in different
+    outer iterations, distributing [loop] cannot reorder them. Vectors whose
+    outer components are not all [Eq] are therefore ignored. *)
+let build ~(outer : Ir.loop list) ~(loop : Ir.loop) : t =
+  let body = loop.Ir.body in
+  let units = Array.of_list body in
+  let k = Array.length units in
+  let edges = Array.make k Util.ISet.empty in
+  let add_edge i j = if i <> j then edges.(i) <- Util.ISet.add j edges.(i) in
+  let comps = Array.map unit_comps units in
+  let common = outer @ [ loop ] in
+  let n_outer = List.length outer in
+  for i = 0 to k - 1 do
+    for j = i to k - 1 do
+      List.iter
+        (fun (ictx, ci) ->
+          List.iter
+            (fun (jctx, cj) ->
+              if i = j && ci.Ir.cid = cj.Ir.cid then ()
+              else begin
+                let src_ctx = common @ ictx and dst_ctx = common @ jctx in
+                let vectors =
+                  Test.comp_directions ~common (src_ctx, ci) (dst_ctx, cj)
+                in
+                List.iter
+                  (fun v ->
+                    if
+                      List.for_all
+                        (fun d -> d = Test.Eq)
+                        (Util.take n_outer v)
+                    then
+                      match List.nth v n_outer with
+                      | Test.Lt -> add_edge i j
+                      | Test.Gt -> add_edge j i
+                      | Test.Eq ->
+                          (* same iteration of [loop]: textual order *)
+                          if i < j then add_edge i j
+                          else if j < i then add_edge j i)
+                  vectors
+              end)
+            comps.(j))
+        comps.(i)
+    done
+  done;
+  { units; edges }
+
+(* ------------------------------------------------------------------ *)
+(* Tarjan SCC                                                           *)
+
+(** [sccs g] — strongly connected components in a topological order of the
+    condensation (every edge goes from an earlier to a later component). *)
+let sccs (g : t) : int list list =
+  let n = Array.length g.units in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let components = ref [] in
+  let rec strongconnect v =
+    index.(v) <- !counter;
+    lowlink.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    Util.ISet.iter
+      (fun w ->
+        if index.(w) = -1 then begin
+          strongconnect w;
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      g.edges.(v);
+    if lowlink.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            if w = v then w :: acc else pop (w :: acc)
+      in
+      components := pop [] :: !components
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then strongconnect v
+  done;
+  (* Tarjan emits components in reverse topological order *)
+  !components
+
+(** [distribution_groups ~outer ~loop] — the maximal fission of [loop]'s
+    body: a list of unit-index groups, each group an atomic cluster, in a
+    legal execution order. Groups preserve original textual order where the
+    dependence graph allows (stable topological order by smallest original
+    index). *)
+let distribution_groups ~outer ~loop : int list list =
+  let g = build ~outer ~loop in
+  let comps = sccs g in
+  (* stable order: sort components topologically, tie-broken by smallest
+     original index to keep output deterministic and close to source order *)
+  let comp_of = Hashtbl.create 16 in
+  List.iteri (fun ci members -> List.iter (fun u -> Hashtbl.replace comp_of u ci) members) comps;
+  let ncomp = List.length comps in
+  let members = Array.make ncomp [] in
+  List.iteri (fun ci ms -> members.(ci) <- List.sort compare ms) comps;
+  let succs = Array.make ncomp Util.ISet.empty in
+  let preds = Array.make ncomp 0 in
+  Array.iteri
+    (fun u es ->
+      let cu = Hashtbl.find comp_of u in
+      Util.ISet.iter
+        (fun v ->
+          let cv = Hashtbl.find comp_of v in
+          if cu <> cv && not (Util.ISet.mem cv succs.(cu)) then begin
+            succs.(cu) <- Util.ISet.add cv succs.(cu);
+            preds.(cv) <- preds.(cv) + 1
+          end)
+        es)
+    g.edges;
+  (* Kahn's algorithm with a min-heap keyed by smallest member *)
+  let module Pq = Set.Make (struct
+    type t = int * int (* smallest member, component id *)
+    let compare = compare
+  end) in
+  let ready = ref Pq.empty in
+  for ci = 0 to ncomp - 1 do
+    if preds.(ci) = 0 then ready := Pq.add (List.hd members.(ci), ci) !ready
+  done;
+  let order = ref [] in
+  while not (Pq.is_empty !ready) do
+    let ((_, ci) as elt) = Pq.min_elt !ready in
+    ready := Pq.remove elt !ready;
+    order := ci :: !order;
+    Util.ISet.iter
+      (fun cj ->
+        preds.(cj) <- preds.(cj) - 1;
+        if preds.(cj) = 0 then ready := Pq.add (List.hd members.(cj), cj) !ready)
+      succs.(ci)
+  done;
+  List.rev_map (fun ci -> members.(ci)) !order

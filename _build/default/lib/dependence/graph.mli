@@ -1,0 +1,21 @@
+(** Statement-level dependence graph of a loop body and its SCC
+    condensation — the engine behind maximal loop fission (Kennedy-style
+    loop distribution). *)
+
+type t = {
+  units : Daisy_loopir.Ir.node array;  (** the top-level nodes of the body *)
+  edges : Daisy_support.Util.ISet.t array;  (** adjacency: successors *)
+}
+
+val build : outer:Daisy_loopir.Ir.loop list -> loop:Daisy_loopir.Ir.loop -> t
+(** Dependence graph of the units of [loop]'s body; dependences carried by
+    an [outer] loop are ignored (distribution cannot reorder them). *)
+
+val sccs : t -> int list list
+(** Strongly connected components in topological order of the
+    condensation. *)
+
+val distribution_groups :
+  outer:Daisy_loopir.Ir.loop list -> loop:Daisy_loopir.Ir.loop -> int list list
+(** The maximal fission of the loop's body: atomic unit-index groups in a
+    legal execution order (stable w.r.t. source order). *)

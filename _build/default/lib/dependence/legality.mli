@@ -1,0 +1,45 @@
+(** Legality predicates built on the dependence tests: loop permutation,
+    parallelization, vectorization and reduction recognition. All
+    predicates are conservative: "false" may be a false negative, never
+    the other way around. *)
+
+val perfect_band :
+  Daisy_loopir.Ir.loop -> Daisy_loopir.Ir.loop list * Daisy_loopir.Ir.node list
+(** The maximal perfectly-nested chain of loops starting at the nest, and
+    the body of the innermost band loop. *)
+
+val band_dep_vectors :
+  outer:Daisy_loopir.Ir.loop list ->
+  Daisy_loopir.Ir.loop list ->
+  Daisy_loopir.Ir.node list ->
+  Test.direction list list
+(** All execution-order-valid dependence vectors over the band's loops
+    (lexicographically non-negative; all-[Eq] = loop-independent). *)
+
+val legal_permutation : Test.direction list list -> int array -> bool
+(** Is the permutation (new position -> old position) legal, i.e. every
+    permuted vector stays lexicographically non-negative? *)
+
+val parallel_positions : Test.direction list list -> int -> bool array
+(** Band positions whose loop carries no dependence. *)
+
+val loop_carries_dependence :
+  ?ignore_containers:Daisy_support.Util.SSet.t ->
+  outer:Daisy_loopir.Ir.loop list ->
+  Daisy_loopir.Ir.loop ->
+  bool
+
+val reduction_op : Daisy_loopir.Ir.comp -> Daisy_loopir.Ir.vbinop option
+(** [Some op] when the computation updates its destination with an
+    associative-commutative operator. *)
+
+val is_reduction_comp : Daisy_loopir.Ir.comp -> bool
+
+val carried_only_by_reductions :
+  ?ignore_containers:Daisy_support.Util.SSet.t ->
+  outer:Daisy_loopir.Ir.loop list ->
+  Daisy_loopir.Ir.loop ->
+  bool
+(** The loop carries dependences, but all are reduction self-updates — so
+    it can run in parallel with atomic updates (the expensive fallback the
+    paper observes on correlation/covariance). *)

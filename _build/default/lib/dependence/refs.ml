@@ -1,0 +1,44 @@
+(** Memory references of computations.
+
+    Scalars are treated as rank-0 containers (empty subscript list), which
+    makes every pair of instances conflict — the conservative behaviour that
+    scalar expansion (normalize) later removes. *)
+
+module Ir = Daisy_loopir.Ir
+module Expr = Daisy_poly.Expr
+
+type kind = Read | Write
+
+type t = { kind : kind; container : string; indices : Expr.t list }
+
+(** All references of a computation: the single write plus all reads
+    (rhs and guard; array subscripts are integer expressions, not reads). *)
+let of_comp (c : Ir.comp) : t list =
+  let write =
+    match c.Ir.dest with
+    | Ir.Darray { array; indices } -> { kind = Write; container = array; indices }
+    | Ir.Dscalar s -> { kind = Write; container = s; indices = [] }
+  in
+  let array_reads =
+    List.map
+      (fun ({ Ir.array; indices } : Ir.access) ->
+        { kind = Read; container = array; indices })
+      (Ir.comp_array_reads c)
+  in
+  let scalar_reads =
+    List.map
+      (fun s -> { kind = Read; container = s; indices = [] })
+      (Ir.comp_scalar_reads c)
+  in
+  (write :: array_reads) @ scalar_reads
+
+(** [conflict a b] — same container, at least one write. *)
+let conflict a b =
+  String.equal a.container b.container && (a.kind = Write || b.kind = Write)
+
+let pp ppf r =
+  Fmt.pf ppf "%s %s%a"
+    (match r.kind with Read -> "read" | Write -> "write")
+    r.container
+    (Fmt.list ~sep:Fmt.nop (fun ppf i -> Fmt.pf ppf "[%a]" Expr.pp i))
+    r.indices

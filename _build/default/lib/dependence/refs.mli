@@ -1,0 +1,15 @@
+(** Memory references of computations. Scalars are rank-0 containers
+    (empty subscript list), so every pair of their instances conflicts —
+    the conservative behaviour scalar expansion later removes. *)
+
+type kind = Read | Write
+
+type t = { kind : kind; container : string; indices : Daisy_poly.Expr.t list }
+
+val of_comp : Daisy_loopir.Ir.comp -> t list
+(** The single write plus all reads (rhs and guard). *)
+
+val conflict : t -> t -> bool
+(** Same container and at least one write. *)
+
+val pp : t Fmt.t

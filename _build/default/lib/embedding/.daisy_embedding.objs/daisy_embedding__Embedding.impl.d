@@ -1,0 +1,1 @@
+lib/embedding/embedding.ml: Array Daisy_dependence Daisy_loopir Daisy_poly Daisy_support Fmt List Util

@@ -1,0 +1,1 @@
+lib/embedding/embedding.mli: Daisy_loopir Fmt

@@ -1,0 +1,141 @@
+(** Performance embeddings: fixed-length feature vectors of loop nests.
+
+    The daisy scheduler's transfer tuning matches normalized loop nests to
+    database entries by Euclidean distance between these vectors (paper §4,
+    after Trümper et al., "Performance Embeddings", ICS'23). The features
+    are static, structure- and access-pattern-centric, and deliberately
+    invariant under iterator renaming — after normalization, semantically
+    equivalent nests land (near-)identically in embedding space. *)
+
+open Daisy_support
+module Ir = Daisy_loopir.Ir
+module Affine = Daisy_poly.Affine
+module Expr = Daisy_poly.Expr
+
+let dim = 16
+
+type t = float array (* length = dim *)
+
+(* feature indices *)
+let f_depth = 0
+let f_n_comps = 1
+let f_n_loops = 2
+let f_flops = 3
+let f_reads = 4
+let f_writes = 5
+let f_unit_stride = 6
+let f_const_stride = 7
+let f_big_stride = 8
+let f_invariant = 9
+let f_reduction = 10
+let f_guarded = 11
+let f_intrinsics = 12
+let f_arrays = 13
+let f_rank = 14
+let f_triangular = 15
+
+(** Per-access classification of the innermost-iterator stride. *)
+let classify_stride (band_iters : string list) (a : Ir.access) :
+    [ `Unit | `Const | `Big | `Invariant | `Unknown ] =
+  match List.rev band_iters with
+  | [] -> `Invariant
+  | innermost :: _ -> (
+      let affine_all =
+        List.map Affine.of_expr a.Ir.indices
+      in
+      if List.exists (fun o -> o = None) affine_all then `Unknown
+      else
+        let coeffs =
+          List.mapi
+            (fun i o ->
+              match o with
+              | Some aff -> (i, Affine.coeff innermost aff)
+              | None -> (i, 0))
+            affine_all
+        in
+        let rank = List.length a.Ir.indices in
+        let weighted =
+          List.fold_left (fun acc (i, c) -> if c <> 0 then max acc (rank - i) else acc) 0 coeffs
+        in
+        if weighted = 0 then `Invariant
+        else if weighted = 1 then
+          (* innermost iterator appears only in the last dimension *)
+          let _, c = List.nth coeffs (rank - 1) in
+          if abs c = 1 then `Unit else `Const
+        else `Big)
+
+(** Embed a loop nest (or any node). *)
+let of_node (n : Ir.node) : t =
+  let v = Array.make dim 0.0 in
+  let comps = Ir.comps_with_context [ n ] in
+  let loops = Ir.loops_in [ n ] in
+  v.(f_depth) <- float_of_int (Ir.depth [ n ]);
+  v.(f_n_comps) <- float_of_int (List.length comps);
+  v.(f_n_loops) <- float_of_int (List.length loops);
+  let arrays = ref Util.SSet.empty in
+  let max_rank = ref 0 in
+  List.iter
+    (fun (ctx, (c : Ir.comp)) ->
+      let band_iters = List.map (fun (l : Ir.loop) -> l.Ir.iter) ctx in
+      v.(f_flops) <- v.(f_flops) +. float_of_int (Ir.flops_of_vexpr c.Ir.rhs);
+      let reads = Ir.comp_array_reads c in
+      let writes = Ir.comp_array_writes c in
+      v.(f_reads) <- v.(f_reads) +. float_of_int (List.length reads);
+      v.(f_writes) <- v.(f_writes) +. float_of_int (List.length writes);
+      List.iter
+        (fun (a : Ir.access) ->
+          arrays := Util.SSet.add a.Ir.array !arrays;
+          max_rank := max !max_rank (List.length a.Ir.indices);
+          match classify_stride band_iters a with
+          | `Unit -> v.(f_unit_stride) <- v.(f_unit_stride) +. 1.0
+          | `Const -> v.(f_const_stride) <- v.(f_const_stride) +. 1.0
+          | `Big | `Unknown -> v.(f_big_stride) <- v.(f_big_stride) +. 1.0
+          | `Invariant -> v.(f_invariant) <- v.(f_invariant) +. 1.0)
+        (reads @ writes);
+      if Daisy_dependence.Legality.is_reduction_comp c then
+        v.(f_reduction) <- v.(f_reduction) +. 1.0;
+      if c.Ir.guard <> None then v.(f_guarded) <- v.(f_guarded) +. 1.0;
+      let rec intrinsics e =
+        match e with
+        | Ir.Vcall (_, args) -> 1 + Util.sum_by intrinsics args
+        | Ir.Vbin (_, a, b) -> intrinsics a + intrinsics b
+        | Ir.Vneg a -> intrinsics a
+        | Ir.Vselect (_, a, b) -> intrinsics a + intrinsics b
+        | _ -> 0
+      in
+      v.(f_intrinsics) <- v.(f_intrinsics) +. float_of_int (intrinsics c.Ir.rhs))
+    comps;
+  v.(f_arrays) <- float_of_int (Util.SSet.cardinal !arrays);
+  v.(f_rank) <- float_of_int !max_rank;
+  (* triangular: some loop bound references another iterator *)
+  let iter_names = Util.SSet.of_list (List.map (fun (l : Ir.loop) -> l.Ir.iter) loops) in
+  v.(f_triangular) <-
+    (if
+       List.exists
+         (fun (l : Ir.loop) ->
+           not
+             (Util.SSet.is_empty
+                (Util.SSet.inter iter_names
+                   (Util.SSet.union (Expr.free_vars l.Ir.lo) (Expr.free_vars l.Ir.hi)))))
+         loops
+     then 1.0
+     else 0.0);
+  (* log-compress count features so big nests don't dominate distance *)
+  Array.map (fun x -> if x > 1.0 then 1.0 +. log x else x) v
+
+let distance (a : t) (b : t) : float =
+  let acc = ref 0.0 in
+  Array.iteri (fun i x -> acc := !acc +. ((x -. b.(i)) ** 2.0)) a;
+  sqrt !acc
+
+(** [nearest k db q] — the [k] database entries closest to query [q]. *)
+let nearest (k : int) (db : (t * 'a) list) (q : t) : (float * 'a) list =
+  db
+  |> List.map (fun (e, payload) -> (distance e q, payload))
+  |> List.sort (fun (d1, _) (d2, _) -> compare d1 d2)
+  |> Util.take k
+
+let pp ppf (t : t) =
+  Fmt.pf ppf "[%a]"
+    (Fmt.list ~sep:(Fmt.any " ") (fun ppf x -> Fmt.pf ppf "%.2f" x))
+    (Array.to_list t)

@@ -1,0 +1,19 @@
+(** Performance embeddings: fixed-length, iterator-rename-invariant feature
+    vectors of loop nests. The transfer-tuning database matches nests by
+    Euclidean distance between these vectors (paper §4, after Trümper et
+    al., ICS'23). *)
+
+type t = float array
+
+val dim : int
+(** Length of every embedding vector. *)
+
+val of_node : Daisy_loopir.Ir.node -> t
+
+val distance : t -> t -> float
+(** Euclidean distance. *)
+
+val nearest : int -> (t * 'a) list -> t -> (float * 'a) list
+(** [nearest k db q] — the [k] entries closest to [q], nearest first. *)
+
+val pp : t Fmt.t

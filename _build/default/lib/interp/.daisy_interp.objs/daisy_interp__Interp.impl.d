@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Array Char Daisy_blas Daisy_loopir Daisy_poly Daisy_support Float Fmt Hashtbl List String Util

@@ -1,0 +1,1 @@
+lib/interp/interp.mli: Daisy_loopir Daisy_support Hashtbl

@@ -1,0 +1,1 @@
+lib/lang/ast.ml: Daisy_support Float Fmt Loc String

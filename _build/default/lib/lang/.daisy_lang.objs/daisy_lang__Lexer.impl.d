@@ -1,0 +1,1 @@
+lib/lang/lexer.ml: Buffer Daisy_support Diag Fmt List Loc String

@@ -1,0 +1,1 @@
+lib/lang/lower.ml: Ast Daisy_loopir Daisy_poly Daisy_support Diag List Parser Sema Util

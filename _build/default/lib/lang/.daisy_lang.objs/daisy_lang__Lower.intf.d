@@ -1,0 +1,1 @@
+lib/lang/lower.mli: Ast Daisy_loopir Daisy_poly Sema

@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Ast Daisy_support Diag Lexer List Loc String

@@ -1,0 +1,1 @@
+lib/lang/sema.ml: Ast Daisy_support Diag List Option Util

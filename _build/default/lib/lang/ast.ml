@@ -1,0 +1,181 @@
+(** Abstract syntax of the kernel DSL.
+
+    The DSL is a small C subset sufficient to express PolyBench kernels and
+    CLOUDSC-style physics loops: [void] kernels taking integer size
+    parameters, scalar parameters and (variable-length) multi-dimensional
+    arrays; bodies of counted [for] loops, guarded assignments and local
+    declarations. *)
+
+open Daisy_support
+
+type ty = Tint | Tdouble
+
+type unop = Uneg | Unot
+
+type binop =
+  | Badd | Bsub | Bmul | Bdiv | Bmod
+  | Blt | Ble | Bgt | Bge | Beq | Bne
+  | Band | Bor
+
+(** Expressions; [Eindex] covers both scalar variables (empty index list via
+    [Evar]) and array elements. *)
+type expr = { desc : expr_desc; eloc : Loc.t }
+
+and expr_desc =
+  | Eint of int
+  | Efloat of float
+  | Evar of string
+  | Eindex of string * expr list  (** [a[i][j]] *)
+  | Eunop of unop * expr
+  | Ebinop of binop * expr * expr
+  | Ecall of string * expr list  (** intrinsics: sqrt, exp, fabs, pow, min, max *)
+  | Eternary of expr * expr * expr  (** [c ? a : b] *)
+
+type assign_op = Aset | Aadd | Asub | Amul | Adiv
+
+(** Loop direction/step: [for (int i = lo; i < hi; i += step)] or the
+    decreasing form. *)
+type for_header = {
+  index : string;
+  lo : expr;  (** initial value *)
+  cmp : binop;  (** Blt, Ble, Bgt or Bge *)
+  bound : expr;
+  step : int;  (** signed step; [i++] is 1, [i--] is -1 *)
+}
+
+type stmt = { sdesc : stmt_desc; sloc : Loc.t }
+
+and stmt_desc =
+  | Sassign of lvalue * assign_op * expr
+  | Sdecl_scalar of ty * string * expr option
+  | Sdecl_array of ty * string * expr list  (** local array with dim exprs *)
+  | Sfor of for_header * stmt list
+  | Sif of expr * stmt list * stmt list
+  | Sblock of stmt list
+
+and lvalue = { base : string; indices : expr list; lloc : Loc.t }
+
+type param =
+  | Pscalar of ty * string
+  | Parray of ty * string * expr list  (** dims may reference earlier int params *)
+
+type kernel = {
+  name : string;
+  params : param list;
+  body : stmt list;
+  kloc : Loc.t;
+}
+
+type program = kernel list
+
+(* -------------------------------------------------------------------- *)
+(* Constructors                                                          *)
+
+let mk_expr ?(loc = Loc.dummy) desc = { desc; eloc = loc }
+let mk_stmt ?(loc = Loc.dummy) sdesc = { sdesc; sloc = loc }
+
+(* -------------------------------------------------------------------- *)
+(* Pretty-printing back to DSL surface syntax                            *)
+
+let string_of_binop = function
+  | Badd -> "+" | Bsub -> "-" | Bmul -> "*" | Bdiv -> "/" | Bmod -> "%"
+  | Blt -> "<" | Ble -> "<=" | Bgt -> ">" | Bge -> ">="
+  | Beq -> "==" | Bne -> "!=" | Band -> "&&" | Bor -> "||"
+
+let prec_of_binop = function
+  | Bor -> 1
+  | Band -> 2
+  | Beq | Bne -> 3
+  | Blt | Ble | Bgt | Bge -> 4
+  | Badd | Bsub -> 5
+  | Bmul | Bdiv | Bmod -> 6
+
+let rec pp_expr_prec prec ppf e =
+  match e.desc with
+  | Eint n -> Fmt.int ppf n
+  | Efloat f ->
+      if Float.is_integer f && Float.abs f < 1e15 then Fmt.pf ppf "%.1f" f
+      else Fmt.pf ppf "%.17g" f
+  | Evar v -> Fmt.string ppf v
+  | Eindex (a, idx) ->
+      Fmt.pf ppf "%s%a" a
+        (Fmt.list ~sep:Fmt.nop (fun ppf i -> Fmt.pf ppf "[%a]" (pp_expr_prec 0) i))
+        idx
+  | Eunop (Uneg, a) -> Fmt.pf ppf "-%a" (pp_expr_prec 7) a
+  | Eunop (Unot, a) -> Fmt.pf ppf "!%a" (pp_expr_prec 7) a
+  | Ebinop (op, a, b) ->
+      let p = prec_of_binop op in
+      let body ppf =
+        Fmt.pf ppf "%a %s %a" (pp_expr_prec p) a (string_of_binop op)
+          (pp_expr_prec (p + 1)) b
+      in
+      if prec > p then Fmt.pf ppf "(%t)" body else body ppf
+  | Ecall (f, args) ->
+      Fmt.pf ppf "%s(%a)" f (Fmt.list ~sep:(Fmt.any ", ") (pp_expr_prec 0)) args
+  | Eternary (c, a, b) ->
+      let body ppf =
+        Fmt.pf ppf "%a ? %a : %a" (pp_expr_prec 1) c (pp_expr_prec 1) a
+          (pp_expr_prec 0) b
+      in
+      if prec > 0 then Fmt.pf ppf "(%t)" body else body ppf
+
+let pp_expr = pp_expr_prec 0
+
+let string_of_ty = function Tint -> "int" | Tdouble -> "double"
+
+let pp_lvalue ppf { base; indices; _ } =
+  Fmt.pf ppf "%s%a" base
+    (Fmt.list ~sep:Fmt.nop (fun ppf i -> Fmt.pf ppf "[%a]" pp_expr i))
+    indices
+
+let string_of_assign_op = function
+  | Aset -> "=" | Aadd -> "+=" | Asub -> "-=" | Amul -> "*=" | Adiv -> "/="
+
+let rec pp_stmt ind ppf s =
+  let pad = String.make (2 * ind) ' ' in
+  match s.sdesc with
+  | Sassign (lv, op, e) ->
+      Fmt.pf ppf "%s%a %s %a;" pad pp_lvalue lv (string_of_assign_op op) pp_expr e
+  | Sdecl_scalar (ty, v, None) -> Fmt.pf ppf "%s%s %s;" pad (string_of_ty ty) v
+  | Sdecl_scalar (ty, v, Some e) ->
+      Fmt.pf ppf "%s%s %s = %a;" pad (string_of_ty ty) v pp_expr e
+  | Sdecl_array (ty, v, dims) ->
+      Fmt.pf ppf "%s%s %s%a;" pad (string_of_ty ty) v
+        (Fmt.list ~sep:Fmt.nop (fun ppf d -> Fmt.pf ppf "[%a]" pp_expr d))
+        dims
+  | Sfor (h, body) ->
+      let step_str =
+        if h.step = 1 then Fmt.str "%s++" h.index
+        else if h.step = -1 then Fmt.str "%s--" h.index
+        else if h.step > 0 then Fmt.str "%s += %d" h.index h.step
+        else Fmt.str "%s -= %d" h.index (-h.step)
+      in
+      Fmt.pf ppf "%sfor (int %s = %a; %s %s %a; %s) {@\n%a@\n%s}" pad h.index
+        pp_expr h.lo h.index (string_of_binop h.cmp) pp_expr h.bound step_str
+        (pp_stmts (ind + 1)) body pad
+  | Sif (c, then_, []) ->
+      Fmt.pf ppf "%sif (%a) {@\n%a@\n%s}" pad pp_expr c (pp_stmts (ind + 1))
+        then_ pad
+  | Sif (c, then_, else_) ->
+      Fmt.pf ppf "%sif (%a) {@\n%a@\n%s} else {@\n%a@\n%s}" pad pp_expr c
+        (pp_stmts (ind + 1)) then_ pad (pp_stmts (ind + 1)) else_ pad
+  | Sblock body -> Fmt.pf ppf "%s{@\n%a@\n%s}" pad (pp_stmts (ind + 1)) body pad
+
+and pp_stmts ind ppf stmts =
+  Fmt.list ~sep:Fmt.cut (pp_stmt ind) ppf stmts
+
+let pp_param ppf = function
+  | Pscalar (ty, v) -> Fmt.pf ppf "%s %s" (string_of_ty ty) v
+  | Parray (ty, v, dims) ->
+      Fmt.pf ppf "%s %s%a" (string_of_ty ty) v
+        (Fmt.list ~sep:Fmt.nop (fun ppf d -> Fmt.pf ppf "[%a]" pp_expr d))
+        dims
+
+let pp_kernel ppf k =
+  Fmt.pf ppf "@[<v>void %s(%a)@,{@,%a@,}@]" k.name
+    (Fmt.list ~sep:(Fmt.any ", ") pp_param)
+    k.params (pp_stmts 1) k.body
+
+let pp_program ppf p = Fmt.list ~sep:(Fmt.any "@,@,") pp_kernel ppf p
+
+let kernel_to_string k = Fmt.str "%a" pp_kernel k

@@ -1,0 +1,183 @@
+(** Hand-written lexer for the kernel DSL.
+
+    Tokenizes a whole source string eagerly; positions are tracked per
+    character so diagnostics point at exact spans. Comments are C-style
+    ([//] line and [/* */] block). *)
+
+open Daisy_support
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  | KW_VOID | KW_INT | KW_DOUBLE | KW_FLOAT | KW_FOR | KW_IF | KW_ELSE
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA | QUESTION | COLON
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | ASSIGN | PLUSEQ | MINUSEQ | STAREQ | SLASHEQ
+  | PLUSPLUS | MINUSMINUS
+  | LT | LE | GT | GE | EQ | NE | ANDAND | OROR | BANG
+  | EOF
+
+let token_name = function
+  | INT _ -> "integer" | FLOAT _ -> "float" | IDENT _ -> "identifier"
+  | KW_VOID -> "'void'" | KW_INT -> "'int'" | KW_DOUBLE -> "'double'"
+  | KW_FLOAT -> "'float'" | KW_FOR -> "'for'" | KW_IF -> "'if'"
+  | KW_ELSE -> "'else'"
+  | LPAREN -> "'('" | RPAREN -> "')'" | LBRACE -> "'{'" | RBRACE -> "'}'"
+  | LBRACKET -> "'['" | RBRACKET -> "']'" | SEMI -> "';'" | COMMA -> "','"
+  | QUESTION -> "'?'" | COLON -> "':'"
+  | PLUS -> "'+'" | MINUS -> "'-'" | STAR -> "'*'" | SLASH -> "'/'"
+  | PERCENT -> "'%'"
+  | ASSIGN -> "'='" | PLUSEQ -> "'+='" | MINUSEQ -> "'-='"
+  | STAREQ -> "'*='" | SLASHEQ -> "'/='"
+  | PLUSPLUS -> "'++'" | MINUSMINUS -> "'--'"
+  | LT -> "'<'" | LE -> "'<='" | GT -> "'>'" | GE -> "'>='"
+  | EQ -> "'=='" | NE -> "'!='" | ANDAND -> "'&&'" | OROR -> "'||'"
+  | BANG -> "'!'" | EOF -> "end of input"
+
+type spanned = { tok : token; loc : Loc.t }
+
+let keywords =
+  [ ("void", KW_VOID); ("int", KW_INT); ("double", KW_DOUBLE);
+    ("float", KW_FLOAT); ("for", KW_FOR); ("if", KW_IF); ("else", KW_ELSE) ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+(** [tokenize ~source text] lexes [text] into a token list ending with [EOF].
+    Raises {!Diag.Error} on malformed input. *)
+let tokenize ~source text =
+  let n = String.length text in
+  let pos = ref Loc.start_pos in
+  let peek k = if !pos.Loc.offset + k < n then Some text.[!pos.Loc.offset + k] else None in
+  let cur () = peek 0 in
+  let bump () =
+    match cur () with
+    | Some c -> pos := Loc.advance !pos c
+    | None -> ()
+  in
+  let tokens = ref [] in
+  let emit start tok =
+    tokens := { tok; loc = Loc.make ~source ~start ~stop:!pos } :: !tokens
+  in
+  let lex_error start fmt =
+    Fmt.kstr
+      (fun m ->
+        Diag.errorf ~loc:(Loc.make ~source ~start ~stop:!pos) "%s" m)
+      fmt
+  in
+  let rec skip_ws () =
+    match cur () with
+    | Some (' ' | '\t' | '\r' | '\n') -> bump (); skip_ws ()
+    | Some '/' when peek 1 = Some '/' ->
+        let rec to_eol () =
+          match cur () with
+          | Some '\n' | None -> ()
+          | Some _ -> bump (); to_eol ()
+        in
+        to_eol (); skip_ws ()
+    | Some '/' when peek 1 = Some '*' ->
+        let start = !pos in
+        bump (); bump ();
+        let rec to_close () =
+          match (cur (), peek 1) with
+          | Some '*', Some '/' -> bump (); bump ()
+          | Some _, _ -> bump (); to_close ()
+          | None, _ -> lex_error start "unterminated block comment"
+        in
+        to_close (); skip_ws ()
+    | _ -> ()
+  in
+  let lex_number start =
+    let buf = Buffer.create 16 in
+    let rec digits () =
+      match cur () with
+      | Some c when is_digit c -> Buffer.add_char buf c; bump (); digits ()
+      | _ -> ()
+    in
+    digits ();
+    let is_float = ref false in
+    (match cur () with
+    | Some '.' when (match peek 1 with Some c -> is_digit c | None -> false) ->
+        is_float := true;
+        Buffer.add_char buf '.'; bump (); digits ()
+    | Some '.' ->
+        is_float := true;
+        Buffer.add_char buf '.'; bump ()
+    | _ -> ());
+    (match cur () with
+    | Some ('e' | 'E') ->
+        is_float := true;
+        Buffer.add_char buf 'e'; bump ();
+        (match cur () with
+        | Some (('+' | '-') as c) -> Buffer.add_char buf c; bump ()
+        | _ -> ());
+        (match cur () with
+        | Some c when is_digit c -> digits ()
+        | _ -> lex_error start "malformed float exponent")
+    | _ -> ());
+    let s = Buffer.contents buf in
+    if !is_float then emit start (FLOAT (float_of_string s))
+    else emit start (INT (int_of_string s))
+  in
+  let lex_ident start =
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match cur () with
+      | Some c when is_ident_char c -> Buffer.add_char buf c; bump (); go ()
+      | _ -> ()
+    in
+    go ();
+    let s = Buffer.contents buf in
+    match List.assoc_opt s keywords with
+    | Some kw -> emit start kw
+    | None -> emit start (IDENT s)
+  in
+  let two start a = bump (); bump (); emit start a in
+  let one start a = bump (); emit start a in
+  let rec loop () =
+    skip_ws ();
+    let start = !pos in
+    match cur () with
+    | None -> emit start EOF
+    | Some c when is_digit c -> lex_number start; loop ()
+    | Some c when is_ident_start c -> lex_ident start; loop ()
+    | Some '.' when (match peek 1 with Some c -> is_digit c | None -> false) ->
+        lex_number start; loop ()
+    | Some '+' when peek 1 = Some '+' -> two start PLUSPLUS; loop ()
+    | Some '+' when peek 1 = Some '=' -> two start PLUSEQ; loop ()
+    | Some '+' -> one start PLUS; loop ()
+    | Some '-' when peek 1 = Some '-' -> two start MINUSMINUS; loop ()
+    | Some '-' when peek 1 = Some '=' -> two start MINUSEQ; loop ()
+    | Some '-' -> one start MINUS; loop ()
+    | Some '*' when peek 1 = Some '=' -> two start STAREQ; loop ()
+    | Some '*' -> one start STAR; loop ()
+    | Some '/' when peek 1 = Some '=' -> two start SLASHEQ; loop ()
+    | Some '/' -> one start SLASH; loop ()
+    | Some '%' -> one start PERCENT; loop ()
+    | Some '<' when peek 1 = Some '=' -> two start LE; loop ()
+    | Some '<' -> one start LT; loop ()
+    | Some '>' when peek 1 = Some '=' -> two start GE; loop ()
+    | Some '>' -> one start GT; loop ()
+    | Some '=' when peek 1 = Some '=' -> two start EQ; loop ()
+    | Some '=' -> one start ASSIGN; loop ()
+    | Some '!' when peek 1 = Some '=' -> two start NE; loop ()
+    | Some '!' -> one start BANG; loop ()
+    | Some '&' when peek 1 = Some '&' -> two start ANDAND; loop ()
+    | Some '|' when peek 1 = Some '|' -> two start OROR; loop ()
+    | Some '(' -> one start LPAREN; loop ()
+    | Some ')' -> one start RPAREN; loop ()
+    | Some '{' -> one start LBRACE; loop ()
+    | Some '}' -> one start RBRACE; loop ()
+    | Some '[' -> one start LBRACKET; loop ()
+    | Some ']' -> one start RBRACKET; loop ()
+    | Some ';' -> one start SEMI; loop ()
+    | Some ',' -> one start COMMA; loop ()
+    | Some '?' -> one start QUESTION; loop ()
+    | Some ':' -> one start COLON; loop ()
+    | Some c -> lex_error start "unexpected character %C" c
+  in
+  loop ();
+  List.rev !tokens

@@ -1,0 +1,23 @@
+(** Hand-written lexer for the kernel DSL (C-style comments, exact source
+    spans on every token). *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  | KW_VOID | KW_INT | KW_DOUBLE | KW_FLOAT | KW_FOR | KW_IF | KW_ELSE
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA | QUESTION | COLON
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | ASSIGN | PLUSEQ | MINUSEQ | STAREQ | SLASHEQ
+  | PLUSPLUS | MINUSMINUS
+  | LT | LE | GT | GE | EQ | NE | ANDAND | OROR | BANG
+  | EOF
+
+val token_name : token -> string
+
+type spanned = { tok : token; loc : Daisy_support.Loc.t }
+
+val tokenize : source:string -> string -> spanned list
+(** Lex a whole source string (ends with [EOF]).
+    @raise Daisy_support.Diag.Error on malformed input. *)

@@ -1,0 +1,199 @@
+(** Direct lowering from the checked DSL AST to {!Daisy_loopir.Ir}.
+
+    This is the "semantic" lowering path used to cross-check the lifting
+    pipeline (AST [->] lir [->] lift): both must produce structurally
+    equivalent loopir programs. *)
+
+open Daisy_support
+open Ast
+module Ir = Daisy_loopir.Ir
+module Expr = Daisy_poly.Expr
+
+(** [int_expr env e] converts an integer-typed AST expression to a symbolic
+    expression; raises {!Diag.Error} on non-integer constructs. *)
+let rec int_expr (e : expr) : Expr.t =
+  match e.desc with
+  | Eint n -> Expr.const n
+  | Evar v -> Expr.var v
+  | Eunop (Uneg, a) -> Expr.neg (int_expr a)
+  | Ebinop (Badd, a, b) -> Expr.add (int_expr a) (int_expr b)
+  | Ebinop (Bsub, a, b) -> Expr.sub (int_expr a) (int_expr b)
+  | Ebinop (Bmul, a, b) -> Expr.mul (int_expr a) (int_expr b)
+  | Ebinop (Bdiv, a, b) -> Expr.div (int_expr a) (int_expr b)
+  | Ebinop (Bmod, a, b) -> Expr.md (int_expr a) (int_expr b)
+  | Ecall ("min", [ a; b ]) -> Expr.min_ (int_expr a) (int_expr b)
+  | Ecall ("max", [ a; b ]) -> Expr.max_ (int_expr a) (int_expr b)
+  | _ ->
+      Diag.errorf ~loc:e.eloc
+        "expression is not a symbolic integer expression (subscripts and bounds \
+         must be built from integer parameters, iterators, constants and + - * / %% min max)"
+
+let normalize_intrinsic = function
+  | "fmin" -> "min"
+  | "fmax" -> "max"
+  | f -> f
+
+(** Names bound to integers (size params, loop indices) get converted to
+    [Vint]; everything else is a floating scalar. *)
+type ctx = {
+  env : Sema.env;
+  int_vars : Util.SSet.t;  (** loop indices currently in scope *)
+}
+
+let is_int_name ctx v =
+  Util.SSet.mem v ctx.int_vars
+  ||
+  match Util.SMap.find_opt v ctx.env.Sema.bindings with
+  | Some Sema.Bparam_int -> true
+  | _ -> false
+
+let rec vexpr ctx (e : expr) : Ir.vexpr =
+  match e.desc with
+  | Eint n -> Ir.Vfloat (float_of_int n)
+  | Efloat f -> Ir.Vfloat f
+  | Evar v ->
+      if is_int_name ctx v then Ir.Vint (Expr.var v) else Ir.Vscalar v
+  | Eindex (a, indices) ->
+      Ir.Vread { Ir.array = a; indices = List.map int_expr indices }
+  | Eunop (Uneg, a) -> Ir.Vneg (vexpr ctx a)
+  | Eunop (Unot, _) ->
+      Diag.errorf ~loc:e.eloc "logical negation is only allowed in conditions"
+  | Ebinop (Badd, a, b) -> Ir.Vbin (Ir.Vadd, vexpr ctx a, vexpr ctx b)
+  | Ebinop (Bsub, a, b) -> Ir.Vbin (Ir.Vsub, vexpr ctx a, vexpr ctx b)
+  | Ebinop (Bmul, a, b) -> Ir.Vbin (Ir.Vmul, vexpr ctx a, vexpr ctx b)
+  | Ebinop (Bdiv, a, b) -> Ir.Vbin (Ir.Vdiv, vexpr ctx a, vexpr ctx b)
+  | Ebinop (Bmod, a, b) -> Ir.Vint (Expr.md (int_expr a) (int_expr b))
+  | Ebinop ((Blt | Ble | Bgt | Bge | Beq | Bne | Band | Bor), _, _) ->
+      Diag.errorf ~loc:e.eloc "comparison used as a value; use a ternary"
+  | Ecall (f, args) ->
+      Ir.Vcall (normalize_intrinsic f, List.map (vexpr ctx) args)
+  | Eternary (c, a, b) -> Ir.Vselect (pred ctx c, vexpr ctx a, vexpr ctx b)
+
+and pred ctx (e : expr) : Ir.pred =
+  match e.desc with
+  | Ebinop (Blt, a, b) -> Ir.Pcmp (Ir.Clt, vexpr ctx a, vexpr ctx b)
+  | Ebinop (Ble, a, b) -> Ir.Pcmp (Ir.Cle, vexpr ctx a, vexpr ctx b)
+  | Ebinop (Bgt, a, b) -> Ir.Pcmp (Ir.Cgt, vexpr ctx a, vexpr ctx b)
+  | Ebinop (Bge, a, b) -> Ir.Pcmp (Ir.Cge, vexpr ctx a, vexpr ctx b)
+  | Ebinop (Beq, a, b) -> Ir.Pcmp (Ir.Ceq, vexpr ctx a, vexpr ctx b)
+  | Ebinop (Bne, a, b) -> Ir.Pcmp (Ir.Cne, vexpr ctx a, vexpr ctx b)
+  | Ebinop (Band, a, b) -> Ir.Pand (pred ctx a, pred ctx b)
+  | Ebinop (Bor, a, b) -> Ir.Por (pred ctx a, pred ctx b)
+  | Eunop (Unot, a) -> Ir.Pnot (pred ctx a)
+  | _ -> Diag.errorf ~loc:e.eloc "expected a condition (comparison or && || !)"
+
+let conj g1 g2 =
+  match g1 with None -> Some g2 | Some g -> Some (Ir.Pand (g, g2))
+
+type acc = {
+  mutable local_arrays : Ir.array_decl list;
+  mutable local_scalars : string list;
+}
+
+(** Inclusive symbolic range of a for header: [(first, last, step)]. *)
+let range_of_header (h : for_header) =
+  let lo = int_expr h.lo in
+  let bound = int_expr h.bound in
+  if h.step > 0 then
+    match h.cmp with
+    | Blt -> (lo, Expr.sub bound Expr.one, h.step)
+    | Ble -> (lo, bound, h.step)
+    | _ ->
+        Diag.errorf "upward loop %s must use < or <= in its condition" h.index
+  else
+    match h.cmp with
+    | Bgt -> (lo, Expr.add bound Expr.one, h.step)
+    | Bge -> (lo, bound, h.step)
+    | _ ->
+        Diag.errorf "downward loop %s must use > or >= in its condition" h.index
+
+let rec lower_stmt ctx acc guard (s : stmt) : Ir.node list =
+  match s.sdesc with
+  | Sassign (lv, op, rhs) ->
+      let dest =
+        if lv.indices = [] then
+          match Util.SMap.find_opt lv.base ctx.env.Sema.bindings with
+          | Some (Sema.Barray _ | Sema.Blocal_array _) ->
+              Diag.errorf ~loc:lv.lloc "array %s assigned without subscripts" lv.base
+          | _ -> Ir.Dscalar lv.base
+        else
+          Ir.Darray { Ir.array = lv.base; indices = List.map int_expr lv.indices }
+      in
+      let rhs_v = vexpr ctx rhs in
+      let dest_read =
+        match dest with
+        | Ir.Darray a -> Ir.Vread a
+        | Ir.Dscalar v -> Ir.Vscalar v
+      in
+      let full_rhs =
+        match op with
+        | Aset -> rhs_v
+        | Aadd -> Ir.Vbin (Ir.Vadd, dest_read, rhs_v)
+        | Asub -> Ir.Vbin (Ir.Vsub, dest_read, rhs_v)
+        | Amul -> Ir.Vbin (Ir.Vmul, dest_read, rhs_v)
+        | Adiv -> Ir.Vbin (Ir.Vdiv, dest_read, rhs_v)
+      in
+      [ Ir.Ncomp (Ir.mk_comp ?guard dest full_rhs) ]
+  | Sdecl_scalar (Tdouble, name, init) ->
+      acc.local_scalars <- name :: acc.local_scalars;
+      (match init with
+      | None -> []
+      | Some e -> [ Ir.Ncomp (Ir.mk_comp ?guard (Ir.Dscalar name) (vexpr ctx e)) ])
+  | Sdecl_scalar (Tint, name, _) ->
+      Diag.errorf ~loc:s.sloc
+        "local integer variable %s is not supported (only loop indices)" name
+  | Sdecl_array (_, name, dims) ->
+      let dims = List.map int_expr dims in
+      acc.local_arrays <-
+        { Ir.name; elem = Ir.Fdouble; dims; storage = Ir.Slocal }
+        :: acc.local_arrays;
+      []
+  | Sfor (h, body) ->
+      let lo, hi, step = range_of_header h in
+      let ctx' = { ctx with int_vars = Util.SSet.add h.index ctx.int_vars } in
+      let body_nodes = lower_stmts ctx' acc guard body in
+      [ Ir.Nloop (Ir.mk_loop ~iter:h.index ~lo ~hi ~step body_nodes) ]
+  | Sif (cond, then_, else_) ->
+      let p = pred ctx cond in
+      let then_nodes = lower_stmts ctx acc (conj guard p) then_ in
+      let else_nodes =
+        match else_ with
+        | [] -> []
+        | _ -> lower_stmts ctx acc (conj guard (Ir.Pnot p)) else_
+      in
+      then_nodes @ else_nodes
+  | Sblock body -> lower_stmts ctx acc guard body
+
+and lower_stmts ctx acc guard stmts =
+  List.concat_map (lower_stmt ctx acc guard) stmts
+
+(** [lower env] lowers a checked kernel to a loopir program. *)
+let lower (env : Sema.env) : Ir.program =
+  let k = env.Sema.kernel in
+  let acc = { local_arrays = []; local_scalars = [] } in
+  let ctx = { env; int_vars = Util.SSet.empty } in
+  let body = lower_stmts ctx acc None k.body in
+  let param_arrays =
+    List.map
+      (fun (name, (info : Sema.array_info)) ->
+        {
+          Ir.name;
+          elem = Ir.Fdouble;
+          dims = List.map int_expr info.Sema.dims;
+          storage = Ir.Sparam;
+        })
+      (Sema.array_params env)
+  in
+  {
+    Ir.pname = k.name;
+    size_params = Sema.size_params env;
+    scalar_params = Sema.scalar_params env;
+    arrays = param_arrays @ List.rev acc.local_arrays;
+    local_scalars = List.rev acc.local_scalars;
+    body;
+  }
+
+(** One-call convenience: parse, check and lower a kernel source string. *)
+let program_of_string ?(source = "<string>") text : Ir.program =
+  let k = Parser.parse_kernel_string ~source text in
+  lower (Sema.check k)

@@ -1,0 +1,11 @@
+(** Direct lowering from the checked DSL AST to loopir — the "semantic"
+    path used to cross-check the lifting pipeline (AST -> lir -> lift). *)
+
+val int_expr : Ast.expr -> Daisy_poly.Expr.t
+(** Convert an integer-typed AST expression to a symbolic expression;
+    raises {!Daisy_support.Diag.Error} on non-integer constructs. *)
+
+val lower : Sema.env -> Daisy_loopir.Ir.program
+
+val program_of_string : ?source:string -> string -> Daisy_loopir.Ir.program
+(** Parse + check + lower in one call. *)

@@ -1,0 +1,333 @@
+(** Recursive-descent parser for the kernel DSL.
+
+    Expression parsing uses precedence climbing; the grammar is LL(2) at
+    worst (distinguishing declarations from assignments and array parameters
+    from scalars). All syntax errors are reported via {!Diag.Error} with
+    precise locations. *)
+
+open Daisy_support
+open Ast
+
+type state = { mutable toks : Lexer.spanned list }
+
+let peek st =
+  match st.toks with [] -> assert false | t :: _ -> t
+
+let advance st =
+  match st.toks with
+  | [] -> assert false
+  | t :: rest ->
+      if t.Lexer.tok <> Lexer.EOF then st.toks <- rest;
+      t
+
+let error_at loc fmt = Diag.errorf ~loc fmt
+
+let expect st tok =
+  let t = peek st in
+  if t.Lexer.tok = tok then advance st
+  else
+    error_at t.Lexer.loc "expected %s but found %s" (Lexer.token_name tok)
+      (Lexer.token_name t.Lexer.tok)
+
+let expect_ident st =
+  let t = peek st in
+  match t.Lexer.tok with
+  | Lexer.IDENT s -> ignore (advance st); (s, t.Lexer.loc)
+  | other -> error_at t.Lexer.loc "expected identifier but found %s" (Lexer.token_name other)
+
+let parse_ty st =
+  let t = peek st in
+  match t.Lexer.tok with
+  | Lexer.KW_INT -> ignore (advance st); Tint
+  | Lexer.KW_DOUBLE | Lexer.KW_FLOAT -> ignore (advance st); Tdouble
+  | other -> error_at t.Lexer.loc "expected a type but found %s" (Lexer.token_name other)
+
+let is_ty = function
+  | Lexer.KW_INT | Lexer.KW_DOUBLE | Lexer.KW_FLOAT -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                          *)
+
+let binop_of_token = function
+  | Lexer.PLUS -> Some Badd | Lexer.MINUS -> Some Bsub
+  | Lexer.STAR -> Some Bmul | Lexer.SLASH -> Some Bdiv
+  | Lexer.PERCENT -> Some Bmod
+  | Lexer.LT -> Some Blt | Lexer.LE -> Some Ble
+  | Lexer.GT -> Some Bgt | Lexer.GE -> Some Bge
+  | Lexer.EQ -> Some Beq | Lexer.NE -> Some Bne
+  | Lexer.ANDAND -> Some Band | Lexer.OROR -> Some Bor
+  | _ -> None
+
+let rec parse_expr st = parse_ternary st
+
+and parse_ternary st =
+  let c = parse_binary st 1 in
+  let t = peek st in
+  if t.Lexer.tok = Lexer.QUESTION then begin
+    ignore (advance st);
+    let a = parse_ternary st in
+    ignore (expect st Lexer.COLON);
+    let b = parse_ternary st in
+    mk_expr ~loc:(Loc.merge c.eloc b.eloc) (Eternary (c, a, b))
+  end
+  else c
+
+and parse_binary st min_prec =
+  let lhs = ref (parse_unary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    let t = peek st in
+    match binop_of_token t.Lexer.tok with
+    | Some op when prec_of_binop op >= min_prec ->
+        ignore (advance st);
+        let rhs = parse_binary st (prec_of_binop op + 1) in
+        lhs := mk_expr ~loc:(Loc.merge !lhs.eloc rhs.eloc) (Ebinop (op, !lhs, rhs))
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary st =
+  let t = peek st in
+  match t.Lexer.tok with
+  | Lexer.MINUS ->
+      ignore (advance st);
+      let e = parse_unary st in
+      mk_expr ~loc:(Loc.merge t.Lexer.loc e.eloc) (Eunop (Uneg, e))
+  | Lexer.BANG ->
+      ignore (advance st);
+      let e = parse_unary st in
+      mk_expr ~loc:(Loc.merge t.Lexer.loc e.eloc) (Eunop (Unot, e))
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let t = peek st in
+  match t.Lexer.tok with
+  | Lexer.INT n -> ignore (advance st); mk_expr ~loc:t.Lexer.loc (Eint n)
+  | Lexer.FLOAT f -> ignore (advance st); mk_expr ~loc:t.Lexer.loc (Efloat f)
+  | Lexer.LPAREN ->
+      ignore (advance st);
+      let e = parse_expr st in
+      ignore (expect st Lexer.RPAREN);
+      e
+  | Lexer.IDENT name -> (
+      ignore (advance st);
+      let next = peek st in
+      match next.Lexer.tok with
+      | Lexer.LPAREN ->
+          ignore (advance st);
+          let args = parse_args st in
+          let close = expect st Lexer.RPAREN in
+          mk_expr ~loc:(Loc.merge t.Lexer.loc close.Lexer.loc) (Ecall (name, args))
+      | Lexer.LBRACKET ->
+          let indices = parse_indices st in
+          mk_expr ~loc:t.Lexer.loc (Eindex (name, indices))
+      | _ -> mk_expr ~loc:t.Lexer.loc (Evar name))
+  | other -> error_at t.Lexer.loc "expected an expression but found %s" (Lexer.token_name other)
+
+and parse_args st =
+  if (peek st).Lexer.tok = Lexer.RPAREN then []
+  else
+    let rec go acc =
+      let e = parse_expr st in
+      if (peek st).Lexer.tok = Lexer.COMMA then begin
+        ignore (advance st);
+        go (e :: acc)
+      end
+      else List.rev (e :: acc)
+    in
+    go []
+
+and parse_indices st =
+  let rec go acc =
+    if (peek st).Lexer.tok = Lexer.LBRACKET then begin
+      ignore (advance st);
+      let e = parse_expr st in
+      ignore (expect st Lexer.RBRACKET);
+      go (e :: acc)
+    end
+    else List.rev acc
+  in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                           *)
+
+let parse_for_header st =
+  ignore (expect st Lexer.LPAREN);
+  ignore (expect st Lexer.KW_INT);
+  let index, _ = expect_ident st in
+  ignore (expect st Lexer.ASSIGN);
+  let lo = parse_expr st in
+  ignore (expect st Lexer.SEMI);
+  let idx2, idx2_loc = expect_ident st in
+  if not (String.equal idx2 index) then
+    error_at idx2_loc "loop condition must test the loop variable %s" index;
+  let cmp_tok = advance st in
+  let cmp =
+    match cmp_tok.Lexer.tok with
+    | Lexer.LT -> Blt | Lexer.LE -> Ble | Lexer.GT -> Bgt | Lexer.GE -> Bge
+    | other ->
+        error_at cmp_tok.Lexer.loc
+          "expected a comparison operator in loop condition, found %s"
+          (Lexer.token_name other)
+  in
+  let bound = parse_expr st in
+  ignore (expect st Lexer.SEMI);
+  let idx3, idx3_loc = expect_ident st in
+  if not (String.equal idx3 index) then
+    error_at idx3_loc "loop increment must update the loop variable %s" index;
+  let step_tok = advance st in
+  let step =
+    match step_tok.Lexer.tok with
+    | Lexer.PLUSPLUS -> 1
+    | Lexer.MINUSMINUS -> -1
+    | Lexer.PLUSEQ -> (
+        let t = peek st in
+        match t.Lexer.tok with
+        | Lexer.INT n -> ignore (advance st); n
+        | other ->
+            error_at t.Lexer.loc "expected a constant step, found %s"
+              (Lexer.token_name other))
+    | Lexer.MINUSEQ -> (
+        let t = peek st in
+        match t.Lexer.tok with
+        | Lexer.INT n -> ignore (advance st); -n
+        | other ->
+            error_at t.Lexer.loc "expected a constant step, found %s"
+              (Lexer.token_name other))
+    | other ->
+        error_at step_tok.Lexer.loc "expected '++', '--', '+=' or '-=', found %s"
+          (Lexer.token_name other)
+  in
+  if step = 0 then error_at step_tok.Lexer.loc "loop step must be non-zero";
+  ignore (expect st Lexer.RPAREN);
+  { index; lo; cmp; bound; step }
+
+let rec parse_stmt st : stmt =
+  let t = peek st in
+  match t.Lexer.tok with
+  | Lexer.KW_FOR ->
+      ignore (advance st);
+      let header = parse_for_header st in
+      let body = parse_stmt_or_block st in
+      mk_stmt ~loc:t.Lexer.loc (Sfor (header, body))
+  | Lexer.KW_IF ->
+      ignore (advance st);
+      ignore (expect st Lexer.LPAREN);
+      let cond = parse_expr st in
+      ignore (expect st Lexer.RPAREN);
+      let then_ = parse_stmt_or_block st in
+      let else_ =
+        if (peek st).Lexer.tok = Lexer.KW_ELSE then begin
+          ignore (advance st);
+          parse_stmt_or_block st
+        end
+        else []
+      in
+      mk_stmt ~loc:t.Lexer.loc (Sif (cond, then_, else_))
+  | Lexer.LBRACE -> mk_stmt ~loc:t.Lexer.loc (Sblock (parse_block st))
+  | tok when is_ty tok ->
+      let ty = parse_ty st in
+      let name, _ = expect_ident st in
+      let t2 = peek st in
+      (match t2.Lexer.tok with
+      | Lexer.SEMI ->
+          ignore (advance st);
+          mk_stmt ~loc:t.Lexer.loc (Sdecl_scalar (ty, name, None))
+      | Lexer.ASSIGN ->
+          ignore (advance st);
+          let e = parse_expr st in
+          ignore (expect st Lexer.SEMI);
+          mk_stmt ~loc:t.Lexer.loc (Sdecl_scalar (ty, name, Some e))
+      | Lexer.LBRACKET ->
+          let dims = parse_indices st in
+          ignore (expect st Lexer.SEMI);
+          mk_stmt ~loc:t.Lexer.loc (Sdecl_array (ty, name, dims))
+      | other ->
+          error_at t2.Lexer.loc "expected ';', '=' or '[' in declaration, found %s"
+            (Lexer.token_name other))
+  | Lexer.IDENT base ->
+      ignore (advance st);
+      let indices = parse_indices st in
+      let lv = { base; indices; lloc = t.Lexer.loc } in
+      let op_tok = advance st in
+      let op =
+        match op_tok.Lexer.tok with
+        | Lexer.ASSIGN -> Aset
+        | Lexer.PLUSEQ -> Aadd
+        | Lexer.MINUSEQ -> Asub
+        | Lexer.STAREQ -> Amul
+        | Lexer.SLASHEQ -> Adiv
+        | other ->
+            error_at op_tok.Lexer.loc "expected an assignment operator, found %s"
+              (Lexer.token_name other)
+      in
+      let e = parse_expr st in
+      ignore (expect st Lexer.SEMI);
+      mk_stmt ~loc:t.Lexer.loc (Sassign (lv, op, e))
+  | other ->
+      error_at t.Lexer.loc "expected a statement but found %s" (Lexer.token_name other)
+
+and parse_stmt_or_block st : stmt list =
+  if (peek st).Lexer.tok = Lexer.LBRACE then parse_block st
+  else [ parse_stmt st ]
+
+and parse_block st : stmt list =
+  ignore (expect st Lexer.LBRACE);
+  let rec go acc =
+    if (peek st).Lexer.tok = Lexer.RBRACE then begin
+      ignore (advance st);
+      List.rev acc
+    end
+    else go (parse_stmt st :: acc)
+  in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* Kernels and programs                                                 *)
+
+let parse_param st =
+  let ty = parse_ty st in
+  let name, _ = expect_ident st in
+  if (peek st).Lexer.tok = Lexer.LBRACKET then
+    let dims = parse_indices st in
+    Parray (ty, name, dims)
+  else Pscalar (ty, name)
+
+let parse_kernel st =
+  let start = expect st Lexer.KW_VOID in
+  let name, _ = expect_ident st in
+  ignore (expect st Lexer.LPAREN);
+  let params =
+    if (peek st).Lexer.tok = Lexer.RPAREN then []
+    else
+      let rec go acc =
+        let p = parse_param st in
+        if (peek st).Lexer.tok = Lexer.COMMA then begin
+          ignore (advance st);
+          go (p :: acc)
+        end
+        else List.rev (p :: acc)
+      in
+      go []
+  in
+  ignore (expect st Lexer.RPAREN);
+  let body = parse_block st in
+  { name; params; body; kloc = start.Lexer.loc }
+
+(** [parse_program ~source text] parses a whole source file. *)
+let parse_program ?(source = "<string>") text : program =
+  let st = { toks = Lexer.tokenize ~source text } in
+  let rec go acc =
+    if (peek st).Lexer.tok = Lexer.EOF then List.rev acc
+    else go (parse_kernel st :: acc)
+  in
+  go []
+
+(** [parse_kernel_string ~source text] parses exactly one kernel. *)
+let parse_kernel_string ?(source = "<string>") text : kernel =
+  match parse_program ~source text with
+  | [ k ] -> k
+  | [] -> Diag.errorf "no kernel found in %s" source
+  | _ -> Diag.errorf "expected exactly one kernel in %s" source

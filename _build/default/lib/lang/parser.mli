@@ -1,0 +1,8 @@
+(** Recursive-descent parser for the kernel DSL (precedence-climbing
+    expressions; all errors via {!Daisy_support.Diag.Error} with exact
+    source spans). *)
+
+val parse_program : ?source:string -> string -> Ast.program
+
+val parse_kernel_string : ?source:string -> string -> Ast.kernel
+(** Parse exactly one kernel. *)

@@ -1,0 +1,196 @@
+(** Semantic analysis for the kernel DSL.
+
+    Checks scoping, array ranks and types, and classifies every name as a
+    symbolic size parameter, scalar, or array. Integer expressions are
+    implicitly promoted to double in floating contexts (as in C); the reverse
+    is an error. The checked result ({!env}) is consumed by both lowering
+    paths (AST [->] loopir and AST [->] lir). *)
+
+open Daisy_support
+open Ast
+
+type array_info = { elem_ty : ty; dims : expr list }
+
+type binding =
+  | Bparam_int  (** symbolic size parameter *)
+  | Bparam_scalar of ty
+  | Barray of array_info
+  | Blocal_scalar of ty
+  | Blocal_array of array_info
+  | Bloop_index
+
+type env = {
+  kernel : kernel;
+  bindings : binding Util.SMap.t;  (** all names visible anywhere *)
+}
+
+let intrinsics_1 = [ "sqrt"; "exp"; "log"; "fabs"; "floor"; "ceil"; "sin"; "cos"; "tanh" ]
+let intrinsics_2 = [ "pow"; "min"; "max"; "fmin"; "fmax" ]
+
+let is_intrinsic f = List.mem f intrinsics_1 || List.mem f intrinsics_2
+
+let intrinsic_arity f =
+  if List.mem f intrinsics_1 then 1
+  else if List.mem f intrinsics_2 then 2
+  else invalid_arg ("not an intrinsic: " ^ f)
+
+type scope = binding Util.SMap.t
+
+let lookup (scope : scope) name = Util.SMap.find_opt name scope
+
+let rec infer_expr (scope : scope) (e : expr) : ty =
+  match e.desc with
+  | Eint _ -> Tint
+  | Efloat _ -> Tdouble
+  | Evar v -> (
+      match lookup scope v with
+      | Some Bparam_int | Some Bloop_index -> Tint
+      | Some (Bparam_scalar ty) | Some (Blocal_scalar ty) -> ty
+      | Some (Barray _) | Some (Blocal_array _) ->
+          Diag.errorf ~loc:e.eloc "array %s used without subscripts" v
+      | None -> Diag.errorf ~loc:e.eloc "undeclared variable %s" v)
+  | Eindex (a, indices) -> (
+      match lookup scope a with
+      | Some (Barray info) | Some (Blocal_array info) ->
+          if List.length indices <> List.length info.dims then
+            Diag.errorf ~loc:e.eloc
+              "array %s has rank %d but is indexed with %d subscripts" a
+              (List.length info.dims) (List.length indices);
+          List.iter (check_int scope) indices;
+          info.elem_ty
+      | Some _ -> Diag.errorf ~loc:e.eloc "%s is not an array" a
+      | None -> Diag.errorf ~loc:e.eloc "undeclared array %s" a)
+  | Eunop (Uneg, a) -> infer_expr scope a
+  | Eunop (Unot, a) ->
+      ignore (infer_expr scope a);
+      Tint
+  | Ebinop ((Badd | Bsub | Bmul | Bdiv), a, b) -> (
+      match (infer_expr scope a, infer_expr scope b) with
+      | Tint, Tint -> Tint
+      | _ -> Tdouble)
+  | Ebinop (Bmod, a, b) ->
+      check_int scope a;
+      check_int scope b;
+      Tint
+  | Ebinop ((Blt | Ble | Bgt | Bge | Beq | Bne | Band | Bor), a, b) ->
+      ignore (infer_expr scope a);
+      ignore (infer_expr scope b);
+      Tint (* boolean *)
+  | Ecall (f, args) ->
+      if not (is_intrinsic f) then
+        Diag.errorf ~loc:e.eloc "unknown function %s (only intrinsics may be called)" f;
+      let arity = intrinsic_arity f in
+      if List.length args <> arity then
+        Diag.errorf ~loc:e.eloc "%s expects %d argument(s), got %d" f arity
+          (List.length args);
+      List.iter (fun a -> ignore (infer_expr scope a)) args;
+      Tdouble
+  | Eternary (c, a, b) -> (
+      ignore (infer_expr scope c);
+      match (infer_expr scope a, infer_expr scope b) with
+      | Tint, Tint -> Tint
+      | _ -> Tdouble)
+
+and check_int scope e =
+  match infer_expr scope e with
+  | Tint -> ()
+  | Tdouble ->
+      Diag.errorf ~loc:e.eloc "expected an integer expression (subscript, bound or step)"
+
+let declare ~loc scope name binding =
+  match Util.SMap.find_opt name scope with
+  | Some _ -> Diag.errorf ~loc "redeclaration of %s" name
+  | None -> Util.SMap.add name binding scope
+
+let rec check_stmt (scope : scope) (all : binding Util.SMap.t ref) (s : stmt) : scope =
+  match s.sdesc with
+  | Sassign (lv, _op, rhs) ->
+      (match lookup scope lv.base with
+      | Some (Barray info) | Some (Blocal_array info) ->
+          if List.length lv.indices <> List.length info.dims then
+            Diag.errorf ~loc:lv.lloc
+              "array %s has rank %d but is indexed with %d subscripts" lv.base
+              (List.length info.dims) (List.length lv.indices);
+          List.iter (check_int scope) lv.indices
+      | Some (Blocal_scalar _) | Some (Bparam_scalar _) ->
+          if lv.indices <> [] then
+            Diag.errorf ~loc:lv.lloc "%s is a scalar and cannot be subscripted" lv.base
+      | Some Bparam_int | Some Bloop_index ->
+          Diag.errorf ~loc:lv.lloc "cannot assign to %s" lv.base
+      | None -> Diag.errorf ~loc:lv.lloc "undeclared variable %s" lv.base);
+      ignore (infer_expr scope rhs);
+      scope
+  | Sdecl_scalar (ty, name, init) ->
+      Option.iter (fun e -> ignore (infer_expr scope e)) init;
+      let scope = declare ~loc:s.sloc scope name (Blocal_scalar ty) in
+      all := Util.SMap.add name (Blocal_scalar ty) !all;
+      scope
+  | Sdecl_array (ty, name, dims) ->
+      List.iter (check_int scope) dims;
+      let info = { elem_ty = ty; dims } in
+      let scope = declare ~loc:s.sloc scope name (Blocal_array info) in
+      all := Util.SMap.add name (Blocal_array info) !all;
+      scope
+  | Sfor (h, body) ->
+      ignore (infer_expr scope h.lo);
+      check_int scope h.lo;
+      check_int scope h.bound;
+      let inner = Util.SMap.add h.index Bloop_index scope in
+      all := Util.SMap.add h.index Bloop_index !all;
+      ignore (check_stmts inner all body);
+      scope
+  | Sif (cond, then_, else_) ->
+      ignore (infer_expr scope cond);
+      ignore (check_stmts scope all then_);
+      ignore (check_stmts scope all else_);
+      scope
+  | Sblock body ->
+      ignore (check_stmts scope all body);
+      scope
+
+and check_stmts scope all stmts =
+  List.fold_left (fun scope s -> check_stmt scope all s) scope stmts
+
+(** [check kernel] runs semantic analysis, returning the environment of all
+    bindings. Raises {!Diag.Error} on the first violation. *)
+let check (k : kernel) : env =
+  let scope, all =
+    List.fold_left
+      (fun (scope, all) p ->
+        match p with
+        | Pscalar (Tint, name) ->
+            let b = Bparam_int in
+            (declare ~loc:k.kloc scope name b, Util.SMap.add name b all)
+        | Pscalar (ty, name) ->
+            let b = Bparam_scalar ty in
+            (declare ~loc:k.kloc scope name b, Util.SMap.add name b all)
+        | Parray (ty, name, dims) ->
+            List.iter (check_int scope) dims;
+            let b = Barray { elem_ty = ty; dims } in
+            (declare ~loc:k.kloc scope name b, Util.SMap.add name b all))
+      (Util.SMap.empty, Util.SMap.empty)
+      k.params
+  in
+  let all = ref all in
+  ignore (check_stmts scope all k.body);
+  { kernel = k; bindings = !all }
+
+(** Size parameters of the kernel, in declaration order. *)
+let size_params env =
+  List.filter_map
+    (function Pscalar (Tint, name) -> Some name | _ -> None)
+    env.kernel.params
+
+(** Scalar (double) parameters in declaration order. *)
+let scalar_params env =
+  List.filter_map
+    (function Pscalar (Tdouble, name) -> Some name | _ -> None)
+    env.kernel.params
+
+(** Array parameters in declaration order, with their info. *)
+let array_params env =
+  List.filter_map
+    (function
+      | Parray (ty, name, dims) -> Some (name, { elem_ty = ty; dims })
+      | _ -> None)
+    env.kernel.params

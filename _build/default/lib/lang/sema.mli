@@ -1,0 +1,32 @@
+(** Semantic analysis for the kernel DSL: scoping, array ranks, int/double
+    typing with C-style promotion. The checked result feeds both lowering
+    paths. *)
+
+type array_info = { elem_ty : Ast.ty; dims : Ast.expr list }
+
+type binding =
+  | Bparam_int  (** symbolic size parameter *)
+  | Bparam_scalar of Ast.ty
+  | Barray of array_info
+  | Blocal_scalar of Ast.ty
+  | Blocal_array of array_info
+  | Bloop_index
+
+type env = {
+  kernel : Ast.kernel;
+  bindings : binding Daisy_support.Util.SMap.t;
+}
+
+val is_intrinsic : string -> bool
+val intrinsic_arity : string -> int
+
+val infer_expr : binding Daisy_support.Util.SMap.t -> Ast.expr -> Ast.ty
+(** @raise Daisy_support.Diag.Error on type/scope violations. *)
+
+val check : Ast.kernel -> env
+(** Run semantic analysis; raises {!Daisy_support.Diag.Error} on the first
+    violation. *)
+
+val size_params : env -> string list
+val scalar_params : env -> string list
+val array_params : env -> (string * array_info) list

@@ -1,0 +1,1 @@
+lib/lift/lift.ml: Array Daisy_lir Daisy_loopir Daisy_poly Daisy_support Fmt Hashtbl List Printf Util

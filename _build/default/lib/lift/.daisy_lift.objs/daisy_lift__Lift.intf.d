@@ -1,0 +1,1 @@
+lib/lift/lift.mli: Daisy_lir Daisy_loopir

@@ -1,0 +1,442 @@
+(** Lifting a symbolic loop-nest representation from lir (paper §3.1).
+
+    The pass recovers everything the low-level IR erased:
+    - loop structure, from natural loops over the dominator tree;
+    - induction variables, from latch-update patterns ([i = i + c]);
+    - loop domains, from the header comparison;
+    - array accesses, from GEP/load/store chains, as symbolic expressions;
+    - conditionals, from single-entry/single-exit diamonds (guards);
+    - scalar temporaries, from mutable ([mov]-defined) registers.
+
+    Any shape outside this grammar raises {!Unsupported} with a reason —
+    mirroring the lifting failures the paper reports (§4.1): unliftable
+    regions are left to the fallback path instead of being normalized. *)
+
+open Daisy_support
+module L = Daisy_lir.Ir
+module Cfg = Daisy_lir.Cfg
+module Ir = Daisy_loopir.Ir
+module Expr = Daisy_poly.Expr
+
+exception Unsupported of string
+
+let unsupported fmt = Fmt.kstr (fun m -> raise (Unsupported m)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Symbolic values                                                      *)
+
+type sym =
+  | Sint of Expr.t
+  | Sfloat of Ir.vexpr
+  | Saddr of Ir.access
+  | Sbool of Ir.pred
+
+(* ------------------------------------------------------------------ *)
+(* Loop pre-analysis                                                    *)
+
+type loop_info = {
+  nl : Cfg.natural_loop;
+  iv : L.reg;
+  step : int;
+  preheader : int;
+  exit_block : int;
+  body_entry : int;
+}
+
+(* Recognize the latch pattern: %s = add %iv, c ; mov %iv, %s *)
+let latch_iv (latch : L.block) : (L.reg * int) option =
+  let rec scan = function
+    | L.Bin (s, L.Iadd, L.Oreg iv, L.Oint c) :: L.Mov (iv', L.Oreg s') :: _
+      when iv = iv' && s = s' ->
+        Some (iv, c)
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  scan latch.L.insts
+
+let analyze_loops (cfg : Cfg.t) : (int, loop_info) Hashtbl.t =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (nl : Cfg.natural_loop) ->
+      if Hashtbl.mem tbl nl.Cfg.header then
+        unsupported "multiple back edges into one header";
+      let latch_block = Cfg.block_at cfg nl.Cfg.latch in
+      match latch_iv latch_block with
+      | None -> unsupported "latch without a recognizable induction update"
+      | Some (iv, step) ->
+          let outside_preds =
+            List.filter
+              (fun p -> not (Util.ISet.mem p nl.Cfg.body))
+              cfg.Cfg.preds.(nl.Cfg.header)
+          in
+          let preheader =
+            match outside_preds with
+            | [ p ] -> p
+            | _ -> unsupported "loop header with multiple entries"
+          in
+          (* the header must conditionally branch into the body or out *)
+          let header_block = Cfg.block_at cfg nl.Cfg.header in
+          let body_entry, exit_block =
+            match header_block.L.term with
+            | L.CondBr (_, t, f) ->
+                let ti = Cfg.index_of cfg t and fi = Cfg.index_of cfg f in
+                if Util.ISet.mem ti nl.Cfg.body then (ti, fi)
+                else if Util.ISet.mem fi nl.Cfg.body then (fi, ti)
+                else unsupported "header branches do not enter the loop"
+            | _ -> unsupported "loop header does not end in a conditional branch"
+          in
+          Hashtbl.replace tbl nl.Cfg.header
+            { nl; iv; step; preheader; exit_block; body_entry })
+    (Cfg.natural_loops cfg);
+  tbl
+
+(* ------------------------------------------------------------------ *)
+(* Immediate postdominators (for diamond merges)                        *)
+
+let ipostdoms (cfg : Cfg.t) : int array =
+  let n = Cfg.n_blocks cfg in
+  (* unique exit: the Ret block *)
+  let exits = ref [] in
+  for i = 0 to n - 1 do
+    if (Cfg.block_at cfg i).L.term = L.Ret then exits := i :: !exits
+  done;
+  let exit =
+    match !exits with [ e ] -> e | _ -> unsupported "function must have one ret"
+  in
+  (* iterative postdominators on the reverse CFG, in reverse RPO of the
+     reverse graph; a simple fixpoint over all nodes suffices at our sizes *)
+  let ipdom = Array.make n (-1) in
+  ipdom.(exit) <- exit;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = n - 1 downto 0 do
+      if i <> exit then begin
+        let processed = List.filter (fun s -> ipdom.(s) >= 0) cfg.Cfg.succs.(i) in
+        match processed with
+        | [] -> ()
+        | first :: rest ->
+            let rec intersect a b =
+              if a = b then a
+              else begin
+                (* walk up in postdominator tree; use index order heuristic *)
+                let rec climb x target seen =
+                  if x = target then true
+                  else if List.mem x seen then false
+                  else climb ipdom.(x) target (x :: seen)
+                in
+                if climb a b [] then b
+                else if climb b a [] then a
+                else intersect ipdom.(a) b
+              end
+            in
+            let nd = List.fold_left intersect first rest in
+            if ipdom.(i) <> nd then begin
+              ipdom.(i) <- nd;
+              changed := true
+            end
+      end
+    done
+  done;
+  ipdom
+
+(* ------------------------------------------------------------------ *)
+(* The walker                                                           *)
+
+type lift_state = {
+  cfg : Cfg.t;
+  loops : (int, loop_info) Hashtbl.t;
+  ipdom : int array;
+  mov_defined : (L.reg, unit) Hashtbl.t;  (** mutable registers = scalars *)
+  iv_regs : (L.reg, unit) Hashtbl.t;
+  mutable env : sym Util.IMap.t;
+  mutable iv_inits : Expr.t Util.IMap.t;  (** latest init value per iv reg *)
+  mutable scalars : Util.SSet.t;  (** emitted scalar names *)
+  mutable iter_count : int;
+}
+
+let scalar_name r = Printf.sprintf "t%d" r
+
+let lookup st r =
+  match Util.IMap.find_opt r st.env with
+  | Some s -> s
+  | None -> unsupported "use of register %%r%d before definition" r
+
+let as_int st (op : L.operand) : Expr.t =
+  match op with
+  | L.Oint n -> Expr.const n
+  | L.Osym s -> Expr.var s
+  | L.Oreg r -> (
+      match lookup st r with
+      | Sint e -> e
+      | _ -> unsupported "register %%r%d is not an integer" r)
+  | L.Ofloat _ | L.Oscalar _ -> unsupported "float operand in integer context"
+
+let as_float st (op : L.operand) : Ir.vexpr =
+  match op with
+  | L.Ofloat f -> Ir.Vfloat f
+  | L.Oint n -> Ir.Vfloat (float_of_int n)
+  | L.Oscalar s -> Ir.Vscalar s
+  | L.Osym s -> Ir.Vint (Expr.var s)
+  | L.Oreg r -> (
+      match lookup st r with
+      | Sfloat v -> v
+      | Sint e -> Ir.Vint e
+      | _ -> unsupported "register %%r%d is not a float" r)
+
+let as_bool st (op : L.operand) : Ir.pred =
+  match op with
+  | L.Oreg r -> (
+      match lookup st r with
+      | Sbool p -> p
+      | _ -> unsupported "register %%r%d is not a condition" r)
+  | _ -> unsupported "condition must be a register"
+
+let bind st r v = st.env <- Util.IMap.add r v st.env
+
+(* Evaluate one instruction; emits computations through [push]. *)
+let eval_inst st ~guard ~push (i : L.inst) : unit =
+  match i with
+  | L.Bin (r, op, a, b) ->
+      let x = as_int st a and y = as_int st b in
+      let e =
+        match op with
+        | L.Iadd -> Expr.add x y
+        | L.Isub -> Expr.sub x y
+        | L.Imul -> Expr.mul x y
+        | L.Idiv -> Expr.div x y
+        | L.Irem -> Expr.md x y
+      in
+      bind st r (Sint e)
+  | L.Fbin (r, op, a, b) ->
+      let x = as_float st a and y = as_float st b in
+      let o =
+        match op with
+        | L.Fadd -> Ir.Vadd | L.Fsub -> Ir.Vsub
+        | L.Fmul -> Ir.Vmul | L.Fdiv -> Ir.Vdiv
+      in
+      bind st r (Sfloat (Ir.Vbin (o, x, y)))
+  | L.Fneg (r, a) -> bind st r (Sfloat (Ir.Vneg (as_float st a)))
+  | L.Call (r, f, args) ->
+      bind st r (Sfloat (Ir.Vcall (f, List.map (as_float st) args)))
+  | L.Icmp (r, c, a, b) ->
+      let x = Ir.Vint (as_int st a) and y = Ir.Vint (as_int st b) in
+      let op =
+        match c with
+        | L.Slt -> Ir.Clt | L.Sle -> Ir.Cle | L.Sgt -> Ir.Cgt
+        | L.Sge -> Ir.Cge | L.Ieq -> Ir.Ceq | L.Ine -> Ir.Cne
+      in
+      bind st r (Sbool (Ir.Pcmp (op, x, y)))
+  | L.Fcmp (r, c, a, b) ->
+      let x = as_float st a and y = as_float st b in
+      let op =
+        match c with
+        | L.Folt -> Ir.Clt | L.Fole -> Ir.Cle | L.Fogt -> Ir.Cgt
+        | L.Foge -> Ir.Cge | L.Foeq -> Ir.Ceq | L.Fone -> Ir.Cne
+      in
+      bind st r (Sbool (Ir.Pcmp (op, x, y)))
+  | L.Select (r, c, a, b) ->
+      bind st r
+        (Sfloat (Ir.Vselect (as_bool st c, as_float st a, as_float st b)))
+  | L.BoolOp (r, `And, [ a; b ]) ->
+      bind st r (Sbool (Ir.Pand (as_bool st a, as_bool st b)))
+  | L.BoolOp (r, `Or, [ a; b ]) ->
+      bind st r (Sbool (Ir.Por (as_bool st a, as_bool st b)))
+  | L.BoolOp (r, `Not, [ a ]) -> bind st r (Sbool (Ir.Pnot (as_bool st a)))
+  | L.BoolOp _ -> unsupported "malformed boolean operation"
+  | L.Gep (r, base, idx) ->
+      bind st r (Saddr { Ir.array = base; indices = List.map (as_int st) idx })
+  | L.Load (r, a) -> (
+      match a with
+      | L.Oreg ar -> (
+          match lookup st ar with
+          | Saddr access -> bind st r (Sfloat (Ir.Vread access))
+          | _ -> unsupported "load from a non-address register")
+      | _ -> unsupported "load from a non-register operand")
+  | L.Store (a, v) -> (
+      match a with
+      | L.Oreg ar -> (
+          match lookup st ar with
+          | Saddr access ->
+              push (Ir.Ncomp (Ir.mk_comp ?guard (Ir.Darray access) (as_float st v)))
+          | _ -> unsupported "store to a non-address register")
+      | _ -> unsupported "store to a non-register operand")
+  | L.Sitofp (r, a) -> bind st r (Sfloat (Ir.Vint (as_int st a)))
+  | L.Mov (r, v) ->
+      if Hashtbl.mem st.iv_regs r then begin
+        (* induction-variable initialization (preheader) or update (latch,
+           never walked): record the init value *)
+        st.iv_inits <- Util.IMap.add r (as_int st v) st.iv_inits
+      end
+      else if Hashtbl.mem st.mov_defined r then begin
+        (* a mutable register = named scalar temporary *)
+        let name = scalar_name r in
+        st.scalars <- Util.SSet.add name st.scalars;
+        push (Ir.Ncomp (Ir.mk_comp ?guard (Ir.Dscalar name) (as_float st v)));
+        bind st r (Sfloat (Ir.Vscalar name))
+      end
+      else
+        (* single-assignment mov: inline *)
+        bind st r (Sfloat (as_float st v))
+
+(* Walk blocks from [cur] until [stop] (exclusive). *)
+let rec walk st ~(cur : int) ~(stop : int option) ~(guard : Ir.pred option) :
+    Ir.node list =
+  if stop = Some cur then []
+  else
+    match Hashtbl.find_opt st.loops cur with
+    | Some info -> lift_loop st info ~stop ~guard
+    | None ->
+        let b = Cfg.block_at st.cfg cur in
+        let nodes = ref [] in
+        let push n = nodes := n :: !nodes in
+        List.iter (eval_inst st ~guard ~push) b.L.insts;
+        let rest =
+          match b.L.term with
+          | L.Ret -> []
+          | L.Br next ->
+              walk st ~cur:(Cfg.index_of st.cfg next) ~stop ~guard
+          | L.CondBr (c, t, f) ->
+              let p = as_bool st c in
+              let merge = st.ipdom.(cur) in
+              let ti = Cfg.index_of st.cfg t and fi = Cfg.index_of st.cfg f in
+              let conj q = match guard with None -> Some q | Some g -> Some (Ir.Pand (g, q)) in
+              let then_nodes =
+                if ti = merge then []
+                else walk st ~cur:ti ~stop:(Some merge) ~guard:(conj p)
+              in
+              let else_nodes =
+                if fi = merge then []
+                else walk st ~cur:fi ~stop:(Some merge) ~guard:(conj (Ir.Pnot p))
+              in
+              then_nodes @ else_nodes @ walk st ~cur:merge ~stop ~guard
+        in
+        List.rev !nodes @ rest
+
+and lift_loop st (info : loop_info) ~stop ~guard : Ir.node list =
+  if guard <> None then unsupported "loop nested inside a conditional";
+  let iter =
+    let k = st.iter_count in
+    st.iter_count <- k + 1;
+    Printf.sprintf "i%d" k
+  in
+  (* bind the iv to the symbolic iterator for header + body evaluation *)
+  bind st info.iv (Sint (Expr.var iter));
+  let lo =
+    match Util.IMap.find_opt info.iv st.iv_inits with
+    | Some e -> e
+    | None -> unsupported "induction variable without initialization"
+  in
+  (* evaluate the header block to find the bound comparison *)
+  let header_block = Cfg.block_at st.cfg info.nl.Cfg.header in
+  let cond_reg =
+    match header_block.L.term with
+    | L.CondBr (L.Oreg c, _, _) -> c
+    | _ -> unsupported "header terminator"
+  in
+  (* header instructions are pure (comparison + bound computation) *)
+  List.iter
+    (eval_inst st ~guard:None ~push:(fun _ ->
+         unsupported "store in loop header"))
+    header_block.L.insts;
+  let cmp, bound =
+    let rec find = function
+      | L.Icmp (r, c, L.Oreg iv, bnd) :: _ when r = cond_reg && iv = info.iv ->
+          (c, as_int st bnd)
+      | _ :: rest -> find rest
+      | [] -> unsupported "header without an induction comparison"
+    in
+    find header_block.L.insts
+  in
+  let hi =
+    if info.step > 0 then
+      match cmp with
+      | L.Slt -> Expr.sub bound Expr.one
+      | L.Sle -> bound
+      | _ -> unsupported "upward loop with a downward comparison"
+    else
+      match cmp with
+      | L.Sgt -> Expr.add bound Expr.one
+      | L.Sge -> bound
+      | _ -> unsupported "downward loop with an upward comparison"
+  in
+  let body =
+    walk st ~cur:info.body_entry ~stop:(Some info.nl.Cfg.latch) ~guard:None
+  in
+  let loop = Ir.mk_loop ~iter ~lo ~hi ~step:info.step body in
+  Ir.Nloop loop :: walk st ~cur:info.exit_block ~stop ~guard
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                          *)
+
+(** [lift f] — recover a loopir program from a lir function. Raises
+    {!Unsupported} when the control flow or access patterns fall outside
+    the liftable grammar. *)
+let lift (f : L.func) : Ir.program =
+  let cfg = Cfg.build f in
+  let loops_tbl = analyze_loops cfg in
+  (* registers defined by mov more than zero times and total defs > 1 are
+     mutable scalars; iv registers are excluded *)
+  let mov_defined = Hashtbl.create 16 in
+  let def_counts = Hashtbl.create 64 in
+  List.iter
+    (fun (b : L.block) ->
+      List.iter
+        (fun i ->
+          match L.def_of i with
+          | Some r ->
+              Hashtbl.replace def_counts r
+                (1 + (try Hashtbl.find def_counts r with Not_found -> 0));
+              (match i with
+              | L.Mov (r, _) -> Hashtbl.replace mov_defined r ()
+              | _ -> ())
+          | None -> ())
+        b.L.insts)
+    f.L.blocks;
+  let iv_regs = Hashtbl.create 8 in
+  Hashtbl.iter (fun _ info -> Hashtbl.replace iv_regs info.iv ()) loops_tbl;
+  Hashtbl.iter (fun r () -> Hashtbl.remove mov_defined r) iv_regs;
+  (* non-mov multiple definitions are out of grammar *)
+  Hashtbl.iter
+    (fun r n ->
+      if n > 1 && (not (Hashtbl.mem mov_defined r)) && not (Hashtbl.mem iv_regs r)
+      then unsupported "register %%r%d multiply defined outside mov" r)
+    def_counts;
+  let st =
+    {
+      cfg;
+      loops = loops_tbl;
+      ipdom = ipostdoms cfg;
+      mov_defined;
+      iv_regs;
+      env = Util.IMap.empty;
+      iv_inits = Util.IMap.empty;
+      scalars = Util.SSet.empty;
+      iter_count = 0;
+    }
+  in
+  let body = walk st ~cur:0 ~stop:None ~guard:None in
+  let arrays =
+    List.map
+      (fun (name, dims) ->
+        { Ir.name; elem = Ir.Fdouble; dims; storage = Ir.Sparam })
+      f.L.arrays
+    @ List.map
+        (fun (name, dims) ->
+          { Ir.name; elem = Ir.Fdouble; dims; storage = Ir.Slocal })
+        f.L.local_arrays
+  in
+  {
+    Ir.pname = f.L.fname;
+    size_params = f.L.size_params;
+    scalar_params = f.L.scalar_params;
+    arrays;
+    local_scalars = Util.SSet.elements st.scalars;
+    body;
+  }
+
+(** Lift with a result type instead of an exception. *)
+let lift_result (f : L.func) : (Ir.program, string) result =
+  match lift f with
+  | p -> Ok p
+  | exception Unsupported reason -> Error reason

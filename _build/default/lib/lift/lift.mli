@@ -1,0 +1,13 @@
+(** Lifting a symbolic loop-nest representation from lir (paper §3.1):
+    recover loop structure (natural loops), induction variables (latch
+    updates), domains (header comparisons), array accesses (GEP chains),
+    conditionals (SESE diamonds) and scalar temporaries (mutable
+    registers). *)
+
+exception Unsupported of string
+(** Raised when the control flow or access patterns fall outside the
+    liftable grammar — mirroring the paper's §4.1 lifting failures. *)
+
+val lift : Daisy_lir.Ir.func -> Daisy_loopir.Ir.program
+
+val lift_result : Daisy_lir.Ir.func -> (Daisy_loopir.Ir.program, string) result

@@ -1,0 +1,1 @@
+lib/lir/cfg.ml: Array Daisy_support Hashtbl Ir List Util

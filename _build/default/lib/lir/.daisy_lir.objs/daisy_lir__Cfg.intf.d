@@ -1,0 +1,1 @@
+lib/lir/cfg.mli: Daisy_support Hashtbl Ir

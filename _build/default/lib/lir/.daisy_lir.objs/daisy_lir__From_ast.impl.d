@@ -1,0 +1,1 @@
+lib/lir/from_ast.ml: Ast Daisy_lang Daisy_support Diag Ir List Lower Parser Printf Sema Util

@@ -1,0 +1,1 @@
+lib/lir/from_ast.mli: Daisy_lang Ir

@@ -1,0 +1,1 @@
+lib/lir/ir.ml: Daisy_poly Fmt List String

@@ -1,0 +1,1 @@
+lib/lir/parse.ml: Daisy_poly Fmt Ir List String

@@ -1,0 +1,1 @@
+lib/lir/parse.mli: Daisy_poly Ir

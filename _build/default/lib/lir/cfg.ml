@@ -1,0 +1,138 @@
+(** Control-flow analyses over lir functions: CFG, dominators
+    (Cooper–Harvey–Kennedy), natural-loop detection and SESE-region
+    checking — the static analyses the lifting pass builds on (paper §3.1;
+    Polly's SCoPs are maximal SESE regions). *)
+
+open Daisy_support
+
+type t = {
+  func : Ir.func;
+  labels : string array;  (** reverse postorder *)
+  index : (string, int) Hashtbl.t;
+  succs : int list array;
+  preds : int list array;
+  idom : int array;  (** immediate dominator; entry maps to itself *)
+}
+
+let build (f : Ir.func) : t =
+  let n_blocks = List.length f.Ir.blocks in
+  let tbl = Hashtbl.create n_blocks in
+  List.iter (fun (b : Ir.block) -> Hashtbl.replace tbl b.Ir.label b) f.Ir.blocks;
+  (* reverse postorder via DFS *)
+  let visited = Hashtbl.create n_blocks in
+  let order = ref [] in
+  let rec dfs l =
+    if not (Hashtbl.mem visited l) then begin
+      Hashtbl.replace visited l ();
+      let b = Hashtbl.find tbl l in
+      List.iter dfs (Ir.successors b);
+      order := l :: !order
+    end
+  in
+  dfs (Ir.entry_label f);
+  let labels = Array.of_list !order in
+  let n = Array.length labels in
+  let index = Hashtbl.create n in
+  Array.iteri (fun i l -> Hashtbl.replace index l i) labels;
+  let succs = Array.make n [] in
+  let preds = Array.make n [] in
+  Array.iteri
+    (fun i l ->
+      let b = Hashtbl.find tbl l in
+      let ss =
+        List.filter_map (fun s -> Hashtbl.find_opt index s) (Ir.successors b)
+      in
+      succs.(i) <- ss;
+      List.iter (fun s -> preds.(s) <- i :: preds.(s)) ss)
+    labels;
+  (* Cooper-Harvey-Kennedy iterative dominators; blocks are in RPO *)
+  let idom = Array.make n (-1) in
+  idom.(0) <- 0;
+  let rec intersect a b =
+    if a = b then a
+    else if a > b then intersect idom.(a) b
+    else intersect a idom.(b)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 1 to n - 1 do
+      let processed = List.filter (fun p -> idom.(p) >= 0) preds.(i) in
+      match processed with
+      | [] -> ()
+      | first :: rest ->
+          let new_idom = List.fold_left intersect first rest in
+          if idom.(i) <> new_idom then begin
+            idom.(i) <- new_idom;
+            changed := true
+          end
+    done
+  done;
+  { func = f; labels; index; succs; preds; idom }
+
+let n_blocks (cfg : t) = Array.length cfg.labels
+
+let block_at (cfg : t) i = Ir.block cfg.func cfg.labels.(i)
+
+let index_of (cfg : t) l =
+  match Hashtbl.find_opt cfg.index l with
+  | Some i -> i
+  | None -> invalid_arg ("unreachable or unknown block " ^ l)
+
+(** [dominates cfg a b] — does block [a] dominate block [b]? *)
+let dominates (cfg : t) a b =
+  let rec up x = if x = a then true else if x = 0 then a = 0 else up cfg.idom.(x) in
+  up b
+
+type natural_loop = {
+  header : int;
+  latch : int;
+  body : Util.ISet.t;  (** block indices, including header and latch *)
+}
+
+(** Natural loops from back edges ([latch -> header] with header dominating
+    latch). *)
+let natural_loops (cfg : t) : natural_loop list =
+  let loops = ref [] in
+  Array.iteri
+    (fun src ss ->
+      List.iter
+        (fun dst ->
+          if dominates cfg dst src then begin
+            (* collect body: reverse reachability from latch, stopping at
+               the header *)
+            let body = ref (Util.ISet.of_list [ dst; src ]) in
+            let rec grow x =
+              List.iter
+                (fun p ->
+                  if not (Util.ISet.mem p !body) then begin
+                    body := Util.ISet.add p !body;
+                    grow p
+                  end)
+                cfg.preds.(x)
+            in
+            if src <> dst then grow src;
+            loops := { header = dst; latch = src; body = !body } :: !loops
+          end)
+        ss)
+    cfg.succs;
+  (* order outermost first: by body size descending *)
+  List.sort
+    (fun a b -> compare (Util.ISet.cardinal b.body) (Util.ISet.cardinal a.body))
+    !loops
+
+(** A loop region is SESE when the header has exactly one entry edge from
+    outside (the preheader) and exactly one edge leaves the loop body. *)
+let loop_is_sese (cfg : t) (l : natural_loop) : bool =
+  let outside_preds =
+    List.filter (fun p -> not (Util.ISet.mem p l.body)) cfg.preds.(l.header)
+  in
+  let exits =
+    Util.ISet.fold
+      (fun b acc ->
+        List.fold_left
+          (fun acc s -> if Util.ISet.mem s l.body then acc else (b, s) :: acc)
+          acc cfg.succs.(b))
+      l.body []
+  in
+  List.length outside_preds = 1 && List.length (Util.dedup ~eq:( = ) exits) = 1

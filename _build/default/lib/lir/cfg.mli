@@ -1,0 +1,30 @@
+(** Control-flow analyses over lir functions: CFG, dominators
+    (Cooper–Harvey–Kennedy), natural loops, SESE checks — the analyses the
+    lifting pass builds on (paper §3.1). *)
+
+type t = {
+  func : Ir.func;
+  labels : string array;  (** blocks in reverse postorder *)
+  index : (string, int) Hashtbl.t;
+  succs : int list array;
+  preds : int list array;
+  idom : int array;  (** immediate dominators; entry maps to itself *)
+}
+
+val build : Ir.func -> t
+val n_blocks : t -> int
+val block_at : t -> int -> Ir.block
+val index_of : t -> string -> int
+val dominates : t -> int -> int -> bool
+
+type natural_loop = {
+  header : int;
+  latch : int;
+  body : Daisy_support.Util.ISet.t;
+}
+
+val natural_loops : t -> natural_loop list
+(** From back edges, outermost (largest body) first. *)
+
+val loop_is_sese : t -> natural_loop -> bool
+(** One entry edge into the header and one edge leaving the body. *)

@@ -1,0 +1,371 @@
+(** Lowering the checked DSL AST to lir — the "clang" of this reproduction.
+
+    Loops become branch-connected basic blocks (preheader / header / body /
+    latch / exit), conditionals become diamonds, array accesses become
+    GEP + load/store chains, and local scalars become mutable registers.
+    The lifting pass ({!Daisy_lift.Lift}) must recover the loop tree from
+    exactly this low-level soup. *)
+
+open Daisy_support
+open Daisy_lang
+module A = Ast
+
+type builder = {
+  mutable done_blocks : Ir.block list;  (** reversed *)
+  mutable cur_label : Ir.label;
+  mutable cur_insts : Ir.inst list;  (** reversed *)
+  mutable next_reg : int;
+  mutable next_label : int;
+  mutable vars : Ir.operand Util.SMap.t;
+      (** loop indices and local scalars -> registers *)
+  env : Sema.env;
+}
+
+let fresh_reg b =
+  let r = b.next_reg in
+  b.next_reg <- r + 1;
+  r
+
+let fresh_label b prefix =
+  let n = b.next_label in
+  b.next_label <- n + 1;
+  Printf.sprintf "%s%d" prefix n
+
+let emit b i = b.cur_insts <- i :: b.cur_insts
+
+(** Close the current block with [term] and start a new one at [label]. *)
+let seal b term ~next =
+  b.done_blocks <-
+    { Ir.label = b.cur_label; insts = List.rev b.cur_insts; term }
+    :: b.done_blocks;
+  b.cur_label <- next;
+  b.cur_insts <- []
+
+let is_int_name b v =
+  match Util.SMap.find_opt v b.vars with
+  | Some _ -> (
+      (* a register: int iff it is a loop index *)
+      match Util.SMap.find_opt v b.env.Sema.bindings with
+      | Some Sema.Bloop_index -> true
+      | Some Sema.Bparam_int -> true
+      | _ -> false)
+  | None -> (
+      match Util.SMap.find_opt v b.env.Sema.bindings with
+      | Some Sema.Bparam_int -> true
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                          *)
+
+let rec lower_int b (e : A.expr) : Ir.operand =
+  match e.A.desc with
+  | A.Eint n -> Ir.Oint n
+  | A.Evar v -> (
+      match Util.SMap.find_opt v b.vars with
+      | Some op -> op
+      | None -> Ir.Osym v)
+  | A.Eunop (A.Uneg, a) ->
+      let x = lower_int b a in
+      let r = fresh_reg b in
+      emit b (Ir.Bin (r, Ir.Isub, Ir.Oint 0, x));
+      Ir.Oreg r
+  | A.Ebinop (op, x, y) ->
+      let xo = lower_int b x and yo = lower_int b y in
+      let iop =
+        match op with
+        | A.Badd -> Ir.Iadd
+        | A.Bsub -> Ir.Isub
+        | A.Bmul -> Ir.Imul
+        | A.Bdiv -> Ir.Idiv
+        | A.Bmod -> Ir.Irem
+        | _ -> Diag.errorf ~loc:e.A.eloc "unsupported integer operator"
+      in
+      let r = fresh_reg b in
+      emit b (Ir.Bin (r, iop, xo, yo));
+      Ir.Oreg r
+  | A.Ecall (("min" | "max"), [ _; _ ]) ->
+      (* integer min/max via select would complicate lifting; the DSL only
+         uses them in float contexts and tiling-produced bounds, which do
+         not pass through lir *)
+      Diag.errorf ~loc:e.A.eloc "integer min/max not supported in lir lowering"
+  | _ -> Diag.errorf ~loc:e.A.eloc "expression is not an integer expression"
+
+let rec lower_float b (e : A.expr) : Ir.operand =
+  match e.A.desc with
+  | A.Eint n -> Ir.Ofloat (float_of_int n)
+  | A.Efloat f -> Ir.Ofloat f
+  | A.Evar v ->
+      if is_int_name b v then begin
+        let x = lower_int b e in
+        let r = fresh_reg b in
+        emit b (Ir.Sitofp (r, x));
+        Ir.Oreg r
+      end
+      else (
+        match Util.SMap.find_opt v b.vars with
+        | Some op -> op (* local scalar register *)
+        | None -> Ir.Oscalar v (* scalar parameter *))
+  | A.Eindex (arr, idx) ->
+      let idx_ops = List.map (lower_int b) idx in
+      let addr = fresh_reg b in
+      emit b (Ir.Gep (addr, arr, idx_ops));
+      let r = fresh_reg b in
+      emit b (Ir.Load (r, Ir.Oreg addr));
+      Ir.Oreg r
+  | A.Eunop (A.Uneg, a) ->
+      let x = lower_float b a in
+      let r = fresh_reg b in
+      emit b (Ir.Fneg (r, x));
+      Ir.Oreg r
+  | A.Eunop (A.Unot, _) ->
+      Diag.errorf ~loc:e.A.eloc "logical negation in value position"
+  | A.Ebinop ((A.Badd | A.Bsub | A.Bmul | A.Bdiv) as op, x, y) ->
+      (* integer-typed arithmetic used as a value: compute in int *)
+      let is_int =
+        try Sema.infer_expr (all_scope b) e = A.Tint with _ -> false
+      in
+      if is_int then begin
+        let v = lower_int b e in
+        let r = fresh_reg b in
+        emit b (Ir.Sitofp (r, v));
+        Ir.Oreg r
+      end
+      else begin
+        let xo = lower_float b x and yo = lower_float b y in
+        let fop =
+          match op with
+          | A.Badd -> Ir.Fadd
+          | A.Bsub -> Ir.Fsub
+          | A.Bmul -> Ir.Fmul
+          | _ -> Ir.Fdiv
+        in
+        let r = fresh_reg b in
+        emit b (Ir.Fbin (r, fop, xo, yo));
+        Ir.Oreg r
+      end
+  | A.Ebinop (A.Bmod, _, _) ->
+      let v = lower_int b e in
+      let r = fresh_reg b in
+      emit b (Ir.Sitofp (r, v));
+      Ir.Oreg r
+  | A.Ebinop (_, _, _) ->
+      Diag.errorf ~loc:e.A.eloc "comparison in value position; use a ternary"
+  | A.Ecall (f, args) ->
+      let f = match f with "fmin" -> "min" | "fmax" -> "max" | f -> f in
+      let ops = List.map (lower_float b) args in
+      let r = fresh_reg b in
+      emit b (Ir.Call (r, f, ops));
+      Ir.Oreg r
+  | A.Eternary (c, x, y) ->
+      let co = lower_cond b c in
+      let xo = lower_float b x and yo = lower_float b y in
+      let r = fresh_reg b in
+      emit b (Ir.Select (r, co, xo, yo));
+      Ir.Oreg r
+
+and lower_cond b (e : A.expr) : Ir.operand =
+  match e.A.desc with
+  | A.Ebinop ((A.Blt | A.Ble | A.Bgt | A.Bge | A.Beq | A.Bne) as op, x, y) ->
+      let int_cmp =
+        try
+          Sema.infer_expr (all_scope b) x = A.Tint
+          && Sema.infer_expr (all_scope b) y = A.Tint
+        with _ -> false
+      in
+      let r = fresh_reg b in
+      if int_cmp then begin
+        let xo = lower_int b x and yo = lower_int b y in
+        let c =
+          match op with
+          | A.Blt -> Ir.Slt | A.Ble -> Ir.Sle | A.Bgt -> Ir.Sgt
+          | A.Bge -> Ir.Sge | A.Beq -> Ir.Ieq | _ -> Ir.Ine
+        in
+        emit b (Ir.Icmp (r, c, xo, yo))
+      end
+      else begin
+        let xo = lower_float b x and yo = lower_float b y in
+        let c =
+          match op with
+          | A.Blt -> Ir.Folt | A.Ble -> Ir.Fole | A.Bgt -> Ir.Fogt
+          | A.Bge -> Ir.Foge | A.Beq -> Ir.Foeq | _ -> Ir.Fone
+        in
+        emit b (Ir.Fcmp (r, c, xo, yo))
+      end;
+      Ir.Oreg r
+  | A.Ebinop (A.Band, x, y) ->
+      let xo = lower_cond b x and yo = lower_cond b y in
+      let r = fresh_reg b in
+      emit b (Ir.BoolOp (r, `And, [ xo; yo ]));
+      Ir.Oreg r
+  | A.Ebinop (A.Bor, x, y) ->
+      let xo = lower_cond b x and yo = lower_cond b y in
+      let r = fresh_reg b in
+      emit b (Ir.BoolOp (r, `Or, [ xo; yo ]));
+      Ir.Oreg r
+  | A.Eunop (A.Unot, x) ->
+      let xo = lower_cond b x in
+      let r = fresh_reg b in
+      emit b (Ir.BoolOp (r, `Not, [ xo ]));
+      Ir.Oreg r
+  | _ -> Diag.errorf ~loc:e.A.eloc "expected a condition"
+
+and all_scope b : Sema.binding Util.SMap.t = b.env.Sema.bindings
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                           *)
+
+let rec lower_stmt b (s : A.stmt) : unit =
+  match s.A.sdesc with
+  | A.Sassign (lv, op, rhs) ->
+      if lv.A.indices = [] then begin
+        (* scalar target: a mutable register *)
+        let reg =
+          match Util.SMap.find_opt lv.A.base b.vars with
+          | Some (Ir.Oreg r) -> r
+          | _ ->
+              Diag.errorf ~loc:lv.A.lloc
+                "assignment to %s which is not a local scalar" lv.A.base
+        in
+        let rhs_op = lower_float b rhs in
+        let value =
+          match op with
+          | A.Aset -> rhs_op
+          | _ ->
+              let fop =
+                match op with
+                | A.Aadd -> Ir.Fadd | A.Asub -> Ir.Fsub
+                | A.Amul -> Ir.Fmul | _ -> Ir.Fdiv
+              in
+              let r = fresh_reg b in
+              emit b (Ir.Fbin (r, fop, Ir.Oreg reg, rhs_op));
+              Ir.Oreg r
+        in
+        emit b (Ir.Mov (reg, value))
+      end
+      else begin
+        let idx_ops = List.map (lower_int b) lv.A.indices in
+        let addr = fresh_reg b in
+        emit b (Ir.Gep (addr, lv.A.base, idx_ops));
+        let value =
+          match op with
+          | A.Aset -> lower_float b rhs
+          | _ ->
+              let old = fresh_reg b in
+              emit b (Ir.Load (old, Ir.Oreg addr));
+              let rhs_op = lower_float b rhs in
+              let fop =
+                match op with
+                | A.Aadd -> Ir.Fadd | A.Asub -> Ir.Fsub
+                | A.Amul -> Ir.Fmul | _ -> Ir.Fdiv
+              in
+              let r = fresh_reg b in
+              emit b (Ir.Fbin (r, fop, Ir.Oreg old, rhs_op));
+              Ir.Oreg r
+        in
+        emit b (Ir.Store (Ir.Oreg addr, value))
+      end
+  | A.Sdecl_scalar (A.Tdouble, name, init) ->
+      let r = fresh_reg b in
+      b.vars <- Util.SMap.add name (Ir.Oreg r) b.vars;
+      (match init with
+      | Some e ->
+          let v = lower_float b e in
+          emit b (Ir.Mov (r, v))
+      | None -> ())
+  | A.Sdecl_scalar (A.Tint, name, _) ->
+      Diag.errorf ~loc:s.A.sloc "local int %s not supported" name
+  | A.Sdecl_array _ ->
+      () (* recorded at the function level by [lower_kernel] *)
+  | A.Sfor (h, body) ->
+      let header = fresh_label b "header" in
+      let body_l = fresh_label b "body" in
+      let latch = fresh_label b "latch" in
+      let exit = fresh_label b "exit" in
+      (* preheader: initialize the induction variable *)
+      let iv = fresh_reg b in
+      let lo = lower_int b h.A.lo in
+      emit b (Ir.Mov (iv, lo));
+      let saved_vars = b.vars in
+      b.vars <- Util.SMap.add h.A.index (Ir.Oreg iv) b.vars;
+      seal b (Ir.Br header) ~next:header;
+      (* header: test *)
+      let bound = lower_int b h.A.bound in
+      let c = fresh_reg b in
+      let cmp =
+        match h.A.cmp with
+        | A.Blt -> Ir.Slt | A.Ble -> Ir.Sle | A.Bgt -> Ir.Sgt | A.Bge -> Ir.Sge
+        | _ -> assert false
+      in
+      emit b (Ir.Icmp (c, cmp, Ir.Oreg iv, bound));
+      seal b (Ir.CondBr (Ir.Oreg c, body_l, exit)) ~next:body_l;
+      (* body *)
+      List.iter (lower_stmt b) body;
+      seal b (Ir.Br latch) ~next:latch;
+      (* latch: step *)
+      let stepped = fresh_reg b in
+      emit b (Ir.Bin (stepped, Ir.Iadd, Ir.Oreg iv, Ir.Oint h.A.step));
+      emit b (Ir.Mov (iv, Ir.Oreg stepped));
+      seal b (Ir.Br header) ~next:exit;
+      b.vars <- saved_vars
+  | A.Sif (cond, then_, else_) ->
+      let c = lower_cond b cond in
+      let then_l = fresh_label b "then" in
+      let else_l = fresh_label b "else" in
+      let merge = fresh_label b "merge" in
+      let has_else = else_ <> [] in
+      seal b (Ir.CondBr (c, then_l, (if has_else then else_l else merge)))
+        ~next:then_l;
+      List.iter (lower_stmt b) then_;
+      seal b (Ir.Br merge) ~next:(if has_else then else_l else merge);
+      if has_else then begin
+        List.iter (lower_stmt b) else_;
+        seal b (Ir.Br merge) ~next:merge
+      end
+  | A.Sblock body -> List.iter (lower_stmt b) body
+
+(* Collect local array declarations (any nesting level). *)
+let rec local_arrays_of_stmts env stmts =
+  List.concat_map
+    (fun (s : A.stmt) ->
+      match s.A.sdesc with
+      | A.Sdecl_array (_, name, dims) -> [ (name, List.map Lower.int_expr dims) ]
+      | A.Sfor (_, body) | A.Sblock body -> local_arrays_of_stmts env body
+      | A.Sif (_, t, e) ->
+          local_arrays_of_stmts env t @ local_arrays_of_stmts env e
+      | _ -> [])
+    stmts
+
+(** [lower env] — lower a checked kernel to a lir function. *)
+let lower (env : Sema.env) : Ir.func =
+  let k = env.Sema.kernel in
+  let b =
+    {
+      done_blocks = [];
+      cur_label = "entry";
+      cur_insts = [];
+      next_reg = 0;
+      next_label = 0;
+      vars = Util.SMap.empty;
+      env;
+    }
+  in
+  List.iter (lower_stmt b) k.A.body;
+  seal b Ir.Ret ~next:"unreachable";
+  let arrays =
+    List.map
+      (fun (name, (info : Sema.array_info)) ->
+        (name, List.map Lower.int_expr info.Sema.dims))
+      (Sema.array_params env)
+  in
+  {
+    Ir.fname = k.A.name;
+    size_params = Sema.size_params env;
+    scalar_params = Sema.scalar_params env;
+    arrays;
+    local_arrays = local_arrays_of_stmts env k.A.body;
+    blocks = List.rev b.done_blocks;
+  }
+
+(** Parse + check + lower a kernel source string to lir. *)
+let func_of_string ?(source = "<string>") text : Ir.func =
+  lower (Sema.check (Parser.parse_kernel_string ~source text))

@@ -1,0 +1,9 @@
+(** Lowering the checked DSL AST to lir — the "clang" of this
+    reproduction: loops become branch-connected blocks, conditionals become
+    diamonds, accesses become GEP + load/store, scalars become mutable
+    registers. *)
+
+val lower : Daisy_lang.Sema.env -> Ir.func
+
+val func_of_string : ?source:string -> string -> Ir.func
+(** Parse + check + lower a kernel source string. *)

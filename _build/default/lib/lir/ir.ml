@@ -1,0 +1,167 @@
+(** The low-level IR ("lir") — an LLVM-IR-like three-address representation.
+
+    Instructions operate on virtual registers grouped into basic blocks
+    connected by (conditional) branches; loops and memory accesses exist
+    only as branch patterns and GEP/load/store instructions, exactly the
+    situation the paper's §3 lifting confronts: "all high-level information,
+    such as array shapes, loop relations, and data dependencies, must be
+    inferred through static analysis".
+
+    Arrays are addressed by multi-index GEPs (the form clang emits for
+    statically-shaped arrays); registers are mutable (post-reg2mem style),
+    so no phi nodes are needed. *)
+
+type reg = int
+
+type label = string
+
+type operand =
+  | Oreg of reg
+  | Oint of int
+  | Ofloat of float
+  | Osym of string  (** integer size parameter *)
+  | Oscalar of string  (** floating scalar parameter or named local *)
+
+type ibinop = Iadd | Isub | Imul | Idiv | Irem
+
+type fbinop = Fadd | Fsub | Fmul | Fdiv
+
+type icmp = Slt | Sle | Sgt | Sge | Ieq | Ine
+
+type fcmp = Folt | Fole | Fogt | Foge | Foeq | Fone
+
+type inst =
+  | Bin of reg * ibinop * operand * operand  (** integer arithmetic *)
+  | Fbin of reg * fbinop * operand * operand  (** float arithmetic *)
+  | Fneg of reg * operand
+  | Call of reg * string * operand list  (** intrinsic (sqrt, exp, ...) *)
+  | Icmp of reg * icmp * operand * operand
+  | Fcmp of reg * fcmp * operand * operand
+  | Select of reg * operand * operand * operand  (** cond, then, else *)
+  | Gep of reg * string * operand list  (** array base + one index per dim *)
+  | Load of reg * operand  (** from an address produced by Gep *)
+  | Store of operand * operand  (** address, value *)
+  | Mov of reg * operand
+  | Sitofp of reg * operand  (** int -> double *)
+  | BoolOp of reg * [ `And | `Or | `Not ] * operand list
+
+type terminator =
+  | Br of label
+  | CondBr of operand * label * label
+  | Ret
+
+type block = { label : label; insts : inst list; term : terminator }
+
+type func = {
+  fname : string;
+  size_params : string list;
+  scalar_params : string list;
+  arrays : (string * Daisy_poly.Expr.t list) list;  (** name, dims *)
+  local_arrays : (string * Daisy_poly.Expr.t list) list;
+  blocks : block list;  (** entry first *)
+}
+
+let entry_label (f : func) =
+  match f.blocks with [] -> invalid_arg "empty function" | b :: _ -> b.label
+
+let block (f : func) (l : label) : block =
+  match List.find_opt (fun b -> String.equal b.label l) f.blocks with
+  | Some b -> b
+  | None -> invalid_arg ("unknown block " ^ l)
+
+(** Registers written by an instruction. *)
+let def_of = function
+  | Bin (r, _, _, _) | Fbin (r, _, _, _) | Fneg (r, _) | Call (r, _, _)
+  | Icmp (r, _, _, _) | Fcmp (r, _, _, _) | Select (r, _, _, _)
+  | Gep (r, _, _) | Load (r, _) | Mov (r, _) | Sitofp (r, _)
+  | BoolOp (r, _, _) -> Some r
+  | Store _ -> None
+
+let successors (b : block) : label list =
+  match b.term with
+  | Br l -> [ l ]
+  | CondBr (_, t, f) -> [ t; f ]
+  | Ret -> []
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                             *)
+
+let pp_operand ppf = function
+  | Oreg r -> Fmt.pf ppf "%%r%d" r
+  | Oint n -> Fmt.int ppf n
+  | Ofloat f -> Fmt.pf ppf "%g" f
+  | Osym s -> Fmt.pf ppf "@%s" s
+  | Oscalar s -> Fmt.pf ppf "$%s" s
+
+let string_of_ibinop = function
+  | Iadd -> "add" | Isub -> "sub" | Imul -> "mul" | Idiv -> "sdiv" | Irem -> "srem"
+
+let string_of_fbinop = function
+  | Fadd -> "fadd" | Fsub -> "fsub" | Fmul -> "fmul" | Fdiv -> "fdiv"
+
+let string_of_icmp = function
+  | Slt -> "slt" | Sle -> "sle" | Sgt -> "sgt" | Sge -> "sge"
+  | Ieq -> "eq" | Ine -> "ne"
+
+let string_of_fcmp = function
+  | Folt -> "olt" | Fole -> "ole" | Fogt -> "ogt" | Foge -> "oge"
+  | Foeq -> "oeq" | Fone -> "one"
+
+let pp_inst ppf = function
+  | Bin (r, op, a, b) ->
+      Fmt.pf ppf "%%r%d = %s %a, %a" r (string_of_ibinop op) pp_operand a
+        pp_operand b
+  | Fbin (r, op, a, b) ->
+      Fmt.pf ppf "%%r%d = %s %a, %a" r (string_of_fbinop op) pp_operand a
+        pp_operand b
+  | Fneg (r, a) -> Fmt.pf ppf "%%r%d = fneg %a" r pp_operand a
+  | Call (r, f, args) ->
+      Fmt.pf ppf "%%r%d = call @%s(%a)" r f
+        (Fmt.list ~sep:(Fmt.any ", ") pp_operand)
+        args
+  | Icmp (r, c, a, b) ->
+      Fmt.pf ppf "%%r%d = icmp %s %a, %a" r (string_of_icmp c) pp_operand a
+        pp_operand b
+  | Fcmp (r, c, a, b) ->
+      Fmt.pf ppf "%%r%d = fcmp %s %a, %a" r (string_of_fcmp c) pp_operand a
+        pp_operand b
+  | Select (r, c, a, b) ->
+      Fmt.pf ppf "%%r%d = select %a, %a, %a" r pp_operand c pp_operand a
+        pp_operand b
+  | Gep (r, base, idx) ->
+      Fmt.pf ppf "%%r%d = getelementptr @%s, %a" r base
+        (Fmt.list ~sep:(Fmt.any ", ") pp_operand)
+        idx
+  | Load (r, a) -> Fmt.pf ppf "%%r%d = load %a" r pp_operand a
+  | Store (a, v) -> Fmt.pf ppf "store %a, %a" pp_operand v pp_operand a
+  | Mov (r, a) -> Fmt.pf ppf "%%r%d = mov %a" r pp_operand a
+  | Sitofp (r, a) -> Fmt.pf ppf "%%r%d = sitofp %a" r pp_operand a
+  | BoolOp (r, `And, args) ->
+      Fmt.pf ppf "%%r%d = and %a" r (Fmt.list ~sep:(Fmt.any ", ") pp_operand) args
+  | BoolOp (r, `Or, args) ->
+      Fmt.pf ppf "%%r%d = or %a" r (Fmt.list ~sep:(Fmt.any ", ") pp_operand) args
+  | BoolOp (r, `Not, args) ->
+      Fmt.pf ppf "%%r%d = not %a" r (Fmt.list ~sep:(Fmt.any ", ") pp_operand) args
+
+let pp_terminator ppf = function
+  | Br l -> Fmt.pf ppf "br %%%s" l
+  | CondBr (c, t, f) -> Fmt.pf ppf "br %a, %%%s, %%%s" pp_operand c t f
+  | Ret -> Fmt.string ppf "ret"
+
+let pp_block ppf (b : block) =
+  Fmt.pf ppf "@[<v>%s:@,%a%a@]" b.label
+    (Fmt.list ~sep:Fmt.nop (fun ppf i -> Fmt.pf ppf "  %a@," pp_inst i))
+    b.insts
+    (fun ppf t -> Fmt.pf ppf "  %a" pp_terminator t)
+    b.term
+
+let pp_func ppf (f : func) =
+  Fmt.pf ppf "@[<v>define %s(%a | %a) {@,%a@,}@]" f.fname
+    (Fmt.list ~sep:(Fmt.any ", ") Fmt.string)
+    f.size_params
+    (Fmt.list ~sep:(Fmt.any ", ") Fmt.string)
+    f.scalar_params
+    (Fmt.list ~sep:Fmt.cut pp_block)
+    f.blocks
+
+let func_to_string f = Fmt.str "%a" pp_func f

@@ -1,0 +1,244 @@
+(** Textual parser for lir — the inverse of {!Ir.pp_func}.
+
+    Lets low-level IR be written or stored directly (like .ll files) and
+    gives the test suite printer/parser roundtrips. The syntax is exactly
+    what the printer emits:
+
+    {v
+    define f(n, m | alpha) {
+    entry:
+      %r0 = mov 0
+      br %header0
+    header0:
+      %r1 = icmp slt %r0, @n
+      br %r1, %body0, %exit0
+    ...
+    }
+    v}
+
+    Array declarations are passed separately ([~arrays]) since the printed
+    form does not include shapes. *)
+
+exception Parse_error of string
+
+let fail fmt = Fmt.kstr (fun m -> raise (Parse_error m)) fmt
+
+type tok =
+  | Tword of string  (** bare identifier or keyword *)
+  | Treg of int
+  | Tsym of string  (** [@name] *)
+  | Tscalar of string  (** [$name] *)
+  | Tlabel_ref of string  (** [%name] that is not a register *)
+  | Tint of int
+  | Tfloat of float
+  | Tcomma | Teq | Tlparen | Trparen | Tlbrace | Trbrace | Tbar | Tcolon
+
+let tokenize_line (line : string) : tok list =
+  let n = String.length line in
+  let toks = ref [] in
+  let i = ref 0 in
+  let is_ident c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_' || c = '.'
+  in
+  let read_while p =
+    let start = !i in
+    while !i < n && p line.[!i] do incr i done;
+    String.sub line start (!i - start)
+  in
+  while !i < n do
+    match line.[!i] with
+    | ' ' | '\t' -> incr i
+    | ',' -> incr i; toks := Tcomma :: !toks
+    | '=' -> incr i; toks := Teq :: !toks
+    | '(' -> incr i; toks := Tlparen :: !toks
+    | ')' -> incr i; toks := Trparen :: !toks
+    | '{' -> incr i; toks := Tlbrace :: !toks
+    | '}' -> incr i; toks := Trbrace :: !toks
+    | '|' -> incr i; toks := Tbar :: !toks
+    | ':' -> incr i; toks := Tcolon :: !toks
+    | '%' ->
+        incr i;
+        let w = read_while is_ident in
+        if String.length w > 1 && w.[0] = 'r'
+           && String.for_all (fun c -> c >= '0' && c <= '9')
+                (String.sub w 1 (String.length w - 1))
+        then toks := Treg (int_of_string (String.sub w 1 (String.length w - 1))) :: !toks
+        else toks := Tlabel_ref w :: !toks
+    | '@' ->
+        incr i;
+        toks := Tsym (read_while is_ident) :: !toks
+    | '$' ->
+        incr i;
+        toks := Tscalar (read_while is_ident) :: !toks
+    | c when (c >= '0' && c <= '9') || c = '-' ->
+        let w =
+          read_while (fun c ->
+              (c >= '0' && c <= '9') || c = '-' || c = '.' || c = 'e' || c = '+')
+        in
+        if String.contains w '.' || String.contains w 'e' then
+          toks := Tfloat (float_of_string w) :: !toks
+        else toks := Tint (int_of_string w) :: !toks
+    | c when is_ident c ->
+        toks := Tword (read_while is_ident) :: !toks
+    | c -> fail "unexpected character %C in %S" c line
+  done;
+  List.rev !toks
+
+let operand_of = function
+  | Treg r -> Ir.Oreg r
+  | Tint n -> Ir.Oint n
+  | Tfloat f -> Ir.Ofloat f
+  | Tsym s -> Ir.Osym s
+  | Tscalar s -> Ir.Oscalar s
+  | _ -> fail "expected an operand"
+
+let rec operands_of = function
+  | [] -> []
+  | [ x ] -> [ operand_of x ]
+  | x :: Tcomma :: rest -> operand_of x :: operands_of rest
+  | _ -> fail "malformed operand list"
+
+let ibinop_of = function
+  | "add" -> Ir.Iadd | "sub" -> Ir.Isub | "mul" -> Ir.Imul
+  | "sdiv" -> Ir.Idiv | "srem" -> Ir.Irem
+  | w -> fail "unknown integer op %s" w
+
+let fbinop_of = function
+  | "fadd" -> Ir.Fadd | "fsub" -> Ir.Fsub | "fmul" -> Ir.Fmul
+  | "fdiv" -> Ir.Fdiv
+  | w -> fail "unknown float op %s" w
+
+let icmp_of = function
+  | "slt" -> Ir.Slt | "sle" -> Ir.Sle | "sgt" -> Ir.Sgt | "sge" -> Ir.Sge
+  | "eq" -> Ir.Ieq | "ne" -> Ir.Ine
+  | w -> fail "unknown icmp predicate %s" w
+
+let fcmp_of = function
+  | "olt" -> Ir.Folt | "ole" -> Ir.Fole | "ogt" -> Ir.Fogt | "oge" -> Ir.Foge
+  | "oeq" -> Ir.Foeq | "one" -> Ir.Fone
+  | w -> fail "unknown fcmp predicate %s" w
+
+(* parse the right-hand side of "%rN = ..." *)
+let inst_of_def (r : int) (toks : tok list) : Ir.inst =
+  match toks with
+  | Tword "mov" :: rest -> Ir.Mov (r, operand_of (List.hd rest))
+  | Tword "fneg" :: rest -> Ir.Fneg (r, operand_of (List.hd rest))
+  | Tword "sitofp" :: rest -> Ir.Sitofp (r, operand_of (List.hd rest))
+  | Tword "load" :: rest -> Ir.Load (r, operand_of (List.hd rest))
+  | Tword (("add" | "sub" | "mul" | "sdiv" | "srem") as op) :: rest -> (
+      match operands_of rest with
+      | [ a; b ] -> Ir.Bin (r, ibinop_of op, a, b)
+      | _ -> fail "binary op arity")
+  | Tword (("fadd" | "fsub" | "fmul" | "fdiv") as op) :: rest -> (
+      match operands_of rest with
+      | [ a; b ] -> Ir.Fbin (r, fbinop_of op, a, b)
+      | _ -> fail "float op arity")
+  | Tword "icmp" :: Tword pred :: rest -> (
+      match operands_of rest with
+      | [ a; b ] -> Ir.Icmp (r, icmp_of pred, a, b)
+      | _ -> fail "icmp arity")
+  | Tword "fcmp" :: Tword pred :: rest -> (
+      match operands_of rest with
+      | [ a; b ] -> Ir.Fcmp (r, fcmp_of pred, a, b)
+      | _ -> fail "fcmp arity")
+  | Tword "select" :: rest -> (
+      match operands_of rest with
+      | [ c; a; b ] -> Ir.Select (r, c, a, b)
+      | _ -> fail "select arity")
+  | Tword "getelementptr" :: Tsym base :: Tcomma :: rest ->
+      Ir.Gep (r, base, operands_of rest)
+  | Tword "call" :: Tsym f :: Tlparen :: rest -> (
+      match List.rev rest with
+      | Trparen :: rev_args ->
+          Ir.Call (r, f, operands_of (List.rev rev_args))
+      | _ -> fail "call syntax")
+  | Tword "and" :: rest -> Ir.BoolOp (r, `And, operands_of rest)
+  | Tword "or" :: rest -> Ir.BoolOp (r, `Or, operands_of rest)
+  | Tword "not" :: rest -> Ir.BoolOp (r, `Not, operands_of rest)
+  | _ -> fail "unrecognized instruction"
+
+type pline =
+  | Plabel of string
+  | Pinst of Ir.inst
+  | Pterm of Ir.terminator
+  | Pheader of string * string list * string list  (** name, sizes, scalars *)
+  | Pclose
+
+let parse_line (line : string) : pline option =
+  let toks = tokenize_line line in
+  match toks with
+  | [] -> None
+  | [ Trbrace ] -> Some Pclose
+  | Tword "define" :: Tword name :: Tlparen :: rest ->
+      let rec split_params acc_sizes acc_scalars in_scalars = function
+        | Trparen :: _ -> (List.rev acc_sizes, List.rev acc_scalars)
+        | Tbar :: rest -> split_params acc_sizes acc_scalars true rest
+        | Tword w :: rest ->
+            if in_scalars then split_params acc_sizes (w :: acc_scalars) true rest
+            else split_params (w :: acc_sizes) acc_scalars false rest
+        | Tcomma :: rest -> split_params acc_sizes acc_scalars in_scalars rest
+        | _ -> fail "malformed parameter list"
+      in
+      let sizes, scalars = split_params [] [] false rest in
+      Some (Pheader (name, sizes, scalars))
+  | [ Tword l; Tcolon ] -> Some (Plabel l)
+  | Treg r :: Teq :: rest -> Some (Pinst (inst_of_def r rest))
+  | Tword "store" :: rest -> (
+      match operands_of rest with
+      | [ v; a ] -> Some (Pinst (Ir.Store (a, v)))
+      | _ -> fail "store arity")
+  | [ Tword "ret" ] -> Some (Pterm Ir.Ret)
+  | [ Tword "br"; Tlabel_ref l ] -> Some (Pterm (Ir.Br l))
+  | [ Tword "br"; c; Tcomma; Tlabel_ref t; Tcomma; Tlabel_ref f ] ->
+      Some (Pterm (Ir.CondBr (operand_of c, t, f)))
+  | _ -> fail "cannot parse line %S" line
+
+(** [parse ~arrays ?local_arrays text] — parse a printed lir function.
+    Shapes of parameter (and local) arrays must be supplied, since the
+    textual form omits them. *)
+let parse ~(arrays : (string * Daisy_poly.Expr.t list) list)
+    ?(local_arrays : (string * Daisy_poly.Expr.t list) list = [])
+    (text : string) : Ir.func =
+  let lines = String.split_on_char '\n' text in
+  let header = ref None in
+  let blocks = ref [] in
+  let cur_label = ref None in
+  let cur_insts = ref [] in
+  let finish term =
+    match !cur_label with
+    | None -> fail "terminator outside a block"
+    | Some label ->
+        blocks := { Ir.label; insts = List.rev !cur_insts; term } :: !blocks;
+        cur_label := None;
+        cur_insts := []
+  in
+  List.iter
+    (fun line ->
+      match parse_line line with
+      | None -> ()
+      | Some (Pheader (name, sizes, scalars)) ->
+          header := Some (name, sizes, scalars)
+      | Some (Plabel l) ->
+          if !cur_label <> None then fail "label inside an open block";
+          cur_label := Some l
+      | Some (Pinst i) -> cur_insts := i :: !cur_insts
+      | Some (Pterm t) -> finish t
+      | Some Pclose -> ())
+    lines;
+  match !header with
+  | None -> fail "missing function header"
+  | Some (name, sizes, scalars) ->
+      {
+        Ir.fname = name;
+        size_params = sizes;
+        scalar_params = scalars;
+        arrays;
+        local_arrays;
+        blocks = List.rev !blocks;
+      }
+
+(** Roundtrip helper: [reparse f] prints and re-parses [f]. *)
+let reparse (f : Ir.func) : Ir.func =
+  parse ~arrays:f.Ir.arrays ~local_arrays:f.Ir.local_arrays
+    (Ir.func_to_string f)

@@ -1,0 +1,14 @@
+(** Textual parser for lir — the inverse of {!Ir.pp_func}, enabling
+    [.ll]-style files and printer/parser roundtrips. Array shapes must be
+    supplied since the textual form omits them. *)
+
+exception Parse_error of string
+
+val parse :
+  arrays:(string * Daisy_poly.Expr.t list) list ->
+  ?local_arrays:(string * Daisy_poly.Expr.t list) list ->
+  string ->
+  Ir.func
+
+val reparse : Ir.func -> Ir.func
+(** Print and re-parse (roundtrip helper). *)

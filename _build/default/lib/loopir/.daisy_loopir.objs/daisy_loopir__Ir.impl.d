@@ -1,0 +1,1 @@
+lib/loopir/ir.ml: Daisy_poly Daisy_support Float Fmt Hashtbl List Option Printf String Util

@@ -1,0 +1,1 @@
+lib/loopir/ir.mli: Daisy_poly Daisy_support Fmt

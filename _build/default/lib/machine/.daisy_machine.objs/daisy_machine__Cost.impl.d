@@ -1,0 +1,1 @@
+lib/machine/cost.ml: Cache Config Daisy_loopir Float Fmt List Trace

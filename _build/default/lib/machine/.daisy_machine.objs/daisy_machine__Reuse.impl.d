@@ -1,0 +1,1 @@
+lib/machine/reuse.ml: Array Config Daisy_loopir Daisy_poly Daisy_support Float Fmt List Printf String Trace Util

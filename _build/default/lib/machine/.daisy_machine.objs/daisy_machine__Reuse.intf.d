@@ -1,0 +1,1 @@
+lib/machine/reuse.mli: Config Daisy_loopir Fmt

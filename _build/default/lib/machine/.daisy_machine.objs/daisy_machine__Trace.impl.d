@@ -1,0 +1,1 @@
+lib/machine/trace.ml: Array Cache Config Daisy_blas Daisy_loopir Daisy_poly Daisy_support Float Hashtbl List String Util

@@ -1,0 +1,130 @@
+(** Trace-driven two-level set-associative LRU cache simulator.
+
+    Write-allocate, write-back. The simulator tracks per-level accesses,
+    misses, evictions and dirty write-backs; the cost model converts these
+    to bandwidth demand. *)
+
+type stats = {
+  mutable accesses : float;
+  mutable misses : float;
+  mutable evicts : float;
+  mutable writebacks : float;
+}
+
+let zero_stats () = { accesses = 0.0; misses = 0.0; evicts = 0.0; writebacks = 0.0 }
+
+let copy_stats s =
+  { accesses = s.accesses; misses = s.misses; evicts = s.evicts; writebacks = s.writebacks }
+
+let sub_stats a b =
+  {
+    accesses = a.accesses -. b.accesses;
+    misses = a.misses -. b.misses;
+    evicts = a.evicts -. b.evicts;
+    writebacks = a.writebacks -. b.writebacks;
+  }
+
+type level = {
+  sets : int;
+  assoc : int;
+  line_shift : int;
+  tags : int array;  (** sets * assoc; -1 = invalid *)
+  dirty : bool array;
+  stamp : int array;  (** LRU: higher = more recent *)
+  stats : stats;
+}
+
+let make_level (c : Config.cache_level) : level =
+  let lines = c.Config.size_bytes / c.Config.line_bytes in
+  let sets = max 1 (lines / c.Config.assoc) in
+  let line_shift =
+    let rec go s n = if n <= 1 then s else go (s + 1) (n / 2) in
+    go 0 c.Config.line_bytes
+  in
+  {
+    sets;
+    assoc = c.Config.assoc;
+    line_shift;
+    tags = Array.make (sets * c.Config.assoc) (-1);
+    dirty = Array.make (sets * c.Config.assoc) false;
+    stamp = Array.make (sets * c.Config.assoc) 0;
+    stats = zero_stats ();
+  }
+
+type t = { l1 : level; l2 : level; mutable clock : int }
+
+let create (c : Config.t) : t =
+  { l1 = make_level c.Config.l1; l2 = make_level c.Config.l2; clock = 0 }
+
+(** Access one level with a line address. Returns [`Hit] or
+    [`Miss of evicted_dirty_line_option]. *)
+let access_level (t : t) (lv : level) (line : int) ~(write : bool) :
+    [ `Hit | `Miss of int option ] =
+  lv.stats.accesses <- lv.stats.accesses +. 1.0;
+  t.clock <- t.clock + 1;
+  let set = line mod lv.sets in
+  let base = set * lv.assoc in
+  let rec find w = if w = lv.assoc then -1
+    else if lv.tags.(base + w) = line then base + w
+    else find (w + 1)
+  in
+  let slot = find 0 in
+  if slot >= 0 then begin
+    lv.stamp.(slot) <- t.clock;
+    if write then lv.dirty.(slot) <- true;
+    `Hit
+  end
+  else begin
+    lv.stats.misses <- lv.stats.misses +. 1.0;
+    (* choose victim: first invalid way, else LRU *)
+    let victim = ref (base) in
+    let best = ref max_int in
+    let invalid = ref (-1) in
+    for w = 0 to lv.assoc - 1 do
+      let s = base + w in
+      if lv.tags.(s) = -1 then (if !invalid = -1 then invalid := s)
+      else if lv.stamp.(s) < !best then begin
+        best := lv.stamp.(s);
+        victim := s
+      end
+    done;
+    let slot = if !invalid >= 0 then !invalid else !victim in
+    let evicted =
+      if lv.tags.(slot) = -1 then None
+      else begin
+        lv.stats.evicts <- lv.stats.evicts +. 1.0;
+        let dirty_line = if lv.dirty.(slot) then Some lv.tags.(slot) else None in
+        if dirty_line <> None then
+          lv.stats.writebacks <- lv.stats.writebacks +. 1.0;
+        dirty_line
+      end
+    in
+    lv.tags.(slot) <- line;
+    lv.dirty.(slot) <- write;
+    lv.stamp.(slot) <- t.clock;
+    `Miss evicted
+  end
+
+(** [access t ~addr ~write] — one memory access through the hierarchy. *)
+let access (t : t) ~(addr : int) ~(write : bool) : unit =
+  let line = addr lsr t.l1.line_shift in
+  match access_level t t.l1 line ~write with
+  | `Hit -> ()
+  | `Miss evicted_dirty ->
+      (match access_level t t.l2 line ~write:false with
+      | `Hit -> ()
+      | `Miss _ -> ());
+      (* write back a dirty L1 victim into L2 *)
+      (match evicted_dirty with
+      | Some dline -> ignore (access_level t t.l2 dline ~write:true)
+      | None -> ())
+
+(** Reset tag state but keep statistics. *)
+let flush (t : t) =
+  Array.fill t.l1.tags 0 (Array.length t.l1.tags) (-1);
+  Array.fill t.l2.tags 0 (Array.length t.l2.tags) (-1);
+  Array.fill t.l1.dirty 0 (Array.length t.l1.dirty) false;
+  Array.fill t.l2.dirty 0 (Array.length t.l2.dirty) false
+
+let l1_stats t = t.l1.stats
+let l2_stats t = t.l2.stats

@@ -1,0 +1,26 @@
+(** Trace-driven two-level set-associative LRU cache simulator
+    (write-allocate, write-back). *)
+
+type stats = {
+  mutable accesses : float;
+  mutable misses : float;
+  mutable evicts : float;
+  mutable writebacks : float;
+}
+
+val zero_stats : unit -> stats
+val copy_stats : stats -> stats
+val sub_stats : stats -> stats -> stats
+
+type t
+
+val create : Config.t -> t
+
+val access : t -> addr:int -> write:bool -> unit
+(** One memory access through the hierarchy. *)
+
+val flush : t -> unit
+(** Reset tag state, keep statistics. *)
+
+val l1_stats : t -> stats
+val l2_stats : t -> stats

@@ -1,0 +1,69 @@
+(** Machine model parameters.
+
+    The default configuration is a proportionally scaled-down Xeon
+    E5-2680v3 (the paper's testbed): problem sizes in this reproduction are
+    scaled down from PolyBench LARGE to keep trace-driven simulation
+    tractable, and cache capacities are scaled by the same factor so
+    working-set-to-cache ratios — and therefore every relative comparison —
+    are preserved (see DESIGN.md §7). *)
+
+type cache_level = {
+  name : string;
+  size_bytes : int;
+  line_bytes : int;
+  assoc : int;
+}
+
+type t = {
+  l1 : cache_level;
+  l2 : cache_level;
+  freq_ghz : float;
+  cores : int;
+  scalar_flops_per_cycle : float;  (** sustained scalar FP throughput *)
+  vector_width : int;  (** doubles per SIMD operation (AVX2) *)
+  l1_accesses_per_cycle : float;  (** load/store ports *)
+  l2_bytes_per_cycle : float;  (** per-core L1<->L2 bandwidth *)
+  dram_bytes_per_cycle : float;  (** shared off-chip bandwidth *)
+  atomic_cycles : float;  (** serialized cost of one atomic update *)
+  parallel_region_base_cycles : float;  (** fork/join fixed cost *)
+  parallel_region_per_thread_cycles : float;
+  unroll_ilp_boost : float;  (** flop-rate multiplier for unrolled loops *)
+  spill_latency_cycles : float;  (** added latency per register spill op *)
+  blas_efficiency : float;  (** fraction of vector peak a tuned BLAS hits *)
+}
+
+(** Scaled-down Xeon-like machine: L1 8 KiB / 4-way, L2 64 KiB / 8-way,
+    64-byte lines. Peak vector FMA throughput is
+    [scalar_flops_per_cycle * vector_width] flops/cycle/core. *)
+let default : t =
+  {
+    l1 = { name = "L1"; size_bytes = 8 * 1024; line_bytes = 64; assoc = 4 };
+    l2 = { name = "L2"; size_bytes = 64 * 1024; line_bytes = 64; assoc = 8 };
+    freq_ghz = 2.5;
+    cores = 12;
+    scalar_flops_per_cycle = 2.0;
+    vector_width = 4;
+    l1_accesses_per_cycle = 2.0;
+    l2_bytes_per_cycle = 32.0;
+    dram_bytes_per_cycle = 16.0;
+    atomic_cycles = 24.0;
+    parallel_region_base_cycles = 2000.0;
+    parallel_region_per_thread_cycles = 200.0;
+    unroll_ilp_boost = 1.25;
+    spill_latency_cycles = 0.15;
+    blas_efficiency = 0.85;
+  }
+
+(** Peak FLOP/s of the whole machine in MFLOP/s (vector FMA on all cores),
+    as measured by the paper's peak benchmark. *)
+let peak_mflops (c : t) =
+  c.freq_ghz *. 1000.0 *. c.scalar_flops_per_cycle
+  *. float_of_int c.vector_width *. float_of_int c.cores
+
+(** Cost of intrinsics in scalar-equivalent flops. *)
+let intrinsic_flops = function
+  | "sqrt" -> 6.0
+  | "exp" | "log" | "pow" -> 20.0
+  | "sin" | "cos" | "tanh" -> 24.0
+  | "fabs" | "min" | "max" | "floor" | "ceil" -> 1.0
+  | _ -> 8.0

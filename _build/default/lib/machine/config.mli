@@ -1,0 +1,36 @@
+(** Machine model parameters — a proportionally scaled-down Xeon E5-2680v3
+    (the paper's testbed); see DESIGN.md §7 for the scaling argument. *)
+
+type cache_level = {
+  name : string;
+  size_bytes : int;
+  line_bytes : int;
+  assoc : int;
+}
+
+type t = {
+  l1 : cache_level;
+  l2 : cache_level;
+  freq_ghz : float;
+  cores : int;
+  scalar_flops_per_cycle : float;
+  vector_width : int;  (** doubles per SIMD operation *)
+  l1_accesses_per_cycle : float;  (** load/store ports *)
+  l2_bytes_per_cycle : float;  (** per-core L1<->L2 bandwidth *)
+  dram_bytes_per_cycle : float;  (** shared off-chip bandwidth *)
+  atomic_cycles : float;
+  parallel_region_base_cycles : float;
+  parallel_region_per_thread_cycles : float;
+  unroll_ilp_boost : float;
+  spill_latency_cycles : float;
+  blas_efficiency : float;  (** fraction of vector peak a tuned BLAS hits *)
+}
+
+val default : t
+(** Scaled Xeon-like machine: L1 8 KiB / 4-way, L2 64 KiB / 8-way. *)
+
+val peak_mflops : t -> float
+(** Whole-machine vector-FMA peak in MFLOP/s. *)
+
+val intrinsic_flops : string -> float
+(** Cost of intrinsics in scalar-equivalent flops. *)

@@ -1,0 +1,39 @@
+(** Roofline-style cost model: convert trace counters into cycles and
+    simulated seconds. Per top-level nest the runtime is the max of FP
+    issue, L1 port, L1<->L2 bandwidth and shared DRAM bandwidth, plus
+    register-spill latency, atomic updates and parallel fork/join
+    overheads. Shared DRAM bandwidth produces the strong-scaling
+    saturation of the CLOUDSC study. *)
+
+type nest_cost = {
+  counters : Trace.counters;
+  threads_used : float;
+  cycles : float;
+}
+
+type report = {
+  nests : nest_cost list;
+  total_cycles : float;
+  seconds : float;
+  total_flops : float;
+  mflops : float;
+  l1_loads : float;
+  l1_evicts : float;
+  l2_misses : float;
+}
+
+val nest_cycles : Config.t -> threads:int -> Trace.counters -> nest_cost
+
+val evaluate :
+  Config.t ->
+  Daisy_loopir.Ir.program ->
+  sizes:(string * int) list ->
+  ?threads:int ->
+  ?sample_outer:int ->
+  unit ->
+  report
+(** Trace and cost a program ([sample_outer] > 0 samples the outermost loop
+    of each top-level nest and extrapolates). *)
+
+val milliseconds : report -> float
+val pp_report : report Fmt.t

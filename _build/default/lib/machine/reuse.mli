@@ -1,0 +1,36 @@
+(** Reuse-distance analysis (Beyls & D'Hollander): a machine-independent
+    view of what normalization does to locality — the paper's §2
+    motivation. Distances are LRU stack distances over cache lines with
+    logarithmic bucketing. *)
+
+type histogram = {
+  buckets : float array;
+  mutable cold : float;  (** first-touch accesses *)
+  mutable total : float;
+}
+
+val n_buckets : int
+val create_histogram : unit -> histogram
+val bucket_of_distance : int -> int
+
+val mean_distance : histogram -> float
+(** Mean over finite reuses, in cache lines (bucket midpoints). *)
+
+val hit_fraction : histogram -> lines:int -> float
+(** Fraction of reuses that would hit a fully-associative LRU cache of
+    [lines] lines. *)
+
+type tracker
+
+val create : ?max_stack:int -> unit -> tracker
+val touch : tracker -> int -> unit
+
+val of_program :
+  Config.t ->
+  Daisy_loopir.Ir.program ->
+  sizes:(string * int) list ->
+  ?sample_outer:int ->
+  unit ->
+  histogram
+
+val pp_histogram : histogram Fmt.t

@@ -1,0 +1,1 @@
+lib/normalize/contract.ml: Daisy_loopir Daisy_poly Daisy_support Hashtbl List Option String Util

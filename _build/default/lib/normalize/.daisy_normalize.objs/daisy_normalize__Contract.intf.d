@@ -1,0 +1,1 @@
+lib/normalize/contract.mli: Daisy_loopir

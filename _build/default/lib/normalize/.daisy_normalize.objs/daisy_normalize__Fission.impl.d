@@ -1,0 +1,1 @@
+lib/normalize/fission.ml: Array Daisy_dependence Daisy_loopir List

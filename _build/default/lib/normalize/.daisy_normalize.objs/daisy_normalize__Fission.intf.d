@@ -1,0 +1,1 @@
+lib/normalize/fission.mli: Daisy_loopir

@@ -1,0 +1,1 @@
+lib/normalize/iter_norm.ml: Daisy_loopir Daisy_poly Daisy_support List Util

@@ -1,0 +1,1 @@
+lib/normalize/iter_norm.mli: Daisy_loopir

@@ -1,0 +1,1 @@
+lib/normalize/licm.ml: Daisy_loopir Daisy_poly Daisy_support List String Util

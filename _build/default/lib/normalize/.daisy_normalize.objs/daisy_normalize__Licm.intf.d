@@ -1,0 +1,1 @@
+lib/normalize/licm.mli: Daisy_loopir

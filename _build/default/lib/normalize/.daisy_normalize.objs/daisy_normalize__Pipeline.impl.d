@@ -1,0 +1,1 @@
+lib/normalize/pipeline.ml: Daisy_loopir Daisy_support Fission Fmt Iter_norm List Scalar_expand Stride Util

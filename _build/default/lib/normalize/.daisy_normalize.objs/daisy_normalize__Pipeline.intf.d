@@ -1,0 +1,1 @@
+lib/normalize/pipeline.mli: Daisy_loopir Fmt Stride

@@ -1,0 +1,1 @@
+lib/normalize/scalar_expand.ml: Daisy_loopir Daisy_poly Daisy_support Hashtbl List Option Util

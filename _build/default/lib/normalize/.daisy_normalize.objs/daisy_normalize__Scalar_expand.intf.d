@@ -1,0 +1,1 @@
+lib/normalize/scalar_expand.mli: Daisy_loopir

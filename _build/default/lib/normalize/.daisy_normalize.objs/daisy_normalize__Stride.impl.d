@@ -1,0 +1,1 @@
+lib/normalize/stride.ml: Array Daisy_dependence Daisy_loopir Daisy_poly Daisy_support Float List Util

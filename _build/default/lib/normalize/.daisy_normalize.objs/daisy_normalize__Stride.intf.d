@@ -1,0 +1,1 @@
+lib/normalize/stride.mli: Daisy_loopir Daisy_support

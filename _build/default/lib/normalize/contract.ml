@@ -1,0 +1,193 @@
+(** Array contraction — the inverse of scalar expansion.
+
+    Scalar expansion materializes loop-local temporaries as arrays so that
+    maximal fission can split computations apart; after producer-consumer
+    fusion has pulled the producing and consuming computations back into a
+    single loop, the expanded array's whole lifetime fits one iteration
+    again and it can be contracted back to a scalar, removing its memory
+    traffic entirely.
+
+    A rank-1 local array [T] is contracted when:
+    - every access to [T] lies in one single loop [L] (the same loop node);
+    - every subscript is exactly [L]'s iterator;
+    - the first in-order access within [L]'s body is an unguarded write
+      (no value flows between iterations and nothing reads [T] after [L]).
+
+    This pass is an extension beyond the paper's pipeline (its Fig. 10b
+    keeps the expanded arrays); the ablation bench measures its effect. *)
+
+open Daisy_support
+module Ir = Daisy_loopir.Ir
+module Expr = Daisy_poly.Expr
+
+type occurrence = {
+  loop_lid : int;  (** innermost enclosing loop *)
+  iter : string;  (** that loop's iterator *)
+  subscript_is_iter : bool;
+  is_write : bool;
+  guarded : bool;
+}
+
+(* Collect in-order occurrences of rank-1 local arrays. *)
+let collect (p : Ir.program) : (string, occurrence list) Hashtbl.t =
+  let locals =
+    List.filter_map
+      (fun (a : Ir.array_decl) ->
+        if a.Ir.storage = Ir.Slocal && List.length a.Ir.dims = 1 then
+          Some a.Ir.name
+        else None)
+      p.Ir.arrays
+    |> Util.SSet.of_list
+  in
+  let tbl : (string, occurrence list) Hashtbl.t = Hashtbl.create 8 in
+  let add name occ =
+    if Util.SSet.mem name locals then
+      Hashtbl.replace tbl name
+        (occ :: (try Hashtbl.find tbl name with Not_found -> []))
+  in
+  let rec go (ctx : Ir.loop list) nodes =
+    List.iter
+      (fun n ->
+        match n with
+        | Ir.Nloop l -> go (l :: ctx) l.Ir.body
+        | Ir.Ncall k ->
+            (* calls touch whole arrays: poison by recording a mismatching
+               occurrence *)
+            List.iter
+              (fun a ->
+                add a
+                  { loop_lid = -1; iter = ""; subscript_is_iter = false;
+                    is_write = true; guarded = true })
+              (k.Ir.args @ k.Ir.writes_to)
+        | Ir.Ncomp c ->
+            let lid, iter =
+              match ctx with
+              | l :: _ -> (l.Ir.lid, l.Ir.iter)
+              | [] -> (-1, "")
+            in
+            let occ_of (a : Ir.access) is_write =
+              {
+                loop_lid = lid;
+                iter;
+                subscript_is_iter =
+                  (match a.Ir.indices with
+                  | [ Expr.Var v ] -> String.equal v iter
+                  | _ -> false);
+                is_write;
+                guarded = c.Ir.guard <> None;
+              }
+            in
+            (* reads before the write, matching execution order *)
+            List.iter
+              (fun (a : Ir.access) -> add a.Ir.array (occ_of a false))
+              (Ir.comp_array_reads c);
+            List.iter
+              (fun (a : Ir.access) -> add a.Ir.array (occ_of a true))
+              (Ir.comp_array_writes c))
+      nodes
+  in
+  go [] p.Ir.body;
+  Hashtbl.iter (fun k v -> Hashtbl.replace tbl k (List.rev v)) tbl;
+  tbl
+
+let contractible (occs : occurrence list) : bool =
+  match occs with
+  | [] -> false
+  | first :: _ ->
+      first.is_write
+      && (not first.guarded)
+      && first.loop_lid >= 0
+      && List.for_all
+           (fun o ->
+             o.loop_lid = first.loop_lid && o.subscript_is_iter)
+           occs
+
+(** [run p] — contract every eligible expanded array back to a scalar;
+    returns the new program and the [(array, scalar)] contractions. *)
+let run (p : Ir.program) : Ir.program * (string * string) list =
+  let occs = collect p in
+  let taken =
+    ref
+      (Util.SSet.of_list
+         (p.Ir.local_scalars @ p.Ir.scalar_params @ p.Ir.size_params
+         @ List.map (fun (a : Ir.array_decl) -> a.Ir.name) p.Ir.arrays))
+  in
+  let plan = ref [] in
+  let by_name =
+    Hashtbl.fold (fun s o acc -> (s, o) :: acc) occs []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  List.iter
+    (fun (name, occ_list) ->
+      if contractible occ_list then begin
+        let scalar = Util.fresh_name (name ^ "_s") !taken in
+        taken := Util.SSet.add scalar !taken;
+        plan := (name, scalar) :: !plan
+      end)
+    by_name;
+  if !plan = [] then (p, [])
+  else begin
+    let mapping =
+      List.fold_left
+        (fun m (arr, sc) -> Util.SMap.add arr sc m)
+        Util.SMap.empty !plan
+    in
+    let rewrite_access (a : Ir.access) : Ir.dest option =
+      match Util.SMap.find_opt a.Ir.array mapping with
+      | Some sc -> Some (Ir.Dscalar sc)
+      | None -> None
+    in
+    let rec rw_vexpr (e : Ir.vexpr) : Ir.vexpr =
+      match e with
+      | Ir.Vread a -> (
+          match Util.SMap.find_opt a.Ir.array mapping with
+          | Some sc -> Ir.Vscalar sc
+          | None -> e)
+      | Ir.Vfloat _ | Ir.Vint _ | Ir.Vscalar _ -> e
+      | Ir.Vbin (op, a, b) -> Ir.Vbin (op, rw_vexpr a, rw_vexpr b)
+      | Ir.Vneg a -> Ir.Vneg (rw_vexpr a)
+      | Ir.Vcall (f, args) -> Ir.Vcall (f, List.map rw_vexpr args)
+      | Ir.Vselect (pr, a, b) -> Ir.Vselect (rw_pred pr, rw_vexpr a, rw_vexpr b)
+    and rw_pred (pr : Ir.pred) : Ir.pred =
+      match pr with
+      | Ir.Pcmp (op, a, b) -> Ir.Pcmp (op, rw_vexpr a, rw_vexpr b)
+      | Ir.Pand (a, b) -> Ir.Pand (rw_pred a, rw_pred b)
+      | Ir.Por (a, b) -> Ir.Por (rw_pred a, rw_pred b)
+      | Ir.Pnot a -> Ir.Pnot (rw_pred a)
+    in
+    let rec rw_nodes nodes =
+      List.map
+        (fun n ->
+          match n with
+          | Ir.Nloop l -> Ir.Nloop { l with Ir.body = rw_nodes l.Ir.body }
+          | Ir.Ncall k -> Ir.Ncall k
+          | Ir.Ncomp c ->
+              let dest =
+                match c.Ir.dest with
+                | Ir.Darray a -> (
+                    match rewrite_access a with
+                    | Some d -> d
+                    | None -> c.Ir.dest)
+                | d -> d
+              in
+              Ir.Ncomp
+                {
+                  c with
+                  Ir.dest;
+                  rhs = rw_vexpr c.Ir.rhs;
+                  guard = Option.map rw_pred c.Ir.guard;
+                })
+        nodes
+    in
+    let contracted = List.map fst !plan in
+    ( {
+        p with
+        Ir.body = rw_nodes p.Ir.body;
+        arrays =
+          List.filter
+            (fun (a : Ir.array_decl) -> not (List.mem a.Ir.name contracted))
+            p.Ir.arrays;
+        local_scalars = p.Ir.local_scalars @ List.map snd !plan;
+      },
+      List.rev !plan )
+  end

@@ -1,0 +1,11 @@
+(** Array contraction — the inverse of scalar expansion: after
+    producer-consumer fusion pulls an expanded temporary's producers and
+    consumers back into one loop, the array contracts back to a scalar,
+    removing its memory traffic. An extension beyond the paper's pipeline
+    (its Fig. 10b keeps the arrays); measured in the ablation bench. *)
+
+val run :
+  Daisy_loopir.Ir.program ->
+  Daisy_loopir.Ir.program * (string * string) list
+(** Contract every eligible rank-1 local array; returns the rewritten
+    program and the [(array, scalar)] contractions performed. *)

@@ -1,0 +1,66 @@
+(** Maximal loop fission (paper §2.1).
+
+    Every loop is distributed over the strongly connected components of its
+    body's statement dependence graph (Kennedy-style loop distribution).
+    The result is a sequence of "atomic" loop nests: loop bodies contain
+    only computations and loops that cannot be separated without breaking a
+    data dependence.
+
+    The pass runs bottom-up and is iterated to a fixed point by the
+    pipeline, as in the paper's "fixed-point pipeline until no more
+    fissioning transformations apply". *)
+
+module Ir = Daisy_loopir.Ir
+module Graph = Daisy_dependence.Graph
+
+(** Distribute one loop over its atomic groups. Returns the replacement
+    nodes (one loop per group; the original loop if it is already atomic or
+    has a single unit). *)
+let distribute ~outer (l : Ir.loop) : Ir.node list =
+  match l.Ir.body with
+  | [] | [ _ ] -> [ Ir.Nloop l ]
+  | body ->
+      let groups = Graph.distribution_groups ~outer ~loop:l in
+      if List.length groups <= 1 then [ Ir.Nloop l ]
+      else
+        let units = Array.of_list body in
+        List.map
+          (fun group ->
+            Ir.Nloop
+              {
+                l with
+                Ir.lid = Ir.fresh_id ();
+                body = List.map (fun u -> units.(u)) group;
+              })
+          groups
+
+(** One bottom-up fission pass over a node list. *)
+let rec fission_nodes ~outer (nodes : Ir.node list) : Ir.node list =
+  List.concat_map
+    (fun n ->
+      match n with
+      | Ir.Ncomp _ | Ir.Ncall _ -> [ n ]
+      | Ir.Nloop l ->
+          let body = fission_nodes ~outer:(outer @ [ l ]) l.Ir.body in
+          distribute ~outer { l with Ir.body = body })
+    nodes
+
+(** [run p] — one fission pass over the whole program. *)
+let run (p : Ir.program) : Ir.program =
+  { p with Ir.body = fission_nodes ~outer:[] p.Ir.body }
+
+(** [run_fixpoint ?max_iters p] — iterate {!run} until the structure stops
+    changing (compared via the canonical form). *)
+let run_fixpoint ?(max_iters = 8) (p : Ir.program) : Ir.program =
+  let rec go i p =
+    if i >= max_iters then p
+    else
+      let p' = run p in
+      if Ir.equal_structure p.Ir.body p'.Ir.body then p' else go (i + 1) p'
+  in
+  go 0 p
+
+(** A program is maximally fissioned when re-running fission does not change
+    it. *)
+let is_maximal (p : Ir.program) : bool =
+  Ir.equal_structure p.Ir.body (run p).Ir.body

@@ -1,0 +1,17 @@
+(** Maximal loop fission (paper §2.1): distribute every loop over the
+    strongly connected components of its body's dependence graph, yielding
+    a sequence of "atomic" loop nests. *)
+
+val distribute :
+  outer:Daisy_loopir.Ir.loop list ->
+  Daisy_loopir.Ir.loop ->
+  Daisy_loopir.Ir.node list
+(** Distribute one loop over its atomic groups. *)
+
+val run : Daisy_loopir.Ir.program -> Daisy_loopir.Ir.program
+(** One bottom-up fission pass over the whole program. *)
+
+val run_fixpoint : ?max_iters:int -> Daisy_loopir.Ir.program -> Daisy_loopir.Ir.program
+(** Iterate {!run} until the structure stops changing. *)
+
+val is_maximal : Daisy_loopir.Ir.program -> bool

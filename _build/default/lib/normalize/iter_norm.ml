@@ -1,0 +1,68 @@
+(** Iterator normalization: rewrite every loop to run from 0 upward with
+    step 1.
+
+    A loop [for i in lo .. hi step s] becomes [for i in 0 .. (hi-lo)/s]
+    (floor division), with [i] replaced by [lo + s*i] throughout the body
+    and the bounds of inner loops. This is a prerequisite for the other
+    normalization passes: trip counts become [hi + 1], subscript stride
+    analysis sees the raw per-iteration coefficient, and scalar expansion
+    can use the iterator directly as the expansion subscript. *)
+
+open Daisy_support
+module Ir = Daisy_loopir.Ir
+module Expr = Daisy_poly.Expr
+
+let normalize_loop (l : Ir.loop) : Ir.loop =
+  if Expr.equal l.Ir.lo Expr.zero && l.Ir.step = 1 then l
+  else begin
+    let trips_minus_1 =
+      if l.Ir.step > 0 then Expr.div (Expr.sub l.Ir.hi l.Ir.lo) (Expr.const l.Ir.step)
+      else Expr.div (Expr.sub l.Ir.lo l.Ir.hi) (Expr.const (-l.Ir.step))
+    in
+    (* i_old = lo + step * i_new (same name: substitution is simultaneous) *)
+    let replacement =
+      Expr.add l.Ir.lo (Expr.mul (Expr.const l.Ir.step) (Expr.var l.Ir.iter))
+    in
+    let env = Util.SMap.singleton l.Ir.iter replacement in
+    let rec subst_nodes nodes =
+      List.map
+        (fun n ->
+          match n with
+          | Ir.Ncomp c -> Ir.Ncomp (Ir.comp_subst_idx env c)
+          | Ir.Ncall k ->
+              Ir.Ncall
+                {
+                  k with
+                  Ir.dims = List.map (Expr.subst env) k.Ir.dims;
+                  scalar_args = List.map (Ir.vexpr_subst_idx env) k.Ir.scalar_args;
+                }
+          | Ir.Nloop inner ->
+              Ir.Nloop
+                {
+                  inner with
+                  Ir.lo = Expr.subst env inner.Ir.lo;
+                  hi = Expr.subst env inner.Ir.hi;
+                  body = subst_nodes inner.Ir.body;
+                })
+        nodes
+    in
+    {
+      l with
+      Ir.lid = Ir.fresh_id ();
+      lo = Expr.zero;
+      hi = trips_minus_1;
+      step = 1;
+      body = subst_nodes l.Ir.body;
+    }
+  end
+
+(** Normalize every loop of the program (bottom-up). *)
+let run (p : Ir.program) : Ir.program =
+  { p with Ir.body = Ir.map_loops normalize_loop p.Ir.body }
+
+(** A program is iterator-normalized when every loop starts at 0 with
+    step 1. *)
+let is_normalized (p : Ir.program) : bool =
+  List.for_all
+    (fun (l : Ir.loop) -> Expr.equal l.Ir.lo Expr.zero && l.Ir.step = 1)
+    (Ir.loops_in p.Ir.body)

@@ -1,0 +1,11 @@
+(** Iterator normalization: rewrite every loop to run from 0 upward with
+    step 1 (a prerequisite for the other normalization passes). *)
+
+val normalize_loop : Daisy_loopir.Ir.loop -> Daisy_loopir.Ir.loop
+(** Normalize one loop, substituting the reindexed iterator through its
+    body and inner-loop bounds. *)
+
+val run : Daisy_loopir.Ir.program -> Daisy_loopir.Ir.program
+(** Normalize every loop of the program (bottom-up). *)
+
+val is_normalized : Daisy_loopir.Ir.program -> bool

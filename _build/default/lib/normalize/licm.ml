@@ -1,0 +1,163 @@
+(** Loop-invariant code motion as an additional normalization criterion.
+
+    The paper's §6 opens "a research avenue in exploring normalization
+    criteria"; hoisting loop-invariant computations is the natural third
+    criterion after composition (fission) and permutation (stride): it
+    removes redundant work {e and} shrinks loop bodies, which reduces the
+    register pressure the CLOUDSC study fights.
+
+    A computation is hoisted out of its innermost enclosing loop [L] when:
+    - nothing it reads or writes varies with [L]'s iterator (subscripts,
+      guard and [Vint]s are [L]-invariant, and it reads no container that
+      any computation in [L]'s body writes with an [L]-varying subscript —
+      conservatively: that [L]'s body writes at all, other than itself);
+    - its own write is [L]-invariant (same cell every iteration), so
+      executing it once preserves semantics {e provided the loop runs at
+      least once} — the same non-zero-trip context assumption scalar
+      expansion documents;
+    - it is unguarded (a guarded hoist would change how often the guard's
+      condition is evaluated — we keep the conservative line).
+
+    The pass is {b not} part of the default pipeline (the paper's isn't
+    either); the test suite validates it and it is available to recipes
+    and drivers. *)
+
+open Daisy_support
+module Ir = Daisy_loopir.Ir
+module Expr = Daisy_poly.Expr
+
+(* does an expression mention the iterator? *)
+let expr_varies iter e = Util.SSet.mem iter (Expr.free_vars e)
+
+let access_varies iter (a : Ir.access) =
+  List.exists (expr_varies iter) a.Ir.indices
+
+let rec vexpr_varies iter (e : Ir.vexpr) =
+  match e with
+  | Ir.Vfloat _ | Ir.Vscalar _ -> false
+  | Ir.Vint ie -> expr_varies iter ie
+  | Ir.Vread a -> access_varies iter a
+  | Ir.Vbin (_, a, b) -> vexpr_varies iter a || vexpr_varies iter b
+  | Ir.Vneg a -> vexpr_varies iter a
+  | Ir.Vcall (_, args) -> List.exists (vexpr_varies iter) args
+  | Ir.Vselect (p, a, b) ->
+      pred_varies iter p || vexpr_varies iter a || vexpr_varies iter b
+
+and pred_varies iter (p : Ir.pred) =
+  match p with
+  | Ir.Pcmp (_, a, b) -> vexpr_varies iter a || vexpr_varies iter b
+  | Ir.Pand (a, b) | Ir.Por (a, b) -> pred_varies iter a || pred_varies iter b
+  | Ir.Pnot a -> pred_varies iter a
+
+(* containers written by the body, except by the computation itself *)
+let written_by_others (body : Ir.node list) (c : Ir.comp) : Util.SSet.t =
+  List.fold_left
+    (fun acc n ->
+      let from_comp (c' : Ir.comp) acc =
+        if c'.Ir.cid = c.Ir.cid then acc
+        else
+          let acc =
+            List.fold_left
+              (fun acc (a : Ir.access) -> Util.SSet.add a.Ir.array acc)
+              acc (Ir.comp_array_writes c')
+          in
+          List.fold_left
+            (fun acc s -> Util.SSet.add s acc)
+            acc (Ir.comp_scalar_writes c')
+      in
+      match n with
+      | Ir.Ncomp c' -> from_comp c' acc
+      | Ir.Nloop l ->
+          List.fold_left (fun acc c' -> from_comp c' acc) acc
+            (Ir.comps_in l.Ir.body)
+      | Ir.Ncall k ->
+          List.fold_left
+            (fun acc a -> Util.SSet.add a acc)
+            acc k.Ir.writes_to)
+    Util.SSet.empty body
+
+let hoistable (l : Ir.loop) (c : Ir.comp) : bool =
+  c.Ir.guard = None
+  && (not (vexpr_varies l.Ir.iter c.Ir.rhs))
+  && (match c.Ir.dest with
+     | Ir.Dscalar _ -> true
+     | Ir.Darray a -> not (access_varies l.Ir.iter a))
+  &&
+  (* nothing it reads may be written by the rest of the body *)
+  let others = written_by_others l.Ir.body c in
+  let reads =
+    List.map (fun (a : Ir.access) -> a.Ir.array) (Ir.comp_array_reads c)
+    @ Ir.comp_scalar_reads c
+  in
+  let own_write =
+    match c.Ir.dest with Ir.Darray a -> a.Ir.array | Ir.Dscalar s -> s
+  in
+  List.for_all (fun r -> not (Util.SSet.mem r others)) reads
+  (* and nobody else writes the same cell *)
+  && (not (Util.SSet.mem own_write others))
+  (* and it does not read its own destination: a self-read is an
+     accumulation whose value changes every iteration even though nothing
+     syntactically varies with the iterator *)
+  && (not (List.mem own_write reads))
+  &&
+  (* no computation textually before this one reads the destination: at
+     iteration 0 it would otherwise observe the hoisted value instead of
+     the pre-loop one *)
+  let rec no_earlier_reader nodes =
+    match nodes with
+    | [] -> true
+    | n :: rest ->
+        let comps =
+          match n with
+          | Ir.Ncomp c' -> [ c' ]
+          | Ir.Nloop l' -> Ir.comps_in l'.Ir.body
+          | Ir.Ncall _ -> []
+        in
+        if List.exists (fun (c' : Ir.comp) -> c'.Ir.cid = c.Ir.cid) comps then
+          true
+        else if
+          List.exists
+            (fun (c' : Ir.comp) ->
+              List.exists
+                (fun (a : Ir.access) -> String.equal a.Ir.array own_write)
+                (Ir.comp_array_reads c')
+              || List.mem own_write (Ir.comp_scalar_reads c'))
+            comps
+          || (match n with
+             | Ir.Ncall k ->
+                 List.mem own_write k.Ir.args
+             | _ -> false)
+        then false
+        else no_earlier_reader rest
+  in
+  no_earlier_reader l.Ir.body
+
+(** One bottom-up pass: hoist invariant computations out of their innermost
+    loop. Returns the program and the number of hoisted computations. *)
+let run (p : Ir.program) : Ir.program * int =
+  let hoisted = ref 0 in
+  let rec go nodes =
+    List.concat_map
+      (fun n ->
+        match n with
+        | Ir.Ncomp _ | Ir.Ncall _ -> [ n ]
+        | Ir.Nloop l ->
+            let body = go l.Ir.body in
+            let l = { l with Ir.body } in
+            let out, kept =
+              List.partition
+                (fun n ->
+                  match n with
+                  | Ir.Ncomp c -> hoistable l c
+                  | _ -> false)
+                l.Ir.body
+            in
+            if out = [] || kept = [] then [ Ir.Nloop l ]
+            else begin
+              hoisted := !hoisted + List.length out;
+              out @ [ Ir.Nloop { l with Ir.lid = Ir.fresh_id (); body = kept } ]
+            end)
+      nodes
+  in
+  let body = go p.Ir.body in
+  ({ p with Ir.body }, !hoisted)

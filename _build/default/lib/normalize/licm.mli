@@ -1,0 +1,9 @@
+(** Loop-invariant code motion — an additional normalization criterion in
+    the spirit of the paper's §6 discussion. Hoists unguarded computations
+    whose value and destination are invariant in their innermost loop (and
+    that are not accumulations), assuming non-zero-trip loops. Not part of
+    the default pipeline; measured separately. *)
+
+val run : Daisy_loopir.Ir.program -> Daisy_loopir.Ir.program * int
+(** One bottom-up pass (hoisting cascades through perfectly nested
+    invariant chains); returns the hoist count. *)

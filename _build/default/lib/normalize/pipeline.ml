@@ -1,0 +1,100 @@
+(** The a priori normalization pipeline (paper Fig. 5):
+
+    1. iterator normalization (prerequisite),
+    2. scalar expansion + maximal loop fission, iterated to a fixed point,
+    3. stride minimization per resulting loop nest.
+
+    The output is the canonical form the auto-scheduler's database is keyed
+    on: semantically equivalent loop nests with different permutations and
+    compositions map to the same (or nearly the same) normalized program. *)
+
+open Daisy_support
+module Ir = Daisy_loopir.Ir
+
+type report = {
+  scalar_expansions : (string * string) list;
+  fission_nests_before : int;
+  fission_nests_after : int;
+  permuted_nests : int;
+}
+
+let pp_report ppf r =
+  Fmt.pf ppf
+    "normalization: %d scalars expanded, %d -> %d top-level nests, %d nests permuted"
+    (List.length r.scalar_expansions)
+    r.fission_nests_before r.fission_nests_after r.permuted_nests
+
+let top_level_nests (p : Ir.program) =
+  List.length
+    (List.filter (function Ir.Nloop _ -> true | _ -> false) p.Ir.body)
+
+type options = {
+  fission : bool;
+  stride : bool;
+  criterion : Stride.criterion;
+}
+
+let default_options ?(sizes = []) () =
+  let sizes =
+    List.fold_left (fun m (k, v) -> Util.SMap.add k v m) Util.SMap.empty sizes
+  in
+  {
+    fission = true;
+    stride = true;
+    criterion =
+      (if Util.SMap.is_empty sizes then Stride.Out_of_order
+       else Stride.Sum_of_strides sizes);
+  }
+
+(** [run ?options p] — normalize [p]; returns the normalized program and a
+    report of what was applied. *)
+let run ?options (p : Ir.program) : Ir.program * report =
+  let options =
+    match options with Some o -> o | None -> default_options ()
+  in
+  let p = Iter_norm.run p in
+  let before = top_level_nests p in
+  let p, expansions =
+    if options.fission then begin
+      (* scalar expansion and fission enable each other; iterate *)
+      let rec fixpoint i p expansions =
+        if i > 4 then (p, expansions)
+        else
+          let p', exp' = Scalar_expand.run p in
+          let p'' = Fission.run_fixpoint p' in
+          if exp' = [] && Ir.equal_structure p.Ir.body p''.Ir.body then
+            (p'', expansions)
+          else fixpoint (i + 1) p'' (expansions @ exp')
+      in
+      fixpoint 0 p []
+    end
+    else (p, [])
+  in
+  let after = top_level_nests p in
+  (* stride minimization can change which loop is outermost, which in turn
+     can expose further distribution opportunities — iterate both passes to
+     a joint fixed point (the paper's "fixed-point pipeline") *)
+  let p, permuted =
+    if options.stride then begin
+      let rec joint i p permuted =
+        let p', n = Stride.run options.criterion p in
+        let p'' = if options.fission then Fission.run_fixpoint p' else p' in
+        if i >= 3 || Ir.equal_structure p.Ir.body p''.Ir.body then
+          (p'', permuted + n)
+        else joint (i + 1) p'' (permuted + n)
+      in
+      joint 0 p 0
+    end
+    else (p, 0)
+  in
+  ( p,
+    {
+      scalar_expansions = expansions;
+      fission_nests_before = before;
+      fission_nests_after = after;
+      permuted_nests = permuted;
+    } )
+
+(** Convenience: normalize with concrete sizes for the stride criterion. *)
+let normalize ?(sizes = []) (p : Ir.program) : Ir.program =
+  fst (run ~options:(default_options ~sizes ()) p)

@@ -1,0 +1,31 @@
+(** The a priori normalization pipeline (paper Fig. 5): iterator
+    normalization, scalar expansion + maximal fission to a fixed point,
+    then stride minimization per loop nest. *)
+
+type report = {
+  scalar_expansions : (string * string) list;
+  fission_nests_before : int;
+  fission_nests_after : int;
+  permuted_nests : int;
+}
+
+val pp_report : report Fmt.t
+
+type options = {
+  fission : bool;  (** apply scalar expansion + maximal fission *)
+  stride : bool;  (** apply stride minimization *)
+  criterion : Stride.criterion;
+}
+
+val default_options : ?sizes:(string * int) list -> unit -> options
+(** With [sizes], stride minimization uses the exact sum-of-strides
+    criterion; without, the out-of-order fallback. *)
+
+val run :
+  ?options:options ->
+  Daisy_loopir.Ir.program ->
+  Daisy_loopir.Ir.program * report
+
+val normalize :
+  ?sizes:(string * int) list -> Daisy_loopir.Ir.program -> Daisy_loopir.Ir.program
+(** Convenience wrapper around {!run} with {!default_options}. *)

@@ -1,0 +1,207 @@
+(** Scalar expansion: turn loop-local scalar temporaries into arrays indexed
+    by the enclosing loop's iterator.
+
+    This is the transformation that unlocks maximal fission on CLOUDSC-style
+    code (paper §5.1, Fig. 10): scalars like [ZQP] or [ZCOND] written and
+    read within one iteration of the [JL] loop serialize the whole body; as
+    arrays [ZQP_0[JL]] the computations separate into atomic loop nests.
+
+    Expansion of scalar [s] over loop [L] (the deepest loop enclosing every
+    access to [s]) is applied when:
+    - [s] is a local scalar of the program (never a parameter);
+    - all accesses to [s] are inside [L]'s subtree;
+    - the first access in execution (in-order) position within [L]'s body is
+      an unguarded write — so no iteration reads a value produced by an
+      earlier iteration, and nothing after [L] reads [s];
+    - [s] is used by at least two distinct units of [L]'s body (otherwise
+      expansion cannot help fission).
+
+    Loops are assumed to execute at least one iteration (the standard
+    polyhedral context assumption); programs are iterator-normalized first,
+    so the expansion subscript is just [L]'s iterator and the array extent
+    is [hi + 1]. *)
+
+open Daisy_support
+module Ir = Daisy_loopir.Ir
+module Expr = Daisy_poly.Expr
+
+type occurrence = {
+  path : int list;  (** lids of enclosing loops, outermost first *)
+  unit_of_loop : (int * int) list;  (** (lid, child index within that loop) *)
+  is_write : bool;
+  guarded : bool;
+}
+
+(* Collect occurrences of every local scalar, in execution (in-order)
+   order. *)
+let collect_occurrences (p : Ir.program) : (string, occurrence list) Hashtbl.t =
+  let tbl : (string, occurrence list) Hashtbl.t = Hashtbl.create 16 in
+  let locals = Util.SSet.of_list p.Ir.local_scalars in
+  let add s occ =
+    if Util.SSet.mem s locals then
+      Hashtbl.replace tbl s (occ :: (try Hashtbl.find tbl s with Not_found -> []))
+  in
+  let rec go path units nodes =
+    List.iteri
+      (fun child n ->
+        match n with
+        | Ir.Ncomp c ->
+            let mk is_write guarded =
+              { path; unit_of_loop = units child; is_write; guarded }
+            in
+            List.iter (fun s -> add s (mk false (c.Ir.guard <> None)))
+              (Ir.comp_scalar_reads c);
+            List.iter (fun s -> add s (mk true (c.Ir.guard <> None)))
+              (Ir.comp_scalar_writes c)
+        | Ir.Ncall k ->
+            List.iter
+              (fun e ->
+                List.iter
+                  (fun s ->
+                    add s { path; unit_of_loop = units child; is_write = false; guarded = false })
+                  (Ir.vexpr_scalars e))
+              k.Ir.scalar_args
+        | Ir.Nloop l ->
+            go (path @ [ l.Ir.lid ])
+              (fun gc -> units child @ [ (l.Ir.lid, gc) ])
+              l.Ir.body)
+      nodes
+  in
+  go [] (fun _ -> []) p.Ir.body;
+  Hashtbl.iter (fun s occs -> Hashtbl.replace tbl s (List.rev occs)) tbl;
+  tbl
+
+let rec common_prefix a b =
+  match (a, b) with
+  | x :: a', y :: b' when x = y -> x :: common_prefix a' b'
+  | _ -> []
+
+(** Decide the expansion of scalar [s]: [Some lid] of the loop to expand
+    over, or [None]. *)
+let expansion_target (occs : occurrence list) : int option =
+  match occs with
+  | [] -> None
+  | first :: _ ->
+      let common =
+        List.fold_left (fun acc o -> common_prefix acc o.path) first.path occs
+      in
+      (match List.rev common with
+      | [] -> None (* not all inside a common loop *)
+      | target :: _ ->
+          (* first in-order access must be an unguarded write *)
+          if not (first.is_write && not first.guarded) then None
+          else
+            (* used by >= 2 units of the target loop's body *)
+            let unit_in_target o = List.assoc_opt target o.unit_of_loop in
+            let units =
+              List.filter_map unit_in_target occs |> Util.dedup ~eq:( = )
+            in
+            if List.length units >= 2 then Some target else None)
+
+(* Rewrite the subtree of the target loop, mapping the scalar to an array
+   access indexed by the loop's iterator. *)
+let rewrite_comp mapping (c : Ir.comp) : Ir.comp =
+  let dest =
+    match c.Ir.dest with
+    | Ir.Dscalar s -> (
+        match Util.SMap.find_opt s mapping with
+        | Some access -> Ir.Darray access
+        | None -> c.Ir.dest)
+    | d -> d
+  in
+  {
+    c with
+    Ir.dest = dest;
+    rhs = Ir.vexpr_scalar_to_array mapping c.Ir.rhs;
+    guard = Option.map (Ir.pred_scalar_to_array mapping) c.Ir.guard;
+  }
+
+(** [run p] expands every eligible local scalar; returns the new program and
+    the list of [(scalar, new_array)] expansions performed. *)
+let run (p : Ir.program) : Ir.program * (string * string) list =
+  let occs = collect_occurrences p in
+  (* choose target loop per scalar *)
+  let targets : (int, (string * string) list) Hashtbl.t = Hashtbl.create 8 in
+  let taken =
+    ref
+      (Util.SSet.of_list
+         (p.Ir.local_scalars @ p.Ir.scalar_params @ p.Ir.size_params
+         @ List.map (fun (a : Ir.array_decl) -> a.Ir.name) p.Ir.arrays))
+  in
+  let expansions = ref [] in
+  (* a loop is a valid expansion target only if its extent is a pure
+     function of size parameters (the expanded array needs a static shape) *)
+  let params = Util.SSet.of_list p.Ir.size_params in
+  let valid_target lid =
+    List.exists
+      (fun (l : Ir.loop) ->
+        l.Ir.lid = lid
+        && Util.SSet.subset (Expr.free_vars l.Ir.hi) params
+        && Expr.equal l.Ir.lo Expr.zero && l.Ir.step = 1)
+      (Ir.loops_in p.Ir.body)
+  in
+  (* deterministic order: sort scalars by name *)
+  let by_name =
+    Hashtbl.fold (fun s o acc -> (s, o) :: acc) occs []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  List.iter
+    (fun (s, occ_list) ->
+      match expansion_target occ_list with
+      | Some lid when valid_target lid ->
+          let fresh = Util.fresh_name (s ^ "_0") !taken in
+          taken := Util.SSet.add fresh !taken;
+          expansions := (s, fresh) :: !expansions;
+          Hashtbl.replace targets lid
+            ((s, fresh) :: (try Hashtbl.find targets lid with Not_found -> []))
+      | _ -> ())
+    by_name;
+  if Hashtbl.length targets = 0 then (p, [])
+  else begin
+    let new_arrays = ref [] in
+    let rec rewrite mapping nodes =
+      List.map
+        (fun n ->
+          match n with
+          | Ir.Ncomp c -> Ir.Ncomp (rewrite_comp mapping c)
+          | Ir.Ncall k ->
+              Ir.Ncall
+                {
+                  k with
+                  Ir.scalar_args =
+                    List.map (Ir.vexpr_scalar_to_array mapping) k.Ir.scalar_args;
+                }
+          | Ir.Nloop l ->
+              let mapping =
+                match Hashtbl.find_opt targets l.Ir.lid with
+                | None -> mapping
+                | Some pairs ->
+                    List.fold_left
+                      (fun m (s, fresh) ->
+                        new_arrays :=
+                          {
+                            Ir.name = fresh;
+                            elem = Ir.Fdouble;
+                            dims = [ Expr.add l.Ir.hi Expr.one ];
+                            storage = Ir.Slocal;
+                          }
+                          :: !new_arrays;
+                        Util.SMap.add s
+                          { Ir.array = fresh; indices = [ Expr.var l.Ir.iter ] }
+                          m)
+                      mapping pairs
+              in
+              Ir.Nloop { l with Ir.body = rewrite mapping l.Ir.body })
+        nodes
+    in
+    let body = rewrite Util.SMap.empty p.Ir.body in
+    let expanded = List.map fst !expansions in
+    ( {
+        p with
+        Ir.body;
+        arrays = p.Ir.arrays @ List.rev !new_arrays;
+        local_scalars =
+          List.filter (fun s -> not (List.mem s expanded)) p.Ir.local_scalars;
+      },
+      !expansions )
+  end

@@ -1,0 +1,11 @@
+(** Scalar expansion: turn loop-local scalar temporaries into arrays
+    indexed by the enclosing loop's iterator — the transformation that
+    unlocks maximal fission on CLOUDSC-style code (paper §5.1, Fig. 10).
+
+    Requires an iterator-normalized program ({!Iter_norm.run}). *)
+
+val run :
+  Daisy_loopir.Ir.program ->
+  Daisy_loopir.Ir.program * (string * string) list
+(** Expand every eligible local scalar; returns the rewritten program and
+    the [(scalar, new_array)] expansions performed. *)

@@ -1,0 +1,317 @@
+(** Stride minimization (paper §2.2).
+
+    For each loop nest, find the legal permutation of its perfect band that
+    minimizes the total distance between subsequent memory accesses, and
+    replace the nest with that permutation. Two criteria are provided, as in
+    the paper:
+
+    - {!Sum_of_strides}: with known (or assumed) problem sizes, the cost of
+      a loop order is [sum over accesses, over band levels, of
+      advances(level) * |stride(access, level)|], where [advances(level)] is
+      how often that iterator ticks during the whole execution — exactly
+      "the sum of all distances between two subsequent accesses to all
+      arrays over all computations".
+    - {!Out_of_order}: when dimensions are symbolic, count subscript
+      positions whose iterator order disagrees with the array dimension
+      order (the paper's fallback criterion).
+
+    Permutations are found by exhaustive enumeration up to
+    [max_enumerate] band loops; deeper bands use the greedy group-sort
+    approximation. *)
+
+open Daisy_support
+module Ir = Daisy_loopir.Ir
+module Expr = Daisy_poly.Expr
+module Affine = Daisy_poly.Affine
+module Legality = Daisy_dependence.Legality
+
+type criterion =
+  | Sum_of_strides of int Util.SMap.t  (** concrete problem sizes *)
+  | Out_of_order
+
+(** Stride values are capped so one non-affine or gigantic-stride access
+    cannot erase the signal from the others. *)
+let stride_cap = 1.0e7
+
+(* ------------------------------------------------------------------ *)
+(* Trip counts and element strides                                      *)
+
+(** Estimated trip count of each band loop (outer to inner), under a size
+    assignment; iterators appearing in inner bounds (triangular nests) are
+    estimated at half their own trip count. *)
+let trip_estimates ~sizes (band : Ir.loop list) : float list =
+  let env = ref sizes in
+  List.map
+    (fun (l : Ir.loop) ->
+      let trip_expr = Expr.add (Expr.sub l.Ir.hi l.Ir.lo) Expr.one in
+      let trip =
+        match Expr.eval !env trip_expr with
+        | t -> float_of_int (max 1 t)
+        | exception _ -> 64.0
+      in
+      let t = max 1.0 (trip /. float_of_int (abs l.Ir.step)) in
+      env := Util.SMap.add l.Ir.iter (int_of_float (t /. 2.0)) !env;
+      t)
+    band
+
+(** Element strides of each dimension of an array (row-major): dimension
+    [t]'s stride is the product of the extents of dimensions after [t]. *)
+let dim_strides ~sizes (decl : Ir.array_decl) : float list =
+  let extents =
+    List.map
+      (fun d ->
+        match Expr.eval sizes d with
+        | e -> float_of_int (max 1 e)
+        | exception _ -> 64.0)
+      decl.Ir.dims
+  in
+  let rec suffix_products = function
+    | [] -> []
+    | _ :: rest as l ->
+        let s = List.fold_left ( *. ) 1.0 (List.tl l) in
+        s :: suffix_products rest
+  in
+  suffix_products extents
+
+(** [access_stride ~sizes arrays access iter] — elements skipped by one step
+    of [iter] in [access]; [stride_cap] when a subscript is non-affine. *)
+let access_stride ~sizes (arrays : Ir.array_decl list) (a : Ir.access)
+    (iter : string) : float =
+  match List.find_opt (fun (d : Ir.array_decl) -> d.Ir.name = a.Ir.array) arrays with
+  | None -> 0.0 (* scalar or unknown container: no spatial stride *)
+  | Some decl ->
+      let strides = dim_strides ~sizes decl in
+      let rec go indices strides acc =
+        match (indices, strides) with
+        | [], _ | _, [] -> acc
+        | idx :: idxs, s :: ss -> (
+            match Affine.of_expr idx with
+            | None -> stride_cap (* non-affine: pessimal *)
+            | Some aff ->
+                let c = Affine.coeff iter aff in
+                go idxs ss (acc +. (Float.abs (float_of_int c) *. s)))
+      in
+      Float.min stride_cap (go a.Ir.indices strides 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Cost of a band order                                                 *)
+
+let accesses_of_body (body : Ir.node list) : Ir.access list =
+  List.concat_map
+    (fun n -> Ir.node_array_reads n @ Ir.node_array_writes n)
+    body
+
+(** Cost of executing the band loops in the given order. *)
+let order_cost (crit : criterion) ~(arrays : Ir.array_decl list)
+    (order : Ir.loop list) (body : Ir.node list) : float =
+  let accesses = accesses_of_body body in
+  match crit with
+  | Sum_of_strides sizes ->
+      let trips = trip_estimates ~sizes order in
+      (* advances(k) = product of trips of levels 0..k *)
+      let advances =
+        List.rev
+          (snd
+             (List.fold_left
+                (fun (prod, acc) t ->
+                  let prod = prod *. t in
+                  (prod, prod :: acc))
+                (1.0, []) trips))
+      in
+      List.fold_left2
+        (fun cost (l : Ir.loop) adv ->
+          let level_strides =
+            Util.sum_byf
+              (fun a -> access_stride ~sizes arrays a l.Ir.iter)
+              accesses
+          in
+          cost +. (adv *. level_strides))
+        0.0 order advances
+  | Out_of_order ->
+      (* count (iterator position, dimension position) inversions *)
+      let pos_of_iter =
+        List.mapi (fun i (l : Ir.loop) -> (l.Ir.iter, i)) order
+      in
+      let inversions =
+        Util.sum_by
+          (fun (a : Ir.access) ->
+            (* pairs (band position, dimension) used by this access *)
+            let used =
+              List.concat
+                (List.mapi
+                   (fun dim idx ->
+                     match Affine.of_expr idx with
+                     | None -> []
+                     | Some aff ->
+                         List.filter_map
+                           (fun (it, p) ->
+                             if Affine.coeff it aff <> 0 then Some (p, dim)
+                             else None)
+                           pos_of_iter)
+                   a.Ir.indices)
+            in
+            Util.sum_by
+              (fun ((p1, d1), (p2, d2)) ->
+                if (p1 < p2 && d1 > d2) || (p1 > p2 && d1 < d2) then 1 else 0)
+              (Util.pairs used))
+          accesses
+      in
+      float_of_int inversions
+
+(* ------------------------------------------------------------------ *)
+(* Permutation search                                                   *)
+
+(** A permutation is expressible when no loop bound references an iterator
+    that would come later in the new order. *)
+let expressible (order : Ir.loop list) : bool =
+  let rec go seen = function
+    | [] -> true
+    | (l : Ir.loop) :: rest ->
+        let fv = Util.SSet.union (Expr.free_vars l.Ir.lo) (Expr.free_vars l.Ir.hi) in
+        let band_iters_later =
+          List.exists (fun (l' : Ir.loop) -> Util.SSet.mem l'.Ir.iter fv) rest
+        in
+        (not band_iters_later)
+        && (* bounds may reference earlier band iterators or params *)
+        go (Util.SSet.add l.Ir.iter seen) rest
+  in
+  go Util.SSet.empty order
+
+(** Rebuild a nest from band loops in a new order over the same body. *)
+let rebuild_band (order : Ir.loop list) (body : Ir.node list) : Ir.loop =
+  match List.rev order with
+  | [] -> invalid_arg "rebuild_band: empty band"
+  | innermost :: outers ->
+      List.fold_left
+        (fun inner (l : Ir.loop) ->
+          { l with Ir.lid = Ir.fresh_id (); body = [ Ir.Nloop inner ] })
+        { innermost with Ir.lid = Ir.fresh_id (); body }
+        outers
+
+type result = {
+  nest : Ir.loop;
+  permuted : bool;  (** did the order change? *)
+  cost_before : float;
+  cost_after : float;
+}
+
+(** Find and apply the minimal-stride legal permutation of [nest]'s perfect
+    band. Bands longer than [max_enumerate] use the greedy sort. *)
+let minimize_nest ?(max_enumerate = 6) (crit : criterion)
+    ~(arrays : Ir.array_decl list) ~(outer : Ir.loop list) (nest : Ir.loop) :
+    result =
+  let band, body = Legality.perfect_band nest in
+  let n = List.length band in
+  let cost order = order_cost crit ~arrays order body in
+  let original_cost = cost band in
+  if n <= 1 then
+    { nest; permuted = false; cost_before = original_cost; cost_after = original_cost }
+  else begin
+    let vectors = Legality.band_dep_vectors ~outer band body in
+    let legal order =
+      (* permutation as new-position -> old-position indices *)
+      let perm =
+        Array.of_list
+          (List.map
+             (fun (l : Ir.loop) ->
+               match
+                 Util.list_index_of
+                   (fun a (b : Ir.loop) -> a.Ir.lid = b.Ir.lid)
+                   l band
+               with
+               | Some i -> i
+               | None -> assert false)
+             order)
+      in
+      Legality.legal_permutation vectors perm && expressible order
+    in
+    let candidates =
+      if n <= max_enumerate then
+        List.filter legal (Util.permutations band)
+      else begin
+        (* group-sort approximation: order by descending per-iterator total
+           stride (small strides innermost), keep original order on ties *)
+        let key (l : Ir.loop) =
+          let accesses = accesses_of_body body in
+          match crit with
+          | Sum_of_strides sizes ->
+              -.Util.sum_byf
+                  (fun a -> access_stride ~sizes arrays a l.Ir.iter)
+                  accesses
+          | Out_of_order ->
+              (* use mean dimension position: lower = outer *)
+              let positions =
+                List.concat_map
+                  (fun (a : Ir.access) ->
+                    List.concat
+                      (List.mapi
+                         (fun dim idx ->
+                           match Affine.of_expr idx with
+                           | Some aff when Affine.coeff l.Ir.iter aff <> 0 ->
+                               [ float_of_int dim ]
+                           | _ -> [])
+                         a.Ir.indices))
+                  accesses
+              in
+              if positions = [] then 0.0 else -.Util.mean positions
+        in
+        let sorted =
+          List.stable_sort (fun a b -> compare (key a) (key b)) band
+        in
+        List.filter legal [ sorted; band ]
+      end
+    in
+    let best =
+      List.fold_left
+        (fun best order ->
+          let c = cost order in
+          match best with
+          | Some (_, bc) when bc <= c -> best
+          | _ -> Some (order, c))
+        None candidates
+    in
+    match best with
+    | Some (order, c)
+      when c < original_cost
+           && not
+                (List.for_all2
+                   (fun (a : Ir.loop) (b : Ir.loop) -> a.Ir.lid = b.Ir.lid)
+                   order band) ->
+        {
+          nest = rebuild_band order body;
+          permuted = true;
+          cost_before = original_cost;
+          cost_after = c;
+        }
+    | _ ->
+        {
+          nest;
+          permuted = false;
+          cost_before = original_cost;
+          cost_after = original_cost;
+        }
+  end
+
+(** Minimize every nest of the program: the outer band of each top-level
+    nest, then recursively the nests below it. *)
+let run ?(max_enumerate = 6) (crit : criterion) (p : Ir.program) :
+    Ir.program * int =
+  let count = ref 0 in
+  let rec go ~outer nodes =
+    List.map
+      (fun n ->
+        match n with
+        | Ir.Ncomp _ | Ir.Ncall _ -> n
+        | Ir.Nloop l ->
+            let r = minimize_nest ~max_enumerate crit ~arrays:p.Ir.arrays ~outer l in
+            if r.permuted then incr count;
+            let nest = r.nest in
+            (* recurse below the band *)
+            let band, body = Legality.perfect_band nest in
+            let inner_outer = outer @ band in
+            let body' = go ~outer:inner_outer body in
+            Ir.Nloop (rebuild_band band body'))
+      nodes
+  in
+  let body = go ~outer:[] p.Ir.body in
+  ({ p with Ir.body }, !count)

@@ -1,0 +1,69 @@
+(** Stride minimization (paper §2.2): replace each loop nest's perfect band
+    with the legal permutation minimizing total memory-access distance. *)
+
+type criterion =
+  | Sum_of_strides of int Daisy_support.Util.SMap.t
+      (** exact criterion under concrete problem sizes: sum over accesses
+          and band levels of [advances(level) * |stride(access, level)|] *)
+  | Out_of_order
+      (** symbolic fallback: count subscript positions whose iterator order
+          disagrees with the array dimension order *)
+
+val stride_cap : float
+(** Non-affine accesses are treated as this pessimal stride. *)
+
+val trip_estimates :
+  sizes:int Daisy_support.Util.SMap.t ->
+  Daisy_loopir.Ir.loop list ->
+  float list
+(** Estimated trip count per band loop, outer to inner (iterators in inner
+    bounds are estimated at half their trip). *)
+
+val access_stride :
+  sizes:int Daisy_support.Util.SMap.t ->
+  Daisy_loopir.Ir.array_decl list ->
+  Daisy_loopir.Ir.access ->
+  string ->
+  float
+(** Elements skipped by one step of the iterator in the access. *)
+
+val order_cost :
+  criterion ->
+  arrays:Daisy_loopir.Ir.array_decl list ->
+  Daisy_loopir.Ir.loop list ->
+  Daisy_loopir.Ir.node list ->
+  float
+(** Cost of executing the band loops in the given order over the body. *)
+
+val expressible : Daisy_loopir.Ir.loop list -> bool
+(** No loop bound references an iterator later in the order. *)
+
+val rebuild_band :
+  Daisy_loopir.Ir.loop list -> Daisy_loopir.Ir.node list -> Daisy_loopir.Ir.loop
+(** Rebuild a nest from band loops in a new order over the same body. *)
+
+type result = {
+  nest : Daisy_loopir.Ir.loop;
+  permuted : bool;
+  cost_before : float;
+  cost_after : float;
+}
+
+val minimize_nest :
+  ?max_enumerate:int ->
+  criterion ->
+  arrays:Daisy_loopir.Ir.array_decl list ->
+  outer:Daisy_loopir.Ir.loop list ->
+  Daisy_loopir.Ir.loop ->
+  result
+(** Find and apply the minimal-stride legal permutation of the nest's
+    perfect band; bands longer than [max_enumerate] (default 6) use the
+    greedy group-sort approximation. *)
+
+val run :
+  ?max_enumerate:int ->
+  criterion ->
+  Daisy_loopir.Ir.program ->
+  Daisy_loopir.Ir.program * int
+(** Minimize every nest of the program; returns the count of permuted
+    nests. *)

@@ -1,0 +1,1 @@
+lib/poly/affine.ml: Daisy_support Expr Fmt Int Option Printf Util

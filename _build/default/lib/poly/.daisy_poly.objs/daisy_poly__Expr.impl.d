@@ -1,0 +1,1 @@
+lib/poly/expr.ml: Daisy_support Fmt Printf Stdlib String Util

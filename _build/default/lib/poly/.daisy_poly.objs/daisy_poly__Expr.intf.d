@@ -1,0 +1,1 @@
+lib/poly/expr.mli: Daisy_support Fmt

@@ -1,0 +1,1 @@
+lib/poly/system.ml: Affine Daisy_support Fmt List Util

@@ -1,0 +1,1 @@
+lib/poly/system.mli: Affine Daisy_support Fmt

@@ -1,0 +1,141 @@
+(** Affine forms: [sum_i c_i * x_i + c0] with integer coefficients.
+
+    The canonical data structure for dependence testing and stride analysis.
+    [of_expr] is a partial lifting from {!Expr} — it fails on [min]/[max],
+    non-constant multiplication, division and modulo, which is exactly the
+    "non-affine" condition that makes the paper's lifting give up on a loop
+    nest (see the correlation/covariance discussion in §4.1). *)
+
+open Daisy_support
+
+type t = { terms : int Util.SMap.t; const : int }
+
+let const c = { terms = Util.SMap.empty; const = c }
+let zero = const 0
+let var ?(coeff = 1) v =
+  if coeff = 0 then zero
+  else { terms = Util.SMap.singleton v coeff; const = 0 }
+
+let is_const t = Util.SMap.is_empty t.terms
+let to_const t = if is_const t then Some t.const else None
+
+let coeff v t = match Util.SMap.find_opt v t.terms with Some c -> c | None -> 0
+
+let normalize terms = Util.SMap.filter (fun _ c -> c <> 0) terms
+
+let add a b =
+  {
+    terms =
+      normalize
+        (Util.SMap.union (fun _ ca cb -> Some (ca + cb)) a.terms b.terms);
+    const = a.const + b.const;
+  }
+
+let scale k a =
+  if k = 0 then zero
+  else { terms = Util.SMap.map (fun c -> k * c) a.terms; const = k * a.const }
+
+let neg a = scale (-1) a
+let sub a b = add a (neg b)
+
+let equal a b =
+  a.const = b.const && Util.SMap.equal Int.equal a.terms b.terms
+
+let compare a b =
+  let c = Int.compare a.const b.const in
+  if c <> 0 then c else Util.SMap.compare Int.compare a.terms b.terms
+
+let vars t = Util.SMap.fold (fun v _ acc -> Util.SSet.add v acc) t.terms Util.SSet.empty
+
+(** [rename f t] renames every variable through [f]; [f] must be injective on
+    the variables of [t]. *)
+let rename f t =
+  {
+    t with
+    terms =
+      Util.SMap.fold
+        (fun v c acc -> Util.SMap.add (f v) c acc)
+        t.terms Util.SMap.empty;
+  }
+
+(** [subst v a t] replaces variable [v] by the affine form [a] in [t]. *)
+let subst v a t =
+  match Util.SMap.find_opt v t.terms with
+  | None -> t
+  | Some c ->
+      let without = { t with terms = Util.SMap.remove v t.terms } in
+      add without (scale c a)
+
+let rec of_expr (e : Expr.t) : t option =
+  match e with
+  | Expr.Const n -> Some (const n)
+  | Expr.Var v -> Some (var v)
+  | Add (a, b) -> (
+      match (of_expr a, of_expr b) with
+      | Some a, Some b -> Some (add a b)
+      | _ -> None)
+  | Sub (a, b) -> (
+      match (of_expr a, of_expr b) with
+      | Some a, Some b -> Some (sub a b)
+      | _ -> None)
+  | Neg a -> Option.map neg (of_expr a)
+  | Mul (a, b) -> (
+      match (of_expr a, of_expr b) with
+      | Some a, Some b -> (
+          match (to_const a, to_const b) with
+          | Some k, _ -> Some (scale k b)
+          | _, Some k -> Some (scale k a)
+          | None, None -> None)
+      | _ -> None)
+  | Div (a, b) -> (
+      (* exact constant division only *)
+      match (of_expr a, of_expr b) with
+      | Some a, Some b -> (
+          match to_const b with
+          | Some k
+            when k <> 0 && a.const mod k = 0
+                 && Util.SMap.for_all (fun _ c -> c mod k = 0) a.terms ->
+              Some (scale 1 { terms = Util.SMap.map (fun c -> c / k) a.terms;
+                              const = a.const / k })
+          | _ -> None)
+      | _ -> None)
+  | Mod _ | Min _ | Max _ -> None
+
+let to_expr t =
+  Util.SMap.fold
+    (fun v c acc -> Expr.add acc (Expr.mul (Expr.const c) (Expr.var v)))
+    t.terms (Expr.const t.const)
+
+let eval env t =
+  Util.SMap.fold
+    (fun v c acc ->
+      match Util.SMap.find_opt v env with
+      | Some x -> acc + (c * x)
+      | None -> invalid_arg (Printf.sprintf "Affine.eval: unbound variable %s" v))
+    t.terms t.const
+
+(** gcd of all variable coefficients (0 if there are none). *)
+let coeff_gcd t = Util.SMap.fold (fun _ c acc -> Util.gcd c acc) t.terms 0
+
+let pp ppf t =
+  if is_const t then Fmt.int ppf t.const
+  else begin
+    let first = ref true in
+    Util.SMap.iter
+      (fun v c ->
+        if !first then begin
+          first := false;
+          if c = 1 then Fmt.string ppf v
+          else if c = -1 then Fmt.pf ppf "-%s" v
+          else Fmt.pf ppf "%d*%s" c v
+        end
+        else if c = 1 then Fmt.pf ppf " + %s" v
+        else if c = -1 then Fmt.pf ppf " - %s" v
+        else if c > 0 then Fmt.pf ppf " + %d*%s" c v
+        else Fmt.pf ppf " - %d*%s" (-c) v)
+      t.terms;
+    if t.const > 0 then Fmt.pf ppf " + %d" t.const
+    else if t.const < 0 then Fmt.pf ppf " - %d" (-t.const)
+  end
+
+let to_string t = Fmt.str "%a" pp t

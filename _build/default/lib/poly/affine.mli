@@ -1,0 +1,50 @@
+(** Affine forms [sum_i c_i * x_i + c0] with integer coefficients — the
+    canonical representation for dependence testing and stride analysis. *)
+
+type t = {
+  terms : int Daisy_support.Util.SMap.t;  (** variable -> coefficient *)
+  const : int;
+}
+
+val const : int -> t
+val zero : t
+
+val var : ?coeff:int -> string -> t
+
+val is_const : t -> bool
+val to_const : t -> int option
+
+val coeff : string -> t -> int
+(** Coefficient of a variable (0 when absent). *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : int -> t -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val vars : t -> Daisy_support.Util.SSet.t
+
+val rename : (string -> string) -> t -> t
+(** [rename f t] renames every variable; [f] must be injective on the
+    variables of [t]. *)
+
+val subst : string -> t -> t -> t
+(** [subst v a t] replaces variable [v] by the affine form [a]. *)
+
+val of_expr : Expr.t -> t option
+(** Partial lifting from {!Expr}; [None] on non-affine constructs
+    ([min]/[max], variable products, inexact division, modulo) — exactly
+    the condition that makes polyhedral lifting give up on a loop nest. *)
+
+val to_expr : t -> Expr.t
+
+val eval : int Daisy_support.Util.SMap.t -> t -> int
+
+val coeff_gcd : t -> int
+(** gcd of all variable coefficients (0 if there are none). *)
+
+val pp : t Fmt.t
+val to_string : t -> string

@@ -1,0 +1,179 @@
+(** Symbolic integer expressions.
+
+    These appear as loop bounds, array subscripts and strides throughout the
+    toolchain. The normalization and dependence machinery mostly works on the
+    affine restriction ({!Affine}), but the full language keeps [min]/[max],
+    division and modulo so that tiling and strip-mining can produce exact
+    bounds. *)
+
+open Daisy_support
+
+type t =
+  | Const of int
+  | Var of string  (** loop iterator or symbolic parameter *)
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t  (** floor division; divisor must evaluate non-zero *)
+  | Mod of t * t
+  | Neg of t
+  | Min of t * t
+  | Max of t * t
+
+let rec equal a b =
+  match (a, b) with
+  | Const x, Const y -> x = y
+  | Var x, Var y -> String.equal x y
+  | Add (a1, a2), Add (b1, b2)
+  | Sub (a1, a2), Sub (b1, b2)
+  | Mul (a1, a2), Mul (b1, b2)
+  | Div (a1, a2), Div (b1, b2)
+  | Mod (a1, a2), Mod (b1, b2)
+  | Min (a1, a2), Min (b1, b2)
+  | Max (a1, a2), Max (b1, b2) -> equal a1 b1 && equal a2 b2
+  | Neg a1, Neg b1 -> equal a1 b1
+  | _ -> false
+
+let compare = Stdlib.compare
+
+(* Smart constructors perform light constant folding so printed IR stays
+   readable after repeated transformation. *)
+
+let const n = Const n
+let var v = Var v
+let zero = Const 0
+let one = Const 1
+
+let rec add a b =
+  match (a, b) with
+  | Const x, Const y -> Const (x + y)
+  | Const 0, e | e, Const 0 -> e
+  | Add (e, Const x), Const y | Const y, Add (e, Const x) -> add e (Const (x + y))
+  | _ -> Add (a, b)
+
+let rec sub a b =
+  match (a, b) with
+  | Const x, Const y -> Const (x - y)
+  | e, Const 0 -> e
+  | Sub (e, Const x), Const y -> sub e (Const (x + y))
+  | _ when equal a b -> Const 0
+  | _ -> Sub (a, b)
+
+let mul a b =
+  match (a, b) with
+  | Const x, Const y -> Const (x * y)
+  | Const 0, _ | _, Const 0 -> Const 0
+  | Const 1, e | e, Const 1 -> e
+  | _ -> Mul (a, b)
+
+let div a b =
+  match (a, b) with
+  | _, Const 0 -> invalid_arg "Expr.div: division by zero"
+  | Const x, Const y ->
+      (* floor division *)
+      let q = x / y and r = x mod y in
+      Const (if r <> 0 && (r < 0) <> (y < 0) then q - 1 else q)
+  | e, Const 1 -> e
+  | _ -> Div (a, b)
+
+let md a b =
+  match (a, b) with
+  | _, Const 0 -> invalid_arg "Expr.md: modulo by zero"
+  | Const x, Const y ->
+      let r = x mod y in
+      Const (if r <> 0 && (r < 0) <> (y < 0) then r + y else r)
+  | _, Const 1 -> Const 0
+  | _ -> Mod (a, b)
+
+let neg = function
+  | Const x -> Const (-x)
+  | Neg e -> e
+  | e -> Neg e
+
+let min_ a b =
+  match (a, b) with
+  | Const x, Const y -> Const (min x y)
+  | _ when equal a b -> a
+  | _ -> Min (a, b)
+
+let max_ a b =
+  match (a, b) with
+  | Const x, Const y -> Const (max x y)
+  | _ when equal a b -> a
+  | _ -> Max (a, b)
+
+let rec free_vars = function
+  | Const _ -> Util.SSet.empty
+  | Var v -> Util.SSet.singleton v
+  | Neg e -> free_vars e
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Mod (a, b)
+  | Min (a, b) | Max (a, b) ->
+      Util.SSet.union (free_vars a) (free_vars b)
+
+(** [subst env e] replaces variables by expressions, re-folding constants. *)
+let rec subst env e =
+  match e with
+  | Const _ -> e
+  | Var v -> ( match Util.SMap.find_opt v env with Some e' -> e' | None -> e)
+  | Add (a, b) -> add (subst env a) (subst env b)
+  | Sub (a, b) -> sub (subst env a) (subst env b)
+  | Mul (a, b) -> mul (subst env a) (subst env b)
+  | Div (a, b) -> div (subst env a) (subst env b)
+  | Mod (a, b) -> md (subst env a) (subst env b)
+  | Neg a -> neg (subst env a)
+  | Min (a, b) -> min_ (subst env a) (subst env b)
+  | Max (a, b) -> max_ (subst env a) (subst env b)
+
+let subst1 v e' e = subst (Util.SMap.singleton v e') e
+
+(** [eval env e] evaluates under an integer environment; raises
+    [Not_found]-style failure on unbound variables. *)
+let rec eval env e =
+  match e with
+  | Const n -> n
+  | Var v -> (
+      match Util.SMap.find_opt v env with
+      | Some n -> n
+      | None -> invalid_arg (Printf.sprintf "Expr.eval: unbound variable %s" v))
+  | Add (a, b) -> eval env a + eval env b
+  | Sub (a, b) -> eval env a - eval env b
+  | Mul (a, b) -> eval env a * eval env b
+  | Div (a, b) ->
+      let x = eval env a and y = eval env b in
+      if y = 0 then invalid_arg "Expr.eval: division by zero"
+      else
+        let q = x / y and r = x mod y in
+        if r <> 0 && (r < 0) <> (y < 0) then q - 1 else q
+  | Mod (a, b) ->
+      let x = eval env a and y = eval env b in
+      if y = 0 then invalid_arg "Expr.eval: modulo by zero"
+      else
+        let r = x mod y in
+        if r <> 0 && (r < 0) <> (y < 0) then r + y else r
+  | Neg a -> -eval env a
+  | Min (a, b) -> min (eval env a) (eval env b)
+  | Max (a, b) -> max (eval env a) (eval env b)
+
+let to_const = function Const n -> Some n | _ -> None
+
+let is_const e = to_const e <> None
+
+(* Precedence-aware printer: 0 = additive, 1 = multiplicative, 2 = atom. *)
+let rec pp_prec prec ppf e =
+  let paren p body =
+    if prec > p then Fmt.pf ppf "(%t)" body else body ppf
+  in
+  match e with
+  | Const n -> Fmt.int ppf n
+  | Var v -> Fmt.string ppf v
+  | Add (a, b) -> paren 0 (fun ppf -> Fmt.pf ppf "%a + %a" (pp_prec 0) a (pp_prec 1) b)
+  | Sub (a, b) -> paren 0 (fun ppf -> Fmt.pf ppf "%a - %a" (pp_prec 0) a (pp_prec 1) b)
+  | Mul (a, b) -> paren 1 (fun ppf -> Fmt.pf ppf "%a * %a" (pp_prec 1) a (pp_prec 2) b)
+  | Div (a, b) -> paren 1 (fun ppf -> Fmt.pf ppf "%a / %a" (pp_prec 1) a (pp_prec 2) b)
+  | Mod (a, b) -> paren 1 (fun ppf -> Fmt.pf ppf "%a %% %a" (pp_prec 1) a (pp_prec 2) b)
+  | Neg a -> paren 1 (fun ppf -> Fmt.pf ppf "-%a" (pp_prec 2) a)
+  | Min (a, b) -> Fmt.pf ppf "min(%a, %a)" (pp_prec 0) a (pp_prec 0) b
+  | Max (a, b) -> Fmt.pf ppf "max(%a, %a)" (pp_prec 0) a (pp_prec 0) b
+
+let pp = pp_prec 0
+let to_string e = Fmt.str "%a" pp e

@@ -1,0 +1,68 @@
+(** Symbolic integer expressions: loop bounds, array subscripts, strides.
+
+    The dependence and normalization machinery mostly works on the affine
+    restriction ({!Affine}); [min]/[max], division and modulo exist so that
+    tiling and strip-mining can produce exact bounds. *)
+
+type t =
+  | Const of int
+  | Var of string  (** loop iterator or symbolic parameter *)
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t  (** floor division *)
+  | Mod of t * t  (** floor modulo *)
+  | Neg of t
+  | Min of t * t
+  | Max of t * t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** {1 Smart constructors}
+
+    All perform light constant folding so printed IR stays readable after
+    repeated transformation. *)
+
+val const : int -> t
+val var : string -> t
+val zero : t
+val one : t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val div : t -> t -> t
+(** Floor division. @raise Invalid_argument on a zero constant divisor. *)
+
+val md : t -> t -> t
+(** Floor modulo. @raise Invalid_argument on a zero constant divisor. *)
+
+val neg : t -> t
+val min_ : t -> t -> t
+val max_ : t -> t -> t
+
+(** {1 Queries and evaluation} *)
+
+val free_vars : t -> Daisy_support.Util.SSet.t
+
+val subst : t Daisy_support.Util.SMap.t -> t -> t
+(** Simultaneous substitution of variables by expressions, re-folding
+    constants. *)
+
+val subst1 : string -> t -> t -> t
+(** [subst1 v e' e] replaces [v] by [e'] in [e]. *)
+
+val eval : int Daisy_support.Util.SMap.t -> t -> int
+(** @raise Invalid_argument on unbound variables or division by zero. *)
+
+val to_const : t -> int option
+val is_const : t -> bool
+
+(** {1 Printing} *)
+
+val pp_prec : int -> t Fmt.t
+(** Precedence-aware printer (0 = additive context, 2 = atom). *)
+
+val pp : t Fmt.t
+val to_string : t -> string

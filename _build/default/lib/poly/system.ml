@@ -1,0 +1,222 @@
+(** Conjunctions of affine equalities and inequalities, with a
+    Fourier–Motzkin-based emptiness test and variable-bound extraction.
+
+    This is the "isl-lite" the rest of the toolchain relies on. The emptiness
+    test is exact over the rationals and strengthened for integers by
+    coefficient-gcd tightening and gcd-divisibility tests on equalities;
+    where integer reasoning remains incomplete the result errs on the side of
+    "possibly non-empty", which is the conservative direction for dependence
+    analysis (a spurious point only adds a spurious dependence). *)
+
+open Daisy_support
+
+type t = {
+  eqs : Affine.t list;  (** each [a] means [a = 0] *)
+  ineqs : Affine.t list;  (** each [a] means [a >= 0] *)
+}
+
+let empty_sys = { eqs = []; ineqs = [] }
+
+let add_eq a t = { t with eqs = a :: t.eqs }
+let add_ineq a t = { t with ineqs = a :: t.ineqs }
+
+(** [ge a b] constrains [a >= b]. *)
+let ge a b t = add_ineq (Affine.sub a b) t
+
+(** [le a b] constrains [a <= b]. *)
+let le a b t = add_ineq (Affine.sub b a) t
+
+(** [lt a b] constrains [a < b], i.e. [a <= b - 1] over the integers. *)
+let lt a b t = add_ineq (Affine.add (Affine.sub b a) (Affine.const (-1))) t
+
+(** [gt a b] constrains [a > b]. *)
+let gt a b t = lt b a t
+
+let eq a b t = add_eq (Affine.sub a b) t
+
+let conj a b = { eqs = a.eqs @ b.eqs; ineqs = a.ineqs @ b.ineqs }
+
+let vars t =
+  List.fold_left
+    (fun acc a -> Util.SSet.union acc (Affine.vars a))
+    Util.SSet.empty (t.eqs @ t.ineqs)
+
+let rename f t =
+  { eqs = List.map (Affine.rename f) t.eqs;
+    ineqs = List.map (Affine.rename f) t.ineqs }
+
+(* Integer tightening of an inequality a >= 0: divide by the gcd g of the
+   variable coefficients and floor the constant: sum (c/g) x + floor(c0/g) >= 0
+   is equivalent over the integers. Returns None if the (now constant)
+   inequality is violated. *)
+let tighten (a : Affine.t) : Affine.t option =
+  match Affine.to_const a with
+  | Some c -> if c >= 0 then None (* trivially true, drop *) else Some a
+  | None ->
+      let g = Affine.coeff_gcd a in
+      if g <= 1 then Some a
+      else
+        let fdiv x y =
+          let q = x / y and r = x mod y in
+          if r <> 0 && (r < 0) <> (y < 0) then q - 1 else q
+        in
+        Some
+          {
+            Affine.terms = Util.SMap.map (fun c -> c / g) a.Affine.terms;
+            const = fdiv a.Affine.const g;
+          }
+
+exception Infeasible
+
+(* Check and simplify equalities:
+   - constant equality must be 0;
+   - gcd of coefficients must divide the constant (integer gcd test);
+   - equalities with a unit-coefficient variable are used to substitute that
+     variable away everywhere (exact over the integers). *)
+let rec solve_eqs eqs ineqs =
+  match eqs with
+  | [] -> ([], ineqs)
+  | a :: rest -> (
+      match Affine.to_const a with
+      | Some 0 -> solve_eqs rest ineqs
+      | Some _ -> raise Infeasible
+      | None ->
+          let g = Affine.coeff_gcd a in
+          if a.Affine.const mod g <> 0 then raise Infeasible
+          else
+            (* find a variable with coefficient +-1 *)
+            let unit_var =
+              Util.SMap.fold
+                (fun v c acc ->
+                  match acc with
+                  | Some _ -> acc
+                  | None -> if abs c = 1 then Some (v, c) else None)
+                a.Affine.terms None
+            in
+            (match unit_var with
+            | Some (v, c) ->
+                (* c*v + r = 0  =>  v = -r/c; with |c| = 1, v = -c * r *)
+                let r = { a with Affine.terms = Util.SMap.remove v a.Affine.terms } in
+                let repl = Affine.scale (-c) r in
+                let rest' = List.map (Affine.subst v repl) rest in
+                let ineqs' = List.map (Affine.subst v repl) ineqs in
+                solve_eqs rest' ineqs'
+            | None ->
+                (* keep as two inequalities *)
+                solve_eqs rest (a :: Affine.neg a :: ineqs)))
+
+(* Fourier–Motzkin elimination of variable [v] from inequalities. *)
+let eliminate_var v ineqs =
+  let lower, rest = List.partition (fun a -> Affine.coeff v a > 0) ineqs in
+  let upper, neither = List.partition (fun a -> Affine.coeff v a < 0) rest in
+  let combos =
+    List.concat_map
+      (fun lo ->
+        let a = Affine.coeff v lo in
+        List.map
+          (fun up ->
+            let b = -Affine.coeff v up in
+            (* lo: a*v + f >= 0, up: -b*v + g >= 0 (a,b > 0)
+               => b*f + a*g >= 0 after eliminating v *)
+            Affine.add (Affine.scale b lo) (Affine.scale a up))
+          upper)
+      lower
+  in
+  let combos = List.map (fun a -> { a with Affine.terms = Util.SMap.remove v a.Affine.terms }) combos in
+  combos @ neither
+
+(* Process a list of inequalities: tighten each, detect constant violations. *)
+let tighten_all ineqs =
+  List.filter_map
+    (fun a ->
+      match Affine.to_const a with
+      | Some c -> if c < 0 then raise Infeasible else None
+      | None -> tighten a)
+    ineqs
+
+(** [is_empty t] is [true] when [t] has no rational solutions (and therefore
+    no integer solutions), or when the gcd tests prove integer emptiness.
+    [false] means "possibly non-empty". *)
+let is_empty t =
+  try
+    let eqs_left, ineqs = solve_eqs t.eqs t.ineqs in
+    assert (eqs_left = []);
+    let ineqs = tighten_all ineqs in
+    let vars =
+      List.fold_left
+        (fun acc a -> Util.SSet.union acc (Affine.vars a))
+        Util.SSet.empty ineqs
+    in
+    let final =
+      Util.SSet.fold
+        (fun v ineqs -> tighten_all (eliminate_var v ineqs))
+        vars ineqs
+    in
+    (* tighten_all raises Infeasible on violated constants; anything left is
+       satisfiable over the rationals *)
+    ignore final;
+    false
+  with Infeasible -> true
+
+(** [const_bounds v t] is the best constant lower and upper bounds on [v]
+    implied by [t] (over the rationals, tightened to integers), as
+    [(lo, hi)] with [None] meaning unbounded. Assumes [t] non-empty. *)
+let const_bounds v t =
+  try
+    (* keep equalities as inequality pairs so [v] is never substituted away *)
+    let ineqs =
+      t.ineqs @ List.concat_map (fun a -> [ a; Affine.neg a ]) t.eqs
+    in
+    let ineqs = tighten_all ineqs in
+    let others = Util.SSet.remove v (
+      List.fold_left (fun acc a -> Util.SSet.union acc (Affine.vars a))
+        Util.SSet.empty ineqs) in
+    let ineqs =
+      Util.SSet.fold (fun u ineqs -> tighten_all (eliminate_var u ineqs)) others ineqs
+    in
+    (* remaining constraints mention only v (or are non-constant leftovers) *)
+    let lo, hi =
+      List.fold_left
+        (fun (lo, hi) a ->
+          let c = Affine.coeff v a in
+          let k = a.Affine.const in
+          if c > 0 then
+            (* c*v + k >= 0 => v >= ceil(-k/c) *)
+            let b = -k in
+            let bound = if b >= 0 then (b + c - 1) / c else -((-b) / c) in
+            let lo' = match lo with None -> Some bound | Some l -> Some (max l bound) in
+            (lo', hi)
+          else if c < 0 then
+            (* c*v + k >= 0 => v <= floor(k/(-c)) *)
+            let d = -c in
+            let bound = if k >= 0 then k / d else -(((-k) + d - 1) / d) in
+            let hi' = match hi with None -> Some bound | Some h -> Some (min h bound) in
+            (lo, hi')
+          else (lo, hi))
+        (None, None) ineqs
+    in
+    (lo, hi)
+  with Infeasible -> (Some 0, Some (-1))
+
+(** Brute-force integer satisfiability over a bounding box — used by the
+    property-based tests to validate {!is_empty}. *)
+let has_point_in_box ~box t =
+  let vars = Util.SSet.elements (vars t) in
+  let rec go env = function
+    | [] ->
+        List.for_all (fun a -> Affine.eval env a = 0) t.eqs
+        && List.for_all (fun a -> Affine.eval env a >= 0) t.ineqs
+    | v :: rest ->
+        let lo, hi = box in
+        let rec try_val x = x <= hi && (go (Util.SMap.add v x env) rest || try_val (x + 1)) in
+        try_val lo
+  in
+  go Util.SMap.empty vars
+
+let pp ppf t =
+  Fmt.pf ppf "{ %a%s%a }"
+    (Fmt.list ~sep:(Fmt.any " and ") (fun ppf a -> Fmt.pf ppf "%a = 0" Affine.pp a))
+    t.eqs
+    (if t.eqs <> [] && t.ineqs <> [] then " and " else "")
+    (Fmt.list ~sep:(Fmt.any " and ") (fun ppf a -> Fmt.pf ppf "%a >= 0" Affine.pp a))
+    t.ineqs

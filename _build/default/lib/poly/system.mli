@@ -1,0 +1,50 @@
+(** Conjunctions of affine equalities and inequalities with a
+    Fourier–Motzkin-based emptiness test — the "isl-lite" the dependence
+    analysis relies on.
+
+    The emptiness test is exact over the rationals and strengthened for
+    integers by coefficient-gcd tightening and gcd-divisibility tests on
+    equalities. Where integer reasoning remains incomplete the answer errs
+    toward "possibly non-empty", the conservative direction for dependence
+    analysis. *)
+
+type t = {
+  eqs : Affine.t list;  (** each [a] constrains [a = 0] *)
+  ineqs : Affine.t list;  (** each [a] constrains [a >= 0] *)
+}
+
+val empty_sys : t
+(** The trivially satisfiable system. *)
+
+(** {1 Building constraints} *)
+
+val add_eq : Affine.t -> t -> t
+val add_ineq : Affine.t -> t -> t
+val ge : Affine.t -> Affine.t -> t -> t
+val le : Affine.t -> Affine.t -> t -> t
+
+val lt : Affine.t -> Affine.t -> t -> t
+(** Strict inequality over the integers ([a <= b - 1]). *)
+
+val gt : Affine.t -> Affine.t -> t -> t
+val eq : Affine.t -> Affine.t -> t -> t
+val conj : t -> t -> t
+
+val vars : t -> Daisy_support.Util.SSet.t
+val rename : (string -> string) -> t -> t
+
+(** {1 Solving} *)
+
+val is_empty : t -> bool
+(** [true] means definitely no integer solutions; [false] means "possibly
+    non-empty". *)
+
+val const_bounds : string -> t -> int option * int option
+(** Best constant lower/upper bounds on a variable implied by the system
+    ([None] = unbounded in that direction). *)
+
+val has_point_in_box : box:int * int -> t -> bool
+(** Brute-force integer satisfiability with every variable restricted to
+    the inclusive box — used by property tests to validate {!is_empty}. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/scheduler/baselines.ml: Common Daisy_dependence Daisy_loopir Daisy_normalize Daisy_support Daisy_transforms Hashtbl List Util

@@ -1,0 +1,1 @@
+lib/scheduler/baselines.mli: Daisy_loopir Daisy_support

@@ -1,0 +1,1 @@
+lib/scheduler/common.ml: Daisy_dependence Daisy_loopir Daisy_machine Daisy_poly Daisy_support List String

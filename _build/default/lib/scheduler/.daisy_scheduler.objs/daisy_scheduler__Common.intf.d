@@ -1,0 +1,1 @@
+lib/scheduler/common.mli: Daisy_loopir Daisy_machine

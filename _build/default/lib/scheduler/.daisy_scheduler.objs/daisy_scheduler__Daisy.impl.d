@@ -1,0 +1,1 @@
+lib/scheduler/daisy.ml: Common Daisy_blas Daisy_dependence Daisy_loopir Daisy_normalize Daisy_support Daisy_transforms Database Fmt List Printf String Util

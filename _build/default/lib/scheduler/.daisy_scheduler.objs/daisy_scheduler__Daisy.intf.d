@@ -1,0 +1,1 @@
+lib/scheduler/daisy.mli: Common Daisy_loopir Daisy_transforms Database Fmt

@@ -1,0 +1,1 @@
+lib/scheduler/database.ml: Daisy_embedding Daisy_loopir Daisy_transforms Fmt List

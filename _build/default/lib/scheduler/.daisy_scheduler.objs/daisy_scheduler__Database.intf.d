@@ -1,0 +1,1 @@
+lib/scheduler/database.mli: Daisy_embedding Daisy_loopir Daisy_transforms Fmt

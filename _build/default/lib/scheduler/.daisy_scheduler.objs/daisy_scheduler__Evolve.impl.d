@@ -1,0 +1,1 @@
+lib/scheduler/evolve.ml: Common Daisy_dependence Daisy_loopir Daisy_support Daisy_transforms Hashtbl List Rng Util

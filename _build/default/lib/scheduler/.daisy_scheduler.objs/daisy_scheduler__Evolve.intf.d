@@ -1,0 +1,1 @@
+lib/scheduler/evolve.mli: Common Daisy_loopir Daisy_support Daisy_transforms Hashtbl

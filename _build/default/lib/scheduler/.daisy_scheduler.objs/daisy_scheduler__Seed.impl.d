@@ -1,0 +1,1 @@
+lib/scheduler/seed.ml: Common Daisy_blas Daisy_embedding Daisy_loopir Daisy_normalize Daisy_support Daisy_transforms Database Evolve Hashtbl List Printf Rng Tiramisu

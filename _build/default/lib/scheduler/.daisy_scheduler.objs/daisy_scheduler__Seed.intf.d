@@ -1,0 +1,1 @@
+lib/scheduler/seed.mli: Common Daisy_loopir Database

@@ -1,0 +1,1 @@
+lib/scheduler/tiramisu.ml: Common Daisy_dependence Daisy_loopir Daisy_normalize Daisy_support Daisy_transforms Fmt List Printf Rng Util

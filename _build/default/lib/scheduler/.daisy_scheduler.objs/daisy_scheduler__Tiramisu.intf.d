@@ -1,0 +1,1 @@
+lib/scheduler/tiramisu.mli: Common Daisy_loopir Daisy_transforms

@@ -1,0 +1,180 @@
+(** Baseline compiler models: clang -O3, icc -O3 -parallel, and Polly.
+
+    These operate {e without} a priori normalization and reproduce the
+    characteristic behaviours the paper measures against:
+    - clang: innermost-loop auto-vectorization only, no restructuring;
+    - icc: clang plus outermost-loop auto-parallelization;
+    - Polly: SCoP-gated greedy fusion + fixed tiling + OpenMP outer
+      parallelism + stripmine vectorization, {e keeping the source loop
+      order} — its ILP scheduler covers only part of the schedule space
+      (Baghdadi et al.), which is exactly why it is sensitive to the A/B
+      variation the paper studies. *)
+
+open Daisy_support
+module Ir = Daisy_loopir.Ir
+module Legality = Daisy_dependence.Legality
+module Lt = Daisy_transforms.Loop_transforms
+module Fusion = Daisy_transforms.Fusion
+module Iter_norm = Daisy_normalize.Iter_norm
+
+(* Scalars a compiler would privatize for a given loop: local scalars whose
+   every program access is inside the loop and whose first in-order access
+   in the body is an unguarded write. *)
+let privatizable_scalars (p : Ir.program) (l : Ir.loop) : Util.SSet.t =
+  let locals = Util.SSet.of_list p.Ir.local_scalars in
+  (* in-order accesses per scalar: (is_write, guarded) list *)
+  let first_access nodes =
+    let tbl = Hashtbl.create 8 in
+    let record s info =
+      if not (Hashtbl.mem tbl s) then Hashtbl.replace tbl s info
+    in
+    let rec go nodes =
+      List.iter
+        (fun n ->
+          match n with
+          | Ir.Ncomp c ->
+              (* reads are evaluated before the write commits *)
+              List.iter
+                (fun s -> record s (false, c.Ir.guard <> None))
+                (Ir.comp_scalar_reads c);
+              List.iter
+                (fun s -> record s (true, c.Ir.guard <> None))
+                (Ir.comp_scalar_writes c)
+          | Ir.Ncall _ -> ()
+          | Ir.Nloop inner -> go inner.Ir.body)
+        nodes
+    in
+    go nodes;
+    tbl
+  in
+  let inside = first_access l.Ir.body in
+  let used_in_subtree s =
+    Hashtbl.mem inside s
+  in
+  let accesses_outside s =
+    (* any access to s in the program outside l's subtree *)
+    let rec scan in_l nodes acc =
+      List.fold_left
+        (fun acc n ->
+          match n with
+          | Ir.Ncomp c ->
+              if in_l then acc
+              else
+                acc
+                || List.mem s (Ir.comp_scalar_reads c)
+                || List.mem s (Ir.comp_scalar_writes c)
+          | Ir.Ncall _ -> acc
+          | Ir.Nloop inner ->
+              scan (in_l || inner.Ir.lid = l.Ir.lid) inner.Ir.body acc)
+        acc nodes
+    in
+    scan false p.Ir.body false
+  in
+  Util.SSet.filter
+    (fun s ->
+      used_in_subtree s
+      && (not (accesses_outside s))
+      && match Hashtbl.find_opt inside s with
+         | Some (true, false) -> true (* first access: unguarded write *)
+         | _ -> false)
+    locals
+
+(* Mark legal+profitable innermost loops vectorized (no restructuring);
+   privatizable scalars do not block vectorization, as in real compilers. *)
+let vectorize_innermost (p : Ir.program) : Ir.program =
+  let rec go ~outer nodes =
+    List.map
+      (fun n ->
+        match n with
+        | Ir.Nloop l ->
+            let is_innermost = Ir.loops_in l.Ir.body = [] in
+            if is_innermost then
+              let ignore_containers = privatizable_scalars p l in
+              if
+                Common.vector_profitable l
+                && (not
+                      (Legality.loop_carries_dependence ~ignore_containers
+                         ~outer l)
+                   || Legality.carried_only_by_reductions ~ignore_containers
+                        ~outer l)
+              then
+                Ir.Nloop
+                  { l with Ir.attrs = { l.Ir.attrs with Ir.vectorized = true } }
+              else Ir.Nloop l
+            else Ir.Nloop { l with Ir.body = go ~outer:(outer @ [ l ]) l.Ir.body }
+        | other -> other)
+      nodes
+  in
+  { p with Ir.body = go ~outer:[] p.Ir.body }
+
+(** clang -O3: iterator canonicalization + innermost auto-vectorization. *)
+let clang_like (p : Ir.program) : Ir.program =
+  vectorize_innermost (Iter_norm.run p)
+
+(* Parallelize the outermost loop of each top-level nest when it carries no
+   dependence. *)
+let parallelize_outermost (p : Ir.program) : Ir.program =
+  Common.map_top_nests
+    (fun l ->
+      let ignore_containers = privatizable_scalars p l in
+      if not (Legality.loop_carries_dependence ~ignore_containers ~outer:[] l)
+      then
+        Ir.Nloop { l with Ir.attrs = { l.Ir.attrs with Ir.parallel = true } }
+      else Ir.Nloop l)
+    p
+
+(** icc -O3 -parallel: clang plus outer auto-parallelization. *)
+let icc_like (p : Ir.program) : Ir.program =
+  parallelize_outermost (clang_like p)
+
+(** Polly with -polly-parallel -polly-tiling -polly-vectorizer=stripmine.
+
+    Per top-level nest: if the nest is a SCoP, tile the fully-permutable
+    band prefix with 32x tiles, parallelize the outermost parallel loop and
+    stripmine-vectorize; non-SCoP nests fall back to clang treatment. The
+    incoming loop order is preserved. *)
+let polly_like (p : Ir.program) : Ir.program =
+  let p = Iter_norm.run p in
+  (* greedy maximal fusion of adjacent compatible top-level nests *)
+  let p, _ = Fusion.fuse_greedy p in
+  let optimize_nest (l : Ir.loop) : Ir.node =
+    if not (Common.scop_compatible (Ir.Nloop l)) then
+      (* non-SCoP: plain -O3 path *)
+      match Common.map_top_nests (fun x -> Ir.Nloop x)
+              (vectorize_innermost { p with Ir.body = [ Ir.Nloop l ] })
+      with
+      | { Ir.body = [ n ]; _ } -> n
+      | _ -> Ir.Nloop l
+    else begin
+      let band, _ = Legality.perfect_band l in
+      let depth = List.length band in
+      let nest = l in
+      (* tiling: try to tile the whole band with 32s; legality-checked *)
+      let nest =
+        if depth >= 2 then
+          match Lt.tile ~outer:[] nest (List.init depth (fun i -> (i, 32))) with
+          | Ok nest' -> nest'
+          | Error _ -> nest
+        else nest
+      in
+      (* parallelize the outermost parallelizable band position *)
+      let nest =
+        let band', _ = Legality.perfect_band nest in
+        let rec try_pos pos =
+          if pos >= List.length band' then nest
+          else
+            match Lt.parallelize ~allow_atomic:false ~outer:[] nest pos with
+            | Ok nest' -> nest'
+            | Error _ -> try_pos (pos + 1)
+        in
+        try_pos 0
+      in
+      (* stripmine vectorization of the (tree-)innermost loops *)
+      match
+        vectorize_innermost { p with Ir.body = [ Ir.Nloop nest ] }
+      with
+      | { Ir.body = [ n ]; _ } -> n
+      | _ -> Ir.Nloop nest
+    end
+  in
+  Common.map_top_nests optimize_nest p

@@ -1,0 +1,23 @@
+(** Baseline compiler models: clang -O3, icc -O3 -parallel, and Polly —
+    all operating {e without} a priori normalization (paper §4). *)
+
+val privatizable_scalars :
+  Daisy_loopir.Ir.program -> Daisy_loopir.Ir.loop -> Daisy_support.Util.SSet.t
+(** Local scalars a compiler would privatize for the loop (accessed only
+    inside it, written before read each iteration). *)
+
+val vectorize_innermost : Daisy_loopir.Ir.program -> Daisy_loopir.Ir.program
+(** Mark legal + profitable tree-innermost loops vectorized. *)
+
+val clang_like : Daisy_loopir.Ir.program -> Daisy_loopir.Ir.program
+(** Iterator canonicalization + innermost auto-vectorization. *)
+
+val parallelize_outermost : Daisy_loopir.Ir.program -> Daisy_loopir.Ir.program
+
+val icc_like : Daisy_loopir.Ir.program -> Daisy_loopir.Ir.program
+(** clang plus outermost auto-parallelization. *)
+
+val polly_like : Daisy_loopir.Ir.program -> Daisy_loopir.Ir.program
+(** SCoP-gated greedy fusion + 32x tiling + outer parallelism + stripmine
+    vectorization, keeping the incoming loop order (the modeled
+    sensitivity the paper measures). *)

@@ -1,0 +1,246 @@
+(** The daisy auto-scheduler (paper §4): a priori normalization, BLAS idiom
+    detection, then similarity-based transfer tuning from a recipe
+    database.
+
+    The two pipeline stages can be disabled independently for the ablation
+    study (Fig. 7): [normalize = false] reproduces "transfer tuning without
+    normalization", [transfer = false] reproduces "normalization without
+    transfer tuning"; both disabled is plain clang.
+
+    Loop nests that cannot be lifted to the symbolic representation
+    ({!Common.liftable}) are left untouched by normalization and
+    optimization; daisy's runtime still executes them in parallel, using
+    atomic updates for read-modify-write computations it cannot analyze —
+    reproducing the expensive atomic reductions the paper reports on
+    correlation and covariance (§4.1). *)
+
+open Daisy_support
+module Ir = Daisy_loopir.Ir
+module Recipe = Daisy_transforms.Recipe
+module Lt = Daisy_transforms.Loop_transforms
+module Legality = Daisy_dependence.Legality
+module Pipeline = Daisy_normalize.Pipeline
+module Iter_norm = Daisy_normalize.Iter_norm
+module Patterns = Daisy_blas.Patterns
+
+type options = { normalize : bool; transfer : bool }
+
+let default_options = { normalize = true; transfer = true }
+
+type action =
+  [ `Blas of string | `Recipe of Recipe.t | `Unoptimized | `Unliftable ]
+
+type nest_decision = { label : string; action : action }
+
+type schedule_report = {
+  program : Ir.program;
+  decisions : nest_decision list;
+  blas_calls : int;
+}
+
+(** The unliftable fallback: the runtime executes the nest in parallel
+    without analysis — atomic updates whenever the body contains
+    read-modify-write computations. *)
+let unliftable_fallback (nest : Ir.loop) : Ir.node =
+  let has_reduction =
+    List.exists Legality.is_reduction_comp (Ir.comps_in nest.Ir.body)
+    || List.exists Legality.is_reduction_comp
+         (match nest.Ir.body with [ Ir.Ncomp c ] -> [ c ] | _ -> [])
+  in
+  let attrs =
+    { nest.Ir.attrs with Ir.parallel = true; atomic = has_reduction }
+  in
+  Ir.Nloop { nest with Ir.attrs = attrs }
+
+(** Candidate schedules for one liftable unit: as-is, auto-vectorized, and
+    every database recipe that applies strictly; the simulated runtime
+    (of the unit wrapped in its enclosing loops) picks. *)
+let transfer_nest (ctx : Common.ctx) ~(db : Database.t) ~(outer : Ir.loop list)
+    (p : Ir.program) (nest : Ir.loop) : Ir.loop * action =
+  let candidates =
+    let exact =
+      List.map (fun e -> e.Database.recipe) (Database.exact_matches db nest)
+    in
+    let near =
+      List.map (fun (_, e) -> e.Database.recipe) (Database.query db ~k:10 nest)
+    in
+    Util.dedup ~eq:Recipe.equal (exact @ near)
+  in
+  let baseline =
+    (nest, `Unoptimized)
+    ::
+    (match Lt.vectorize ~outer nest with
+    | Ok n -> [ (n, `Unoptimized) ]
+    | Error _ -> [])
+  in
+  let applied =
+    List.filter_map
+      (fun r ->
+        match Recipe.apply ~outer nest r with
+        | Ok nest' -> Some (nest', `Recipe r)
+        | Error _ -> None)
+      candidates
+  in
+  let _, n, a =
+    List.fold_left
+      (fun ((bt, _, _) as best) (n, a) ->
+        let t =
+          Common.nest_runtime_ms ctx p (Common.wrap_outer outer (Ir.Nloop n))
+        in
+        if t < bt then (t, n, a) else best)
+      (infinity, nest, (`Unoptimized : action))
+      (baseline @ applied)
+  in
+  (n, a)
+
+(** Recursively optimize the schedulable units of a nest (see
+    {!Common.schedulable_units}): leaf units get transfer tuning; purely
+    structural outer loops recurse. *)
+let rec optimize_nest (ctx : Common.ctx) ~db ~options ~decide ~counter
+    ~(outer : Ir.loop list) (sub : Ir.program) (nest : Ir.loop) : Ir.loop =
+  let band, body = Daisy_dependence.Legality.perfect_band nest in
+  let has_comp =
+    List.exists (function Ir.Ncomp _ | Ir.Ncall _ -> true | _ -> false) body
+  in
+  let subloops = List.exists (function Ir.Nloop _ -> true | _ -> false) body in
+  if subloops && not has_comp then begin
+    (* structural outer loops: recurse into the children *)
+    let body' =
+      List.map
+        (function
+          | Ir.Nloop sub_nest ->
+              Ir.Nloop
+                (optimize_nest ctx ~db ~options ~decide ~counter
+                   ~outer:(outer @ band) sub sub_nest)
+          | other -> other)
+        body
+    in
+    Daisy_normalize.Stride.rebuild_band band body'
+  end
+  else begin
+    incr counter;
+    let label = Printf.sprintf "nest#%d" !counter in
+    if options.transfer then begin
+      let nest', action = transfer_nest ctx ~db ~outer sub nest in
+      decide label action;
+      nest'
+    end
+    else begin
+      decide label `Unoptimized;
+      match Lt.vectorize ~outer nest with
+      | Ok nest' -> nest'
+      | Error _ -> nest
+    end
+  end
+
+(** Leaf-unit scheduling including idiom detection: the BLAS replacement is
+    one more candidate, adopted only when the simulated runtime prefers it
+    (a tuned library is not automatically the best choice — e.g. a
+    memory-bound rank-2 update may lose to a fused parallel nest). *)
+let schedule_unit (ctx : Common.ctx) ~db ~options ~decide ~counter ~outer sub
+    (nest : Ir.loop) : Ir.node =
+  let transfer_result () =
+    Ir.Nloop (optimize_nest ctx ~db ~options ~decide ~counter ~outer sub nest)
+  in
+  if not options.transfer then transfer_result ()
+  else
+    match Patterns.detect_nest nest with
+    | None -> transfer_result ()
+    | Some call ->
+        let call_node = Ir.Ncall call in
+        let t_call =
+          Common.nest_runtime_ms ctx sub (Common.wrap_outer outer call_node)
+        in
+        (* evaluate the transfer path without emitting decisions yet *)
+        let silent = ref [] in
+        let silent_decide label action = silent := (label, action) :: !silent in
+        let counter' = ref !counter in
+        let transfer_node =
+          Ir.Nloop
+            (optimize_nest ctx ~db ~options ~decide:silent_decide
+               ~counter:counter' ~outer sub nest)
+        in
+        let t_transfer =
+          Common.nest_runtime_ms ctx sub (Common.wrap_outer outer transfer_node)
+        in
+        if t_call <= t_transfer then begin
+          incr counter;
+          decide (Printf.sprintf "nest#%d" !counter) (`Blas call.Ir.kernel);
+          call_node
+        end
+        else begin
+          counter := !counter';
+          List.iter (fun (l, a) -> decide l a) (List.rev !silent);
+          transfer_node
+        end
+
+(** [schedule ctx ~db p] — run the daisy pipeline on a program. *)
+let schedule ?(options = default_options) (ctx : Common.ctx)
+    ~(db : Database.t) (p : Ir.program) : schedule_report =
+  let decisions = ref [] in
+  let blas_calls = ref 0 in
+  let decide label action = decisions := { label; action } :: !decisions in
+  let counter = ref 0 in
+  (* collect the extra local arrays normalization introduces *)
+  let extra_arrays = ref [] in
+  let schedule_liftable_node (n : Ir.node) : Ir.node list =
+    (* normalize (or just canonicalize iterators) this node in isolation *)
+    let sub = Common.single_nest_program p n in
+    let sub =
+      if options.normalize then Pipeline.normalize ~sizes:ctx.sizes sub
+      else Iter_norm.run sub
+    in
+    List.iter
+      (fun (a : Ir.array_decl) ->
+        if
+          not
+            (List.exists
+               (fun (b : Ir.array_decl) -> String.equal a.Ir.name b.Ir.name)
+               p.Ir.arrays)
+        then extra_arrays := a :: !extra_arrays)
+      sub.Ir.arrays;
+    (* idiom detection is one of the database's optimization recipes
+       (paper §4): each detected call competes with the transfer path on
+       simulated runtime *)
+    List.map
+      (fun n ->
+        match n with
+        | Ir.Ncall k ->
+            incr counter;
+            decide (Printf.sprintf "nest#%d" !counter) (`Blas k.Ir.kernel);
+            n
+        | Ir.Ncomp _ -> n
+        | Ir.Nloop nest ->
+            let result =
+              schedule_unit ctx ~db ~options ~decide ~counter ~outer:[] sub nest
+            in
+            (match result with
+            | Ir.Ncall _ -> incr blas_calls
+            | _ -> ());
+            result)
+      sub.Ir.body
+  in
+  let body =
+    List.concat_map
+      (fun n ->
+        match n with
+        | Ir.Nloop nest when not (Common.liftable n) ->
+            incr counter;
+            decide (Printf.sprintf "nest#%d" !counter) `Unliftable;
+            [ unliftable_fallback nest ]
+        | Ir.Nloop _ -> schedule_liftable_node n
+        | other -> [ other ])
+      p.Ir.body
+  in
+  {
+    program = { p with Ir.body; arrays = p.Ir.arrays @ List.rev !extra_arrays };
+    decisions = List.rev !decisions;
+    blas_calls = !blas_calls;
+  }
+
+let pp_decision ppf (d : nest_decision) =
+  match d.action with
+  | `Blas k -> Fmt.pf ppf "%s: BLAS call %s" d.label k
+  | `Recipe r -> Fmt.pf ppf "%s: recipe %a" d.label Recipe.pp r
+  | `Unoptimized -> Fmt.pf ppf "%s: unoptimized (-O3 only)" d.label
+  | `Unliftable -> Fmt.pf ppf "%s: UNLIFTABLE (parallel fallback)" d.label

@@ -1,0 +1,38 @@
+(** The daisy auto-scheduler (paper §4): a priori normalization, BLAS idiom
+    detection, then similarity-based transfer tuning from a recipe
+    database.
+
+    Unliftable nests (see {!Common.liftable}) are left untouched by
+    normalization; the runtime fallback executes them in parallel with
+    atomic updates for reductions — reproducing the §4.1
+    correlation/covariance behaviour. *)
+
+type options = {
+  normalize : bool;  (** a priori normalization (off: "transfer w/o norm") *)
+  transfer : bool;  (** database + idiom detection (off: "norm w/o transfer") *)
+}
+
+val default_options : options
+
+type action =
+  [ `Blas of string
+  | `Recipe of Daisy_transforms.Recipe.t
+  | `Unoptimized
+  | `Unliftable ]
+
+type nest_decision = { label : string; action : action }
+
+type schedule_report = {
+  program : Daisy_loopir.Ir.program;
+  decisions : nest_decision list;
+  blas_calls : int;
+}
+
+val schedule :
+  ?options:options ->
+  Common.ctx ->
+  db:Database.t ->
+  Daisy_loopir.Ir.program ->
+  schedule_report
+
+val pp_decision : nest_decision Fmt.t

@@ -1,0 +1,54 @@
+(** The transfer-tuning database: pairs of performance embeddings and
+    optimization recipes (paper §4, after "Performance Embeddings",
+    ICS'23).
+
+    The database is seeded from normalized A variants and queried with
+    normalized B variants (or Python-translated variants); the Euclidean
+    distance of embeddings picks candidate recipes. *)
+
+module Ir = Daisy_loopir.Ir
+module Recipe = Daisy_transforms.Recipe
+module Embedding = Daisy_embedding.Embedding
+
+type entry = {
+  source : string;  (** benchmark/nest label, for reporting *)
+  embedding : Embedding.t;
+  recipe : Recipe.t;
+  canon_hash : int;  (** canonical structure hash of the normalized nest *)
+}
+
+type t = { mutable entries : entry list }
+
+let create () = { entries = [] }
+
+let size db = List.length db.entries
+
+let add db ~source ~(nest : Ir.loop) ~(recipe : Recipe.t) =
+  db.entries <-
+    {
+      source;
+      embedding = Embedding.of_node (Ir.Nloop nest);
+      recipe;
+      canon_hash = Ir.hash_structure [ Ir.Nloop nest ];
+    }
+    :: db.entries
+
+(** [query db ~k nest] — the [k] entries nearest to [nest] in embedding
+    space (closest first). *)
+let query db ~k (nest : Ir.loop) : (float * entry) list =
+  let q = Embedding.of_node (Ir.Nloop nest) in
+  Embedding.nearest k
+    (List.map (fun e -> (e.embedding, e)) db.entries)
+    q
+
+(** Entries whose normalized structure is identical to [nest] — exact
+    transfer hits. *)
+let exact_matches db (nest : Ir.loop) : entry list =
+  let h = Ir.hash_structure [ Ir.Nloop nest ] in
+  List.filter (fun e -> e.canon_hash = h) db.entries
+
+let pp ppf db =
+  Fmt.pf ppf "@[<v>database: %d entries@,%a@]" (size db)
+    (Fmt.list ~sep:Fmt.cut (fun ppf e ->
+         Fmt.pf ppf "  %s: %a" e.source Recipe.pp e.recipe))
+    db.entries

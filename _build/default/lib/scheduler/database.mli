@@ -1,0 +1,31 @@
+(** The transfer-tuning database: performance embeddings paired with
+    optimization recipes, seeded from normalized A variants and queried by
+    Euclidean distance (paper §4). *)
+
+type entry = {
+  source : string;  (** benchmark/nest label *)
+  embedding : Daisy_embedding.Embedding.t;
+  recipe : Daisy_transforms.Recipe.t;
+  canon_hash : int;  (** canonical structure hash of the normalized nest *)
+}
+
+type t
+
+val create : unit -> t
+val size : t -> int
+
+val add :
+  t ->
+  source:string ->
+  nest:Daisy_loopir.Ir.loop ->
+  recipe:Daisy_transforms.Recipe.t ->
+  unit
+
+val query : t -> k:int -> Daisy_loopir.Ir.loop -> (float * entry) list
+(** The [k] nearest entries in embedding space, closest first. *)
+
+val exact_matches : t -> Daisy_loopir.Ir.loop -> entry list
+(** Entries whose normalized structure is identical — exact transfer
+    hits. *)
+
+val pp : t Fmt.t

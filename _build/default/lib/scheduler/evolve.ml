@@ -1,0 +1,75 @@
+(** Evolutionary recipe search (paper §4, "Seeding a Scheduling Database").
+
+    Epoch 1 seeds the population from Tiramisu-style proposals; it is
+    refined through mutation + selection with the simulated runtime as
+    fitness. Later epochs re-seed from the best recipes of the most similar
+    loop nests (transfer between nests) — implemented in
+    {!Seed.seed_database}. *)
+
+open Daisy_support
+module Ir = Daisy_loopir.Ir
+module Recipe = Daisy_transforms.Recipe
+module Legality = Daisy_dependence.Legality
+
+type fitness_cache = (int * string, float) Hashtbl.t
+
+let eval_cached (cache : fitness_cache) (ctx : Common.ctx) ~outer
+    (p : Ir.program) (nest : Ir.loop) (r : Recipe.t) : float =
+  let key = (Ir.hash_structure [ Common.wrap_outer outer (Ir.Nloop nest) ],
+             Recipe.to_string r) in
+  match Hashtbl.find_opt cache key with
+  | Some t -> t
+  | None ->
+      let t =
+        match Recipe.apply ~outer nest r with
+        | Error _ -> infinity
+        | Ok nest' ->
+            Common.nest_runtime_ms ctx p
+              (Common.wrap_outer outer (Ir.Nloop nest'))
+      in
+      Hashtbl.replace cache key t;
+      t
+
+(** [search ctx p nest ~seeds ~rng] — refine a population of recipes for
+    [nest]. Returns the best recipe and its fitness (ms). *)
+let search ?(population = 8) ?(iterations = 3) ?(cache = Hashtbl.create 64)
+    ?(outer = []) (ctx : Common.ctx) (p : Ir.program) (nest : Ir.loop)
+    ~(seeds : Recipe.t list) ~(rng : Rng.t) : Recipe.t * float =
+  let band, _ = Legality.perfect_band nest in
+  let band_size = List.length band in
+  let fitness r = eval_cached cache ctx ~outer p nest r in
+  let initial =
+    Util.dedup ~eq:Recipe.equal (([] : Recipe.t) :: seeds) |> Util.take population
+  in
+  let rec refine gen pop =
+    if gen >= iterations then pop
+    else begin
+      let scored =
+        List.map (fun r -> (fitness r, r)) pop
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+      in
+      let survivors = Util.take (max 2 (population / 2)) scored in
+      let parents = List.map snd survivors in
+      let children =
+        List.concat_map
+          (fun r ->
+            [ Recipe.mutate rng band_size r;
+              Recipe.crossover rng r (Rng.choose rng parents) ])
+          parents
+      in
+      let next =
+        Util.dedup ~eq:Recipe.equal (parents @ children) |> Util.take population
+      in
+      refine (gen + 1) next
+    end
+  in
+  let final = refine 0 initial in
+  let best =
+    List.fold_left
+      (fun (bt, br) r ->
+        let t = fitness r in
+        if t < bt then (t, r) else (bt, br))
+      (fitness [], [])
+      final
+  in
+  (snd best, fst best)

@@ -1,0 +1,17 @@
+(** Evolutionary recipe search (paper §4): populations of recipes refined
+    by mutation + crossover with the simulated runtime as fitness. *)
+
+type fitness_cache = (int * string, float) Hashtbl.t
+
+val search :
+  ?population:int ->
+  ?iterations:int ->
+  ?cache:fitness_cache ->
+  ?outer:Daisy_loopir.Ir.loop list ->
+  Common.ctx ->
+  Daisy_loopir.Ir.program ->
+  Daisy_loopir.Ir.loop ->
+  seeds:Daisy_transforms.Recipe.t list ->
+  rng:Daisy_support.Rng.t ->
+  Daisy_transforms.Recipe.t * float
+(** Returns the best recipe and its fitness (simulated ms). *)

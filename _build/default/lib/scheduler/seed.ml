@@ -1,0 +1,91 @@
+(** Database seeding (paper §4): collect all loop nests from the normalized
+    A variants; BLAS-3 nests get idiom-detection recipes (handled directly
+    by {!Daisy_blas.Patterns} at scheduling time); the rest are optimized by
+    the evolutionary search — epoch 1 seeded from Tiramisu-style proposals,
+    epochs 2 and 3 re-seeded from the current best recipes of the ten most
+    similar loop nests (Euclidean distance of performance embeddings). *)
+
+open Daisy_support
+module Ir = Daisy_loopir.Ir
+module Recipe = Daisy_transforms.Recipe
+module Pipeline = Daisy_normalize.Pipeline
+module Patterns = Daisy_blas.Patterns
+module Embedding = Daisy_embedding.Embedding
+
+type nest_state = {
+  label : string;
+  program : Ir.program;  (** single-unit program for evaluation *)
+  outer : Ir.loop list;  (** sequential loops enclosing the unit *)
+  nest : Ir.loop;
+  embedding : Embedding.t;
+  mutable best : Recipe.t;
+  mutable best_ms : float;
+}
+
+(** [seed_database ctx ~db programs] — normalize each (label, program),
+    drop BLAS-matched nests, evolve recipes for the rest, store them. *)
+let seed_database ?(epochs = 3) ?(population = 8) ?(iterations = 3)
+    (ctx : Common.ctx) ~(db : Database.t)
+    (programs : (string * Ir.program) list) : unit =
+  let cache = Hashtbl.create 256 in
+  let states =
+    List.concat_map
+      (fun (label, p) ->
+        let normalized = Pipeline.normalize ~sizes:ctx.sizes p in
+        (* BLAS nests are served by idiom detection, not the database *)
+        let remaining, _ = Patterns.replace_all normalized in
+        Common.program_units remaining
+        |> List.mapi (fun i (outer, nest) ->
+               {
+                 label = Printf.sprintf "%s#%d" label i;
+                 program =
+                   Common.single_nest_program remaining
+                     (Common.wrap_outer outer (Ir.Nloop nest));
+                 outer;
+                 nest;
+                 embedding = Embedding.of_node (Ir.Nloop nest);
+                 best = [];
+                 best_ms = infinity;
+               }))
+      programs
+  in
+  (* epoch 1: Tiramisu-style seeds *)
+  List.iter
+    (fun st ->
+      let rng = Rng.of_string ("seed-epoch1-" ^ st.label) in
+      let seeds = Tiramisu.proposals st.nest in
+      let best, ms =
+        Evolve.search ~population ~iterations ~cache ~outer:st.outer ctx
+          st.program st.nest ~seeds ~rng
+      in
+      st.best <- best;
+      st.best_ms <- ms)
+    states;
+  (* epochs 2..n: re-seed from the ten most similar nests *)
+  for epoch = 2 to epochs do
+    List.iter
+      (fun st ->
+        let rng = Rng.of_string (Printf.sprintf "seed-epoch%d-%s" epoch st.label) in
+        let neighbours =
+          Embedding.nearest 10
+            (List.filter_map
+               (fun o ->
+                 if o == st then None else Some (o.embedding, o.best))
+               states)
+            st.embedding
+          |> List.map snd
+        in
+        let seeds = st.best :: neighbours in
+        let best, ms =
+          Evolve.search ~population ~iterations ~cache ~outer:st.outer ctx
+            st.program st.nest ~seeds ~rng
+        in
+        if ms < st.best_ms then begin
+          st.best <- best;
+          st.best_ms <- ms
+        end)
+      states
+  done;
+  List.iter
+    (fun st -> Database.add db ~source:st.label ~nest:st.nest ~recipe:st.best)
+    states

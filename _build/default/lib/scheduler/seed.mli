@@ -1,0 +1,13 @@
+(** Database seeding (paper §4): evolve recipes for every schedulable unit
+    of the normalized A variants — epoch 1 seeded from Tiramisu-style
+    proposals, later epochs re-seeded from the best recipes of the most
+    similar nests. *)
+
+val seed_database :
+  ?epochs:int ->
+  ?population:int ->
+  ?iterations:int ->
+  Common.ctx ->
+  db:Database.t ->
+  (string * Daisy_loopir.Ir.program) list ->
+  unit

@@ -1,0 +1,135 @@
+(** Tiramisu-auto-scheduler model: tree search over scheduling recipes
+    guided by a {e learned} (imperfect) cost model.
+
+    As in the paper's setup: the adapter applies the maximal-fission
+    criterion first and restricts the conversion to perfectly nested
+    parallel loops — benchmarks with nests the adapter cannot convert are
+    marked unsupported ("X" in Fig. 6). The search is Monte-Carlo-flavoured:
+    candidate recipes are ranked by the analytic model multiplied by
+    deterministic pseudo-noise (emulating learned-model error and the
+    resulting local optima); the top three candidates are then evaluated
+    with the {e real} model and the best applied, mirroring the paper's
+    "we test the top three candidates". *)
+
+open Daisy_support
+module Ir = Daisy_loopir.Ir
+module Recipe = Daisy_transforms.Recipe
+module Legality = Daisy_dependence.Legality
+module Fission = Daisy_normalize.Fission
+module Iter_norm = Daisy_normalize.Iter_norm
+
+type result = Scheduled of Ir.program | Unsupported of string
+
+(** Deterministic multiplicative noise in [0.55, 1.8], keyed by the nest
+    structure and the recipe — the same (nest, recipe) pair always gets the
+    same error, like a fixed trained model. *)
+let model_noise ~(seed : int) (nest : Ir.loop) (r : Recipe.t) : float =
+  let key =
+    Printf.sprintf "%d|%d|%s" seed
+      (Ir.hash_structure [ Ir.Nloop nest ])
+      (Recipe.to_string r)
+  in
+  let rng = Rng.of_string key in
+  0.55 +. (Rng.float rng *. 1.25)
+
+(** Candidate recipes for a band of [n] perfectly nested loops. *)
+let candidate_recipes (n : int) : Recipe.t list =
+  let interchanges =
+    if n >= 2 && n <= 4 then
+      List.filter_map
+        (fun p -> if p = List.init n (fun i -> i) then None else Some [ Recipe.Interchange p ])
+        (Util.permutations (List.init n (fun i -> i)))
+    else []
+  in
+  let tilings =
+    if n >= 2 then
+      [ [ Recipe.Tile (List.init (min n 3) (fun i -> (i, 32))) ];
+        [ Recipe.Tile (List.init (min n 3) (fun i -> (i, 64))) ] ]
+    else []
+  in
+  let base = [ []; [ Recipe.Vectorize ]; [ Recipe.Parallelize 0 ];
+               [ Recipe.Parallelize 0; Recipe.Vectorize ] ] in
+  let combined =
+    List.concat_map
+      (fun i -> [ i @ [ Recipe.Parallelize 0; Recipe.Vectorize ]; i ])
+      interchanges
+    @ List.concat_map
+        (fun t -> [ t @ [ Recipe.Parallelize 0; Recipe.Vectorize ]; t ])
+        tilings
+  in
+  base @ interchanges @ tilings @ combined
+
+(** Check the adapter restriction: perfectly nested, unguarded, affine. *)
+let convertible (nest : Ir.loop) : bool =
+  let _, body = Legality.perfect_band nest in
+  List.for_all
+    (function Ir.Ncomp c -> c.Ir.guard = None | _ -> false)
+    body
+  && Common.scop_compatible (Ir.Nloop nest)
+
+(** Schedule one program. [seed] differentiates "training runs". *)
+let schedule ?(seed = 1) (ctx : Common.ctx) (p : Ir.program) : result =
+  (* the adapter: maximal fission first *)
+  let p = Fission.run_fixpoint (Iter_norm.run p) in
+  let unsupported = ref None in
+  let body =
+    List.map
+      (fun n ->
+        match n with
+        | Ir.Ncomp _ | Ir.Ncall _ -> n
+        | Ir.Nloop nest ->
+            if not (convertible nest) then begin
+              if !unsupported = None then
+                unsupported :=
+                  Some
+                    (Fmt.str "nest over %s not perfectly nested/affine"
+                       nest.Ir.iter);
+              n
+            end
+            else begin
+              let band, _ = Legality.perfect_band nest in
+              let nb = List.length band in
+              let candidates = candidate_recipes nb in
+              (* rank by noisy model *)
+              let scored =
+                List.map
+                  (fun r ->
+                    match Recipe.apply ~outer:[] nest r with
+                    | Error _ -> (infinity, r, nest)
+                    | Ok nest' ->
+                        let t =
+                          Common.nest_runtime_ms ctx p (Ir.Nloop nest')
+                        in
+                        (t *. model_noise ~seed nest r, r, nest'))
+                  candidates
+              in
+              let ranked =
+                List.sort (fun (a, _, _) (b, _, _) -> compare a b) scored
+              in
+              let top3 = Util.take 3 ranked in
+              (* evaluate the top three with the real model *)
+              let best =
+                List.fold_left
+                  (fun best (_, _, nest') ->
+                    let t = Common.nest_runtime_ms ctx p (Ir.Nloop nest') in
+                    match best with
+                    | Some (bt, _) when bt <= t -> best
+                    | _ -> Some (t, nest'))
+                  None top3
+              in
+              match best with
+              | Some (_, nest') -> Ir.Nloop nest'
+              | None -> n
+            end)
+      p.Ir.body
+  in
+  match !unsupported with
+  | Some reason -> Unsupported reason
+  | None -> Scheduled { p with Ir.body }
+
+(** Recipe proposals used to seed daisy's evolutionary search ("the
+    candidate optimizations for each loop nest are seeded using the
+    Tiramisu auto-scheduler"). *)
+let proposals (nest : Ir.loop) : Recipe.t list =
+  let band, _ = Legality.perfect_band nest in
+  Util.take 12 (candidate_recipes (List.length band))

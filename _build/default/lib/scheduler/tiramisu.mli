@@ -1,0 +1,11 @@
+(** Tiramisu-auto-scheduler model: tree search over recipes guided by an
+    imperfect (noise-injected) cost model, restricted to perfectly nested
+    affine loops after maximal fission — the paper's adapter. Benchmarks
+    with unconvertible nests are {!Unsupported} ("X" in Fig. 6). *)
+
+type result = Scheduled of Daisy_loopir.Ir.program | Unsupported of string
+
+val schedule : ?seed:int -> Common.ctx -> Daisy_loopir.Ir.program -> result
+
+val proposals : Daisy_loopir.Ir.loop -> Daisy_transforms.Recipe.t list
+(** Recipe proposals used to seed daisy's evolutionary search. *)

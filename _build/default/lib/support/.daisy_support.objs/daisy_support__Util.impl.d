@@ -1,0 +1,1 @@
+lib/support/util.ml: Float Fmt Int List Map Printf Set String

@@ -1,0 +1,32 @@
+(** Diagnostics: structured errors and warnings carrying a {!Loc.t}.
+
+    All user-facing failures in the toolchain are raised as {!exception:Error}
+    so drivers can render them uniformly. *)
+
+type severity = Err | Warn | Note
+
+type t = { severity : severity; loc : Loc.t; message : string }
+
+exception Error of t
+
+let pp_severity ppf = function
+  | Err -> Fmt.string ppf "error"
+  | Warn -> Fmt.string ppf "warning"
+  | Note -> Fmt.string ppf "note"
+
+let pp ppf { severity; loc; message } =
+  Fmt.pf ppf "%a: %a: %s" Loc.pp loc pp_severity severity message
+
+let to_string t = Fmt.str "%a" pp t
+
+let make ?(severity = Err) ?(loc = Loc.dummy) fmt =
+  Fmt.kstr (fun message -> { severity; loc; message }) fmt
+
+(** [errorf ~loc fmt ...] raises {!exception:Error} with a formatted message. *)
+let errorf ?(loc = Loc.dummy) fmt =
+  Fmt.kstr (fun message -> raise (Error { severity = Err; loc; message })) fmt
+
+let () =
+  Printexc.register_printer (function
+    | Error d -> Some (to_string d)
+    | _ -> None)

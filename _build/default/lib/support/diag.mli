@@ -1,0 +1,18 @@
+(** Diagnostics: structured errors and warnings carrying a {!Loc.t}. All
+    user-facing failures are raised as {!exception:Error}. *)
+
+type severity = Err | Warn | Note
+
+type t = { severity : severity; loc : Loc.t; message : string }
+
+exception Error of t
+
+val pp_severity : severity Fmt.t
+val pp : t Fmt.t
+val to_string : t -> string
+
+val make :
+  ?severity:severity -> ?loc:Loc.t -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+val errorf : ?loc:Loc.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise {!exception:Error} with a formatted message. *)

@@ -1,0 +1,36 @@
+(** Source locations for the DSL frontend and diagnostics.
+
+    A location is a half-open span [(start, stop))] within a named source
+    (usually a file name or ["<string>"] for in-memory programs). *)
+
+type pos = {
+  line : int;  (** 1-based line number *)
+  col : int;  (** 1-based column number *)
+  offset : int;  (** 0-based byte offset *)
+}
+
+type t = { source : string; start : pos; stop : pos }
+
+let start_pos = { line = 1; col = 1; offset = 0 }
+
+let dummy =
+  { source = "<none>"; start = start_pos; stop = start_pos }
+
+let make ~source ~start ~stop = { source; start; stop }
+
+(** [advance p c] is the position after reading character [c] at [p]. *)
+let advance p c =
+  if Char.equal c '\n' then
+    { line = p.line + 1; col = 1; offset = p.offset + 1 }
+  else { p with col = p.col + 1; offset = p.offset + 1 }
+
+(** [merge a b] spans from the start of [a] to the stop of [b]. *)
+let merge a b = { a with stop = b.stop }
+
+let pp ppf { source; start; stop } =
+  if start.line = stop.line then
+    Fmt.pf ppf "%s:%d:%d-%d" source start.line start.col stop.col
+  else
+    Fmt.pf ppf "%s:%d:%d-%d:%d" source start.line start.col stop.line stop.col
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,18 @@
+(** Source locations: half-open spans within a named source. *)
+
+type pos = { line : int; col : int; offset : int }
+
+type t = { source : string; start : pos; stop : pos }
+
+val start_pos : pos
+val dummy : t
+val make : source:string -> start:pos -> stop:pos -> t
+
+val advance : pos -> char -> pos
+(** Position after reading one character. *)
+
+val merge : t -> t -> t
+(** Span from the start of the first to the stop of the second. *)
+
+val pp : t Fmt.t
+val to_string : t -> string

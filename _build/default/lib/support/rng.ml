@@ -1,0 +1,63 @@
+(** Deterministic pseudo-random streams (splitmix64).
+
+    Every stochastic component in the toolchain (variant generation,
+    evolutionary search, the Tiramisu-like model noise) draws from a named
+    stream so runs are bit-reproducible. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+(** [of_string s] derives a stream deterministically from a name (FNV-1a). *)
+let of_string s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  { state = !h }
+
+let next_int64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** [int t n] is uniform in [\[0, n)]. Requires [n > 0]. *)
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* mask to OCaml's non-negative int range (62 bits) *)
+  let v = Int64.to_int (next_int64 t) land max_int in
+  v mod n
+
+(** [float t] is uniform in [\[0, 1)]. *)
+let float t =
+  let v = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  v /. 9007199254740992.0 (* 2^53 *)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(** [split t name] derives an independent child stream. *)
+let split t name =
+  let child = of_string name in
+  child.state <- Int64.logxor child.state (next_int64 t);
+  child
+
+(** [choose t xs] picks a uniform element of the non-empty list [xs]. *)
+let choose t xs =
+  match xs with
+  | [] -> invalid_arg "Rng.choose: empty list"
+  | _ -> List.nth xs (int t (List.length xs))
+
+(** [shuffle t xs] is a Fisher-Yates shuffle of [xs]. *)
+let shuffle t xs =
+  let a = Array.of_list xs in
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a

@@ -1,0 +1,26 @@
+(** Deterministic pseudo-random streams (splitmix64). Every stochastic
+    component draws from a named stream, so runs are bit-reproducible. *)
+
+type t
+
+val create : int -> t
+val of_string : string -> t
+(** Derive a stream deterministically from a name (FNV-1a). *)
+
+val next_int64 : t -> int64
+
+val int : t -> int -> int
+(** Uniform in [\[0, n)]; requires [n > 0]. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+
+val split : t -> string -> t
+(** Derive an independent child stream. *)
+
+val choose : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val shuffle : t -> 'a list -> 'a list

@@ -1,0 +1,46 @@
+(** Imperative union-find with path compression and union by rank.
+
+    Used by the fission pass to group computations into atomic clusters and
+    by the SESE analysis for cycle equivalence classes. *)
+
+type t = { parent : int array; rank : int array; mutable classes : int }
+
+let create n =
+  { parent = Array.init n (fun i -> i); rank = Array.make n 0; classes = n }
+
+let rec find t i =
+  let p = t.parent.(i) in
+  if p = i then i
+  else begin
+    let r = find t p in
+    t.parent.(i) <- r;
+    r
+  end
+
+let union t i j =
+  let ri = find t i and rj = find t j in
+  if ri <> rj then begin
+    t.classes <- t.classes - 1;
+    if t.rank.(ri) < t.rank.(rj) then t.parent.(ri) <- rj
+    else if t.rank.(ri) > t.rank.(rj) then t.parent.(rj) <- ri
+    else begin
+      t.parent.(rj) <- ri;
+      t.rank.(ri) <- t.rank.(ri) + 1
+    end
+  end
+
+let same t i j = find t i = find t j
+let n_classes t = t.classes
+
+(** [groups t] lists the equivalence classes, each as a sorted list of
+    members, ordered by smallest member. *)
+let groups t =
+  let n = Array.length t.parent in
+  let tbl = Hashtbl.create 16 in
+  for i = n - 1 downto 0 do
+    let r = find t i in
+    let cur = try Hashtbl.find tbl r with Not_found -> [] in
+    Hashtbl.replace tbl r (i :: cur)
+  done;
+  Hashtbl.fold (fun _ members acc -> members :: acc) tbl []
+  |> List.sort (fun a b -> compare (List.hd a) (List.hd b))

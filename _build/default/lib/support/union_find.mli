@@ -1,0 +1,13 @@
+(** Imperative union-find with path compression and union by rank. *)
+
+type t
+
+val create : int -> t
+val find : t -> int -> int
+val union : t -> int -> int -> unit
+val same : t -> int -> int -> bool
+val n_classes : t -> int
+
+val groups : t -> int list list
+(** Equivalence classes as sorted member lists, ordered by smallest
+    member. *)

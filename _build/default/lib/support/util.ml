@@ -1,0 +1,111 @@
+(** Small general-purpose helpers shared across the toolchain. *)
+
+module SMap = Map.Make (String)
+module SSet = Set.Make (String)
+module IMap = Map.Make (Int)
+module ISet = Set.Make (Int)
+
+let rec gcd a b =
+  let a = abs a and b = abs b in
+  if b = 0 then a else gcd b (a mod b)
+
+let lcm a b = if a = 0 || b = 0 then 0 else abs (a * b) / gcd a b
+
+(** [pow base e] for non-negative [e]. *)
+let rec pow base e =
+  if e < 0 then invalid_arg "Util.pow"
+  else if e = 0 then 1
+  else
+    let h = pow base (e / 2) in
+    if e mod 2 = 0 then h * h else h * h * base
+
+(** [permutations xs] enumerates all permutations of [xs] (lexicographic in
+    input order). Intended for small lists (stride-minimization search). *)
+let rec permutations = function
+  | [] -> [ [] ]
+  | xs ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y != x) xs in
+          List.map (fun p -> x :: p) (permutations rest))
+        xs
+
+(** [pairs xs] is all unordered pairs of distinct positions in [xs]. *)
+let pairs xs =
+  let rec go = function
+    | [] -> []
+    | x :: rest -> List.map (fun y -> (x, y)) rest @ go rest
+  in
+  go xs
+
+let sum_by f xs = List.fold_left (fun acc x -> acc + f x) 0 xs
+let sum_byf f xs = List.fold_left (fun acc x -> acc +. f x) 0.0 xs
+
+let geomean xs =
+  match xs with
+  | [] -> nan
+  | _ ->
+      let n = float_of_int (List.length xs) in
+      exp (List.fold_left (fun acc x -> acc +. log x) 0.0 xs /. n)
+
+let mean xs =
+  match xs with
+  | [] -> nan
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+(** [take n xs] is the first [n] elements of [xs] (or all of them). *)
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+let rec drop n = function
+  | xs when n <= 0 -> xs
+  | [] -> []
+  | _ :: rest -> drop (n - 1) rest
+
+(** [span p xs] splits [xs] into the longest prefix satisfying [p] and the
+    remainder. *)
+let span p xs =
+  let rec go acc = function
+    | x :: rest when p x -> go (x :: acc) rest
+    | rest -> (List.rev acc, rest)
+  in
+  go [] xs
+
+let list_index_of eq x xs =
+  let rec go i = function
+    | [] -> None
+    | y :: rest -> if eq x y then Some i else go (i + 1) rest
+  in
+  go 0 xs
+
+(** [dedup ~eq xs] removes duplicates, keeping first occurrences. O(n^2);
+    fine for the short lists used here. *)
+let dedup ~eq xs =
+  List.fold_left
+    (fun acc x -> if List.exists (eq x) acc then acc else x :: acc)
+    [] xs
+  |> List.rev
+
+(** Fresh-name generation: [fresh_name base taken] returns [base] or
+    [base_0], [base_1], ... — the first not in [taken]. *)
+let fresh_name base taken =
+  if not (SSet.mem base taken) then base
+  else
+    let rec go i =
+      let candidate = Printf.sprintf "%s_%d" base i in
+      if SSet.mem candidate taken then go (i + 1) else candidate
+    in
+    go 0
+
+(** Format a float with engineering-friendly precision for report tables. *)
+let pp_si ppf v =
+  let a = Float.abs v in
+  if a = 0.0 then Fmt.pf ppf "0"
+  else if a >= 1e9 then Fmt.pf ppf "%.2fG" (v /. 1e9)
+  else if a >= 1e6 then Fmt.pf ppf "%.2fM" (v /. 1e6)
+  else if a >= 1e3 then Fmt.pf ppf "%.2fk" (v /. 1e3)
+  else if a >= 1.0 then Fmt.pf ppf "%.2f" v
+  else if a >= 1e-3 then Fmt.pf ppf "%.2fm" (v *. 1e3)
+  else Fmt.pf ppf "%.2fu" (v *. 1e6)

@@ -1,0 +1,36 @@
+(** Small general-purpose helpers shared across the toolchain. *)
+
+module SMap : Map.S with type key = string
+module SSet : Set.S with type elt = string
+module IMap : Map.S with type key = int
+module ISet : Set.S with type elt = int
+
+val gcd : int -> int -> int
+val lcm : int -> int -> int
+
+val pow : int -> int -> int
+(** [pow base e] for non-negative [e]. *)
+
+val permutations : 'a list -> 'a list list
+(** All permutations (intended for small lists). *)
+
+val pairs : 'a list -> ('a * 'a) list
+(** All unordered pairs of distinct positions. *)
+
+val sum_by : ('a -> int) -> 'a list -> int
+val sum_byf : ('a -> float) -> 'a list -> float
+val geomean : float list -> float
+val mean : float list -> float
+val take : int -> 'a list -> 'a list
+val drop : int -> 'a list -> 'a list
+val span : ('a -> bool) -> 'a list -> 'a list * 'a list
+val list_index_of : ('a -> 'b -> bool) -> 'a -> 'b list -> int option
+
+val dedup : eq:('a -> 'a -> bool) -> 'a list -> 'a list
+(** Remove duplicates, keeping first occurrences (O(n^2)). *)
+
+val fresh_name : string -> SSet.t -> string
+(** [fresh_name base taken] — [base], or [base_0], [base_1], ... *)
+
+val pp_si : float Fmt.t
+(** Engineering-friendly float formatting for report tables. *)

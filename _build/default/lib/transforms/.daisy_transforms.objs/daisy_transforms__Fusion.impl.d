@@ -1,0 +1,1 @@
+lib/transforms/fusion.ml: Daisy_dependence Daisy_loopir Daisy_poly Daisy_support List String Util

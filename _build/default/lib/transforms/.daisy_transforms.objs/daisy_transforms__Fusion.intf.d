@@ -1,0 +1,1 @@
+lib/transforms/fusion.mli: Daisy_loopir

@@ -1,0 +1,1 @@
+lib/transforms/loop_transforms.ml: Array Daisy_dependence Daisy_loopir Daisy_normalize Daisy_poly Daisy_support Fmt List Util

@@ -1,0 +1,1 @@
+lib/transforms/loop_transforms.mli: Daisy_dependence Daisy_loopir

@@ -1,0 +1,1 @@
+lib/transforms/recipe.ml: Array Daisy_loopir Daisy_support Fmt List Loop_transforms Rng Util

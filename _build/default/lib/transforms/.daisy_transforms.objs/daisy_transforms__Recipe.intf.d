@@ -1,0 +1,1 @@
+lib/transforms/recipe.mli: Daisy_loopir Daisy_support Fmt

@@ -1,0 +1,1 @@
+lib/transforms/unroll.ml: Daisy_loopir Daisy_poly Daisy_support List Util

@@ -1,0 +1,1 @@
+lib/transforms/unroll.mli: Daisy_loopir

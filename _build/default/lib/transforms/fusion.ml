@@ -1,0 +1,138 @@
+(** Loop fusion.
+
+    Two flavours are used by the schedulers:
+    - {!fuse_producer_consumer}: the CLOUDSC optimization recipe (paper
+      §5.1) — iteratively fuse adjacent loop nests connected by a
+      producer-consumer array relation, shortening the lifetime of
+      expanded temporaries and reducing L1 traffic.
+    - {!fuse_greedy}: the Polly-like maximal fusion — fuse any legal
+      adjacent pair.
+
+    Fusing [for i ...: B1; for j ...: B2] (equal normalized ranges) is legal
+    iff no conflict exists between an instance [B1@i] and an instance
+    [B2@j] with [i > j]: those are exactly the pairs fusion reorders. *)
+
+open Daisy_support
+module Ir = Daisy_loopir.Ir
+module Expr = Daisy_poly.Expr
+module Test = Daisy_dependence.Test
+
+type error = string
+
+(** [fuse ~outer l1 l2] — fuse two adjacent normalized loops with equal
+    ranges. *)
+let fuse ~(outer : Ir.loop list) (l1 : Ir.loop) (l2 : Ir.loop) :
+    (Ir.loop, error) result =
+  if not (Expr.equal l1.Ir.lo l2.Ir.lo && Expr.equal l1.Ir.hi l2.Ir.hi
+          && l1.Ir.step = l2.Ir.step) then
+    Error "fuse: loop ranges differ"
+  else begin
+    (* alpha-rename l2's iterator to l1's *)
+    let body2 =
+      if String.equal l1.Ir.iter l2.Ir.iter then l2.Ir.body
+      else
+        Ir.subst_idx_nodes
+          (Util.SMap.singleton l2.Ir.iter (Expr.var l1.Ir.iter))
+          l2.Ir.body
+    in
+    let fused = { l1 with Ir.lid = Ir.fresh_id (); body = l1.Ir.body @ body2 } in
+    (* legality: no conflict B1@i, B2@j with i > j *)
+    let comps1 = Ir.comps_with_context l1.Ir.body in
+    let comps2 = Ir.comps_with_context body2 in
+    let common = outer @ [ fused ] in
+    let n_outer = List.length outer in
+    let violated =
+      List.exists
+        (fun (ictx, ci) ->
+          List.exists
+            (fun (jctx, cj) ->
+              let src_ctx = common @ ictx and dst_ctx = common @ jctx in
+              let vs =
+                Test.comp_directions ~common (src_ctx, ci) (dst_ctx, cj)
+              in
+              List.exists
+                (fun v ->
+                  List.for_all (fun d -> d = Test.Eq) (Util.take n_outer v)
+                  && List.nth v n_outer = Test.Gt)
+                vs)
+            comps2)
+        comps1
+    in
+    if violated then Error "fuse: dependence violated"
+    else Ok fused
+  end
+
+(** [l2 consumes from l1] — some array written in [l1] is read in [l2]. *)
+let producer_consumer (l1 : Ir.loop) (l2 : Ir.loop) : bool =
+  let written =
+    List.map (fun (a : Ir.access) -> a.Ir.array)
+      (Ir.node_array_writes (Ir.Nloop l1))
+  in
+  List.exists
+    (fun (a : Ir.access) -> List.mem a.Ir.array written)
+    (Ir.node_array_reads (Ir.Nloop l2))
+
+(** One fusion sweep over a node list: try to fuse each adjacent pair of
+    loops (optionally only producer-consumer pairs, optionally capped at
+    [max_comps] computations per fused body — fusing further would recreate
+    the register-pressure problem fission just solved); repeat until no
+    pair fuses. Returns the new list and the number of fusions performed. *)
+let fuse_adjacent ?(max_comps = max_int) ~outer
+    ~(only_producer_consumer : bool) (nodes : Ir.node list) :
+    Ir.node list * int =
+  let count = ref 0 in
+  let small (l1 : Ir.loop) (l2 : Ir.loop) =
+    List.length (Ir.comps_in l1.Ir.body) + List.length (Ir.comps_in l2.Ir.body)
+    <= max_comps
+  in
+  let rec sweep nodes =
+    match nodes with
+    | Ir.Nloop l1 :: Ir.Nloop l2 :: rest
+      when ((not only_producer_consumer) || producer_consumer l1 l2)
+           && small l1 l2 -> (
+        match fuse ~outer l1 l2 with
+        | Ok fused ->
+            incr count;
+            sweep (Ir.Nloop fused :: rest)
+        | Error _ ->
+            let rest' = sweep (Ir.Nloop l2 :: rest) in
+            Ir.Nloop l1 :: rest')
+    | n :: rest -> n :: sweep rest
+    | [] -> []
+  in
+  let rec fixpoint nodes =
+    let before = !count in
+    let nodes = sweep nodes in
+    if !count > before then fixpoint nodes else nodes
+  in
+  let nodes = fixpoint nodes in
+  (nodes, !count)
+
+(** The CLOUDSC recipe: fuse one-to-one producer-consumer loop nest
+    relations at every level of the program, keeping bodies below
+    [max_comps] computations. *)
+let fuse_producer_consumer ?max_comps (p : Ir.program) : Ir.program * int =
+  let total = ref 0 in
+  let rec go ~outer nodes =
+    let nodes =
+      List.map
+        (fun n ->
+          match n with
+          | Ir.Nloop l ->
+              Ir.Nloop { l with Ir.body = go ~outer:(outer @ [ l ]) l.Ir.body }
+          | other -> other)
+        nodes
+    in
+    let nodes, c =
+      fuse_adjacent ?max_comps ~outer ~only_producer_consumer:true nodes
+    in
+    total := !total + c;
+    nodes
+  in
+  let body = go ~outer:[] p.Ir.body in
+  ({ p with Ir.body }, !total)
+
+(** Polly-like greedy maximal fusion at the top level. *)
+let fuse_greedy (p : Ir.program) : Ir.program * int =
+  let body, c = fuse_adjacent ~outer:[] ~only_producer_consumer:false p.Ir.body in
+  ({ p with Ir.body }, c)

@@ -1,0 +1,33 @@
+(** Loop fusion: the CLOUDSC producer-consumer recipe (paper §5.1) and the
+    Polly-like greedy maximal fusion. *)
+
+type error = string
+
+val fuse :
+  outer:Daisy_loopir.Ir.loop list ->
+  Daisy_loopir.Ir.loop ->
+  Daisy_loopir.Ir.loop ->
+  (Daisy_loopir.Ir.loop, error) result
+(** Fuse two adjacent normalized loops with equal ranges; rejected when a
+    conflict exists between an instance of the first body and an {e
+    earlier} iteration of the second. *)
+
+val producer_consumer : Daisy_loopir.Ir.loop -> Daisy_loopir.Ir.loop -> bool
+(** Does the second loop read an array the first writes? *)
+
+val fuse_adjacent :
+  ?max_comps:int ->
+  outer:Daisy_loopir.Ir.loop list ->
+  only_producer_consumer:bool ->
+  Daisy_loopir.Ir.node list ->
+  Daisy_loopir.Ir.node list * int
+(** One fusion sweep to fixpoint over a node list; [max_comps] caps fused
+    body sizes so fusion does not recreate the register pressure fission
+    just removed. *)
+
+val fuse_producer_consumer :
+  ?max_comps:int -> Daisy_loopir.Ir.program -> Daisy_loopir.Ir.program * int
+(** The CLOUDSC recipe at every nesting level. *)
+
+val fuse_greedy : Daisy_loopir.Ir.program -> Daisy_loopir.Ir.program * int
+(** Polly-like maximal fusion at the top level. *)

@@ -1,0 +1,45 @@
+(** Scheduling transformations on loop nests, each legality-checked via the
+    dependence library. All assume iterator-normalized input. *)
+
+type error = string
+
+val interchange :
+  outer:Daisy_loopir.Ir.loop list ->
+  Daisy_loopir.Ir.loop ->
+  int array ->
+  (Daisy_loopir.Ir.loop, error) result
+(** Reorder the perfect band (new position -> old band position). *)
+
+val fully_permutable :
+  Daisy_dependence.Test.direction list list -> from_:int -> len:int -> bool
+(** Every dependence vector is component-wise non-negative on the
+    sub-band — the tiling legality condition. *)
+
+val tile :
+  outer:Daisy_loopir.Ir.loop list ->
+  Daisy_loopir.Ir.loop ->
+  (int * int) list ->
+  (Daisy_loopir.Ir.loop, error) result
+(** Tile band positions with the given sizes; tile loops move outside all
+    point loops. *)
+
+val parallelize :
+  ?allow_atomic:bool ->
+  outer:Daisy_loopir.Ir.loop list ->
+  Daisy_loopir.Ir.loop ->
+  int ->
+  (Daisy_loopir.Ir.loop, error) result
+(** Mark a band position parallel; with [allow_atomic] (default), falls
+    back to atomic-reduction parallelism when every carried dependence is a
+    reduction self-update. *)
+
+val vectorize :
+  outer:Daisy_loopir.Ir.loop list ->
+  Daisy_loopir.Ir.loop ->
+  (Daisy_loopir.Ir.loop, error) result
+(** Mark the innermost band loop vectorized (reductions vectorize too). *)
+
+val unroll :
+  Daisy_loopir.Ir.loop -> int -> int -> (Daisy_loopir.Ir.loop, error) result
+(** [unroll nest pos factor] — always legal; recorded as an attribute the
+    machine model interprets as extra ILP (and register pressure). *)

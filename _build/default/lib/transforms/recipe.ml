@@ -1,0 +1,124 @@
+(** Optimization recipes: serializable transformation sequences applied to a
+    single loop nest.
+
+    Recipes are what the daisy scheduler's database stores (paper §4:
+    "pairs of an embedding for the loop nest and transformation sequences
+    including loop interchange, tiling, parallelization and
+    vectorization"). *)
+
+open Daisy_support
+module Ir = Daisy_loopir.Ir
+
+type step =
+  | Interchange of int list  (** new order of band positions *)
+  | Tile of (int * int) list  (** (band position, tile size) *)
+  | Parallelize of int  (** band position *)
+  | Vectorize  (** innermost band loop *)
+  | Unroll of int * int  (** (band position, factor) *)
+
+type t = step list
+
+let pp_step ppf = function
+  | Interchange order ->
+      Fmt.pf ppf "interchange(%a)" (Fmt.list ~sep:(Fmt.any " ") Fmt.int) order
+  | Tile specs ->
+      Fmt.pf ppf "tile(%a)"
+        (Fmt.list ~sep:(Fmt.any " ") (fun ppf (p, s) -> Fmt.pf ppf "%d:%d" p s))
+        specs
+  | Parallelize p -> Fmt.pf ppf "parallel(%d)" p
+  | Vectorize -> Fmt.pf ppf "vectorize"
+  | Unroll (p, f) -> Fmt.pf ppf "unroll(%d:%d)" p f
+
+let pp ppf (r : t) = Fmt.pf ppf "[%a]" (Fmt.list ~sep:(Fmt.any "; ") pp_step) r
+let to_string r = Fmt.str "%a" pp r
+
+let equal (a : t) (b : t) = a = b
+
+(** [apply_step ~outer nest step] — one legality-checked step. *)
+let apply_step ~outer (nest : Ir.loop) (step : step) :
+    (Ir.loop, string) result =
+  match step with
+  | Interchange order ->
+      Loop_transforms.interchange ~outer nest (Array.of_list order)
+  | Tile specs -> Loop_transforms.tile ~outer nest specs
+  | Parallelize pos -> Loop_transforms.parallelize ~outer nest pos
+  | Vectorize -> Loop_transforms.vectorize ~outer nest
+  | Unroll (pos, f) -> Loop_transforms.unroll nest pos f
+
+(** [apply ~outer nest recipe] — apply all steps; fails on the first
+    illegal step (the paper: "If a B loop nest is not reduced to an A loop
+    nest, the transformation sequence cannot be applied"). *)
+let apply ~outer (nest : Ir.loop) (recipe : t) : (Ir.loop, string) result =
+  List.fold_left
+    (fun acc step ->
+      match acc with
+      | Error _ as e -> e
+      | Ok nest -> (
+          match apply_step ~outer nest step with
+          | Ok nest' -> Ok nest'
+          | Error e -> Error (Fmt.str "%a: %s" pp_step step e)))
+    (Ok nest) recipe
+
+(** [apply_lenient ~outer nest recipe] — apply steps, skipping any that are
+    illegal on this nest; returns the nest and how many steps applied. *)
+let apply_lenient ~outer (nest : Ir.loop) (recipe : t) : Ir.loop * int =
+  List.fold_left
+    (fun (nest, applied) step ->
+      match apply_step ~outer nest step with
+      | Ok nest' -> (nest', applied + 1)
+      | Error _ -> (nest, applied))
+    (nest, 0) recipe
+
+(* ------------------------------------------------------------------ *)
+(* Search-space helpers (used by the evolutionary scheduler)            *)
+
+let tile_sizes = [ 8; 16; 32; 64; 128 ]
+
+(** Random recipe mutation: tweak tile sizes, toggle vectorization, change
+    the parallel loop, swap interchange entries. *)
+let mutate (rng : Rng.t) (band_size : int) (r : t) : t =
+  if band_size = 0 then r
+  else
+    let mutate_step step =
+      match step with
+      | Tile specs ->
+          Tile
+            (List.map
+               (fun (p, s) ->
+                 if Rng.float rng < 0.5 then (p, Rng.choose rng tile_sizes)
+                 else (p, s))
+               specs)
+      | Unroll (p, _) -> Unroll (p, Rng.choose rng [ 2; 4; 8 ])
+      | Interchange order when List.length order >= 2 ->
+          let arr = Array.of_list order in
+          let i = Rng.int rng (Array.length arr) in
+          let j = Rng.int rng (Array.length arr) in
+          let tmp = arr.(i) in
+          arr.(i) <- arr.(j);
+          arr.(j) <- tmp;
+          Interchange (Array.to_list arr)
+      | other -> other
+    in
+    match Rng.int rng 4 with
+    | 0 -> List.map mutate_step r
+    | 1 ->
+        (* drop a random step *)
+        if r = [] then r
+        else
+          let k = Rng.int rng (List.length r) in
+          List.filteri (fun i _ -> i <> k) r
+    | 2 ->
+        (* add a step *)
+        let candidates =
+          [ Vectorize; Parallelize 0;
+            Tile (List.init (min band_size 3) (fun i -> (i, Rng.choose rng tile_sizes)));
+            Unroll (band_size - 1, Rng.choose rng [ 2; 4; 8 ]) ]
+        in
+        r @ [ Rng.choose rng candidates ]
+    | _ -> List.map mutate_step r
+
+(** Crossover: take a prefix of one recipe and a suffix of the other. *)
+let crossover (rng : Rng.t) (a : t) (b : t) : t =
+  let ka = if a = [] then 0 else Rng.int rng (List.length a + 1) in
+  let kb = if b = [] then 0 else Rng.int rng (List.length b + 1) in
+  Util.take ka a @ Util.drop kb b

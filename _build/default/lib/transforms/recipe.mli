@@ -1,0 +1,46 @@
+(** Optimization recipes: serializable transformation sequences applied to
+    a single loop nest — what the daisy scheduler's database stores. *)
+
+type step =
+  | Interchange of int list  (** new order of band positions *)
+  | Tile of (int * int) list  (** (band position, tile size) *)
+  | Parallelize of int  (** band position *)
+  | Vectorize  (** innermost band loop *)
+  | Unroll of int * int  (** (band position, factor) *)
+
+type t = step list
+
+val pp_step : step Fmt.t
+val pp : t Fmt.t
+val to_string : t -> string
+val equal : t -> t -> bool
+
+val apply_step :
+  outer:Daisy_loopir.Ir.loop list ->
+  Daisy_loopir.Ir.loop ->
+  step ->
+  (Daisy_loopir.Ir.loop, string) result
+
+val apply :
+  outer:Daisy_loopir.Ir.loop list ->
+  Daisy_loopir.Ir.loop ->
+  t ->
+  (Daisy_loopir.Ir.loop, string) result
+(** Apply all steps; fails on the first illegal one (the paper: "If a B
+    loop nest is not reduced to an A loop nest, the transformation sequence
+    cannot be applied"). *)
+
+val apply_lenient :
+  outer:Daisy_loopir.Ir.loop list ->
+  Daisy_loopir.Ir.loop ->
+  t ->
+  Daisy_loopir.Ir.loop * int
+(** Apply steps, skipping illegal ones; returns how many applied. *)
+
+val tile_sizes : int list
+(** Tile-size palette explored by the search. *)
+
+val mutate : Daisy_support.Rng.t -> int -> t -> t
+(** Random mutation for the evolutionary search ([int] = band size). *)
+
+val crossover : Daisy_support.Rng.t -> t -> t -> t

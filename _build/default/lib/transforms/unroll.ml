@@ -1,0 +1,84 @@
+(** Loop unrolling with body materialization.
+
+    {!Loop_transforms.unroll} only marks a loop with an unroll attribute
+    (which the machine model prices as ILP + register pressure); this
+    module performs the textbook transformation itself — replicating the
+    body [factor] times plus a remainder loop — so the interpreter and the
+    trace simulator can observe the unrolled form directly:
+
+    {v
+    for i in 0 .. T-1 { B(i) }
+    ==>
+    for iu in 0 .. T/f - 1 { B(f*iu); B(f*iu + 1); ... B(f*iu + f-1) }
+    for i in f*(T/f) .. T-1 { B(i) }          (remainder)
+    v}
+
+    Always legal (iteration order is preserved). Requires a normalized
+    loop (lo = 0, step 1). *)
+
+open Daisy_support
+module Ir = Daisy_loopir.Ir
+module Expr = Daisy_poly.Expr
+
+(** [materialize l ~factor] — returns the replacement nodes (main unrolled
+    loop and, unless the trip count is known to divide evenly, a remainder
+    loop). *)
+let materialize (l : Ir.loop) ~(factor : int) : (Ir.node list, string) result =
+  if factor < 2 then Error "unroll factor must be >= 2"
+  else if not (Expr.equal l.Ir.lo Expr.zero && l.Ir.step = 1) then
+    Error "unroll materialization requires a normalized loop"
+  else begin
+    let trip = Expr.add l.Ir.hi Expr.one in
+    let main_trips = Expr.div trip (Expr.const factor) in
+    let iu = l.Ir.iter ^ "_u" in
+    let replica k =
+      let base = Expr.mul (Expr.const factor) (Expr.var iu) in
+      let env =
+        Util.SMap.singleton l.Ir.iter (Expr.add base (Expr.const k))
+      in
+      Ir.subst_idx_nodes env l.Ir.body
+    in
+    let main_body = List.concat (List.init factor replica) in
+    let main_loop =
+      Ir.mk_loop ~attrs:l.Ir.attrs ~iter:iu ~lo:Expr.zero
+        ~hi:(Expr.sub main_trips Expr.one)
+        main_body
+    in
+    let remainder_lo = Expr.mul (Expr.const factor) main_trips in
+    let exact =
+      match Expr.to_const trip with
+      | Some t -> t mod factor = 0
+      | None -> false
+    in
+    let nodes =
+      if exact then [ Ir.Nloop main_loop ]
+      else
+        [ Ir.Nloop main_loop;
+          Ir.Nloop
+            (Ir.mk_loop ~attrs:l.Ir.attrs ~iter:l.Ir.iter ~lo:remainder_lo
+               ~hi:l.Ir.hi l.Ir.body) ]
+    in
+    Ok nodes
+  end
+
+(** Materialize the unroll attributes of every marked innermost loop of a
+    program (used to cross-check the attribute-based cost model against
+    the explicit form). *)
+let materialize_marked (p : Ir.program) : Ir.program =
+  let rec go nodes =
+    List.concat_map
+      (fun n ->
+        match n with
+        | Ir.Nloop l when l.Ir.attrs.Ir.unroll > 1 && Ir.loops_in l.Ir.body = []
+          -> (
+            let plain =
+              { l with Ir.attrs = { l.Ir.attrs with Ir.unroll = 1 } }
+            in
+            match materialize plain ~factor:l.Ir.attrs.Ir.unroll with
+            | Ok nodes -> nodes
+            | Error _ -> [ Ir.Nloop l ])
+        | Ir.Nloop l -> [ Ir.Nloop { l with Ir.body = go l.Ir.body } ]
+        | other -> [ other ])
+      nodes
+  in
+  { p with Ir.body = go p.Ir.body }

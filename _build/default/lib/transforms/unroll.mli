@@ -1,0 +1,9 @@
+(** Loop unrolling with body materialization (replication + remainder
+    loop). Always legal; requires a normalized loop. *)
+
+val materialize :
+  Daisy_loopir.Ir.loop -> factor:int -> (Daisy_loopir.Ir.node list, string) result
+
+val materialize_marked : Daisy_loopir.Ir.program -> Daisy_loopir.Ir.program
+(** Replace the unroll {e attribute} of marked innermost loops with the
+    explicit unrolled form. *)

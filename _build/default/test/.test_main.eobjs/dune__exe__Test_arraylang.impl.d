@@ -1,0 +1,1 @@
+test/test_arraylang.ml: Alcotest Daisy_arraylang Daisy_benchmarks Daisy_interp Daisy_loopir Daisy_poly Daisy_scheduler List Printf Str

@@ -1,0 +1,1 @@
+test/test_dependence.ml: Alcotest Array Daisy_benchmarks Daisy_dependence Daisy_lang Daisy_loopir Daisy_normalize Daisy_poly Fastpath Legality List Refs Test

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Daisy_interp Daisy_lang Daisy_loopir Daisy_machine Daisy_normalize Daisy_transforms List Printf

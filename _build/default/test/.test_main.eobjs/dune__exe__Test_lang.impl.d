@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Array Ast Daisy_interp Daisy_lang Daisy_loopir Daisy_poly Daisy_support Float Hashtbl List Lower Parser Sema

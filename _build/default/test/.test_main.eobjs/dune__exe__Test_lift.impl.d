@@ -1,0 +1,1 @@
+test/test_lift.ml: Alcotest Daisy_benchmarks Daisy_interp Daisy_lang Daisy_lift Daisy_lir Daisy_loopir Daisy_normalize List Str String

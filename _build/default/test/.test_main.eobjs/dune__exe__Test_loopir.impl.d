@@ -1,0 +1,1 @@
+test/test_loopir.ml: Alcotest Daisy_lang Daisy_loopir Daisy_poly Daisy_scheduler Daisy_support List String

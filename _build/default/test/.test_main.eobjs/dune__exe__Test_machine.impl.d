@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Daisy_lang Daisy_loopir Daisy_machine Daisy_poly Daisy_transforms Float List Printf String

@@ -1,0 +1,1 @@
+test/test_poly.ml: Affine Alcotest Daisy_dependence Daisy_poly Daisy_support Expr List QCheck QCheck_alcotest System

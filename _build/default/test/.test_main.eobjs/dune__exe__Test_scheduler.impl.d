@@ -1,0 +1,1 @@
+test/test_scheduler.ml: Alcotest Daisy Daisy_interp Daisy_lang Daisy_loopir Daisy_scheduler Daisy_support Daisy_transforms Float List Printf String

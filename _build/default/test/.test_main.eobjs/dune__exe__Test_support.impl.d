@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Daisy_support Diag Fun List Loc Rng Union_find Util

@@ -1,0 +1,191 @@
+(** Tests for the arraylang substrate and the framework lowerings: every
+    NPBench benchmark lowers under every policy, the policies agree with
+    each other, and (clamp semantics aside) with the C implementations. *)
+
+module Ir = Daisy_loopir.Ir
+module Al = Daisy_arraylang.Alang
+module Lower = Daisy_arraylang.Lower
+module Np = Daisy_benchmarks.Npbench
+module Pb = Daisy_benchmarks.Polybench
+module Fw = Daisy_benchmarks.Frameworks
+module Interp = Daisy_interp.Interp
+module Expr = Daisy_poly.Expr
+
+(* primary output array per benchmark, for cross-language comparison *)
+let outputs = function
+  | "gemm" -> [ "C" ]
+  | "2mm" -> [ "D" ]
+  | "3mm" -> [ "G" ]
+  | "syrk" | "syr2k" -> [ "C" ]
+  | "gemver" -> [ "A"; "x"; "w" ]
+  | "gesummv" -> [ "y" ]
+  | "atax" -> [ "y" ]
+  | "bicg" -> [ "s"; "q" ]
+  | "mvt" -> [ "x1"; "x2" ]
+  | "jacobi-2d" | "heat-3d" -> [ "A"; "B" ]
+  | "fdtd-2d" -> [ "ex"; "ey"; "hz" ]
+  | "correlation" -> [ "corr" ]
+  | "covariance" -> [ "cov" ]
+  | b -> Alcotest.failf "unknown benchmark %s" b
+
+(* ------------------------------------------------------------------ *)
+(* Basic lowering mechanics *)
+
+let test_simple_elementwise () =
+  let p =
+    {
+      Al.name = "axpy";
+      size_params = [ "n" ];
+      scalar_params = [ "a" ];
+      arrays = [ ("x", [ Expr.var "n" ]); ("y", [ Expr.var "n" ]) ];
+      body = Al.[ Aug (Ir.Vadd, ("y", []), sc "a" *: v "x") ];
+    }
+  in
+  let ir = Lower.lower Lower.fused_policy p in
+  Alcotest.(check int) "one nest" 1 (List.length ir.Ir.body);
+  Alcotest.(check int) "one comp" 1 (List.length (Ir.comps_in ir.Ir.body))
+
+let test_numpy_materializes_temps () =
+  let p =
+    {
+      Al.name = "expr";
+      size_params = [ "n" ];
+      scalar_params = [];
+      arrays =
+        [ ("x", [ Expr.var "n" ]); ("y", [ Expr.var "n" ]);
+          ("z", [ Expr.var "n" ]) ];
+      (* z = (x + y) * (x - y): numpy allocates temps for each op *)
+      body = Al.[ Assign (("z", []), (v "x" +: v "y") *: (v "x" -: v "y")) ];
+    }
+  in
+  let fused = Lower.lower Lower.fused_policy p in
+  let numpy = Lower.lower Lower.numpy_policy p in
+  Alcotest.(check bool) "numpy has more nests" true
+    (List.length numpy.Ir.body > List.length fused.Ir.body);
+  let temps pgm =
+    List.length
+      (List.filter (fun (a : Ir.array_decl) -> a.Ir.storage = Ir.Slocal)
+         pgm.Ir.arrays)
+  in
+  Alcotest.(check bool) "numpy allocates temps" true (temps numpy >= 2);
+  Alcotest.(check int) "fused has none" 0 (temps fused);
+  Alcotest.(check bool) "same semantics" true
+    (Interp.equivalent fused numpy ~sizes:[ ("n", 13) ] ())
+
+let test_dot_becomes_blas () =
+  let p = Np.gemm.Np.program in
+  let numpy = Lower.lower Lower.numpy_policy p in
+  let has_call pgm =
+    List.exists
+      (function Ir.Ncall _ -> true | _ -> false)
+      pgm.Ir.body
+  in
+  Alcotest.(check bool) "numpy uses BLAS" true (has_call numpy);
+  let frontend = Lower.lower Lower.frontend_policy p in
+  Alcotest.(check bool) "daisy frontend does not" false (has_call frontend);
+  Alcotest.(check bool) "equivalent" true
+    (Interp.equivalent numpy frontend ~sizes:Np.gemm.Np.test_sizes ())
+
+let test_sliced_dot_falls_back () =
+  (* correlation's sliced dots cannot use the BLAS path *)
+  let p = Np.correlation.Np.program in
+  let numpy = Lower.lower Lower.numpy_policy p in
+  let calls =
+    Ir.fold_nodes
+      (fun acc n -> match n with Ir.Ncall _ -> acc + 1 | _ -> acc)
+      0 numpy.Ir.body
+  in
+  Alcotest.(check int) "no BLAS on sliced operands" 0 calls
+
+(* ------------------------------------------------------------------ *)
+(* All benchmarks, all policies *)
+
+let test_all_policies_agree () =
+  List.iter
+    (fun (b : Np.benchmark) ->
+      let reference = Lower.lower Lower.frontend_policy b.Np.program in
+      List.iter
+        (fun policy ->
+          let other = Lower.lower policy b.Np.program in
+          Alcotest.(check bool)
+            (b.Np.name ^ " policies agree")
+            true
+            (Interp.equivalent reference other ~sizes:b.Np.test_sizes ()))
+        [ Lower.numpy_policy; Lower.fused_policy ])
+    Np.all
+
+let test_framework_lowerings_preserve () =
+  List.iter
+    (fun (b : Np.benchmark) ->
+      let reference = Lower.lower Lower.frontend_policy b.Np.program in
+      List.iter
+        (fun fw ->
+          let other = Fw.lower fw b.Np.program in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s under %s" b.Np.name (Fw.name fw))
+            true
+            (Interp.equivalent reference other ~sizes:b.Np.test_sizes ()))
+        Fw.all)
+    Np.all
+
+let test_cross_language_equivalence () =
+  (* the Python and C implementations compute the same outputs — except
+     correlation, whose NPBench variant clamps the tiny-stddev case instead
+     of resetting it (different numerics by design) *)
+  List.iter
+    (fun (b : Np.benchmark) ->
+      if b.Np.name <> "correlation" then begin
+        let c_version = Pb.program (Pb.find b.Np.name) in
+        let py_version = Lower.lower Lower.frontend_policy b.Np.program in
+        Alcotest.(check bool)
+          (b.Np.name ^ " C vs Python")
+          true
+          (Interp.equivalent_on ~arrays:(outputs b.Np.name) c_version
+             py_version ~sizes:b.Np.test_sizes ())
+      end)
+    Np.all
+
+let test_python_correlation_liftable () =
+  (* §4.3: "correlation and covariance do not show the problems of §4.1 due
+     to a different structure" — the Python-translated nests are liftable *)
+  List.iter
+    (fun name ->
+      let b = Np.find name in
+      let ir = Lower.lower Lower.frontend_policy b.Np.program in
+      List.iter
+        (fun node ->
+          match node with
+          | Ir.Nloop _ ->
+              Alcotest.(check bool)
+                (name ^ " nest liftable")
+                true
+                (Daisy_scheduler.Common.liftable node)
+          | _ -> ())
+        ir.Ir.body)
+    [ "correlation"; "covariance" ]
+
+let test_printer () =
+  let text = Al.program_to_string Np.syrk.Np.program in
+  List.iter
+    (fun fragment ->
+      if
+        not
+          (try
+             ignore (Str.search_forward (Str.regexp_string fragment) text 0);
+             true
+           with Not_found -> false)
+      then Alcotest.failf "missing %S in:\n%s" fragment text)
+    [ "def syrk"; "for i in range(n)"; "C[i, :i + 1] *= beta"; "A[:i + 1, k]" ]
+
+let suite =
+  [
+    ("numpy-style printer", `Quick, test_printer);
+    ("elementwise lowering", `Quick, test_simple_elementwise);
+    ("numpy materializes temps", `Quick, test_numpy_materializes_temps);
+    ("dot becomes BLAS", `Quick, test_dot_becomes_blas);
+    ("sliced dot falls back", `Quick, test_sliced_dot_falls_back);
+    ("all policies agree", `Slow, test_all_policies_agree);
+    ("framework lowerings preserve", `Slow, test_framework_lowerings_preserve);
+    ("cross-language equivalence", `Slow, test_cross_language_equivalence);
+    ("python correlation liftable", `Quick, test_python_correlation_liftable);
+  ]

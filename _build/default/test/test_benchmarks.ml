@@ -1,0 +1,223 @@
+(** Tests for the benchmark suite: all 15 PolyBench kernels parse, lower,
+    normalize and keep their semantics; B variants are equivalent to A; the
+    CLOUDSC model behaves per §5. *)
+
+module Ir = Daisy_loopir.Ir
+module Pb = Daisy_benchmarks.Polybench
+module Variants = Daisy_benchmarks.Variants
+module Cloudsc = Daisy_benchmarks.Cloudsc
+module Pipeline = Daisy_normalize.Pipeline
+module Interp = Daisy_interp.Interp
+module Cost = Daisy_machine.Cost
+
+let check_equiv ~sizes p1 p2 =
+  Alcotest.(check bool) "equivalent" true (Interp.equivalent p1 p2 ~sizes ())
+
+let test_all_parse () =
+  List.iter
+    (fun b ->
+      let p = Pb.program b in
+      Alcotest.(check bool)
+        (b.Pb.name ^ " has loops")
+        true
+        (Ir.loops_in p.Ir.body <> []))
+    Pb.all
+
+let test_count () = Alcotest.(check int) "15 benchmarks" 15 (List.length Pb.all)
+
+let test_normalization_preserves_semantics () =
+  List.iter
+    (fun b ->
+      let p = Pb.program b in
+      (* normalize only the liftable top-level nests, like daisy does *)
+      let liftable_only =
+        List.for_all Daisy_scheduler.Common.liftable p.Ir.body
+      in
+      if liftable_only then begin
+        let n = Pipeline.normalize ~sizes:b.Pb.sim_sizes p in
+        check_equiv ~sizes:b.Pb.test_sizes p n
+      end)
+    Pb.all
+
+let test_b_variants_equivalent () =
+  List.iter
+    (fun b ->
+      let p = Pb.program b in
+      let v = Variants.generate ~seed:("bvariant-" ^ b.Pb.name) p in
+      check_equiv ~sizes:b.Pb.test_sizes p v)
+    Pb.all
+
+let test_b_variant_differs_somewhere () =
+  (* at least some of the 15 B variants must be structurally different *)
+  let changed =
+    List.length
+      (List.filter
+         (fun b ->
+           let p = Pb.program b in
+           let v = Variants.generate ~seed:("bvariant-" ^ b.Pb.name) p in
+           not (Ir.equal_structure p.Ir.body v.Ir.body))
+         Pb.all)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d/15 variants differ" changed)
+    true (changed >= 8)
+
+let test_correlation_covariance_unliftable () =
+  let unliftable name =
+    let p = Pb.program (Pb.find name) in
+    List.exists
+      (fun n ->
+        match n with
+        | Ir.Nloop _ -> not (Daisy_scheduler.Common.liftable n)
+        | _ -> false)
+      p.Ir.body
+  in
+  Alcotest.(check bool) "correlation has unliftable nest" true
+    (unliftable "correlation");
+  Alcotest.(check bool) "covariance has unliftable nest" true
+    (unliftable "covariance");
+  Alcotest.(check bool) "gemm fully liftable" false (unliftable "gemm")
+
+let test_gemm_figure1_variants () =
+  let a = Pb.program Pb.gemm in
+  let b =
+    Daisy_lang.Lower.program_of_string ~source:"gemm2.c"
+      Variants.gemm_variant_2_source
+  in
+  check_equiv ~sizes:Pb.gemm.Pb.test_sizes a b;
+  (* and they normalize to the same canonical form *)
+  let na = Pipeline.normalize ~sizes:Pb.gemm.Pb.sim_sizes a in
+  let nb = Pipeline.normalize ~sizes:Pb.gemm.Pb.sim_sizes b in
+  Alcotest.(check bool) "same canonical form" true
+    (Ir.equal_structure na.Ir.body nb.Ir.body)
+
+(* ------------------------------------------------------------------ *)
+(* CLOUDSC *)
+
+let test_erosion_parses_and_optimizes () =
+  let orig, sizes = Cloudsc.erosion_original ~iters:3 in
+  let opt, _ = Cloudsc.erosion_optimized ~iters:3 in
+  check_equiv ~sizes orig opt
+
+let test_erosion_speedup_direction () =
+  (* Table 1: the optimized erosion kernel must be faster and move fewer
+     L1 loads *)
+  let iters = 16 in
+  let orig, sizes = Cloudsc.erosion_original ~iters in
+  let opt, _ = Cloudsc.erosion_optimized ~iters in
+  let r_orig = Cost.evaluate Cloudsc.config orig ~sizes () in
+  let r_opt = Cost.evaluate Cloudsc.config opt ~sizes () in
+  Alcotest.(check bool)
+    (Printf.sprintf "optimized faster (%.3f vs %.3f ms)"
+       (Cost.milliseconds r_opt) (Cost.milliseconds r_orig))
+    true
+    (r_opt.Cost.total_cycles < r_orig.Cost.total_cycles);
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer L1 loads (%.0f vs %.0f)" r_opt.Cost.l1_loads
+       r_orig.Cost.l1_loads)
+    true
+    (r_opt.Cost.l1_loads < r_orig.Cost.l1_loads)
+
+let test_cloudsc_versions_equivalent () =
+  (* all four versions compute the same fields *)
+  let blocks = 2 in
+  (* shrink the vertical extent through the sizes to keep the test fast *)
+  let small_sizes = [ ("nblocks", blocks); ("klev", 6); ("nproma", 8) ] in
+  let reference, _ = Cloudsc.full_model Cloudsc.Fortran ~blocks in
+  List.iter
+    (fun v ->
+      let p, _ = Cloudsc.full_model v ~blocks in
+      Alcotest.(check bool)
+        (Cloudsc.string_of_version v ^ " equivalent")
+        true
+        (Interp.equivalent reference p ~sizes:small_sizes ()))
+    Cloudsc.all_versions
+
+let test_cloudsc_daisy_fastest () =
+  let blocks = 4 in
+  let times =
+    List.map
+      (fun v ->
+        let p, sizes = Cloudsc.full_model v ~blocks in
+        let r =
+          Cost.evaluate Cloudsc.config p ~sizes ~threads:1 ~sample_outer:1 ()
+        in
+        (v, Cost.milliseconds r))
+      Cloudsc.all_versions
+  in
+  let time v = List.assoc v times in
+  Alcotest.(check bool)
+    (Printf.sprintf "daisy (%.2f) faster than Fortran (%.2f)"
+       (time Cloudsc.DaisyV) (time Cloudsc.Fortran))
+    true
+    (time Cloudsc.DaisyV < time Cloudsc.Fortran);
+  Alcotest.(check bool)
+    (Printf.sprintf "Fortran (%.2f) faster than C (%.2f)"
+       (time Cloudsc.Fortran) (time Cloudsc.C))
+    true
+    (time Cloudsc.Fortran < time Cloudsc.C)
+
+let test_extras () =
+  List.iter
+    (fun (b : Pb.benchmark) ->
+      let p = Pb.program b in
+      (* normalization preserves semantics on the extras too *)
+      let n = Pipeline.normalize ~sizes:b.Pb.sim_sizes p in
+      check_equiv ~sizes:b.Pb.test_sizes p n)
+    Pb.extras;
+  (* trisolv's outer loop is truly sequential: no scheduler may
+     parallelize it *)
+  let trisolv = Pb.program (Pb.find "trisolv") in
+  let icc = Daisy_scheduler.Baselines.icc_like trisolv in
+  List.iter
+    (fun n ->
+      match n with
+      | Ir.Nloop l ->
+          Alcotest.(check bool) "trisolv outer stays sequential" false
+            l.Ir.attrs.Ir.parallel
+      | _ -> ())
+    icc.Ir.body;
+  (* doitgen's sum-buffer pattern must survive the full daisy pipeline *)
+  let doitgen = Pb.program (Pb.find "doitgen") in
+  let ctx =
+    Daisy_scheduler.Common.make_ctx ~threads:4 ~sample_outer:4
+      ~sizes:(Pb.find "doitgen").Pb.sim_sizes ()
+  in
+  let db = Daisy_scheduler.Database.create () in
+  let r = Daisy_scheduler.Daisy.schedule ctx ~db doitgen in
+  check_equiv ~sizes:(Pb.find "doitgen").Pb.test_sizes doitgen
+    r.Daisy_scheduler.Daisy.program
+
+let test_cloudsc_scaling_monotone () =
+  (* strong scaling must be monotonically non-increasing in threads *)
+  let p, sizes = Cloudsc.full_model Cloudsc.DaisyV ~blocks:8 in
+  let t threads =
+    Cost.milliseconds
+      (Cost.evaluate Cloudsc.config p ~sizes ~threads ~sample_outer:1 ())
+  in
+  let times = List.map t [ 1; 2; 4; 8 ] in
+  let rec mono = function
+    | a :: (b :: _ as rest) -> a >= b -. 1e-9 && mono rest
+    | _ -> true
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "monotone: %s"
+       (String.concat " >= " (List.map (Printf.sprintf "%.3f") times)))
+    true (mono times)
+
+let suite =
+  [
+    ("all 15 parse and lower", `Quick, test_all_parse);
+    ("cloudsc scaling monotone", `Slow, test_cloudsc_scaling_monotone);
+    ("extra kernels (doitgen, trisolv)", `Slow, test_extras);
+    ("exactly 15 benchmarks", `Quick, test_count);
+    ("normalization preserves semantics", `Slow, test_normalization_preserves_semantics);
+    ("B variants equivalent", `Slow, test_b_variants_equivalent);
+    ("B variants differ structurally", `Slow, test_b_variant_differs_somewhere);
+    ("correlation/covariance unliftable", `Quick, test_correlation_covariance_unliftable);
+    ("figure-1 gemm variants", `Quick, test_gemm_figure1_variants);
+    ("cloudsc erosion equivalence", `Quick, test_erosion_parses_and_optimizes);
+    ("cloudsc Table-1 direction", `Quick, test_erosion_speedup_direction);
+    ("cloudsc versions equivalent", `Slow, test_cloudsc_versions_equivalent);
+    ("cloudsc daisy fastest", `Slow, test_cloudsc_daisy_fastest);
+  ]

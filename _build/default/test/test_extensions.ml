@@ -1,0 +1,252 @@
+(** Tests for the extension passes: array contraction (the inverse of
+    scalar expansion) and reuse-distance analysis. *)
+
+module Ir = Daisy_loopir.Ir
+module Contract = Daisy_normalize.Contract
+module Reuse = Daisy_machine.Reuse
+module Config = Daisy_machine.Config
+module Interp = Daisy_interp.Interp
+module Fusion = Daisy_transforms.Fusion
+module Pipeline = Daisy_normalize.Pipeline
+
+let lower = Daisy_lang.Lower.program_of_string ~source:"test.c"
+
+let check_equiv ~sizes p1 p2 =
+  Alcotest.(check bool) "equivalent" true (Interp.equivalent p1 p2 ~sizes ())
+
+(* ------------------------------------------------------------------ *)
+(* Array contraction *)
+
+let expanded_then_fused src ~sizes =
+  let p = lower src in
+  let p = Pipeline.normalize ~sizes p in
+  let p, _ = Fusion.fuse_producer_consumer ~max_comps:20 p in
+  p
+
+let test_contract_roundtrip () =
+  (* expansion creates arrays; unbounded producer-consumer fusion re-fuses
+     everything; contraction then removes the arrays again *)
+  let src =
+    {|void f(int n, double A[n], double B[n], double C[n]) {
+        for (int i = 0; i < n; i++) {
+          double t = A[i] * 2.0;
+          double u = t + 1.0;
+          B[i] = u * u;
+          C[i] = u - t;
+        }
+      }|}
+  in
+  let sizes = [ ("n", 16) ] in
+  let p = lower src in
+  let fused = expanded_then_fused src ~sizes in
+  let locals_before =
+    List.length
+      (List.filter (fun (a : Ir.array_decl) -> a.Ir.storage = Ir.Slocal)
+         fused.Ir.arrays)
+  in
+  Alcotest.(check bool) "expansion created arrays" true (locals_before >= 2);
+  let contracted, plan = Contract.run fused in
+  Alcotest.(check int) "all arrays contracted" locals_before
+    (List.length plan);
+  Alcotest.(check int) "no local arrays left" 0
+    (List.length
+       (List.filter (fun (a : Ir.array_decl) -> a.Ir.storage = Ir.Slocal)
+          contracted.Ir.arrays));
+  check_equiv ~sizes p contracted
+
+let test_contract_skips_cross_loop () =
+  (* the temporary is produced in one loop and consumed in another: its
+     lifetime spans the whole loop, contraction must refuse *)
+  let src =
+    {|void f(int n, double A[n], double B[n]) {
+        double tmp[n];
+        for (int i = 0; i < n; i++)
+          tmp[i] = A[i] * 2.0;
+        for (int i = 0; i < n; i++)
+          B[i] = tmp[i] + 1.0;
+      }|}
+  in
+  let p = lower src in
+  let _, plan = Contract.run p in
+  Alcotest.(check int) "no contraction" 0 (List.length plan)
+
+let test_contract_skips_shifted_subscript () =
+  (* tmp[i] written, tmp[i - 1]-style reads would cross iterations; here
+     the subscripts don't all equal the iterator, so refuse *)
+  let src =
+    {|void f(int n, double A[n], double B[n]) {
+        double tmp[n];
+        for (int i = 1; i < n; i++) {
+          tmp[i] = A[i] * 2.0;
+          B[i] = tmp[i - 1] + tmp[i];
+        }
+      }|}
+  in
+  let p = Daisy_normalize.Iter_norm.run (lower src) in
+  let _, plan = Contract.run p in
+  Alcotest.(check int) "no contraction" 0 (List.length plan)
+
+let test_contract_reduces_traffic () =
+  let src =
+    {|void f(int n, double A[n], double B[n], double C[n]) {
+        for (int i = 0; i < n; i++) {
+          double t = A[i] * 2.0;
+          double u = t + 1.0;
+          B[i] = u * u;
+          C[i] = u - t;
+        }
+      }|}
+  in
+  let sizes = [ ("n", 512) ] in
+  let fused = expanded_then_fused src ~sizes in
+  let contracted, _ = Contract.run fused in
+  let loads p =
+    (Daisy_machine.Cost.evaluate Config.default p ~sizes ()).Daisy_machine.Cost.l1_loads
+  in
+  Alcotest.(check bool) "fewer L1 accesses after contraction" true
+    (loads contracted < loads fused)
+
+(* ------------------------------------------------------------------ *)
+(* Reuse distance *)
+
+let test_reuse_streaming_vs_repeat () =
+  (* streaming over a large array: no short reuse; repeating over a small
+     one: all short reuse *)
+  let streaming =
+    lower
+      {|void f(int n, double A[n]) {
+          for (int i = 0; i < n; i++) A[i] = A[i] + 1.0;
+        }|}
+  in
+  let repeat =
+    lower
+      {|void f(int n, double A[8], double B[n]) {
+          for (int i = 0; i < n; i++) A[0] = A[0] + B[0];
+        }|}
+  in
+  let h1 = Reuse.of_program Config.default streaming ~sizes:[ ("n", 4096) ] () in
+  let h2 = Reuse.of_program Config.default repeat ~sizes:[ ("n", 4096) ] () in
+  Alcotest.(check bool) "repeat has near-total short reuse" true
+    (Reuse.hit_fraction h2 ~lines:4 > 0.95);
+  Alcotest.(check bool) "streaming reuses within the line only" true
+    (Reuse.mean_distance h1 < 2.0);
+  Alcotest.(check bool) "streaming is mostly cold at line granularity" true
+    (h1.Reuse.cold > h2.Reuse.cold)
+
+let test_reuse_normalization_improves_locality () =
+  (* the Fig. 3 column-major traversal has long reuse distances; stride
+     minimization shortens them *)
+  let bad =
+    lower
+      {|void f(int n, double Q[n][n], double P[n][n]) {
+          for (int i = 0; i < n; i++)
+            for (int j = 0; j < n; j++)
+              Q[j][i] = Q[j][i] + P[j][i];
+        }|}
+  in
+  let sizes = [ ("n", 64) ] in
+  let good = Pipeline.normalize ~sizes bad in
+  let mean p = Reuse.mean_distance (Reuse.of_program Config.default p ~sizes ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "normalized mean distance (%.1f) < original (%.1f)"
+       (mean good) (mean bad))
+    true
+    (mean good < mean bad)
+
+let test_reuse_histogram_accounting () =
+  let p =
+    lower
+      {|void f(int n, double A[n]) {
+          for (int i = 0; i < n; i++) A[i] = 1.0;
+        }|}
+  in
+  let h = Reuse.of_program Config.default p ~sizes:[ ("n", 128) ] () in
+  let bucket_sum = Array.fold_left ( +. ) 0.0 h.Reuse.buckets in
+  Alcotest.(check (float 1e-9)) "cold + reuses = total" h.Reuse.total
+    (bucket_sum +. h.Reuse.cold)
+
+(* ------------------------------------------------------------------ *)
+(* Loop-invariant code motion *)
+
+module Licm = Daisy_normalize.Licm
+
+let test_licm_hoists () =
+  let p =
+    lower
+      {|void f(int n, double A[n], double x, double y) {
+          for (int i = 0; i < n; i++) {
+            double t = x * y + 2.0;
+            A[i] = A[i] + t;
+          }
+        }|}
+  in
+  let p', n = Licm.run p in
+  Alcotest.(check int) "one hoist" 1 n;
+  Alcotest.(check int) "comp moved out" 1
+    (List.length
+       (List.filter (function Ir.Ncomp _ -> true | _ -> false) p'.Ir.body));
+  check_equiv ~sizes:[ ("n", 9) ] p p'
+
+let test_licm_respects_variance () =
+  let p =
+    lower
+      {|void f(int n, double A[n]) {
+          for (int i = 0; i < n; i++) {
+            double t = A[i] * 2.0;
+            A[i] = t + 1.0;
+          }
+        }|}
+  in
+  let _, n = Licm.run p in
+  Alcotest.(check int) "nothing hoisted" 0 n
+
+let test_licm_respects_earlier_reader () =
+  (* B reads t before t is assigned: iteration 0 must see the OLD value *)
+  let p =
+    lower
+      {|void f(int n, double A[n], double B[n], double x) {
+          double t = 0.0;
+          for (int i = 0; i < n; i++) {
+            B[i] = t;
+            t = x * 3.0;
+            A[i] = t;
+          }
+        }|}
+  in
+  let p', _ = Licm.run p in
+  check_equiv ~sizes:[ ("n", 7) ] p p'
+
+let test_licm_nested () =
+  (* x*y is invariant in both loops; hoisting happens at the innermost
+     level per pass *)
+  let p =
+    lower
+      {|void f(int n, double A[n][n], double x, double y) {
+          for (int i = 0; i < n; i++)
+            for (int j = 0; j < n; j++) {
+              double t = x * y;
+              A[i][j] = A[i][j] + t;
+            }
+        }|}
+  in
+  (* one bottom-up run cascades: out of j, then out of i *)
+  let p1, n1 = Licm.run p in
+  Alcotest.(check int) "hoisted out of both loops" 2 n1;
+  let _, n2 = Licm.run p1 in
+  Alcotest.(check int) "fixpoint" 0 n2;
+  check_equiv ~sizes:[ ("n", 6) ] p p1
+
+let suite =
+  [
+    ("licm hoists invariant", `Quick, test_licm_hoists);
+    ("licm respects variance", `Quick, test_licm_respects_variance);
+    ("licm respects earlier reader", `Quick, test_licm_respects_earlier_reader);
+    ("licm nested", `Quick, test_licm_nested);
+    ("contract roundtrip", `Quick, test_contract_roundtrip);
+    ("contract skips cross-loop", `Quick, test_contract_skips_cross_loop);
+    ("contract skips shifted", `Quick, test_contract_skips_shifted_subscript);
+    ("contract reduces traffic", `Quick, test_contract_reduces_traffic);
+    ("reuse streaming vs repeat", `Quick, test_reuse_streaming_vs_repeat);
+    ("reuse improves with normalization", `Quick, test_reuse_normalization_improves_locality);
+    ("reuse histogram accounting", `Quick, test_reuse_histogram_accounting);
+  ]

@@ -1,0 +1,255 @@
+(** Tests for BLAS idiom detection and the embedding library. *)
+
+module Ir = Daisy_loopir.Ir
+module Patterns = Daisy_blas.Patterns
+module Embedding = Daisy_embedding.Embedding
+module Pipeline = Daisy_normalize.Pipeline
+module Interp = Daisy_interp.Interp
+
+let lower = Daisy_lang.Lower.program_of_string ~source:"test.c"
+
+let check_equiv ?(sizes = []) p1 p2 =
+  Alcotest.(check bool) "equivalent" true (Interp.equivalent p1 p2 ~sizes ())
+
+(* ------------------------------------------------------------------ *)
+
+let test_detect_gemm () =
+  let p =
+    lower
+      {|void f(int m, int n, int k, double alpha, double C[m][n],
+              double A[m][k], double B[k][n]) {
+          for (int i = 0; i < m; i++)
+            for (int kk = 0; kk < k; kk++)
+              for (int j = 0; j < n; j++)
+                C[i][j] += alpha * A[i][kk] * B[kk][j];
+        }|}
+  in
+  let p', count = Patterns.replace_all p in
+  Alcotest.(check int) "one call" 1 count;
+  (match p'.Ir.body with
+  | [ Ir.Ncall c ] -> Alcotest.(check string) "gemm" "gemm" c.Ir.kernel
+  | _ -> Alcotest.fail "expected a call");
+  check_equiv ~sizes:[ ("m", 5); ("n", 6); ("k", 7) ] p p'
+
+let test_detect_gemm_after_normalization () =
+  (* the paper's point: the full PolyBench gemm matches only after
+     normalization splits off the beta-scaling loop *)
+  let b = Daisy_benchmarks.Polybench.gemm in
+  let p = Daisy_benchmarks.Polybench.program b in
+  let _, before = Patterns.replace_all p in
+  Alcotest.(check int) "no match before normalization" 0 before;
+  let normalized = Pipeline.normalize ~sizes:b.Daisy_benchmarks.Polybench.sim_sizes p in
+  let p', after = Patterns.replace_all normalized in
+  Alcotest.(check int) "match after normalization" 1 after;
+  check_equiv ~sizes:b.Daisy_benchmarks.Polybench.test_sizes p p'
+
+let test_detect_gemv () =
+  let p =
+    lower
+      {|void f(int m, int n, double A[m][n], double x[n], double y[m]) {
+          for (int i = 0; i < m; i++)
+            for (int j = 0; j < n; j++)
+              y[i] += A[i][j] * x[j];
+        }|}
+  in
+  let p', count = Patterns.replace_all p in
+  Alcotest.(check int) "one call" 1 count;
+  (match p'.Ir.body with
+  | [ Ir.Ncall c ] -> Alcotest.(check string) "gemv" "gemv" c.Ir.kernel
+  | _ -> Alcotest.fail "call");
+  check_equiv ~sizes:[ ("m", 7); ("n", 9) ] p p'
+
+let test_detect_gemvt () =
+  let p =
+    lower
+      {|void f(int m, int n, double A[m][n], double x[m], double y[n]) {
+          for (int i = 0; i < m; i++)
+            for (int j = 0; j < n; j++)
+              y[j] += A[i][j] * x[i];
+        }|}
+  in
+  let p', count = Patterns.replace_all p in
+  Alcotest.(check int) "one call" 1 count;
+  (match p'.Ir.body with
+  | [ Ir.Ncall c ] -> Alcotest.(check string) "gemvt" "gemvt" c.Ir.kernel
+  | _ -> Alcotest.fail "call");
+  check_equiv ~sizes:[ ("m", 7); ("n", 9) ] p p'
+
+let test_detect_syrk () =
+  let p =
+    lower
+      {|void f(int n, int m, double alpha, double C[n][n], double A[n][m]) {
+          for (int i = 0; i < n; i++)
+            for (int k = 0; k < m; k++)
+              for (int j = 0; j <= i; j++)
+                C[i][j] += alpha * A[i][k] * A[j][k];
+        }|}
+  in
+  let p', count = Patterns.replace_all p in
+  Alcotest.(check int) "one call" 1 count;
+  (match p'.Ir.body with
+  | [ Ir.Ncall c ] -> Alcotest.(check string) "syrk" "syrk" c.Ir.kernel
+  | _ -> Alcotest.fail "call");
+  check_equiv ~sizes:[ ("n", 8); ("m", 6) ] p p'
+
+let test_no_false_positive_stencil () =
+  let p =
+    lower
+      {|void f(int n, double A[n][n], double B[n][n]) {
+          for (int i = 1; i < n - 1; i++)
+            for (int j = 1; j < n - 1; j++)
+              B[i][j] = 0.25 * (A[i - 1][j] + A[i + 1][j] + A[i][j - 1] + A[i][j + 1]);
+        }|}
+  in
+  let _, count = Patterns.replace_all p in
+  Alcotest.(check int) "no match" 0 count
+
+let test_no_false_positive_guard () =
+  let p =
+    lower
+      {|void f(int m, int n, int k, double C[m][n], double A[m][k], double B[k][n], double x) {
+          for (int i = 0; i < m; i++)
+            for (int kk = 0; kk < k; kk++)
+              for (int j = 0; j < n; j++)
+                if (x > 0.0)
+                  C[i][j] += A[i][kk] * B[kk][j];
+        }|}
+  in
+  let _, count = Patterns.replace_all p in
+  Alcotest.(check int) "guarded nest not matched" 0 count
+
+(* ------------------------------------------------------------------ *)
+(* Embeddings *)
+
+let nest_of src =
+  match (lower src).Ir.body with
+  | [ Ir.Nloop l ] -> Ir.Nloop l
+  | _ -> Alcotest.fail "single nest"
+
+let test_embedding_identical_nests () =
+  let a =
+    nest_of
+      {|void f(int n, double A[n][n], double B[n][n]) {
+          for (int i = 0; i < n; i++)
+            for (int j = 0; j < n; j++)
+              A[i][j] = B[i][j] * 2.0;
+        }|}
+  in
+  let b =
+    nest_of
+      {|void g(int m, double X[m][m], double Y[m][m]) {
+          for (int p = 0; p < m; p++)
+            for (int q = 0; q < m; q++)
+              X[p][q] = Y[p][q] * 2.0;
+        }|}
+  in
+  let d = Embedding.distance (Embedding.of_node a) (Embedding.of_node b) in
+  Alcotest.(check bool) (Printf.sprintf "renamed nests identical (d=%.3f)" d)
+    true (d < 1e-9)
+
+let test_embedding_discriminates () =
+  let copy =
+    nest_of
+      {|void f(int n, double A[n][n], double B[n][n]) {
+          for (int i = 0; i < n; i++)
+            for (int j = 0; j < n; j++)
+              A[i][j] = B[i][j];
+        }|}
+  in
+  let gemm =
+    nest_of
+      {|void f(int n, double C[n][n], double A[n][n], double B[n][n]) {
+          for (int i = 0; i < n; i++)
+            for (int k = 0; k < n; k++)
+              for (int j = 0; j < n; j++)
+                C[i][j] += A[i][k] * B[k][j];
+        }|}
+  in
+  let transpose_copy =
+    nest_of
+      {|void f(int n, double A[n][n], double B[n][n]) {
+          for (int i = 0; i < n; i++)
+            for (int j = 0; j < n; j++)
+              A[i][j] = B[j][i];
+        }|}
+  in
+  let e = Embedding.of_node in
+  let d_copy_gemm = Embedding.distance (e copy) (e gemm) in
+  let d_copy_tcopy = Embedding.distance (e copy) (e transpose_copy) in
+  Alcotest.(check bool) "copy closer to transposed copy than to gemm" true
+    (d_copy_tcopy < d_copy_gemm);
+  Alcotest.(check bool) "stride features differ" true (d_copy_tcopy > 0.0)
+
+let test_embedding_knn () =
+  let mk label src = (Embedding.of_node (nest_of src), label) in
+  let db =
+    [
+      mk "copy"
+        {|void f(int n, double A[n], double B[n]) {
+            for (int i = 0; i < n; i++) A[i] = B[i];
+          }|};
+      mk "axpy"
+        {|void f(int n, double a, double A[n], double B[n]) {
+            for (int i = 0; i < n; i++) A[i] = A[i] + a * B[i];
+          }|};
+      mk "mm"
+        {|void f(int n, double C[n][n], double A[n][n], double B[n][n]) {
+            for (int i = 0; i < n; i++)
+              for (int k = 0; k < n; k++)
+                for (int j = 0; j < n; j++)
+                  C[i][j] += A[i][k] * B[k][j];
+          }|};
+    ]
+  in
+  let q =
+    Embedding.of_node
+      (nest_of
+         {|void f(int m, double X[m], double Y[m], double b) {
+             for (int p = 0; p < m; p++) X[p] = X[p] + b * Y[p];
+           }|})
+  in
+  match Embedding.nearest 1 db q with
+  | [ (_, label) ] -> Alcotest.(check string) "axpy closest" "axpy" label
+  | _ -> Alcotest.fail "knn"
+
+let test_detect_syr2k_polybench () =
+  (* the full PolyBench syr2k matches only after normalization separates
+     the beta scaling from the rank-2 update *)
+  let b = Daisy_benchmarks.Polybench.find "syr2k" in
+  let p = Daisy_benchmarks.Polybench.program b in
+  let _, before = Patterns.replace_all p in
+  Alcotest.(check int) "no match before" 0 before;
+  let n = Pipeline.normalize ~sizes:b.Daisy_benchmarks.Polybench.sim_sizes p in
+  let p', after = Patterns.replace_all n in
+  Alcotest.(check int) "syr2k matched after" 1 after;
+  (match
+     List.find_opt (function Ir.Ncall _ -> true | _ -> false) p'.Ir.body
+   with
+  | Some (Ir.Ncall c) -> Alcotest.(check string) "kernel" "syr2k" c.Ir.kernel
+  | _ -> Alcotest.fail "expected a call");
+  check_equiv ~sizes:b.Daisy_benchmarks.Polybench.test_sizes p p'
+
+let test_detect_atax_gemv_pair () =
+  (* normalized atax contains a gemv (tmp = A x) and a gemvt (y += A^T tmp) *)
+  let b = Daisy_benchmarks.Polybench.find "atax" in
+  let p = Daisy_benchmarks.Polybench.program b in
+  let n = Pipeline.normalize ~sizes:b.Daisy_benchmarks.Polybench.sim_sizes p in
+  let p', count = Patterns.replace_all n in
+  Alcotest.(check bool) "at least one mat-vec idiom" true (count >= 1);
+  check_equiv ~sizes:b.Daisy_benchmarks.Polybench.test_sizes p p'
+
+let suite =
+  [
+    ("syr2k from polybench", `Quick, test_detect_syr2k_polybench);
+    ("atax gemv idioms", `Quick, test_detect_atax_gemv_pair);
+    ("detect gemm", `Quick, test_detect_gemm);
+    ("detect gemm needs normalization", `Quick, test_detect_gemm_after_normalization);
+    ("detect gemv", `Quick, test_detect_gemv);
+    ("detect gemv transposed", `Quick, test_detect_gemvt);
+    ("detect syrk", `Quick, test_detect_syrk);
+    ("stencil not matched", `Quick, test_no_false_positive_stencil);
+    ("guarded nest not matched", `Quick, test_no_false_positive_guard);
+    ("embedding rename-invariant", `Quick, test_embedding_identical_nests);
+    ("embedding discriminates", `Quick, test_embedding_discriminates);
+    ("embedding k-nn", `Quick, test_embedding_knn);
+  ]

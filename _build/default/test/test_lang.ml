@@ -1,0 +1,279 @@
+(** Tests for the DSL frontend: lexer, parser, sema, lowering. *)
+
+open Daisy_lang
+module Ir = Daisy_loopir.Ir
+
+let parse_ok src = Parser.parse_kernel_string ~source:"test.c" src
+
+let expect_diag f =
+  match f () with
+  | exception Daisy_support.Diag.Error _ -> ()
+  | _ -> Alcotest.fail "expected a diagnostic"
+
+(* ------------------------------------------------------------------ *)
+
+let gemm_src =
+  {|
+void gemm(int ni, int nj, int nk, double alpha, double beta,
+          double C[ni][nj], double A[ni][nk], double B[nk][nj])
+{
+  for (int i = 0; i < ni; i++) {
+    for (int j = 0; j < nj; j++)
+      C[i][j] *= beta;
+    for (int k = 0; k < nk; k++)
+      for (int j = 0; j < nj; j++)
+        C[i][j] += alpha * A[i][k] * B[k][j];
+  }
+}
+|}
+
+let test_parse_gemm () =
+  let k = parse_ok gemm_src in
+  Alcotest.(check string) "name" "gemm" k.Ast.name;
+  Alcotest.(check int) "params" 8 (List.length k.Ast.params)
+
+let test_roundtrip_print_parse () =
+  let k = parse_ok gemm_src in
+  let printed = Ast.kernel_to_string k in
+  let k2 = parse_ok printed in
+  let printed2 = Ast.kernel_to_string k2 in
+  Alcotest.(check string) "print . parse . print stable" printed printed2
+
+let test_lexer_comments () =
+  let src =
+    "void f(int n, double A[n]) { // line comment\n\
+     /* block\n comment */ for (int i = 0; i < n; i++) A[i] = 0.0; }"
+  in
+  let k = parse_ok src in
+  Alcotest.(check string) "name" "f" k.Ast.name
+
+let test_lexer_floats () =
+  let src = "void f(double A[10]) { A[0] = 1.5e-3 + 2. + 0.25; }" in
+  ignore (parse_ok src)
+
+let test_parse_errors () =
+  expect_diag (fun () -> parse_ok "void f( { }");
+  expect_diag (fun () -> parse_ok "void f() { x = ; }");
+  expect_diag (fun () -> parse_ok "void f() { for (int i = 0; j < 10; i++) {} }");
+  expect_diag (fun () -> parse_ok "void f() { for (int i = 0; i < 10; i += 0) {} }")
+
+let test_sema_undeclared () =
+  expect_diag (fun () -> Sema.check (parse_ok "void f() { x = 1.0; }"))
+
+let test_sema_rank_mismatch () =
+  expect_diag (fun () ->
+      Sema.check (parse_ok "void f(double A[4][4]) { A[1] = 0.0; }"))
+
+let test_sema_scalar_subscript () =
+  expect_diag (fun () ->
+      Sema.check (parse_ok "void f(double x) { x[0] = 1.0; }"))
+
+let test_sema_assign_to_index () =
+  expect_diag (fun () ->
+      Sema.check
+        (parse_ok "void f(double A[8]) { for (int i = 0; i < 8; i++) i = 3; }"))
+
+let test_sema_float_subscript () =
+  expect_diag (fun () ->
+      Sema.check (parse_ok "void f(double A[8], double x) { A[x] = 1.0; }"))
+
+let test_sema_ok () =
+  let env = Sema.check (parse_ok gemm_src) in
+  Alcotest.(check (list string)) "size params" [ "ni"; "nj"; "nk" ]
+    (Sema.size_params env);
+  Alcotest.(check (list string)) "scalar params" [ "alpha"; "beta" ]
+    (Sema.scalar_params env);
+  Alcotest.(check int) "arrays" 3 (List.length (Sema.array_params env))
+
+(* ------------------------------------------------------------------ *)
+(* Lowering *)
+
+let test_lower_gemm_structure () =
+  let p = Lower.program_of_string gemm_src in
+  Alcotest.(check int) "top-level nodes" 1 (List.length p.Ir.body);
+  Alcotest.(check int) "loop depth" 3 (Ir.depth p.Ir.body);
+  Alcotest.(check int) "computations" 2 (List.length (Ir.comps_in p.Ir.body))
+
+let test_lower_compound_assign () =
+  let p =
+    Lower.program_of_string
+      "void f(int n, double A[n]) { for (int i = 0; i < n; i++) A[i] += 2.0; }"
+  in
+  match Ir.comps_in p.Ir.body with
+  | [ c ] -> (
+      match c.Ir.rhs with
+      | Ir.Vbin (Ir.Vadd, Ir.Vread a, Ir.Vfloat 2.0) ->
+          Alcotest.(check string) "reads own cell" "A" a.Ir.array
+      | _ -> Alcotest.fail "expected A[i] + 2.0")
+  | _ -> Alcotest.fail "expected one computation"
+
+let test_lower_guard () =
+  let p =
+    Lower.program_of_string
+      {|void f(int n, double A[n], double x) {
+          for (int i = 0; i < n; i++) {
+            if (x > 0.5) A[i] = 1.0;
+            else A[i] = 2.0;
+          }
+        }|}
+  in
+  let comps = Ir.comps_in p.Ir.body in
+  Alcotest.(check int) "two guarded comps" 2 (List.length comps);
+  List.iter
+    (fun (c : Ir.comp) ->
+      Alcotest.(check bool) "has guard" true (c.Ir.guard <> None))
+    comps
+
+let test_lower_downward_loop () =
+  let p =
+    Lower.program_of_string
+      "void f(int n, double A[n]) { for (int i = n - 1; i >= 0; i--) A[i] = 0.0; }"
+  in
+  match p.Ir.body with
+  | [ Ir.Nloop l ] ->
+      Alcotest.(check int) "step" (-1) l.Ir.step;
+      Alcotest.(check string) "hi" "0" (Daisy_poly.Expr.to_string l.Ir.hi)
+  | _ -> Alcotest.fail "expected one loop"
+
+let test_lower_local_array () =
+  let p =
+    Lower.program_of_string
+      {|void f(int n, double A[n]) {
+          double tmp[n];
+          for (int i = 0; i < n; i++) tmp[i] = A[i];
+          for (int i = 0; i < n; i++) A[i] = tmp[i] * 2.0;
+        }|}
+  in
+  let locals =
+    List.filter (fun (a : Ir.array_decl) -> a.Ir.storage = Ir.Slocal) p.Ir.arrays
+  in
+  Alcotest.(check int) "one local array" 1 (List.length locals)
+
+let test_lower_ternary () =
+  let p =
+    Lower.program_of_string
+      "void f(int n, double A[n]) { for (int i = 0; i < n; i++) A[i] = A[i] > 0.0 ? A[i] : 0.0; }"
+  in
+  match Ir.comps_in p.Ir.body with
+  | [ { Ir.rhs = Ir.Vselect _; _ } ] -> ()
+  | _ -> Alcotest.fail "expected a select"
+
+let test_lower_triangular () =
+  let p =
+    Lower.program_of_string
+      {|void f(int n, double A[n][n]) {
+          for (int i = 0; i < n; i++)
+            for (int j = 0; j <= i; j++)
+              A[i][j] = 0.0;
+        }|}
+  in
+  let loops = Ir.loops_in p.Ir.body in
+  match loops with
+  | [ _; inner ] ->
+      Alcotest.(check string) "triangular bound" "i"
+        (Daisy_poly.Expr.to_string inner.Ir.hi)
+  | _ -> Alcotest.fail "expected two loops"
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter cross-check on lowered code *)
+
+let test_interp_gemm_matches_manual () =
+  let p = Lower.program_of_string gemm_src in
+  let sizes = [ ("ni", 5); ("nj", 4); ("nk", 3) ] in
+  let scalars = [ ("alpha", 1.5); ("beta", 0.5) ] in
+  let st = Daisy_interp.Interp.run_fresh p ~sizes ~scalars () in
+  (* recompute manually from the same deterministic init *)
+  let ni = 5 and nj = 4 and nk = 3 in
+  let a = Array.init (ni * nk) (Daisy_interp.Interp.default_init "A") in
+  let b = Array.init (nk * nj) (Daisy_interp.Interp.default_init "B") in
+  let c = Array.init (ni * nj) (Daisy_interp.Interp.default_init "C") in
+  for i = 0 to ni - 1 do
+    for j = 0 to nj - 1 do
+      c.((i * nj) + j) <- c.((i * nj) + j) *. 0.5
+    done;
+    for k = 0 to nk - 1 do
+      for j = 0 to nj - 1 do
+        c.((i * nj) + j) <-
+          c.((i * nj) + j) +. (1.5 *. a.((i * nk) + k) *. b.((k * nj) + j))
+      done
+    done
+  done;
+  let got = (Hashtbl.find st.Daisy_interp.Interp.arrays "C").Daisy_interp.Interp.data in
+  Array.iteri
+    (fun i expected ->
+      if Float.abs (got.(i) -. expected) > 1e-12 then
+        Alcotest.failf "C[%d]: got %g, expected %g" i got.(i) expected)
+    c
+
+let test_precedence () =
+  let p =
+    Lower.program_of_string
+      "void f(double A[4]) { A[0] = 1.0 + 2.0 * 3.0 - 4.0 / 2.0; }"
+  in
+  let st = Daisy_interp.Interp.run_fresh p ~sizes:[] () in
+  let v = (Hashtbl.find st.Daisy_interp.Interp.arrays "A").Daisy_interp.Interp.data.(0) in
+  Alcotest.(check (float 1e-12)) "1 + 6 - 2" 5.0 v
+
+let test_nested_ternary () =
+  let p =
+    Lower.program_of_string
+      {|void f(double A[4], double x) {
+          A[0] = x > 2.0 ? 10.0 : x > 1.0 ? 20.0 : 30.0;
+        }|}
+  in
+  let run x =
+    let st =
+      Daisy_interp.Interp.run_fresh p ~sizes:[] ~scalars:[ ("x", x) ] ()
+    in
+    (Hashtbl.find st.Daisy_interp.Interp.arrays "A").Daisy_interp.Interp.data.(0)
+  in
+  Alcotest.(check (float 0.0)) "x=3" 10.0 (run 3.0);
+  Alcotest.(check (float 0.0)) "x=1.5" 20.0 (run 1.5);
+  Alcotest.(check (float 0.0)) "x=0.5" 30.0 (run 0.5)
+
+let test_logical_ops_in_conditions () =
+  let p =
+    Lower.program_of_string
+      {|void f(double A[4], double x, double y) {
+          if (x > 1.0 && (y > 1.0 || !(x > 2.0)))
+            A[0] = 1.0;
+          else
+            A[0] = 2.0;
+        }|}
+  in
+  let run x y =
+    let st =
+      Daisy_interp.Interp.run_fresh p ~sizes:[]
+        ~scalars:[ ("x", x); ("y", y) ] ()
+    in
+    (Hashtbl.find st.Daisy_interp.Interp.arrays "A").Daisy_interp.Interp.data.(0)
+  in
+  Alcotest.(check (float 0.0)) "both true" 1.0 (run 1.5 2.0);
+  Alcotest.(check (float 0.0)) "not-x>2 saves it" 1.0 (run 1.5 0.0);
+  Alcotest.(check (float 0.0)) "x too small" 2.0 (run 0.5 2.0)
+
+let suite =
+  [
+    ("expression precedence", `Quick, test_precedence);
+    ("nested ternary", `Quick, test_nested_ternary);
+    ("logical conditions", `Quick, test_logical_ops_in_conditions);
+    ("parse gemm", `Quick, test_parse_gemm);
+    ("print-parse roundtrip", `Quick, test_roundtrip_print_parse);
+    ("lexer comments", `Quick, test_lexer_comments);
+    ("lexer floats", `Quick, test_lexer_floats);
+    ("parse errors", `Quick, test_parse_errors);
+    ("sema undeclared", `Quick, test_sema_undeclared);
+    ("sema rank mismatch", `Quick, test_sema_rank_mismatch);
+    ("sema scalar subscript", `Quick, test_sema_scalar_subscript);
+    ("sema assign to index", `Quick, test_sema_assign_to_index);
+    ("sema float subscript", `Quick, test_sema_float_subscript);
+    ("sema gemm ok", `Quick, test_sema_ok);
+    ("lower gemm structure", `Quick, test_lower_gemm_structure);
+    ("lower compound assignment", `Quick, test_lower_compound_assign);
+    ("lower if/else guards", `Quick, test_lower_guard);
+    ("lower downward loop", `Quick, test_lower_downward_loop);
+    ("lower local array", `Quick, test_lower_local_array);
+    ("lower ternary", `Quick, test_lower_ternary);
+    ("lower triangular bounds", `Quick, test_lower_triangular);
+    ("interp gemm vs manual", `Quick, test_interp_gemm_matches_manual);
+  ]

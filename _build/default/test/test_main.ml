@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "daisy"
+    [
+      ("support", Test_support.suite);
+      ("poly", Test_poly.suite);
+      ("lang", Test_lang.suite);
+      ("loopir", Test_loopir.suite);
+      ("dependence", Test_dependence.suite);
+      ("normalize", Test_normalize.suite);
+      ("transforms", Test_transforms.suite);
+      ("machine", Test_machine.suite);
+      ("idioms", Test_idioms.suite);
+      ("lift", Test_lift.suite);
+      ("arraylang", Test_arraylang.suite);
+      ("scheduler", Test_scheduler.suite);
+      ("benchmarks", Test_benchmarks.suite);
+      ("property", Test_property.suite);
+      ("extensions", Test_extensions.suite);
+    ]

@@ -1,0 +1,389 @@
+(** Tests for the normalization passes: iterator normalization, scalar
+    expansion, maximal fission, stride minimization, and the full pipeline
+    (paper §2, §3.2). *)
+
+open Daisy_normalize
+module Ir = Daisy_loopir.Ir
+module Interp = Daisy_interp.Interp
+
+let lower = Daisy_lang.Lower.program_of_string ~source:"test.c"
+
+let check_equiv ?(sizes = []) p1 p2 =
+  Alcotest.(check bool) "semantically equivalent" true
+    (Interp.equivalent p1 p2 ~sizes ())
+
+(* ------------------------------------------------------------------ *)
+(* Iterator normalization *)
+
+let test_iter_norm_offset () =
+  let p =
+    lower
+      "void f(int n, double A[n]) { for (int i = 2; i < n; i++) A[i] = A[i] + 1.0; }"
+  in
+  let p' = Iter_norm.run p in
+  Alcotest.(check bool) "normalized" true (Iter_norm.is_normalized p');
+  check_equiv ~sizes:[ ("n", 17) ] p p'
+
+let test_iter_norm_step () =
+  let p =
+    lower
+      "void f(int n, double A[n]) { for (int i = 0; i < n; i += 3) A[i] = 2.0; }"
+  in
+  let p' = Iter_norm.run p in
+  Alcotest.(check bool) "normalized" true (Iter_norm.is_normalized p');
+  check_equiv ~sizes:[ ("n", 20) ] p p'
+
+let test_iter_norm_downward () =
+  let p =
+    lower
+      "void f(int n, double A[n]) { for (int i = n - 1; i >= 0; i--) A[i] = A[i] * 2.0; }"
+  in
+  let p' = Iter_norm.run p in
+  Alcotest.(check bool) "normalized" true (Iter_norm.is_normalized p');
+  check_equiv ~sizes:[ ("n", 11) ] p p'
+
+let test_iter_norm_nested_dependent () =
+  (* inner bound references outer iterator; normalization must substitute *)
+  let p =
+    lower
+      {|void f(int n, double A[n][n]) {
+          for (int i = 1; i < n; i++)
+            for (int j = 0; j < i; j++)
+              A[i][j] = A[i][j] + 1.0;
+        }|}
+  in
+  let p' = Iter_norm.run p in
+  Alcotest.(check bool) "normalized" true (Iter_norm.is_normalized p');
+  check_equiv ~sizes:[ ("n", 9) ] p p'
+
+(* ------------------------------------------------------------------ *)
+(* Maximal fission: paper Figure 3a -> 3b *)
+
+let fig3a =
+  {|void foo(double A[1024][1024], double B[1024][1024],
+             double Q[1024][1024], double P[1024][1024]) {
+      for (int i = 0; i < 1024; i++)
+        for (int j = 0; j < 1024; j++) {
+          A[i][j] = A[i][j] + B[i][j];
+          Q[j][i] = Q[j][i] + P[j][i];
+        }
+    }|}
+
+let test_fission_fig3 () =
+  let p = Iter_norm.run (lower fig3a) in
+  let p' = Fission.run_fixpoint p in
+  (* two independent computations -> two separate loop nests *)
+  Alcotest.(check int) "two top-level nests" 2 (List.length p'.Ir.body);
+  Alcotest.(check bool) "maximal" true (Fission.is_maximal p')
+
+let test_fission_fig3_semantics () =
+  let p = Iter_norm.run (lower fig3a) in
+  let p' = Fission.run_fixpoint p in
+  check_equiv p p'
+
+let test_fission_respects_dependence () =
+  (* S2 reads what S1 wrote at i-1: loop-carried, but distribution is legal
+     (S1's loop runs entirely first). The reverse order would be illegal. *)
+  let p =
+    lower
+      {|void f(int n, double A[n], double B[n]) {
+          for (int i = 1; i < n; i++) {
+            A[i] = B[i] + 1.0;
+            B[i] = A[i - 1] * 2.0;
+          }
+        }|}
+  in
+  let p = Iter_norm.run p in
+  let p' = Fission.run_fixpoint p in
+  check_equiv ~sizes:[ ("n", 33) ] p p'
+
+let test_fission_keeps_cycles_fused () =
+  (* A[i] depends on B[i-1] and B[i] depends on A[i-1]: a dependence cycle
+     across iterations -> the two computations are atomic *)
+  let p =
+    lower
+      {|void f(int n, double A[n], double B[n]) {
+          for (int i = 1; i < n; i++) {
+            A[i] = B[i - 1] + 1.0;
+            B[i] = A[i] * 2.0;
+          }
+        }|}
+  in
+  let p = Iter_norm.run p in
+  let p' = Fission.run_fixpoint p in
+  Alcotest.(check int) "still one nest" 1 (List.length p'.Ir.body);
+  check_equiv ~sizes:[ ("n", 17) ] p p'
+
+let test_fission_gemm () =
+  let p =
+    lower
+      {|void gemm(int ni, int nj, int nk, double alpha, double beta,
+                  double C[ni][nj], double A[ni][nk], double B[nk][nj]) {
+          for (int i = 0; i < ni; i++) {
+            for (int j = 0; j < nj; j++)
+              C[i][j] *= beta;
+            for (int k = 0; k < nk; k++)
+              for (int j = 0; j < nj; j++)
+                C[i][j] += alpha * A[i][k] * B[k][j];
+          }
+        }|}
+  in
+  let p = Iter_norm.run p in
+  let p' = Fission.run_fixpoint p in
+  Alcotest.(check int) "scale and update nests" 2 (List.length p'.Ir.body);
+  check_equiv ~sizes:[ ("ni", 7); ("nj", 8); ("nk", 9) ] p p'
+
+let test_fission_reordering_legal () =
+  (* B-variant style: consumer textually before producer across iterations
+     is impossible in our DSL, but independent statements in "wrong" order
+     must stay reorderable *)
+  let p =
+    lower
+      {|void f(int n, double A[n], double B[n], double C[n]) {
+          for (int i = 0; i < n; i++) {
+            C[i] = A[i] + 1.0;
+            B[i] = C[i] * 2.0;
+            A[i] = 3.0;
+          }
+        }|}
+  in
+  let p = Iter_norm.run p in
+  let p' = Fission.run_fixpoint p in
+  Alcotest.(check int) "three nests" 3 (List.length p'.Ir.body);
+  check_equiv ~sizes:[ ("n", 13) ] p p'
+
+(* ------------------------------------------------------------------ *)
+(* Scalar expansion: the CLOUDSC pattern (paper Fig. 10) *)
+
+let test_scalar_expansion_cloudsc_pattern () =
+  let p =
+    lower
+      {|void erosion(int nproma, double ZTP1[nproma], double ZQSMIX[nproma],
+                     double PAP[nproma]) {
+          for (int jl = 0; jl < nproma; jl++) {
+            double zqp = 1.0 / PAP[jl];
+            double zcond = ZQSMIX[jl] * zqp;
+            ZTP1[jl] = ZTP1[jl] + zcond;
+            ZQSMIX[jl] = ZQSMIX[jl] - zcond;
+          }
+        }|}
+  in
+  let p = Iter_norm.run p in
+  let p', expansions = Scalar_expand.run p in
+  Alcotest.(check int) "two scalars expanded" 2 (List.length expansions);
+  Alcotest.(check int) "no local scalars left" 0
+    (List.length p'.Ir.local_scalars);
+  check_equiv ~sizes:[ ("nproma", 16) ] p p';
+  (* expansion unlocks fission into atomic nests *)
+  let p'' = Fission.run_fixpoint p' in
+  Alcotest.(check int) "fissioned into 4 nests" 4 (List.length p''.Ir.body);
+  check_equiv ~sizes:[ ("nproma", 16) ] p p''
+
+let test_scalar_expansion_skips_live_in () =
+  (* s carries a value across iterations (read before write): not expandable *)
+  let p =
+    lower
+      {|void f(int n, double A[n]) {
+          double s = 0.0;
+          for (int i = 0; i < n; i++) {
+            A[i] = s;
+            s = A[i] + 1.0;
+          }
+        }|}
+  in
+  let p = Iter_norm.run p in
+  let p', expansions = Scalar_expand.run p in
+  Alcotest.(check int) "no expansion" 0 (List.length expansions);
+  check_equiv ~sizes:[ ("n", 9) ] p p'
+
+let test_scalar_expansion_skips_guarded_write () =
+  let p =
+    lower
+      {|void f(int n, double A[n], double B[n], double x) {
+          for (int i = 0; i < n; i++) {
+            double s;
+            if (x > 0.5) s = A[i];
+            B[i] = s;
+            A[i] = s * 2.0;
+          }
+        }|}
+  in
+  let p = Iter_norm.run p in
+  let _, expansions = Scalar_expand.run p in
+  Alcotest.(check int) "guarded first write blocks expansion" 0
+    (List.length expansions)
+
+(* ------------------------------------------------------------------ *)
+(* Stride minimization: paper Figure 3b -> 3c *)
+
+let test_stride_min_fig3 () =
+  let p =
+    lower
+      {|void foo(int n, double Q[n][n], double P[n][n]) {
+          for (int i = 0; i < n; i++)
+            for (int j = 0; j < n; j++)
+              Q[j][i] = Q[j][i] + P[j][i];
+        }|}
+  in
+  let p = Iter_norm.run p in
+  let sizes = Daisy_support.Util.SMap.singleton "n" 128 in
+  let p', permuted = Stride.run (Stride.Sum_of_strides sizes) p in
+  Alcotest.(check int) "one nest permuted" 1 permuted;
+  (* outer loop is now j (the slow dimension of Q and P) *)
+  (match p'.Ir.body with
+  | [ Ir.Nloop l ] -> Alcotest.(check string) "outer iterator" "j" l.Ir.iter
+  | _ -> Alcotest.fail "expected single nest");
+  check_equiv ~sizes:[ ("n", 16) ] p p'
+
+let test_stride_min_already_optimal () =
+  let p =
+    lower
+      {|void foo(int n, double A[n][n], double B[n][n]) {
+          for (int i = 0; i < n; i++)
+            for (int j = 0; j < n; j++)
+              A[i][j] = A[i][j] + B[i][j];
+        }|}
+  in
+  let p = Iter_norm.run p in
+  let sizes = Daisy_support.Util.SMap.singleton "n" 128 in
+  let _, permuted = Stride.run (Stride.Sum_of_strides sizes) p in
+  Alcotest.(check int) "no permutation needed" 0 permuted
+
+let test_stride_min_respects_legality () =
+  (* permuting would reverse the (1,-1) dependence: illegal, must stay *)
+  let p =
+    lower
+      {|void f(int n, double A[n][n]) {
+          for (int i = 1; i < n; i++)
+            for (int j = 0; j < n - 1; j++)
+              A[j][i] = A[j + 1][i - 1] + 1.0;
+        }|}
+  in
+  let p = Iter_norm.run p in
+  let sizes = Daisy_support.Util.SMap.singleton "n" 64 in
+  let p', _ = Stride.run (Stride.Sum_of_strides sizes) p in
+  check_equiv ~sizes:[ ("n", 12) ] p p'
+
+let test_stride_min_triangular_not_expressible () =
+  (* triangular bounds: permutation not expressible, nest unchanged *)
+  let p =
+    lower
+      {|void f(int n, double A[n][n]) {
+          for (int i = 0; i < n; i++)
+            for (int j = 0; j <= i; j++)
+              A[j][i] = A[j][i] * 2.0;
+        }|}
+  in
+  let p = Iter_norm.run p in
+  let sizes = Daisy_support.Util.SMap.singleton "n" 64 in
+  let p', permuted = Stride.run (Stride.Sum_of_strides sizes) p in
+  Alcotest.(check int) "not permuted" 0 permuted;
+  check_equiv ~sizes:[ ("n", 10) ] p p'
+
+let test_stride_min_3d () =
+  (* worst-possible order (k, j, i) for row-major C[i][j] += A[i][k]*B[k][j]
+     should become (i, k, j) or (k, i, j)-like with j innermost *)
+  let p =
+    lower
+      {|void f(int n, double C[n][n], double A[n][n], double B[n][n]) {
+          for (int j = 0; j < n; j++)
+            for (int k = 0; k < n; k++)
+              for (int i = 0; i < n; i++)
+                C[i][j] += A[i][k] * B[k][j];
+        }|}
+  in
+  let p = Iter_norm.run p in
+  let sizes = Daisy_support.Util.SMap.singleton "n" 128 in
+  let p', permuted = Stride.run (Stride.Sum_of_strides sizes) p in
+  Alcotest.(check int) "permuted" 1 permuted;
+  (match p'.Ir.body with
+  | [ Ir.Nloop l ] ->
+      let band, _ = Daisy_dependence.Legality.perfect_band l in
+      let inner = List.nth band 2 in
+      Alcotest.(check string) "j innermost" "j" inner.Ir.iter
+  | _ -> Alcotest.fail "expected single nest");
+  check_equiv ~sizes:[ ("n", 9) ] p p'
+
+(* ------------------------------------------------------------------ *)
+(* Full pipeline: the paper's headline property — structurally different
+   semantically-equivalent variants normalize to the same canonical form *)
+
+let gemm_variant_1 =
+  {|void gemm(int ni, int nj, int nk, double alpha, double beta,
+              double C[ni][nj], double A[ni][nk], double B[nk][nj]) {
+      for (int i = 0; i < ni; i++) {
+        for (int j = 0; j < nj; j++)
+          C[i][j] *= beta;
+        for (int k = 0; k < nk; k++)
+          for (int j = 0; j < nj; j++)
+            C[i][j] += alpha * A[i][k] * B[k][j];
+      }
+    }|}
+
+let gemm_variant_2 =
+  {|void gemm(int ni, int nj, int nk, double alpha, double beta,
+              double C[ni][nj], double A[ni][nk], double B[nk][nj]) {
+      for (int i = 0; i < ni; i++) {
+        for (int j = 0; j < nj; j++)
+          C[i][j] *= beta;
+        for (int j = 0; j < nj; j++)
+          for (int k = 0; k < nk; k++)
+            C[i][j] += alpha * A[i][k] * B[k][j];
+      }
+    }|}
+
+let test_pipeline_gemm_variants_converge () =
+  let sizes = [ ("ni", 64); ("nj", 80); ("nk", 96) ] in
+  let n1 = Pipeline.normalize ~sizes (lower gemm_variant_1) in
+  let n2 = Pipeline.normalize ~sizes (lower gemm_variant_2) in
+  Alcotest.(check bool) "same canonical form" true
+    (Ir.equal_structure n1.Ir.body n2.Ir.body)
+
+let test_pipeline_gemm_semantics () =
+  let sizes_l = [ ("ni", 64); ("nj", 80); ("nk", 96) ] in
+  let run_sizes = [ ("ni", 7); ("nj", 8); ("nk", 9) ] in
+  let p = lower gemm_variant_2 in
+  let n = Pipeline.normalize ~sizes:sizes_l p in
+  check_equiv ~sizes:run_sizes p n
+
+let test_pipeline_report () =
+  let p = lower gemm_variant_2 in
+  let _, report =
+    Pipeline.run
+      ~options:
+        (Pipeline.default_options
+           ~sizes:[ ("ni", 64); ("nj", 80); ("nk", 96) ]
+           ())
+      p
+  in
+  Alcotest.(check int) "nests after fission" 2 report.Pipeline.fission_nests_after;
+  Alcotest.(check bool) "some permutation happened" true
+    (report.Pipeline.permuted_nests >= 1)
+
+(* property: pipeline preserves semantics on random loop programs is covered
+   in test_property.ml with a program generator *)
+
+let suite =
+  [
+    ("iter-norm offset", `Quick, test_iter_norm_offset);
+    ("iter-norm step", `Quick, test_iter_norm_step);
+    ("iter-norm downward", `Quick, test_iter_norm_downward);
+    ("iter-norm triangular", `Quick, test_iter_norm_nested_dependent);
+    ("fission fig3 structure", `Quick, test_fission_fig3);
+    ("fission fig3 semantics", `Quick, test_fission_fig3_semantics);
+    ("fission with forward dep", `Quick, test_fission_respects_dependence);
+    ("fission keeps cycles fused", `Quick, test_fission_keeps_cycles_fused);
+    ("fission gemm", `Quick, test_fission_gemm);
+    ("fission three statements", `Quick, test_fission_reordering_legal);
+    ("scalar expansion cloudsc", `Quick, test_scalar_expansion_cloudsc_pattern);
+    ("scalar expansion live-in blocked", `Quick, test_scalar_expansion_skips_live_in);
+    ("scalar expansion guarded blocked", `Quick, test_scalar_expansion_skips_guarded_write);
+    ("stride-min fig3c", `Quick, test_stride_min_fig3);
+    ("stride-min already optimal", `Quick, test_stride_min_already_optimal);
+    ("stride-min legality", `Quick, test_stride_min_respects_legality);
+    ("stride-min triangular", `Quick, test_stride_min_triangular_not_expressible);
+    ("stride-min 3d", `Quick, test_stride_min_3d);
+    ("pipeline gemm variants converge", `Quick, test_pipeline_gemm_variants_converge);
+    ("pipeline gemm semantics", `Quick, test_pipeline_gemm_semantics);
+    ("pipeline report", `Quick, test_pipeline_report);
+  ]

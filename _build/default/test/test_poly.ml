@@ -1,0 +1,341 @@
+(** Tests for the poly library: expressions, affine forms, Fourier–Motzkin. *)
+
+open Daisy_poly
+module Util = Daisy_support.Util
+
+let env_of = List.fold_left (fun m (k, v) -> Util.SMap.add k v m) Util.SMap.empty
+
+(* ------------------------------------------------------------------ *)
+(* Expr *)
+
+let test_expr_fold () =
+  let e = Expr.(add (const 2) (const 3)) in
+  Alcotest.(check int) "2+3" 5 (Expr.eval Util.SMap.empty e);
+  let e = Expr.(mul (var "n") (const 0)) in
+  Alcotest.(check bool) "n*0 folds to 0" true (Expr.equal e Expr.zero);
+  let e = Expr.(sub (var "i") (var "i")) in
+  Alcotest.(check bool) "i-i folds to 0" true (Expr.equal e Expr.zero)
+
+let test_expr_eval () =
+  let env = env_of [ ("i", 7); ("n", 100) ] in
+  let e = Expr.(add (mul (const 3) (var "i")) (sub (var "n") (const 1))) in
+  Alcotest.(check int) "3i + n - 1" 120 (Expr.eval env e);
+  (* floor semantics for negative operands *)
+  Alcotest.(check int) "-7 fdiv 2" (-4)
+    (Expr.eval Util.SMap.empty Expr.(div (const (-7)) (const 2)));
+  Alcotest.(check int) "-7 fmod 2" 1
+    (Expr.eval Util.SMap.empty Expr.(md (const (-7)) (const 2)))
+
+let test_expr_subst () =
+  let e = Expr.(add (var "i") (mul (var "j") (const 2))) in
+  let e' = Expr.subst1 "i" (Expr.const 5) e in
+  Alcotest.(check int) "subst i=5, j=3" 11 (Expr.eval (env_of [ ("j", 3) ]) e')
+
+let test_expr_free_vars () =
+  let e = Expr.(min_ (add (var "i") (var "n")) (var "m")) in
+  let fv = Expr.free_vars e in
+  Alcotest.(check (list string)) "free vars" [ "i"; "m"; "n" ]
+    (Util.SSet.elements fv)
+
+let test_expr_pp () =
+  let e = Expr.(Mul (Add (Var "i", Const 1), Var "n")) in
+  Alcotest.(check string) "parenthesization" "(i + 1) * n" (Expr.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Affine *)
+
+let test_affine_of_expr () =
+  let e = Expr.(add (mul (const 3) (var "i")) (sub (var "j") (const 4))) in
+  match Affine.of_expr e with
+  | None -> Alcotest.fail "should be affine"
+  | Some a ->
+      Alcotest.(check int) "coeff i" 3 (Affine.coeff "i" a);
+      Alcotest.(check int) "coeff j" 1 (Affine.coeff "j" a);
+      Alcotest.(check int) "const" (-4) a.Affine.const
+
+let test_affine_nonaffine () =
+  let e = Expr.(mul (var "i") (var "j")) in
+  Alcotest.(check bool) "i*j not affine" true (Affine.of_expr e = None);
+  let e = Expr.(md (var "i") (const 2)) in
+  Alcotest.(check bool) "i mod 2 not affine" true (Affine.of_expr e = None)
+
+let test_affine_roundtrip () =
+  let e = Expr.(add (mul (const 2) (var "x")) (const 7)) in
+  match Affine.of_expr e with
+  | None -> Alcotest.fail "affine"
+  | Some a ->
+      let env = env_of [ ("x", 9) ] in
+      Alcotest.(check int) "eval matches" (Expr.eval env e)
+        (Expr.eval env (Affine.to_expr a))
+
+let test_affine_subst () =
+  (* substitute j := i + 1 into 2j + 3 -> 2i + 5 *)
+  let a = Affine.add (Affine.var ~coeff:2 "j") (Affine.const 3) in
+  let repl = Affine.add (Affine.var "i") (Affine.const 1) in
+  let a' = Affine.subst "j" repl a in
+  Alcotest.(check int) "coeff i" 2 (Affine.coeff "i" a');
+  Alcotest.(check int) "const" 5 a'.Affine.const
+
+(* ------------------------------------------------------------------ *)
+(* System: emptiness *)
+
+let test_system_simple_empty () =
+  (* x >= 5 and x <= 3 *)
+  let x = Affine.var "x" in
+  let sys =
+    System.empty_sys
+    |> System.ge x (Affine.const 5)
+    |> System.le x (Affine.const 3)
+  in
+  Alcotest.(check bool) "empty" true (System.is_empty sys)
+
+let test_system_simple_nonempty () =
+  let x = Affine.var "x" in
+  let sys =
+    System.empty_sys
+    |> System.ge x (Affine.const 0)
+    |> System.le x (Affine.const 10)
+  in
+  Alcotest.(check bool) "non-empty" false (System.is_empty sys)
+
+let test_system_eq_gcd () =
+  (* 2x = 1 has no integer solution *)
+  let sys = System.eq (Affine.var ~coeff:2 "x") (Affine.const 1) System.empty_sys in
+  Alcotest.(check bool) "2x=1 empty over Z" true (System.is_empty sys)
+
+let test_system_two_vars () =
+  (* x + y = 10, x >= 6, y >= 6 -> empty *)
+  let x = Affine.var "x" and y = Affine.var "y" in
+  let sys =
+    System.empty_sys
+    |> System.eq (Affine.add x y) (Affine.const 10)
+    |> System.ge x (Affine.const 6)
+    |> System.ge y (Affine.const 6)
+  in
+  Alcotest.(check bool) "empty" true (System.is_empty sys);
+  let sys2 =
+    System.empty_sys
+    |> System.eq (Affine.add x y) (Affine.const 10)
+    |> System.ge x (Affine.const 4)
+    |> System.ge y (Affine.const 4)
+  in
+  Alcotest.(check bool) "non-empty" false (System.is_empty sys2)
+
+let test_system_bounds () =
+  (* 0 <= x <= 9 and x = y, 3 <= y -> bounds of x are [3, 9] *)
+  let x = Affine.var "x" and y = Affine.var "y" in
+  let sys =
+    System.empty_sys
+    |> System.ge x (Affine.const 0)
+    |> System.le x (Affine.const 9)
+    |> System.eq x y
+    |> System.ge y (Affine.const 3)
+  in
+  let lo, hi = System.const_bounds "x" sys in
+  Alcotest.(check (option int)) "lower" (Some 3) lo;
+  Alcotest.(check (option int)) "upper" (Some 9) hi
+
+let test_system_rational_tightening () =
+  (* 2x >= 1 and 2x <= 3 has rational solutions but over Z tightens to
+     x >= 1 and x <= 1 -> non-empty (x = 1) *)
+  let sys =
+    System.empty_sys
+    |> System.add_ineq (Affine.add (Affine.var ~coeff:2 "x") (Affine.const (-1)))
+    |> System.add_ineq (Affine.add (Affine.var ~coeff:(-2) "x") (Affine.const 3))
+  in
+  Alcotest.(check bool) "x=1 exists" false (System.is_empty sys);
+  (* 4x >= 1 and 4x <= 3 -> no integer x *)
+  let sys2 =
+    System.empty_sys
+    |> System.add_ineq (Affine.add (Affine.var ~coeff:4 "x") (Affine.const (-1)))
+    |> System.add_ineq (Affine.add (Affine.var ~coeff:(-4) "x") (Affine.const 3))
+  in
+  Alcotest.(check bool) "1/4 <= x <= 3/4 empty over Z" true (System.is_empty sys2)
+
+(* ------------------------------------------------------------------ *)
+(* Property-based: FM emptiness vs brute force on a box *)
+
+let qcheck_fm_vs_brute =
+  let gen_affine =
+    QCheck.Gen.(
+      let* c = int_range (-8) 8 in
+      let* ci = int_range (-3) 3 in
+      let* cj = int_range (-3) 3 in
+      return
+        (Affine.add
+           (Affine.add (Affine.var ~coeff:ci "i") (Affine.var ~coeff:cj "j"))
+           (Affine.const c)))
+  in
+  let gen_sys =
+    QCheck.Gen.(
+      let* n_ineq = int_range 1 4 in
+      let* ineqs = list_size (return n_ineq) gen_affine in
+      let* with_eq = bool in
+      let* eq = gen_affine in
+      (* bound the box so brute force and FM agree on the domain *)
+      let box_constraints v =
+        [ Affine.add (Affine.var v) (Affine.const 6) (* v >= -6 *);
+          Affine.add (Affine.var ~coeff:(-1) v) (Affine.const 6) (* v <= 6 *) ]
+      in
+      let sys =
+        {
+          System.eqs = (if with_eq then [ eq ] else []);
+          ineqs = ineqs @ box_constraints "i" @ box_constraints "j";
+        }
+      in
+      return sys)
+  in
+  QCheck.Test.make ~count:300
+    ~name:"FM emptiness conservative vs brute force on box"
+    (QCheck.make gen_sys) (fun sys ->
+      let brute = System.has_point_in_box ~box:(-6, 6) sys in
+      let fm_empty = System.is_empty sys in
+      (* soundness: if brute force finds a point, FM must not claim empty *)
+      if brute then not fm_empty else true)
+
+let qcheck_fm_exact_rational =
+  (* for unit-coefficient systems FM + gcd is exact: is_empty must agree
+     with brute force in both directions *)
+  let gen_affine =
+    QCheck.Gen.(
+      let* c = int_range (-6) 6 in
+      let* ci = int_range (-1) 1 in
+      let* cj = int_range (-1) 1 in
+      return
+        (Affine.add
+           (Affine.add (Affine.var ~coeff:ci "i") (Affine.var ~coeff:cj "j"))
+           (Affine.const c)))
+  in
+  let gen_sys =
+    QCheck.Gen.(
+      let* n_ineq = int_range 1 4 in
+      let* ineqs = list_size (return n_ineq) gen_affine in
+      let box v =
+        [ Affine.add (Affine.var v) (Affine.const 5);
+          Affine.add (Affine.var ~coeff:(-1) v) (Affine.const 5) ]
+      in
+      return { System.eqs = []; ineqs = ineqs @ box "i" @ box "j" })
+  in
+  QCheck.Test.make ~count:300 ~name:"FM exact for unit coefficients"
+    (QCheck.make gen_sys) (fun sys ->
+      let brute = System.has_point_in_box ~box:(-5, 5) sys in
+      let fm_empty = System.is_empty sys in
+      brute = not fm_empty)
+
+let test_system_symbolic_params () =
+  (* i in [0, n-1], i' in [0, n-1], i = i' + n: no solution when also
+     i <= n - 1 and i' >= 0 force i - i' <= n - 1 < n *)
+  let i = Affine.var "i" and i' = Affine.var "i2" and nv = Affine.var "n" in
+  let sys =
+    System.empty_sys
+    |> System.ge i (Affine.const 0)
+    |> System.le i (Affine.add nv (Affine.const (-1)))
+    |> System.ge i' (Affine.const 0)
+    |> System.le i' (Affine.add nv (Affine.const (-1)))
+    |> System.eq i (Affine.add i' nv)
+  in
+  Alcotest.(check bool) "cross-extent alias impossible" true
+    (System.is_empty sys);
+  (* but i = i' + 1 is feasible for n >= 2 *)
+  let sys2 =
+    System.empty_sys
+    |> System.ge i (Affine.const 0)
+    |> System.le i (Affine.add nv (Affine.const (-1)))
+    |> System.ge i' (Affine.const 0)
+    |> System.le i' (Affine.add nv (Affine.const (-1)))
+    |> System.eq i (Affine.add i' (Affine.const 1))
+  in
+  Alcotest.(check bool) "distance-1 alias feasible" false
+    (System.is_empty sys2)
+
+let test_system_unbounded () =
+  let x = Affine.var "x" in
+  let sys = System.ge x (Affine.const 3) System.empty_sys in
+  let lo, hi = System.const_bounds "x" sys in
+  Alcotest.(check (option int)) "lower" (Some 3) lo;
+  Alcotest.(check (option int)) "upper unbounded" None hi
+
+let qcheck_fastpath_sound =
+  (* whenever the ZIV/SIV/GCD fast path claims two subscripts never alias,
+     the exact FM system over a shared domain must be empty *)
+  let module F = Daisy_dependence.Fastpath in
+  let gen_pair =
+    QCheck.Gen.(
+      let* a = int_range (-3) 3 in
+      let* c1 = int_range (-6) 6 in
+      let* c2 = int_range (-6) 6 in
+      let* a2 = oneofl [ a; a + 1; 2 * a ] in
+      return
+        ( Affine.add (Affine.var ~coeff:a "i") (Affine.const c1),
+          Affine.add (Affine.var ~coeff:a2 "i") (Affine.const c2) ))
+  in
+  QCheck.Test.make ~count:300 ~name:"fastpath independence implies FM empty"
+    (QCheck.make gen_pair) (fun (s1, s2) ->
+      match F.subscript_pair ~extent:8 s1 s2 with
+      | `Independent ->
+          (* i and i' both in [0, 7], s1(i) = s2(i') *)
+          let rename suffix a = Affine.rename (fun v -> v ^ suffix) a in
+          let dom v sys =
+            sys
+            |> System.ge (Affine.var v) (Affine.const 0)
+            |> System.le (Affine.var v) (Affine.const 7)
+          in
+          let sys =
+            System.empty_sys |> dom "i_s" |> dom "i_d"
+            |> System.eq (rename "_s" s1) (rename "_d" s2)
+          in
+          System.is_empty sys
+      | _ -> true)
+
+let qcheck_expr_constructors =
+  (* smart constructors (with folding) agree with the naive AST under
+     evaluation *)
+  let gen_expr =
+    QCheck.Gen.(
+      sized @@ fix (fun self n ->
+          if n <= 0 then
+            oneof [ map Expr.const (int_range (-9) 9);
+                    oneofl Expr.[ var "i"; var "j" ] ]
+          else
+            let sub = self (n / 2) in
+            oneof
+              [ (let* a = sub in let* b = sub in return (Expr.add a b));
+                (let* a = sub in let* b = sub in return (Expr.sub a b));
+                (let* a = sub in let* b = sub in return (Expr.mul a b));
+                (let* a = sub in let* b = sub in return (Expr.min_ a b));
+                (let* a = sub in let* b = sub in return (Expr.max_ a b));
+                map Expr.neg sub ]))
+  in
+  QCheck.Test.make ~count:200 ~name:"smart constructors sound under subst+eval"
+    (QCheck.make ~print:Expr.to_string gen_expr)
+    (fun e ->
+      let env = env_of [ ("i", 5); ("j", -3) ] in
+      (* substitute then evaluate = evaluate the substituted form *)
+      let e' = Expr.subst (env_of [] |> fun _ ->
+        Util.SMap.add "i" (Expr.const 5) (Util.SMap.singleton "j" (Expr.const (-3)))) e in
+      Expr.eval env e = Expr.eval Util.SMap.empty e')
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_expr_constructors;
+    QCheck_alcotest.to_alcotest qcheck_fastpath_sound;
+    ("system symbolic params", `Quick, test_system_symbolic_params);
+    ("system unbounded bounds", `Quick, test_system_unbounded);
+    ("expr constant folding", `Quick, test_expr_fold);
+    ("expr evaluation", `Quick, test_expr_eval);
+    ("expr substitution", `Quick, test_expr_subst);
+    ("expr free variables", `Quick, test_expr_free_vars);
+    ("expr printing", `Quick, test_expr_pp);
+    ("affine of_expr", `Quick, test_affine_of_expr);
+    ("affine rejects non-affine", `Quick, test_affine_nonaffine);
+    ("affine roundtrip", `Quick, test_affine_roundtrip);
+    ("affine substitution", `Quick, test_affine_subst);
+    ("system 1-var empty", `Quick, test_system_simple_empty);
+    ("system 1-var non-empty", `Quick, test_system_simple_nonempty);
+    ("system gcd test", `Quick, test_system_eq_gcd);
+    ("system 2-var", `Quick, test_system_two_vars);
+    ("system bounds", `Quick, test_system_bounds);
+    ("system integer tightening", `Quick, test_system_rational_tightening);
+    QCheck_alcotest.to_alcotest qcheck_fm_vs_brute;
+    QCheck_alcotest.to_alcotest qcheck_fm_exact_rational;
+  ]
