@@ -7,8 +7,14 @@ module Pb = Daisy_benchmarks.Polybench
 module Variants = Daisy_benchmarks.Variants
 module Cost = Daisy_machine.Cost
 
+module Pool = Daisy_support.Pool
+
 let threads = 12
 let sample = 8
+
+let jobs = ref 1
+(** Worker domains for database seeding (set by [--jobs] in {!Main});
+    results are bit-identical at any job count. *)
 
 let ctx_for (sizes : (string * int) list) : S.Common.ctx =
   S.Common.make_ctx ~threads ~sample_outer:sample ~sizes ()
@@ -31,13 +37,22 @@ let database () : S.Database.t =
   | Some db -> db
   | None ->
       let db = S.Database.create () in
-      Format.printf "  [seeding the scheduling database from A variants...]@.";
-      List.iter
-        (fun (b : Pb.benchmark) ->
-          let ctx = ctx_for b.Pb.sim_sizes in
-          S.Seed.seed_database ~epochs:2 ~population:6 ~iterations:2 ctx ~db
-            [ (b.Pb.name, variant_a b) ])
-        Pb.all;
+      Format.printf "  [seeding the scheduling database from A variants (%d jobs)...]@."
+        (max 1 !jobs);
+      (* each benchmark seeds its own shard (its ctx carries its problem
+         sizes); merging the shards in benchmark order reproduces the
+         sequential database bit-for-bit *)
+      Pool.with_pool ~jobs:!jobs (fun pool ->
+          Pool.map ?pool
+            (fun (b : Pb.benchmark) ->
+              let shard = S.Database.create () in
+              let ctx = ctx_for b.Pb.sim_sizes in
+              S.Seed.seed_database ~epochs:2 ~population:6 ~iterations:2 ?pool
+                ctx ~db:shard
+                [ (b.Pb.name, variant_a b) ];
+              shard)
+            Pb.all
+          |> List.iter (fun shard -> S.Database.merge ~into:db shard));
       Format.printf "  [database ready: %d entries]@." (S.Database.size db);
       shared_db := Some db;
       db

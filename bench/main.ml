@@ -20,10 +20,22 @@ let experiments =
   ]
 
 let () =
+  (* strip a --jobs N / --jobs=N / -j N option before experiment names *)
+  let rec parse_args = function
+    | [] -> []
+    | ("--jobs" | "-j") :: v :: rest ->
+        Harness.jobs := int_of_string v;
+        parse_args rest
+    | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" ->
+        Harness.jobs :=
+          int_of_string (String.sub arg 7 (String.length arg - 7));
+        parse_args rest
+    | name :: rest -> name :: parse_args rest
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map (fun (n, _, _) -> n) experiments
+    match parse_args (List.tl (Array.to_list Sys.argv)) with
+    | [] -> List.map (fun (n, _, _) -> n) experiments
+    | names -> names
   in
   Format.printf
     "daisy experiment harness — reproduction of 'A Priori Loop Nest \

@@ -58,7 +58,57 @@ let benchmarks =
   [ test_parse; test_lift; test_dependence; test_normalize; test_simulate;
     test_interp ]
 
+(* ------------------------------------------------------------------ *)
+(* Parallel database seeding: wall-clock with 1 vs 4 worker domains     *)
+
+let seed_kernels =
+  [ Pb.gemm; Pb.two_mm; Pb.syrk; Pb.gemver; Pb.atax; Pb.bicg; Pb.mvt;
+    Pb.jacobi_2d ]
+
+let seed_wallclock ~jobs =
+  let module S = Daisy_scheduler in
+  let module Pool = Daisy_support.Pool in
+  let t0 = Unix.gettimeofday () in
+  Pool.with_pool ~jobs (fun pool ->
+      Pool.map ?pool
+        (fun (b : Pb.benchmark) ->
+          let shard = S.Database.create () in
+          let ctx =
+            S.Common.make_ctx ~threads:12 ~sample_outer:12
+              ~sizes:b.Pb.sim_sizes ()
+          in
+          S.Seed.seed_database ~epochs:3 ~population:8 ~iterations:3 ?pool ctx
+            ~db:shard
+            [ (b.Pb.name, Pb.program b) ];
+          shard)
+        seed_kernels
+      |> List.map S.Database.entries)
+  |> fun entries ->
+  (Unix.gettimeofday () -. t0, List.concat entries)
+
+let seed_speedup () =
+  Format.printf "@.Database seeding wall-clock (%d kernels, 3 epochs)@."
+    (List.length seed_kernels);
+  let t1, e1 = seed_wallclock ~jobs:1 in
+  let t4, e4 = seed_wallclock ~jobs:4 in
+  Format.printf "  --jobs 1: %8.3f s@." t1;
+  Format.printf "  --jobs 4: %8.3f s   (speedup %.2fx on %d cores)@." t4
+    (t1 /. t4)
+    (Domain.recommended_domain_count ());
+  let identical =
+    List.length e1 = List.length e4
+    && List.for_all2
+         (fun (a : Daisy_scheduler.Database.entry) b ->
+           String.equal a.Daisy_scheduler.Database.source
+             b.Daisy_scheduler.Database.source
+           && Daisy_transforms.Recipe.equal a.Daisy_scheduler.Database.recipe
+                b.Daisy_scheduler.Database.recipe)
+         e1 e4
+  in
+  Format.printf "  parallel == sequential entries: %b@." identical
+
 let run () =
+  seed_speedup ();
   Format.printf "@.Toolchain micro-benchmarks (bechamel)@.";
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in

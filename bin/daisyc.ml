@@ -66,6 +66,11 @@ let defines_arg =
 let threads_arg =
   Arg.(value & opt int 12 & info [ "j"; "threads" ] ~doc:"Simulated core count.")
 
+let jobs_arg =
+  Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N"
+         ~doc:"Worker domains for parallel search/seeding (results are \
+               bit-identical at any job count; see docs/parallelism.md).")
+
 (* ---------------- commands ---------------- *)
 
 let parse_cmd =
@@ -103,13 +108,15 @@ let normalize_cmd =
     Term.(const run $ file_arg $ defines_arg)
 
 let schedule_cmd =
-  let run file defs threads =
+  let run file defs threads jobs =
     let p = load file in
     let sizes = sizes_of defs p in
     let ctx = S.Common.make_ctx ~threads ~sizes () in
     let db = S.Database.create () in
-    S.Seed.seed_database ~epochs:1 ~population:6 ~iterations:2 ctx ~db
-      [ (p.Ir.pname, p) ];
+    Daisy.Support.Pool.with_pool ~jobs (fun pool ->
+        S.Seed.seed_database ~epochs:1 ~population:6 ~iterations:2 ?pool ctx
+          ~db
+          [ (p.Ir.pname, p) ]);
     let report = S.Daisy.schedule ctx ~db p in
     List.iter
       (fun d -> Fmt.pr "  %a@." S.Daisy.pp_decision d)
@@ -123,16 +130,18 @@ let schedule_cmd =
   in
   Cmd.v
     (Cmd.info "schedule" ~doc:"Normalize, auto-schedule and simulate a kernel")
-    Term.(const run $ file_arg $ defines_arg $ threads_arg)
+    Term.(const run $ file_arg $ defines_arg $ threads_arg $ jobs_arg)
 
 let bench_cmd =
-  let run file defs threads =
+  let run file defs threads jobs =
     let p = load file in
     let sizes = sizes_of defs p in
     let ctx = S.Common.make_ctx ~threads ~sizes () in
     let db = S.Database.create () in
-    S.Seed.seed_database ~epochs:1 ~population:6 ~iterations:2 ctx ~db
-      [ (p.Ir.pname, p) ];
+    Daisy.Support.Pool.with_pool ~jobs (fun pool ->
+        S.Seed.seed_database ~epochs:1 ~population:6 ~iterations:2 ?pool ctx
+          ~db
+          [ (p.Ir.pname, p) ]);
     Fmt.pr "%-10s %10s@." "scheduler" "ms";
     List.iter
       (fun (name, prog) ->
@@ -151,7 +160,7 @@ let bench_cmd =
       ]
   in
   Cmd.v (Cmd.info "bench" ~doc:"Compare all scheduler models on a kernel")
-    Term.(const run $ file_arg $ defines_arg $ threads_arg)
+    Term.(const run $ file_arg $ defines_arg $ threads_arg $ jobs_arg)
 
 let reuse_cmd =
   let run file defs =
@@ -172,14 +181,15 @@ let reuse_cmd =
     Term.(const run $ file_arg $ defines_arg)
 
 let polybench_cmd =
-  let run name threads =
+  let run name threads jobs =
     let module Pb = Daisy.Benchmarks.Polybench in
     let b = try Pb.find name with Invalid_argument m -> Fmt.epr "%s@." m; exit 1 in
     let p = Pb.program b in
     let ctx = S.Common.make_ctx ~threads ~sizes:b.Pb.sim_sizes () in
     let db = S.Database.create () in
-    S.Seed.seed_database ~epochs:1 ~population:6 ~iterations:2 ctx ~db
-      [ (name, p) ];
+    Daisy.Support.Pool.with_pool ~jobs (fun pool ->
+        S.Seed.seed_database ~epochs:1 ~population:6 ~iterations:2 ?pool ctx
+          ~db [ (name, p) ]);
     let bv = Daisy.Benchmarks.Variants.generate ~seed:("bvariant-" ^ name) p in
     Fmt.pr "%-10s %12s %12s@." "scheduler" "A [ms]" "B [ms]";
     let row label fa fb =
@@ -205,7 +215,7 @@ let polybench_cmd =
   Cmd.v
     (Cmd.info "polybench"
        ~doc:"Run a built-in benchmark (A and generated B variant) across all              schedulers")
-    Term.(const run $ name_arg $ threads_arg)
+    Term.(const run $ name_arg $ threads_arg $ jobs_arg)
 
 let variant_cmd =
   let run file seed =

@@ -108,11 +108,11 @@ type program = {
 (* ------------------------------------------------------------------ *)
 (* Fresh ids                                                            *)
 
-let id_counter = ref 0
+(* atomic so transformations may rebuild nodes concurrently on several
+   domains (Support.Pool) without ever handing out a duplicate id *)
+let id_counter = Atomic.make 0
 
-let fresh_id () =
-  incr id_counter;
-  !id_counter
+let fresh_id () = Atomic.fetch_and_add id_counter 1 + 1
 
 let mk_comp ?guard dest rhs = { cid = fresh_id (); dest; rhs; guard }
 

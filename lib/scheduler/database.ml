@@ -33,6 +33,14 @@ let add db ~source ~(nest : Ir.loop) ~(recipe : Recipe.t) =
     }
     :: db.entries
 
+let entries db = db.entries
+
+(** [merge ~into src] — append the entries of [src] to [into], exactly as
+    if [src]'s adds had been replayed on [into] in their original order.
+    Lets independent shards be seeded in parallel and combined in a fixed
+    order, reproducing the sequential database bit-for-bit. *)
+let merge ~into src = into.entries <- src.entries @ into.entries
+
 (** [query db ~k nest] — the [k] entries nearest to [nest] in embedding
     space (closest first). *)
 let query db ~k (nest : Ir.loop) : (float * entry) list =

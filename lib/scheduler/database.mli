@@ -21,6 +21,13 @@ val add :
   recipe:Daisy_transforms.Recipe.t ->
   unit
 
+val entries : t -> entry list
+(** All entries, most recently added first. *)
+
+val merge : into:t -> t -> unit
+(** [merge ~into src] appends [src]'s entries to [into] as if [src]'s adds
+    had been replayed on [into] in order (for parallel shard seeding). *)
+
 val query : t -> k:int -> Daisy_loopir.Ir.loop -> (float * entry) list
 (** The [k] nearest entries in embedding space, closest first. *)
 

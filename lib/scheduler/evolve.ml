@@ -4,20 +4,71 @@
     refined through mutation + selection with the simulated runtime as
     fitness. Later epochs re-seed from the best recipes of the most similar
     loop nests (transfer between nests) — implemented in
-    {!Seed.seed_database}. *)
+    {!Seed.seed_database}.
+
+    Fitness evaluations within a generation are independent, so they are
+    the unit of parallelism: pass [?pool] to score the population across
+    domains. All stochastic decisions (mutation, crossover) stay on the
+    submitting thread and draw from the caller's [rng] in a fixed order,
+    and {!Daisy_support.Pool.map} preserves list order, so parallel and
+    sequential searches return bit-identical results. *)
 
 open Daisy_support
 module Ir = Daisy_loopir.Ir
 module Recipe = Daisy_transforms.Recipe
 module Legality = Daisy_dependence.Legality
 
-type fitness_cache = (int * string, float) Hashtbl.t
+(** Everything the simulated runtime of a candidate depends on (besides
+    the shared ctx): the canonical nest structure plus the declarations
+    the cost model's memory layout reads. The key must be {e exact} — a
+    lossy hash (like [Ir.hash_structure], which truncates deep trees)
+    would let two different nests collide, and then the cached value
+    would depend on which nest was evaluated first: deterministic-but-
+    wrong sequentially, racy under a pool. [Hashtbl]'s structural key
+    equality resolves hash-bucket collisions exactly. *)
+type fitness_key = {
+  canon : Ir.node list;
+  arrays : Ir.array_decl list;
+  local_scalars : string list;
+  scalar_params : string list;
+  recipe : string;
+}
+
+(** Fitness memoization guarded by a mutex so concurrent workers can share
+    it; values are pure functions of the key, so racing recomputations
+    store the same float and cache contents stay deterministic at any job
+    count. *)
+type fitness_cache = {
+  tbl : (fitness_key, float) Hashtbl.t;
+  lock : Mutex.t;
+}
+
+let create_cache ?(size = 64) () =
+  { tbl = Hashtbl.create size; lock = Mutex.create () }
+
+let cache_find cache key =
+  Mutex.lock cache.lock;
+  let v = Hashtbl.find_opt cache.tbl key in
+  Mutex.unlock cache.lock;
+  v
+
+let cache_store cache key v =
+  Mutex.lock cache.lock;
+  Hashtbl.replace cache.tbl key v;
+  Mutex.unlock cache.lock
 
 let eval_cached (cache : fitness_cache) (ctx : Common.ctx) ~outer
     (p : Ir.program) (nest : Ir.loop) (r : Recipe.t) : float =
-  let key = (Ir.hash_structure [ Common.wrap_outer outer (Ir.Nloop nest) ],
-             Recipe.to_string r) in
-  match Hashtbl.find_opt cache key with
+  let key =
+    {
+      canon = Ir.canon_nodes [ Common.wrap_outer outer (Ir.Nloop nest) ];
+      arrays = p.Ir.arrays;
+      local_scalars = p.Ir.local_scalars;
+      scalar_params = p.Ir.scalar_params;
+      recipe = Recipe.to_string r;
+    }
+  in
+  match cache_find cache key with
   | Some t -> t
   | None ->
       let t =
@@ -27,17 +78,20 @@ let eval_cached (cache : fitness_cache) (ctx : Common.ctx) ~outer
             Common.nest_runtime_ms ctx p
               (Common.wrap_outer outer (Ir.Nloop nest'))
       in
-      Hashtbl.replace cache key t;
+      cache_store cache key t;
       t
 
 (** [search ctx p nest ~seeds ~rng] — refine a population of recipes for
     [nest]. Returns the best recipe and its fitness (ms). *)
-let search ?(population = 8) ?(iterations = 3) ?(cache = Hashtbl.create 64)
+let search ?(population = 8) ?(iterations = 3) ?cache ?pool
     ?(outer = []) (ctx : Common.ctx) (p : Ir.program) (nest : Ir.loop)
     ~(seeds : Recipe.t list) ~(rng : Rng.t) : Recipe.t * float =
+  let cache = match cache with Some c -> c | None -> create_cache () in
   let band, _ = Legality.perfect_band nest in
   let band_size = List.length band in
-  let fitness r = eval_cached cache ctx ~outer p nest r in
+  let score pop =
+    Pool.map ?pool (fun r -> (eval_cached cache ctx ~outer p nest r, r)) pop
+  in
   let initial =
     Util.dedup ~eq:Recipe.equal (([] : Recipe.t) :: seeds) |> Util.take population
   in
@@ -45,8 +99,7 @@ let search ?(population = 8) ?(iterations = 3) ?(cache = Hashtbl.create 64)
     if gen >= iterations then pop
     else begin
       let scored =
-        List.map (fun r -> (fitness r, r)) pop
-        |> List.sort (fun (a, _) (b, _) -> compare a b)
+        score pop |> List.sort (fun (a, _) (b, _) -> compare a b)
       in
       let survivors = Util.take (max 2 (population / 2)) scored in
       let parents = List.map snd survivors in
@@ -64,12 +117,23 @@ let search ?(population = 8) ?(iterations = 3) ?(cache = Hashtbl.create 64)
     end
   in
   let final = refine 0 initial in
+  (* Final selection: score every survivor (plus the empty recipe, so the
+     search never returns worse-than-unoptimized) exactly once, then take
+     the minimum by (fitness, printed recipe). The string tie-break makes
+     the winner independent of population order, so sequential and
+     parallel runs cannot diverge on fitness ties. *)
+  let candidates = Util.dedup ~eq:Recipe.equal (([] : Recipe.t) :: final) in
   let best =
-    List.fold_left
-      (fun (bt, br) r ->
-        let t = fitness r in
-        if t < bt then (t, r) else (bt, br))
-      (fitness [], [])
-      final
+    match score candidates with
+    | [] -> assert false (* candidates always contains [] *)
+    | first :: rest ->
+        List.fold_left
+          (fun ((bt, br) as acc) (t, r) ->
+            if
+              t < bt
+              || (t = bt && Recipe.to_string r < Recipe.to_string br)
+            then (t, r)
+            else acc)
+          first rest
   in
   (snd best, fst best)

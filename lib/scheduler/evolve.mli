@@ -1,12 +1,19 @@
 (** Evolutionary recipe search (paper §4): populations of recipes refined
-    by mutation + crossover with the simulated runtime as fitness. *)
+    by mutation + crossover with the simulated runtime as fitness.
+    Fitness evaluations are independent and can be scored in parallel via
+    [?pool]; results are bit-identical to the sequential path. *)
 
-type fitness_cache = (int * string, float) Hashtbl.t
+type fitness_cache
+(** Thread-safe fitness memoization, shareable across searches (and across
+    pool workers). *)
+
+val create_cache : ?size:int -> unit -> fitness_cache
 
 val search :
   ?population:int ->
   ?iterations:int ->
   ?cache:fitness_cache ->
+  ?pool:Daisy_support.Pool.t ->
   ?outer:Daisy_loopir.Ir.loop list ->
   Common.ctx ->
   Daisy_loopir.Ir.program ->

@@ -3,7 +3,13 @@
     by {!Daisy_blas.Patterns} at scheduling time); the rest are optimized by
     the evolutionary search — epoch 1 seeded from Tiramisu-style proposals,
     epochs 2 and 3 re-seeded from the current best recipes of the ten most
-    similar loop nests (Euclidean distance of performance embeddings). *)
+    similar loop nests (Euclidean distance of performance embeddings).
+
+    Each epoch reads the best recipes as they stood at the {e start} of the
+    epoch and commits all updates at the end (Jacobi-style, not
+    Gauss-Seidel): every nest's search within an epoch is then independent
+    of the others, which is what lets [?pool] evolve them on parallel
+    domains with results bit-identical to the sequential path. *)
 
 open Daisy_support
 module Ir = Daisy_loopir.Ir
@@ -24,10 +30,10 @@ type nest_state = {
 
 (** [seed_database ctx ~db programs] — normalize each (label, program),
     drop BLAS-matched nests, evolve recipes for the rest, store them. *)
-let seed_database ?(epochs = 3) ?(population = 8) ?(iterations = 3)
+let seed_database ?(epochs = 3) ?(population = 8) ?(iterations = 3) ?pool
     (ctx : Common.ctx) ~(db : Database.t)
     (programs : (string * Ir.program) list) : unit =
-  let cache = Hashtbl.create 256 in
+  let cache = Evolve.create_cache ~size:256 () in
   let states =
     List.concat_map
       (fun (label, p) ->
@@ -49,42 +55,46 @@ let seed_database ?(epochs = 3) ?(population = 8) ?(iterations = 3)
                }))
       programs
   in
-  (* epoch 1: Tiramisu-style seeds *)
-  List.iter
-    (fun st ->
-      let rng = Rng.of_string ("seed-epoch1-" ^ st.label) in
-      let seeds = Tiramisu.proposals st.nest in
-      let best, ms =
-        Evolve.search ~population ~iterations ~cache ~outer:st.outer ctx
-          st.program st.nest ~seeds ~rng
-      in
-      st.best <- best;
-      st.best_ms <- ms)
-    states;
-  (* epochs 2..n: re-seed from the ten most similar nests *)
-  for epoch = 2 to epochs do
-    List.iter
-      (fun st ->
-        let rng = Rng.of_string (Printf.sprintf "seed-epoch%d-%s" epoch st.label) in
-        let neighbours =
-          Embedding.nearest 10
-            (List.filter_map
-               (fun o ->
-                 if o == st then None else Some (o.embedding, o.best))
-               states)
-            st.embedding
-          |> List.map snd
-        in
-        let seeds = st.best :: neighbours in
-        let best, ms =
-          Evolve.search ~population ~iterations ~cache ~outer:st.outer ctx
-            st.program st.nest ~seeds ~rng
-        in
+  (* one epoch: evolve every nest from its epoch-start seeds in parallel,
+     then commit the improvements *)
+  let run_epoch (seeds_for : nest_state -> Rng.t * Recipe.t list) : unit =
+    let results =
+      Pool.map ?pool
+        (fun st ->
+          let rng, seeds = seeds_for st in
+          Evolve.search ~population ~iterations ~cache ?pool ~outer:st.outer
+            ctx st.program st.nest ~seeds ~rng)
+        states
+    in
+    List.iter2
+      (fun st (best, ms) ->
         if ms < st.best_ms then begin
           st.best <- best;
           st.best_ms <- ms
         end)
-      states
+      states results
+  in
+  (* epoch 1: Tiramisu-style seeds *)
+  run_epoch (fun st ->
+      (Rng.of_string ("seed-epoch1-" ^ st.label), Tiramisu.proposals st.nest));
+  (* epochs 2..n: re-seed from the ten most similar nests (snapshot of the
+     bests at epoch start) *)
+  for epoch = 2 to epochs do
+    let snapshot = List.map (fun o -> (o, o.embedding, o.best)) states in
+    run_epoch (fun st ->
+        let rng =
+          Rng.of_string (Printf.sprintf "seed-epoch%d-%s" epoch st.label)
+        in
+        let neighbours =
+          Embedding.nearest 10
+            (List.filter_map
+               (fun (o, emb, best) ->
+                 if o == st then None else Some (emb, best))
+               snapshot)
+            st.embedding
+          |> List.map snd
+        in
+        (rng, st.best :: neighbours))
   done;
   List.iter
     (fun st -> Database.add db ~source:st.label ~nest:st.nest ~recipe:st.best)

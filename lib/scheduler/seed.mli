@@ -7,7 +7,11 @@ val seed_database :
   ?epochs:int ->
   ?population:int ->
   ?iterations:int ->
+  ?pool:Daisy_support.Pool.t ->
   Common.ctx ->
   db:Database.t ->
   (string * Daisy_loopir.Ir.program) list ->
   unit
+(** Every epoch evaluates all nests against a snapshot of the bests taken
+    at the start of the epoch, so [?pool] parallelizes the per-nest
+    searches with results bit-identical to the sequential path. *)

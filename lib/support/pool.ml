@@ -1,0 +1,181 @@
+(** Domain-based work pool (see the interface for the contract).
+
+    Design: one shared FIFO of {e batches}; each batch owns an index cursor
+    into its task array. Workers (and any thread blocked in [map]) claim
+    the next unclaimed index of the front batch, release the lock, run the
+    task, and report completion. A thread that submitted a batch keeps
+    claiming indices of {e its own} batch first and only sleeps when every
+    index is claimed but some are still running elsewhere — so a submitter
+    always makes progress even when all domains are busy, which is what
+    makes nested [map] calls deadlock-free. *)
+
+type batch = {
+  run : int -> unit;  (** execute task [i]; must not raise *)
+  size : int;
+  mutable next : int;  (** next unclaimed index *)
+  mutable completed : int;
+}
+
+type t = {
+  n_workers : int;
+  mutex : Mutex.t;
+  work : Condition.t;  (** new batch available, or shutdown *)
+  finished : Condition.t;  (** some task completed *)
+  pending : batch Queue.t;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let jobs t = t.n_workers
+
+(* All claim/complete bookkeeping happens with [t.mutex] held. *)
+
+let claim_any t : (batch * int) option =
+  let rec go () =
+    if Queue.is_empty t.pending then None
+    else
+      let b = Queue.peek t.pending in
+      if b.next >= b.size then begin
+        (* exhausted by its submitter while still queued *)
+        ignore (Queue.pop t.pending);
+        go ()
+      end
+      else begin
+        let i = b.next in
+        b.next <- i + 1;
+        if b.next >= b.size then ignore (Queue.pop t.pending);
+        Some (b, i)
+      end
+  in
+  go ()
+
+let complete t b =
+  b.completed <- b.completed + 1;
+  if b.completed >= b.size then Condition.broadcast t.finished
+
+let run_claimed t b i =
+  Mutex.unlock t.mutex;
+  b.run i;
+  Mutex.lock t.mutex;
+  complete t b
+
+let worker t =
+  Mutex.lock t.mutex;
+  let rec loop () =
+    match claim_any t with
+    | Some (b, i) ->
+        run_claimed t b i;
+        loop ()
+    | None ->
+        if t.stop then Mutex.unlock t.mutex
+        else begin
+          Condition.wait t.work t.mutex;
+          loop ()
+        end
+  in
+  loop ()
+
+let create ~jobs =
+  let n_workers = max 1 jobs in
+  let t =
+    {
+      n_workers;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      pending = Queue.create ();
+      stop = false;
+      domains = [];
+    }
+  in
+  t.domains <-
+    List.init (n_workers - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+(** With [t.mutex] held: enqueue [b] and participate until every task of
+    [b] has completed. *)
+let run_batch_locked t b =
+  Queue.push b t.pending;
+  Condition.broadcast t.work;
+  let rec help () =
+    if b.completed >= b.size then Mutex.unlock t.mutex
+    else if b.next < b.size then begin
+      let i = b.next in
+      b.next <- i + 1;
+      run_claimed t b i;
+      help ()
+    end
+    else begin
+      Condition.wait t.finished t.mutex;
+      help ()
+    end
+  in
+  help ()
+
+(** Submit [b] and participate until every task of [b] has completed. *)
+let run_batch t b =
+  Mutex.lock t.mutex;
+  if t.stop then begin
+    (* pool already shut down: degrade to inline execution *)
+    Mutex.unlock t.mutex;
+    for i = 0 to b.size - 1 do
+      b.run i
+    done
+  end
+  else run_batch_locked t b
+
+let map_array ?pool f arr =
+  match pool with
+  | None -> Array.map f arr
+  | Some t when t.n_workers <= 1 -> Array.map f arr
+  | Some t ->
+      let n = Array.length arr in
+      if n = 0 then [||]
+      else begin
+        let results = Array.make n None in
+        let b =
+          {
+            run =
+              (fun i ->
+                let r =
+                  try Ok (f arr.(i))
+                  with e -> Error (e, Printexc.get_raw_backtrace ())
+                in
+                results.(i) <- Some r);
+            size = n;
+            next = 0;
+            completed = 0;
+          }
+        in
+        run_batch t b;
+        Array.map
+          (function
+            | Some (Ok v) -> v
+            | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+            | None -> assert false)
+          results
+      end
+
+let map ?pool f xs =
+  match pool with
+  | None -> List.map f xs
+  | Some _ -> Array.to_list (map_array ?pool f (Array.of_list xs))
+
+let iter ?pool f xs =
+  match pool with
+  | None -> List.iter f xs
+  | Some _ -> ignore (map ?pool f xs)
+
+let with_pool ~jobs f =
+  if jobs <= 1 then f None
+  else
+    let t = create ~jobs in
+    Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f (Some t))

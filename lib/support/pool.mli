@@ -1,0 +1,42 @@
+(** A reusable domain-based work pool for deterministic parallel evaluation.
+
+    The pool runs batches of independent tasks across OCaml 5 domains.
+    [map] preserves input order, so a parallel map returns exactly the list
+    the sequential [List.map] would — callers that only require their task
+    function to be pure get bit-identical results at any job count.
+
+    The submitting thread participates in executing its own batch, which
+    makes nested submissions safe: a task running on a pool worker may
+    itself call [map] on the same pool without risking deadlock. *)
+
+type t
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns a pool of [jobs] workers: [jobs - 1] domains plus
+    the submitting thread. [jobs <= 1] creates a pool that runs everything
+    inline. *)
+
+val jobs : t -> int
+(** Total worker count (including the submitting thread). *)
+
+val map : ?pool:t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ?pool f xs] is [List.map f xs], evaluated in parallel when [pool]
+    is given. Order is preserved. If one or more tasks raise, every task
+    still runs to completion and the exception of the lowest-index failing
+    task is re-raised with its backtrace. *)
+
+val map_array : ?pool:t -> ('a -> 'b) -> 'a array -> 'b array
+(** Array counterpart of {!map}. *)
+
+val iter : ?pool:t -> ('a -> unit) -> 'a list -> unit
+(** [iter ?pool f xs] runs [f] on every element, in parallel when [pool] is
+    given. *)
+
+val shutdown : t -> unit
+(** Join all worker domains. Must not be called while a [map] is in flight;
+    further submissions run inline. Idempotent. *)
+
+val with_pool : jobs:int -> (t option -> 'a) -> 'a
+(** [with_pool ~jobs f] calls [f (Some pool)] with a fresh pool and shuts
+    it down afterwards (also on exceptions); [jobs <= 1] calls [f None] so
+    callers fall back to their sequential path without spawning domains. *)

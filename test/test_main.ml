@@ -2,6 +2,8 @@ let () =
   Alcotest.run "daisy"
     [
       ("support", Test_support.suite);
+      ("pool", Test_pool.suite);
+      ("interp", Test_interp.suite);
       ("poly", Test_poly.suite);
       ("lang", Test_lang.suite);
       ("loopir", Test_loopir.suite);
@@ -15,5 +17,6 @@ let () =
       ("scheduler", Test_scheduler.suite);
       ("benchmarks", Test_benchmarks.suite);
       ("property", Test_property.suite);
+      ("parallel", Test_parallel.suite);
       ("extensions", Test_extensions.suite);
     ]

@@ -1,0 +1,124 @@
+(** Differential determinism tests: the parallel scheduling engine must be
+    bit-identical to the sequential path — same recipes, same fitness
+    values, same database contents — at any job count (the contract in
+    docs/parallelism.md). *)
+
+module Ir = Daisy_loopir.Ir
+module S = Daisy_scheduler
+module Pb = Daisy_benchmarks.Polybench
+module Pool = Daisy_support.Pool
+module Recipe = Daisy_transforms.Recipe
+module Rng = Daisy_support.Rng
+
+(* small shared sizes covering every size parameter of the four kernels.
+   jacobi-2d is included deliberately: its two sweep nests are structurally
+   near-identical, which once exposed a fitness-cache key collision that
+   only diverged under a pool (first-writer races). *)
+let kernels = [ Pb.gemm; Pb.atax; Pb.mvt; Pb.jacobi_2d ]
+
+let sizes =
+  [ ("ni", 48); ("nj", 40); ("nk", 44); ("m", 40); ("n", 48);
+    ("tsteps", 4) ]
+
+let ctx = S.Common.make_ctx ~threads:8 ~sample_outer:4 ~sizes ()
+
+let recipe = Alcotest.testable Recipe.pp Recipe.equal
+
+(* ------------------------------------------------------------------ *)
+(* Evolve.search: sequential vs 4-domain pool *)
+
+let search_result ?pool (b : Pb.benchmark) =
+  let p = Pb.program b in
+  let units = S.Common.program_units p in
+  List.map
+    (fun (outer, nest) ->
+      (* fresh rng + cache per run so both modes start from the same state *)
+      let rng = Rng.of_string ("diff-" ^ b.Pb.name) in
+      S.Evolve.search ~population:6 ~iterations:2
+        ~cache:(S.Evolve.create_cache ()) ?pool ~outer ctx p nest
+        ~seeds:(S.Tiramisu.proposals nest) ~rng)
+    units
+
+let test_search_differential () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      List.iter
+        (fun (b : Pb.benchmark) ->
+          let seq = search_result b in
+          let par = search_result ?pool b in
+          List.iter2
+            (fun (r1, f1) (r2, f2) ->
+              Alcotest.check recipe (b.Pb.name ^ " recipe") r1 r2;
+              Alcotest.(check (float 0.0)) (b.Pb.name ^ " fitness") f1 f2)
+            seq par)
+        kernels)
+
+(* ------------------------------------------------------------------ *)
+(* Seed.seed_database: sequential vs 4-domain pool *)
+
+let seeded_entries ?pool () =
+  let db = S.Database.create () in
+  S.Seed.seed_database ~epochs:2 ~population:4 ~iterations:2 ?pool ctx ~db
+    (List.map (fun (b : Pb.benchmark) -> (b.Pb.name, Pb.program b)) kernels);
+  S.Database.entries db
+
+let test_seed_differential () =
+  let seq = seeded_entries () in
+  let par = Pool.with_pool ~jobs:4 (fun pool -> seeded_entries ?pool ()) in
+  Alcotest.(check int) "entry count" (List.length seq) (List.length par);
+  List.iter2
+    (fun (a : S.Database.entry) (b : S.Database.entry) ->
+      Alcotest.(check string) "source" a.S.Database.source b.S.Database.source;
+      Alcotest.check recipe
+        ("recipe of " ^ a.S.Database.source)
+        a.S.Database.recipe b.S.Database.recipe;
+      Alcotest.(check int)
+        ("canon hash of " ^ a.S.Database.source)
+        a.S.Database.canon_hash b.S.Database.canon_hash;
+      Alcotest.(check bool)
+        ("embedding of " ^ a.S.Database.source)
+        true
+        (a.S.Database.embedding = b.S.Database.embedding))
+    seq par
+
+(* sharded seeding (one shard per benchmark, evolved in parallel, merged in
+   benchmark order — the bench harness path) must equal seeding the same
+   benchmarks one after the other into a single database *)
+let test_shard_merge_differential () =
+  let merged =
+    Pool.with_pool ~jobs:4 (fun pool ->
+        let db = S.Database.create () in
+        Pool.map ?pool
+          (fun (b : Pb.benchmark) ->
+            let shard = S.Database.create () in
+            S.Seed.seed_database ~epochs:2 ~population:4 ~iterations:2 ?pool
+              ctx ~db:shard
+              [ (b.Pb.name, Pb.program b) ];
+            shard)
+          kernels
+        |> List.iter (fun shard -> S.Database.merge ~into:db shard);
+        S.Database.entries db)
+  in
+  let seq =
+    let db = S.Database.create () in
+    List.iter
+      (fun (b : Pb.benchmark) ->
+        S.Seed.seed_database ~epochs:2 ~population:4 ~iterations:2 ctx ~db
+          [ (b.Pb.name, Pb.program b) ])
+      kernels;
+    S.Database.entries db
+  in
+  Alcotest.(check int) "entry count" (List.length seq) (List.length merged);
+  List.iter2
+    (fun (a : S.Database.entry) (b : S.Database.entry) ->
+      Alcotest.(check string) "source" a.S.Database.source b.S.Database.source;
+      Alcotest.check recipe
+        ("recipe of " ^ a.S.Database.source)
+        a.S.Database.recipe b.S.Database.recipe)
+    seq merged
+
+let suite =
+  [
+    ("search: parallel == sequential", `Slow, test_search_differential);
+    ("seeding: parallel == sequential", `Slow, test_seed_differential);
+    ("sharded seeding == sequential", `Slow, test_shard_merge_differential);
+  ]

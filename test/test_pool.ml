@@ -1,0 +1,105 @@
+(** Unit tests for the domain work pool ({!Daisy_support.Pool}): result
+    order, edge cases, exception propagation, reuse, and nesting. *)
+
+module Pool = Daisy_support.Pool
+
+let with_pool4 f = Pool.with_pool ~jobs:4 f
+
+let test_empty_input () =
+  with_pool4 (fun pool ->
+      Alcotest.(check (list int)) "empty map" []
+        (Pool.map ?pool (fun x -> x * 2) []);
+      Pool.iter ?pool (fun _ -> Alcotest.fail "no calls expected") [])
+
+let test_single_item () =
+  with_pool4 (fun pool ->
+      Alcotest.(check (list int)) "single item" [ 14 ]
+        (Pool.map ?pool (fun x -> x * 2) [ 7 ]))
+
+let test_more_items_than_domains () =
+  (* 100 items over 3 worker domains + the caller: order must match the
+     sequential map exactly *)
+  let xs = List.init 100 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  with_pool4 (fun pool ->
+      Alcotest.(check (list int)) "order preserved" (List.map f xs)
+        (Pool.map ?pool f xs))
+
+let test_exception_propagation () =
+  with_pool4 (fun pool ->
+      match
+        Pool.map ?pool
+          (fun x -> if x = 5 then invalid_arg "boom from worker" else x)
+          (List.init 10 (fun i -> i))
+      with
+      | _ -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument m ->
+          Alcotest.(check string) "message" "boom from worker" m)
+
+let test_first_failure_wins () =
+  (* several tasks fail: the lowest-index failure is the one re-raised *)
+  with_pool4 (fun pool ->
+      match
+        Pool.map ?pool
+          (fun x -> if x >= 3 then failwith (string_of_int x) else x)
+          [ 0; 1; 2; 3; 4; 5 ]
+      with
+      | _ -> Alcotest.fail "expected Failure"
+      | exception Failure m -> Alcotest.(check string) "lowest index" "3" m)
+
+let test_reuse_across_submissions () =
+  with_pool4 (fun pool ->
+      for round = 1 to 5 do
+        let xs = List.init (10 * round) (fun i -> i) in
+        Alcotest.(check (list int))
+          (Printf.sprintf "round %d" round)
+          (List.map (fun x -> x + round) xs)
+          (Pool.map ?pool (fun x -> x + round) xs)
+      done;
+      (* a failing batch must not poison the pool for later batches *)
+      (try ignore (Pool.map ?pool (fun _ -> failwith "transient") [ 1; 2 ])
+       with Failure _ -> ());
+      Alcotest.(check (list int)) "after failure" [ 2; 4 ]
+        (Pool.map ?pool (fun x -> 2 * x) [ 1; 2 ]))
+
+let test_nested_map () =
+  (* a task may submit to the same pool: the submitter participates in its
+     own batch, so this cannot deadlock *)
+  with_pool4 (fun pool ->
+      let result =
+        Pool.map ?pool
+          (fun i ->
+            Pool.map ?pool (fun j -> (i * 10) + j) [ 0; 1; 2 ]
+            |> List.fold_left ( + ) 0)
+          [ 1; 2; 3; 4; 5; 6 ]
+      in
+      Alcotest.(check (list int)) "nested"
+        [ 33; 63; 93; 123; 153; 183 ] result)
+
+let test_sequential_fallbacks () =
+  (* jobs <= 1 must not spawn domains and must behave like List.map *)
+  Pool.with_pool ~jobs:1 (fun pool ->
+      Alcotest.(check bool) "no pool for jobs=1" true (pool = None));
+  let p = Pool.create ~jobs:1 in
+  Alcotest.(check int) "jobs" 1 (Pool.jobs p);
+  Alcotest.(check (list int)) "inline map" [ 2; 4 ]
+    (Pool.map ~pool:p (fun x -> 2 * x) [ 1; 2 ]);
+  Pool.shutdown p;
+  (* submissions after shutdown degrade to inline execution *)
+  let p4 = Pool.create ~jobs:4 in
+  Pool.shutdown p4;
+  Pool.shutdown p4 (* idempotent *);
+  Alcotest.(check (list int)) "map after shutdown" [ 1; 4; 9 ]
+    (Pool.map ~pool:p4 (fun x -> x * x) [ 1; 2; 3 ])
+
+let suite =
+  [
+    ("empty input", `Quick, test_empty_input);
+    ("single item", `Quick, test_single_item);
+    ("more items than domains", `Quick, test_more_items_than_domains);
+    ("exception propagation", `Quick, test_exception_propagation);
+    ("first failure wins", `Quick, test_first_failure_wins);
+    ("reuse across submissions", `Quick, test_reuse_across_submissions);
+    ("nested map", `Quick, test_nested_map);
+    ("sequential fallbacks", `Quick, test_sequential_fallbacks);
+  ]

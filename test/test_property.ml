@@ -181,6 +181,73 @@ let prop_licm_preserves =
     arbitrary_program (fun p ->
       equivalent p (fst (Daisy_normalize.Licm.run p)))
 
+(* ------------------------------------------------------------------ *)
+(* Random recipes: every successful Recipe.apply must preserve semantics *)
+
+module Recipe = Daisy_transforms.Recipe
+module Legality = Daisy_dependence.Legality
+module Rng = Daisy_support.Rng
+
+(* Random recipe via the search's own mutation operator, so the property
+   exercises exactly the moves the evolutionary scheduler can make. The
+   chain sometimes starts from the identity interchange: [Recipe.mutate]
+   never introduces an [Interchange] step, only perturbs existing ones. *)
+let random_recipe rng band_size =
+  let start =
+    if band_size >= 2 && Rng.bool rng then
+      [ Recipe.Interchange (List.init band_size (fun i -> i)) ]
+    else []
+  in
+  let rec go k r =
+    if k = 0 then r else go (k - 1) (Recipe.mutate rng band_size r)
+  in
+  go (1 + Rng.int rng 3) start
+
+let arbitrary_program_and_seed =
+  QCheck.pair arbitrary_program
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 1_000_000))
+
+let map_top_nests_with f p =
+  {
+    p with
+    Ir.body =
+      List.map
+        (fun n -> match n with Ir.Nloop nest -> f nest | other -> other)
+        p.Ir.body;
+  }
+
+let prop_recipe_apply_preserves =
+  QCheck.Test.make ~count:120
+    ~name:"successful Recipe.apply preserves semantics"
+    arbitrary_program_and_seed (fun (p, seed) ->
+      let rng = Rng.create seed in
+      let p' =
+        map_top_nests_with
+          (fun nest ->
+            let band, _ = Legality.perfect_band nest in
+            let r = random_recipe rng (List.length band) in
+            match Recipe.apply ~outer:[] nest r with
+            | Ok nest' -> Ir.Nloop nest'
+            | Error _ -> Ir.Nloop nest)
+          p
+      in
+      equivalent p p')
+
+let prop_recipe_lenient_preserves =
+  QCheck.Test.make ~count:80
+    ~name:"Recipe.apply_lenient preserves semantics"
+    arbitrary_program_and_seed (fun (p, seed) ->
+      let rng = Rng.create seed in
+      let p' =
+        map_top_nests_with
+          (fun nest ->
+            let band, _ = Legality.perfect_band nest in
+            let r = random_recipe rng (List.length band) in
+            Ir.Nloop (fst (Recipe.apply_lenient ~outer:[] nest r)))
+          p
+      in
+      equivalent p p')
+
 let prop_embedding_rename_invariant =
   QCheck.Test.make ~count:60 ~name:"embeddings invariant under canon"
     arbitrary_program (fun p ->
@@ -205,5 +272,7 @@ let suite =
       prop_daisy_preserves;
       prop_tiramisu_preserves;
       prop_licm_preserves;
+      prop_recipe_apply_preserves;
+      prop_recipe_lenient_preserves;
       prop_embedding_rename_invariant;
     ]
