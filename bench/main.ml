@@ -17,6 +17,10 @@ let experiments =
     ("fig12b", "CLOUDSC weak scaling", Fig_cloudsc.fig12b);
     ("ablation", "design-choice ablations", Ablation.run);
     ("micro", "toolchain micro-benchmarks (bechamel)", Micro.run);
+    ("interp", "interpreter engines: tree oracle vs compiled (BENCH_interp.json)",
+     Micro.interp_bench_full);
+    ("interp-smoke", "interpreter engine comparison, tiny sizes (CI smoke)",
+     Micro.interp_bench_smoke);
   ]
 
 let () =
@@ -34,7 +38,12 @@ let () =
   in
   let requested =
     match parse_args (List.tl (Array.to_list Sys.argv)) with
-    | [] -> List.map (fun (n, _, _) -> n) experiments
+    | [] ->
+        (* the smoke variant is CI-only sugar; "run everything" uses the
+           full interpreter comparison *)
+        List.filter_map
+          (fun (n, _, _) -> if n = "interp-smoke" then None else Some n)
+          experiments
     | names -> names
   in
   Format.printf

@@ -54,9 +54,125 @@ let test_interp =
            (Daisy_interp.Interp.run_fresh program ~sizes:Pb.gemm.Pb.test_sizes
               ())))
 
+let test_interp_compiled =
+  Test.make ~name:"interp: execute gemm compiled (tiny)"
+    (Staged.stage (fun () ->
+         ignore
+           (Daisy_interp.Interp.run_compiled_fresh program
+              ~sizes:Pb.gemm.Pb.test_sizes ())))
+
 let benchmarks =
   [ test_parse; test_lift; test_dependence; test_normalize; test_simulate;
-    test_interp ]
+    test_interp; test_interp_compiled ]
+
+(* ------------------------------------------------------------------ *)
+(* Tree vs compiled interpreter: wall-clock + BENCH_interp.json          *)
+
+module Interp = Daisy_interp.Interp
+
+(** The kernels and problem sizes of the interpreter comparison. "tiny"
+    is each kernel's interpreter test size; "default" is that size scaled
+    4x linearly — large enough that execution dominates compilation, small
+    enough that the tree oracle finishes promptly. *)
+let interp_kernels = [ Pb.gemm; Pb.atax; Pb.jacobi_2d ]
+
+let interp_bench_sizes (b : Pb.benchmark) =
+  [ ("tiny", b.Pb.test_sizes);
+    ("default", List.map (fun (k, v) -> (k, v * 4)) b.Pb.test_sizes) ]
+
+(** Median-of-[reps] wall-clock of [f] (fresh state per repetition). *)
+let median_time reps f =
+  let times =
+    List.init reps (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        f ();
+        Unix.gettimeofday () -. t0)
+  in
+  List.nth (List.sort compare times) (reps / 2)
+
+type interp_row = {
+  kernel : string;
+  size_label : string;
+  sizes : (string * int) list;
+  tree_s : float;
+  compiled_s : float;
+}
+
+let speedup r = r.tree_s /. r.compiled_s
+
+(** Machine-readable perf-trajectory record: one JSON object per
+    (kernel, size) with tree and compiled wall-clock. Accumulated across
+    PRs by CI (see docs/performance.md). *)
+let write_interp_json ~path (rows : interp_row list) =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n  \"bench\": \"interp\",\n  \"schema\": 1,\n  \"results\": [\n";
+  List.iteri
+    (fun i r ->
+      let sizes =
+        String.concat ", "
+          (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %d" k v) r.sizes)
+      in
+      out
+        "    {\"kernel\": \"%s\", \"size\": \"%s\", \"sizes\": {%s}, \
+         \"tree_s\": %.6f, \"compiled_s\": %.6f, \"speedup\": %.2f}%s\n"
+        r.kernel r.size_label sizes r.tree_s r.compiled_s (speedup r)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  out "  ]\n}\n";
+  close_out oc
+
+(** [interp_bench ~smoke ()] — wall-clock of the tree-walking oracle vs
+    the compiled engine, plus a bitwise-identity check of their final
+    states, written to BENCH_interp.json. [~smoke:true] restricts to tiny
+    sizes with one repetition (the CI smoke configuration). *)
+let interp_bench ?(smoke = false) () =
+  let reps = if smoke then 1 else 5 in
+  let rows =
+    List.concat_map
+      (fun (b : Pb.benchmark) ->
+        let p = Pb.program b in
+        let sizes_list =
+          if smoke then [ List.hd (interp_bench_sizes b) ]
+          else interp_bench_sizes b
+        in
+        List.map
+          (fun (size_label, sizes) ->
+            let tree_s =
+              median_time reps (fun () -> ignore (Interp.run_fresh p ~sizes ()))
+            in
+            let compiled_s =
+              median_time reps (fun () ->
+                  ignore (Interp.run_compiled_fresh p ~sizes ()))
+            in
+            { kernel = b.Pb.name; size_label; sizes; tree_s; compiled_s })
+          sizes_list)
+      interp_kernels
+  in
+  Format.printf "@.Interpreter engines: tree-walking oracle vs compiled@.";
+  Format.printf "  %-12s %-8s %12s %12s %9s@." "kernel" "size" "tree (s)"
+    "compiled (s)" "speedup";
+  List.iter
+    (fun r ->
+      Format.printf "  %-12s %-8s %12.6f %12.6f %8.1fx@." r.kernel
+        r.size_label r.tree_s r.compiled_s (speedup r))
+    rows;
+  (* the states must be bitwise identical, not just fast *)
+  let identical =
+    List.for_all
+      (fun (b : Pb.benchmark) ->
+        let p = Pb.program b in
+        let s1 = Interp.run_fresh p ~sizes:b.Pb.test_sizes () in
+        let s2 = Interp.run_compiled_fresh p ~sizes:b.Pb.test_sizes () in
+        Interp.max_rel_diff p s1 s2 = 0.0)
+      interp_kernels
+  in
+  Format.printf "  compiled == tree final states: %b@." identical;
+  write_interp_json ~path:"BENCH_interp.json" rows;
+  Format.printf "  [wrote BENCH_interp.json]@."
+
+let interp_bench_full () = interp_bench ()
+let interp_bench_smoke () = interp_bench ~smoke:true ()
 
 (* ------------------------------------------------------------------ *)
 (* Parallel database seeding: wall-clock with 1 vs 4 worker domains     *)

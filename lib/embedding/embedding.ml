@@ -125,15 +125,53 @@ let of_node (n : Ir.node) : t =
 
 let distance (a : t) (b : t) : float =
   let acc = ref 0.0 in
-  Array.iteri (fun i x -> acc := !acc +. ((x -. b.(i)) ** 2.0)) a;
+  Array.iteri
+    (fun i x ->
+      let d = x -. b.(i) in
+      acc := !acc +. (d *. d))
+    a;
   sqrt !acc
+
+(** [nearest_by ~embed k entries q] — the [k] entries closest to query
+    [q], closest first. O(n*k) bounded insertion instead of sorting the
+    whole database; ties keep the earlier entry first, exactly like a
+    stable full sort, so results are unchanged. *)
+let nearest_by ~(embed : 'a -> t) (k : int) (entries : 'a list) (q : t) :
+    (float * 'a) list =
+  if k <= 0 then []
+  else begin
+    (* [best] is ascending by distance, at most [k] long; [worst] is the
+       distance of its last element once full *)
+    let best = ref [] in
+    let count = ref 0 in
+    let worst = ref infinity in
+    let rec insert d payload l =
+      match l with
+      | [] -> [ (d, payload) ]
+      | ((d', _) as hd) :: tl ->
+          (* strict [<]: an equal-distance newcomer goes after — stable *)
+          if d < d' then (d, payload) :: l else hd :: insert d payload tl
+    in
+    List.iter
+      (fun entry ->
+        let d = distance (embed entry) q in
+        if !count < k then begin
+          best := insert d entry !best;
+          incr count;
+          if !count = k then
+            worst := fst (List.nth !best (k - 1))
+        end
+        else if d < !worst then begin
+          best := Util.take k (insert d entry !best);
+          worst := fst (List.nth !best (k - 1))
+        end)
+      entries;
+    !best
+  end
 
 (** [nearest k db q] — the [k] database entries closest to query [q]. *)
 let nearest (k : int) (db : (t * 'a) list) (q : t) : (float * 'a) list =
-  db
-  |> List.map (fun (e, payload) -> (distance e q, payload))
-  |> List.sort (fun (d1, _) (d2, _) -> compare d1 d2)
-  |> Util.take k
+  List.map (fun (d, (_, payload)) -> (d, payload)) (nearest_by ~embed:fst k db q)
 
 let pp ppf (t : t) =
   Fmt.pf ppf "[%a]"

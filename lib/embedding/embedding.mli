@@ -13,7 +13,14 @@ val of_node : Daisy_loopir.Ir.node -> t
 val distance : t -> t -> float
 (** Euclidean distance. *)
 
+val nearest_by : embed:('a -> t) -> int -> 'a list -> t -> (float * 'a) list
+(** [nearest_by ~embed k entries q] — the [k] entries closest to [q],
+    nearest first, comparing [embed entry] against [q]. O(n*k) bounded
+    insertion (no full sort, no intermediate pair list); ties keep the
+    earlier entry first, exactly like a stable full sort. *)
+
 val nearest : int -> (t * 'a) list -> t -> (float * 'a) list
-(** [nearest k db q] — the [k] entries closest to [q], nearest first. *)
+(** [nearest k db q] — the [k] entries closest to [q], nearest first.
+    [nearest_by] over pre-paired entries. *)
 
 val pp : t Fmt.t

@@ -1,0 +1,523 @@
+(** Compiled execution engine for loopir: a one-pass compiler from
+    {!Ir.program} to a closure tree over slot-indexed storage.
+
+    The tree-walking oracle ({!Interp.run}) pays, per iteration, an
+    [SMap.union] to build the integer environment, string-map lookups for
+    every iterator and scalar, an [Expr.eval] tree walk per subscript and
+    an [Array.of_list (List.map ...)] allocation per access. This engine
+    pays all of that once, at compile time:
+
+    - every loop iterator is resolved to a slot in one preallocated
+      [int array] — the loop body closures read [iters.(slot)] directly;
+    - every array name is resolved once to its {!Istate.tensor};
+    - affine subscripts are precompiled to [base + sum coeff*slot] with
+      size parameters folded into [base] (non-affine subscripts fall back
+      to a compiled expression closure, so [min]/[max]/[mod]/products
+      still execute exactly);
+    - scalars are resolved to slots in a [float array] with a bound flag,
+      written back to the state's scalar map when execution finishes;
+    - [vexpr]/[pred] trees become float/bool closures, and each
+      computation's guard and destination are compiled once, outside the
+      iteration space.
+
+    Determinism contract: for any program and initial state, running this
+    engine produces a final state bitwise identical to {!Interp.run}'s —
+    same float operations in the same order, same bounds checks with the
+    same {!Istate.Runtime_error} messages, same lazily-raised errors for
+    unknown arrays, unbound scalars and unknown intrinsics
+    (differential-tested in [test/test_compile.ml]). *)
+
+open Daisy_support
+open Istate
+module Ir = Daisy_loopir.Ir
+module Expr = Daisy_poly.Expr
+module Affine = Daisy_poly.Affine
+
+(* ------------------------------------------------------------------ *)
+(* Compilation context                                                  *)
+
+type scalar_slots = {
+  names : string array;
+  values : float array;
+  bound : bool array;
+}
+
+type ctx = {
+  state : state;
+  scalars : scalar_slots;
+  scalar_tbl : (string, int) Hashtbl.t;
+  slots : (string * int) list;  (** lexically scoped iterator -> slot *)
+  nslots : int ref;  (** total loop slots allocated so far *)
+}
+
+let scalar_slot ctx s =
+  match Hashtbl.find_opt ctx.scalar_tbl s with
+  | Some i -> i
+  | None ->
+      (* the prepass collects every Vscalar/Dscalar name, so this is
+         unreachable for well-formed programs *)
+      runtime_error "unbound scalar %s" s
+
+(* ------------------------------------------------------------------ *)
+(* Integer expressions: affine fast path + compiled-tree fallback       *)
+
+(* The fallback mirrors [Expr.eval] exactly (including its
+   [Invalid_argument] messages for unbound variables and zero divisors),
+   but resolves iterators to slots and size parameters to constants at
+   compile time. *)
+let rec compile_int_tree ctx (e : Expr.t) : int array -> int =
+  match e with
+  | Expr.Const n -> fun _ -> n
+  | Expr.Var v -> (
+      match List.assoc_opt v ctx.slots with
+      | Some s -> fun it -> it.(s)
+      | None -> (
+          match Util.SMap.find_opt v ctx.state.sizes with
+          | Some n -> fun _ -> n
+          | None ->
+              (* lazily, like the oracle: only an error if evaluated *)
+              fun _ ->
+                invalid_arg
+                  (Printf.sprintf "Expr.eval: unbound variable %s" v)))
+  | Expr.Add (a, b) ->
+      let fa = compile_int_tree ctx a and fb = compile_int_tree ctx b in
+      fun it -> fa it + fb it
+  | Expr.Sub (a, b) ->
+      let fa = compile_int_tree ctx a and fb = compile_int_tree ctx b in
+      fun it -> fa it - fb it
+  | Expr.Mul (a, b) ->
+      let fa = compile_int_tree ctx a and fb = compile_int_tree ctx b in
+      fun it -> fa it * fb it
+  | Expr.Div (a, b) ->
+      let fa = compile_int_tree ctx a and fb = compile_int_tree ctx b in
+      fun it ->
+        let x = fa it and y = fb it in
+        if y = 0 then invalid_arg "Expr.eval: division by zero"
+        else
+          let q = x / y and r = x mod y in
+          if r <> 0 && (r < 0) <> (y < 0) then q - 1 else q
+  | Expr.Mod (a, b) ->
+      let fa = compile_int_tree ctx a and fb = compile_int_tree ctx b in
+      fun it ->
+        let x = fa it and y = fb it in
+        if y = 0 then invalid_arg "Expr.eval: modulo by zero"
+        else
+          let r = x mod y in
+          if r <> 0 && (r < 0) <> (y < 0) then r + y else r
+  | Expr.Neg a ->
+      let fa = compile_int_tree ctx a in
+      fun it -> -fa it
+  | Expr.Min (a, b) ->
+      let fa = compile_int_tree ctx a and fb = compile_int_tree ctx b in
+      fun it -> min (fa it) (fb it)
+  | Expr.Max (a, b) ->
+      let fa = compile_int_tree ctx a and fb = compile_int_tree ctx b in
+      fun it -> max (fa it) (fb it)
+
+let compile_int ctx (e : Expr.t) : int array -> int =
+  match Affine.of_expr e with
+  | None -> compile_int_tree ctx e
+  | Some aff ->
+      let base = ref aff.Affine.const in
+      let terms = ref [] in
+      let ok = ref true in
+      Util.SMap.iter
+        (fun v c ->
+          match List.assoc_opt v ctx.slots with
+          | Some s -> terms := (s, c) :: !terms
+          | None -> (
+              match Util.SMap.find_opt v ctx.state.sizes with
+              | Some n -> base := !base + (c * n)
+              | None -> ok := false))
+        aff.Affine.terms;
+      if not !ok then compile_int_tree ctx e
+      else
+        let b = !base in
+        (match !terms with
+        | [] -> fun _ -> b
+        | [ (s, 1) ] when b = 0 -> fun it -> it.(s)
+        | [ (s, 1) ] -> fun it -> it.(s) + b
+        | [ (s, c) ] -> fun it -> (c * it.(s)) + b
+        | [ (s1, c1); (s2, c2) ] ->
+            fun it -> (c1 * it.(s1)) + (c2 * it.(s2)) + b
+        | ts ->
+            let ts = Array.of_list ts in
+            fun it ->
+              let acc = ref b in
+              Array.iter (fun (s, c) -> acc := !acc + (c * it.(s))) ts;
+              !acc)
+
+(* ------------------------------------------------------------------ *)
+(* Array accesses                                                       *)
+
+let compile_index_fns ctx indices =
+  Array.of_list (List.map (compile_int ctx) indices)
+
+(* Like the oracle, all subscripts are evaluated before any bounds check,
+   and bounds are checked dimension by dimension with identical messages.
+   Rank-1/2 accesses get inline fast paths; anything else (including a
+   rank mismatch with the declaration) goes through {!linear_index} on a
+   per-access scratch buffer. *)
+let compile_read ctx (a : Ir.access) : int array -> float =
+  let fns = compile_index_fns ctx a.Ir.indices in
+  match Hashtbl.find_opt ctx.state.arrays a.Ir.array with
+  | None ->
+      let name = a.Ir.array in
+      fun it ->
+        Array.iter (fun f -> ignore (f it)) fns;
+        runtime_error "unknown array %s" name
+  | Some t ->
+      let dims = t.dims and data = t.data in
+      if Array.length fns = 1 && Array.length dims = 1 then begin
+        let f0 = fns.(0) and d0 = dims.(0) in
+        fun it ->
+          let i0 = f0 it in
+          if i0 < 0 || i0 >= d0 then
+            runtime_error "index %d out of bounds [0, %d) in dimension %d" i0
+              d0 0;
+          data.(i0)
+      end
+      else if Array.length fns = 2 && Array.length dims = 2 then begin
+        let f0 = fns.(0) and f1 = fns.(1) in
+        let d0 = dims.(0) and d1 = dims.(1) in
+        fun it ->
+          let i0 = f0 it in
+          let i1 = f1 it in
+          if i0 < 0 || i0 >= d0 then
+            runtime_error "index %d out of bounds [0, %d) in dimension %d" i0
+              d0 0;
+          if i1 < 0 || i1 >= d1 then
+            runtime_error "index %d out of bounds [0, %d) in dimension %d" i1
+              d1 1;
+          data.((i0 * d1) + i1)
+      end
+      else begin
+        let n = Array.length fns in
+        let scratch = Array.make n 0 in
+        fun it ->
+          for k = 0 to n - 1 do
+            scratch.(k) <- fns.(k) it
+          done;
+          data.(linear_index dims scratch)
+      end
+
+let compile_write ctx (a : Ir.access) : int array -> float -> unit =
+  let fns = compile_index_fns ctx a.Ir.indices in
+  match Hashtbl.find_opt ctx.state.arrays a.Ir.array with
+  | None ->
+      let name = a.Ir.array in
+      fun it _ ->
+        Array.iter (fun f -> ignore (f it)) fns;
+        runtime_error "unknown array %s" name
+  | Some t ->
+      let dims = t.dims and data = t.data in
+      if Array.length fns = 1 && Array.length dims = 1 then begin
+        let f0 = fns.(0) and d0 = dims.(0) in
+        fun it v ->
+          let i0 = f0 it in
+          if i0 < 0 || i0 >= d0 then
+            runtime_error "index %d out of bounds [0, %d) in dimension %d" i0
+              d0 0;
+          data.(i0) <- v
+      end
+      else if Array.length fns = 2 && Array.length dims = 2 then begin
+        let f0 = fns.(0) and f1 = fns.(1) in
+        let d0 = dims.(0) and d1 = dims.(1) in
+        fun it v ->
+          let i0 = f0 it in
+          let i1 = f1 it in
+          if i0 < 0 || i0 >= d0 then
+            runtime_error "index %d out of bounds [0, %d) in dimension %d" i0
+              d0 0;
+          if i1 < 0 || i1 >= d1 then
+            runtime_error "index %d out of bounds [0, %d) in dimension %d" i1
+              d1 1;
+          data.((i0 * d1) + i1) <- v
+      end
+      else begin
+        let n = Array.length fns in
+        let scratch = Array.make n 0 in
+        fun it v ->
+          for k = 0 to n - 1 do
+            scratch.(k) <- fns.(k) it
+          done;
+          data.(linear_index dims scratch) <- v
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Value expressions and predicates                                     *)
+
+let rec compile_vexpr ctx (e : Ir.vexpr) : int array -> float =
+  match e with
+  | Ir.Vfloat f -> fun _ -> f
+  | Ir.Vint ie ->
+      let fi = compile_int ctx ie in
+      fun it -> float_of_int (fi it)
+  | Ir.Vread a -> compile_read ctx a
+  | Ir.Vscalar s ->
+      let slot = scalar_slot ctx s in
+      let values = ctx.scalars.values and bound = ctx.scalars.bound in
+      fun _ ->
+        if bound.(slot) then values.(slot)
+        else runtime_error "unbound scalar %s" s
+  | Ir.Vbin (op, a, b) -> (
+      let fa = compile_vexpr ctx a and fb = compile_vexpr ctx b in
+      match op with
+      | Ir.Vadd -> fun it -> fa it +. fb it
+      | Ir.Vsub -> fun it -> fa it -. fb it
+      | Ir.Vmul -> fun it -> fa it *. fb it
+      | Ir.Vdiv -> fun it -> fa it /. fb it)
+  | Ir.Vneg a ->
+      let fa = compile_vexpr ctx a in
+      fun it -> -.fa it
+  | Ir.Vcall (f, args) -> (
+      let fns = List.map (compile_vexpr ctx) args in
+      match (f, fns) with
+      | "sqrt", [ fa ] -> fun it -> sqrt (fa it)
+      | "exp", [ fa ] -> fun it -> exp (fa it)
+      | "log", [ fa ] -> fun it -> log (fa it)
+      | "fabs", [ fa ] -> fun it -> Float.abs (fa it)
+      | "floor", [ fa ] -> fun it -> floor (fa it)
+      | "ceil", [ fa ] -> fun it -> ceil (fa it)
+      | "sin", [ fa ] -> fun it -> sin (fa it)
+      | "cos", [ fa ] -> fun it -> cos (fa it)
+      | "tanh", [ fa ] -> fun it -> tanh (fa it)
+      | "pow", [ fa; fb ] ->
+          fun it ->
+            let x = fa it in
+            let y = fb it in
+            Float.pow x y
+      | "min", [ fa; fb ] ->
+          fun it ->
+            let x = fa it in
+            let y = fb it in
+            Float.min x y
+      | "max", [ fa; fb ] ->
+          fun it ->
+            let x = fa it in
+            let y = fb it in
+            Float.max x y
+      | _ ->
+          (* like the oracle: arguments are evaluated, then the unknown
+             intrinsic (or wrong arity) raises *)
+          let fns = Array.of_list fns in
+          let arity = Array.length fns in
+          fun it ->
+            Array.iter (fun g -> ignore (g it)) fns;
+            runtime_error "unknown intrinsic %s/%d" f arity)
+  | Ir.Vselect (p, a, b) ->
+      let fp = compile_pred ctx p in
+      let fa = compile_vexpr ctx a and fb = compile_vexpr ctx b in
+      fun it -> if fp it then fa it else fb it
+
+and compile_pred ctx (p : Ir.pred) : int array -> bool =
+  match p with
+  | Ir.Pcmp (op, a, b) -> (
+      let fa = compile_vexpr ctx a and fb = compile_vexpr ctx b in
+      match op with
+      | Ir.Clt -> fun it -> fa it < fb it
+      | Ir.Cle -> fun it -> fa it <= fb it
+      | Ir.Cgt -> fun it -> fa it > fb it
+      | Ir.Cge -> fun it -> fa it >= fb it
+      | Ir.Ceq -> fun it -> fa it = fb it
+      | Ir.Cne -> fun it -> fa it <> fb it)
+  | Ir.Pand (a, b) ->
+      let fa = compile_pred ctx a and fb = compile_pred ctx b in
+      fun it -> fa it && fb it
+  | Ir.Por (a, b) ->
+      let fa = compile_pred ctx a and fb = compile_pred ctx b in
+      fun it -> fa it || fb it
+  | Ir.Pnot a ->
+      let fa = compile_pred ctx a in
+      fun it -> not (fa it)
+
+(* ------------------------------------------------------------------ *)
+(* Computations, library calls, loops                                   *)
+
+let compile_comp ctx (c : Ir.comp) : int array -> unit =
+  let frhs = compile_vexpr ctx c.Ir.rhs in
+  let fdest =
+    match c.Ir.dest with
+    | Ir.Dscalar s ->
+        let slot = scalar_slot ctx s in
+        let values = ctx.scalars.values and bound = ctx.scalars.bound in
+        fun _ v ->
+          values.(slot) <- v;
+          bound.(slot) <- true
+    | Ir.Darray a -> compile_write ctx a
+  in
+  match c.Ir.guard with
+  | None ->
+      fun it ->
+        let v = frhs it in
+        fdest it v
+  | Some g ->
+      let fg = compile_pred ctx g in
+      fun it ->
+        if fg it then begin
+          let v = frhs it in
+          fdest it v
+        end
+
+let compile_libcall ctx (k : Ir.libcall) : int array -> unit =
+  let fdims = List.map (compile_int ctx) k.Ir.dims in
+  let fscalars = Array.of_list (List.map (compile_vexpr ctx) k.Ir.scalar_args) in
+  let scalar i it =
+    if i < Array.length fscalars then fscalars.(i) it else 1.0
+  in
+  let eval_dims it = List.iter (fun f -> ignore (f it)) fdims in
+  match List.find_opt (fun n -> not (Hashtbl.mem ctx.state.arrays n)) k.Ir.args with
+  | Some name ->
+      fun it ->
+        eval_dims it;
+        runtime_error "unknown array %s" name
+  | None -> (
+      let data name = (Hashtbl.find ctx.state.arrays name).data in
+      match (k.Ir.kernel, k.Ir.args, fdims) with
+      | "gemm", [ c; a; b ], [ fm; fn; fk ] ->
+          let dc = data c and da = data a and db = data b in
+          fun it ->
+            let m = fm it in
+            let n = fn it in
+            let kk = fk it in
+            let alpha = scalar 0 it in
+            Daisy_blas.Kernels.gemm ~m ~n ~k:kk ~alpha da db dc
+      | "gemv", [ y; a; x ], [ fm; fn ] ->
+          let dy = data y and da = data a and dx = data x in
+          fun it ->
+            let m = fm it in
+            let n = fn it in
+            let alpha = scalar 0 it in
+            Daisy_blas.Kernels.gemv ~m ~n ~alpha da dx dy
+      | "gemvt", [ y; a; x ], [ fm; fn ] ->
+          let dy = data y and da = data a and dx = data x in
+          fun it ->
+            let m = fm it in
+            let n = fn it in
+            let alpha = scalar 0 it in
+            Daisy_blas.Kernels.gemvt ~m ~n ~alpha da dx dy
+      | "syrk", [ c; a ], [ fn; fm ] ->
+          let dc = data c and da = data a in
+          fun it ->
+            let n = fn it in
+            let m = fm it in
+            let alpha = scalar 0 it in
+            Daisy_blas.Kernels.syrk ~n ~m ~alpha da dc
+      | "syr2k", [ c; a; b ], [ fn; fm ] ->
+          let dc = data c and da = data a and db = data b in
+          fun it ->
+            let n = fn it in
+            let m = fm it in
+            let alpha = scalar 0 it in
+            Daisy_blas.Kernels.syr2k ~n ~m ~alpha da db dc
+      | kern, args, _ ->
+          let na = List.length args and nd = List.length fdims in
+          fun it ->
+            eval_dims it;
+            runtime_error "unsupported library call %s/%d arrays/%d dims" kern
+              na nd)
+
+let rec compile_node ctx (n : Ir.node) : int array -> unit =
+  match n with
+  | Ir.Ncomp c -> compile_comp ctx c
+  | Ir.Ncall k -> compile_libcall ctx k
+  | Ir.Nloop l ->
+      let flo = compile_int ctx l.Ir.lo and fhi = compile_int ctx l.Ir.hi in
+      let slot = !(ctx.nslots) in
+      incr ctx.nslots;
+      let fbody =
+        compile_nodes { ctx with slots = (l.Ir.iter, slot) :: ctx.slots }
+          l.Ir.body
+      in
+      let step = l.Ir.step in
+      if step > 0 then
+        fun it ->
+          let lo = flo it in
+          let hi = fhi it in
+          let i = ref lo in
+          while !i <= hi do
+            it.(slot) <- !i;
+            fbody it;
+            i := !i + step
+          done
+      else
+        fun it ->
+          let lo = flo it in
+          let hi = fhi it in
+          let i = ref lo in
+          while !i >= hi do
+            it.(slot) <- !i;
+            fbody it;
+            i := !i + step
+          done
+
+and compile_nodes ctx nodes : int array -> unit =
+  match List.map (compile_node ctx) nodes with
+  | [] -> fun _ -> ()
+  | [ f ] -> f
+  | fs ->
+      let fs = Array.of_list fs in
+      let n = Array.length fs in
+      fun it ->
+        for i = 0 to n - 1 do
+          fs.(i) it
+        done
+
+(* ------------------------------------------------------------------ *)
+(* Program compilation                                                  *)
+
+(** [compile p state] compiles [p] against [state]'s sizes and storage
+    (one pass, no execution). The returned thunk executes the program,
+    mutating [state]; it may be invoked repeatedly as long as [state]'s
+    arrays are not reallocated. *)
+let compile (p : Ir.program) (st : state) : unit -> unit =
+  let scalar_names = Ir.program_scalar_names p in
+  let scalar_tbl = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      if not (Hashtbl.mem scalar_tbl n) then
+        Hashtbl.add scalar_tbl n (Hashtbl.length scalar_tbl))
+    scalar_names;
+  let nscalars = Hashtbl.length scalar_tbl in
+  let scalars =
+    {
+      names = Array.make nscalars "";
+      values = Array.make nscalars 0.0;
+      bound = Array.make nscalars false;
+    }
+  in
+  Hashtbl.iter (fun n i -> scalars.names.(i) <- n) scalar_tbl;
+  let ctx = { state = st; scalars; scalar_tbl; slots = []; nslots = ref 0 } in
+  let fbody = compile_nodes ctx p.Ir.body in
+  let niters = max 1 !(ctx.nslots) in
+  fun () ->
+    for i = 0 to nscalars - 1 do
+      match Util.SMap.find_opt scalars.names.(i) st.scalars with
+      | Some v ->
+          scalars.values.(i) <- v;
+          scalars.bound.(i) <- true
+      | None ->
+          scalars.values.(i) <- 0.0;
+          scalars.bound.(i) <- false
+    done;
+    (* write slot scalars back into the map even when execution raises, so
+       a post-mortem state looks like the oracle's *)
+    let writeback () =
+      let m = ref st.scalars in
+      for i = 0 to nscalars - 1 do
+        if scalars.bound.(i) then
+          m := Util.SMap.add scalars.names.(i) scalars.values.(i) !m
+      done;
+      st.scalars <- !m
+    in
+    let it = Array.make niters 0 in
+    Fun.protect ~finally:writeback (fun () -> fbody it)
+
+(** [run p state] — compile and execute once, mutating [state]. *)
+let run (p : Ir.program) (st : state) = (compile p st) ()
+
+(** [run_fresh p ~sizes ...] — allocate a fresh state and run [p] in it. *)
+let run_fresh (p : Ir.program) ~sizes ?(scalars = []) ?init_fn () =
+  let st = init p ~sizes ~scalars ?init_fn () in
+  run p st;
+  st

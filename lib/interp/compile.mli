@@ -1,0 +1,27 @@
+(** Compiled execution engine for loopir programs: iterators resolved to
+    slots in a preallocated [int array], array names resolved once to
+    their tensors, affine subscripts precompiled to
+    [base + sum coeff*slot] (with a compiled-expression fallback for
+    non-affine subscripts), scalars in slot arrays, and [vexpr]/[pred]
+    trees compiled to closures.
+
+    Bitwise-identical to the tree-walking oracle {!Interp.run} on final
+    states and on error behavior (same {!Istate.Runtime_error} messages,
+    raised at the same points of execution). *)
+
+val compile : Daisy_loopir.Ir.program -> Istate.state -> unit -> unit
+(** One-pass compilation against the state's sizes and storage; the
+    returned thunk executes the program, mutating the state. Reusable as
+    long as the state's arrays are not reallocated. *)
+
+val run : Daisy_loopir.Ir.program -> Istate.state -> unit
+(** Compile and execute once. *)
+
+val run_fresh :
+  Daisy_loopir.Ir.program ->
+  sizes:(string * int) list ->
+  ?scalars:(string * float) list ->
+  ?init_fn:(string -> int -> float) ->
+  unit ->
+  Istate.state
+(** Allocate a fresh state ({!Istate.init}) and run the program in it. *)

@@ -5,6 +5,18 @@
     preserving (original and transformed programs must produce bitwise-close
     outputs from identical initial states).
 
+    Two engines share the execution state ({!Istate}):
+
+    - {!run} — the tree-walking oracle: simple, obviously-correct recursive
+      evaluation over string-map environments;
+    - {!run_compiled} — the slot-based compiled engine ({!Compile}),
+      10–100x faster and differential-tested to produce bitwise-identical
+      states (see [test/test_compile.ml] and [docs/performance.md]).
+
+    The equivalence checkers ({!equivalent}, {!equivalent_on}) run on the
+    compiled engine; the oracle remains the ground truth the compiled
+    engine is itself validated against.
+
     Scheduling attributes ([parallel], [vectorized], [unroll]) do not affect
     interpretation — they are promises to the machine model, not semantics. *)
 
@@ -12,110 +24,34 @@ open Daisy_support
 module Ir = Daisy_loopir.Ir
 module Expr = Daisy_poly.Expr
 
-type tensor = { dims : int array; data : float array }
+(* ------------------------------------------------------------------ *)
+(* Shared execution state (re-exported from Istate)                     *)
 
-let tensor_size t = Array.fold_left ( * ) 1 t.dims
+type tensor = Istate.tensor = { dims : int array; data : float array }
 
-type state = {
+let tensor_size = Istate.tensor_size
+
+type state = Istate.state = {
   sizes : int Util.SMap.t;
   mutable scalars : float Util.SMap.t;
   arrays : (string, tensor) Hashtbl.t;
 }
 
-exception Runtime_error of string
+exception Runtime_error = Istate.Runtime_error
 
-let runtime_error fmt = Fmt.kstr (fun m -> raise (Runtime_error m)) fmt
-
-(* ------------------------------------------------------------------ *)
-(* Initialization                                                       *)
-
-(** Deterministic PolyBench-style initializer: a bounded, array-dependent
-    value for every element, identical across program variants. *)
-let default_init name i =
-  let h = ref 1469598103934665603 in
-  String.iter (fun c -> h := (!h lxor Char.code c) * 1099511628211) name;
-  let v = (!h lxor (i * 2654435761)) land 0xFFFF in
-  (float_of_int v /. 65536.0) +. 0.01
-
-let linear_index dims indices =
-  let rank = Array.length dims in
-  let rec go k acc =
-    if k = rank then acc
-    else begin
-      let i = indices.(k) in
-      if i < 0 || i >= dims.(k) then
-        runtime_error "index %d out of bounds [0, %d) in dimension %d" i dims.(k) k;
-      go (k + 1) ((acc * dims.(k)) + i)
-    end
-  in
-  go 0 0
-
-(** [init p ~sizes ~scalars ?init_fn ()] allocates every array of [p].
-    Parameter arrays are filled by [init_fn] (default {!default_init});
-    locals are zeroed. *)
-let init (p : Ir.program) ~sizes ?(scalars = []) ?(init_fn = default_init) () =
-  let sizes =
-    List.fold_left (fun m (k, v) -> Util.SMap.add k v m) Util.SMap.empty sizes
-  in
-  List.iter
-    (fun sp ->
-      if not (Util.SMap.mem sp sizes) then
-        runtime_error "missing size parameter %s" sp)
-    p.Ir.size_params;
-  let scalar_map =
-    List.fold_left (fun m (k, v) -> Util.SMap.add k v m) Util.SMap.empty scalars
-  in
-  (* default any unspecified scalar parameter deterministically *)
-  let scalar_map =
-    List.fold_left
-      (fun m sp ->
-        if Util.SMap.mem sp m then m else Util.SMap.add sp (default_init sp 0) m)
-      scalar_map p.Ir.scalar_params
-  in
-  let arrays = Hashtbl.create 16 in
-  List.iter
-    (fun (a : Ir.array_decl) ->
-      let dims =
-        Array.of_list (List.map (fun d -> Expr.eval sizes d) a.Ir.dims)
-      in
-      Array.iter
-        (fun d ->
-          if d <= 0 then
-            runtime_error "array %s has non-positive dimension %d" a.Ir.name d)
-        dims;
-      let n = Array.fold_left ( * ) 1 dims in
-      let data =
-        match a.Ir.storage with
-        | Ir.Sparam -> Array.init n (fun i -> init_fn a.Ir.name i)
-        | Ir.Slocal -> Array.make n 0.0
-      in
-      Hashtbl.replace arrays a.Ir.name { dims; data })
-    p.Ir.arrays;
-  { sizes; scalars = scalar_map; arrays }
+let runtime_error = Istate.runtime_error
+let default_init = Istate.default_init
+let linear_index = Istate.linear_index
+let init = Istate.init
+let eval_intrinsic = Istate.eval_intrinsic
 
 (* ------------------------------------------------------------------ *)
-(* Evaluation                                                           *)
+(* Tree-walking evaluation (the oracle)                                 *)
 
 type frame = { state : state; mutable iters : int Util.SMap.t }
 
 let int_env fr =
   Util.SMap.union (fun _ i _ -> Some i) fr.iters fr.state.sizes
-
-let eval_intrinsic f args =
-  match (f, args) with
-  | "sqrt", [ x ] -> sqrt x
-  | "exp", [ x ] -> exp x
-  | "log", [ x ] -> log x
-  | "fabs", [ x ] -> Float.abs x
-  | "floor", [ x ] -> floor x
-  | "ceil", [ x ] -> ceil x
-  | "sin", [ x ] -> sin x
-  | "cos", [ x ] -> cos x
-  | "tanh", [ x ] -> tanh x
-  | "pow", [ x; y ] -> Float.pow x y
-  | "min", [ x; y ] -> Float.min x y
-  | "max", [ x; y ] -> Float.max x y
-  | _ -> runtime_error "unknown intrinsic %s/%d" f (List.length args)
 
 let read_tensor state array indices =
   match Hashtbl.find_opt state.arrays array with
@@ -236,15 +172,29 @@ let rec exec_nodes fr (nodes : Ir.node list) =
           fr.iters <- saved)
     nodes
 
-(** [run p state] executes the body of [p], mutating [state]. *)
+(** [run p state] executes the body of [p] with the tree-walking oracle,
+    mutating [state]. *)
 let run (p : Ir.program) (state : state) =
   exec_nodes { state; iters = Util.SMap.empty } p.Ir.body
 
-(** [run_fresh p ~sizes ...] allocates a fresh state and runs [p] in it. *)
+(** [run_fresh p ~sizes ...] allocates a fresh state and runs [p] in it
+    (tree-walking oracle). *)
 let run_fresh (p : Ir.program) ~sizes ?(scalars = []) ?init_fn () =
   let state = init p ~sizes ~scalars ?init_fn () in
   run p state;
   state
+
+(* ------------------------------------------------------------------ *)
+(* Compiled fast path                                                   *)
+
+(** [run_compiled p state] executes [p] with the slot-based compiled
+    engine ({!Compile}) — bitwise identical to {!run}, 10–100x faster. *)
+let run_compiled (p : Ir.program) (state : state) = Compile.run p state
+
+(** [run_compiled_fresh p ~sizes ...] — {!run_fresh} on the compiled
+    engine. *)
+let run_compiled_fresh (p : Ir.program) ~sizes ?(scalars = []) ?init_fn () =
+  Compile.run_fresh p ~sizes ~scalars ?init_fn ()
 
 (* ------------------------------------------------------------------ *)
 (* Comparison                                                           *)
@@ -280,11 +230,12 @@ let max_rel_diff (p : Ir.program) (s1 : state) (s2 : state) =
 
 (** [equivalent_on ~arrays p1 p2 ~sizes] — run both programs from identical
     initial states and compare only the named arrays (for cross-language
-    checks where the programs declare different temporaries). *)
+    checks where the programs declare different temporaries). Runs on the
+    compiled engine. *)
 let equivalent_on ?(tol = 1e-9) ~(arrays : string list) (p1 : Ir.program)
     (p2 : Ir.program) ~sizes ?(scalars = []) () =
-  let s1 = run_fresh p1 ~sizes ~scalars () in
-  let s2 = run_fresh p2 ~sizes ~scalars () in
+  let s1 = run_compiled_fresh p1 ~sizes ~scalars () in
+  let s2 = run_compiled_fresh p2 ~sizes ~scalars () in
   List.for_all
     (fun name ->
       match (Hashtbl.find_opt s1.arrays name, Hashtbl.find_opt s2.arrays name) with
@@ -305,9 +256,10 @@ let equivalent_on ?(tol = 1e-9) ~(arrays : string list) (p1 : Ir.program)
     arrays
 
 (** [equivalent p1 p2 ~sizes] runs both programs from identical initial
-    states and checks parameter arrays agree within [tol]. *)
+    states and checks parameter arrays agree within [tol]. Runs on the
+    compiled engine. *)
 let equivalent ?(tol = 1e-9) (p1 : Ir.program) (p2 : Ir.program) ~sizes
     ?(scalars = []) () =
-  let s1 = run_fresh p1 ~sizes ~scalars () in
-  let s2 = run_fresh p2 ~sizes ~scalars () in
+  let s1 = run_compiled_fresh p1 ~sizes ~scalars () in
+  let s2 = run_compiled_fresh p2 ~sizes ~scalars () in
   max_rel_diff p1 s1 s2 <= tol

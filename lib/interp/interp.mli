@@ -1,12 +1,15 @@
 (** Reference interpreter for loopir programs over real [float array]
     storage — the oracle proving every transformation semantics-preserving.
+    Two engines share the execution state: the tree-walking oracle
+    ({!run}) and the slot-based compiled fast path ({!run_compiled},
+    bitwise-identical and 10–100x faster — see [docs/performance.md]).
     Scheduling attributes do not affect interpretation. *)
 
-type tensor = { dims : int array; data : float array }
+type tensor = Istate.tensor = { dims : int array; data : float array }
 
 val tensor_size : tensor -> int
 
-type state = {
+type state = Istate.state = {
   sizes : int Daisy_support.Util.SMap.t;
   mutable scalars : float Daisy_support.Util.SMap.t;
   arrays : (string, tensor) Hashtbl.t;
@@ -28,7 +31,8 @@ val init :
 (** Allocate every array (parameters via [init_fn], locals zeroed). *)
 
 val run : Daisy_loopir.Ir.program -> state -> unit
-(** Execute the program body, mutating [state]. *)
+(** Execute the program body with the tree-walking oracle, mutating
+    [state]. *)
 
 val run_fresh :
   Daisy_loopir.Ir.program ->
@@ -37,6 +41,19 @@ val run_fresh :
   ?init_fn:(string -> int -> float) ->
   unit ->
   state
+
+val run_compiled : Daisy_loopir.Ir.program -> state -> unit
+(** Execute with the compiled engine ({!Compile}): bitwise-identical final
+    states and error behavior, 10–100x faster than {!run}. *)
+
+val run_compiled_fresh :
+  Daisy_loopir.Ir.program ->
+  sizes:(string * int) list ->
+  ?scalars:(string * float) list ->
+  ?init_fn:(string -> int -> float) ->
+  unit ->
+  state
+(** {!run_fresh} on the compiled engine. *)
 
 val max_rel_diff : Daisy_loopir.Ir.program -> state -> state -> float
 (** Maximum relative difference between parameter arrays of two states
@@ -51,8 +68,8 @@ val equivalent_on :
   ?scalars:(string * float) list ->
   unit ->
   bool
-(** Run both programs from identical initial states and compare only the
-    named arrays (for cross-language checks). *)
+(** Run both programs from identical initial states (compiled engine) and
+    compare only the named arrays (for cross-language checks). *)
 
 val equivalent :
   ?tol:float ->
@@ -62,4 +79,4 @@ val equivalent :
   ?scalars:(string * float) list ->
   unit ->
   bool
-(** Compare all parameter arrays. *)
+(** Compare all parameter arrays (compiled engine). *)

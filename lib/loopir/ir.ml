@@ -242,6 +242,25 @@ let rec node_scalar_writes = function
   | Nloop l -> List.concat_map node_scalar_writes l.body
   | Ncall _ -> []
 
+(** Every scalar name a program can touch — declared parameters and
+    locals first, then any name read or written in the body — deduplicated
+    preserving first occurrence. This is the slot-assignment universe of
+    the compiled interpreter. *)
+let program_scalar_names (p : program) : string list =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let add s =
+    if not (Hashtbl.mem seen s) then begin
+      Hashtbl.add seen s ();
+      out := s :: !out
+    end
+  in
+  List.iter add p.scalar_params;
+  List.iter add p.local_scalars;
+  List.iter (fun n -> List.iter add (node_scalar_reads n)) p.body;
+  List.iter (fun n -> List.iter add (node_scalar_writes n)) p.body;
+  List.rev !out
+
 (** Iterators of the loops enclosing nothing — i.e. the iterators a node
     itself binds, in-order. *)
 let rec bound_iters = function

@@ -136,6 +136,11 @@ val node_array_writes : node -> access list
 val node_scalar_reads : node -> string list
 val node_scalar_writes : node -> string list
 
+val program_scalar_names : program -> string list
+(** Every scalar name a program can touch (params, locals, body reads and
+    writes), deduplicated preserving first occurrence — the slot universe
+    of the compiled interpreter. *)
+
 (** {1 Substitution} *)
 
 val vexpr_subst_idx : Expr.t Daisy_support.Util.SMap.t -> vexpr -> vexpr

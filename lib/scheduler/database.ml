@@ -42,12 +42,11 @@ let entries db = db.entries
 let merge ~into src = into.entries <- src.entries @ into.entries
 
 (** [query db ~k nest] — the [k] entries nearest to [nest] in embedding
-    space (closest first). *)
+    space (closest first). Scans the entries directly — no per-query
+    intermediate pair list. *)
 let query db ~k (nest : Ir.loop) : (float * entry) list =
   let q = Embedding.of_node (Ir.Nloop nest) in
-  Embedding.nearest k
-    (List.map (fun e -> (e.embedding, e)) db.entries)
-    q
+  Embedding.nearest_by ~embed:(fun e -> e.embedding) k db.entries q
 
 (** Entries whose normalized structure is identical to [nest] — exact
     transfer hits. *)

@@ -86,13 +86,12 @@ let seed_database ?(epochs = 3) ?(population = 8) ?(iterations = 3) ?pool
           Rng.of_string (Printf.sprintf "seed-epoch%d-%s" epoch st.label)
         in
         let neighbours =
-          Embedding.nearest 10
-            (List.filter_map
-               (fun (o, emb, best) ->
-                 if o == st then None else Some (emb, best))
-               snapshot)
+          Embedding.nearest_by
+            ~embed:(fun (_, emb, _) -> emb)
+            10
+            (List.filter (fun (o, _, _) -> o != st) snapshot)
             st.embedding
-          |> List.map snd
+          |> List.map (fun (_, (_, _, best)) -> best)
         in
         (rng, st.best :: neighbours))
   done;

@@ -1,0 +1,381 @@
+(** Differential tests of the compiled execution engine: on every
+    benchmark in the repo (PolyBench A/B variants and extras, NPBench
+    lowerings, CLOUDSC) and on random programs, [Interp.run_compiled]
+    must produce a final state {e bitwise identical} to the tree-walking
+    oracle [Interp.run] — every array element (locals included) and every
+    scalar, compared bit for bit. Error paths must match too: the same
+    [Runtime_error] message for out-of-bounds subscripts, unbound
+    scalars, unknown intrinsics and unknown arrays. *)
+
+module Ir = Daisy_loopir.Ir
+module Expr = Daisy_poly.Expr
+module Interp = Daisy_interp.Interp
+module Pb = Daisy_benchmarks.Polybench
+module Np = Daisy_benchmarks.Npbench
+module Variants = Daisy_benchmarks.Variants
+module Cloudsc = Daisy_benchmarks.Cloudsc
+module Alower = Daisy_arraylang.Lower
+
+let lower = Daisy_lang.Lower.program_of_string ~source:"test.c"
+
+(* ------------------------------------------------------------------ *)
+(* Bitwise state comparison                                             *)
+
+let bits = Int64.bits_of_float
+
+let check_bitwise name (p : Ir.program) ~sizes ?(scalars = []) () =
+  let s1 = Interp.run_fresh p ~sizes ~scalars () in
+  let s2 = Interp.run_compiled_fresh p ~sizes ~scalars () in
+  Alcotest.(check int)
+    (name ^ ": same array count")
+    (Hashtbl.length s1.Interp.arrays)
+    (Hashtbl.length s2.Interp.arrays);
+  Hashtbl.iter
+    (fun aname (t1 : Interp.tensor) ->
+      match Hashtbl.find_opt s2.Interp.arrays aname with
+      | None -> Alcotest.failf "%s: array %s missing from compiled state" name aname
+      | Some t2 ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "%s: %s dims" name aname)
+            (Array.to_list t1.Interp.dims |> Array.of_list)
+            (Array.to_list t2.Interp.dims |> Array.of_list);
+          Array.iteri
+            (fun i x ->
+              if bits x <> bits t2.Interp.data.(i) then
+                Alcotest.failf "%s: %s[%d] differs: %h (tree) vs %h (compiled)"
+                  name aname i x t2.Interp.data.(i))
+            t1.Interp.data)
+    s1.Interp.arrays;
+  let module SMap = Daisy_support.Util.SMap in
+  if not (SMap.equal (fun a b -> bits a = bits b) s1.Interp.scalars s2.Interp.scalars)
+  then Alcotest.failf "%s: scalar environments differ" name
+
+let check_same_error name (p : Ir.program) ~sizes () =
+  let outcome run =
+    match run () with
+    | (_ : Interp.state) -> Error "completed without error"
+    | exception Interp.Runtime_error m -> Ok m
+  in
+  let r1 = outcome (fun () -> Interp.run_fresh p ~sizes ()) in
+  let r2 = outcome (fun () -> Interp.run_compiled_fresh p ~sizes ()) in
+  match (r1, r2) with
+  | Ok m1, Ok m2 ->
+      Alcotest.(check string) (name ^ ": identical error message") m1 m2
+  | Error w, _ -> Alcotest.failf "%s: tree oracle %s" name w
+  | _, Error w -> Alcotest.failf "%s: compiled engine %s" name w
+
+(* ------------------------------------------------------------------ *)
+(* Benchmark sweeps                                                     *)
+
+let test_polybench_a () =
+  List.iter
+    (fun (b : Pb.benchmark) ->
+      check_bitwise ("A:" ^ b.Pb.name) (Pb.program b) ~sizes:b.Pb.test_sizes ())
+    (Pb.all @ Pb.extras)
+
+let test_polybench_b () =
+  List.iter
+    (fun (b : Pb.benchmark) ->
+      let v = Variants.generate ~seed:("bvariant-" ^ b.Pb.name) (Pb.program b) in
+      check_bitwise ("B:" ^ b.Pb.name) v ~sizes:b.Pb.test_sizes ())
+    Pb.all
+
+let test_polybench_libcalls () =
+  (* idiom-replaced programs exercise the compiled Ncall path *)
+  let replaced = ref 0 in
+  List.iter
+    (fun (b : Pb.benchmark) ->
+      let p, n = Daisy_blas.Patterns.replace_all (Pb.program b) in
+      replaced := !replaced + n;
+      if n > 0 then
+        check_bitwise ("libcall:" ^ b.Pb.name) p ~sizes:b.Pb.test_sizes ())
+    Pb.all;
+  Alcotest.(check bool)
+    (Printf.sprintf "%d library calls exercised" !replaced)
+    true (!replaced > 0)
+
+let test_npbench () =
+  List.iter
+    (fun (b : Np.benchmark) ->
+      List.iter
+        (fun (pname, policy) ->
+          let p = Alower.lower policy b.Np.program in
+          check_bitwise
+            (Printf.sprintf "np:%s:%s" b.Np.name pname)
+            p ~sizes:b.Np.test_sizes ())
+        [ ("frontend", Alower.frontend_policy); ("numpy", Alower.numpy_policy) ])
+    Np.all
+
+let test_cloudsc () =
+  let orig, sizes = Cloudsc.erosion_original ~iters:3 in
+  check_bitwise "cloudsc:erosion-original" orig ~sizes ();
+  let opt, sizes = Cloudsc.erosion_optimized ~iters:3 in
+  check_bitwise "cloudsc:erosion-optimized" opt ~sizes ();
+  let small_sizes = [ ("nblocks", 2); ("klev", 6); ("nproma", 8) ] in
+  List.iter
+    (fun v ->
+      let p, _ = Cloudsc.full_model v ~blocks:2 in
+      check_bitwise
+        ("cloudsc:" ^ Cloudsc.string_of_version v)
+        p ~sizes:small_sizes ())
+    Cloudsc.all_versions
+
+(* ------------------------------------------------------------------ *)
+(* Non-affine subscripts: the compiled-expression fallback path          *)
+
+let test_non_affine_subscripts () =
+  (* A[(i*i) mod n] += B[max(i-2, 0)] — products, mod, max: everything
+     Affine.of_expr rejects *)
+  let n = Expr.var "n" and i = Expr.var "i" in
+  let sq_mod = Expr.md (Expr.mul i i) n in
+  let clamped = Expr.max_ (Expr.sub i (Expr.const 2)) Expr.zero in
+  let dest = { Ir.array = "A"; indices = [ sq_mod ] } in
+  let p =
+    {
+      Ir.pname = "nonaffine";
+      size_params = [ "n" ];
+      scalar_params = [];
+      arrays =
+        [ { Ir.name = "A"; elem = Ir.Fdouble; dims = [ n ]; storage = Ir.Sparam };
+          { Ir.name = "B"; elem = Ir.Fdouble; dims = [ n ]; storage = Ir.Sparam } ];
+      local_scalars = [];
+      body =
+        [ Ir.Nloop
+            (Ir.mk_loop ~iter:"i" ~lo:Expr.zero
+               ~hi:(Expr.sub n Expr.one)
+               [ Ir.Ncomp
+                   (Ir.mk_comp (Ir.Darray dest)
+                      (Ir.Vbin
+                         (Ir.Vadd, Ir.Vread dest,
+                          Ir.Vread { Ir.array = "B"; indices = [ clamped ] })))
+               ]) ];
+    }
+  in
+  check_bitwise "non-affine subscripts" p ~sizes:[ ("n", 17) ] ()
+
+let test_min_max_bounds_and_guards () =
+  (* min/max loop bounds (tiling-style), guards, Vselect, Vint, scalar
+     destinations and intrinsics in one program *)
+  let n = Expr.var "n" and m = Expr.var "m" in
+  let i = Expr.var "i" and j = Expr.var "j" in
+  let acc_dest = Ir.Dscalar "acc" in
+  let p =
+    {
+      Ir.pname = "kitchen";
+      size_params = [ "n"; "m" ];
+      scalar_params = [ "alpha" ];
+      arrays =
+        [ { Ir.name = "A"; elem = Ir.Fdouble; dims = [ n; m ];
+            storage = Ir.Sparam } ];
+      local_scalars = [ "acc" ];
+      body =
+        [ Ir.Ncomp (Ir.mk_comp acc_dest (Ir.Vfloat 0.0));
+          Ir.Nloop
+            (Ir.mk_loop ~iter:"i" ~lo:Expr.zero
+               ~hi:(Expr.sub (Expr.min_ n m) Expr.one)
+               [ Ir.Nloop
+                   (Ir.mk_loop ~iter:"j" ~lo:Expr.zero
+                      ~hi:(Expr.sub m Expr.one)
+                      [ Ir.Ncomp
+                          (Ir.mk_comp
+                             ~guard:
+                               (Ir.Pcmp
+                                  (Ir.Cle, Ir.Vint j, Ir.Vint i))
+                             acc_dest
+                             (Ir.Vbin
+                                (Ir.Vadd, Ir.Vscalar "acc",
+                                 Ir.Vselect
+                                   ( Ir.Pcmp
+                                       (Ir.Cgt,
+                                        Ir.Vread
+                                          { Ir.array = "A"; indices = [ i; j ] },
+                                        Ir.Vfloat 0.5),
+                                     Ir.Vcall
+                                       ("pow",
+                                        [ Ir.Vread
+                                            { Ir.array = "A";
+                                              indices = [ i; j ] };
+                                          Ir.Vfloat 2.0 ]),
+                                     Ir.Vneg (Ir.Vscalar "alpha") ))))
+                      ]);
+                 Ir.Ncomp
+                   (Ir.mk_comp
+                      (Ir.Darray { Ir.array = "A"; indices = [ i; Expr.zero ] })
+                      (Ir.Vcall ("tanh", [ Ir.Vscalar "acc" ])))
+               ]) ];
+    }
+  in
+  check_bitwise "min/max bounds + guards + scalars" p
+    ~sizes:[ ("n", 7); ("m", 9) ]
+    ~scalars:[ ("alpha", 0.25) ]
+    ()
+
+let test_negative_step () =
+  (* downward loop: prefix sums accumulated in reverse *)
+  let n = Expr.var "n" and i = Expr.var "i" in
+  let p =
+    {
+      Ir.pname = "reverse";
+      size_params = [ "n" ];
+      scalar_params = [];
+      arrays =
+        [ { Ir.name = "x"; elem = Ir.Fdouble; dims = [ n ]; storage = Ir.Sparam } ];
+      local_scalars = [];
+      body =
+        [ Ir.Nloop
+            (Ir.mk_loop ~iter:"i"
+               ~lo:(Expr.sub n (Expr.const 2))
+               ~hi:Expr.zero ~step:(-1)
+               [ Ir.Ncomp
+                   (Ir.mk_comp
+                      (Ir.Darray { Ir.array = "x"; indices = [ i ] })
+                      (Ir.Vbin
+                         (Ir.Vadd,
+                          Ir.Vread { Ir.array = "x"; indices = [ i ] },
+                          Ir.Vread
+                            { Ir.array = "x";
+                              indices = [ Expr.add i Expr.one ] })))
+               ]) ];
+    }
+  in
+  check_bitwise "negative-step loop" p ~sizes:[ ("n", 12) ] ()
+
+(* ------------------------------------------------------------------ *)
+(* Error-path parity                                                    *)
+
+let test_error_out_of_bounds () =
+  let p =
+    lower
+      {|void f(int n, double A[n]) {
+          for (int i = 0; i < n; i++)
+            A[i + 1] = 1.0;
+        }|}
+  in
+  check_same_error "oob write" p ~sizes:[ ("n", 4) ] ();
+  let q =
+    lower
+      {|void f(int n, double A[n], double B[n][n]) {
+          for (int i = 0; i < n; i++)
+            A[i] = B[i + 2][i];
+        }|}
+  in
+  check_same_error "oob read (2d)" q ~sizes:[ ("n", 4) ] ()
+
+let test_error_unbound_scalar () =
+  let p =
+    {
+      Ir.pname = "unbound";
+      size_params = [ "n" ];
+      scalar_params = [];
+      arrays =
+        [ { Ir.name = "A"; elem = Ir.Fdouble; dims = [ Expr.var "n" ];
+            storage = Ir.Sparam } ];
+      local_scalars = [ "alpha" ];
+      body =
+        [ Ir.Ncomp
+            (Ir.mk_comp
+               (Ir.Darray { Ir.array = "A"; indices = [ Expr.const 0 ] })
+               (Ir.Vscalar "alpha")) ];
+    }
+  in
+  check_same_error "unbound scalar" p ~sizes:[ ("n", 4) ] ()
+
+let test_error_unknown_intrinsic () =
+  let p =
+    {
+      Ir.pname = "intrinsic";
+      size_params = [ "n" ];
+      scalar_params = [];
+      arrays =
+        [ { Ir.name = "A"; elem = Ir.Fdouble; dims = [ Expr.var "n" ];
+            storage = Ir.Sparam } ];
+      local_scalars = [];
+      body =
+        [ Ir.Ncomp
+            (Ir.mk_comp
+               (Ir.Darray { Ir.array = "A"; indices = [ Expr.const 0 ] })
+               (Ir.Vcall ("bogus", [ Ir.Vfloat 1.0; Ir.Vfloat 2.0 ]))) ];
+    }
+  in
+  check_same_error "unknown intrinsic" p ~sizes:[ ("n", 4) ] ();
+  (* a known intrinsic at the wrong arity is the same error path *)
+  let q =
+    {
+      p with
+      Ir.body =
+        [ Ir.Ncomp
+            (Ir.mk_comp
+               (Ir.Darray { Ir.array = "A"; indices = [ Expr.const 0 ] })
+               (Ir.Vcall ("sqrt", [ Ir.Vfloat 1.0; Ir.Vfloat 2.0 ]))) ];
+    }
+  in
+  check_same_error "wrong-arity intrinsic" q ~sizes:[ ("n", 4) ] ()
+
+let test_error_unknown_array () =
+  let p =
+    {
+      Ir.pname = "unknown-array";
+      size_params = [ "n" ];
+      scalar_params = [];
+      arrays =
+        [ { Ir.name = "A"; elem = Ir.Fdouble; dims = [ Expr.var "n" ];
+            storage = Ir.Sparam } ];
+      local_scalars = [];
+      body =
+        [ Ir.Ncomp
+            (Ir.mk_comp
+               (Ir.Darray { Ir.array = "A"; indices = [ Expr.const 0 ] })
+               (Ir.Vread { Ir.array = "Ghost"; indices = [ Expr.const 0 ] })) ];
+    }
+  in
+  check_same_error "unknown array read" p ~sizes:[ ("n", 4) ] ();
+  let q =
+    {
+      p with
+      Ir.body =
+        [ Ir.Ncomp
+            (Ir.mk_comp
+               (Ir.Darray { Ir.array = "Ghost"; indices = [ Expr.const 0 ] })
+               (Ir.Vfloat 1.0)) ];
+    }
+  in
+  check_same_error "unknown array write" q ~sizes:[ ("n", 4) ] ()
+
+(* ------------------------------------------------------------------ *)
+(* Random programs                                                      *)
+
+let prop_compiled_bitwise =
+  QCheck.Test.make ~count:120
+    ~name:"compiled engine bitwise-identical to oracle"
+    Test_property.arbitrary_program (fun p ->
+      let sizes = [ ("n", 8) ] in
+      let s1 = Interp.run_fresh p ~sizes () in
+      let s2 = Interp.run_compiled_fresh p ~sizes () in
+      let ok = ref true in
+      Hashtbl.iter
+        (fun aname (t1 : Interp.tensor) ->
+          match Hashtbl.find_opt s2.Interp.arrays aname with
+          | None -> ok := false
+          | Some t2 ->
+              Array.iteri
+                (fun i x -> if bits x <> bits t2.Interp.data.(i) then ok := false)
+                t1.Interp.data)
+        s1.Interp.arrays;
+      !ok)
+
+let suite =
+  [
+    ("polybench A variants bitwise", `Slow, test_polybench_a);
+    ("polybench B variants bitwise", `Slow, test_polybench_b);
+    ("polybench library calls bitwise", `Quick, test_polybench_libcalls);
+    ("npbench lowerings bitwise", `Slow, test_npbench);
+    ("cloudsc bitwise", `Slow, test_cloudsc);
+    ("non-affine subscript fallback", `Quick, test_non_affine_subscripts);
+    ("min/max bounds, guards, scalars", `Quick, test_min_max_bounds_and_guards);
+    ("negative-step loops", `Quick, test_negative_step);
+    ("error parity: out of bounds", `Quick, test_error_out_of_bounds);
+    ("error parity: unbound scalar", `Quick, test_error_unbound_scalar);
+    ("error parity: unknown intrinsic", `Quick, test_error_unknown_intrinsic);
+    ("error parity: unknown array", `Quick, test_error_unknown_array);
+    QCheck_alcotest.to_alcotest prop_compiled_bitwise;
+  ]
