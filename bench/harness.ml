@@ -10,14 +10,22 @@ module Cost = Daisy_machine.Cost
 module Pool = Daisy_support.Pool
 
 let threads = 12
-let sample = 8
+
+let sample = ref 8
+(** Outer-iteration sample budget for the trace walk (set by
+    [--sample-outer] in {!Main}). *)
+
+let engine = ref Cost.Compiled
+(** Trace engine used by every experiment context (set by
+    [--trace-engine] in {!Main}): [tree], [compiled] (bit-identical,
+    default) or [approx] (sampled, see docs/performance.md). *)
 
 let jobs = ref 1
 (** Worker domains for database seeding (set by [--jobs] in {!Main});
     results are bit-identical at any job count. *)
 
 let ctx_for (sizes : (string * int) list) : S.Common.ctx =
-  S.Common.make_ctx ~threads ~sample_outer:sample ~sizes ()
+  S.Common.make_ctx ~threads ~sample_outer:!sample ~engine:!engine ~sizes ()
 
 (* ------------------------------------------------------------------ *)
 (* A/B variants *)

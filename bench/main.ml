@@ -21,28 +21,57 @@ let experiments =
      Micro.interp_bench_full);
     ("interp-smoke", "interpreter engine comparison, tiny sizes (CI smoke)",
      Micro.interp_bench_smoke);
+    ("trace", "trace engines: tree walker vs compiled vs sampled (BENCH_trace.json)",
+     Micro.trace_bench_full);
+    ("trace-smoke", "trace engine comparison, two kernels (CI smoke)",
+     Micro.trace_bench_smoke);
   ]
 
 let () =
-  (* strip a --jobs N / --jobs=N / -j N option before experiment names *)
+  (* strip --jobs N / --sample-outer N / --trace-engine E options (with
+     their --opt=value spellings) before experiment names *)
+  let opt_value ~prefix arg =
+    let n = String.length prefix in
+    if String.length arg > n && String.sub arg 0 n = prefix then
+      Some (String.sub arg n (String.length arg - n))
+    else None
+  in
   let rec parse_args = function
     | [] -> []
     | ("--jobs" | "-j") :: v :: rest ->
         Harness.jobs := int_of_string v;
         parse_args rest
-    | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" ->
-        Harness.jobs :=
-          int_of_string (String.sub arg 7 (String.length arg - 7));
+    | "--sample-outer" :: v :: rest ->
+        Harness.sample := int_of_string v;
         parse_args rest
-    | name :: rest -> name :: parse_args rest
+    | "--trace-engine" :: v :: rest ->
+        Harness.engine := Daisy_machine.Cost.engine_of_string v;
+        parse_args rest
+    | arg :: rest -> (
+        match opt_value ~prefix:"--jobs=" arg with
+        | Some v ->
+            Harness.jobs := int_of_string v;
+            parse_args rest
+        | None -> (
+            match opt_value ~prefix:"--sample-outer=" arg with
+            | Some v ->
+                Harness.sample := int_of_string v;
+                parse_args rest
+            | None -> (
+                match opt_value ~prefix:"--trace-engine=" arg with
+                | Some v ->
+                    Harness.engine := Daisy_machine.Cost.engine_of_string v;
+                    parse_args rest
+                | None -> arg :: parse_args rest)))
   in
   let requested =
     match parse_args (List.tl (Array.to_list Sys.argv)) with
     | [] ->
-        (* the smoke variant is CI-only sugar; "run everything" uses the
-           full interpreter comparison *)
+        (* the smoke variants are CI-only sugar; "run everything" uses the
+           full engine comparisons *)
         List.filter_map
-          (fun (n, _, _) -> if n = "interp-smoke" then None else Some n)
+          (fun (n, _, _) ->
+            if n = "interp-smoke" || n = "trace-smoke" then None else Some n)
           experiments
     | names -> names
   in

@@ -175,6 +175,181 @@ let interp_bench_full () = interp_bench ()
 let interp_bench_smoke () = interp_bench ~smoke:true ()
 
 (* ------------------------------------------------------------------ *)
+(* Trace engines: tree walker vs compiled vs sampled (BENCH_trace.json)  *)
+
+module Trace = Daisy_machine.Trace
+module Tc = Daisy_machine.Trace_compile
+
+(** Per-candidate comparison set: the kernels whose cost-model walks
+    dominate scheduler search time, at the same sizes and outer-sample
+    budget the schedulers use. *)
+let trace_cases ~smoke =
+  let pb names =
+    List.map
+      (fun name ->
+        let b = Pb.find name in
+        (b.Pb.name, Pb.program b, b.Pb.sim_sizes))
+      names
+  in
+  if smoke then pb [ "gemm"; "atax" ]
+  else
+    pb
+      [ "gemm"; "2mm"; "gemver"; "atax"; "correlation"; "covariance";
+        "jacobi-2d"; "heat-3d"; "seidel-2d" ]
+    @ [ (let p, s = Daisy_benchmarks.Cloudsc.erosion_original ~iters:8 in
+         ("cloudsc-erosion", p, s)) ]
+
+let trace_sample_outer = 12
+
+type trace_row = {
+  tkernel : string;
+  tsizes : (string * int) list;
+  tree_s : float;
+  tcompiled_s : float;
+  approx_s : float;
+  exact_identical : bool;
+  approx_rel_err : float;
+}
+
+type e2e_row = { engine_name : string; seed_s : float }
+
+(** Perf-trajectory record for the cost-model fast path: per-kernel
+    wall-clock of the three engines plus the exactness/accuracy checks,
+    and end-to-end scheduling-database seeding per engine. Accumulated
+    across PRs by CI (see docs/performance.md). *)
+let write_trace_json ~path (rows : trace_row list) (e2e : e2e_row list) =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n  \"bench\": \"trace\",\n  \"schema\": 1,\n  \"results\": [\n";
+  List.iteri
+    (fun i r ->
+      let sizes =
+        String.concat ", "
+          (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %d" k v) r.tsizes)
+      in
+      out
+        "    {\"kernel\": \"%s\", \"sizes\": {%s}, \"tree_s\": %.6f, \
+         \"compiled_s\": %.6f, \"approx_s\": %.6f, \
+         \"speedup_compiled\": %.2f, \"speedup_approx\": %.2f, \
+         \"exact_identical\": %b, \"approx_rel_err\": %.4f}%s\n"
+        r.tkernel sizes r.tree_s r.tcompiled_s r.approx_s
+        (r.tree_s /. r.tcompiled_s)
+        (r.tree_s /. r.approx_s)
+        r.exact_identical r.approx_rel_err
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  out "  ],\n  \"end_to_end\": [\n";
+  List.iteri
+    (fun i e ->
+      out "    {\"engine\": \"%s\", \"seed_s\": %.6f}%s\n" e.engine_name
+        e.seed_s
+        (if i = List.length e2e - 1 then "" else ","))
+    e2e;
+  out "  ]\n}\n";
+  close_out oc
+
+let trace_cycles engine p ~sizes =
+  (Cost.evaluate Config.default p ~sizes ~threads:1
+     ~sample_outer:trace_sample_outer ~engine ())
+    .Cost.total_cycles
+
+(** End-to-end: seed the scheduling database (Evolve.search inside) with
+    each engine. The work is identical modulo the engine, so the ratio is
+    the real-world speedup a scheduler run sees. *)
+let trace_seed_wallclock ~smoke (engine : Cost.engine) =
+  let module S = Daisy_scheduler in
+  let kernels = if smoke then [ Pb.gemm ] else [ Pb.gemm; Pb.atax; Pb.jacobi_2d ] in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun (b : Pb.benchmark) ->
+      let ctx =
+        S.Common.make_ctx ~threads:12 ~sample_outer:trace_sample_outer ~engine
+          ~sizes:b.Pb.sim_sizes ()
+      in
+      let db = S.Database.create () in
+      S.Seed.seed_database ~epochs:1 ~population:6 ~iterations:2 ctx ~db
+        [ (b.Pb.name, Pb.program b) ])
+    kernels;
+  Unix.gettimeofday () -. t0
+
+(** [trace_bench ~smoke ()] — wall-clock of the tree trace walker vs the
+    compiled engine (bit-identical) and the sampled engine (approximate),
+    written to BENCH_trace.json. [~smoke:true] restricts to two kernels
+    with one repetition (the CI smoke configuration). *)
+let trace_bench ?(smoke = false) () =
+  let reps = if smoke then 1 else 3 in
+  let rows =
+    List.map
+      (fun (name, p, sizes) ->
+        let tree_s =
+          median_time reps (fun () ->
+              ignore
+                (Trace.run Config.default p ~sizes
+                   ~sample_outer:trace_sample_outer ()))
+        in
+        let tcompiled_s =
+          median_time reps (fun () ->
+              ignore
+                (Tc.run Config.default p ~sizes
+                   ~sample_outer:trace_sample_outer ()))
+        in
+        let approx_s =
+          median_time reps (fun () ->
+              ignore
+                (Tc.run Config.default p ~sizes
+                   ~sample_outer:trace_sample_outer ~approx:Tc.default_approx
+                   ()))
+        in
+        let exact_identical =
+          List.for_all2 Tc.counters_equal
+            (Trace.run Config.default p ~sizes
+               ~sample_outer:trace_sample_outer ())
+            (Tc.run Config.default p ~sizes ~sample_outer:trace_sample_outer
+               ())
+        in
+        let c_exact = trace_cycles Cost.Compiled p ~sizes in
+        let c_approx = trace_cycles (Cost.Approx Tc.default_approx) p ~sizes in
+        let approx_rel_err = Float.abs (c_approx -. c_exact) /. c_exact in
+        { tkernel = name; tsizes = sizes; tree_s; tcompiled_s; approx_s;
+          exact_identical; approx_rel_err })
+      (trace_cases ~smoke)
+  in
+  Format.printf "@.Trace engines: tree walker vs compiled vs sampled@.";
+  Format.printf "  %-16s %10s %12s %10s %8s %8s %7s %6s@." "kernel"
+    "tree (s)" "compiled (s)" "approx (s)" "vs tree" "vs tree" "exact"
+    "err";
+  List.iter
+    (fun r ->
+      Format.printf "  %-16s %10.5f %12.5f %10.5f %7.1fx %7.1fx %7b %5.1f%%@."
+        r.tkernel r.tree_s r.tcompiled_s r.approx_s
+        (r.tree_s /. r.tcompiled_s)
+        (r.tree_s /. r.approx_s)
+        r.exact_identical
+        (100.0 *. r.approx_rel_err))
+    rows;
+  let geomean xs = exp (List.fold_left (fun a x -> a +. log x) 0.0 xs
+                        /. float_of_int (List.length xs)) in
+  Format.printf "  geomean speedup vs tree: compiled %.1fx, approx %.1fx@."
+    (geomean (List.map (fun r -> r.tree_s /. r.tcompiled_s) rows))
+    (geomean (List.map (fun r -> r.tree_s /. r.approx_s) rows));
+  let e2e =
+    List.map
+      (fun (engine_name, engine) ->
+        { engine_name; seed_s = trace_seed_wallclock ~smoke engine })
+      [ ("tree", Cost.Tree); ("compiled", Cost.Compiled);
+        ("approx", Cost.Approx Tc.default_approx) ]
+  in
+  Format.printf "@.End-to-end database seeding (Evolve.search inside):@.";
+  List.iter
+    (fun e -> Format.printf "  %-10s %8.3f s@." e.engine_name e.seed_s)
+    e2e;
+  write_trace_json ~path:"BENCH_trace.json" rows e2e;
+  Format.printf "  [wrote BENCH_trace.json]@."
+
+let trace_bench_full () = trace_bench ()
+let trace_bench_smoke () = trace_bench ~smoke:true ()
+
+(* ------------------------------------------------------------------ *)
 (* Parallel database seeding: wall-clock with 1 vs 4 worker domains     *)
 
 let seed_kernels =

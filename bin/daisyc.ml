@@ -71,6 +71,28 @@ let jobs_arg =
          ~doc:"Worker domains for parallel search/seeding (results are \
                bit-identical at any job count; see docs/parallelism.md).")
 
+let sample_outer_arg =
+  Arg.(value & opt int 12 & info [ "sample-outer" ] ~docv:"N"
+         ~doc:"Iterations of each outermost loop the cost model traces \
+               (0 = all). Lower is faster but less faithful on \
+               non-stationary outer loops.")
+
+let engine_conv : Daisy.Machine.Cost.engine Arg.conv =
+  let parse s =
+    try Ok (Daisy.Machine.Cost.engine_of_string s)
+    with Invalid_argument m -> Error (`Msg m)
+  in
+  Arg.conv (parse, fun ppf e ->
+      Fmt.string ppf (Daisy.Machine.Cost.string_of_engine e))
+
+let engine_arg =
+  Arg.(value & opt engine_conv Daisy.Machine.Cost.Compiled
+         & info [ "trace-engine" ] ~docv:"ENGINE"
+             ~doc:"Cost-model trace engine: $(b,tree) (reference walker), \
+                   $(b,compiled) (bit-identical fast path, default) or \
+                   $(b,approx) (sampled; see docs/performance.md for the \
+                   accuracy contract).")
+
 (* ---------------- commands ---------------- *)
 
 let parse_cmd =
@@ -108,10 +130,10 @@ let normalize_cmd =
     Term.(const run $ file_arg $ defines_arg)
 
 let schedule_cmd =
-  let run file defs threads jobs =
+  let run file defs threads jobs sample_outer engine =
     let p = load file in
     let sizes = sizes_of defs p in
-    let ctx = S.Common.make_ctx ~threads ~sizes () in
+    let ctx = S.Common.make_ctx ~threads ~sample_outer ~engine ~sizes () in
     let db = S.Database.create () in
     Daisy.Support.Pool.with_pool ~jobs (fun pool ->
         S.Seed.seed_database ~epochs:1 ~population:6 ~iterations:2 ?pool ctx
@@ -130,13 +152,14 @@ let schedule_cmd =
   in
   Cmd.v
     (Cmd.info "schedule" ~doc:"Normalize, auto-schedule and simulate a kernel")
-    Term.(const run $ file_arg $ defines_arg $ threads_arg $ jobs_arg)
+    Term.(const run $ file_arg $ defines_arg $ threads_arg $ jobs_arg
+          $ sample_outer_arg $ engine_arg)
 
 let bench_cmd =
-  let run file defs threads jobs =
+  let run file defs threads jobs sample_outer engine =
     let p = load file in
     let sizes = sizes_of defs p in
-    let ctx = S.Common.make_ctx ~threads ~sizes () in
+    let ctx = S.Common.make_ctx ~threads ~sample_outer ~engine ~sizes () in
     let db = S.Database.create () in
     Daisy.Support.Pool.with_pool ~jobs (fun pool ->
         S.Seed.seed_database ~epochs:1 ~population:6 ~iterations:2 ?pool ctx
@@ -160,7 +183,8 @@ let bench_cmd =
       ]
   in
   Cmd.v (Cmd.info "bench" ~doc:"Compare all scheduler models on a kernel")
-    Term.(const run $ file_arg $ defines_arg $ threads_arg $ jobs_arg)
+    Term.(const run $ file_arg $ defines_arg $ threads_arg $ jobs_arg
+          $ sample_outer_arg $ engine_arg)
 
 let reuse_cmd =
   let run file defs =
@@ -181,11 +205,13 @@ let reuse_cmd =
     Term.(const run $ file_arg $ defines_arg)
 
 let polybench_cmd =
-  let run name threads jobs =
+  let run name threads jobs sample_outer engine =
     let module Pb = Daisy.Benchmarks.Polybench in
     let b = try Pb.find name with Invalid_argument m -> Fmt.epr "%s@." m; exit 1 in
     let p = Pb.program b in
-    let ctx = S.Common.make_ctx ~threads ~sizes:b.Pb.sim_sizes () in
+    let ctx =
+      S.Common.make_ctx ~threads ~sample_outer ~engine ~sizes:b.Pb.sim_sizes ()
+    in
     let db = S.Database.create () in
     Daisy.Support.Pool.with_pool ~jobs (fun pool ->
         S.Seed.seed_database ~epochs:1 ~population:6 ~iterations:2 ?pool ctx
@@ -215,7 +241,8 @@ let polybench_cmd =
   Cmd.v
     (Cmd.info "polybench"
        ~doc:"Run a built-in benchmark (A and generated B variant) across all              schedulers")
-    Term.(const run $ name_arg $ threads_arg $ jobs_arg)
+    Term.(const run $ name_arg $ threads_arg $ jobs_arg $ sample_outer_arg
+          $ engine_arg)
 
 let variant_cmd =
   let run file seed =

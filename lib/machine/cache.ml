@@ -119,12 +119,20 @@ let access (t : t) ~(addr : int) ~(write : bool) : unit =
       | Some dline -> ignore (access_level t t.l2 dline ~write:true)
       | None -> ())
 
+let flush_level (lv : level) =
+  Array.fill lv.tags 0 (Array.length lv.tags) (-1);
+  Array.fill lv.dirty 0 (Array.length lv.dirty) false
+
 (** Reset tag state but keep statistics. *)
 let flush (t : t) =
-  Array.fill t.l1.tags 0 (Array.length t.l1.tags) (-1);
-  Array.fill t.l2.tags 0 (Array.length t.l2.tags) (-1);
-  Array.fill t.l1.dirty 0 (Array.length t.l1.dirty) false;
-  Array.fill t.l2.dirty 0 (Array.length t.l2.dirty) false
+  flush_level t.l1;
+  flush_level t.l2
+
+(** Reset one level's tag state (keep statistics) — used by the approx
+    trace engine when a truncated loop's skipped traffic would have cycled
+    that level anyway. *)
+let flush_l1 (t : t) = flush_level t.l1
+let flush_l2 (t : t) = flush_level t.l2
 
 let l1_stats t = t.l1.stats
 let l2_stats t = t.l2.stats

@@ -22,5 +22,9 @@ val access : t -> addr:int -> write:bool -> unit
 val flush : t -> unit
 (** Reset tag state, keep statistics. *)
 
+val flush_l1 : t -> unit
+val flush_l2 : t -> unit
+(** Reset one level's tag state, keep statistics. *)
+
 val l1_stats : t -> stats
 val l2_stats : t -> stats

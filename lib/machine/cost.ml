@@ -80,11 +80,34 @@ let nest_cycles (config : Config.t) ~(threads : int) (c : Trace.counters) :
   in
   { counters = c; threads_used = p; cycles = base +. t_atomic +. overhead }
 
-(** [evaluate config p ~sizes ~threads ?sample_outer ()] — trace and cost a
-    program. *)
+(** Which trace engine produces the counters. [Tree] is the original
+    walker (the oracle); [Compiled] is the closure-tree engine, bit-identical
+    to the walker; [Approx] is the compiled engine with line-granular
+    stepping and adaptive loop sampling (bounded relative error, see
+    docs/performance.md). *)
+type engine = Tree | Compiled | Approx of Trace_compile.approx
+
+let engine_of_string = function
+  | "tree" -> Tree
+  | "compiled" -> Compiled
+  | "approx" -> Approx Trace_compile.default_approx
+  | s -> invalid_arg ("unknown trace engine '" ^ s ^ "' (tree|compiled|approx)")
+
+let string_of_engine = function
+  | Tree -> "tree"
+  | Compiled -> "compiled"
+  | Approx _ -> "approx"
+
+(** [evaluate config p ~sizes ~threads ?sample_outer ?engine ()] — trace and
+    cost a program. *)
 let evaluate (config : Config.t) (p : Ir.program) ~(sizes : (string * int) list)
-    ?(threads = 1) ?(sample_outer = 0) () : report =
-  let counters = Trace.run config p ~sizes ~sample_outer () in
+    ?(threads = 1) ?(sample_outer = 0) ?(engine = Compiled) () : report =
+  let counters =
+    match engine with
+    | Tree -> Trace.run config p ~sizes ~sample_outer ()
+    | Compiled -> Trace_compile.run config p ~sizes ~sample_outer ()
+    | Approx a -> Trace_compile.run config p ~sizes ~sample_outer ~approx:a ()
+  in
   let nests = List.map (nest_cycles config ~threads) counters in
   let total_cycles =
     List.fold_left (fun acc n -> acc +. n.cycles) 0.0 nests

@@ -24,16 +24,30 @@ type report = {
 
 val nest_cycles : Config.t -> threads:int -> Trace.counters -> nest_cost
 
+type engine = Tree | Compiled | Approx of Trace_compile.approx
+(** Which trace engine produces the counters. [Tree] is the original walker
+    (the oracle); [Compiled] is the closure-tree engine, bit-identical to
+    the walker; [Approx] adds line-granular stepping and adaptive loop
+    sampling with bounded relative error (docs/performance.md). *)
+
+val engine_of_string : string -> engine
+(** Parse "tree" | "compiled" | "approx"; raises [Invalid_argument]
+    otherwise. *)
+
+val string_of_engine : engine -> string
+
 val evaluate :
   Config.t ->
   Daisy_loopir.Ir.program ->
   sizes:(string * int) list ->
   ?threads:int ->
   ?sample_outer:int ->
+  ?engine:engine ->
   unit ->
   report
 (** Trace and cost a program ([sample_outer] > 0 samples the outermost loop
-    of each top-level nest and extrapolates). *)
+    of each top-level nest and extrapolates; [engine] defaults to
+    [Compiled]). *)
 
 val milliseconds : report -> float
 val pp_report : report Fmt.t

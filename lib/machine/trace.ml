@@ -262,6 +262,46 @@ let simd_stride (dims : int array) (indices : Expr.t list) (iter : string) :
   go 0 indices
 
 (* ------------------------------------------------------------------ *)
+(* Register pressure                                                     *)
+
+(** Architectural registers available to the spill model. *)
+let n_registers = 16
+
+(** Register-pressure model: an innermost loop whose live values (distinct
+    memory elements + scalar temporaries, multiplied by the unroll factor)
+    exceed the architectural registers spills the excess to the stack —
+    extra L1 loads and stores every iteration. This is what makes the big
+    inlined-and-unrolled CLOUDSC bodies expensive (paper Table 1) and what
+    maximal fission repairs. Shared by the tree walker and the compiled
+    engine ([Trace_compile]) so their spill counts cannot drift. *)
+let spill_estimate (l : Ir.loop) : int =
+  let comps = Ir.comps_in l.Ir.body in
+  let mem =
+    Util.dedup ~eq:( = )
+      (List.concat_map
+         (fun c -> Ir.comp_array_reads c @ Ir.comp_array_writes c)
+         comps)
+  in
+  let scalars =
+    Util.dedup ~eq:String.equal
+      (List.concat_map
+         (fun c -> Ir.comp_scalar_reads c @ Ir.comp_scalar_writes c)
+         comps)
+  in
+  let unroll = max 1 l.Ir.attrs.Ir.unroll in
+  (* liveness-based estimate: named values (memory elements + scalar
+     temporaries) plus expression-tree temporaries (one per ~6 flops),
+     overlapped live ranges (~60% live at once), replicated by
+     unrolling *)
+  let flops = Util.sum_byf (fun c -> vexpr_flops c.Ir.rhs) comps in
+  let named = List.length mem + List.length scalars in
+  let live =
+    int_of_float
+      (0.6 *. (float_of_int named +. (flops /. 6.0)) *. float_of_int unroll)
+  in
+  max 0 (live - n_registers)
+
+(* ------------------------------------------------------------------ *)
 (* The walker                                                           *)
 
 type walk_ctx = {
@@ -388,48 +428,13 @@ let trace_node (wctx : walk_ctx) (node : Ir.node) : counters =
   (* recursive walk; compiled computations are built lazily per static
      context and memoized by cid *)
   let comp_cache : (int, compiled_comp) Hashtbl.t = Hashtbl.create 64 in
-  (* Register-pressure model: an innermost loop whose live values (distinct
-     memory elements + scalar temporaries, multiplied by the unroll factor)
-     exceed the architectural registers spills the excess to the stack —
-     extra L1 loads and stores every iteration. This is what makes the big
-     inlined-and-unrolled CLOUDSC bodies expensive (paper Table 1) and what
-     maximal fission repairs. *)
-  let n_registers = 16 in
   let spill_info : (int, int * int) Hashtbl.t = Hashtbl.create 8 in
   let stack_base = ref 1024 in
   let spills_of (l : Ir.loop) : int * int =
     match Hashtbl.find_opt spill_info l.Ir.lid with
     | Some s -> s
     | None ->
-        let comps = Ir.comps_in l.Ir.body in
-        let mem =
-          Util.dedup ~eq:( = )
-            (List.concat_map
-               (fun c -> Ir.comp_array_reads c @ Ir.comp_array_writes c)
-               comps)
-        in
-        let scalars =
-          Util.dedup ~eq:String.equal
-            (List.concat_map
-               (fun c -> Ir.comp_scalar_reads c @ Ir.comp_scalar_writes c)
-               comps)
-        in
-        let unroll = max 1 l.Ir.attrs.Ir.unroll in
-        (* liveness-based estimate: named values (memory elements + scalar
-           temporaries) plus expression-tree temporaries (one per ~6 flops),
-           overlapped live ranges (~60% live at once), replicated by
-           unrolling *)
-        let flops =
-          Util.sum_byf (fun c -> vexpr_flops c.Ir.rhs) comps
-        in
-        let named = List.length mem + List.length scalars in
-        let live =
-          int_of_float
-            (0.6
-            *. (float_of_int named +. (flops /. 6.0))
-            *. float_of_int unroll)
-        in
-        let spills = max 0 (live - n_registers) in
+        let spills = spill_estimate l in
         let base = !stack_base in
         if spills > 0 then stack_base := !stack_base + (spills * 8);
         Hashtbl.replace spill_info l.Ir.lid (spills, base);

@@ -1,0 +1,36 @@
+(** Compiled trace engine — the fast path of the cost model.
+
+    Exact mode (no [approx]) is bit-identical to [Trace.run]; approx mode
+    trades bounded accuracy for asymptotic speed via line-granular cache
+    stepping and adaptive multi-level loop sampling. See
+    [docs/performance.md] for the accuracy contract. *)
+
+type approx = {
+  line_step : bool;  (** enable line-granular cache stepping *)
+  block : int;  (** iterations per stabilization block *)
+  warm : int;  (** leading blocks excluded from the stability test *)
+  tol : float;  (** relative tolerance on per-block counter deltas *)
+  min_trip : int;  (** loops with fewer iterations run exactly *)
+}
+
+val default_approx : approx
+
+val line_step_only : approx
+(** Line-granular stepping only; adaptive loop sampling disabled. *)
+
+val counters_equal : Trace.counters -> Trace.counters -> bool
+(** Bitwise equality of counter records ([Int64.bits_of_float]). *)
+
+val trace_node :
+  Trace.walk_ctx -> ?approx:approx -> Daisy_loopir.Ir.node -> Trace.counters
+(** Compile and trace one top-level node against a shared cache. *)
+
+val run :
+  Config.t ->
+  Daisy_loopir.Ir.program ->
+  sizes:(string * int) list ->
+  ?sample_outer:int ->
+  ?approx:approx ->
+  unit ->
+  Trace.counters list
+(** Drop-in replacement for [Trace.run]. *)

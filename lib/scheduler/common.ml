@@ -11,22 +11,23 @@ type ctx = {
   sizes : (string * int) list;  (** concrete problem sizes for simulation *)
   threads : int;
   sample_outer : int;  (** outer-loop sampling bound, 0 = exact *)
+  engine : Cost.engine;  (** trace engine used for every evaluation *)
 }
 
 let make_ctx ?(config = Config.default) ?(threads = config.Config.cores)
-    ?(sample_outer = 12) ~sizes () =
-  { config; sizes; threads; sample_outer }
+    ?(sample_outer = 12) ?(engine = Cost.Compiled) ~sizes () =
+  { config; sizes; threads; sample_outer; engine }
 
 (** Simulated runtime in milliseconds. *)
 let runtime_ms (ctx : ctx) (p : Ir.program) : float =
   Cost.milliseconds
     (Cost.evaluate ctx.config p ~sizes:ctx.sizes ~threads:ctx.threads
-       ~sample_outer:ctx.sample_outer ())
+       ~sample_outer:ctx.sample_outer ~engine:ctx.engine ())
 
 (** Full report (for L1 statistics, FLOP/s). *)
 let report (ctx : ctx) (p : Ir.program) : Cost.report =
   Cost.evaluate ctx.config p ~sizes:ctx.sizes ~threads:ctx.threads
-    ~sample_outer:ctx.sample_outer ()
+    ~sample_outer:ctx.sample_outer ~engine:ctx.engine ()
 
 (** A program containing a single top-level node, sharing the array
     declarations of [p] — used to evaluate candidate schedules per nest. *)

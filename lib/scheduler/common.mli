@@ -5,12 +5,15 @@ type ctx = {
   sizes : (string * int) list;
   threads : int;
   sample_outer : int;  (** outer-loop sampling bound; 0 = exact *)
+  engine : Daisy_machine.Cost.engine;
+      (** trace engine used for every evaluation (default [Compiled]) *)
 }
 
 val make_ctx :
   ?config:Daisy_machine.Config.t ->
   ?threads:int ->
   ?sample_outer:int ->
+  ?engine:Daisy_machine.Cost.engine ->
   sizes:(string * int) list ->
   unit ->
   ctx

@@ -41,16 +41,33 @@ type fitness_key = {
 type fitness_cache = {
   tbl : (fitness_key, float) Hashtbl.t;
   lock : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
 }
 
 let create_cache ?(size = 64) () =
-  { tbl = Hashtbl.create size; lock = Mutex.create () }
+  { tbl = Hashtbl.create size; lock = Mutex.create (); hits = 0; misses = 0 }
 
 let cache_find cache key =
   Mutex.lock cache.lock;
   let v = Hashtbl.find_opt cache.tbl key in
+  (match v with
+  | Some _ -> cache.hits <- cache.hits + 1
+  | None -> cache.misses <- cache.misses + 1);
   Mutex.unlock cache.lock;
   v
+
+let cache_hits cache =
+  Mutex.lock cache.lock;
+  let h = cache.hits in
+  Mutex.unlock cache.lock;
+  h
+
+let cache_misses cache =
+  Mutex.lock cache.lock;
+  let m = cache.misses in
+  Mutex.unlock cache.lock;
+  m
 
 let cache_store cache key v =
   Mutex.lock cache.lock;

@@ -9,6 +9,24 @@ type fitness_cache
 
 val create_cache : ?size:int -> unit -> fitness_cache
 
+val cache_hits : fitness_cache -> int
+val cache_misses : fitness_cache -> int
+(** Lookup counters: a hit means a candidate's simulated runtime was reused
+    from the memo table instead of re-walking the trace. Keys canonicalize
+    the nest ({!Daisy_loopir.Ir.canon_nodes}), so structurally identical
+    candidates hit even when built with fresh loop ids. *)
+
+val eval_cached :
+  fitness_cache ->
+  Common.ctx ->
+  outer:Daisy_loopir.Ir.loop list ->
+  Daisy_loopir.Ir.program ->
+  Daisy_loopir.Ir.loop ->
+  Daisy_transforms.Recipe.t ->
+  float
+(** Apply the recipe to the nest and return its simulated runtime (ms),
+    memoized in [fitness_cache]. Illegal recipes evaluate to [infinity]. *)
+
 val search :
   ?population:int ->
   ?iterations:int ->

@@ -73,6 +73,131 @@ let test_cache_l2_catches_l1_misses () =
   Alcotest.(check int) "L2 misses only compulsory" lines
     (int_of_float l2.Cache.misses)
 
+(* Cache geometry edge cases: tiny synthetic levels exercise the
+   replacement policy where it is most visible. *)
+
+let tiny_config ~l1 ~l2 =
+  { config with Config.l1; Config.l2 }
+
+let test_cache_direct_mapped_conflict () =
+  (* assoc=1: two lines in the same set conflict on every access even
+     though 15 other sets are empty *)
+  let l1 = { Config.name = "L1"; size_bytes = 1024; line_bytes = 64; assoc = 1 } in
+  let l2 = { Config.name = "L2"; size_bytes = 8192; line_bytes = 64; assoc = 8 } in
+  let c = Cache.create (tiny_config ~l1 ~l2) in
+  (* line 0 and line 16 both map to set 0 of 16 *)
+  for _ = 1 to 10 do
+    Cache.access c ~addr:0 ~write:false;
+    Cache.access c ~addr:1024 ~write:false
+  done;
+  let s = Cache.l1_stats c in
+  Alcotest.(check int) "every access misses" 20 (int_of_float s.Cache.misses);
+  Alcotest.(check int) "all but the first fill evict" 19
+    (int_of_float s.Cache.evicts);
+  (* the same pattern in a 4-way cache hits after the compulsory misses *)
+  let c4 = Cache.create config in
+  for _ = 1 to 10 do
+    Cache.access c4 ~addr:0 ~write:false;
+    Cache.access c4 ~addr:1024 ~write:false
+  done;
+  Alcotest.(check int) "associativity absorbs the conflict" 2
+    (int_of_float (Cache.l1_stats c4).Cache.misses)
+
+let test_cache_single_set_lru () =
+  (* 4 lines, 1 set: fully associative. A 4-line working set is resident;
+     a 5-line cyclic walk defeats LRU completely. *)
+  let l1 = { Config.name = "L1"; size_bytes = 256; line_bytes = 64; assoc = 4 } in
+  let l2 = { Config.name = "L2"; size_bytes = 8192; line_bytes = 64; assoc = 8 } in
+  let cfg = tiny_config ~l1 ~l2 in
+  let c = Cache.create cfg in
+  for _ = 1 to 2 do
+    for i = 0 to 3 do
+      Cache.access c ~addr:(i * 64) ~write:false
+    done
+  done;
+  Alcotest.(check int) "4-line set: compulsory misses only" 4
+    (int_of_float (Cache.l1_stats c).Cache.misses);
+  let c = Cache.create cfg in
+  for _ = 1 to 3 do
+    for i = 0 to 4 do
+      Cache.access c ~addr:(i * 64) ~write:false
+    done
+  done;
+  Alcotest.(check int) "5-line cycle thrashes LRU" 15
+    (int_of_float (Cache.l1_stats c).Cache.misses)
+
+let test_cache_writeback_accounting () =
+  (* L1 with two direct-mapped lines: a dirty conflict victim is written
+     back into L2 exactly once, and L2 sees fetch + writeback traffic *)
+  let l1 = { Config.name = "L1"; size_bytes = 128; line_bytes = 64; assoc = 1 } in
+  let l2 = { Config.name = "L2"; size_bytes = 8192; line_bytes = 64; assoc = 8 } in
+  let c = Cache.create (tiny_config ~l1 ~l2) in
+  Cache.access c ~addr:0 ~write:true;
+  (* line 2, same set as line 0: evicts the dirty line *)
+  Cache.access c ~addr:128 ~write:true;
+  let s1 = Cache.l1_stats c and s2 = Cache.l2_stats c in
+  Alcotest.(check int) "l1 misses" 2 (int_of_float s1.Cache.misses);
+  Alcotest.(check int) "l1 evicts" 1 (int_of_float s1.Cache.evicts);
+  Alcotest.(check int) "l1 writebacks" 1 (int_of_float s1.Cache.writebacks);
+  (* L2: fetch of line 0, fetch of line 2, write-back of line 0 *)
+  Alcotest.(check int) "l2 accesses" 3 (int_of_float s2.Cache.accesses);
+  (* a clean victim writes nothing back *)
+  let c = Cache.create (tiny_config ~l1 ~l2) in
+  Cache.access c ~addr:0 ~write:false;
+  Cache.access c ~addr:128 ~write:false;
+  Alcotest.(check int) "clean eviction: no writeback" 0
+    (int_of_float (Cache.l1_stats c).Cache.writebacks)
+
+let test_cache_flush_keeps_stats () =
+  let c = Cache.create config in
+  Cache.access c ~addr:0 ~write:false;
+  Cache.flush_l1 c;
+  Cache.access c ~addr:0 ~write:false;
+  let s = Cache.l1_stats c in
+  Alcotest.(check int) "flush forgets the line" 2 (int_of_float s.Cache.misses);
+  Alcotest.(check int) "flush keeps counts" 2 (int_of_float s.Cache.accesses)
+
+let test_line_granular_agrees_on_streams () =
+  (* line-granular stepping must charge the same misses / evicts /
+     writebacks / loads / stores as per-element simulation on unit-stride
+     streams — only raw L1 access (port probe) counts differ by design *)
+  let module Trace = Daisy_machine.Trace in
+  let module Tc = Daisy_machine.Trace_compile in
+  let p =
+    lower
+      {|void f(int n, double A[n], double B[n], double C[n]) {
+          for (int r = 0; r < 4; r++)
+            for (int i = 0; i < n; i++)
+              C[i] = A[i] * 2.0 + B[i];
+        }|}
+  in
+  let sizes = [ ("n", 300) ] in
+  let exact = Trace.run config p ~sizes () in
+  let line = Tc.run config p ~sizes ~approx:Tc.line_step_only () in
+  List.iter2
+    (fun (e : Trace.counters) (l : Trace.counters) ->
+      let same name a b =
+        Alcotest.(check bool)
+          (Printf.sprintf "%s equal (%.1f vs %.1f)" name a b)
+          true
+          (Int64.bits_of_float a = Int64.bits_of_float b)
+      in
+      same "loads" e.Trace.loads l.Trace.loads;
+      same "stores" e.Trace.stores l.Trace.stores;
+      same "flops" e.Trace.flops l.Trace.flops;
+      same "l1 misses" e.Trace.l1.Cache.misses l.Trace.l1.Cache.misses;
+      same "l1 evicts" e.Trace.l1.Cache.evicts l.Trace.l1.Cache.evicts;
+      same "l1 writebacks" e.Trace.l1.Cache.writebacks
+        l.Trace.l1.Cache.writebacks;
+      same "l2 misses" e.Trace.l2.Cache.misses l.Trace.l2.Cache.misses;
+      same "l2 writebacks" e.Trace.l2.Cache.writebacks
+        l.Trace.l2.Cache.writebacks;
+      (* 3 arrays x 300 elements x 4 sweeps = 3600 element accesses but
+         only one line touch per 8 elements *)
+      Alcotest.(check bool) "line touches fewer than element accesses" true
+        (l.Trace.l1.Cache.accesses < e.Trace.l1.Cache.accesses))
+    exact line
+
 (* ------------------------------------------------------------------ *)
 (* Cost model shapes *)
 
@@ -298,6 +423,11 @@ let suite =
     ("register spill model", `Quick, test_spill_model);
     ("vector loads use fewer ports", `Quick, test_vector_ports_cheaper);
     ("cache sequential walk", `Quick, test_cache_basic);
+    ("cache direct-mapped conflicts", `Quick, test_cache_direct_mapped_conflict);
+    ("cache single-set LRU", `Quick, test_cache_single_set_lru);
+    ("cache writeback accounting", `Quick, test_cache_writeback_accounting);
+    ("cache flush keeps stats", `Quick, test_cache_flush_keeps_stats);
+    ("line-granular stream agreement", `Quick, test_line_granular_agrees_on_streams);
     ("cache temporal reuse", `Quick, test_cache_reuse_hit);
     ("cache capacity eviction", `Quick, test_cache_capacity_eviction);
     ("cache dirty writeback", `Quick, test_cache_dirty_writeback);

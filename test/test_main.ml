@@ -12,6 +12,7 @@ let () =
       ("normalize", Test_normalize.suite);
       ("transforms", Test_transforms.suite);
       ("machine", Test_machine.suite);
+      ("trace", Test_trace.suite);
       ("idioms", Test_idioms.suite);
       ("lift", Test_lift.suite);
       ("arraylang", Test_arraylang.suite);

@@ -144,6 +144,45 @@ let test_evolution_improves () =
        (Daisy_transforms.Recipe.to_string recipe))
     true (best <= base)
 
+let test_fitness_cache_hits () =
+  (* Regression: eval_cached keys must canonicalize the wrapped nest.
+     [Common.wrap_outer] mints fresh loop ids on every call, so without
+     [Ir.canon_nodes] in the key, repeated evaluations of the same
+     candidate (the common case inside [Evolve.search]) would all miss
+     and re-walk the trace. Assert actual hit/miss counts. *)
+  let p =
+    lower
+      {|void f(int n, double A[n], double B[n]) {
+          for (int t = 0; t < 10; t++) {
+            for (int i = 1; i < n - 1; i++)
+              B[i] = A[i - 1] + A[i + 1];
+            for (int i = 1; i < n - 1; i++)
+              A[i] = B[i];
+          }
+        }|}
+  in
+  let outer, nest =
+    match
+      List.find_opt (fun (o, _) -> o <> []) (S.Common.program_units p)
+    with
+    | Some u -> u
+    | None -> Alcotest.fail "expected a unit with enclosing outer loops"
+  in
+  let cache = S.Evolve.create_cache () in
+  let eval () = S.Evolve.eval_cached cache small_ctx ~outer p nest [] in
+  let t1 = eval () in
+  let t2 = eval () in
+  let t3 = eval () in
+  Alcotest.(check int) "one miss" 1 (S.Evolve.cache_misses cache);
+  Alcotest.(check int) "two hits" 2 (S.Evolve.cache_hits cache);
+  Alcotest.(check bool) "same fitness" true (t1 = t2 && t2 = t3);
+  (* a different recipe is a different key: one more miss, no new hits *)
+  ignore
+    (S.Evolve.eval_cached cache small_ctx ~outer p nest
+       [ Daisy_transforms.Recipe.Vectorize ]);
+  Alcotest.(check int) "distinct recipe misses" 2 (S.Evolve.cache_misses cache);
+  Alcotest.(check int) "hits unchanged" 2 (S.Evolve.cache_hits cache)
+
 let test_database_roundtrip () =
   let db = S.Database.create () in
   let p = lower gemm_src in
@@ -250,6 +289,7 @@ let suite =
     ("tiramisu imperfect nests", `Quick, test_tiramisu_unsupported_imperfect);
     ("tiramisu deterministic", `Slow, test_tiramisu_deterministic);
     ("evolution improves", `Slow, test_evolution_improves);
+    ("fitness cache hits across wrap_outer", `Quick, test_fitness_cache_hits);
     ("database roundtrip", `Quick, test_database_roundtrip);
     ("daisy preserves + BLAS", `Slow, test_daisy_preserves_and_uses_blas);
     ("daisy A/B robustness mini", `Slow, test_daisy_robustness_mini);

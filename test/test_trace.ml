@@ -1,0 +1,354 @@
+(** Differential tests of the compiled trace engine
+    ([Daisy_machine.Trace_compile]): in exact mode its counters must be
+    {e bitwise identical} to the tree-walking oracle [Trace.run] — every
+    float field compared through [Int64.bits_of_float], including the
+    cache statistics — on every benchmark family in the repo, with and
+    without outer-loop sampling, and on random programs. Approx mode
+    (line-granular stepping + adaptive loop sampling) must stay within
+    the documented relative-error bound of the exact engine. *)
+
+module Ir = Daisy_loopir.Ir
+module Expr = Daisy_poly.Expr
+module Config = Daisy_machine.Config
+module Trace = Daisy_machine.Trace
+module Tc = Daisy_machine.Trace_compile
+module Cost = Daisy_machine.Cost
+module Pb = Daisy_benchmarks.Polybench
+module Np = Daisy_benchmarks.Npbench
+module Variants = Daisy_benchmarks.Variants
+module Cloudsc = Daisy_benchmarks.Cloudsc
+module Alower = Daisy_arraylang.Lower
+
+let config = Config.default
+
+(* ------------------------------------------------------------------ *)
+(* Bitwise counter comparison                                           *)
+
+let pp_counters ppf (c : Trace.counters) =
+  Fmt.pf ppf
+    "flops=%h vec=%h unr=%h loads=%h stores=%h gather=%h spill=%h atomics=%h \
+     atomics_p=%h regions=%h par_trip=%h has_par=%b lib_f=%h lib_b=%h \
+     l1=(%h %h %h %h) l2=(%h %h %h %h)"
+    c.Trace.flops c.Trace.vec_flops c.Trace.unrolled_flops c.Trace.loads
+    c.Trace.stores c.Trace.gather_extra c.Trace.spill_ops c.Trace.atomics
+    c.Trace.atomics_private c.Trace.parallel_regions c.Trace.par_trip
+    c.Trace.has_parallel c.Trace.libcall_flops c.Trace.libcall_bytes
+    c.Trace.l1.Daisy_machine.Cache.accesses
+    c.Trace.l1.Daisy_machine.Cache.misses
+    c.Trace.l1.Daisy_machine.Cache.evicts
+    c.Trace.l1.Daisy_machine.Cache.writebacks
+    c.Trace.l2.Daisy_machine.Cache.accesses
+    c.Trace.l2.Daisy_machine.Cache.misses
+    c.Trace.l2.Daisy_machine.Cache.evicts
+    c.Trace.l2.Daisy_machine.Cache.writebacks
+
+let check_identical name (p : Ir.program) ~sizes ~sample_outer =
+  let tree = Trace.run config p ~sizes ~sample_outer () in
+  let compiled = Tc.run config p ~sizes ~sample_outer () in
+  Alcotest.(check int)
+    (name ^ ": same nest count")
+    (List.length tree) (List.length compiled);
+  List.iteri
+    (fun i (a, b) ->
+      if not (Tc.counters_equal a b) then
+        Alcotest.failf "%s (sample=%d): nest %d differs@.tree:     %a@.compiled: %a"
+          name sample_outer i pp_counters a pp_counters b)
+    (List.combine tree compiled)
+
+(** Exercise both the exact path and the depth-0 sampling path. *)
+let check_both name p ~sizes =
+  check_identical name p ~sizes ~sample_outer:0;
+  check_identical name p ~sizes ~sample_outer:7
+
+(* ------------------------------------------------------------------ *)
+(* Benchmark sweeps                                                     *)
+
+let test_polybench_a () =
+  List.iter
+    (fun (b : Pb.benchmark) ->
+      check_both ("A:" ^ b.Pb.name) (Pb.program b) ~sizes:b.Pb.test_sizes)
+    (Pb.all @ Pb.extras)
+
+let test_polybench_b () =
+  List.iter
+    (fun (b : Pb.benchmark) ->
+      let v = Variants.generate ~seed:("bvariant-" ^ b.Pb.name) (Pb.program b) in
+      check_both ("B:" ^ b.Pb.name) v ~sizes:b.Pb.test_sizes)
+    Pb.all
+
+let test_npbench () =
+  List.iter
+    (fun (b : Np.benchmark) ->
+      List.iter
+        (fun (pname, policy) ->
+          let p = Alower.lower policy b.Np.program in
+          check_both
+            (Printf.sprintf "np:%s:%s" b.Np.name pname)
+            p ~sizes:b.Np.test_sizes)
+        [ ("frontend", Alower.frontend_policy); ("numpy", Alower.numpy_policy) ])
+    Np.all
+
+let test_cloudsc () =
+  let orig, sizes = Cloudsc.erosion_original ~iters:3 in
+  check_both "cloudsc:erosion-original" orig ~sizes;
+  let opt, sizes = Cloudsc.erosion_optimized ~iters:3 in
+  check_both "cloudsc:erosion-optimized" opt ~sizes;
+  let small_sizes = [ ("nblocks", 2); ("klev", 6); ("nproma", 8) ] in
+  List.iter
+    (fun v ->
+      let p, _ = Cloudsc.full_model v ~blocks:2 in
+      check_both ("cloudsc:" ^ Cloudsc.string_of_version v) p ~sizes:small_sizes)
+    Cloudsc.all_versions
+
+(* library-call replacement exercises the Ncall counter path *)
+let test_libcalls () =
+  let replaced = ref 0 in
+  List.iter
+    (fun (b : Pb.benchmark) ->
+      let p, n = Daisy_blas.Patterns.replace_all (Pb.program b) in
+      replaced := !replaced + n;
+      if n > 0 then check_both ("libcall:" ^ b.Pb.name) p ~sizes:b.Pb.test_sizes)
+    Pb.all;
+  Alcotest.(check bool) "library calls exercised" true (!replaced > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Loop attributes: parallel / atomic / vectorized / unrolled paths      *)
+
+(** Mark the outermost loop parallel+atomic, innermost loops vectorized,
+    intermediate loops unrolled — lights up every static-context branch of
+    the walker (flop classes, gathers, atomics, spill×unroll, regions). *)
+let mark_attrs (p : Ir.program) : Ir.program =
+  let rec mark depth (n : Ir.node) =
+    match n with
+    | Ir.Nloop l ->
+        let attrs =
+          if depth = 0 then
+            { l.Ir.attrs with Ir.parallel = true; Ir.atomic = true }
+          else if Ir.loops_in l.Ir.body = [] then
+            { l.Ir.attrs with Ir.vectorized = true }
+          else { l.Ir.attrs with Ir.unroll = 4 }
+        in
+        Ir.Nloop
+          { l with Ir.attrs; Ir.body = List.map (mark (depth + 1)) l.Ir.body }
+    | other -> other
+  in
+  { p with Ir.body = List.map (mark 0) p.Ir.body }
+
+let test_attributed_loops () =
+  List.iter
+    (fun (b : Pb.benchmark) ->
+      check_both ("attrs:" ^ b.Pb.name) (mark_attrs (Pb.program b))
+        ~sizes:b.Pb.test_sizes)
+    Pb.all
+
+(* ------------------------------------------------------------------ *)
+(* Non-affine subscripts, guards, min/max bounds, negative steps         *)
+
+let test_non_affine_guards_negstep () =
+  let n = Expr.var "n" and i = Expr.var "i" and j = Expr.var "j" in
+  let sq_mod = Expr.md (Expr.mul i i) n in
+  let clamped = Expr.max_ (Expr.sub i (Expr.const 2)) Expr.zero in
+  let dest = { Ir.array = "A"; indices = [ sq_mod ] } in
+  let nonaffine =
+    {
+      Ir.pname = "nonaffine";
+      size_params = [ "n" ];
+      scalar_params = [];
+      arrays =
+        [ { Ir.name = "A"; elem = Ir.Fdouble; dims = [ n ]; storage = Ir.Sparam };
+          { Ir.name = "B"; elem = Ir.Fdouble; dims = [ n ]; storage = Ir.Sparam } ];
+      local_scalars = [];
+      body =
+        [ Ir.Nloop
+            (Ir.mk_loop ~iter:"i" ~lo:Expr.zero
+               ~hi:(Expr.sub n Expr.one)
+               [ Ir.Ncomp
+                   (Ir.mk_comp (Ir.Darray dest)
+                      (Ir.Vbin
+                         (Ir.Vadd, Ir.Vread dest,
+                          Ir.Vread { Ir.array = "B"; indices = [ clamped ] })))
+               ]) ];
+    }
+  in
+  check_both "non-affine subscripts" nonaffine ~sizes:[ ("n", 17) ];
+  let guarded =
+    {
+      Ir.pname = "guarded";
+      size_params = [ "n" ];
+      scalar_params = [];
+      arrays =
+        [ { Ir.name = "A"; elem = Ir.Fdouble; dims = [ n; n ];
+            storage = Ir.Sparam } ];
+      local_scalars = [ "acc" ];
+      body =
+        [ Ir.Ncomp (Ir.mk_comp (Ir.Dscalar "acc") (Ir.Vfloat 0.0));
+          Ir.Nloop
+            (Ir.mk_loop ~iter:"i" ~lo:Expr.zero
+               ~hi:(Expr.sub (Expr.min_ n (Expr.const 11)) Expr.one)
+               [ Ir.Nloop
+                   (Ir.mk_loop ~iter:"j" ~lo:Expr.zero
+                      ~hi:(Expr.sub n Expr.one)
+                      [ Ir.Ncomp
+                          (Ir.mk_comp
+                             ~guard:(Ir.Pcmp (Ir.Cle, Ir.Vint j, Ir.Vint i))
+                             (Ir.Dscalar "acc")
+                             (Ir.Vbin
+                                (Ir.Vadd, Ir.Vscalar "acc",
+                                 Ir.Vcall
+                                   ("sqrt",
+                                    [ Ir.Vread
+                                        { Ir.array = "A"; indices = [ i; j ] }
+                                    ]))))
+                      ])
+               ]) ];
+    }
+  in
+  check_both "guards + min bound + scalar dest" guarded ~sizes:[ ("n", 9) ];
+  let reverse =
+    {
+      Ir.pname = "reverse";
+      size_params = [ "n" ];
+      scalar_params = [];
+      arrays =
+        [ { Ir.name = "x"; elem = Ir.Fdouble; dims = [ n ]; storage = Ir.Sparam } ];
+      local_scalars = [];
+      body =
+        [ Ir.Nloop
+            (Ir.mk_loop ~iter:"i"
+               ~lo:(Expr.sub n (Expr.const 2))
+               ~hi:Expr.zero ~step:(-1)
+               [ Ir.Ncomp
+                   (Ir.mk_comp
+                      (Ir.Darray { Ir.array = "x"; indices = [ i ] })
+                      (Ir.Vbin
+                         (Ir.Vadd,
+                          Ir.Vread { Ir.array = "x"; indices = [ i ] },
+                          Ir.Vread
+                            { Ir.array = "x";
+                              indices = [ Expr.add i Expr.one ] })))
+               ]) ];
+    }
+  in
+  check_both "negative-step loop" reverse ~sizes:[ ("n", 12) ];
+  (* zero-trip loops: bodies must never be compiled (lazy errors) and the
+     spill-slot allocation order must match the walker's first-visit order *)
+  let zerotrip =
+    {
+      Ir.pname = "zerotrip";
+      size_params = [ "n" ];
+      scalar_params = [];
+      arrays =
+        [ { Ir.name = "x"; elem = Ir.Fdouble; dims = [ n ]; storage = Ir.Sparam } ];
+      local_scalars = [];
+      body =
+        [ Ir.Nloop
+            (Ir.mk_loop ~iter:"i" ~lo:Expr.zero ~hi:(Expr.const (-1))
+               [ Ir.Ncomp
+                   (Ir.mk_comp
+                      (Ir.Darray { Ir.array = "x"; indices = [ i ] })
+                      (Ir.Vfloat 1.0))
+               ]);
+          Ir.Nloop
+            (Ir.mk_loop ~iter:"i" ~lo:Expr.zero ~hi:(Expr.sub n Expr.one)
+               [ Ir.Ncomp
+                   (Ir.mk_comp
+                      (Ir.Darray { Ir.array = "x"; indices = [ i ] })
+                      (Ir.Vbin
+                         (Ir.Vadd,
+                          Ir.Vread { Ir.array = "x"; indices = [ i ] },
+                          Ir.Vfloat 1.0)))
+               ]) ];
+    }
+  in
+  check_both "zero-trip loop" zerotrip ~sizes:[ ("n", 6) ]
+
+(* ------------------------------------------------------------------ *)
+(* Random programs                                                      *)
+
+let prop_trace_bitwise =
+  QCheck.Test.make ~count:120
+    ~name:"compiled trace bitwise-identical to walker"
+    Test_property.arbitrary_program (fun p ->
+      let sizes = [ ("n", 8) ] in
+      let ok sample_outer =
+        let tree = Trace.run config p ~sizes ~sample_outer () in
+        let compiled = Tc.run config p ~sizes ~sample_outer () in
+        List.length tree = List.length compiled
+        && List.for_all2 Tc.counters_equal tree compiled
+      in
+      ok 0 && ok 3)
+
+(* ------------------------------------------------------------------ *)
+(* Approx mode: documented accuracy contract                            *)
+
+(** Relative error of approx-mode total cycles vs the exact engine at the
+    same [sample_outer] — the bound documented in docs/performance.md. *)
+let approx_bound = 0.15
+
+let rel_err exact approx =
+  if exact = 0.0 then Float.abs approx
+  else Float.abs (approx -. exact) /. Float.abs exact
+
+let cycles engine p ~sizes ~sample_outer =
+  (Cost.evaluate config p ~sizes ~threads:1 ~sample_outer ~engine ())
+    .Cost.total_cycles
+
+let check_approx name p ~sizes =
+  let exact = cycles Cost.Compiled p ~sizes ~sample_outer:12 in
+  let approx =
+    cycles (Cost.Approx Tc.default_approx) p ~sizes ~sample_outer:12
+  in
+  let err = rel_err exact approx in
+  if err > approx_bound then
+    Alcotest.failf "%s: approx error %.1f%% exceeds %.0f%% (exact %.4e approx %.4e)"
+      name (100.0 *. err) (100.0 *. approx_bound) exact approx
+
+let test_approx_polybench () =
+  List.iter
+    (fun (b : Pb.benchmark) ->
+      check_approx ("approx:" ^ b.Pb.name) (Pb.program b) ~sizes:b.Pb.sim_sizes)
+    (Pb.all @ Pb.extras)
+
+let test_approx_npbench_cloudsc () =
+  List.iter
+    (fun (b : Np.benchmark) ->
+      let p = Alower.lower Alower.frontend_policy b.Np.program in
+      check_approx ("approx:np:" ^ b.Np.name) p ~sizes:b.Np.sim_sizes)
+    Np.all;
+  let orig, sizes = Cloudsc.erosion_original ~iters:8 in
+  check_approx "approx:cloudsc:erosion" orig ~sizes
+
+(* approx mode must also preserve scheduler *decisions* enough that it
+   never diverges wildly: ordering of a clearly-better vs clearly-worse
+   variant is preserved on gemm (ijk loop order vs the same nest marked
+   vectorized) *)
+let test_approx_ordering () =
+  let gemm = List.find (fun b -> b.Pb.name = "gemm") Pb.all in
+  let p = Pb.program gemm in
+  let better = mark_attrs p in
+  let sizes = gemm.Pb.sim_sizes in
+  let e_p = cycles Cost.Compiled p ~sizes ~sample_outer:12 in
+  let e_b = cycles Cost.Compiled better ~sizes ~sample_outer:12 in
+  let a_p = cycles (Cost.Approx Tc.default_approx) p ~sizes ~sample_outer:12 in
+  let a_b =
+    cycles (Cost.Approx Tc.default_approx) better ~sizes ~sample_outer:12
+  in
+  Alcotest.(check bool)
+    "exact and approx agree on which variant is faster" true
+    (e_p > e_b = (a_p > a_b))
+
+let suite =
+  [
+    ("polybench A bitwise", `Slow, test_polybench_a);
+    ("polybench B bitwise", `Slow, test_polybench_b);
+    ("npbench bitwise", `Slow, test_npbench);
+    ("cloudsc bitwise", `Slow, test_cloudsc);
+    ("library calls bitwise", `Quick, test_libcalls);
+    ("attributed loops bitwise", `Slow, test_attributed_loops);
+    ("non-affine/guard/negative-step/zero-trip", `Quick,
+     test_non_affine_guards_negstep);
+    QCheck_alcotest.to_alcotest prop_trace_bitwise;
+    ("approx error bound: polybench", `Slow, test_approx_polybench);
+    ("approx error bound: npbench+cloudsc", `Slow, test_approx_npbench_cloudsc);
+    ("approx preserves ordering", `Slow, test_approx_ordering);
+  ]
