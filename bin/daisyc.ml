@@ -21,18 +21,37 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let with_diagnostics f =
+(** One error handler for every subcommand: tool-level failures print one
+    diagnostic line on stderr and exit nonzero instead of dumping a
+    backtrace. Runs after any worker pool has been shut down
+    ([Pool.with_pool] unwinds before the exception reaches us). *)
+let run_protected f =
   match f () with
   | v -> v
   | exception Daisy.Support.Diag.Error d ->
       Fmt.epr "%a@." Daisy.Support.Diag.pp d;
       exit 1
   | exception Daisy.Lift.Lift.Unsupported reason ->
-      Fmt.epr "lifting failed: %s@." reason;
+      Fmt.epr "daisyc: lifting failed: %s@." reason;
+      exit 1
+  | exception Daisy.Interp.Interp.Runtime_error m ->
+      Fmt.epr "daisyc: runtime error: %s@." m;
+      exit 1
+  | exception Daisy.Support.Budget.Exhausted ->
+      Fmt.epr "daisyc: evaluation budget exhausted (see --eval-budget)@.";
+      exit 1
+  | exception Daisy.Support.Fault.Injected label ->
+      Fmt.epr "daisyc: injected fault fired: %s@." label;
+      exit 1
+  | exception Invalid_argument m ->
+      Fmt.epr "daisyc: %s@." m;
+      exit 1
+  | exception Sys_error m ->
+      Fmt.epr "daisyc: %s@." m;
       exit 1
 
 let load path =
-  with_diagnostics (fun () ->
+  run_protected (fun () ->
       Daisy.Lang.Lower.program_of_string ~source:path (read_file path))
 
 let sizes_of (defs : (string * int) list) (p : Ir.program) :
@@ -93,7 +112,27 @@ let engine_arg =
                    $(b,approx) (sampled; see docs/performance.md for the \
                    accuracy contract).")
 
+let eval_budget_arg =
+  Arg.(value & opt (some int) None & info [ "eval-budget" ] ~docv:"STEPS"
+         ~doc:"Abort any single cost-model evaluation after $(docv) \
+               simulated iterations (guards against pathological \
+               candidates; see docs/robustness.md). Default: unlimited.")
+
+let db_in_arg =
+  Arg.(value & opt (some file) None & info [ "db-in" ] ~docv:"FILE"
+         ~doc:"Load the transfer-tuning database from a file written by \
+               $(b,daisyc seed) instead of seeding it from the input \
+               kernel. Corrupt entries are skipped with a warning.")
+
 (* ---------------- commands ---------------- *)
+
+(** Load a saved database, reporting (but tolerating) corrupt entries. *)
+let load_db path =
+  let db, warnings = S.Database.load path in
+  List.iter (fun w -> Fmt.epr "daisyc: warning: %s@." w) warnings;
+  Fmt.pr "loaded database: %d entries (%d warnings)@." (S.Database.size db)
+    (List.length warnings);
+  db
 
 let parse_cmd =
   let run file =
@@ -105,11 +144,11 @@ let parse_cmd =
 
 let lir_cmd =
   let run file =
-    let f =
-      with_diagnostics (fun () ->
-          Daisy.Lir.From_ast.func_of_string ~source:file (read_file file))
-    in
-    Fmt.pr "%a@." Daisy.Lir.Ir.pp_func f
+    run_protected (fun () ->
+        let f =
+          Daisy.Lir.From_ast.func_of_string ~source:file (read_file file)
+        in
+        Fmt.pr "%a@." Daisy.Lir.Ir.pp_func f)
   in
   Cmd.v (Cmd.info "lir" ~doc:"Print the LLVM-like low-level IR")
     Term.(const run $ file_arg)
@@ -117,87 +156,141 @@ let lir_cmd =
 let normalize_cmd =
   let run file defs =
     let p = load file in
-    let sizes = sizes_of defs p in
-    let normalized, report =
-      Daisy.Normalize.Pipeline.run
-        ~options:(Daisy.Normalize.Pipeline.default_options ~sizes ())
-        p
-    in
-    Fmt.pr "%a@.@.%a@." Daisy.Normalize.Pipeline.pp_report report
-      Ir.pp_program normalized
+    run_protected (fun () ->
+        let sizes = sizes_of defs p in
+        let normalized, report =
+          Daisy.Normalize.Pipeline.run
+            ~options:(Daisy.Normalize.Pipeline.default_options ~sizes ())
+            p
+        in
+        Fmt.pr "%a@.@.%a@." Daisy.Normalize.Pipeline.pp_report report
+          Ir.pp_program normalized)
   in
   Cmd.v (Cmd.info "normalize" ~doc:"Apply a priori loop nest normalization")
     Term.(const run $ file_arg $ defines_arg)
 
 let schedule_cmd =
-  let run file defs threads jobs sample_outer engine =
+  let run file defs threads jobs sample_outer engine eval_budget db_in =
     let p = load file in
-    let sizes = sizes_of defs p in
-    let ctx = S.Common.make_ctx ~threads ~sample_outer ~engine ~sizes () in
-    let db = S.Database.create () in
-    Daisy.Support.Pool.with_pool ~jobs (fun pool ->
-        S.Seed.seed_database ~epochs:1 ~population:6 ~iterations:2 ?pool ctx
-          ~db
-          [ (p.Ir.pname, p) ]);
-    let report = S.Daisy.schedule ctx ~db p in
-    List.iter
-      (fun d -> Fmt.pr "  %a@." S.Daisy.pp_decision d)
-      report.S.Daisy.decisions;
-    Fmt.pr "@.%a@." Ir.pp_program report.S.Daisy.program;
-    Fmt.pr "@.simulated runtime: %.3f ms (original %.3f ms, %.2fx)@."
-      (S.Common.runtime_ms ctx report.S.Daisy.program)
-      (S.Common.runtime_ms ctx p)
-      (S.Common.runtime_ms ctx p
-      /. S.Common.runtime_ms ctx report.S.Daisy.program)
+    run_protected (fun () ->
+        let sizes = sizes_of defs p in
+        let ctx =
+          S.Common.make_ctx ~threads ~sample_outer ~engine
+            ?eval_steps:eval_budget ~sizes ()
+        in
+        let db =
+          match db_in with
+          | Some path -> load_db path
+          | None ->
+              let db = S.Database.create () in
+              Daisy.Support.Pool.with_pool ~jobs (fun pool ->
+                  S.Seed.seed_database ~epochs:1 ~population:6 ~iterations:2
+                    ?pool ctx ~db
+                    [ (p.Ir.pname, p) ]);
+              db
+        in
+        let report = S.Daisy.schedule ctx ~db p in
+        List.iter
+          (fun d -> Fmt.pr "  %a@." S.Daisy.pp_decision d)
+          report.S.Daisy.decisions;
+        Fmt.pr "@.%a@." Ir.pp_program report.S.Daisy.program;
+        Fmt.pr "@.simulated runtime: %.3f ms (original %.3f ms, %.2fx)@."
+          (S.Common.runtime_ms ctx report.S.Daisy.program)
+          (S.Common.runtime_ms ctx p)
+          (S.Common.runtime_ms ctx p
+          /. S.Common.runtime_ms ctx report.S.Daisy.program))
   in
   Cmd.v
     (Cmd.info "schedule" ~doc:"Normalize, auto-schedule and simulate a kernel")
     Term.(const run $ file_arg $ defines_arg $ threads_arg $ jobs_arg
-          $ sample_outer_arg $ engine_arg)
+          $ sample_outer_arg $ engine_arg $ eval_budget_arg $ db_in_arg)
+
+let seed_cmd =
+  let run files defs threads jobs sample_outer engine eval_budget db_out =
+    let programs = List.map (fun f -> (f, load f)) files in
+    run_protected (fun () ->
+        let sizes =
+          List.concat_map (fun (_, p) -> sizes_of defs p) programs
+          |> Daisy.Support.Util.dedup ~eq:(fun (a, _) (b, _) ->
+                 String.equal a b)
+        in
+        let ctx =
+          S.Common.make_ctx ~threads ~sample_outer ~engine
+            ?eval_steps:eval_budget ~sizes ()
+        in
+        let db = S.Database.create () in
+        Daisy.Support.Pool.with_pool ~jobs (fun pool ->
+            S.Seed.seed_database ~epochs:1 ~population:6 ~iterations:2 ?pool
+              ctx ~db
+              (List.map (fun (f, p) -> (p.Ir.pname ^ ":" ^ f, p)) programs));
+        S.Database.save db db_out;
+        Fmt.pr "saved database: %d entries -> %s@." (S.Database.size db)
+          db_out)
+  in
+  let files_arg =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE"
+           ~doc:"Kernel source files to seed from.")
+  in
+  let db_out_arg =
+    Arg.(required & opt (some string) None & info [ "db-out" ] ~docv:"FILE"
+           ~doc:"Where to write the database (versioned, checksummed \
+                 format; see docs/robustness.md).")
+  in
+  Cmd.v
+    (Cmd.info "seed"
+       ~doc:"Seed a transfer-tuning database from kernels and save it")
+    Term.(const run $ files_arg $ defines_arg $ threads_arg $ jobs_arg
+          $ sample_outer_arg $ engine_arg $ eval_budget_arg $ db_out_arg)
 
 let bench_cmd =
-  let run file defs threads jobs sample_outer engine =
+  let run file defs threads jobs sample_outer engine eval_budget =
     let p = load file in
-    let sizes = sizes_of defs p in
-    let ctx = S.Common.make_ctx ~threads ~sample_outer ~engine ~sizes () in
-    let db = S.Database.create () in
-    Daisy.Support.Pool.with_pool ~jobs (fun pool ->
-        S.Seed.seed_database ~epochs:1 ~population:6 ~iterations:2 ?pool ctx
-          ~db
-          [ (p.Ir.pname, p) ]);
-    Fmt.pr "%-10s %10s@." "scheduler" "ms";
-    List.iter
-      (fun (name, prog) ->
-        match prog with
-        | Some prog -> Fmt.pr "%-10s %10.3f@." name (S.Common.runtime_ms ctx prog)
-        | None -> Fmt.pr "%-10s %10s@." name "X")
-      [
-        ("clang", Some (S.Baselines.clang_like p));
-        ("icc", Some (S.Baselines.icc_like p));
-        ("polly", Some (S.Baselines.polly_like p));
-        ("tiramisu",
-         (match S.Tiramisu.schedule ctx p with
-         | S.Tiramisu.Scheduled q -> Some q
-         | S.Tiramisu.Unsupported _ -> None));
-        ("daisy", Some (S.Daisy.schedule ctx ~db p).S.Daisy.program);
-      ]
+    run_protected (fun () ->
+        let sizes = sizes_of defs p in
+        let ctx =
+          S.Common.make_ctx ~threads ~sample_outer ~engine
+            ?eval_steps:eval_budget ~sizes ()
+        in
+        let db = S.Database.create () in
+        Daisy.Support.Pool.with_pool ~jobs (fun pool ->
+            S.Seed.seed_database ~epochs:1 ~population:6 ~iterations:2 ?pool
+              ctx ~db
+              [ (p.Ir.pname, p) ]);
+        Fmt.pr "%-10s %10s@." "scheduler" "ms";
+        List.iter
+          (fun (name, prog) ->
+            match prog with
+            | Some prog ->
+                Fmt.pr "%-10s %10.3f@." name (S.Common.runtime_ms ctx prog)
+            | None -> Fmt.pr "%-10s %10s@." name "X")
+          [
+            ("clang", Some (S.Baselines.clang_like p));
+            ("icc", Some (S.Baselines.icc_like p));
+            ("polly", Some (S.Baselines.polly_like p));
+            ("tiramisu",
+             (match S.Tiramisu.schedule ctx p with
+             | S.Tiramisu.Scheduled q -> Some q
+             | S.Tiramisu.Unsupported _ -> None));
+            ("daisy", Some (S.Daisy.schedule ctx ~db p).S.Daisy.program);
+          ])
   in
   Cmd.v (Cmd.info "bench" ~doc:"Compare all scheduler models on a kernel")
     Term.(const run $ file_arg $ defines_arg $ threads_arg $ jobs_arg
-          $ sample_outer_arg $ engine_arg)
+          $ sample_outer_arg $ engine_arg $ eval_budget_arg)
 
 let reuse_cmd =
   let run file defs =
     let p = load file in
-    let sizes = sizes_of defs p in
-    let module Reuse = Daisy.Machine.Reuse in
-    let module Config = Daisy.Machine.Config in
-    let show label q =
-      let h = Reuse.of_program Config.default q ~sizes ~sample_outer:8 () in
-      Fmt.pr "@.%s:@.%a@." label Reuse.pp_histogram h
-    in
-    show "original" p;
-    show "normalized" (Daisy.Normalize.Pipeline.normalize ~sizes p)
+    run_protected (fun () ->
+        let sizes = sizes_of defs p in
+        let module Reuse = Daisy.Machine.Reuse in
+        let module Config = Daisy.Machine.Config in
+        let show label q =
+          let h = Reuse.of_program Config.default q ~sizes ~sample_outer:8 () in
+          Fmt.pr "@.%s:@.%a@." label Reuse.pp_histogram h
+        in
+        show "original" p;
+        show "normalized" (Daisy.Normalize.Pipeline.normalize ~sizes p))
   in
   Cmd.v
     (Cmd.info "reuse"
@@ -205,34 +298,38 @@ let reuse_cmd =
     Term.(const run $ file_arg $ defines_arg)
 
 let polybench_cmd =
-  let run name threads jobs sample_outer engine =
-    let module Pb = Daisy.Benchmarks.Polybench in
-    let b = try Pb.find name with Invalid_argument m -> Fmt.epr "%s@." m; exit 1 in
-    let p = Pb.program b in
-    let ctx =
-      S.Common.make_ctx ~threads ~sample_outer ~engine ~sizes:b.Pb.sim_sizes ()
-    in
-    let db = S.Database.create () in
-    Daisy.Support.Pool.with_pool ~jobs (fun pool ->
-        S.Seed.seed_database ~epochs:1 ~population:6 ~iterations:2 ?pool ctx
-          ~db [ (name, p) ]);
-    let bv = Daisy.Benchmarks.Variants.generate ~seed:("bvariant-" ^ name) p in
-    Fmt.pr "%-10s %12s %12s@." "scheduler" "A [ms]" "B [ms]";
-    let row label fa fb =
-      Fmt.pr "%-10s %12s %12s@." label fa fb
-    in
-    let t q = Printf.sprintf "%.3f" (S.Common.runtime_ms ctx q) in
-    row "clang" (t (S.Baselines.clang_like p)) (t (S.Baselines.clang_like bv));
-    row "icc" (t (S.Baselines.icc_like p)) (t (S.Baselines.icc_like bv));
-    row "polly" (t (S.Baselines.polly_like p)) (t (S.Baselines.polly_like bv));
-    let tiramisu q =
-      match S.Tiramisu.schedule ctx q with
-      | S.Tiramisu.Scheduled r -> t r
-      | S.Tiramisu.Unsupported _ -> "X"
-    in
-    row "tiramisu" (tiramisu p) (tiramisu bv);
-    let daisy q = t (S.Daisy.schedule ctx ~db q).S.Daisy.program in
-    row "daisy" (daisy p) (daisy bv)
+  let run name threads jobs sample_outer engine eval_budget =
+    run_protected (fun () ->
+        let module Pb = Daisy.Benchmarks.Polybench in
+        let b = Pb.find name in
+        let p = Pb.program b in
+        let ctx =
+          S.Common.make_ctx ~threads ~sample_outer ~engine
+            ?eval_steps:eval_budget ~sizes:b.Pb.sim_sizes ()
+        in
+        let db = S.Database.create () in
+        Daisy.Support.Pool.with_pool ~jobs (fun pool ->
+            S.Seed.seed_database ~epochs:1 ~population:6 ~iterations:2 ?pool
+              ctx ~db [ (name, p) ]);
+        let bv =
+          Daisy.Benchmarks.Variants.generate ~seed:("bvariant-" ^ name) p
+        in
+        Fmt.pr "%-10s %12s %12s@." "scheduler" "A [ms]" "B [ms]";
+        let row label fa fb =
+          Fmt.pr "%-10s %12s %12s@." label fa fb
+        in
+        let t q = Printf.sprintf "%.3f" (S.Common.runtime_ms ctx q) in
+        row "clang" (t (S.Baselines.clang_like p)) (t (S.Baselines.clang_like bv));
+        row "icc" (t (S.Baselines.icc_like p)) (t (S.Baselines.icc_like bv));
+        row "polly" (t (S.Baselines.polly_like p)) (t (S.Baselines.polly_like bv));
+        let tiramisu q =
+          match S.Tiramisu.schedule ctx q with
+          | S.Tiramisu.Scheduled r -> t r
+          | S.Tiramisu.Unsupported _ -> "X"
+        in
+        row "tiramisu" (tiramisu p) (tiramisu bv);
+        let daisy q = t (S.Daisy.schedule ctx ~db q).S.Daisy.program in
+        row "daisy" (daisy p) (daisy bv))
   in
   let name_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME"
@@ -242,13 +339,14 @@ let polybench_cmd =
     (Cmd.info "polybench"
        ~doc:"Run a built-in benchmark (A and generated B variant) across all              schedulers")
     Term.(const run $ name_arg $ threads_arg $ jobs_arg $ sample_outer_arg
-          $ engine_arg)
+          $ engine_arg $ eval_budget_arg)
 
 let variant_cmd =
   let run file seed =
     let p = load file in
-    let v = Daisy.Benchmarks.Variants.generate ~seed p in
-    Fmt.pr "%a@." Ir.pp_program v
+    run_protected (fun () ->
+        let v = Daisy.Benchmarks.Variants.generate ~seed p in
+        Fmt.pr "%a@." Ir.pp_program v)
   in
   let seed_arg =
     Arg.(value & opt string "daisyc" & info [ "seed" ] ~doc:"Variant seed.")
@@ -266,5 +364,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ parse_cmd; lir_cmd; normalize_cmd; schedule_cmd; bench_cmd;
-            reuse_cmd; variant_cmd; polybench_cmd ]))
+          [ parse_cmd; lir_cmd; normalize_cmd; schedule_cmd; seed_cmd;
+            bench_cmd; reuse_cmd; variant_cmd; polybench_cmd ]))

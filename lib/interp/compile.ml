@@ -48,6 +48,7 @@ type ctx = {
   scalar_tbl : (string, int) Hashtbl.t;
   slots : (string * int) list;  (** lexically scoped iterator -> slot *)
   nslots : int ref;  (** total loop slots allocated so far *)
+  budget : Budget.t;  (** ticked once per executed loop iteration *)
 }
 
 let scalar_slot ctx s =
@@ -430,12 +431,14 @@ let rec compile_node ctx (n : Ir.node) : int array -> unit =
           l.Ir.body
       in
       let step = l.Ir.step in
+      let budget = ctx.budget in
       if step > 0 then
         fun it ->
           let lo = flo it in
           let hi = fhi it in
           let i = ref lo in
           while !i <= hi do
+            Budget.tick budget;
             it.(slot) <- !i;
             fbody it;
             i := !i + step
@@ -446,6 +449,7 @@ let rec compile_node ctx (n : Ir.node) : int array -> unit =
           let hi = fhi it in
           let i = ref lo in
           while !i >= hi do
+            Budget.tick budget;
             it.(slot) <- !i;
             fbody it;
             i := !i + step
@@ -469,8 +473,13 @@ and compile_nodes ctx nodes : int array -> unit =
 (** [compile p state] compiles [p] against [state]'s sizes and storage
     (one pass, no execution). The returned thunk executes the program,
     mutating [state]; it may be invoked repeatedly as long as [state]'s
-    arrays are not reallocated. *)
-let compile (p : Ir.program) (st : state) : unit -> unit =
+    arrays are not reallocated. [budget] is ticked once per executed loop
+    iteration and raises {!Budget.Exhausted} when it runs out; it is
+    baked into the closures, so repeated thunk invocations keep drawing
+    from the same fuel. *)
+let compile ?(budget = Budget.unlimited ()) (p : Ir.program) (st : state) :
+    unit -> unit =
+  Fault.inject "interp_compile";
   let scalar_names = Ir.program_scalar_names p in
   let scalar_tbl = Hashtbl.create 16 in
   List.iter
@@ -487,7 +496,9 @@ let compile (p : Ir.program) (st : state) : unit -> unit =
     }
   in
   Hashtbl.iter (fun n i -> scalars.names.(i) <- n) scalar_tbl;
-  let ctx = { state = st; scalars; scalar_tbl; slots = []; nslots = ref 0 } in
+  let ctx =
+    { state = st; scalars; scalar_tbl; slots = []; nslots = ref 0; budget }
+  in
   let fbody = compile_nodes ctx p.Ir.body in
   let niters = max 1 !(ctx.nslots) in
   fun () ->
@@ -514,10 +525,10 @@ let compile (p : Ir.program) (st : state) : unit -> unit =
     Fun.protect ~finally:writeback (fun () -> fbody it)
 
 (** [run p state] — compile and execute once, mutating [state]. *)
-let run (p : Ir.program) (st : state) = (compile p st) ()
+let run ?budget (p : Ir.program) (st : state) = (compile ?budget p st) ()
 
 (** [run_fresh p ~sizes ...] — allocate a fresh state and run [p] in it. *)
-let run_fresh (p : Ir.program) ~sizes ?(scalars = []) ?init_fn () =
+let run_fresh ?budget (p : Ir.program) ~sizes ?(scalars = []) ?init_fn () =
   let st = init p ~sizes ~scalars ?init_fn () in
-  run p st;
+  run ?budget p st;
   st

@@ -7,17 +7,34 @@
 
     Bitwise-identical to the tree-walking oracle {!Interp.run} on final
     states and on error behavior (same {!Istate.Runtime_error} messages,
-    raised at the same points of execution). *)
+    raised at the same points of execution).
 
-val compile : Daisy_loopir.Ir.program -> Istate.state -> unit -> unit
+    Every entry point accepts an optional {!Daisy_support.Budget}; the
+    engine ticks it once per executed loop iteration and lets
+    [Budget.Exhausted] escape. Compilation passes through the
+    ["interp_compile"] {!Daisy_support.Fault} injection point. *)
+
+val compile :
+  ?budget:Daisy_support.Budget.t ->
+  Daisy_loopir.Ir.program ->
+  Istate.state ->
+  unit ->
+  unit
 (** One-pass compilation against the state's sizes and storage; the
     returned thunk executes the program, mutating the state. Reusable as
-    long as the state's arrays are not reallocated. *)
+    long as the state's arrays are not reallocated. [budget] is baked
+    into the closures: repeated thunk invocations draw from the same
+    fuel. *)
 
-val run : Daisy_loopir.Ir.program -> Istate.state -> unit
+val run :
+  ?budget:Daisy_support.Budget.t ->
+  Daisy_loopir.Ir.program ->
+  Istate.state ->
+  unit
 (** Compile and execute once. *)
 
 val run_fresh :
+  ?budget:Daisy_support.Budget.t ->
   Daisy_loopir.Ir.program ->
   sizes:(string * int) list ->
   ?scalars:(string * float) list ->

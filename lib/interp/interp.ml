@@ -14,8 +14,10 @@
       states (see [test/test_compile.ml] and [docs/performance.md]).
 
     The equivalence checkers ({!equivalent}, {!equivalent_on}) run on the
-    compiled engine; the oracle remains the ground truth the compiled
-    engine is itself validated against.
+    compiled engine and transparently fall back to the oracle if it fails
+    with a non-semantic exception (see {!compiled_fallbacks}); the oracle
+    remains the ground truth the compiled engine is itself validated
+    against.
 
     Scheduling attributes ([parallel], [vectorized], [unroll]) do not affect
     interpretation — they are promises to the machine model, not semantics. *)
@@ -48,7 +50,11 @@ let eval_intrinsic = Istate.eval_intrinsic
 (* ------------------------------------------------------------------ *)
 (* Tree-walking evaluation (the oracle)                                 *)
 
-type frame = { state : state; mutable iters : int Util.SMap.t }
+type frame = {
+  state : state;
+  mutable iters : int Util.SMap.t;
+  budget : Budget.t;  (** ticked once per executed loop iteration *)
+}
 
 let int_env fr =
   Util.SMap.union (fun _ i _ -> Some i) fr.iters fr.state.sizes
@@ -156,6 +162,7 @@ let rec exec_nodes fr (nodes : Ir.node list) =
           if l.Ir.step > 0 then begin
             let i = ref lo in
             while !i <= hi do
+              Budget.tick fr.budget;
               fr.iters <- Util.SMap.add l.Ir.iter !i saved;
               exec_nodes fr l.Ir.body;
               i := !i + l.Ir.step
@@ -164,6 +171,7 @@ let rec exec_nodes fr (nodes : Ir.node list) =
           else begin
             let i = ref lo in
             while !i >= hi do
+              Budget.tick fr.budget;
               fr.iters <- Util.SMap.add l.Ir.iter !i saved;
               exec_nodes fr l.Ir.body;
               i := !i + l.Ir.step
@@ -174,14 +182,14 @@ let rec exec_nodes fr (nodes : Ir.node list) =
 
 (** [run p state] executes the body of [p] with the tree-walking oracle,
     mutating [state]. *)
-let run (p : Ir.program) (state : state) =
-  exec_nodes { state; iters = Util.SMap.empty } p.Ir.body
+let run ?(budget = Budget.unlimited ()) (p : Ir.program) (state : state) =
+  exec_nodes { state; iters = Util.SMap.empty; budget } p.Ir.body
 
 (** [run_fresh p ~sizes ...] allocates a fresh state and runs [p] in it
     (tree-walking oracle). *)
-let run_fresh (p : Ir.program) ~sizes ?(scalars = []) ?init_fn () =
+let run_fresh ?budget (p : Ir.program) ~sizes ?(scalars = []) ?init_fn () =
   let state = init p ~sizes ~scalars ?init_fn () in
-  run p state;
+  run ?budget p state;
   state
 
 (* ------------------------------------------------------------------ *)
@@ -189,12 +197,44 @@ let run_fresh (p : Ir.program) ~sizes ?(scalars = []) ?init_fn () =
 
 (** [run_compiled p state] executes [p] with the slot-based compiled
     engine ({!Compile}) — bitwise identical to {!run}, 10–100x faster. *)
-let run_compiled (p : Ir.program) (state : state) = Compile.run p state
+let run_compiled ?budget (p : Ir.program) (state : state) =
+  Compile.run ?budget p state
 
 (** [run_compiled_fresh p ~sizes ...] — {!run_fresh} on the compiled
     engine. *)
-let run_compiled_fresh (p : Ir.program) ~sizes ?(scalars = []) ?init_fn () =
-  Compile.run_fresh p ~sizes ~scalars ?init_fn ()
+let run_compiled_fresh ?budget (p : Ir.program) ~sizes ?(scalars = [])
+    ?init_fn () =
+  Compile.run_fresh ?budget p ~sizes ~scalars ?init_fn ()
+
+(* ------------------------------------------------------------------ *)
+(* Guarded compiled runs: fall back to the oracle on engine failure      *)
+
+let fallbacks = Atomic.make 0
+
+let compiled_fallbacks () = Atomic.get fallbacks
+let reset_compiled_fallbacks () = Atomic.set fallbacks 0
+
+let warn_fallback exn =
+  let n = Atomic.fetch_and_add fallbacks 1 + 1 in
+  (* throttle to power-of-two counts so a hot loop of failures does not
+     flood stderr *)
+  if n land (n - 1) = 0 then
+    Fmt.epr "%a@." Diag.pp
+      (Diag.make ~severity:Diag.Warn
+         "compiled engine failed (%s); falling back to tree oracle (fallback #%d)"
+         (Printexc.to_string exn) n)
+
+(* [Runtime_error] and [Invalid_argument] are semantic — both engines
+   raise them identically for the same program — so they propagate; any
+   other exception is an engine defect and triggers the oracle fallback.
+   [Budget.Exhausted] also propagates: the oracle would exhaust too. *)
+let checked_run_fresh ?budget (p : Ir.program) ~sizes ~scalars () =
+  try run_compiled_fresh ?budget p ~sizes ~scalars ()
+  with
+  | (Runtime_error _ | Invalid_argument _ | Budget.Exhausted) as e -> raise e
+  | e ->
+      warn_fallback e;
+      run_fresh ?budget p ~sizes ~scalars ()
 
 (* ------------------------------------------------------------------ *)
 (* Comparison                                                           *)
@@ -234,8 +274,8 @@ let max_rel_diff (p : Ir.program) (s1 : state) (s2 : state) =
     compiled engine. *)
 let equivalent_on ?(tol = 1e-9) ~(arrays : string list) (p1 : Ir.program)
     (p2 : Ir.program) ~sizes ?(scalars = []) () =
-  let s1 = run_compiled_fresh p1 ~sizes ~scalars () in
-  let s2 = run_compiled_fresh p2 ~sizes ~scalars () in
+  let s1 = checked_run_fresh p1 ~sizes ~scalars () in
+  let s2 = checked_run_fresh p2 ~sizes ~scalars () in
   List.for_all
     (fun name ->
       match (Hashtbl.find_opt s1.arrays name, Hashtbl.find_opt s2.arrays name) with
@@ -260,6 +300,6 @@ let equivalent_on ?(tol = 1e-9) ~(arrays : string list) (p1 : Ir.program)
     compiled engine. *)
 let equivalent ?(tol = 1e-9) (p1 : Ir.program) (p2 : Ir.program) ~sizes
     ?(scalars = []) () =
-  let s1 = run_compiled_fresh p1 ~sizes ~scalars () in
-  let s2 = run_compiled_fresh p2 ~sizes ~scalars () in
+  let s1 = checked_run_fresh p1 ~sizes ~scalars () in
+  let s2 = checked_run_fresh p2 ~sizes ~scalars () in
   max_rel_diff p1 s1 s2 <= tol

@@ -30,11 +30,14 @@ val init :
   state
 (** Allocate every array (parameters via [init_fn], locals zeroed). *)
 
-val run : Daisy_loopir.Ir.program -> state -> unit
+val run : ?budget:Daisy_support.Budget.t -> Daisy_loopir.Ir.program -> state -> unit
 (** Execute the program body with the tree-walking oracle, mutating
-    [state]. *)
+    [state]. [budget] (default unlimited) is ticked once per executed
+    loop iteration; {!Daisy_support.Budget.Exhausted} escapes when it
+    runs out. *)
 
 val run_fresh :
+  ?budget:Daisy_support.Budget.t ->
   Daisy_loopir.Ir.program ->
   sizes:(string * int) list ->
   ?scalars:(string * float) list ->
@@ -42,11 +45,13 @@ val run_fresh :
   unit ->
   state
 
-val run_compiled : Daisy_loopir.Ir.program -> state -> unit
+val run_compiled :
+  ?budget:Daisy_support.Budget.t -> Daisy_loopir.Ir.program -> state -> unit
 (** Execute with the compiled engine ({!Compile}): bitwise-identical final
     states and error behavior, 10–100x faster than {!run}. *)
 
 val run_compiled_fresh :
+  ?budget:Daisy_support.Budget.t ->
   Daisy_loopir.Ir.program ->
   sizes:(string * int) list ->
   ?scalars:(string * float) list ->
@@ -54,6 +59,16 @@ val run_compiled_fresh :
   unit ->
   state
 (** {!run_fresh} on the compiled engine. *)
+
+val compiled_fallbacks : unit -> int
+(** Number of times a guarded compiled run (the {!equivalent} family)
+    failed with a non-semantic exception and was transparently re-run on
+    the tree oracle. Each fallback logs a throttled warning to stderr.
+    Semantic errors ([Runtime_error], [Invalid_argument]) and
+    [Budget.Exhausted] propagate instead — both engines raise those
+    identically. *)
+
+val reset_compiled_fallbacks : unit -> unit
 
 val max_rel_diff : Daisy_loopir.Ir.program -> state -> state -> float
 (** Maximum relative difference between parameter arrays of two states
@@ -68,8 +83,9 @@ val equivalent_on :
   ?scalars:(string * float) list ->
   unit ->
   bool
-(** Run both programs from identical initial states (compiled engine) and
-    compare only the named arrays (for cross-language checks). *)
+(** Run both programs from identical initial states (compiled engine,
+    with transparent tree-oracle fallback on engine failure) and compare
+    only the named arrays (for cross-language checks). *)
 
 val equivalent :
   ?tol:float ->

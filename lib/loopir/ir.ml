@@ -511,3 +511,183 @@ let equal_structure a b = canon_nodes a = canon_nodes b
 
 (** Structural hash of a node list (canonical form). *)
 let hash_structure nodes = Hashtbl.hash (canon_nodes nodes)
+
+(* ------------------------------------------------------------------ *)
+(* Structural validation                                                *)
+
+(** When true, {!Daisy_normalize.Pipeline} and
+    {!Daisy_transforms.Recipe.apply} re-validate their output and raise
+    [Diag.Error] on a violation — a debug net for transformation bugs.
+    Initialized from the [DAISY_VALIDATE] environment variable (unset,
+    empty or ["0"] = off). *)
+let validation_enabled =
+  ref
+    (match Sys.getenv_opt "DAISY_VALIDATE" with
+    | None | Some "" | Some "0" -> false
+    | Some _ -> true)
+
+let rec vexpr_int_exprs (e : vexpr) : Expr.t list =
+  match e with
+  | Vfloat _ | Vscalar _ -> []
+  | Vint ie -> [ ie ]
+  | Vread a -> a.indices
+  | Vbin (_, a, b) -> vexpr_int_exprs a @ vexpr_int_exprs b
+  | Vneg a -> vexpr_int_exprs a
+  | Vcall (_, args) -> List.concat_map vexpr_int_exprs args
+  | Vselect (p, a, b) ->
+      pred_int_exprs p @ vexpr_int_exprs a @ vexpr_int_exprs b
+
+and pred_int_exprs (p : pred) : Expr.t list =
+  match p with
+  | Pcmp (_, a, b) -> vexpr_int_exprs a @ vexpr_int_exprs b
+  | Pand (a, b) | Por (a, b) -> pred_int_exprs a @ pred_int_exprs b
+  | Pnot a -> pred_int_exprs a
+
+(** Free integer variables of a subtree: every variable of a bound,
+    subscript, guard, [Vint] or libcall dim not bound by an enclosing
+    loop of the subtree itself — i.e. the names an environment must
+    provide (size parameters and outer iterators). *)
+let free_index_vars (nodes : node list) : Util.SSet.t =
+  let acc = ref Util.SSet.empty in
+  let add scope e =
+    acc := Util.SSet.union !acc (Util.SSet.diff (Expr.free_vars e) scope)
+  in
+  let add_vexpr scope e = List.iter (add scope) (vexpr_int_exprs e) in
+  let rec go scope nodes =
+    List.iter
+      (fun n ->
+        match n with
+        | Ncomp c ->
+            (match c.dest with
+            | Darray a -> List.iter (add scope) a.indices
+            | Dscalar _ -> ());
+            add_vexpr scope c.rhs;
+            Option.iter
+              (fun g -> List.iter (add scope) (pred_int_exprs g))
+              c.guard
+        | Ncall k ->
+            List.iter (add scope) k.dims;
+            List.iter (add_vexpr scope) k.scalar_args
+        | Nloop l ->
+            add scope l.lo;
+            add scope l.hi;
+            go (Util.SSet.add l.iter scope) l.body)
+      nodes
+  in
+  go Util.SSet.empty nodes;
+  !acc
+
+(** [validate_nodes ?arrays ?params nodes] — check the structural
+    invariants of a subtree and return human-readable violations (empty =
+    valid): unique positive node ids, non-zero loop steps, every integer
+    expression closed over enclosing iterators and [params], and — when
+    [arrays] is given — every access naming a declared array with
+    subscript arity matching its declared rank. *)
+let validate_nodes ?arrays ?(params = Util.SSet.empty) (nodes : node list) :
+    string list =
+  let violations = ref [] in
+  let violate fmt = Fmt.kstr (fun m -> violations := m :: !violations) fmt in
+  let seen_ids : (int, string) Hashtbl.t = Hashtbl.create 64 in
+  let check_id kind id =
+    (* ids <= 0 are canonical/zeroed forms, exempt from uniqueness *)
+    if id > 0 then
+      match Hashtbl.find_opt seen_ids id with
+      | Some kind' -> violate "duplicate id %d (%s and %s)" id kind' kind
+      | None -> Hashtbl.add seen_ids id kind
+  in
+  let rank_tbl =
+    Option.map
+      (fun decls ->
+        let tbl = Hashtbl.create 16 in
+        List.iter
+          (fun (a : array_decl) ->
+            Hashtbl.replace tbl a.name (List.length a.dims))
+          decls;
+        tbl)
+      arrays
+  in
+  let check_array ~where name nidx =
+    match rank_tbl with
+    | None -> ()
+    | Some tbl -> (
+        match Hashtbl.find_opt tbl name with
+        | None -> violate "%s: undeclared array %s" where name
+        | Some rank -> (
+            match nidx with
+            | Some n when n <> rank ->
+                violate "%s: array %s has rank %d but %d subscripts" where
+                  name rank n
+            | _ -> ()))
+  in
+  let check_expr ~where scope e =
+    Util.SSet.iter
+      (fun v -> violate "%s: unbound variable %s" where v)
+      (Util.SSet.diff (Expr.free_vars e) (Util.SSet.union scope params))
+  in
+  let rec check_vexpr ~where scope (e : vexpr) =
+    match e with
+    | Vfloat _ | Vscalar _ -> ()
+    | Vint ie -> check_expr ~where scope ie
+    | Vread a ->
+        check_array ~where a.array (Some (List.length a.indices));
+        List.iter (check_expr ~where scope) a.indices
+    | Vbin (_, a, b) ->
+        check_vexpr ~where scope a;
+        check_vexpr ~where scope b
+    | Vneg a -> check_vexpr ~where scope a
+    | Vcall (_, args) -> List.iter (check_vexpr ~where scope) args
+    | Vselect (p, a, b) ->
+        check_pred ~where scope p;
+        check_vexpr ~where scope a;
+        check_vexpr ~where scope b
+  and check_pred ~where scope (p : pred) =
+    match p with
+    | Pcmp (_, a, b) ->
+        check_vexpr ~where scope a;
+        check_vexpr ~where scope b
+    | Pand (a, b) | Por (a, b) ->
+        check_pred ~where scope a;
+        check_pred ~where scope b
+    | Pnot a -> check_pred ~where scope a
+  in
+  let rec go scope nodes =
+    List.iter
+      (fun n ->
+        match n with
+        | Ncomp c ->
+            check_id "computation" c.cid;
+            let where = Fmt.str "computation %d" c.cid in
+            (match c.dest with
+            | Darray a ->
+                check_array ~where a.array (Some (List.length a.indices));
+                List.iter (check_expr ~where scope) a.indices
+            | Dscalar _ -> ());
+            check_vexpr ~where scope c.rhs;
+            Option.iter (check_pred ~where scope) c.guard
+        | Ncall k ->
+            check_id "libcall" k.kid;
+            let where = Fmt.str "libcall %s" k.kernel in
+            List.iter
+              (fun a -> check_array ~where a None)
+              (Util.dedup ~eq:String.equal (k.args @ k.writes_to));
+            List.iter (check_expr ~where scope) k.dims;
+            List.iter (check_vexpr ~where scope) k.scalar_args
+        | Nloop l ->
+            check_id "loop" l.lid;
+            let where = Fmt.str "loop %s (lid %d)" l.iter l.lid in
+            if l.step = 0 then violate "%s: zero step" where;
+            (* a loop's iterator is NOT in scope for its own bounds *)
+            check_expr ~where scope l.lo;
+            check_expr ~where scope l.hi;
+            go (Util.SSet.add l.iter scope) l.body)
+      nodes
+  in
+  go Util.SSet.empty nodes;
+  List.rev !violations
+
+(** [validate p] — {!validate_nodes} over a whole program, with its array
+    declarations and size parameters in scope. *)
+let validate (p : program) : string list =
+  validate_nodes ~arrays:p.arrays
+    ~params:(Util.SSet.of_list p.size_params)
+    p.body

@@ -186,3 +186,34 @@ val node_to_string : node -> string
 val canon_nodes : node list -> node list
 val equal_structure : node list -> node list -> bool
 val hash_structure : node list -> int
+
+(** {1 Structural validation}
+
+    A debug net for transformation bugs: checks that every integer
+    expression is closed over enclosing iterators (plus the given
+    parameters), positive node ids are unique, loop steps are non-zero,
+    and accessed arrays are declared with matching subscript arity. *)
+
+val validation_enabled : bool ref
+(** When true, the normalization pipeline and [Recipe.apply] re-validate
+    their output and raise [Daisy_support.Diag.Error] on a violation.
+    Initialized from the [DAISY_VALIDATE] environment variable (unset,
+    empty or ["0"] = off). *)
+
+val free_index_vars : node list -> Daisy_support.Util.SSet.t
+(** Free integer variables of a subtree: names its bounds, subscripts,
+    guards and call dims require from the environment (size parameters
+    and outer iterators). *)
+
+val validate_nodes :
+  ?arrays:array_decl list ->
+  ?params:Daisy_support.Util.SSet.t ->
+  node list ->
+  string list
+(** Human-readable invariant violations (empty = valid). Array
+    declaration / rank checks only run when [?arrays] is given; node ids
+    [<= 0] (canonical forms) are exempt from the uniqueness check. *)
+
+val validate : program -> string list
+(** {!validate_nodes} over a whole program, with its array declarations
+    and size parameters in scope. *)

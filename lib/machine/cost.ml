@@ -8,6 +8,8 @@
     strong-scaling saturation the CLOUDSC case study observes. *)
 
 module Ir = Daisy_loopir.Ir
+module Budget = Daisy_support.Budget
+module Diag = Daisy_support.Diag
 
 type nest_cost = {
   counters : Trace.counters;
@@ -98,15 +100,17 @@ let string_of_engine = function
   | Compiled -> "compiled"
   | Approx _ -> "approx"
 
-(** [evaluate config p ~sizes ~threads ?sample_outer ?engine ()] — trace and
-    cost a program. *)
+(** [evaluate config p ~sizes ~threads ?sample_outer ?engine ?budget ()] —
+    trace and cost a program. [budget] bounds the walked loop iterations;
+    {!Daisy_support.Budget.Exhausted} escapes when it runs out. *)
 let evaluate (config : Config.t) (p : Ir.program) ~(sizes : (string * int) list)
-    ?(threads = 1) ?(sample_outer = 0) ?(engine = Compiled) () : report =
+    ?(threads = 1) ?(sample_outer = 0) ?(engine = Compiled) ?budget () : report =
   let counters =
     match engine with
-    | Tree -> Trace.run config p ~sizes ~sample_outer ()
-    | Compiled -> Trace_compile.run config p ~sizes ~sample_outer ()
-    | Approx a -> Trace_compile.run config p ~sizes ~sample_outer ~approx:a ()
+    | Tree -> Trace.run config p ~sizes ~sample_outer ?budget ()
+    | Compiled -> Trace_compile.run config p ~sizes ~sample_outer ?budget ()
+    | Approx a ->
+        Trace_compile.run config p ~sizes ~sample_outer ~approx:a ?budget ()
   in
   let nests = List.map (nest_cycles config ~threads) counters in
   let total_cycles =
@@ -133,6 +137,52 @@ let evaluate (config : Config.t) (p : Ir.program) ~(sizes : (string * int) list)
     l2_misses =
       List.fold_left (fun a n -> a +. n.counters.Trace.l2.Cache.misses) 0.0 nests;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Guarded evaluation: budgeted, with tree-oracle fallback              *)
+
+let fallbacks = Atomic.make 0
+
+let engine_fallbacks () = Atomic.get fallbacks
+let reset_engine_fallbacks () = Atomic.set fallbacks 0
+
+let warn_fallback engine exn =
+  let n = Atomic.fetch_and_add fallbacks 1 + 1 in
+  (* throttle to power-of-two counts so a search over thousands of
+     candidates cannot flood stderr *)
+  if n land (n - 1) = 0 then
+    Fmt.epr "%a@." Diag.pp
+      (Diag.make ~severity:Diag.Warn
+         "%s trace engine failed (%s); falling back to tree walker (fallback #%d)"
+         (string_of_engine engine) (Printexc.to_string exn) n)
+
+(** [evaluate_guarded config p ~sizes ... ?steps ()] — the resilient entry
+    point the scheduler uses. Each attempt gets a fresh budget of [steps]
+    walked loop iterations (unlimited when [steps] is [None]);
+    [Budget.Exhausted] propagates so callers can map it to [infinity]
+    fitness. Any other failure of the compiled/approx engines logs a
+    throttled warning, bumps {!engine_fallbacks}, and transparently
+    re-runs on the tree walker with a fresh budget. *)
+let evaluate_guarded (config : Config.t) (p : Ir.program)
+    ~(sizes : (string * int) list) ?threads ?sample_outer
+    ?(engine = Compiled) ?steps () : report =
+  let budget () =
+    match steps with Some n -> Budget.make ~steps:n | None -> Budget.unlimited ()
+  in
+  match engine with
+  | Tree ->
+      evaluate config p ~sizes ?threads ?sample_outer ~engine:Tree
+        ~budget:(budget ()) ()
+  | (Compiled | Approx _) as eng -> (
+      try
+        evaluate config p ~sizes ?threads ?sample_outer ~engine:eng
+          ~budget:(budget ()) ()
+      with
+      | Budget.Exhausted as e -> raise e
+      | e ->
+          warn_fallback eng e;
+          evaluate config p ~sizes ?threads ?sample_outer ~engine:Tree
+            ~budget:(budget ()) ())
 
 (** Simulated milliseconds — the unit every experiment reports. *)
 let milliseconds (r : report) = r.seconds *. 1e3

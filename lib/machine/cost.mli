@@ -43,11 +43,35 @@ val evaluate :
   ?threads:int ->
   ?sample_outer:int ->
   ?engine:engine ->
+  ?budget:Daisy_support.Budget.t ->
   unit ->
   report
 (** Trace and cost a program ([sample_outer] > 0 samples the outermost loop
     of each top-level nest and extrapolates; [engine] defaults to
-    [Compiled]). *)
+    [Compiled]). [budget] bounds the walked loop iterations;
+    [Daisy_support.Budget.Exhausted] escapes when it runs out. *)
+
+val evaluate_guarded :
+  Config.t ->
+  Daisy_loopir.Ir.program ->
+  sizes:(string * int) list ->
+  ?threads:int ->
+  ?sample_outer:int ->
+  ?engine:engine ->
+  ?steps:int ->
+  unit ->
+  report
+(** The resilient entry point the scheduler uses. Each attempt gets a
+    fresh budget of [steps] walked loop iterations (unlimited when
+    [None]); [Budget.Exhausted] propagates so callers can map it to
+    [infinity] fitness. Any other compiled/approx-engine failure logs a
+    throttled warning, bumps {!engine_fallbacks} and transparently
+    re-runs on the tree walker. *)
+
+val engine_fallbacks : unit -> int
+(** Times {!evaluate_guarded} fell back to the tree walker. *)
+
+val reset_engine_fallbacks : unit -> unit
 
 val milliseconds : report -> float
 val pp_report : report Fmt.t

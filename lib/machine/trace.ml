@@ -310,6 +310,7 @@ type walk_ctx = {
   layout : layout;
   param_env : int Util.SMap.t;
   sample_outer : int;  (** 0 = no sampling *)
+  budget : Budget.t;  (** ticked once per walked loop iteration *)
 }
 
 let compile_access cctx (layout : layout) ~write ~(simd_iter : string option)
@@ -533,6 +534,7 @@ let trace_node (wctx : walk_ctx) (node : Ir.node) : counters =
             let i = ref lo in
             for k = 0 to sample - 1 do
               ignore k;
+              Budget.tick wctx.budget;
               iters.(slot) <- !i;
               walk l.Ir.body ~depth:(depth + 1) ~simd_iter:simd_iter'
                 ~unrolled:unrolled' ~atomic_region:atomic'
@@ -570,11 +572,11 @@ let trace_node (wctx : walk_ctx) (node : Ir.node) : counters =
 (** [run config p ~sizes ~sample_outer] — trace the whole program; returns
     the per-top-level-node counters in order. *)
 let run (config : Config.t) (p : Ir.program) ~(sizes : (string * int) list)
-    ?(sample_outer = 0) () : counters list =
+    ?(sample_outer = 0) ?(budget = Budget.unlimited ()) () : counters list =
   let param_env =
     List.fold_left (fun m (k, v) -> Util.SMap.add k v m) Util.SMap.empty sizes
   in
   let layout = layout_of p ~sizes:param_env in
   let cache = Cache.create config in
-  let wctx = { config; cache; layout; param_env; sample_outer } in
+  let wctx = { config; cache; layout; param_env; sample_outer; budget } in
   List.map (trace_node wctx) p.Ir.body

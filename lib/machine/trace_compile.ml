@@ -118,6 +118,7 @@ let trace_node (wctx : Trace.walk_ctx) ?(approx : approx option)
     (node : Ir.node) : Trace.counters =
   let config = wctx.Trace.config in
   let cache = wctx.Trace.cache in
+  let budget = wctx.Trace.budget in
   let counters = Trace.zero_counters () in
   let l1_before = Cache.copy_stats (Cache.l1_stats cache) in
   let l2_before = Cache.copy_stats (Cache.l2_stats cache) in
@@ -439,6 +440,7 @@ let trace_node (wctx : Trace.walk_ctx) ?(approx : approx option)
               let run_iters i0 count =
                 let i = ref i0 in
                 for _ = 1 to count do
+                  Budget.tick budget;
                   iters.(slot) <- !i;
                   fbody ();
                   for sp = 0 to spills - 1 do
@@ -535,11 +537,13 @@ let trace_node (wctx : Trace.walk_ctx) ?(approx : approx option)
     whole program; returns per-top-level-node counters in order, exactly
     like [Trace.run]. *)
 let run (config : Config.t) (p : Ir.program) ~(sizes : (string * int) list)
-    ?(sample_outer = 0) ?approx () : Trace.counters list =
+    ?(sample_outer = 0) ?approx ?(budget = Budget.unlimited ()) () :
+    Trace.counters list =
+  Fault.inject "trace_compile";
   let param_env =
     List.fold_left (fun m (k, v) -> Util.SMap.add k v m) Util.SMap.empty sizes
   in
   let layout = Trace.layout_of p ~sizes:param_env in
   let cache = Cache.create config in
-  let wctx = { Trace.config; cache; layout; param_env; sample_outer } in
+  let wctx = { Trace.config; cache; layout; param_env; sample_outer; budget } in
   List.map (trace_node wctx ?approx) p.Ir.body

@@ -31,6 +31,9 @@ val run :
   sizes:(string * int) list ->
   ?sample_outer:int ->
   ?approx:approx ->
+  ?budget:Daisy_support.Budget.t ->
   unit ->
   Trace.counters list
-(** Drop-in replacement for [Trace.run]. *)
+(** Drop-in replacement for [Trace.run]. [budget] is ticked once per
+    executed loop iteration ([Budget.Exhausted] escapes); entry passes
+    through the ["trace_compile"] {!Daisy_support.Fault} point. *)

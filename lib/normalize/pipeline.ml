@@ -46,13 +46,28 @@ let default_options ?(sizes = []) () =
        else Stride.Sum_of_strides sizes);
   }
 
+(** [check stage p] — when [Ir.validation_enabled], re-validate the
+    program after a normalization stage and raise [Diag.Error] naming the
+    stage on any structural violation (a transformation-bug net; see
+    docs/robustness.md). *)
+let check (stage : string) (p : Ir.program) : Ir.program =
+  (if !Ir.validation_enabled then
+     match Ir.validate p with
+     | [] -> ()
+     | violations ->
+         Diag.errorf "normalization stage %s produced an invalid program:@,%a"
+           stage
+           (Fmt.list ~sep:Fmt.cut Fmt.string)
+           violations);
+  p
+
 (** [run ?options p] — normalize [p]; returns the normalized program and a
     report of what was applied. *)
 let run ?options (p : Ir.program) : Ir.program * report =
   let options =
     match options with Some o -> o | None -> default_options ()
   in
-  let p = Iter_norm.run p in
+  let p = check "iter-norm" (Iter_norm.run p) in
   let before = top_level_nests p in
   let p, expansions =
     if options.fission then begin
@@ -61,7 +76,8 @@ let run ?options (p : Ir.program) : Ir.program * report =
         if i > 4 then (p, expansions)
         else
           let p', exp' = Scalar_expand.run p in
-          let p'' = Fission.run_fixpoint p' in
+          let p' = check "scalar-expand" p' in
+          let p'' = check "fission" (Fission.run_fixpoint p') in
           if exp' = [] && Ir.equal_structure p.Ir.body p''.Ir.body then
             (p'', expansions)
           else fixpoint (i + 1) p'' (expansions @ exp')
@@ -78,7 +94,11 @@ let run ?options (p : Ir.program) : Ir.program * report =
     if options.stride then begin
       let rec joint i p permuted =
         let p', n = Stride.run options.criterion p in
-        let p'' = if options.fission then Fission.run_fixpoint p' else p' in
+        let p' = check "stride" p' in
+        let p'' =
+          if options.fission then check "fission" (Fission.run_fixpoint p')
+          else p'
+        in
         if i >= 3 || Ir.equal_structure p.Ir.body p''.Ir.body then
           (p'', permuted + n)
         else joint (i + 1) p'' (permuted + n)

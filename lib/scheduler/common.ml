@@ -12,22 +12,28 @@ type ctx = {
   threads : int;
   sample_outer : int;  (** outer-loop sampling bound, 0 = exact *)
   engine : Cost.engine;  (** trace engine used for every evaluation *)
+  eval_steps : int option;
+      (** per-evaluation step budget; [None] = unlimited *)
 }
 
 let make_ctx ?(config = Config.default) ?(threads = config.Config.cores)
-    ?(sample_outer = 12) ?(engine = Cost.Compiled) ~sizes () =
-  { config; sizes; threads; sample_outer; engine }
+    ?(sample_outer = 12) ?(engine = Cost.Compiled) ?eval_steps ~sizes () =
+  { config; sizes; threads; sample_outer; engine; eval_steps }
 
-(** Simulated runtime in milliseconds. *)
+(** Simulated runtime in milliseconds. Every evaluation goes through
+    {!Cost.evaluate_guarded}: a fresh step budget per candidate
+    ([Budget.Exhausted] escapes for the caller to penalize) and a
+    transparent tree-walker fallback on compiled-engine failure. *)
 let runtime_ms (ctx : ctx) (p : Ir.program) : float =
   Cost.milliseconds
-    (Cost.evaluate ctx.config p ~sizes:ctx.sizes ~threads:ctx.threads
-       ~sample_outer:ctx.sample_outer ~engine:ctx.engine ())
+    (Cost.evaluate_guarded ctx.config p ~sizes:ctx.sizes ~threads:ctx.threads
+       ~sample_outer:ctx.sample_outer ~engine:ctx.engine ?steps:ctx.eval_steps
+       ())
 
 (** Full report (for L1 statistics, FLOP/s). *)
 let report (ctx : ctx) (p : Ir.program) : Cost.report =
-  Cost.evaluate ctx.config p ~sizes:ctx.sizes ~threads:ctx.threads
-    ~sample_outer:ctx.sample_outer ~engine:ctx.engine ()
+  Cost.evaluate_guarded ctx.config p ~sizes:ctx.sizes ~threads:ctx.threads
+    ~sample_outer:ctx.sample_outer ~engine:ctx.engine ?steps:ctx.eval_steps ()
 
 (** A program containing a single top-level node, sharing the array
     declarations of [p] — used to evaluate candidate schedules per nest. *)

@@ -7,6 +7,8 @@ type ctx = {
   sample_outer : int;  (** outer-loop sampling bound; 0 = exact *)
   engine : Daisy_machine.Cost.engine;
       (** trace engine used for every evaluation (default [Compiled]) *)
+  eval_steps : int option;
+      (** per-evaluation step budget; [None] = unlimited *)
 }
 
 val make_ctx :
@@ -14,12 +16,17 @@ val make_ctx :
   ?threads:int ->
   ?sample_outer:int ->
   ?engine:Daisy_machine.Cost.engine ->
+  ?eval_steps:int ->
   sizes:(string * int) list ->
   unit ->
   ctx
 
 val runtime_ms : ctx -> Daisy_loopir.Ir.program -> float
-(** Simulated runtime in milliseconds. *)
+(** Simulated runtime in milliseconds, via
+    [Daisy_machine.Cost.evaluate_guarded]: each evaluation gets a fresh
+    budget of [eval_steps] walked iterations
+    ([Daisy_support.Budget.Exhausted] escapes) and compiled-engine
+    failures transparently fall back to the tree walker. *)
 
 val report : ctx -> Daisy_loopir.Ir.program -> Daisy_machine.Cost.report
 

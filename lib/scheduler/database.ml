@@ -9,6 +9,8 @@
 module Ir = Daisy_loopir.Ir
 module Recipe = Daisy_transforms.Recipe
 module Embedding = Daisy_embedding.Embedding
+module Diag = Daisy_support.Diag
+module Fault = Daisy_support.Fault
 
 type entry = {
   source : string;  (** benchmark/nest label, for reporting *)
@@ -45,8 +47,10 @@ let merge ~into src = into.entries <- src.entries @ into.entries
     space (closest first). Scans the entries directly — no per-query
     intermediate pair list. *)
 let query db ~k (nest : Ir.loop) : (float * entry) list =
-  let q = Embedding.of_node (Ir.Nloop nest) in
-  Embedding.nearest_by ~embed:(fun e -> e.embedding) k db.entries q
+  if k <= 0 then []
+  else
+    let q = Embedding.of_node (Ir.Nloop nest) in
+    Embedding.nearest_by ~embed:(fun e -> e.embedding) k db.entries q
 
 (** Entries whose normalized structure is identical to [nest] — exact
     transfer hits. *)
@@ -59,3 +63,191 @@ let pp ppf db =
     (Fmt.list ~sep:Fmt.cut (fun ppf e ->
          Fmt.pf ppf "  %s: %a" e.source Recipe.pp e.recipe))
     db.entries
+
+(* ------------------------------------------------------------------ *)
+(* Persistence: versioned, checksummed, corruption-tolerant.
+
+   Line-based text format (see docs/robustness.md):
+
+   {v
+   DAISYDB 1
+   entry <16-hex FNV-1a-64 checksum of the 4 body lines joined by \n>
+   source "gemm:nest0"
+   hash 129386423
+   embedding 0x1.8p+1 0x0p+0 ... (dim %h-printed floats, exact round-trip)
+   recipe [interchange(1 0); vectorize]
+   end
+   ...
+   v}
+
+   Entries are written head-first and loaded in file order, so a
+   round-trip reproduces the in-memory entry list — and therefore every
+   [query]/[exact_matches] result — bit for bit. *)
+
+let magic = "DAISYDB"
+let version = 1
+
+(* FNV-1a 64-bit, rendered as 16 hex digits *)
+let checksum (s : string) : string =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h :=
+        Int64.mul
+          (Int64.logxor !h (Int64.of_int (Char.code c)))
+          0x100000001b3L)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+let entry_body (e : entry) : string list =
+  [
+    Printf.sprintf "source %S" e.source;
+    Printf.sprintf "hash %d" e.canon_hash;
+    "embedding "
+    ^ String.concat " "
+        (List.map (Printf.sprintf "%h") (Array.to_list e.embedding));
+    "recipe " ^ Recipe.to_string e.recipe;
+  ]
+
+let save (db : t) (path : string) : unit =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "%s %d\n" magic version;
+      List.iter
+        (fun e ->
+          let body = entry_body e in
+          Printf.fprintf oc "entry %s\n" (checksum (String.concat "\n" body));
+          List.iter (fun l -> Printf.fprintf oc "%s\n" l) body;
+          Printf.fprintf oc "end\n")
+        db.entries)
+
+let strip_prefix p s =
+  let lp = String.length p in
+  if String.length s >= lp && String.equal (String.sub s 0 lp) p then
+    Some (String.sub s lp (String.length s - lp))
+  else None
+
+let parse_entry (ck : string) (body : string list) : (entry, string) result =
+  let ( let* ) = Result.bind in
+  let expected = checksum (String.concat "\n" body) in
+  if not (String.equal ck expected) then
+    Error
+      (Printf.sprintf "checksum mismatch (stored %s, computed %s)" ck expected)
+  else
+    match body with
+    | [ src_l; hash_l; emb_l; rec_l ] ->
+        let* source =
+          try Ok (Scanf.sscanf src_l "source %S" Fun.id)
+          with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+            Error "malformed source line"
+        in
+        let* canon_hash =
+          match strip_prefix "hash " hash_l with
+          | Some s -> (
+              match int_of_string_opt (String.trim s) with
+              | Some h -> Ok h
+              | None -> Error "malformed hash line")
+          | None -> Error "malformed hash line"
+        in
+        let* embedding =
+          match strip_prefix "embedding " emb_l with
+          | None -> Error "malformed embedding line"
+          | Some s ->
+              let toks =
+                String.split_on_char ' ' s |> List.filter (fun t -> t <> "")
+              in
+              let floats = List.filter_map float_of_string_opt toks in
+              if List.length floats <> List.length toks then
+                Error "malformed embedding value"
+              else if List.length floats <> Embedding.dim then
+                Error
+                  (Printf.sprintf "embedding has %d values, expected %d"
+                     (List.length floats) Embedding.dim)
+              else Ok (Array.of_list floats)
+        in
+        let* recipe =
+          match strip_prefix "recipe " rec_l with
+          | None -> Error "malformed recipe line"
+          | Some s -> Recipe.of_string s
+        in
+        Ok { source; embedding; recipe; canon_hash }
+    | _ ->
+        Error
+          (Printf.sprintf "expected 4 body lines, got %d" (List.length body))
+
+let load (path : string) : t * string list =
+  let ic =
+    try open_in path
+    with Sys_error m -> Diag.errorf "cannot open database: %s" m
+  in
+  let lines =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let acc = ref [] in
+        (try
+           while true do
+             acc := input_line ic :: !acc
+           done
+         with End_of_file -> ());
+        Array.of_list (List.rev !acc))
+  in
+  let n = Array.length lines in
+  if n = 0 then Diag.errorf "%s: empty file is not a daisy database" path;
+  (match String.split_on_char ' ' lines.(0) with
+  | [ m; v ] when String.equal m magic -> (
+      match int_of_string_opt v with
+      | Some ver when ver = version -> ()
+      | _ ->
+          Diag.errorf "%s: unsupported database version %S (this build reads %d)"
+            path v version)
+  | _ -> Diag.errorf "%s: not a daisy database (bad magic line %S)" path lines.(0));
+  let warnings = ref [] in
+  let warn fmt =
+    Printf.ksprintf (fun m -> warnings := Printf.sprintf "%s: %s" path m :: !warnings) fmt
+  in
+  let entries = ref [] in
+  let entry_idx = ref 0 in
+  let i = ref 1 in
+  while !i < n do
+    let line = lines.(!i) in
+    if String.trim line = "" then incr i
+    else
+      match strip_prefix "entry " line with
+      | None ->
+          warn "line %d: expected 'entry <checksum>', got %S — skipping"
+            (!i + 1) line;
+          incr i
+      | Some ck ->
+          incr entry_idx;
+          let start = !i + 1 in
+          let j = ref start in
+          while
+            !j < n
+            && (not (String.equal lines.(!j) "end"))
+            && strip_prefix "entry " lines.(!j) = None
+          do
+            incr j
+          done;
+          let body = Array.to_list (Array.sub lines start (!j - start)) in
+          if !j >= n || not (String.equal lines.(!j) "end") then begin
+            warn "entry %d (line %d): truncated (no 'end') — skipping"
+              !entry_idx (!i + 1);
+            i := !j
+          end
+          else begin
+            (if Fault.fires "db_load" then
+               warn "entry %d (line %d): fault injected — skipping" !entry_idx
+                 (!i + 1)
+             else
+               match parse_entry ck body with
+               | Ok e -> entries := e :: !entries
+               | Error m ->
+                   warn "entry %d (line %d): %s — skipping" !entry_idx
+                     (!i + 1) m);
+            i := !j + 1
+          end
+  done;
+  ({ entries = List.rev !entries }, List.rev !warnings)

@@ -35,4 +35,21 @@ val exact_matches : t -> Daisy_loopir.Ir.loop -> entry list
 (** Entries whose normalized structure is identical — exact transfer
     hits. *)
 
+val save : t -> string -> unit
+(** [save db path] — write the versioned on-disk format: a
+    ["DAISYDB 1"] header, then one checksummed block per entry
+    (embeddings printed with [%h], so floats round-trip exactly). A
+    {!load} of the result reproduces the entry list — and therefore
+    every {!query}/{!exact_matches} result — bit for bit. The format is
+    documented in docs/robustness.md. *)
+
+val load : string -> t * string list
+(** [load path] — read a database written by {!save}. Corrupt entries
+    (bad checksum, malformed field, truncated block) are skipped
+    individually, each contributing a warning string; the surviving
+    entries load in file order. Raises [Daisy_support.Diag.Error] only
+    for whole-file problems: unreadable file, bad magic, or unsupported
+    version. Every entry passes through the ["db_load"]
+    [Daisy_support.Fault] injection point. *)
+
 val pp : t Fmt.t

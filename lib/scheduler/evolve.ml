@@ -91,9 +91,13 @@ let eval_cached (cache : fitness_cache) (ctx : Common.ctx) ~outer
       let t =
         match Recipe.apply ~outer nest r with
         | Error _ -> infinity
-        | Ok nest' ->
-            Common.nest_runtime_ms ctx p
-              (Common.wrap_outer outer (Ir.Nloop nest'))
+        | Ok nest' -> (
+            (* a candidate that blows its step budget is not an error —
+               it is an infinitely bad schedule *)
+            try
+              Common.nest_runtime_ms ctx p
+                (Common.wrap_outer outer (Ir.Nloop nest'))
+            with Budget.Exhausted -> infinity)
       in
       cache_store cache key t;
       t

@@ -1,0 +1,31 @@
+(** Step budgets for candidate evaluation (see the interface).
+
+    A budget is a mutable fuel counter; engines call {!tick} once per
+    executed loop iteration. The check is a decrement and a branch, so a
+    budgeted run costs the same as an unbudgeted one to within noise.
+    {!unlimited} budgets start at [max_int] fuel — at one tick per
+    nanosecond that is ~292 years, so they never exhaust in practice but
+    still use the exact same code path as finite budgets. *)
+
+type t = { mutable fuel : int }
+
+exception Exhausted
+
+let make ~steps = { fuel = max 0 steps }
+let unlimited () = { fuel = max_int }
+
+let tick b =
+  b.fuel <- b.fuel - 1;
+  if b.fuel < 0 then raise Exhausted
+
+let spend b n =
+  b.fuel <- b.fuel - max 0 n;
+  if b.fuel < 0 then raise Exhausted
+
+let remaining b = max 0 b.fuel
+let exhausted b = b.fuel < 0
+
+let () =
+  Printexc.register_printer (function
+    | Exhausted -> Some "Daisy_support.Budget.Exhausted (evaluation step budget exhausted)"
+    | _ -> None)

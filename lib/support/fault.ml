@@ -1,0 +1,120 @@
+(** Fault injection for robustness testing (see the interface).
+
+    A global table maps point labels to triggers. The fast path —
+    {!inject} at an unarmed point — is one atomic load, so shipping the
+    injection points in production code costs nothing measurable. All
+    slow-path bookkeeping is mutex-guarded: points may fire from pool
+    worker domains. *)
+
+type trigger =
+  | Always
+  | Nth of int  (** fire on the [n]th call (1-based), exactly once *)
+  | Prob of float * Rng.t  (** seeded coin per call *)
+
+type point = { mutable trigger : trigger; mutable calls : int; mutable fired : int }
+
+exception Injected of string
+
+let lock = Mutex.create ()
+let points : (string, point) Hashtbl.t = Hashtbl.create 8
+
+(* true iff any point is armed — the fast path of [inject] *)
+let enabled = Atomic.make false
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let arm label trigger =
+  locked (fun () ->
+      Hashtbl.replace points label { trigger; calls = 0; fired = 0 };
+      Atomic.set enabled true)
+
+let arm_always label = arm label Always
+let arm_nth label n = arm label (Nth (max 1 n))
+
+let arm_prob label ~p ~seed =
+  arm label (Prob (p, Rng.of_string ("fault-" ^ label ^ "-" ^ seed)))
+
+let disarm label =
+  locked (fun () ->
+      Hashtbl.remove points label;
+      if Hashtbl.length points = 0 then Atomic.set enabled false)
+
+let clear () =
+  locked (fun () ->
+      Hashtbl.reset points;
+      Atomic.set enabled false)
+
+let armed label = locked (fun () -> Hashtbl.mem points label)
+let calls label = locked (fun () -> match Hashtbl.find_opt points label with Some p -> p.calls | None -> 0)
+let fired label = locked (fun () -> match Hashtbl.find_opt points label with Some p -> p.fired | None -> 0)
+
+(** [fires label] — record one call at [label]; true iff the armed trigger
+    fires on this call. *)
+let fires label =
+  if not (Atomic.get enabled) then false
+  else
+    locked (fun () ->
+        match Hashtbl.find_opt points label with
+        | None -> false
+        | Some pt ->
+            pt.calls <- pt.calls + 1;
+            let hit =
+              match pt.trigger with
+              | Always -> true
+              | Nth n -> pt.calls = n && pt.fired = 0
+              | Prob (p, rng) -> Rng.float rng < p
+            in
+            if hit then pt.fired <- pt.fired + 1;
+            hit)
+
+let inject label = if fires label then raise (Injected label)
+
+(* ------------------------------------------------------------------ *)
+(* Configuration parsing: "label=trigger,label=trigger" with trigger one
+   of "always" | "nth:N" | "prob:P:SEED".                               *)
+
+let parse_trigger label spec =
+  match String.split_on_char ':' spec with
+  | [ "always" ] -> Always
+  | [ "nth"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 -> Nth n
+      | _ -> invalid_arg (Printf.sprintf "fault %s: nth wants a positive integer, got %S" label n))
+  | "prob" :: p :: rest -> (
+      let seed = String.concat ":" rest in
+      match float_of_string_opt p with
+      | Some p when p >= 0.0 && p <= 1.0 ->
+          Prob (p, Rng.of_string ("fault-" ^ label ^ "-" ^ seed))
+      | _ -> invalid_arg (Printf.sprintf "fault %s: prob wants a probability in [0,1], got %S" label p))
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "fault %s: unknown trigger %S (always | nth:N | prob:P:SEED)" label spec)
+
+let configure s =
+  String.split_on_char ',' s
+  |> List.iter (fun item ->
+         let item = String.trim item in
+         if item <> "" then
+           match String.index_opt item '=' with
+           | Some i when i > 0 ->
+               let label = String.sub item 0 i in
+               let spec = String.sub item (i + 1) (String.length item - i - 1) in
+               arm label (parse_trigger label spec)
+           | Some _ ->
+               invalid_arg (Printf.sprintf "fault spec %S: empty label" item)
+           | None ->
+               invalid_arg (Printf.sprintf "fault spec %S: expected label=trigger" item))
+
+(* Arm from the environment so test runs (CI: DAISY_FAULT=...) exercise
+   the degradation paths without code changes. *)
+let () =
+  match Sys.getenv_opt "DAISY_FAULT" with
+  | Some s when String.trim s <> "" -> configure s
+  | _ -> ()
+
+let () =
+  Printexc.register_printer (function
+    | Injected label -> Some (Printf.sprintf "Daisy_support.Fault.Injected(%S)" label)
+    | _ -> None)

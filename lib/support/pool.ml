@@ -7,10 +7,17 @@
     claiming indices of {e its own} batch first and only sleeps when every
     index is claimed but some are still running elsewhere — so a submitter
     always makes progress even when all domains are busy, which is what
-    makes nested [map] calls deadlock-free. *)
+    makes nested [map] calls deadlock-free.
+
+    Failure poisons a batch: when a task reports failure, the batch's
+    unclaimed suffix is skipped (accounted as completed) so the batch
+    drains fast. Claimed tasks still run to completion, and claims are
+    handed out in strictly increasing index order, so the lowest-index
+    failure is always recorded before the batch finishes — which is what
+    lets [map] re-raise the first error deterministically. *)
 
 type batch = {
-  run : int -> unit;  (** execute task [i]; must not raise *)
+  run : int -> bool;  (** execute task [i]; [false] = failed; must not raise *)
   size : int;
   mutable next : int;  (** next unclaimed index *)
   mutable completed : int;
@@ -55,8 +62,15 @@ let complete t b =
 
 let run_claimed t b i =
   Mutex.unlock t.mutex;
-  b.run i;
+  let ok = b.run i in
   Mutex.lock t.mutex;
+  if not ok then begin
+    (* Poison: skip the not-yet-claimed suffix of this batch. Already
+       claimed tasks run to completion regardless. *)
+    let skipped = b.size - b.next in
+    b.next <- b.size;
+    b.completed <- b.completed + skipped
+  end;
   complete t b
 
 let worker t =
@@ -124,10 +138,14 @@ let run_batch_locked t b =
 let run_batch t b =
   Mutex.lock t.mutex;
   if t.stop then begin
-    (* pool already shut down: degrade to inline execution *)
+    (* pool already shut down: degrade to inline execution (still
+       fail-fast — stop at the first failed task) *)
     Mutex.unlock t.mutex;
-    for i = 0 to b.size - 1 do
-      b.run i
+    let i = ref 0 in
+    let ok = ref true in
+    while !ok && !i < b.size do
+      ok := b.run !i;
+      incr i
     done
   end
   else run_batch_locked t b
@@ -145,23 +163,36 @@ let map_array ?pool f arr =
           {
             run =
               (fun i ->
-                let r =
-                  try Ok (f arr.(i))
-                  with e -> Error (e, Printexc.get_raw_backtrace ())
-                in
-                results.(i) <- Some r);
+                match
+                  Fault.inject "pool_task";
+                  f arr.(i)
+                with
+                | v ->
+                    results.(i) <- Some (Ok v);
+                    true
+                | exception e ->
+                    results.(i) <- Some (Error (e, Printexc.get_raw_backtrace ()));
+                    false);
             size = n;
             next = 0;
             completed = 0;
           }
         in
         run_batch t b;
-        Array.map
-          (function
-            | Some (Ok v) -> v
-            | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
-            | None -> assert false)
-          results
+        (* A poisoned batch leaves [None] in its skipped suffix, so scan
+           for the lowest-index error before unwrapping. *)
+        let first_error = ref None in
+        for i = n - 1 downto 0 do
+          match results.(i) with
+          | Some (Error (e, bt)) -> first_error := Some (e, bt)
+          | _ -> ()
+        done;
+        match !first_error with
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None ->
+            Array.map
+              (function Some (Ok v) -> v | Some (Error _) | None -> assert false)
+              results
       end
 
 let map ?pool f xs =

@@ -21,9 +21,13 @@ val jobs : t -> int
 
 val map : ?pool:t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ?pool f xs] is [List.map f xs], evaluated in parallel when [pool]
-    is given. Order is preserved. If one or more tasks raise, every task
-    still runs to completion and the exception of the lowest-index failing
-    task is re-raised with its backtrace. *)
+    is given. Order is preserved. Failure is fail-fast: the first raising
+    task poisons the batch — tasks already claimed by a worker run to
+    completion, not-yet-claimed tasks are skipped — and the exception of
+    the lowest-index failing task is re-raised with its backtrace
+    (deterministic at any job count, because task indices are claimed in
+    increasing order). Every pool task passes through the ["pool_task"]
+    {!Daisy_support.Fault} injection point. *)
 
 val map_array : ?pool:t -> ('a -> 'b) -> 'a array -> 'b array
 (** Array counterpart of {!map}. *)

@@ -32,6 +32,60 @@ let pp_step ppf = function
 let pp ppf (r : t) = Fmt.pf ppf "[%a]" (Fmt.list ~sep:(Fmt.any "; ") pp_step) r
 let to_string r = Fmt.str "%a" pp r
 
+(** [of_string s] parses the {!to_string} syntax back into a recipe (the
+    on-disk database format round-trips through it). *)
+let of_string (s : string) : (t, string) result =
+  let fail fmt = Fmt.kstr (fun m -> raise (Failure m)) fmt in
+  let int_arg tok =
+    match int_of_string_opt tok with
+    | Some i -> i
+    | None -> fail "recipe: expected integer, got %S" tok
+  in
+  let pair_arg tok =
+    match String.split_on_char ':' tok with
+    | [ a; b ] -> (int_arg a, int_arg b)
+    | _ -> fail "recipe: expected pos:value pair, got %S" tok
+  in
+  let step_of item =
+    let item = String.trim item in
+    match String.index_opt item '(' with
+    | None -> (
+        match item with
+        | "vectorize" -> Vectorize
+        | _ -> fail "recipe: unknown step %S" item)
+    | Some i ->
+        let name = String.sub item 0 i in
+        let rest = String.sub item (i + 1) (String.length item - i - 1) in
+        let nr = String.length rest in
+        if nr = 0 || rest.[nr - 1] <> ')' then
+          fail "recipe: missing ')' in %S" item
+        else
+          let args =
+            String.sub rest 0 (nr - 1)
+            |> String.split_on_char ' '
+            |> List.map String.trim
+            |> List.filter (fun t -> t <> "")
+          in
+          (match (name, args) with
+          | "interchange", _ :: _ -> Interchange (List.map int_arg args)
+          | "tile", _ :: _ -> Tile (List.map pair_arg args)
+          | "parallel", [ p ] -> Parallelize (int_arg p)
+          | "unroll", [ pf ] ->
+              let p, f = pair_arg pf in
+              Unroll (p, f)
+          | _ -> fail "recipe: unknown step %S" item)
+  in
+  let s = String.trim s in
+  let n = String.length s in
+  if n < 2 || s.[0] <> '[' || s.[n - 1] <> ']' then
+    Error (Fmt.str "recipe: expected [...], got %S" s)
+  else
+    let body = String.trim (String.sub s 1 (n - 2)) in
+    if body = "" then Ok []
+    else
+      try Ok (String.split_on_char ';' body |> List.map step_of)
+      with Failure m -> Error m
+
 let equal (a : t) (b : t) = a = b
 
 (** [apply_step ~outer nest step] — one legality-checked step. *)
@@ -44,6 +98,28 @@ let apply_step ~outer (nest : Ir.loop) (step : step) :
   | Parallelize pos -> Loop_transforms.parallelize ~outer nest pos
   | Vectorize -> Loop_transforms.vectorize ~outer nest
   | Unroll (pos, f) -> Loop_transforms.unroll nest pos f
+
+(** Debug net (see docs/robustness.md): when [Ir.validation_enabled],
+    re-validate a transformed nest against the names the input nest was
+    closed over (size parameters and [outer] iterators) and raise
+    [Diag.Error] on any structural violation. *)
+let check_result ~outer (input : Ir.loop) (result : (Ir.loop, string) result)
+    : (Ir.loop, string) result =
+  (match result with
+  | Ok nest' when !Ir.validation_enabled -> (
+      let params =
+        Util.SSet.union
+          (Ir.free_index_vars [ Ir.Nloop input ])
+          (Util.SSet.of_list (List.map (fun (l : Ir.loop) -> l.Ir.iter) outer))
+      in
+      match Ir.validate_nodes ~params [ Ir.Nloop nest' ] with
+      | [] -> ()
+      | violations ->
+          Diag.errorf "recipe produced an invalid nest:@,%a"
+            (Fmt.list ~sep:Fmt.cut Fmt.string)
+            violations)
+  | _ -> ());
+  result
 
 (** [apply ~outer nest recipe] — apply all steps; fails on the first
     illegal step (the paper: "If a B loop nest is not reduced to an A loop
@@ -58,6 +134,7 @@ let apply ~outer (nest : Ir.loop) (recipe : t) : (Ir.loop, string) result =
           | Ok nest' -> Ok nest'
           | Error e -> Error (Fmt.str "%a: %s" pp_step step e)))
     (Ok nest) recipe
+  |> check_result ~outer nest
 
 (** [apply_lenient ~outer nest recipe] — apply steps, skipping any that are
     illegal on this nest; returns the nest and how many steps applied. *)

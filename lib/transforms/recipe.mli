@@ -13,6 +13,12 @@ type t = step list
 val pp_step : step Fmt.t
 val pp : t Fmt.t
 val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Parse the {!to_string} syntax (e.g.
+    ["[interchange(1 0); tile(0:32 1:64); vectorize]"]); total inverse of
+    {!to_string} on well-formed recipes. *)
+
 val equal : t -> t -> bool
 
 val apply_step :

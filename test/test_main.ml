@@ -21,4 +21,5 @@ let () =
       ("property", Test_property.suite);
       ("parallel", Test_parallel.suite);
       ("extensions", Test_extensions.suite);
+      ("robustness", Test_robustness.suite);
     ]
