@@ -8,6 +8,7 @@ module Variants = Daisy_benchmarks.Variants
 module Cost = Daisy_machine.Cost
 
 module Pool = Daisy_support.Pool
+module Checkpoint = Daisy_support.Checkpoint
 
 let threads = 12
 
@@ -23,6 +24,11 @@ let engine = ref Cost.Compiled
 let jobs = ref 1
 (** Worker domains for database seeding (set by [--jobs] in {!Main});
     results are bit-identical at any job count. *)
+
+let checkpoint : string option ref = ref None
+(** Journal path for crash-safe database seeding (set by [--checkpoint]
+    in {!Main}): completed per-benchmark shards are checkpointed and a
+    rerun with the same path and configuration resumes from them. *)
 
 let ctx_for (sizes : (string * int) list) : S.Common.ctx =
   S.Common.make_ctx ~threads ~sample_outer:!sample ~engine:!engine ~sizes ()
@@ -40,11 +46,56 @@ let variant_b (b : Pb.benchmark) =
 
 let shared_db : S.Database.t option ref = ref None
 
+(* Shard records in the harness checkpoint: each benchmark's entries as
+   flat 4-line chunks ({!S.Database.entry_to_lines}); the round-trip is
+   exact, so a resumed harness merges the same shards bit-for-bit. *)
+
+let shard_to_lines (shard : S.Database.t) : string list =
+  List.concat_map S.Database.entry_to_lines (S.Database.entries shard)
+
+let shard_of_lines (lines : string list) : S.Database.t option =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | a :: b :: c :: d :: rest -> (
+        match S.Database.entry_of_lines [ a; b; c; d ] with
+        | Ok e -> go (e :: acc) rest
+        | Error _ -> None)
+    | _ -> None
+  in
+  Option.map S.Database.of_entries (go [] lines)
+
+let open_harness_journal path : Checkpoint.journal =
+  Checkpoint.install_signal_handlers ();
+  let fingerprint =
+    Checkpoint.fingerprint
+      [
+        ("kind", "bench-harness");
+        ("benchmarks", String.concat "," (List.map (fun b -> b.Pb.name) Pb.all));
+        ("threads", string_of_int threads);
+        ("sample", string_of_int !sample);
+        ("engine", Cost.string_of_engine !engine);
+        ("epochs", "2");
+        ("population", "6");
+        ("iterations", "2");
+      ]
+  in
+  (* auto-resume: an existing file with a matching fingerprint continues
+     the previous run; a mismatch is a one-line Diag error *)
+  let j =
+    Checkpoint.open_journal ~path ~kind:"bench-harness" ~fingerprint
+      ~resume:(Sys.file_exists path) ()
+  in
+  List.iter
+    (fun w -> Format.eprintf "  [checkpoint warning: %s]@." w)
+    (Checkpoint.warnings j);
+  j
+
 let database () : S.Database.t =
   match !shared_db with
   | Some db -> db
   | None ->
       let db = S.Database.create () in
+      let journal = Option.map open_harness_journal !checkpoint in
       Format.printf "  [seeding the scheduling database from A variants (%d jobs)...]@."
         (max 1 !jobs);
       (* each benchmark seeds its own shard (its ctx carries its problem
@@ -53,14 +104,28 @@ let database () : S.Database.t =
       Pool.with_pool ~jobs:!jobs (fun pool ->
           Pool.map ?pool
             (fun (b : Pb.benchmark) ->
-              let shard = S.Database.create () in
-              let ctx = ctx_for b.Pb.sim_sizes in
-              S.Seed.seed_database ~epochs:2 ~population:6 ~iterations:2 ?pool
-                ctx ~db:shard
-                [ (b.Pb.name, variant_a b) ];
-              shard)
+              Checkpoint.check_interrupt ();
+              let key = "shard/" ^ b.Pb.name in
+              let cached =
+                Option.bind journal (fun j ->
+                    Option.bind (Checkpoint.find j key) shard_of_lines)
+              in
+              match cached with
+              | Some shard -> shard (* completed before the crash *)
+              | None ->
+                  let shard = S.Database.create () in
+                  let ctx = ctx_for b.Pb.sim_sizes in
+                  S.Seed.seed_database ~epochs:2 ~population:6 ~iterations:2
+                    ?pool ctx ~db:shard
+                    [ (b.Pb.name, variant_a b) ];
+                  Option.iter
+                    (fun j -> Checkpoint.set j key (shard_to_lines shard))
+                    journal;
+                  shard)
             Pb.all
           |> List.iter (fun shard -> S.Database.merge ~into:db shard));
+      (* the database is complete: the checkpoint is consumed *)
+      Option.iter Checkpoint.delete journal;
       Format.printf "  [database ready: %d entries]@." (S.Database.size db);
       shared_db := Some db;
       db

@@ -47,6 +47,9 @@ let () =
     | "--trace-engine" :: v :: rest ->
         Harness.engine := Daisy_machine.Cost.engine_of_string v;
         parse_args rest
+    | "--checkpoint" :: v :: rest ->
+        Harness.checkpoint := Some v;
+        parse_args rest
     | arg :: rest -> (
         match opt_value ~prefix:"--jobs=" arg with
         | Some v ->
@@ -62,7 +65,12 @@ let () =
                 | Some v ->
                     Harness.engine := Daisy_machine.Cost.engine_of_string v;
                     parse_args rest
-                | None -> arg :: parse_args rest)))
+                | None -> (
+                    match opt_value ~prefix:"--checkpoint=" arg with
+                    | Some v ->
+                        Harness.checkpoint := Some v;
+                        parse_args rest
+                    | None -> arg :: parse_args rest))))
   in
   let requested =
     match parse_args (List.tl (Array.to_list Sys.argv)) with
@@ -81,14 +89,25 @@ let () =
   Format.printf
     "All runtimes are simulated milliseconds on the scaled machine model \
      (see DESIGN.md).@.";
-  List.iter
-    (fun name ->
-      match List.find_opt (fun (n, _, _) -> n = name) experiments with
-      | Some (n, desc, f) ->
-          Format.printf "@.=== %s: %s ===@." n desc;
-          f ()
-      | None ->
-          Format.printf "unknown experiment %s (available: %s)@." name
-            (String.concat ", " (List.map (fun (n, _, _) -> n) experiments)))
-    requested;
+  (try
+     List.iter
+       (fun name ->
+         match List.find_opt (fun (n, _, _) -> n = name) experiments with
+         | Some (n, desc, f) ->
+             Format.printf "@.=== %s: %s ===@." n desc;
+             f ()
+         | None ->
+             Format.printf "unknown experiment %s (available: %s)@." name
+               (String.concat ", " (List.map (fun (n, _, _) -> n) experiments)))
+       requested
+   with
+   | Daisy_support.Diag.Error d ->
+       Format.eprintf "%a@." Daisy_support.Diag.pp d;
+       exit 1
+   | Daisy_support.Checkpoint.Interrupted sg ->
+       Format.eprintf
+         "interrupted (signal %d); checkpoint saved — rerun with the same \
+          --checkpoint to resume@."
+         sg;
+       exit (128 + sg));
   Format.printf "@.done.@."

@@ -43,6 +43,15 @@ let run_protected f =
   | exception Daisy.Support.Fault.Injected label ->
       Fmt.epr "daisyc: injected fault fired: %s@." label;
       exit 1
+  | exception Daisy.Support.Checkpoint.Interrupted sg ->
+      Fmt.epr
+        "daisyc: interrupted (signal %d); checkpoint saved — rerun with \
+         --resume to continue@."
+        sg;
+      exit (128 + sg)
+  | exception Daisy.Support.Util.Deadline_exceeded ->
+      Fmt.epr "daisyc: evaluation deadline exceeded (see --eval-deadline)@.";
+      exit 1
   | exception Invalid_argument m ->
       Fmt.epr "daisyc: %s@." m;
       exit 1
@@ -124,6 +133,86 @@ let db_in_arg =
                $(b,daisyc seed) instead of seeding it from the input \
                kernel. Corrupt entries are skipped with a warning.")
 
+let eval_deadline_arg =
+  Arg.(value & opt (some float) None & info [ "eval-deadline" ] ~docv:"SEC"
+         ~doc:"Per-candidate wall-clock deadline for search evaluation, in \
+               seconds. A candidate that exceeds it is retried once, then \
+               excluded from selection and quarantined (see \
+               docs/robustness.md). Default: unlimited.")
+
+let checkpoint_arg =
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE"
+         ~doc:"Checkpoint the run's state to $(docv) (atomically, at every \
+               search generation / nest / epoch boundary) so a crashed or \
+               interrupted run can be continued with $(b,--resume). The \
+               file is consumed on successful completion.")
+
+let resume_arg =
+  Arg.(value & flag & info [ "resume" ]
+         ~doc:"Resume from the $(b,--checkpoint) file of an earlier \
+               interrupted run with the same configuration. The resumed \
+               run produces bit-identical results to an uninterrupted \
+               one.")
+
+let quarantine_arg =
+  Arg.(value & opt (some string) None & info [ "quarantine" ] ~docv:"DIR"
+         ~doc:"Supervise the search: candidates that crash, miscompile or \
+               blow their $(b,--eval-deadline) are excluded \
+               deterministically and a shrunk reproducer is written to \
+               $(docv) instead of aborting the run.")
+
+(* ---------------- checkpointing helpers ---------------- *)
+
+(** The configuration a checkpoint is only valid for: everything that
+    shapes the search's results. Deliberately excludes [--jobs] (results
+    are bit-identical at any job count) and the supervision knobs. *)
+let config_fingerprint ~kind ~files ~defs ~threads ~sample_outer ~engine
+    ~eval_budget =
+  Daisy.Support.Checkpoint.fingerprint
+    ([
+       ("kind", kind);
+       ("files", String.concat "," files);
+       ("threads", string_of_int threads);
+       ("sample_outer", string_of_int sample_outer);
+       ("engine", Daisy.Machine.Cost.string_of_engine engine);
+       ( "eval_budget",
+         match eval_budget with None -> "none" | Some n -> string_of_int n );
+       (* the search shape is currently fixed per subcommand *)
+       ("epochs", "1");
+       ("population", "6");
+       ("iterations", "2");
+     ]
+    @ List.map
+        (fun (n, v) -> ("define:" ^ n, string_of_int v))
+        (List.sort compare defs))
+
+let open_checkpoint ~kind ~fingerprint checkpoint resume =
+  match checkpoint with
+  | None ->
+      if resume then invalid_arg "--resume requires --checkpoint FILE";
+      None
+  | Some path ->
+      Daisy.Support.Checkpoint.install_signal_handlers ();
+      let j =
+        Daisy.Support.Checkpoint.open_journal ~path ~kind ~fingerprint
+          ~resume ()
+      in
+      List.iter
+        (fun w -> Fmt.epr "daisyc: warning: %s@." w)
+        (Daisy.Support.Checkpoint.warnings j);
+      Some j
+
+let make_quarantine dir = Option.map (fun dir -> S.Quarantine.create ~dir ()) dir
+
+let report_quarantine q =
+  Option.iter
+    (fun q ->
+      let n = S.Quarantine.count q in
+      if n > 0 then
+        Fmt.pr "quarantined %d failing candidate(s) -> %s@." n
+          (S.Quarantine.dir q))
+    q
+
 (* ---------------- commands ---------------- *)
 
 (** Load a saved database, reporting (but tolerating) corrupt entries. *)
@@ -170,14 +259,23 @@ let normalize_cmd =
     Term.(const run $ file_arg $ defines_arg)
 
 let schedule_cmd =
-  let run file defs threads jobs sample_outer engine eval_budget db_in =
+  let run file defs threads jobs sample_outer engine eval_budget eval_deadline
+      db_in checkpoint resume quarantine_dir =
     let p = load file in
     run_protected (fun () ->
         let sizes = sizes_of defs p in
         let ctx =
           S.Common.make_ctx ~threads ~sample_outer ~engine
-            ?eval_steps:eval_budget ~sizes ()
+            ?eval_steps:eval_budget ?eval_deadline ~sizes ()
         in
+        let fingerprint =
+          config_fingerprint ~kind:"schedule" ~files:[ file ] ~defs ~threads
+            ~sample_outer ~engine ~eval_budget
+        in
+        let journal =
+          open_checkpoint ~kind:"schedule" ~fingerprint checkpoint resume
+        in
+        let quarantine = make_quarantine quarantine_dir in
         let db =
           match db_in with
           | Some path -> load_db path
@@ -185,11 +283,13 @@ let schedule_cmd =
               let db = S.Database.create () in
               Daisy.Support.Pool.with_pool ~jobs (fun pool ->
                   S.Seed.seed_database ~epochs:1 ~population:6 ~iterations:2
-                    ?pool ctx ~db
+                    ?pool ?journal ?quarantine ctx ~db
                     [ (p.Ir.pname, p) ]);
               db
         in
-        let report = S.Daisy.schedule ctx ~db p in
+        let report = S.Daisy.schedule ?quarantine ctx ~db p in
+        Option.iter Daisy.Support.Checkpoint.delete journal;
+        report_quarantine quarantine;
         List.iter
           (fun d -> Fmt.pr "  %a@." S.Daisy.pp_decision d)
           report.S.Daisy.decisions;
@@ -203,10 +303,13 @@ let schedule_cmd =
   Cmd.v
     (Cmd.info "schedule" ~doc:"Normalize, auto-schedule and simulate a kernel")
     Term.(const run $ file_arg $ defines_arg $ threads_arg $ jobs_arg
-          $ sample_outer_arg $ engine_arg $ eval_budget_arg $ db_in_arg)
+          $ sample_outer_arg $ engine_arg $ eval_budget_arg
+          $ eval_deadline_arg $ db_in_arg $ checkpoint_arg $ resume_arg
+          $ quarantine_arg)
 
 let seed_cmd =
-  let run files defs threads jobs sample_outer engine eval_budget db_out =
+  let run files defs threads jobs sample_outer engine eval_budget
+      eval_deadline db_out checkpoint resume quarantine_dir =
     let programs = List.map (fun f -> (f, load f)) files in
     run_protected (fun () ->
         let sizes =
@@ -216,14 +319,32 @@ let seed_cmd =
         in
         let ctx =
           S.Common.make_ctx ~threads ~sample_outer ~engine
-            ?eval_steps:eval_budget ~sizes ()
+            ?eval_steps:eval_budget ?eval_deadline ~sizes ()
+        in
+        let fingerprint =
+          config_fingerprint ~kind:"seed" ~files ~defs ~threads ~sample_outer
+            ~engine ~eval_budget
+        in
+        let journal =
+          open_checkpoint ~kind:"seed" ~fingerprint checkpoint resume
+        in
+        let quarantine = make_quarantine quarantine_dir in
+        (* when checkpointing, also flush the bests-so-far database after
+           every committed epoch: a crash between epochs still leaves a
+           usable --db-out *)
+        let on_epoch =
+          Option.map
+            (fun _ _epoch partial -> S.Database.save partial db_out)
+            journal
         in
         let db = S.Database.create () in
         Daisy.Support.Pool.with_pool ~jobs (fun pool ->
             S.Seed.seed_database ~epochs:1 ~population:6 ~iterations:2 ?pool
-              ctx ~db
+              ?journal ?quarantine ?on_epoch ctx ~db
               (List.map (fun (f, p) -> (p.Ir.pname ^ ":" ^ f, p)) programs));
         S.Database.save db db_out;
+        Option.iter Daisy.Support.Checkpoint.delete journal;
+        report_quarantine quarantine;
         Fmt.pr "saved database: %d entries -> %s@." (S.Database.size db)
           db_out)
   in
@@ -240,22 +361,34 @@ let seed_cmd =
     (Cmd.info "seed"
        ~doc:"Seed a transfer-tuning database from kernels and save it")
     Term.(const run $ files_arg $ defines_arg $ threads_arg $ jobs_arg
-          $ sample_outer_arg $ engine_arg $ eval_budget_arg $ db_out_arg)
+          $ sample_outer_arg $ engine_arg $ eval_budget_arg
+          $ eval_deadline_arg $ db_out_arg $ checkpoint_arg $ resume_arg
+          $ quarantine_arg)
 
 let bench_cmd =
-  let run file defs threads jobs sample_outer engine eval_budget =
+  let run file defs threads jobs sample_outer engine eval_budget
+      eval_deadline checkpoint resume quarantine_dir =
     let p = load file in
     run_protected (fun () ->
         let sizes = sizes_of defs p in
         let ctx =
           S.Common.make_ctx ~threads ~sample_outer ~engine
-            ?eval_steps:eval_budget ~sizes ()
+            ?eval_steps:eval_budget ?eval_deadline ~sizes ()
         in
+        let fingerprint =
+          config_fingerprint ~kind:"bench" ~files:[ file ] ~defs ~threads
+            ~sample_outer ~engine ~eval_budget
+        in
+        let journal =
+          open_checkpoint ~kind:"bench" ~fingerprint checkpoint resume
+        in
+        let quarantine = make_quarantine quarantine_dir in
         let db = S.Database.create () in
         Daisy.Support.Pool.with_pool ~jobs (fun pool ->
             S.Seed.seed_database ~epochs:1 ~population:6 ~iterations:2 ?pool
-              ctx ~db
+              ?journal ?quarantine ctx ~db
               [ (p.Ir.pname, p) ]);
+        Option.iter Daisy.Support.Checkpoint.delete journal;
         Fmt.pr "%-10s %10s@." "scheduler" "ms";
         List.iter
           (fun (name, prog) ->
@@ -271,12 +404,15 @@ let bench_cmd =
              (match S.Tiramisu.schedule ctx p with
              | S.Tiramisu.Scheduled q -> Some q
              | S.Tiramisu.Unsupported _ -> None));
-            ("daisy", Some (S.Daisy.schedule ctx ~db p).S.Daisy.program);
-          ])
+            ("daisy",
+             Some (S.Daisy.schedule ?quarantine ctx ~db p).S.Daisy.program);
+          ];
+        report_quarantine quarantine)
   in
   Cmd.v (Cmd.info "bench" ~doc:"Compare all scheduler models on a kernel")
     Term.(const run $ file_arg $ defines_arg $ threads_arg $ jobs_arg
-          $ sample_outer_arg $ engine_arg $ eval_budget_arg)
+          $ sample_outer_arg $ engine_arg $ eval_budget_arg
+          $ eval_deadline_arg $ checkpoint_arg $ resume_arg $ quarantine_arg)
 
 let reuse_cmd =
   let run file defs =

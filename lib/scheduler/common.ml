@@ -14,11 +14,15 @@ type ctx = {
   engine : Cost.engine;  (** trace engine used for every evaluation *)
   eval_steps : int option;
       (** per-evaluation step budget; [None] = unlimited *)
+  eval_deadline : float option;
+      (** per-candidate wall-clock deadline in seconds for supervised
+          search evaluation; [None] = unlimited *)
 }
 
 let make_ctx ?(config = Config.default) ?(threads = config.Config.cores)
-    ?(sample_outer = 12) ?(engine = Cost.Compiled) ?eval_steps ~sizes () =
-  { config; sizes; threads; sample_outer; engine; eval_steps }
+    ?(sample_outer = 12) ?(engine = Cost.Compiled) ?eval_steps ?eval_deadline
+    ~sizes () =
+  { config; sizes; threads; sample_outer; engine; eval_steps; eval_deadline }
 
 (** Simulated runtime in milliseconds. Every evaluation goes through
     {!Cost.evaluate_guarded}: a fresh step budget per candidate

@@ -9,6 +9,10 @@ type ctx = {
       (** trace engine used for every evaluation (default [Compiled]) *)
   eval_steps : int option;
       (** per-evaluation step budget; [None] = unlimited *)
+  eval_deadline : float option;
+      (** per-candidate wall-clock deadline in seconds, enforced
+          cooperatively by supervised search evaluation
+          ([Daisy_support.Pool.map_supervised]); [None] = unlimited *)
 }
 
 val make_ctx :
@@ -17,6 +21,7 @@ val make_ctx :
   ?sample_outer:int ->
   ?engine:Daisy_machine.Cost.engine ->
   ?eval_steps:int ->
+  ?eval_deadline:float ->
   sizes:(string * int) list ->
   unit ->
   ctx

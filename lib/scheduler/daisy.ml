@@ -22,6 +22,7 @@ module Legality = Daisy_dependence.Legality
 module Pipeline = Daisy_normalize.Pipeline
 module Iter_norm = Daisy_normalize.Iter_norm
 module Patterns = Daisy_blas.Patterns
+module Interp = Daisy_interp.Interp
 
 type options = { normalize : bool; transfer : bool }
 
@@ -52,11 +53,61 @@ let unliftable_fallback (nest : Ir.loop) : Ir.node =
   in
   Ir.Nloop { nest with Ir.attrs = attrs }
 
+(** With a quarantine sink attached, every applied database recipe is
+    verified against the untransformed nest on the reference interpreter
+    before it may enter the tournament ([Interp.equivalent], plus the
+    ["equiv_miscompile"] fault point forcing a mismatch for tests). A
+    non-equivalent candidate is excluded deterministically and reported
+    with a shrunk reproducer — a miscompiling recipe can never win. *)
+let verify_candidate (ctx : Common.ctx) ~quarantine ~(outer : Ir.loop list)
+    (p : Ir.program) (nest : Ir.loop) (r : Recipe.t) (nest' : Ir.loop) : bool
+    =
+  match quarantine with
+  | None -> true
+  | Some q ->
+      let unit_program n =
+        Common.single_nest_program p (Common.wrap_outer outer (Ir.Nloop n))
+      in
+      let ok =
+        (not (Fault.fires "equiv_miscompile"))
+        && (try
+              Interp.equivalent (unit_program nest) (unit_program nest')
+                ~sizes:ctx.sizes ()
+            with _ -> false)
+      in
+      if not ok then begin
+        let repro = Common.single_nest_program p (Ir.Nloop nest) in
+        (* "still fails" = the recipe still applies and the result is
+           still not equivalent; predicate exceptions count as failing *)
+        let still_fails (p' : Ir.program) (r' : Recipe.t) =
+          match p'.Ir.body with
+          | [ Ir.Nloop n0 ] -> (
+              match Recipe.apply ~outer:[] n0 r' with
+              | Error _ -> false
+              | Ok n1 -> (
+                  try
+                    Fault.fires "equiv_miscompile"
+                    || not
+                         (Interp.equivalent
+                            { p' with Ir.body = [ Ir.Nloop n0 ] }
+                            { p' with Ir.body = [ Ir.Nloop n1 ] }
+                            ~sizes:ctx.sizes ())
+                  with _ -> true))
+          | _ -> false
+        in
+        ignore
+          (Quarantine.report q
+             ~reason:"scheduled candidate is not equivalent to its nest"
+             ~sizes:ctx.sizes ~program:repro ~recipe:r ~still_fails)
+      end;
+      ok
+
 (** Candidate schedules for one liftable unit: as-is, auto-vectorized, and
     every database recipe that applies strictly; the simulated runtime
     (of the unit wrapped in its enclosing loops) picks. *)
-let transfer_nest (ctx : Common.ctx) ~(db : Database.t) ~(outer : Ir.loop list)
-    (p : Ir.program) (nest : Ir.loop) : Ir.loop * action =
+let transfer_nest (ctx : Common.ctx) ~(db : Database.t) ~quarantine
+    ~(outer : Ir.loop list) (p : Ir.program) (nest : Ir.loop) :
+    Ir.loop * action =
   let candidates =
     let exact =
       List.map (fun e -> e.Database.recipe) (Database.exact_matches db nest)
@@ -77,8 +128,10 @@ let transfer_nest (ctx : Common.ctx) ~(db : Database.t) ~(outer : Ir.loop list)
     List.filter_map
       (fun r ->
         match Recipe.apply ~outer nest r with
-        | Ok nest' -> Some (nest', `Recipe r)
-        | Error _ -> None)
+        | Ok nest' when verify_candidate ctx ~quarantine ~outer p nest r nest'
+          ->
+            Some (nest', `Recipe r)
+        | Ok _ | Error _ -> None)
       candidates
   in
   let _, n, a =
@@ -96,8 +149,9 @@ let transfer_nest (ctx : Common.ctx) ~(db : Database.t) ~(outer : Ir.loop list)
 (** Recursively optimize the schedulable units of a nest (see
     {!Common.schedulable_units}): leaf units get transfer tuning; purely
     structural outer loops recurse. *)
-let rec optimize_nest (ctx : Common.ctx) ~db ~options ~decide ~counter
-    ~(outer : Ir.loop list) (sub : Ir.program) (nest : Ir.loop) : Ir.loop =
+let rec optimize_nest (ctx : Common.ctx) ~db ~options ~quarantine ~decide
+    ~counter ~(outer : Ir.loop list) (sub : Ir.program) (nest : Ir.loop) :
+    Ir.loop =
   let band, body = Daisy_dependence.Legality.perfect_band nest in
   let has_comp =
     List.exists (function Ir.Ncomp _ | Ir.Ncall _ -> true | _ -> false) body
@@ -110,7 +164,7 @@ let rec optimize_nest (ctx : Common.ctx) ~db ~options ~decide ~counter
         (function
           | Ir.Nloop sub_nest ->
               Ir.Nloop
-                (optimize_nest ctx ~db ~options ~decide ~counter
+                (optimize_nest ctx ~db ~options ~quarantine ~decide ~counter
                    ~outer:(outer @ band) sub sub_nest)
           | other -> other)
         body
@@ -121,7 +175,7 @@ let rec optimize_nest (ctx : Common.ctx) ~db ~options ~decide ~counter
     incr counter;
     let label = Printf.sprintf "nest#%d" !counter in
     if options.transfer then begin
-      let nest', action = transfer_nest ctx ~db ~outer sub nest in
+      let nest', action = transfer_nest ctx ~db ~quarantine ~outer sub nest in
       decide label action;
       nest'
     end
@@ -137,10 +191,12 @@ let rec optimize_nest (ctx : Common.ctx) ~db ~options ~decide ~counter
     one more candidate, adopted only when the simulated runtime prefers it
     (a tuned library is not automatically the best choice — e.g. a
     memory-bound rank-2 update may lose to a fused parallel nest). *)
-let schedule_unit (ctx : Common.ctx) ~db ~options ~decide ~counter ~outer sub
-    (nest : Ir.loop) : Ir.node =
+let schedule_unit (ctx : Common.ctx) ~db ~options ~quarantine ~decide
+    ~counter ~outer sub (nest : Ir.loop) : Ir.node =
   let transfer_result () =
-    Ir.Nloop (optimize_nest ctx ~db ~options ~decide ~counter ~outer sub nest)
+    Ir.Nloop
+      (optimize_nest ctx ~db ~options ~quarantine ~decide ~counter ~outer sub
+         nest)
   in
   if not options.transfer then transfer_result ()
   else
@@ -157,8 +213,8 @@ let schedule_unit (ctx : Common.ctx) ~db ~options ~decide ~counter ~outer sub
         let counter' = ref !counter in
         let transfer_node =
           Ir.Nloop
-            (optimize_nest ctx ~db ~options ~decide:silent_decide
-               ~counter:counter' ~outer sub nest)
+            (optimize_nest ctx ~db ~options ~quarantine
+               ~decide:silent_decide ~counter:counter' ~outer sub nest)
         in
         let t_transfer =
           Common.nest_runtime_ms ctx sub (Common.wrap_outer outer transfer_node)
@@ -175,7 +231,7 @@ let schedule_unit (ctx : Common.ctx) ~db ~options ~decide ~counter ~outer sub
         end
 
 (** [schedule ctx ~db p] — run the daisy pipeline on a program. *)
-let schedule ?(options = default_options) (ctx : Common.ctx)
+let schedule ?(options = default_options) ?quarantine (ctx : Common.ctx)
     ~(db : Database.t) (p : Ir.program) : schedule_report =
   let decisions = ref [] in
   let blas_calls = ref 0 in
@@ -212,7 +268,8 @@ let schedule ?(options = default_options) (ctx : Common.ctx)
         | Ir.Ncomp _ -> n
         | Ir.Nloop nest ->
             let result =
-              schedule_unit ctx ~db ~options ~decide ~counter ~outer:[] sub nest
+              schedule_unit ctx ~db ~options ~quarantine ~decide ~counter
+                ~outer:[] sub nest
             in
             (match result with
             | Ir.Ncall _ -> incr blas_calls

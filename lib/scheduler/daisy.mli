@@ -30,9 +30,17 @@ type schedule_report = {
 
 val schedule :
   ?options:options ->
+  ?quarantine:Quarantine.t ->
   Common.ctx ->
   db:Database.t ->
   Daisy_loopir.Ir.program ->
   schedule_report
+(** With [quarantine], every database recipe that applies to a nest is
+    additionally verified on the reference interpreter
+    ([Daisy_interp.Interp.equivalent], plus the ["equiv_miscompile"]
+    fault point) before entering the runtime tournament: a candidate
+    that is not semantically equivalent to its nest is excluded
+    deterministically and reported to the sink with a shrunk
+    reproducer, so a miscompiling recipe can never be scheduled. *)
 
 val pp_decision : nest_decision Fmt.t

@@ -22,6 +22,7 @@ type entry = {
 type t = { mutable entries : entry list }
 
 let create () = { entries = [] }
+let of_entries entries = { entries }
 
 let size db = List.length db.entries
 
@@ -88,16 +89,7 @@ let magic = "DAISYDB"
 let version = 1
 
 (* FNV-1a 64-bit, rendered as 16 hex digits *)
-let checksum (s : string) : string =
-  let h = ref 0xcbf29ce484222325L in
-  String.iter
-    (fun c ->
-      h :=
-        Int64.mul
-          (Int64.logxor !h (Int64.of_int (Char.code c)))
-          0x100000001b3L)
-    s;
-  Printf.sprintf "%016Lx" !h
+let checksum = Daisy_support.Util.fnv1a64
 
 let entry_body (e : entry) : string list =
   [
@@ -109,14 +101,16 @@ let entry_body (e : entry) : string list =
     "recipe " ^ Recipe.to_string e.recipe;
   ]
 
+(* Crash-safe: the file is replaced atomically (write-temp, fsync,
+   rename), so a crash mid-save — including an injected one at the
+   per-entry ["db_save"] fault point — leaves the previous database
+   intact instead of a torn file. *)
 let save (db : t) (path : string) : unit =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
+  Daisy_support.Checkpoint.atomic_write path (fun oc ->
       Printf.fprintf oc "%s %d\n" magic version;
       List.iter
         (fun e ->
+          Fault.inject "db_save";
           let body = entry_body e in
           Printf.fprintf oc "entry %s\n" (checksum (String.concat "\n" body));
           List.iter (fun l -> Printf.fprintf oc "%s\n" l) body;
@@ -129,14 +123,9 @@ let strip_prefix p s =
     Some (String.sub s lp (String.length s - lp))
   else None
 
-let parse_entry (ck : string) (body : string list) : (entry, string) result =
+let parse_body (body : string list) : (entry, string) result =
   let ( let* ) = Result.bind in
-  let expected = checksum (String.concat "\n" body) in
-  if not (String.equal ck expected) then
-    Error
-      (Printf.sprintf "checksum mismatch (stored %s, computed %s)" ck expected)
-  else
-    match body with
+  match body with
     | [ src_l; hash_l; emb_l; rec_l ] ->
         let* source =
           try Ok (Scanf.sscanf src_l "source %S" Fun.id)
@@ -173,9 +162,21 @@ let parse_entry (ck : string) (body : string list) : (entry, string) result =
           | Some s -> Recipe.of_string s
         in
         Ok { source; embedding; recipe; canon_hash }
-    | _ ->
-        Error
-          (Printf.sprintf "expected 4 body lines, got %d" (List.length body))
+  | _ ->
+      Error
+        (Printf.sprintf "expected 4 body lines, got %d" (List.length body))
+
+let parse_entry (ck : string) (body : string list) : (entry, string) result =
+  let expected = checksum (String.concat "\n" body) in
+  if not (String.equal ck expected) then
+    Error
+      (Printf.sprintf "checksum mismatch (stored %s, computed %s)" ck expected)
+  else parse_body body
+
+(* The 4-line body framing, exposed so other persistent stores (the bench
+   harness's shard checkpoints) can embed entries in their own records. *)
+let entry_to_lines = entry_body
+let entry_of_lines = parse_body
 
 let load (path : string) : t * string list =
   let ic =

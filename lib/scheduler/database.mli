@@ -12,6 +12,11 @@ type entry = {
 type t
 
 val create : unit -> t
+
+val of_entries : entry list -> t
+(** A database holding exactly [entries] (same order as {!entries}
+    returns them). *)
+
 val size : t -> int
 
 val add :
@@ -35,13 +40,25 @@ val exact_matches : t -> Daisy_loopir.Ir.loop -> entry list
 (** Entries whose normalized structure is identical — exact transfer
     hits. *)
 
+val entry_to_lines : entry -> string list
+(** The 4-line body framing used by {!save}, exposed so other
+    persistent stores (e.g. the bench harness's shard checkpoints) can
+    embed entries in their own records. Inverse of {!entry_of_lines}. *)
+
+val entry_of_lines : string list -> (entry, string) result
+(** Parse the 4 body lines produced by {!entry_to_lines} (no checksum
+    framing). *)
+
 val save : t -> string -> unit
 (** [save db path] — write the versioned on-disk format: a
     ["DAISYDB 1"] header, then one checksummed block per entry
     (embeddings printed with [%h], so floats round-trip exactly). A
     {!load} of the result reproduces the entry list — and therefore
-    every {!query}/{!exact_matches} result — bit for bit. The format is
-    documented in docs/robustness.md. *)
+    every {!query}/{!exact_matches} result — bit for bit. The file is
+    replaced atomically (write-temp, fsync, rename), so a crash
+    mid-save — including one injected at the per-entry ["db_save"]
+    [Daisy_support.Fault] point — leaves any previous database intact.
+    The format is documented in docs/robustness.md. *)
 
 val load : string -> t * string list
 (** [load path] — read a database written by {!save}. Corrupt entries

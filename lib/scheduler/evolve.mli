@@ -25,7 +25,22 @@ val eval_cached :
   Daisy_transforms.Recipe.t ->
   float
 (** Apply the recipe to the nest and return its simulated runtime (ms),
-    memoized in [fitness_cache]. Illegal recipes evaluate to [infinity]. *)
+    memoized in [fitness_cache]. Illegal recipes evaluate to [infinity].
+    The cache-miss path passes through the ["eval_candidate"]
+    [Daisy_support.Fault] injection point. *)
+
+type snapshot = {
+  gen : int;  (** the generation about to run *)
+  pop : Daisy_transforms.Recipe.t list;  (** its population, in order *)
+  rng_state : int64;  (** [Daisy_support.Rng.state] at that point *)
+  fits : (string * float) list;
+      (** every fitness this search has computed, keyed by the printed
+          recipe, sorted (floats round-trip via [%h] serialization) *)
+}
+(** The complete resumable state of one {!search}, emitted via
+    [on_generation] before each generation (and once more at
+    [gen = iterations], so a resumed search only redoes final
+    selection). *)
 
 val search :
   ?population:int ->
@@ -33,10 +48,24 @@ val search :
   ?cache:fitness_cache ->
   ?pool:Daisy_support.Pool.t ->
   ?outer:Daisy_loopir.Ir.loop list ->
+  ?quarantine:Quarantine.t ->
+  ?on_generation:(snapshot -> unit) ->
+  ?resume:snapshot ->
   Common.ctx ->
   Daisy_loopir.Ir.program ->
   Daisy_loopir.Ir.loop ->
   seeds:Daisy_transforms.Recipe.t list ->
   rng:Daisy_support.Rng.t ->
   Daisy_transforms.Recipe.t * float
-(** Returns the best recipe and its fitness (simulated ms). *)
+(** Returns the best recipe and its fitness (simulated ms).
+
+    [resume] restarts from a {!snapshot}: restoring it into a fresh
+    cache and re-running is bit-identical to the uninterrupted search at
+    any job count. With [quarantine] or [ctx.eval_deadline] set, scoring
+    is supervised ([Daisy_support.Pool.map_supervised]): a candidate
+    that crashes or exceeds its per-evaluation wall-clock deadline is
+    retried once, then deterministically excluded (fitness [infinity])
+    and reported to the quarantine sink with a shrunk reproducer — the
+    search itself always completes. [on_generation] also polls
+    [Daisy_support.Checkpoint.check_interrupt] after each emitted
+    snapshot, so interrupted runs stop with their latest state saved. *)

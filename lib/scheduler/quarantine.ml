@@ -1,0 +1,128 @@
+(** Quarantine sink: shrink failing candidates and keep reproducers
+    (see the interface). *)
+
+module Ir = Daisy_loopir.Ir
+module Recipe = Daisy_transforms.Recipe
+module Shrink = Daisy_support.Shrink
+module Util = Daisy_support.Util
+module Checkpoint = Daisy_support.Checkpoint
+
+type t = {
+  dir : string;
+  max_repros : int;
+  shrink_checks : int;
+  lock : Mutex.t;
+  mutable seen : Util.SSet.t;  (** pre-shrink failure keys *)
+  mutable written : int;
+}
+
+let rec mkdir_p path =
+  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path)
+  then begin
+    mkdir_p (Filename.dirname path);
+    try Sys.mkdir path 0o755 with Sys_error _ -> ()
+  end
+
+let create ?(max_repros = 20) ?(shrink_checks = 200) ~dir () =
+  mkdir_p dir;
+  {
+    dir;
+    max_repros;
+    shrink_checks;
+    lock = Mutex.create ();
+    seen = Util.SSet.empty;
+    written = 0;
+  }
+
+let dir t = t.dir
+
+let count t =
+  Mutex.lock t.lock;
+  let n = t.written in
+  Mutex.unlock t.lock;
+  n
+
+(** Pre-shrink identity of a failure: same reason, same recipe, same nest
+    structure — report once. *)
+let failure_key ~reason ~(program : Ir.program) ~recipe =
+  Printf.sprintf "%s\x00%s\x00%d" reason
+    (Recipe.to_string recipe)
+    (Ir.hash_structure program.Ir.body)
+
+(** Minimize the program's statements: first the top-level node list,
+    then — when a single nest remains — its direct loop body. *)
+let shrink_program ~max_checks ~(check : Ir.program -> bool)
+    (p : Ir.program) : Ir.program =
+  let body =
+    Shrink.list ~max_checks
+      ~still_fails:(fun b -> check { p with Ir.body = b })
+      p.Ir.body
+  in
+  let p = { p with Ir.body } in
+  match p.Ir.body with
+  | [ Ir.Nloop l ] ->
+      let inner =
+        Shrink.list ~max_checks
+          ~still_fails:(fun b ->
+            check { p with Ir.body = [ Ir.Nloop { l with Ir.body = b } ] })
+          l.Ir.body
+      in
+      { p with Ir.body = [ Ir.Nloop { l with Ir.body = inner } ] }
+  | _ -> p
+
+let render ~reason ~sizes ~(recipe : Recipe.t) ~(shrunk_recipe : Recipe.t)
+    ~(program : Ir.program) : string =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "daisy quarantine reproducer\n";
+  Buffer.add_string b (Printf.sprintf "reason: %s\n" reason);
+  Buffer.add_string b
+    ("sizes:"
+    ^ String.concat ""
+        (List.map (fun (k, v) -> Printf.sprintf " %s=%d" k v) sizes)
+    ^ "\n");
+  Buffer.add_string b
+    (Printf.sprintf "recipe (original): %s\n" (Recipe.to_string recipe));
+  Buffer.add_string b
+    (Printf.sprintf "recipe (shrunk):   %s\n" (Recipe.to_string shrunk_recipe));
+  Buffer.add_string b "program (shrunk):\n";
+  Buffer.add_string b (Ir.program_to_string program);
+  Buffer.contents b
+
+let report t ~reason ~sizes ~(program : Ir.program) ~(recipe : Recipe.t)
+    ~(still_fails : Ir.program -> Recipe.t -> bool) : string option =
+  let key = failure_key ~reason ~program ~recipe in
+  let claim =
+    Mutex.lock t.lock;
+    let fresh = (not (Util.SSet.mem key t.seen)) && t.written < t.max_repros in
+    if fresh then begin
+      t.seen <- Util.SSet.add key t.seen;
+      t.written <- t.written + 1
+    end;
+    Mutex.unlock t.lock;
+    fresh
+  in
+  if not claim then None
+  else begin
+    (* Shrink the recipe first (cheap, often collapses to one step),
+       then the program against the shrunk recipe. *)
+    let shrunk_recipe =
+      Shrink.list ~max_checks:t.shrink_checks
+        ~still_fails:(fun steps -> still_fails program steps)
+        recipe
+    in
+    let shrunk_program =
+      shrink_program ~max_checks:t.shrink_checks
+        ~check:(fun p -> still_fails p shrunk_recipe)
+        program
+    in
+    let content =
+      render ~reason ~sizes ~recipe ~shrunk_recipe ~program:shrunk_program
+    in
+    (* Content-addressed filename: identical failures land on identical
+       paths regardless of reporting order or job count. *)
+    let path =
+      Filename.concat t.dir (Printf.sprintf "repro-%s.txt" (Util.fnv1a64 content))
+    in
+    Checkpoint.atomic_write path (fun oc -> output_string oc content);
+    Some path
+  end

@@ -1,0 +1,44 @@
+(** Quarantine sink for failing candidates.
+
+    When supervised search evaluation ({!Evolve.search}) or equivalence
+    verification ({!Daisy.schedule}) encounters a candidate that crashes,
+    exceeds its deadline, or miscompiles, the candidate is excluded from
+    selection deterministically and reported here. The sink greedily
+    shrinks the (program, recipe) pair with {!Daisy_support.Shrink} and
+    writes a self-contained reproducer file into the quarantine
+    directory, so a long run never dies on a bad candidate yet the bug is
+    kept, minimized, for later triage. *)
+
+type t
+
+val create :
+  ?max_repros:int -> ?shrink_checks:int -> dir:string -> unit -> t
+(** [create ~dir ()] — a sink writing reproducers into [dir] (created if
+    missing). At most [max_repros] (default 20) reproducers are written;
+    each shrink calls its failure predicate at most [shrink_checks]
+    (default 200) times per phase. Thread-safe: pool workers may report
+    concurrently. *)
+
+val dir : t -> string
+
+val count : t -> int
+(** Reproducers written so far (after deduplication and capping). *)
+
+val report :
+  t ->
+  reason:string ->
+  sizes:(string * int) list ->
+  program:Daisy_loopir.Ir.program ->
+  recipe:Daisy_transforms.Recipe.t ->
+  still_fails:
+    (Daisy_loopir.Ir.program -> Daisy_transforms.Recipe.t -> bool) ->
+  string option
+(** [report t ~reason ~sizes ~program ~recipe ~still_fails] — shrink the
+    failing pair ([still_fails] must hold on the original pair; an
+    exception inside it counts as "no longer failing") and write a
+    reproducer. The recipe's steps are minimized first, then the
+    program's loop-body statements. Returns the path of the written
+    file, or [None] when the failure deduplicates against an earlier
+    report or the [max_repros] cap is reached. Reproducer filenames are
+    derived from the shrunk content, so concurrent reporting orders (or
+    different job counts) produce the same files. *)

@@ -3,15 +3,35 @@
     proposals, later epochs re-seeded from the best recipes of the most
     similar nests. *)
 
+val snapshot_to_lines : Evolve.snapshot -> string list
+val snapshot_of_lines : string list -> Evolve.snapshot option
+(** Journal serialization of one search's generation snapshot — an exact
+    round-trip ([%h] floats, printed recipes), exposed for the kill/resume
+    differential tests. *)
+
 val seed_database :
   ?epochs:int ->
   ?population:int ->
   ?iterations:int ->
   ?pool:Daisy_support.Pool.t ->
+  ?journal:Daisy_support.Checkpoint.journal ->
+  ?quarantine:Quarantine.t ->
+  ?on_epoch:(int -> Database.t -> unit) ->
   Common.ctx ->
   db:Database.t ->
   (string * Daisy_loopir.Ir.program) list ->
   unit
 (** Every epoch evaluates all nests against a snapshot of the bests taken
     at the start of the epoch, so [?pool] parallelizes the per-nest
-    searches with results bit-identical to the sequential path. *)
+    searches with results bit-identical to the sequential path.
+
+    [journal] makes seeding crash-safe and resumable: per-nest search
+    snapshots are checkpointed every generation, completed nests and
+    committed epochs collapse into compact records, and a run resumed
+    from any kill point finishes with a bit-identical database (at any
+    job count). [quarantine] supervises candidate evaluation (see
+    {!Evolve.search}). [on_epoch] receives, after each committed epoch,
+    a partial database of the bests so far — built exactly like the
+    final one, so callers can flush it to disk as a usable intermediate
+    result. Interrupts ([Daisy_support.Checkpoint.check_interrupt]) are
+    polled at epoch and nest boundaries and between generations. *)

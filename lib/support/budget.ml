@@ -14,9 +14,14 @@ exception Exhausted
 let make ~steps = { fuel = max 0 steps }
 let unlimited () = { fuel = max_int }
 
+(* Wall-clock deadlines piggyback on the fuel counter: every engine ticks
+   once per iteration, so polling the domain deadline every 4096 ticks
+   bounds a supervised evaluation's overrun without a per-iteration clock
+   read. [Util.check_deadline] is a DLS load when no deadline is set. *)
 let tick b =
   b.fuel <- b.fuel - 1;
-  if b.fuel < 0 then raise Exhausted
+  if b.fuel < 0 then raise Exhausted;
+  if b.fuel land 4095 = 0 then Util.check_deadline ()
 
 let spend b n =
   b.fuel <- b.fuel - max 0 n;

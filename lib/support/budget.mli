@@ -26,7 +26,10 @@ val unlimited : unit -> t
     every engine entry point. *)
 
 val tick : t -> unit
-(** Consume one step; raises {!exception:Exhausted} when none remain. *)
+(** Consume one step; raises {!exception:Exhausted} when none remain.
+    Every 4096th tick also polls the calling domain's wall-clock deadline
+    ({!Daisy_support.Util.check_deadline}), so a supervised evaluation
+    raises [Util.Deadline_exceeded] soon after its deadline passes. *)
 
 val spend : t -> int -> unit
 (** Consume [n] steps at once (negative [n] is treated as 0). *)

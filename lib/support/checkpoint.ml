@@ -1,0 +1,301 @@
+(** Crash-safe run state (see the interface).
+
+    Two layers:
+
+    - {!atomic_write}: write-temp / fsync / rename file replacement. A
+      crash at any instant leaves either the old file or the new file on
+      disk, never a torn mixture.
+    - a {e journal}: a mutex-guarded key → payload-lines store persisted
+      through {!atomic_write} on every update, with DAISYDB-style
+      framing — a versioned header carrying a config fingerprint, and an
+      FNV-1a-64 checksum per record.
+
+    The interrupt flag cooperates with SIGINT/SIGTERM: the handler only
+    sets an atomic flag (async-signal-safe), and the long-running loops
+    (per generation, per nest, per epoch) poll {!check_interrupt} right
+    after flushing their snapshot, so an interrupted run always leaves a
+    resumable journal behind. *)
+
+exception Interrupted of int  (** the signal number that stopped the run *)
+
+let () =
+  Printexc.register_printer (function
+    | Interrupted sg ->
+        Some (Printf.sprintf "Daisy_support.Checkpoint.Interrupted(signal %d)" sg)
+    | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Interrupt flag + signal handlers *)
+
+let interrupt_flag = Atomic.make 0  (* 0 = not interrupted, else signal no. *)
+
+let request_interrupt sg = Atomic.set interrupt_flag sg
+let reset_interrupt () = Atomic.set interrupt_flag 0
+let interrupted () = Atomic.get interrupt_flag <> 0
+
+let check_interrupt () =
+  let sg = Atomic.get interrupt_flag in
+  if sg <> 0 then raise (Interrupted sg)
+
+let install_signal_handlers () =
+  (* [os] is the conventional signal number (2/15) — OCaml's [Sys.sigint]
+     etc. are internal negative codes, useless in a 128+N exit status *)
+  let install sg os =
+    try
+      Sys.set_signal sg
+        (Sys.Signal_handle
+           (fun _ ->
+             request_interrupt os;
+             (* a second signal of the same kind falls through to the
+                default behavior: the user can always kill a stuck run *)
+             Sys.set_signal sg Sys.Signal_default))
+    with Invalid_argument _ | Sys_error _ -> ()  (* not supported here *)
+  in
+  install Sys.sigint 2;
+  install Sys.sigterm 15
+
+(* ------------------------------------------------------------------ *)
+(* Atomic file replacement *)
+
+let atomic_write ?fault_label (path : string) (writer : out_channel -> unit) :
+    unit =
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let oc = open_out tmp in
+  match
+    writer oc;
+    Option.iter Fault.inject fault_label;
+    flush oc;
+    Unix.fsync (Unix.descr_of_out_channel oc)
+  with
+  | () ->
+      close_out oc;
+      Sys.rename tmp path
+  | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      close_out_noerr oc;
+      (try Sys.remove tmp with Sys_error _ -> ());
+      Printexc.raise_with_backtrace e bt
+
+(* ------------------------------------------------------------------ *)
+(* Config fingerprints *)
+
+let fingerprint (kvs : (string * string) list) : string =
+  kvs
+  |> List.map (fun (k, v) -> Printf.sprintf "%S=%S" k v)
+  |> String.concat "\n"
+  |> Util.fnv1a64
+
+(* ------------------------------------------------------------------ *)
+(* The journal *)
+
+let magic = "DAISYCKPT"
+let version = 1
+
+type journal = {
+  path : string;
+  kind : string;
+  fp : string;
+  lock : Mutex.t;
+  mutable records : string list Util.SMap.t;
+  mutable load_warnings : string list;
+}
+
+let path j = j.path
+let warnings j = j.load_warnings
+
+(* On-disk layout (line-based; payload lines are prefixed with "| " so a
+   payload can never be confused with framing):
+
+   {v
+   DAISYCKPT 1 <kind>
+   fingerprint <16 hex>
+   record <16-hex FNV-1a-64 of the payload joined by \n> <key>
+   | <payload line>
+   | <payload line>
+   end
+   ...
+   v} *)
+
+let render j : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "%s %d %s\n" magic version j.kind);
+  Buffer.add_string buf (Printf.sprintf "fingerprint %s\n" j.fp);
+  Util.SMap.iter
+    (fun key lines ->
+      Buffer.add_string buf
+        (Printf.sprintf "record %s %s\n"
+           (Util.fnv1a64 (String.concat "\n" lines))
+           key);
+      List.iter (fun l -> Buffer.add_string buf (Printf.sprintf "| %s\n" l)) lines;
+      Buffer.add_string buf "end\n")
+    j.records;
+  Buffer.contents buf
+
+(* With [j.lock] held: persist the whole journal atomically. Every save
+   passes through the ["checkpoint_save"] fault point (inside
+   [atomic_write], after the temp file is written but before the rename),
+   so an injected crash loses at most the update in flight — exactly like
+   a real kill. *)
+let persist_locked j =
+  atomic_write ~fault_label:"checkpoint_save" j.path (fun oc ->
+      output_string oc (render j))
+
+let locked j f =
+  Mutex.lock j.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock j.lock) f
+
+let find j key = locked j (fun () -> Util.SMap.find_opt key j.records)
+let keys j = locked j (fun () -> List.map fst (Util.SMap.bindings j.records))
+
+let set_many j ~(remove : string list) (sets : (string * string list) list) :
+    unit =
+  let sanitize (key, lines) =
+    if String.contains key '\n' then
+      invalid_arg "Checkpoint: record key contains a newline";
+    List.iter
+      (fun l ->
+        if String.contains l '\n' then
+          invalid_arg "Checkpoint: payload line contains a newline")
+      lines;
+    (key, lines)
+  in
+  let sets = List.map sanitize sets in
+  locked j (fun () ->
+      j.records <-
+        List.fold_left (fun m k -> Util.SMap.remove k m) j.records remove;
+      j.records <-
+        List.fold_left (fun m (k, v) -> Util.SMap.add k v m) j.records sets;
+      persist_locked j)
+
+let set j key lines = set_many j ~remove:[] [ (key, lines) ]
+let remove j key = set_many j ~remove:[ key ] []
+
+let delete j =
+  locked j (fun () ->
+      j.records <- Util.SMap.empty;
+      try Sys.remove j.path with Sys_error _ -> ())
+
+let strip_prefix p s =
+  let lp = String.length p in
+  if String.length s >= lp && String.equal (String.sub s 0 lp) p then
+    Some (String.sub s lp (String.length s - lp))
+  else None
+
+let parse_file ~path ~kind ~fp (text : string) :
+    string list Util.SMap.t * string list =
+  let lines = Array.of_list (String.split_on_char '\n' text) in
+  let n = Array.length lines in
+  if n = 0 || String.trim lines.(0) = "" then
+    Diag.errorf "%s: empty file is not a daisy checkpoint" path;
+  (match String.split_on_char ' ' lines.(0) with
+  | [ m; v; k ] when String.equal m magic ->
+      (match int_of_string_opt v with
+      | Some ver when ver = version -> ()
+      | _ ->
+          Diag.errorf
+            "%s: unsupported checkpoint version %S (this build reads %d)" path
+            v version);
+      if not (String.equal k kind) then
+        Diag.errorf
+          "%s: checkpoint was written by 'daisyc %s', not 'daisyc %s' — \
+           refusing to resume"
+          path k kind
+  | _ ->
+      Diag.errorf "%s: not a daisy checkpoint (bad magic line %S)" path
+        lines.(0));
+  (if n < 2 then Diag.errorf "%s: truncated checkpoint header" path
+   else
+     match strip_prefix "fingerprint " lines.(1) with
+     | Some stored when String.equal (String.trim stored) fp -> ()
+     | Some stored ->
+         Diag.errorf
+           "%s: checkpoint fingerprint %s does not match this invocation \
+            (%s) — same files, sizes, engine and budgets are required to \
+            resume"
+           path (String.trim stored) fp
+     | None -> Diag.errorf "%s: missing fingerprint line" path);
+  let warnings = ref [] in
+  let warn fmt =
+    Printf.ksprintf
+      (fun m -> warnings := Printf.sprintf "%s: %s" path m :: !warnings)
+      fmt
+  in
+  let records = ref Util.SMap.empty in
+  let i = ref 2 in
+  while !i < n do
+    let line = lines.(!i) in
+    if String.trim line = "" then incr i
+    else
+      match strip_prefix "record " line with
+      | None ->
+          warn "line %d: expected 'record <checksum> <key>', got %S — skipping"
+            (!i + 1) line;
+          incr i
+      | Some rest ->
+          let ck, key =
+            match String.index_opt rest ' ' with
+            | Some sp ->
+                ( String.sub rest 0 sp,
+                  String.sub rest (sp + 1) (String.length rest - sp - 1) )
+            | None -> (rest, "")
+          in
+          let start = !i + 1 in
+          let j = ref start in
+          let body = ref [] in
+          while
+            !j < n
+            &&
+            match strip_prefix "| " lines.(!j) with
+            | Some payload ->
+                body := payload :: !body;
+                true
+            | None -> false
+          do
+            incr j
+          done;
+          if !j >= n || not (String.equal lines.(!j) "end") then begin
+            warn "record %S (line %d): truncated (no 'end') — skipping" key
+              (!i + 1);
+            i := !j
+          end
+          else begin
+            let body = List.rev !body in
+            let expected = Util.fnv1a64 (String.concat "\n" body) in
+            if String.equal ck expected then
+              records := Util.SMap.add key body !records
+            else
+              warn "record %S (line %d): checksum mismatch — skipping" key
+                (!i + 1);
+            i := !j + 1
+          end
+  done;
+  (!records, List.rev !warnings)
+
+let open_journal ~path ~kind ~fingerprint:fp ~resume () : journal =
+  let j =
+    {
+      path;
+      kind;
+      fp;
+      lock = Mutex.create ();
+      records = Util.SMap.empty;
+      load_warnings = [];
+    }
+  in
+  if resume then begin
+    if not (Sys.file_exists path) then
+      Diag.errorf
+        "%s: no checkpoint to resume from (run once with --checkpoint to \
+         create one)"
+        path;
+    let text =
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let records, warns = parse_file ~path ~kind ~fp text in
+    j.records <- records;
+    j.load_warnings <- warns
+  end;
+  j

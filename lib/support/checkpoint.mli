@@ -1,0 +1,78 @@
+(** Crash-safe run state: atomic file replacement, a versioned checksummed
+    run journal, and cooperative interrupt handling.
+
+    The journal is what makes long-running work resumable: the search and
+    seeding loops persist a snapshot at every natural boundary (per
+    generation, per nest, per epoch), each update replacing the journal
+    file atomically — so a crash, OOM kill or SIGKILL at {e any} instant
+    leaves the previous complete snapshot on disk. See
+    [docs/robustness.md], "Checkpoint & resume". *)
+
+exception Interrupted of int
+(** An interrupt (SIGINT/SIGTERM, or {!request_interrupt}) was observed by
+    {!check_interrupt}; carries the signal number (conventional exit code:
+    128 + signal). *)
+
+val install_signal_handlers : unit -> unit
+(** Route SIGINT and SIGTERM to the interrupt flag. The first signal only
+    sets the flag (the run flushes its snapshot and exits at the next
+    polling point); a second signal of the same kind falls through to the
+    default behavior and kills the process. *)
+
+val request_interrupt : int -> unit
+(** Set the interrupt flag as if signal [sg] had arrived. *)
+
+val reset_interrupt : unit -> unit
+val interrupted : unit -> bool
+
+val check_interrupt : unit -> unit
+(** Raise {!Interrupted} iff the flag is set. Polled by the search loops
+    right {e after} flushing their checkpoint snapshot. *)
+
+val atomic_write : ?fault_label:string -> string -> (out_channel -> unit) -> unit
+(** [atomic_write path writer] — run [writer] on a temp file in the same
+    directory, fsync, and rename it over [path]. On any exception the temp
+    file is removed and [path] is untouched. [?fault_label] names a
+    {!Daisy_support.Fault} point injected after the temp file is written
+    but before the rename — an injected crash loses the update in flight,
+    never the previous file. *)
+
+val fingerprint : (string * string) list -> string
+(** Hash a canonical key/value rendering of an invocation's configuration
+    (16 hex digits) — stored in the journal header and required to match
+    on resume. *)
+
+type journal
+
+val open_journal :
+  path:string -> kind:string -> fingerprint:string -> resume:bool -> unit ->
+  journal
+(** [resume:false] — a fresh empty journal (the file is written on the
+    first update). [resume:true] — load [path]; raises
+    [Daisy_support.Diag.Error] with a one-line message when the file is
+    missing, has a bad magic line, an unsupported version, a different
+    [kind] (another subcommand), or a fingerprint that does not match this
+    invocation. Individually corrupt records are skipped and reported via
+    {!warnings} (re-doing that slice of work is always safe). *)
+
+val path : journal -> string
+val warnings : journal -> string list
+
+val find : journal -> string -> string list option
+val keys : journal -> string list
+(** All record keys, sorted. *)
+
+val set : journal -> string -> string list -> unit
+(** Insert/replace one record and persist the journal atomically. Every
+    persist passes through the ["checkpoint_save"] fault point.
+    Thread-safe (pool workers checkpoint concurrently). Keys and payload
+    lines must not contain newlines. *)
+
+val set_many : journal -> remove:string list -> (string * string list) list -> unit
+(** Remove and insert records in one atomic persist. *)
+
+val remove : journal -> string -> unit
+
+val delete : journal -> unit
+(** Drop all records and delete the journal file (a completed run consumes
+    its checkpoint). *)

@@ -205,6 +205,30 @@ let iter ?pool f xs =
   | None -> List.iter f xs
   | Some _ -> ignore (map ?pool f xs)
 
+(* ------------------------------------------------------------------ *)
+(* Supervision: per-task wall-clock deadlines with retry-once semantics.
+
+   A deadline cannot preempt an OCaml domain, so it is cooperative: the
+   task's deadline is registered in the executing domain's DLS slot
+   ([Util.set_deadline]) and every engine polls it from [Budget.tick] —
+   a supervised evaluation raises [Util.Deadline_exceeded] within 4096
+   iterations of its deadline passing. *)
+
+let map_supervised ?pool ?deadline_s ?(fatal = fun _ -> false) f xs =
+  let attempt x = Util.with_deadline deadline_s (fun () -> f x) in
+  let supervised x =
+    match attempt x with
+    | v -> Ok v
+    | exception e when not (fatal e) -> (
+        (* transient failure: retry exactly once, with a fresh deadline *)
+        match attempt x with
+        | v -> Ok v
+        | exception e2 when not (fatal e2) -> Error e2)
+  in
+  (* fatal exceptions escape [supervised] and poison the batch — the
+     ordinary fail-fast [map] semantics *)
+  map ?pool supervised xs
+
 let with_pool ~jobs f =
   if jobs <= 1 then f None
   else

@@ -36,6 +36,24 @@ val iter : ?pool:t -> ('a -> unit) -> 'a list -> unit
 (** [iter ?pool f xs] runs [f] on every element, in parallel when [pool] is
     given. *)
 
+val map_supervised :
+  ?pool:t ->
+  ?deadline_s:float ->
+  ?fatal:(exn -> bool) ->
+  ('a -> 'b) ->
+  'a list ->
+  ('b, exn) result list
+(** Supervised {!map}: each task runs under an optional per-task
+    wall-clock deadline of [deadline_s] seconds (cooperative —
+    registered via [Util.set_deadline] on the executing domain and
+    polled by [Budget.tick] inside every engine, raising
+    [Util.Deadline_exceeded]). A task that raises is retried exactly
+    once with a fresh deadline; a second failure yields [Error e]
+    in its slot instead of poisoning the batch, so the caller can
+    quarantine the input deterministically. Exceptions for which
+    [fatal] is true (default: none) are neither retried nor captured —
+    they poison the batch exactly like {!map}. Order is preserved. *)
+
 val shutdown : t -> unit
 (** Join all worker domains. Must not be called while a [map] is in flight;
     further submissions run inline. Idempotent. *)

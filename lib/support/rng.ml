@@ -18,6 +18,13 @@ let of_string s =
     s;
   { state = !h }
 
+(* The whole stream state is one int64, so checkpointing a search means
+   persisting a single word; [set_state]/[restore] resume the stream at
+   exactly the draw it was interrupted at. *)
+let state t = t.state
+let set_state t s = t.state <- s
+let restore s = { state = s }
+
 let next_int64 t =
   t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
   let z = t.state in

@@ -7,6 +7,16 @@ val create : int -> t
 val of_string : string -> t
 (** Derive a stream deterministically from a name (FNV-1a). *)
 
+val state : t -> int64
+(** The complete stream state — persisting it checkpoints the stream. *)
+
+val set_state : t -> int64 -> unit
+(** Rewind/advance a stream in place to a saved {!state}. *)
+
+val restore : int64 -> t
+(** A fresh stream positioned at a saved {!state}: [restore (state t)]
+    continues exactly where [t] was. *)
+
 val next_int64 : t -> int64
 
 val int : t -> int -> int

@@ -1,0 +1,48 @@
+(** Greedy list minimization for failing-input reduction (see the
+    interface).
+
+    The algorithm is a bounded greedy variant of delta debugging: starting
+    from the full failing list, repeatedly try to remove chunks (halving
+    the chunk size down to single elements) and keep any removal after
+    which the input still fails, until a whole pass at chunk size 1
+    removes nothing. The result is [1-minimal] for monotone predicates:
+    removing any single remaining element makes the failure disappear —
+    and for arbitrary predicates it is still a failing sublist no larger
+    than the input. *)
+
+let list ?(max_checks = 1_000) ~(still_fails : 'a list -> bool)
+    (xs : 'a list) : 'a list =
+  let checks = ref 0 in
+  let check ys =
+    if !checks >= max_checks then false
+    else begin
+      incr checks;
+      (* a predicate that itself blows up counts as "does not fail the
+         same way": never let the shrinker crash the caller *)
+      try still_fails ys with _ -> false
+    end
+  in
+  let remove_chunk xs start len =
+    List.filteri (fun i _ -> i < start || i >= start + len) xs
+  in
+  let rec pass xs chunk removed_any =
+    (* one sweep at the current chunk size, left to right *)
+    let rec sweep xs start removed_any =
+      if start >= List.length xs then (xs, removed_any)
+      else
+        let candidate = remove_chunk xs start chunk in
+        if List.length candidate < List.length xs && check candidate then
+          (* keep the removal; retry the same start position *)
+          sweep candidate start true
+        else sweep xs (start + chunk) removed_any
+    in
+    let xs, removed_any = sweep xs 0 removed_any in
+    if chunk > 1 then pass xs (max 1 (chunk / 2)) removed_any
+    else if removed_any && !checks < max_checks then
+      (* restart at size-1 granularity until a fixpoint *)
+      pass xs 1 false
+    else xs
+  in
+  match xs with
+  | [] -> []
+  | _ -> pass xs (max 1 (List.length xs / 2)) false

@@ -1,0 +1,15 @@
+(** Greedy minimization of failing inputs — the engine behind the
+    quarantine reproducer shrinker ([Daisy_scheduler.Quarantine]).
+
+    Generic over the element type: the scheduler instantiates it twice,
+    once over recipe steps and once over loop-body nodes, to reduce a
+    crashing (program, recipe) pair to a smallest failing reproducer. *)
+
+val list :
+  ?max_checks:int -> still_fails:('a list -> bool) -> 'a list -> 'a list
+(** [list ~still_fails xs] — assuming [still_fails xs], return a sublist
+    (order preserved) that still satisfies [still_fails], greedily removing
+    chunks of halving size until no single element can be removed. The
+    predicate is called at most [max_checks] times (default 1000); an
+    exception inside the predicate counts as "no longer failing", so the
+    shrinker itself never raises. *)

@@ -99,6 +99,76 @@ let fresh_name base taken =
     in
     go 0
 
+(** FNV-1a 64-bit hash of a string, rendered as 16 hex digits — the
+    framing checksum shared by the database and checkpoint formats. *)
+let fnv1a64 (s : string) : string =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h :=
+        Int64.mul
+          (Int64.logxor !h (Int64.of_int (Char.code c)))
+          0x100000001b3L)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+(* ------------------------------------------------------------------ *)
+(* Monotonic wall clock and per-domain evaluation deadlines.
+
+   [Unix.gettimeofday] can jump backwards (NTP slew, VM migration); all
+   deadline accounting in the toolchain goes through [monotonic_s], which
+   clamps the clock to be non-decreasing, so an elapsed-time difference
+   is never negative and a deadline never un-expires. The clamp state is
+   shared across domains under a mutex — this is the one place wall
+   time is read. *)
+
+let clock_lock = Mutex.create ()
+let clock_last = ref neg_infinity
+
+let monotonic_s () : float =
+  Mutex.lock clock_lock;
+  let now = Unix.gettimeofday () in
+  let t = if now > !clock_last then now else !clock_last in
+  clock_last := t;
+  Mutex.unlock clock_lock;
+  t
+
+exception Deadline_exceeded
+
+(* Absolute deadline (monotonic seconds) of the evaluation task currently
+   running on this domain; [nan] = none. Stored per domain so pool
+   workers supervise their own tasks independently. *)
+let deadline_key : float Domain.DLS.key = Domain.DLS.new_key (fun () -> nan)
+
+let set_deadline = function
+  | None -> Domain.DLS.set deadline_key nan
+  | Some d -> Domain.DLS.set deadline_key d
+
+let check_deadline () =
+  let d = Domain.DLS.get deadline_key in
+  if (not (Float.is_nan d)) && monotonic_s () >= d then
+    raise Deadline_exceeded
+
+(** [with_deadline d f] — run [f] with a deadline of [d] seconds from now
+    on this domain (cleared afterwards); [None] runs unconstrained.
+    Engines poll {!check_deadline} from [Budget.tick], so any budgeted
+    evaluation raises {!Deadline_exceeded} soon after the wall-clock
+    budget runs out. *)
+let with_deadline (d : float option) (f : unit -> 'a) : 'a =
+  match d with
+  | None -> f ()
+  | Some s ->
+      set_deadline (Some (monotonic_s () +. max 0.0 s));
+      Fun.protect ~finally:(fun () -> set_deadline None) (fun () ->
+          check_deadline ();
+          f ())
+
+let () =
+  Printexc.register_printer (function
+    | Deadline_exceeded ->
+        Some "Daisy_support.Util.Deadline_exceeded (evaluation wall-clock deadline exceeded)"
+    | _ -> None)
+
 (** Format a float with engineering-friendly precision for report tables. *)
 let pp_si ppf v =
   let a = Float.abs v in

@@ -32,5 +32,31 @@ val dedup : eq:('a -> 'a -> bool) -> 'a list -> 'a list
 val fresh_name : string -> SSet.t -> string
 (** [fresh_name base taken] — [base], or [base_0], [base_1], ... *)
 
+val fnv1a64 : string -> string
+(** FNV-1a 64-bit hash, rendered as 16 hex digits (the framing checksum
+    of the database and checkpoint formats). *)
+
+val monotonic_s : unit -> float
+(** Wall-clock seconds, clamped to be non-decreasing across calls (and
+    across domains) so deadline arithmetic survives clock
+    discontinuities. The only place the toolchain reads wall time. *)
+
+exception Deadline_exceeded
+(** Raised by {!check_deadline} (polled from [Budget.tick], i.e. from
+    inside every engine) when the current domain's evaluation deadline
+    has passed. *)
+
+val set_deadline : float option -> unit
+(** Set or clear the absolute deadline ({!monotonic_s} seconds) for
+    evaluation work on the calling domain. *)
+
+val check_deadline : unit -> unit
+(** Raise {!Deadline_exceeded} iff this domain has a deadline and it has
+    passed. Cheap when no deadline is set. *)
+
+val with_deadline : float option -> (unit -> 'a) -> 'a
+(** [with_deadline (Some s) f] runs [f] with a deadline [s] seconds from
+    now on this domain, clearing it afterwards; [None] is just [f ()]. *)
+
 val pp_si : float Fmt.t
 (** Engineering-friendly float formatting for report tables. *)

@@ -1,0 +1,387 @@
+(** Checkpoint-layer tests (docs/robustness.md, "Checkpoint & resume"):
+    atomic file replacement survives injected crashes, the journal
+    round-trips and rejects mismatched headers with one-line errors,
+    corrupt records are skipped (not fatal), config fingerprints are
+    sensitive, RNG state round-trips, monotonic deadlines trip
+    deterministically, and the greedy shrinker minimizes failing lists. *)
+
+module Util = Daisy_support.Util
+module Rng = Daisy_support.Rng
+module Fault = Daisy_support.Fault
+module Shrink = Daisy_support.Shrink
+module Checkpoint = Daisy_support.Checkpoint
+module Diag = Daisy_support.Diag
+
+let with_faults f =
+  Fun.protect ~finally:Fault.clear (fun () -> Fault.clear (); f ())
+
+let tmp_path name =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "daisy-test-%d-%s" (Unix.getpid ()) name)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path text =
+  let oc = open_out_bin path in
+  output_string oc text;
+  close_out oc
+
+let cleanup path = try Sys.remove path with Sys_error _ -> ()
+
+let expect_diag what f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected a Diag.Error" what
+  | exception Diag.Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Monotonic clock + cooperative deadlines *)
+
+let test_monotonic_clock () =
+  let prev = ref (Util.monotonic_s ()) in
+  for _ = 1 to 1_000 do
+    let t = Util.monotonic_s () in
+    if t < !prev then Alcotest.failf "clock went backwards: %f < %f" t !prev;
+    prev := t
+  done
+
+let test_deadline_basics () =
+  (* no deadline: check is a no-op *)
+  Util.check_deadline ();
+  (* an already-expired deadline trips immediately and deterministically *)
+  Alcotest.check_raises "zero deadline" Util.Deadline_exceeded (fun () ->
+      Util.with_deadline (Some 0.0) (fun () -> ()));
+  (* a generous deadline does not trip *)
+  let r = Util.with_deadline (Some 60.0) (fun () -> Util.check_deadline (); 42) in
+  Alcotest.(check int) "ran under deadline" 42 r;
+  (* the deadline is cleared afterwards, also on the raising path *)
+  Util.check_deadline ();
+  (try Util.with_deadline (Some 0.0) (fun () -> ()) with
+  | Util.Deadline_exceeded -> ());
+  Util.check_deadline ();
+  (* [None] is just the thunk *)
+  Alcotest.(check int) "no deadline" 7 (Util.with_deadline None (fun () -> 7))
+
+(* ------------------------------------------------------------------ *)
+(* Atomic file replacement *)
+
+let no_temp_left path =
+  let dir = Filename.dirname path and base = Filename.basename path in
+  Sys.readdir dir
+  |> Array.for_all (fun f ->
+         not
+           (String.length f > String.length base
+           && String.sub f 0 (String.length base) = base
+           && String.length f > String.length base + 4
+           && String.sub f (String.length base) 5 = ".tmp."))
+
+let test_atomic_write_success () =
+  let path = tmp_path "aw-success" in
+  Fun.protect
+    ~finally:(fun () -> cleanup path)
+    (fun () ->
+      Checkpoint.atomic_write path (fun oc -> output_string oc "hello\n");
+      Alcotest.(check string) "content" "hello\n" (read_file path);
+      Checkpoint.atomic_write path (fun oc -> output_string oc "world\n");
+      Alcotest.(check string) "replaced" "world\n" (read_file path);
+      Alcotest.(check bool) "no temp left" true (no_temp_left path))
+
+let test_atomic_write_crash_keeps_old () =
+  with_faults (fun () ->
+      let path = tmp_path "aw-crash" in
+      Fun.protect
+        ~finally:(fun () -> cleanup path)
+        (fun () ->
+          Checkpoint.atomic_write path (fun oc -> output_string oc "old\n");
+          Fault.arm_always "test_atomic";
+          (match
+             Checkpoint.atomic_write ~fault_label:"test_atomic" path (fun oc ->
+                 output_string oc "new\n")
+           with
+          | () -> Alcotest.fail "expected the injected fault to fire"
+          | exception Fault.Injected "test_atomic" -> ());
+          (* the old file survives untouched and the temp file is gone *)
+          Alcotest.(check string) "old content intact" "old\n" (read_file path);
+          Alcotest.(check bool) "no temp left" true (no_temp_left path);
+          (* a writer exception behaves the same *)
+          Fault.disarm "test_atomic";
+          (match
+             Checkpoint.atomic_write path (fun oc ->
+                 output_string oc "half";
+                 failwith "writer died")
+           with
+          | () -> Alcotest.fail "expected the writer to raise"
+          | exception Failure _ -> ());
+          Alcotest.(check string) "still intact" "old\n" (read_file path)))
+
+(* ------------------------------------------------------------------ *)
+(* The journal *)
+
+let test_journal_roundtrip () =
+  let path = tmp_path "journal-rt" in
+  let fp = Checkpoint.fingerprint [ ("k", "v") ] in
+  Fun.protect
+    ~finally:(fun () -> cleanup path)
+    (fun () ->
+      let j =
+        Checkpoint.open_journal ~path ~kind:"test" ~fingerprint:fp
+          ~resume:false ()
+      in
+      Checkpoint.set j "alpha" [ "line 1"; "line 2" ];
+      Checkpoint.set j "beta with spaces" [];
+      Checkpoint.set j "gamma" [ "| looks like framing"; "end"; "" ];
+      let j' =
+        Checkpoint.open_journal ~path ~kind:"test" ~fingerprint:fp
+          ~resume:true ()
+      in
+      Alcotest.(check (list string)) "no warnings" [] (Checkpoint.warnings j');
+      Alcotest.(check (list string))
+        "keys" [ "alpha"; "beta with spaces"; "gamma" ] (Checkpoint.keys j');
+      Alcotest.(check (option (list string)))
+        "alpha" (Some [ "line 1"; "line 2" ])
+        (Checkpoint.find j' "alpha");
+      Alcotest.(check (option (list string)))
+        "empty payload" (Some []) (Checkpoint.find j' "beta with spaces");
+      Alcotest.(check (option (list string)))
+        "payload that looks like framing"
+        (Some [ "| looks like framing"; "end"; "" ])
+        (Checkpoint.find j' "gamma");
+      Alcotest.(check (option (list string)))
+        "absent key" None (Checkpoint.find j' "delta"))
+
+let test_journal_set_many_and_delete () =
+  let path = tmp_path "journal-sm" in
+  let fp = Checkpoint.fingerprint [] in
+  Fun.protect
+    ~finally:(fun () -> cleanup path)
+    (fun () ->
+      let j =
+        Checkpoint.open_journal ~path ~kind:"test" ~fingerprint:fp
+          ~resume:false ()
+      in
+      Checkpoint.set j "search/1" [ "gen 0" ];
+      Checkpoint.set j "search/2" [ "gen 1" ];
+      (* the collapse pattern: remove the live snapshots and commit the
+         compact record in one atomic persist *)
+      Checkpoint.set_many j
+        ~remove:[ "search/1"; "search/2" ]
+        [ ("epoch", [ "epoch 1" ]) ];
+      let j' =
+        Checkpoint.open_journal ~path ~kind:"test" ~fingerprint:fp
+          ~resume:true ()
+      in
+      Alcotest.(check (list string)) "collapsed" [ "epoch" ] (Checkpoint.keys j');
+      Checkpoint.remove j "epoch";
+      Alcotest.(check (list string)) "removed" [] (Checkpoint.keys j);
+      Checkpoint.delete j;
+      Alcotest.(check bool) "file deleted" false (Sys.file_exists path);
+      (* newlines in keys or payloads are caller bugs, rejected eagerly *)
+      Alcotest.check_raises "newline key"
+        (Invalid_argument "Checkpoint: record key contains a newline")
+        (fun () -> Checkpoint.set j "bad\nkey" []);
+      Alcotest.check_raises "newline payload"
+        (Invalid_argument "Checkpoint: payload line contains a newline")
+        (fun () -> Checkpoint.set j "key" [ "bad\nline" ]))
+
+let test_journal_rejections () =
+  let path = tmp_path "journal-rej" in
+  let fp = Checkpoint.fingerprint [ ("size", "64") ] in
+  Fun.protect
+    ~finally:(fun () -> cleanup path)
+    (fun () ->
+      expect_diag "missing file" (fun () ->
+          Checkpoint.open_journal ~path ~kind:"test" ~fingerprint:fp
+            ~resume:true ());
+      write_file path "not a checkpoint\n";
+      expect_diag "bad magic" (fun () ->
+          Checkpoint.open_journal ~path ~kind:"test" ~fingerprint:fp
+            ~resume:true ());
+      write_file path (Printf.sprintf "DAISYCKPT 99 test\nfingerprint %s\n" fp);
+      expect_diag "unsupported version" (fun () ->
+          Checkpoint.open_journal ~path ~kind:"test" ~fingerprint:fp
+            ~resume:true ());
+      (* a real journal of another kind / another configuration *)
+      let j =
+        Checkpoint.open_journal ~path ~kind:"seed" ~fingerprint:fp
+          ~resume:false ()
+      in
+      Checkpoint.set j "r" [ "x" ];
+      expect_diag "kind mismatch" (fun () ->
+          Checkpoint.open_journal ~path ~kind:"bench" ~fingerprint:fp
+            ~resume:true ());
+      expect_diag "fingerprint mismatch" (fun () ->
+          Checkpoint.open_journal ~path ~kind:"seed"
+            ~fingerprint:(Checkpoint.fingerprint [ ("size", "128") ])
+            ~resume:true ());
+      (* the matching invocation still resumes *)
+      let j' =
+        Checkpoint.open_journal ~path ~kind:"seed" ~fingerprint:fp
+          ~resume:true ()
+      in
+      Alcotest.(check (option (list string)))
+        "matching resume" (Some [ "x" ]) (Checkpoint.find j' "r"))
+
+let test_journal_corrupt_record_skipped () =
+  let path = tmp_path "journal-corrupt" in
+  let fp = Checkpoint.fingerprint [] in
+  Fun.protect
+    ~finally:(fun () -> cleanup path)
+    (fun () ->
+      let j =
+        Checkpoint.open_journal ~path ~kind:"test" ~fingerprint:fp
+          ~resume:false ()
+      in
+      Checkpoint.set j "good" [ "payload g" ];
+      Checkpoint.set j "bad" [ "payload b" ];
+      (* flip the bad record's payload on disk without fixing its checksum *)
+      let text = read_file path in
+      let corrupted =
+        Str.global_replace (Str.regexp_string "| payload b") "| tampered" text
+      in
+      Alcotest.(check bool) "fixture tampered" true (text <> corrupted);
+      write_file path corrupted;
+      let j' =
+        Checkpoint.open_journal ~path ~kind:"test" ~fingerprint:fp
+          ~resume:true ()
+      in
+      Alcotest.(check (option (list string)))
+        "good record kept" (Some [ "payload g" ])
+        (Checkpoint.find j' "good");
+      Alcotest.(check (option (list string)))
+        "corrupt record dropped" None (Checkpoint.find j' "bad");
+      Alcotest.(check int) "one warning" 1 (List.length (Checkpoint.warnings j'));
+      Alcotest.(check bool) "warning names the checksum" true
+        (String.length (List.hd (Checkpoint.warnings j')) > 0))
+
+let test_journal_crash_loses_only_update_in_flight () =
+  with_faults (fun () ->
+      let path = tmp_path "journal-crash" in
+      let fp = Checkpoint.fingerprint [] in
+      Fun.protect
+        ~finally:(fun () -> cleanup path)
+        (fun () ->
+          let j =
+            Checkpoint.open_journal ~path ~kind:"test" ~fingerprint:fp
+              ~resume:false ()
+          in
+          Checkpoint.set j "gen/0" [ "first snapshot" ];
+          (* the 2nd persist crashes between write-temp and rename *)
+          Fault.arm_nth "checkpoint_save" 1;
+          (match Checkpoint.set j "gen/1" [ "second snapshot" ] with
+          | () -> Alcotest.fail "expected the injected crash"
+          | exception Fault.Injected "checkpoint_save" -> ());
+          (* on disk: the previous complete snapshot, nothing torn *)
+          let j' =
+            Checkpoint.open_journal ~path ~kind:"test" ~fingerprint:fp
+              ~resume:true ()
+          in
+          Alcotest.(check (list string))
+            "previous snapshot intact" [ "gen/0" ] (Checkpoint.keys j');
+          Alcotest.(check bool) "no temp left" true (no_temp_left path)))
+
+(* ------------------------------------------------------------------ *)
+(* Config fingerprints *)
+
+let test_fingerprint_sensitivity () =
+  let fp = Checkpoint.fingerprint in
+  Alcotest.(check string)
+    "deterministic"
+    (fp [ ("a", "1"); ("b", "2") ])
+    (fp [ ("a", "1"); ("b", "2") ]);
+  Alcotest.(check bool) "value change" true
+    (fp [ ("a", "1") ] <> fp [ ("a", "2") ]);
+  Alcotest.(check bool) "key change" true
+    (fp [ ("a", "1") ] <> fp [ ("b", "1") ]);
+  Alcotest.(check bool) "extra pair" true
+    (fp [ ("a", "1") ] <> fp [ ("a", "1"); ("b", "2") ]);
+  (* quoting means pair boundaries cannot be forged by embedded separators *)
+  Alcotest.(check bool) "no concatenation ambiguity" true
+    (fp [ ("a", "1\"=\"2") ] <> fp [ ("a", "1"); ("", "2") ]);
+  Alcotest.(check int) "16 hex digits" 16 (String.length (fp []))
+
+(* ------------------------------------------------------------------ *)
+(* RNG state round-trip *)
+
+let test_rng_state_roundtrip () =
+  let r = Rng.of_string "checkpoint-test" in
+  for _ = 1 to 5 do ignore (Rng.next_int64 r) done;
+  let saved = Rng.state r in
+  let draws rng = List.init 20 (fun _ -> Rng.next_int64 rng) in
+  let reference = draws r in
+  Alcotest.(check (list int64))
+    "restore continues the stream" reference
+    (draws (Rng.restore saved));
+  Rng.set_state r saved;
+  Alcotest.(check (list int64)) "set_state rewinds in place" reference (draws r);
+  (* serialization used by the snapshots: %016Lx round-trips the state *)
+  let printed = Printf.sprintf "%016Lx" saved in
+  Alcotest.(check int64)
+    "hex round-trip" saved
+    (Int64.of_string ("0x" ^ printed))
+
+(* ------------------------------------------------------------------ *)
+(* The greedy shrinker *)
+
+let test_shrink_minimizes () =
+  let xs = List.init 20 (fun i -> i + 1) in
+  let shrunk = Shrink.list ~still_fails:(fun l -> List.mem 7 l) xs in
+  Alcotest.(check (list int)) "single witness" [ 7 ] shrunk;
+  let shrunk =
+    Shrink.list
+      ~still_fails:(fun l -> List.mem 3 l && List.mem 5 l && List.mem 9 l)
+      xs
+  in
+  Alcotest.(check (list int)) "set witness, order kept" [ 3; 5; 9 ] shrunk
+
+let test_shrink_bounds_and_exceptions () =
+  let checks = ref 0 in
+  let shrunk =
+    Shrink.list ~max_checks:5
+      ~still_fails:(fun l ->
+        incr checks;
+        List.mem 1 l)
+      (List.init 100 (fun i -> i))
+  in
+  Alcotest.(check bool) "bounded" true (!checks <= 5);
+  Alcotest.(check bool) "still failing" true (List.mem 1 shrunk);
+  (* a predicate that raises counts as "no longer failing": the input
+     comes back unchanged and the shrinker never raises *)
+  let xs = [ 1; 2; 3; 4 ] in
+  let shrunk =
+    Shrink.list
+      ~still_fails:(fun l -> if List.length l < 4 then failwith "boom" else true)
+      xs
+  in
+  Alcotest.(check (list int)) "exceptions contained" xs shrunk
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    Alcotest.test_case "monotonic clock never decreases" `Quick
+      test_monotonic_clock;
+    Alcotest.test_case "cooperative deadlines" `Quick test_deadline_basics;
+    Alcotest.test_case "atomic_write replaces atomically" `Quick
+      test_atomic_write_success;
+    Alcotest.test_case "atomic_write crash keeps the old file" `Quick
+      test_atomic_write_crash_keeps_old;
+    Alcotest.test_case "journal round-trips" `Quick test_journal_roundtrip;
+    Alcotest.test_case "journal set_many collapses atomically" `Quick
+      test_journal_set_many_and_delete;
+    Alcotest.test_case "journal rejects mismatched headers" `Quick
+      test_journal_rejections;
+    Alcotest.test_case "corrupt records are skipped with a warning" `Quick
+      test_journal_corrupt_record_skipped;
+    Alcotest.test_case "a crashed persist loses only the update in flight"
+      `Quick test_journal_crash_loses_only_update_in_flight;
+    Alcotest.test_case "config fingerprints are sensitive" `Quick
+      test_fingerprint_sensitivity;
+    Alcotest.test_case "rng state round-trips" `Quick test_rng_state_roundtrip;
+    Alcotest.test_case "shrinker minimizes failing lists" `Quick
+      test_shrink_minimizes;
+    Alcotest.test_case "shrinker is bounded and contains exceptions" `Quick
+      test_shrink_bounds_and_exceptions;
+  ]

@@ -22,4 +22,6 @@ let () =
       ("parallel", Test_parallel.suite);
       ("extensions", Test_extensions.suite);
       ("robustness", Test_robustness.suite);
+      ("checkpoint", Test_checkpoint.suite);
+      ("resume", Test_resume.suite);
     ]

@@ -1,0 +1,442 @@
+(** Kill/resume differential tests (docs/robustness.md, "Checkpoint &
+    resume"): a search or seeding run killed at any snapshot boundary and
+    resumed — with a fresh cache, from the on-disk journal — finishes
+    bit-identical to the uninterrupted run, at any job count. Plus the
+    supervision layer: per-evaluation deadlines, retry-once-then-exclude,
+    and the quarantine sink with shrunk reproducers. *)
+
+module Ir = Daisy_loopir.Ir
+module Util = Daisy_support.Util
+module Rng = Daisy_support.Rng
+module Fault = Daisy_support.Fault
+module Pool = Daisy_support.Pool
+module Checkpoint = Daisy_support.Checkpoint
+module Recipe = Daisy_transforms.Recipe
+module S = Daisy_scheduler
+
+let lower = Daisy_lang.Lower.program_of_string ~source:"test.c"
+
+(* Deliberately not BLAS-shaped: these nests survive idiom detection and
+   actually exercise the evolutionary search. *)
+
+let one_nest_src =
+  {|void f(int n, double A[n][n], double B[n][n]) {
+      for (int i = 0; i < n; i++)
+        for (int j = 0; j < n; j++)
+          A[i][j] = B[i][j] * 2.0 + B[j][i];
+    }|}
+
+let two_nest_src =
+  {|void f(int n, double A[n][n], double B[n][n], double s[n]) {
+      for (int i = 0; i < n; i++)
+        for (int j = 0; j < n; j++)
+          A[i][j] = B[i][j] * 2.0 + B[j][i];
+      for (int i = 0; i < n; i++)
+        for (int j = 0; j < n; j++)
+          s[i] += A[i][j];
+    }|}
+
+let sizes = [ ("n", 12) ]
+let ctx () = S.Common.make_ctx ~sizes ()
+
+let one_nest () =
+  let p = lower one_nest_src in
+  let nest =
+    match p.Ir.body with [ Ir.Nloop l ] -> l | _ -> Alcotest.fail "one nest"
+  in
+  (p, nest)
+
+let with_faults f =
+  Fun.protect ~finally:Fault.clear (fun () -> Fault.clear (); f ())
+
+let tmp_path name =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "daisy-resume-%d-%s" (Unix.getpid ()) name)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let result_t = Alcotest.(pair string (float 0.0))
+(* a search result compared exactly: (printed best recipe, fitness) *)
+
+(* ------------------------------------------------------------------ *)
+(* Evolve.search: kill at every generation boundary, resume bit-identically *)
+
+exception Killed of S.Evolve.snapshot
+
+let search_result ?pool ?cache ?on_generation ?resume (p, nest) seeds =
+  let rng = Rng.of_string "resume-test" in
+  let best, ms =
+    S.Evolve.search ~population:6 ~iterations:3 ?cache ?pool ?on_generation
+      ?resume (ctx ()) p nest ~seeds ~rng
+  in
+  (Recipe.to_string best, ms)
+
+let check_search_resume ~jobs () =
+  let ((_, nest) as unit_) = one_nest () in
+  let seeds = S.Tiramisu.proposals nest in
+  Pool.with_pool ~jobs (fun pool ->
+      let reference = search_result ?pool unit_ seeds in
+      (* iterations = 3 emits snapshots at gens 0, 1, 2 and 3 *)
+      List.iter
+        (fun kill_gen ->
+          let snap =
+            match
+              search_result ?pool
+                ~on_generation:(fun s ->
+                  if s.S.Evolve.gen = kill_gen then raise (Killed s))
+                unit_ seeds
+            with
+            | _ -> Alcotest.failf "gen %d: search survived the kill" kill_gen
+            | exception Killed s -> s
+          in
+          (* resume with a fresh cache: every fitness the killed run knew
+             must come back from the snapshot, not from shared memory *)
+          let resumed =
+            search_result ?pool ~cache:(S.Evolve.create_cache ()) ~resume:snap
+              unit_ seeds
+          in
+          Alcotest.check result_t
+            (Printf.sprintf "killed at gen %d, jobs %d" kill_gen jobs)
+            reference resumed)
+        [ 0; 1; 2; 3 ])
+
+let test_search_resume_seq () = check_search_resume ~jobs:1 ()
+let test_search_resume_par () = check_search_resume ~jobs:4 ()
+
+(* the snapshot round-trips through the journal serialization too *)
+let test_search_resume_serialized () =
+  let ((_, nest) as unit_) = one_nest () in
+  let seeds = S.Tiramisu.proposals nest in
+  let reference = search_result unit_ seeds in
+  let snap =
+    match
+      search_result
+        ~on_generation:(fun s -> if s.S.Evolve.gen = 2 then raise (Killed s))
+        unit_ seeds
+    with
+    | _ -> Alcotest.fail "search survived the kill"
+    | exception Killed s -> s
+  in
+  let snap' =
+    match S.Seed.(snapshot_of_lines (snapshot_to_lines snap)) with
+    | Some s -> s
+    | None -> Alcotest.fail "snapshot did not round-trip"
+  in
+  Alcotest.check result_t "resume from serialized snapshot" reference
+    (search_result ~cache:(S.Evolve.create_cache ()) ~resume:snap' unit_ seeds)
+
+(* ------------------------------------------------------------------ *)
+(* Seed.seed_database: crash the journal persist, reload from disk,
+   finish with a byte-identical database *)
+
+let seed_fp = lazy (Checkpoint.fingerprint [ ("test", "seed-resume") ])
+
+let seed_db_bytes ?journal ?pool name =
+  let db = S.Database.create () in
+  S.Seed.seed_database ~epochs:2 ~population:4 ~iterations:2 ?pool ?journal
+    (ctx ()) ~db
+    [ ("k", lower two_nest_src) ];
+  let out = tmp_path name in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove out with Sys_error _ -> ())
+    (fun () ->
+      S.Database.save db out;
+      read_file out)
+
+let check_seed_resume ~jobs ~nth () =
+  with_faults (fun () ->
+      let jpath = tmp_path (Printf.sprintf "seed-journal-%d-%d" jobs nth) in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove jpath with Sys_error _ -> ())
+        (fun () ->
+          Pool.with_pool ~jobs (fun pool ->
+              let reference = seed_db_bytes ?pool "seed-ref" in
+              let open_j resume =
+                Checkpoint.open_journal ~path:jpath ~kind:"test-seed"
+                  ~fingerprint:(Lazy.force seed_fp) ~resume ()
+              in
+              (* crash the nth journal persist (between write-temp and
+                 rename), exactly like a kill at that instant *)
+              let j = open_j false in
+              Fault.arm_nth "checkpoint_save" nth;
+              (match seed_db_bytes ~journal:j ?pool "seed-crashed" with
+              | _ ->
+                  Alcotest.failf "jobs %d nth %d: seeding survived the crash"
+                    jobs nth
+              | exception Fault.Injected "checkpoint_save" -> ());
+              Fault.disarm "checkpoint_save";
+              (* a real crash loses the process: resume strictly from the
+                 on-disk journal. A crash before the very first persist
+                 leaves no file at all — then the rerun starts fresh,
+                 which must converge to the same database too. *)
+              let j' = open_j (Sys.file_exists jpath) in
+              Alcotest.(check (list string))
+                "no load warnings" [] (Checkpoint.warnings j');
+              let resumed = seed_db_bytes ~journal:j' ?pool "seed-resumed" in
+              Alcotest.(check bool)
+                (Printf.sprintf
+                   "database byte-identical after crash at persist %d, jobs %d"
+                   nth jobs)
+                true
+                (String.equal reference resumed))))
+
+(* 2 nests x 2 epochs x (3 generation snapshots + 1 completion) + 2 epoch
+   commits = 18 persists: kill points near the start, middle and end *)
+let test_seed_resume_seq () =
+  List.iter (fun nth -> check_seed_resume ~jobs:1 ~nth ()) [ 1; 5; 9 ]
+
+let test_seed_resume_par () =
+  List.iter (fun nth -> check_seed_resume ~jobs:4 ~nth ()) [ 1; 5; 9 ]
+
+(* ------------------------------------------------------------------ *)
+(* Pool.map_supervised: deadlines, retry-once, fatal exceptions *)
+
+let check_supervised_deadline ~jobs () =
+  Pool.with_pool ~jobs (fun pool ->
+      let ran = Atomic.make 0 in
+      let results =
+        Pool.map_supervised ?pool ~deadline_s:0.0
+          (fun x ->
+            Atomic.incr ran;
+            x)
+          [ 1; 2; 3; 4 ]
+      in
+      Alcotest.(check int) "four slots" 4 (List.length results);
+      List.iter
+        (function
+          | Error Util.Deadline_exceeded -> ()
+          | Error e ->
+              Alcotest.failf "expected Deadline_exceeded, got %s"
+                (Printexc.to_string e)
+          | Ok _ -> Alcotest.fail "expected every task to exceed its deadline")
+        results;
+      (* an expired deadline trips before the task body runs *)
+      Alcotest.(check int) "task bodies never ran" 0 (Atomic.get ran))
+
+let test_supervised_deadline_seq () = check_supervised_deadline ~jobs:1 ()
+let test_supervised_deadline_par () = check_supervised_deadline ~jobs:4 ()
+
+let check_supervised_retry ~jobs () =
+  Pool.with_pool ~jobs (fun pool ->
+      (* persistent failure: exactly two attempts per task, Error in-slot *)
+      let attempts = Atomic.make 0 in
+      let results =
+        Pool.map_supervised ?pool
+          (fun _ ->
+            Atomic.incr attempts;
+            failwith "boom")
+          [ 1; 2; 3 ]
+      in
+      Alcotest.(check int) "retried exactly once each" 6 (Atomic.get attempts);
+      List.iter
+        (function
+          | Error (Failure m) when m = "boom" -> ()
+          | _ -> Alcotest.fail "expected Error (Failure boom)")
+        results;
+      (* flaky failure: the retry succeeds and the slot is Ok *)
+      let first = Array.init 4 (fun _ -> Atomic.make true) in
+      let results =
+        Pool.map_supervised ?pool
+          (fun i ->
+            if Atomic.compare_and_set first.(i) true false then
+              failwith "flaky first attempt"
+            else i * 10)
+          [ 0; 1; 2; 3 ]
+      in
+      Alcotest.(check (list int))
+        "all recovered on retry, order preserved" [ 0; 10; 20; 30 ]
+        (List.map
+           (function Ok v -> v | Error _ -> Alcotest.fail "retry failed")
+           results))
+
+let test_supervised_retry_seq () = check_supervised_retry ~jobs:1 ()
+let test_supervised_retry_par () = check_supervised_retry ~jobs:4 ()
+
+let test_supervised_fatal () =
+  (* fatal exceptions poison the batch like Pool.map instead of being
+     captured — interrupts must not be swallowed into an Error slot *)
+  Alcotest.check_raises "fatal poisons the batch" Stdlib.Exit (fun () ->
+      ignore
+        (Pool.map_supervised
+           ~fatal:(function Stdlib.Exit -> true | _ -> false)
+           (fun _ -> raise Stdlib.Exit)
+           [ 1; 2 ]));
+  (* mixed outcomes keep their slots *)
+  let results =
+    Pool.map_supervised
+      (fun i -> if i mod 2 = 0 then failwith "even" else i)
+      [ 1; 2; 3; 4 ]
+  in
+  Alcotest.(check (list bool))
+    "order preserved" [ true; false; true; false ]
+    (List.map (function Ok _ -> true | Error _ -> false) results)
+
+(* ------------------------------------------------------------------ *)
+(* Quarantine: a crashing candidate never kills the search; a shrunk
+   reproducer lands in the quarantine directory *)
+
+let check_quarantine_crash ~jobs () =
+  with_faults (fun () ->
+      let dir = tmp_path (Printf.sprintf "quarantine-%d" jobs) in
+      Fun.protect
+        ~finally:(fun () -> rm_rf dir)
+        (fun () ->
+          let q = S.Quarantine.create ~dir () in
+          let p, nest = one_nest () in
+          Fault.arm_always "eval_candidate";
+          let best, ms =
+            Pool.with_pool ~jobs (fun pool ->
+                S.Evolve.search ~population:4 ~iterations:2 ?pool ~quarantine:q
+                  (ctx ()) p nest
+                  ~seeds:(S.Tiramisu.proposals nest)
+                  ~rng:(Rng.of_string "quarantine-test"))
+          in
+          (* every candidate crashed: the search still completed, and the
+             only honest answer is "no recipe, infinite fitness" *)
+          Alcotest.(check bool) "search completed with infinity" true
+            (ms = infinity);
+          Alcotest.(check string) "empty recipe" (Recipe.to_string [])
+            (Recipe.to_string best);
+          Alcotest.(check bool) "reproducers written" true
+            (S.Quarantine.count q >= 1);
+          let files = Sys.readdir dir in
+          Alcotest.(check bool) "files on disk" true (Array.length files >= 1);
+          let content = read_file (Filename.concat dir files.(0)) in
+          Alcotest.(check bool) "self-describing header" true
+            (String.length content > 0
+            && String.sub content 0 27 = "daisy quarantine reproducer");
+          List.iter
+            (fun needle ->
+              let re = Str.regexp_string needle in
+              Alcotest.(check bool)
+                (needle ^ " present") true
+                (try
+                   ignore (Str.search_forward re content 0);
+                   true
+                 with Not_found -> false))
+            [ "reason:"; "Fault.Injected"; "sizes: n=12"; "recipe (shrunk)" ]))
+
+let test_quarantine_crash_seq () = check_quarantine_crash ~jobs:1 ()
+let test_quarantine_crash_par () = check_quarantine_crash ~jobs:4 ()
+
+let test_quarantine_deadline () =
+  let dir = tmp_path "quarantine-deadline" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let q = S.Quarantine.create ~dir () in
+      let p, nest = one_nest () in
+      (* an already-expired per-evaluation deadline: every candidate is
+         excluded, the search and the caller still finish *)
+      let ctx = S.Common.make_ctx ~sizes ~eval_deadline:0.0 () in
+      let _, ms =
+        S.Evolve.search ~population:4 ~iterations:2 ~quarantine:q ctx p nest
+          ~seeds:(S.Tiramisu.proposals nest)
+          ~rng:(Rng.of_string "deadline-test")
+      in
+      Alcotest.(check bool) "completed with infinity" true (ms = infinity);
+      Alcotest.(check bool) "deadline failures quarantined" true
+        (S.Quarantine.count q >= 1))
+
+let test_quarantine_dedup_and_cap () =
+  let dir = tmp_path "quarantine-cap" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let q = S.Quarantine.create ~max_repros:2 ~dir () in
+      let p, _ = one_nest () in
+      let still_fails _ _ = true in
+      let report reason recipe =
+        S.Quarantine.report q ~reason ~sizes ~program:p ~recipe ~still_fails
+      in
+      Alcotest.(check bool) "first written" true (report "r1" [] <> None);
+      Alcotest.(check bool) "duplicate suppressed" true (report "r1" [] = None);
+      Alcotest.(check bool) "second written" true (report "r2" [] <> None);
+      Alcotest.(check bool) "cap reached" true (report "r3" [] = None);
+      Alcotest.(check int) "count" 2 (S.Quarantine.count q))
+
+(* ------------------------------------------------------------------ *)
+(* Daisy.schedule: a miscompiling database recipe is excluded and reported *)
+
+let test_miscompile_excluded () =
+  with_faults (fun () ->
+      let ctx = ctx () in
+      let p = lower two_nest_src in
+      let db = S.Database.create () in
+      S.Seed.seed_database ~epochs:1 ~population:4 ~iterations:2 ctx ~db
+        [ ("k", p) ];
+      Alcotest.(check bool) "db seeded" true (S.Database.size db > 0);
+      let has_recipe (r : S.Daisy.schedule_report) =
+        List.exists
+          (fun d ->
+            match d.S.Daisy.action with `Recipe _ -> true | _ -> false)
+          r.S.Daisy.decisions
+      in
+      let dir_ok = tmp_path "miscompile-ok"
+      and dir_bad = tmp_path "miscompile-bad" in
+      Fun.protect
+        ~finally:(fun () -> rm_rf dir_ok; rm_rf dir_bad)
+        (fun () ->
+          (* verification on: equivalent recipes still transfer *)
+          let q_ok = S.Quarantine.create ~dir:dir_ok () in
+          let honest = S.Daisy.schedule ~quarantine:q_ok ctx ~db p in
+          Alcotest.(check int) "honest recipes pass verification" 0
+            (S.Quarantine.count q_ok);
+          (* every equivalence check "miscompiles": no recipe may be
+             scheduled, but the run must still complete *)
+          Fault.arm_always "equiv_miscompile";
+          let q_bad = S.Quarantine.create ~dir:dir_bad () in
+          let report = S.Daisy.schedule ~quarantine:q_bad ctx ~db p in
+          Alcotest.(check bool) "no miscompiled recipe scheduled" false
+            (has_recipe report);
+          if has_recipe honest then
+            Alcotest.(check bool) "miscompiles reported" true
+              (S.Quarantine.count q_bad >= 1)))
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    Alcotest.test_case "search kill/resume is bit-identical (jobs 1)" `Quick
+      test_search_resume_seq;
+    Alcotest.test_case "search kill/resume is bit-identical (jobs 4)" `Quick
+      test_search_resume_par;
+    Alcotest.test_case "search resumes from a serialized snapshot" `Quick
+      test_search_resume_serialized;
+    Alcotest.test_case "seeding crash/resume is byte-identical (jobs 1)"
+      `Quick test_seed_resume_seq;
+    Alcotest.test_case "seeding crash/resume is byte-identical (jobs 4)"
+      `Quick test_seed_resume_par;
+    Alcotest.test_case "supervised deadline trips every task (jobs 1)" `Quick
+      test_supervised_deadline_seq;
+    Alcotest.test_case "supervised deadline trips every task (jobs 4)" `Quick
+      test_supervised_deadline_par;
+    Alcotest.test_case "supervised retry-once semantics (jobs 1)" `Quick
+      test_supervised_retry_seq;
+    Alcotest.test_case "supervised retry-once semantics (jobs 4)" `Quick
+      test_supervised_retry_par;
+    Alcotest.test_case "fatal exceptions poison the batch" `Quick
+      test_supervised_fatal;
+    Alcotest.test_case "crashing candidates are quarantined (jobs 1)" `Quick
+      test_quarantine_crash_seq;
+    Alcotest.test_case "crashing candidates are quarantined (jobs 4)" `Quick
+      test_quarantine_crash_par;
+    Alcotest.test_case "deadline failures are quarantined" `Quick
+      test_quarantine_deadline;
+    Alcotest.test_case "quarantine dedups and caps reproducers" `Quick
+      test_quarantine_dedup_and_cap;
+    Alcotest.test_case "miscompiling recipes never schedule" `Quick
+      test_miscompile_excluded;
+  ]

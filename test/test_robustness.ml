@@ -326,6 +326,41 @@ let test_db_load_fault_point () =
           Alcotest.(check int) "second entry dropped" 2 (S.Database.size db');
           Alcotest.(check int) "fault warned" 1 (List.length warnings)))
 
+let test_db_save_crash_keeps_old_file () =
+  with_faults (fun () ->
+      let db, nest = make_db () in
+      let path = Filename.temp_file "daisydb" ".db" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          S.Database.save db path;
+          (* a save killed mid-stream (the per-entry "db_save" fault fires
+             while the temp file is being written) must leave the old
+             database untouched and clean up its temp file *)
+          let bigger = S.Database.create () in
+          S.Database.merge ~into:bigger db;
+          S.Database.add bigger ~source:"extra" ~nest ~recipe:[];
+          Fault.arm_nth "db_save" 2;
+          (match S.Database.save bigger path with
+          | () -> Alcotest.fail "expected the injected db_save crash"
+          | exception Fault.Injected "db_save" -> ());
+          let db', warnings = S.Database.load path in
+          Alcotest.(check (list string)) "no warnings" [] warnings;
+          check_same_entries "old database intact" db db';
+          let dir = Filename.dirname path and base = Filename.basename path in
+          Alcotest.(check bool) "no temp file left" true
+            (Array.for_all
+               (fun f ->
+                 not
+                   (String.length f > String.length base
+                   && String.sub f 0 (String.length base) = base
+                   && f <> base))
+               (Sys.readdir dir));
+          (* the unfaulted save then replaces the file as one atomic step *)
+          S.Database.save bigger path;
+          let db'', _ = S.Database.load path in
+          check_same_entries "new database readable" bigger db''))
+
 (* ------------------------------------------------------------------ *)
 (* Query edge cases *)
 
@@ -577,6 +612,8 @@ let suite =
       test_db_tolerates_truncation;
     Alcotest.test_case "db: whole-file errors" `Quick test_db_whole_file_errors;
     Alcotest.test_case "db: load fault point" `Quick test_db_load_fault_point;
+    Alcotest.test_case "db: crashed save keeps the old file" `Quick
+      test_db_save_crash_keeps_old_file;
     Alcotest.test_case "query: edge cases" `Quick test_query_edge_cases;
     Alcotest.test_case "recipe: of_string roundtrip" `Quick
       test_recipe_of_string_roundtrip;
