@@ -25,6 +25,10 @@ let experiments =
      Micro.trace_bench_full);
     ("trace-smoke", "trace engine comparison, two kernels (CI smoke)",
      Micro.trace_bench_smoke);
+    ("ann", "ANN index: query latency vs database size, 10^2..10^6 (BENCH_ann.json)",
+     Micro.ann_bench_full);
+    ("ann-smoke", "ANN index comparison up to 10^5 entries (CI smoke)",
+     Micro.ann_bench_smoke);
   ]
 
 let () =
@@ -79,7 +83,9 @@ let () =
            full engine comparisons *)
         List.filter_map
           (fun (n, _, _) ->
-            if n = "interp-smoke" || n = "trace-smoke" then None else Some n)
+            if n = "interp-smoke" || n = "trace-smoke" || n = "ann-smoke" then
+              None
+            else Some n)
           experiments
     | names -> names
   in

@@ -398,6 +398,151 @@ let seed_speedup () =
   in
   Format.printf "  parallel == sequential entries: %b@." identical
 
+(* ------------------------------------------------------------------ *)
+(* ANN index: query latency vs database size (BENCH_ann.json)           *)
+
+module Ann = Daisy_embedding.Ann
+module Embedding = Daisy_embedding.Embedding
+module Rng = Daisy_support.Rng
+
+(** Synthetic embedding databases shaped like the real thing: each
+    coordinate of a real embedding is a log-compressed count, and a big
+    recipe database is a union of kernel families, not uniform noise —
+    so vectors are drawn as jittered copies of a few hundred cluster
+    centres on the log-compressed grid. Deterministic per size. *)
+let synth_embeddings n : float array array =
+  let rng = Rng.of_string (Printf.sprintf "bench-ann-%d" n) in
+  let log_compress x = if x > 1.0 then 1.0 +. log x else x in
+  let centres =
+    Array.init (min 512 (max 8 (n / 16))) (fun _ ->
+        Array.init Embedding.dim (fun _ ->
+            log_compress (float_of_int (Rng.int rng 4096))))
+  in
+  Array.init n (fun _ ->
+      let c = centres.(Rng.int rng (Array.length centres)) in
+      Array.map
+        (fun v ->
+          if Rng.int rng 4 = 0 then v +. (0.25 *. Rng.float rng) else v)
+        c)
+
+let synth_queries rng (vecs : float array array) : float array list =
+  List.init 20 (fun _ ->
+      let v = vecs.(Rng.int rng (Array.length vecs)) in
+      Array.map
+        (fun x -> if Rng.int rng 8 = 0 then x +. (0.1 *. Rng.float rng) else x)
+        v)
+
+type ann_row = {
+  an : int;
+  scan_s : float;  (** per-query seconds, linear scan *)
+  kd_build_s : float;
+  kd_s : float;
+  lsh_build_s : float;
+  lsh_s : float;
+  agree : bool;  (** exact top-k agreement on every query *)
+}
+
+(** Perf-trajectory record for the ANN index: per-query latency of the
+    linear scan vs both index structures across database sizes, plus the
+    exactness check. Accumulated across PRs by CI (see
+    docs/performance.md). *)
+let write_ann_json ~path (rows : ann_row list) =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n  \"bench\": \"ann\",\n  \"schema\": 1,\n  \"results\": [\n";
+  List.iteri
+    (fun i r ->
+      out
+        "    {\"n\": %d, \"scan_s\": %.9f, \"kd_build_s\": %.6f, \
+         \"kd_query_s\": %.9f, \"lsh_build_s\": %.6f, \"lsh_query_s\": \
+         %.9f, \"kd_speedup\": %.2f, \"lsh_speedup\": %.2f, \"agree\": \
+         %b}%s\n"
+        r.an r.scan_s r.kd_build_s r.kd_s r.lsh_build_s r.lsh_s
+        (r.scan_s /. r.kd_s) (r.scan_s /. r.lsh_s) r.agree
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  out "  ]\n}\n";
+  close_out oc
+
+(** [ann_bench ~smoke ()] — top-5 query latency of the linear scan vs the
+    k-d tree and LSH-bucket indexes over synthetic embedding databases of
+    10^2..10^6 entries (10^5 in the smoke configuration), with an exact
+    top-k agreement check on every query, written to BENCH_ann.json. The
+    acceptance bar (docs/performance.md): at 10^5 entries the indexed
+    query is >= 10x faster than the scan. *)
+let ann_bench ?(smoke = false) () =
+  let k = 5 in
+  let reps = if smoke then 1 else 3 in
+  let sizes =
+    [ 100; 1_000; 10_000; 100_000 ] @ (if smoke then [] else [ 1_000_000 ])
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let vecs = synth_embeddings n in
+        let queries = synth_queries (Rng.of_string "bench-ann-q") vecs in
+        let nq = float_of_int (List.length queries) in
+        let entries = Array.to_list (Array.mapi (fun i v -> (i, v)) vecs) in
+        let scan q =
+          Embedding.nearest_by ~embed:snd k entries q
+          |> List.map (fun (d, (i, _)) -> (d, i))
+        in
+        let scan_s =
+          median_time reps (fun () -> List.iter (fun q -> ignore (scan q)) queries)
+          /. nq
+        in
+        let t0 = Unix.gettimeofday () in
+        let kd =
+          Ann.build ~algo:Ann.Kd ~fingerprint:"bench" ~dim:Embedding.dim vecs
+        in
+        let kd_build_s = Unix.gettimeofday () -. t0 in
+        let t0 = Unix.gettimeofday () in
+        let lsh =
+          Ann.build ~algo:Ann.Lsh ~fingerprint:"bench" ~dim:Embedding.dim vecs
+        in
+        let lsh_build_s = Unix.gettimeofday () -. t0 in
+        let kd_s =
+          median_time reps (fun () ->
+              List.iter (fun q -> ignore (Ann.query kd ~k q)) queries)
+          /. nq
+        in
+        let lsh_s =
+          median_time reps (fun () ->
+              List.iter (fun q -> ignore (Ann.query lsh ~k q)) queries)
+          /. nq
+        in
+        let agree =
+          List.for_all
+            (fun q ->
+              let expect = scan q in
+              Ann.query kd ~k q = expect && Ann.query lsh ~k q = expect)
+            queries
+        in
+        { an = n; scan_s; kd_build_s; kd_s; lsh_build_s; lsh_s; agree })
+      sizes
+  in
+  Format.printf "@.ANN index: top-%d query latency vs database size@." k;
+  Format.printf "  %10s %12s %12s %8s %12s %8s %6s@." "entries" "scan (s)"
+    "kd (s)" "vs scan" "lsh (s)" "vs scan" "exact";
+  List.iter
+    (fun r ->
+      Format.printf "  %10d %12.3e %12.3e %7.1fx %12.3e %7.1fx %6b@." r.an
+        r.scan_s r.kd_s (r.scan_s /. r.kd_s) r.lsh_s (r.scan_s /. r.lsh_s)
+        r.agree)
+    rows;
+  (match List.find_opt (fun r -> r.an = 100_000) rows with
+  | Some r ->
+      Format.printf
+        "  acceptance: at 1e5 entries kd is %.1fx the scan (bar: >= 10x), \
+         agreement %b@."
+        (r.scan_s /. r.kd_s) r.agree
+  | None -> ());
+  write_ann_json ~path:"BENCH_ann.json" rows;
+  Format.printf "  [wrote BENCH_ann.json]@."
+
+let ann_bench_full () = ann_bench ()
+let ann_bench_smoke () = ann_bench ~smoke:true ()
+
 let run () =
   seed_speedup ();
   Format.printf "@.Toolchain micro-benchmarks (bechamel)@.";

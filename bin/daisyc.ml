@@ -133,6 +133,15 @@ let db_in_arg =
                $(b,daisyc seed) instead of seeding it from the input \
                kernel. Corrupt entries are skipped with a warning.")
 
+let index_arg =
+  Arg.(value & flag & info [ "index" ]
+         ~doc:"With $(b,--db-in) $(i,FILE): query the database through a \
+               persisted ANN index at $(i,FILE)$(b,.ann), building it \
+               automatically when missing, corrupt or stale (the index \
+               stores a fingerprint of the database contents). Results \
+               are bit-identical to the linear scan; see \
+               docs/performance.md.")
+
 let eval_deadline_arg =
   Arg.(value & opt (some float) None & info [ "eval-deadline" ] ~docv:"SEC"
          ~doc:"Per-candidate wall-clock deadline for search evaluation, in \
@@ -260,7 +269,7 @@ let normalize_cmd =
 
 let schedule_cmd =
   let run file defs threads jobs sample_outer engine eval_budget eval_deadline
-      db_in checkpoint resume quarantine_dir =
+      db_in index checkpoint resume quarantine_dir =
     let p = load file in
     run_protected (fun () ->
         let sizes = sizes_of defs p in
@@ -287,6 +296,18 @@ let schedule_cmd =
                     [ (p.Ir.pname, p) ]);
               db
         in
+        (match (index, db_in) with
+        | false, _ -> ()
+        | true, None ->
+            Fmt.epr "daisyc: warning: --index has no effect without --db-in@."
+        | true, Some path -> (
+            let ann_path = path ^ ".ann" in
+            match S.Database.load_index db ann_path with
+            | Ok desc -> Fmt.pr "ann index: loaded (%s)@." desc
+            | Error reason ->
+                Fmt.pr "ann index: rebuilding (%s)@." reason;
+                let desc = S.Database.rebuild_index db ann_path in
+                Fmt.pr "ann index: built (%s) -> %s@." desc ann_path));
         let report = S.Daisy.schedule ?quarantine ctx ~db p in
         Option.iter Daisy.Support.Checkpoint.delete journal;
         report_quarantine quarantine;
@@ -304,8 +325,8 @@ let schedule_cmd =
     (Cmd.info "schedule" ~doc:"Normalize, auto-schedule and simulate a kernel")
     Term.(const run $ file_arg $ defines_arg $ threads_arg $ jobs_arg
           $ sample_outer_arg $ engine_arg $ eval_budget_arg
-          $ eval_deadline_arg $ db_in_arg $ checkpoint_arg $ resume_arg
-          $ quarantine_arg)
+          $ eval_deadline_arg $ db_in_arg $ index_arg $ checkpoint_arg
+          $ resume_arg $ quarantine_arg)
 
 let seed_cmd =
   let run files defs threads jobs sample_outer engine eval_budget

@@ -132,41 +132,66 @@ let distance (a : t) (b : t) : float =
     a;
   sqrt !acc
 
+(** Total order on [(distance, embedding)] ranking keys: by distance
+    first, then lexicographically by embedding coordinates. This is the
+    tie-break contract every top-k path in the toolchain (the linear scan
+    below, {!Ann}'s k-d tree and LSH buckets) agrees on: entries at equal
+    distance rank by their embedding, so the result is independent of the
+    order the database happens to store them in. Only entries with
+    bit-equal embeddings remain order-dependent — they are broken by
+    arrival order (the scan) / entry index (the index), which coincide. *)
+let compare_key ((d1 : float), (e1 : t)) ((d2 : float), (e2 : t)) : int =
+  if d1 < d2 then -1
+  else if d1 > d2 then 1
+  else
+    let n1 = Array.length e1 and n2 = Array.length e2 in
+    let rec go i =
+      if i >= n1 || i >= n2 then compare n1 n2
+      else if e1.(i) < e2.(i) then -1
+      else if e1.(i) > e2.(i) then 1
+      else go (i + 1)
+    in
+    go 0
+
 (** [nearest_by ~embed k entries q] — the [k] entries closest to query
     [q], closest first. O(n*k) bounded insertion instead of sorting the
-    whole database; ties keep the earlier entry first, exactly like a
-    stable full sort, so results are unchanged. *)
+    whole database. Ranking is by {!compare_key} — distance, then the
+    embedding lexicographically — so the returned list is the same for
+    any permutation of [entries]; only bit-equal embeddings fall back to
+    keeping the earlier entry first (like a stable full sort). *)
 let nearest_by ~(embed : 'a -> t) (k : int) (entries : 'a list) (q : t) :
     (float * 'a) list =
   if k <= 0 then []
   else begin
-    (* [best] is ascending by distance, at most [k] long; [worst] is the
-       distance of its last element once full *)
+    (* [best] is ascending by (distance, embedding, arrival), at most [k]
+       long; [worst] is the ranking key of its last element once full *)
     let best = ref [] in
     let count = ref 0 in
-    let worst = ref infinity in
-    let rec insert d payload l =
+    let worst = ref None in
+    let rec insert key payload l =
       match l with
-      | [] -> [ (d, payload) ]
-      | ((d', _) as hd) :: tl ->
-          (* strict [<]: an equal-distance newcomer goes after — stable *)
-          if d < d' then (d, payload) :: l else hd :: insert d payload tl
+      | [] -> [ (key, payload) ]
+      | ((key', _) as hd) :: tl ->
+          (* strict [<]: an equal-key newcomer goes after — stable *)
+          if compare_key key key' < 0 then (key, payload) :: l
+          else hd :: insert key payload tl
     in
     List.iter
       (fun entry ->
-        let d = distance (embed entry) q in
-        if !count < k then begin
-          best := insert d entry !best;
-          incr count;
-          if !count = k then
-            worst := fst (List.nth !best (k - 1))
-        end
-        else if d < !worst then begin
-          best := Util.take k (insert d entry !best);
-          worst := fst (List.nth !best (k - 1))
-        end)
+        let e = embed entry in
+        let key = (distance e q, e) in
+        match !worst with
+        | None ->
+            best := insert key entry !best;
+            incr count;
+            if !count = k then worst := Some (fst (List.nth !best (k - 1)))
+        | Some w ->
+            if compare_key key w < 0 then begin
+              best := Util.take k (insert key entry !best);
+              worst := Some (fst (List.nth !best (k - 1)))
+            end)
       entries;
-    !best
+    List.map (fun ((d, _), payload) -> (d, payload)) !best
   end
 
 (** [nearest k db q] — the [k] database entries closest to query [q]. *)

@@ -13,11 +13,21 @@ val of_node : Daisy_loopir.Ir.node -> t
 val distance : t -> t -> float
 (** Euclidean distance. *)
 
+val compare_key : float * t -> float * t -> int
+(** Total order on [(distance, embedding)] ranking keys: distance first,
+    then the embedding lexicographically. The shared tie-break contract
+    of every top-k path ({!nearest_by}, {!Ann}): entries at equal
+    distance rank by their embedding coordinates, making results
+    independent of database order; only bit-equal embeddings fall back
+    to arrival order / entry index (which coincide). *)
+
 val nearest_by : embed:('a -> t) -> int -> 'a list -> t -> (float * 'a) list
 (** [nearest_by ~embed k entries q] — the [k] entries closest to [q],
     nearest first, comparing [embed entry] against [q]. O(n*k) bounded
-    insertion (no full sort, no intermediate pair list); ties keep the
-    earlier entry first, exactly like a stable full sort. *)
+    insertion (no full sort, no intermediate pair list). Ranked by
+    {!compare_key}, so the result is the same for any permutation of
+    [entries]; only entries with bit-equal embeddings keep their
+    arrival order (earlier first, like a stable full sort). *)
 
 val nearest : int -> (t * 'a) list -> t -> (float * 'a) list
 (** [nearest k db q] — the [k] entries closest to [q], nearest first.

@@ -9,6 +9,7 @@
 module Ir = Daisy_loopir.Ir
 module Recipe = Daisy_transforms.Recipe
 module Embedding = Daisy_embedding.Embedding
+module Ann = Daisy_embedding.Ann
 module Diag = Daisy_support.Diag
 module Fault = Daisy_support.Fault
 
@@ -19,10 +20,15 @@ type entry = {
   canon_hash : int;  (** canonical structure hash of the normalized nest *)
 }
 
-type t = { mutable entries : entry list }
+type t = {
+  mutable entries : entry list;
+  mutable index : (Ann.t * entry array) option;
+      (* ANN index over [entries] plus the entry snapshot its indices
+         refer to; any mutation of [entries] detaches it *)
+}
 
-let create () = { entries = [] }
-let of_entries entries = { entries }
+let create () = { entries = []; index = None }
+let of_entries entries = { entries; index = None }
 
 let size db = List.length db.entries
 
@@ -34,7 +40,8 @@ let add db ~source ~(nest : Ir.loop) ~(recipe : Recipe.t) =
       recipe;
       canon_hash = Ir.hash_structure [ Ir.Nloop nest ];
     }
-    :: db.entries
+    :: db.entries;
+  db.index <- None
 
 let entries db = db.entries
 
@@ -42,16 +49,9 @@ let entries db = db.entries
     if [src]'s adds had been replayed on [into] in their original order.
     Lets independent shards be seeded in parallel and combined in a fixed
     order, reproducing the sequential database bit-for-bit. *)
-let merge ~into src = into.entries <- src.entries @ into.entries
-
-(** [query db ~k nest] — the [k] entries nearest to [nest] in embedding
-    space (closest first). Scans the entries directly — no per-query
-    intermediate pair list. *)
-let query db ~k (nest : Ir.loop) : (float * entry) list =
-  if k <= 0 then []
-  else
-    let q = Embedding.of_node (Ir.Nloop nest) in
-    Embedding.nearest_by ~embed:(fun e -> e.embedding) k db.entries q
+let merge ~into src =
+  into.entries <- src.entries @ into.entries;
+  into.index <- None
 
 (** Entries whose normalized structure is identical to [nest] — exact
     transfer hits. *)
@@ -251,4 +251,102 @@ let load (path : string) : t * string list =
             i := !j + 1
           end
   done;
-  ({ entries = List.rev !entries }, List.rev !warnings)
+  ({ entries = List.rev !entries; index = None }, List.rev !warnings)
+
+(* ------------------------------------------------------------------ *)
+(* Sub-linear queries: an optional ANN index over the entries.
+
+   The index is a pure accelerator — [query]'s results are bit-identical
+   with and without it (Ann's contract is exact top-k agreement with
+   [Embedding.nearest_by], tie order included). Staleness is detected by
+   a fingerprint of the database contents; any mutation ([add]/[merge])
+   detaches an attached index. A corrupt index never fails a query: the
+   first page that misses its checksum detaches the index, emits one
+   warning, bumps {!index_fallbacks}, and the query re-runs as a scan. *)
+
+(** Fingerprint of the database contents: the checksum of every entry's
+    serialized body, in order. [save]/[load] round-trip entries exactly
+    ([%h] floats), so the fingerprint survives persistence — an index
+    built before a save still attaches after the reload. *)
+let fingerprint (db : t) : string =
+  checksum (String.concat "\n" (List.concat_map entry_body db.entries))
+
+let index_fallback_count = Atomic.make 0
+
+let index_fallbacks () = Atomic.get index_fallback_count
+let reset_index_fallbacks () = Atomic.set index_fallback_count 0
+
+let has_index db = db.index <> None
+let detach_index db = db.index <- None
+
+let index_description db =
+  Option.map (fun (ann, _) -> Ann.describe ann) db.index
+
+let build_index ?algo (db : t) : unit =
+  let arr = Array.of_list db.entries in
+  let ann =
+    Ann.build ?algo ~fingerprint:(fingerprint db) ~dim:Embedding.dim
+      (Array.map (fun e -> e.embedding) arr)
+  in
+  db.index <- Some (ann, arr)
+
+let save_index (db : t) (path : string) : unit =
+  match db.index with
+  | None -> invalid_arg "Database.save_index: no index attached"
+  | Some (ann, _) -> Ann.save ann path
+
+(** [load_index db path] — attach a persisted index to [db].
+    [Ok description] on success; [Error reason] when the file is
+    missing, corrupt, a different version, or stale (its stored
+    fingerprint differs from [fingerprint db]) — the caller decides
+    whether to rebuild or just scan. *)
+let load_index (db : t) (path : string) : (string, string) result =
+  match Ann.load ~path ~fingerprint:(fingerprint db) with
+  | Error m -> Error m
+  | Ok ann ->
+      if Ann.n ann <> size db then
+        Error
+          (Printf.sprintf "%s: index covers %d entries, database has %d" path
+             (Ann.n ann) (size db))
+      else begin
+        db.index <- Some (ann, Array.of_list db.entries);
+        Ok (Ann.describe ann)
+      end
+
+(** [rebuild_index db path] — build a fresh index over the current
+    contents, persist it atomically at [path], attach it, and return its
+    description. *)
+let rebuild_index ?algo (db : t) (path : string) : string =
+  build_index ?algo db;
+  match db.index with
+  | Some (ann, _) ->
+      Ann.save ann path;
+      Ann.describe ann
+  | None -> assert false
+
+let scan db ~k (q : Embedding.t) : (float * entry) list =
+  Embedding.nearest_by ~embed:(fun e -> e.embedding) k db.entries q
+
+(** [query_embedding db ~k q] — the [k] entries nearest to [q] in
+    embedding space (closest first): through the ANN index when one is
+    attached, as a linear scan otherwise, with bit-identical results
+    either way. *)
+let query_embedding (db : t) ~k (q : Embedding.t) : (float * entry) list =
+  if k <= 0 then []
+  else
+    match db.index with
+    | None -> scan db ~k q
+    | Some (ann, arr) -> (
+        try List.map (fun (d, i) -> (d, arr.(i))) (Ann.query ann ~k q)
+        with Ann.Corrupt m ->
+          Atomic.incr index_fallback_count;
+          db.index <- None;
+          Fmt.epr "%a@." Diag.pp
+            (Diag.make ~severity:Diag.Warn
+               "ann index unusable (%s) — falling back to linear scan" m);
+          scan db ~k q)
+
+(** [query db ~k nest] — the [k] entries nearest to [nest] in embedding
+    space (closest first). *)
+let query db ~k (nest : Ir.loop) : (float * entry) list =
+  query_embedding db ~k (Embedding.of_node (Ir.Nloop nest))

@@ -34,7 +34,51 @@ val merge : into:t -> t -> unit
     had been replayed on [into] in order (for parallel shard seeding). *)
 
 val query : t -> k:int -> Daisy_loopir.Ir.loop -> (float * entry) list
-(** The [k] nearest entries in embedding space, closest first. *)
+(** The [k] nearest entries in embedding space, closest first. Runs
+    through the ANN index when one is attached (see {!build_index} /
+    {!load_index}), as a linear scan otherwise — with bit-identical
+    results either way (exact top-k agreement, tie order included). *)
+
+val query_embedding : t -> k:int -> Daisy_embedding.Embedding.t -> (float * entry) list
+(** {!query} for a pre-computed query embedding. *)
+
+val fingerprint : t -> string
+(** FNV-1a-64 fingerprint of the database contents (every entry's
+    serialized body, in order) — the staleness rule for persisted ANN
+    indexes. Survives a {!save}/{!load} round-trip. *)
+
+val build_index : ?algo:Daisy_embedding.Ann.algo -> t -> unit
+(** Build and attach an in-memory ANN index over the current entries.
+    The index is a pure accelerator: {!query} results do not change.
+    Any later {!add}/{!merge} detaches it. *)
+
+val save_index : t -> string -> unit
+(** Persist the attached index atomically ([DAISYANN 1] format).
+    Raises [Invalid_argument] if no index is attached. *)
+
+val load_index : t -> string -> (string, string) result
+(** [load_index db path] — attach a persisted index (paged: entry
+    vectors load lazily per query). [Ok description] on success;
+    [Error reason] when the file is missing, corrupt, a different
+    version, or stale ({!fingerprint} mismatch). A page corruption
+    discovered later, mid-query, is also safe: the query falls back to
+    the linear scan with one warning (see {!index_fallbacks}). *)
+
+val rebuild_index : ?algo:Daisy_embedding.Ann.algo -> t -> string -> string
+(** Build a fresh index, persist it at the given path, attach it, and
+    return its description. *)
+
+val has_index : t -> bool
+val detach_index : t -> unit
+
+val index_description : t -> string option
+(** Description of the attached index, if any. *)
+
+val index_fallbacks : unit -> int
+(** Process-wide count of queries that hit a corrupt index and fell
+    back to the linear scan. *)
+
+val reset_index_fallbacks : unit -> unit
 
 val exact_matches : t -> Daisy_loopir.Ir.loop -> entry list
 (** Entries whose normalized structure is identical — exact transfer

@@ -9,7 +9,9 @@
     Injection points in the tree today: ["interp_compile"] (compiled
     interpreter entry), ["trace_compile"] (compiled trace engine entry),
     ["pool_task"] (every pool-executed task), ["db_load"] (every database
-    entry parsed from disk). See docs/robustness.md.
+    entry parsed from disk), ["ann_build"] (every ANN index page written
+    to disk), ["ann_query"] (every ANN index query). See
+    docs/robustness.md.
 
     Triggers:
     - [always] — fire on every call;

@@ -17,6 +17,7 @@ let () =
       ("lift", Test_lift.suite);
       ("arraylang", Test_arraylang.suite);
       ("scheduler", Test_scheduler.suite);
+      ("ann", Test_ann.suite);
       ("benchmarks", Test_benchmarks.suite);
       ("property", Test_property.suite);
       ("parallel", Test_parallel.suite);
