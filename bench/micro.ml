@@ -70,11 +70,11 @@ let benchmarks =
 
 module Interp = Daisy_interp.Interp
 
-(** The kernels and problem sizes of the interpreter comparison. "tiny"
-    is each kernel's interpreter test size; "default" is that size scaled
-    4x linearly — large enough that execution dominates compilation, small
+(** The interpreter comparison sweeps every PolyBench kernel. "tiny" is
+    each kernel's interpreter test size; "default" is that size scaled 4x
+    linearly — large enough that execution dominates engine setup, small
     enough that the tree oracle finishes promptly. *)
-let interp_kernels = [ Pb.gemm; Pb.atax; Pb.jacobi_2d ]
+let interp_kernels = Pb.all
 
 let interp_bench_sizes (b : Pb.benchmark) =
   [ ("tiny", b.Pb.test_sizes);
@@ -95,18 +95,17 @@ type interp_row = {
   size_label : string;
   sizes : (string * int) list;
   tree_s : float;
-  compiled_s : float;
+  closure_s : float;
+  bytecode_s : float;
 }
 
-let speedup r = r.tree_s /. r.compiled_s
-
 (** Machine-readable perf-trajectory record: one JSON object per
-    (kernel, size) with tree and compiled wall-clock. Accumulated across
-    PRs by CI (see docs/performance.md). *)
+    (kernel, size) with the wall-clock of all three semantic engines.
+    Accumulated across PRs by CI (see docs/performance.md). *)
 let write_interp_json ~path (rows : interp_row list) =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
-  out "{\n  \"bench\": \"interp\",\n  \"schema\": 1,\n  \"results\": [\n";
+  out "{\n  \"bench\": \"interp\",\n  \"schema\": 2,\n  \"results\": [\n";
   List.iteri
     (fun i r ->
       let sizes =
@@ -115,19 +114,34 @@ let write_interp_json ~path (rows : interp_row list) =
       in
       out
         "    {\"kernel\": \"%s\", \"size\": \"%s\", \"sizes\": {%s}, \
-         \"tree_s\": %.6f, \"compiled_s\": %.6f, \"speedup\": %.2f}%s\n"
-        r.kernel r.size_label sizes r.tree_s r.compiled_s (speedup r)
+         \"tree_s\": %.6f, \"closure_s\": %.6f, \"bytecode_s\": %.6f, \
+         \"speedup_closure\": %.2f, \"speedup_bytecode\": %.2f, \
+         \"closure_over_bytecode\": %.2f}%s\n"
+        r.kernel r.size_label sizes r.tree_s r.closure_s r.bytecode_s
+        (r.tree_s /. r.closure_s)
+        (r.tree_s /. r.bytecode_s)
+        (r.closure_s /. r.bytecode_s)
         (if i = List.length rows - 1 then "" else ","))
     rows;
   out "  ]\n}\n";
   close_out oc
 
-(** [interp_bench ~smoke ()] — wall-clock of the tree-walking oracle vs
-    the compiled engine, plus a bitwise-identity check of their final
-    states, written to BENCH_interp.json. [~smoke:true] restricts to tiny
-    sizes with one repetition (the CI smoke configuration). *)
+let geomean xs =
+  exp
+    (List.fold_left (fun a x -> a +. log x) 0.0 xs
+    /. float_of_int (max 1 (List.length xs)))
+
+(** [interp_bench ~smoke ()] — engine wall-clock (compile + execute, on a
+    state prepared once per engine so allocation and initialization are
+    excluded) of the tree-walking oracle vs the closure-compiled engine
+    vs the flat-bytecode VM, plus a bitwise-identity check of their final
+    states, written to BENCH_interp.json. The headline number is the
+    geomean bytecode-over-closure ratio at the default (4x) sizes — the
+    acceptance bar is >= 3x (docs/performance.md, "Bytecode engine").
+    [~smoke:true] restricts to tiny sizes with one repetition (the CI
+    smoke configuration). *)
 let interp_bench ?(smoke = false) () =
-  let reps = if smoke then 1 else 5 in
+  let reps = if smoke then 1 else 3 in
   let rows =
     List.concat_map
       (fun (b : Pb.benchmark) ->
@@ -138,25 +152,40 @@ let interp_bench ?(smoke = false) () =
         in
         List.map
           (fun (size_label, sizes) ->
-            let tree_s =
-              median_time reps (fun () -> ignore (Interp.run_fresh p ~sizes ()))
+            let engine_time run =
+              let st = Interp.init p ~sizes () in
+              median_time reps (fun () -> run p st)
             in
-            let compiled_s =
-              median_time reps (fun () ->
-                  ignore (Interp.run_compiled_fresh p ~sizes ()))
-            in
-            { kernel = b.Pb.name; size_label; sizes; tree_s; compiled_s })
+            let tree_s = engine_time (fun p st -> Interp.run p st) in
+            let closure_s = engine_time (fun p st -> Interp.run_compiled p st) in
+            let bytecode_s = engine_time (fun p st -> Interp.run_bytecode p st) in
+            { kernel = b.Pb.name; size_label; sizes; tree_s; closure_s;
+              bytecode_s })
           sizes_list)
       interp_kernels
   in
-  Format.printf "@.Interpreter engines: tree-walking oracle vs compiled@.";
-  Format.printf "  %-12s %-8s %12s %12s %9s@." "kernel" "size" "tree (s)"
-    "compiled (s)" "speedup";
+  Format.printf "@.Interpreter engines: tree oracle vs closure vs bytecode@.";
+  Format.printf "  %-12s %-8s %12s %12s %12s %9s %9s@." "kernel" "size"
+    "tree (s)" "closure (s)" "bytecode (s)" "vs tree" "vs clos";
   List.iter
     (fun r ->
-      Format.printf "  %-12s %-8s %12.6f %12.6f %8.1fx@." r.kernel
-        r.size_label r.tree_s r.compiled_s (speedup r))
+      Format.printf "  %-12s %-8s %12.6f %12.6f %12.6f %8.1fx %8.2fx@."
+        r.kernel r.size_label r.tree_s r.closure_s r.bytecode_s
+        (r.tree_s /. r.bytecode_s)
+        (r.closure_s /. r.bytecode_s))
     rows;
+  let headline =
+    let selected =
+      if smoke then rows
+      else List.filter (fun r -> r.size_label = "default") rows
+    in
+    geomean (List.map (fun r -> r.closure_s /. r.bytecode_s) selected)
+  in
+  Format.printf
+    "  geomean bytecode speedup over closure (%s sizes): %.2fx (bar: >= 3x \
+     at default sizes)@."
+    (if smoke then "tiny" else "default")
+    headline;
   (* the states must be bitwise identical, not just fast *)
   let identical =
     List.for_all
@@ -164,10 +193,11 @@ let interp_bench ?(smoke = false) () =
         let p = Pb.program b in
         let s1 = Interp.run_fresh p ~sizes:b.Pb.test_sizes () in
         let s2 = Interp.run_compiled_fresh p ~sizes:b.Pb.test_sizes () in
-        Interp.max_rel_diff p s1 s2 = 0.0)
+        let s3 = Interp.run_bytecode_fresh p ~sizes:b.Pb.test_sizes () in
+        Interp.max_rel_diff p s1 s2 = 0.0 && Interp.max_rel_diff p s1 s3 = 0.0)
       interp_kernels
   in
-  Format.printf "  compiled == tree final states: %b@." identical;
+  Format.printf "  closure == bytecode == tree final states: %b@." identical;
   write_interp_json ~path:"BENCH_interp.json" rows;
   Format.printf "  [wrote BENCH_interp.json]@."
 
@@ -179,6 +209,7 @@ let interp_bench_smoke () = interp_bench ~smoke:true ()
 
 module Trace = Daisy_machine.Trace
 module Tc = Daisy_machine.Trace_compile
+module Tb = Daisy_machine.Trace_bc
 
 (** Per-candidate comparison set: the kernels whose cost-model walks
     dominate scheduler search time, at the same sizes and outer-sample
@@ -206,6 +237,7 @@ type trace_row = {
   tsizes : (string * int) list;
   tree_s : float;
   tcompiled_s : float;
+  tbytecode_s : float;
   approx_s : float;
   exact_identical : bool;
   approx_rel_err : float;
@@ -220,7 +252,7 @@ type e2e_row = { engine_name : string; seed_s : float }
 let write_trace_json ~path (rows : trace_row list) (e2e : e2e_row list) =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
-  out "{\n  \"bench\": \"trace\",\n  \"schema\": 1,\n  \"results\": [\n";
+  out "{\n  \"bench\": \"trace\",\n  \"schema\": 2,\n  \"results\": [\n";
   List.iteri
     (fun i r ->
       let sizes =
@@ -229,11 +261,13 @@ let write_trace_json ~path (rows : trace_row list) (e2e : e2e_row list) =
       in
       out
         "    {\"kernel\": \"%s\", \"sizes\": {%s}, \"tree_s\": %.6f, \
-         \"compiled_s\": %.6f, \"approx_s\": %.6f, \
-         \"speedup_compiled\": %.2f, \"speedup_approx\": %.2f, \
+         \"compiled_s\": %.6f, \"bytecode_s\": %.6f, \"approx_s\": %.6f, \
+         \"speedup_compiled\": %.2f, \"speedup_bytecode\": %.2f, \
+         \"speedup_approx\": %.2f, \
          \"exact_identical\": %b, \"approx_rel_err\": %.4f}%s\n"
-        r.tkernel sizes r.tree_s r.tcompiled_s r.approx_s
+        r.tkernel sizes r.tree_s r.tcompiled_s r.tbytecode_s r.approx_s
         (r.tree_s /. r.tcompiled_s)
+        (r.tree_s /. r.tbytecode_s)
         (r.tree_s /. r.approx_s)
         r.exact_identical r.approx_rel_err
         (if i = List.length rows - 1 then "" else ","))
@@ -273,7 +307,8 @@ let trace_seed_wallclock ~smoke (engine : Cost.engine) =
   Unix.gettimeofday () -. t0
 
 (** [trace_bench ~smoke ()] — wall-clock of the tree trace walker vs the
-    compiled engine (bit-identical) and the sampled engine (approximate),
+    closure-compiled engine vs the flat-bytecode engine (both
+    bit-identical to the tree) and the sampled engine (approximate),
     written to BENCH_trace.json. [~smoke:true] restricts to two kernels
     with one repetition (the CI smoke configuration). *)
 let trace_bench ?(smoke = false) () =
@@ -293,6 +328,12 @@ let trace_bench ?(smoke = false) () =
                 (Tc.run Config.default p ~sizes
                    ~sample_outer:trace_sample_outer ()))
         in
+        let tbytecode_s =
+          median_time reps (fun () ->
+              ignore
+                (Tb.run Config.default p ~sizes
+                   ~sample_outer:trace_sample_outer ()))
+        in
         let approx_s =
           median_time reps (fun () ->
               ignore
@@ -300,43 +341,53 @@ let trace_bench ?(smoke = false) () =
                    ~sample_outer:trace_sample_outer ~approx:Tc.default_approx
                    ()))
         in
+        let tree_counters =
+          Trace.run Config.default p ~sizes ~sample_outer:trace_sample_outer ()
+        in
         let exact_identical =
-          List.for_all2 Tc.counters_equal
-            (Trace.run Config.default p ~sizes
-               ~sample_outer:trace_sample_outer ())
+          List.for_all2 Tc.counters_equal tree_counters
             (Tc.run Config.default p ~sizes ~sample_outer:trace_sample_outer
                ())
+          && List.for_all2 Tc.counters_equal tree_counters
+               (Tb.run Config.default p ~sizes
+                  ~sample_outer:trace_sample_outer ())
         in
         let c_exact = trace_cycles Cost.Compiled p ~sizes in
         let c_approx = trace_cycles (Cost.Approx Tc.default_approx) p ~sizes in
         let approx_rel_err = Float.abs (c_approx -. c_exact) /. c_exact in
-        { tkernel = name; tsizes = sizes; tree_s; tcompiled_s; approx_s;
-          exact_identical; approx_rel_err })
+        { tkernel = name; tsizes = sizes; tree_s; tcompiled_s; tbytecode_s;
+          approx_s; exact_identical; approx_rel_err })
       (trace_cases ~smoke)
   in
-  Format.printf "@.Trace engines: tree walker vs compiled vs sampled@.";
-  Format.printf "  %-16s %10s %12s %10s %8s %8s %7s %6s@." "kernel"
-    "tree (s)" "compiled (s)" "approx (s)" "vs tree" "vs tree" "exact"
-    "err";
+  Format.printf "@.Trace engines: tree walker vs compiled vs bytecode vs \
+                 sampled@.";
+  Format.printf "  %-16s %10s %12s %12s %10s %8s %8s %7s %6s@." "kernel"
+    "tree (s)" "compiled (s)" "bytecode (s)" "approx (s)" "vs tree" "vs comp"
+    "exact" "err";
   List.iter
     (fun r ->
-      Format.printf "  %-16s %10.5f %12.5f %10.5f %7.1fx %7.1fx %7b %5.1f%%@."
-        r.tkernel r.tree_s r.tcompiled_s r.approx_s
-        (r.tree_s /. r.tcompiled_s)
-        (r.tree_s /. r.approx_s)
+      Format.printf
+        "  %-16s %10.5f %12.5f %12.5f %10.5f %7.1fx %7.2fx %7b %5.1f%%@."
+        r.tkernel r.tree_s r.tcompiled_s r.tbytecode_s r.approx_s
+        (r.tree_s /. r.tbytecode_s)
+        (r.tcompiled_s /. r.tbytecode_s)
         r.exact_identical
         (100.0 *. r.approx_rel_err))
     rows;
   let geomean xs = exp (List.fold_left (fun a x -> a +. log x) 0.0 xs
                         /. float_of_int (List.length xs)) in
-  Format.printf "  geomean speedup vs tree: compiled %.1fx, approx %.1fx@."
+  Format.printf
+    "  geomean speedup vs tree: compiled %.1fx, bytecode %.1fx, approx \
+     %.1fx@."
     (geomean (List.map (fun r -> r.tree_s /. r.tcompiled_s) rows))
+    (geomean (List.map (fun r -> r.tree_s /. r.tbytecode_s) rows))
     (geomean (List.map (fun r -> r.tree_s /. r.approx_s) rows));
   let e2e =
     List.map
       (fun (engine_name, engine) ->
         { engine_name; seed_s = trace_seed_wallclock ~smoke engine })
       [ ("tree", Cost.Tree); ("compiled", Cost.Compiled);
+        ("bytecode", Cost.Bytecode);
         ("approx", Cost.Approx Tc.default_approx) ]
   in
   Format.printf "@.End-to-end database seeding (Evolve.search inside):@.";

@@ -207,34 +207,85 @@ let run_compiled_fresh ?budget (p : Ir.program) ~sizes ?(scalars = [])
   Compile.run_fresh ?budget p ~sizes ~scalars ?init_fn ()
 
 (* ------------------------------------------------------------------ *)
-(* Guarded compiled runs: fall back to the oracle on engine failure      *)
+(* Bytecode fast path                                                   *)
+
+(** [run_bytecode p state] executes [p] with the flat-bytecode engine
+    ({!Bc_exec} over {!Daisy_lir.Bytecode}) — bitwise identical to {!run},
+    faster than {!run_compiled}. *)
+let run_bytecode ?budget (p : Ir.program) (state : state) =
+  Bc_exec.run ?budget p state
+
+(** [run_bytecode_fresh p ~sizes ...] — {!run_fresh} on the bytecode
+    engine. *)
+let run_bytecode_fresh ?budget (p : Ir.program) ~sizes ?(scalars = [])
+    ?init_fn () =
+  Bc_exec.run_fresh ?budget p ~sizes ~scalars ?init_fn ()
+
+(* ------------------------------------------------------------------ *)
+(* Engine selection                                                     *)
+
+(** The three semantic engines, slowest (and most obviously correct)
+    first. All are bit-identical on the differential suite; {!engine}
+    picks which one the {!equivalent} family runs. *)
+type engine = Tree | Closure | Bytecode
+
+let engine_of_string = function
+  | "tree" -> Some Tree
+  | "closure" -> Some Closure
+  | "bytecode" -> Some Bytecode
+  | _ -> None
+
+let string_of_engine = function
+  | Tree -> "tree"
+  | Closure -> "closure"
+  | Bytecode -> "bytecode"
+
+let default_engine = ref Bytecode
+
+(* ------------------------------------------------------------------ *)
+(* Guarded runs: degrade bytecode -> closure -> tree on engine failure   *)
 
 let fallbacks = Atomic.make 0
 
 let compiled_fallbacks () = Atomic.get fallbacks
 let reset_compiled_fallbacks () = Atomic.set fallbacks 0
 
-let warn_fallback exn =
+let warn_fallback ~from ~to_ exn =
   let n = Atomic.fetch_and_add fallbacks 1 + 1 in
   (* throttle to power-of-two counts so a hot loop of failures does not
      flood stderr *)
   if n land (n - 1) = 0 then
     Fmt.epr "%a@." Diag.pp
       (Diag.make ~severity:Diag.Warn
-         "compiled engine failed (%s); falling back to tree oracle (fallback #%d)"
-         (Printexc.to_string exn) n)
+         "%s engine failed (%s); falling back to %s engine (fallback #%d)"
+         from (Printexc.to_string exn) to_ n)
 
-(* [Runtime_error] and [Invalid_argument] are semantic — both engines
+(* [Runtime_error] and [Invalid_argument] are semantic — all engines
    raise them identically for the same program — so they propagate; any
-   other exception is an engine defect and triggers the oracle fallback.
-   [Budget.Exhausted] also propagates: the oracle would exhaust too. *)
+   other exception is an engine defect and triggers the next engine down
+   the chain. [Budget.Exhausted] also propagates: every engine would
+   exhaust too. *)
 let checked_run_fresh ?budget (p : Ir.program) ~sizes ~scalars () =
-  try run_compiled_fresh ?budget p ~sizes ~scalars ()
-  with
-  | (Runtime_error _ | Invalid_argument _ | Budget.Exhausted) as e -> raise e
-  | e ->
-      warn_fallback e;
-      run_fresh ?budget p ~sizes ~scalars ()
+  let closure_or_tree () =
+    try run_compiled_fresh ?budget p ~sizes ~scalars ()
+    with
+    | (Runtime_error _ | Invalid_argument _ | Budget.Exhausted) as e ->
+        raise e
+    | e ->
+        warn_fallback ~from:"closure" ~to_:"tree" e;
+        run_fresh ?budget p ~sizes ~scalars ()
+  in
+  match !default_engine with
+  | Tree -> run_fresh ?budget p ~sizes ~scalars ()
+  | Closure -> closure_or_tree ()
+  | Bytecode -> (
+      try run_bytecode_fresh ?budget p ~sizes ~scalars ()
+      with
+      | (Runtime_error _ | Invalid_argument _ | Budget.Exhausted) as e ->
+          raise e
+      | e ->
+          warn_fallback ~from:"bytecode" ~to_:"closure" e;
+          closure_or_tree ())
 
 (* ------------------------------------------------------------------ *)
 (* Comparison                                                           *)

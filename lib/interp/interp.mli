@@ -60,13 +60,42 @@ val run_compiled_fresh :
   state
 (** {!run_fresh} on the compiled engine. *)
 
+val run_bytecode :
+  ?budget:Daisy_support.Budget.t -> Daisy_loopir.Ir.program -> state -> unit
+(** Execute with the flat-bytecode engine ({!Bc_exec} over
+    {!Daisy_lir.Bytecode}): bitwise-identical final states and error
+    behavior, faster than {!run_compiled} (see [docs/performance.md],
+    "Bytecode engine"). *)
+
+val run_bytecode_fresh :
+  ?budget:Daisy_support.Budget.t ->
+  Daisy_loopir.Ir.program ->
+  sizes:(string * int) list ->
+  ?scalars:(string * float) list ->
+  ?init_fn:(string -> int -> float) ->
+  unit ->
+  state
+(** {!run_fresh} on the bytecode engine. *)
+
+type engine = Tree | Closure | Bytecode
+(** The three semantic engines, slowest first — all bit-identical on the
+    differential suite. *)
+
+val engine_of_string : string -> engine option
+val string_of_engine : engine -> string
+
+val default_engine : engine ref
+(** Engine the {!equivalent} family runs on (default [Bytecode]). A
+    failing engine degrades bytecode -> closure -> tree with throttled
+    warnings; semantic errors and [Budget.Exhausted] propagate. *)
+
 val compiled_fallbacks : unit -> int
-(** Number of times a guarded compiled run (the {!equivalent} family)
-    failed with a non-semantic exception and was transparently re-run on
-    the tree oracle. Each fallback logs a throttled warning to stderr.
-    Semantic errors ([Runtime_error], [Invalid_argument]) and
-    [Budget.Exhausted] propagate instead — both engines raise those
-    identically. *)
+(** Number of times a guarded run (the {!equivalent} family) failed with
+    a non-semantic exception and was transparently re-run on the next
+    engine down the bytecode -> closure -> tree chain. Each fallback logs
+    a throttled warning to stderr. Semantic errors ([Runtime_error],
+    [Invalid_argument]) and [Budget.Exhausted] propagate instead — all
+    engines raise those identically. *)
 
 val reset_compiled_fallbacks : unit -> unit
 

@@ -84,31 +84,37 @@ let nest_cycles (config : Config.t) ~(threads : int) (c : Trace.counters) :
 
 (** Which trace engine produces the counters. [Tree] is the original
     walker (the oracle); [Compiled] is the closure-tree engine, bit-identical
-    to the walker; [Approx] is the compiled engine with line-granular
+    to the walker; [Bytecode] is the flat-LIR engine, bit-identical to both
+    and the default; [Approx] is the compiled engine with line-granular
     stepping and adaptive loop sampling (bounded relative error, see
     docs/performance.md). *)
-type engine = Tree | Compiled | Approx of Trace_compile.approx
+type engine = Tree | Compiled | Bytecode | Approx of Trace_compile.approx
 
 let engine_of_string = function
   | "tree" -> Tree
   | "compiled" -> Compiled
+  | "bytecode" -> Bytecode
   | "approx" -> Approx Trace_compile.default_approx
-  | s -> invalid_arg ("unknown trace engine '" ^ s ^ "' (tree|compiled|approx)")
+  | s ->
+      invalid_arg
+        ("unknown trace engine '" ^ s ^ "' (tree|compiled|bytecode|approx)")
 
 let string_of_engine = function
   | Tree -> "tree"
   | Compiled -> "compiled"
+  | Bytecode -> "bytecode"
   | Approx _ -> "approx"
 
 (** [evaluate config p ~sizes ~threads ?sample_outer ?engine ?budget ()] —
     trace and cost a program. [budget] bounds the walked loop iterations;
     {!Daisy_support.Budget.Exhausted} escapes when it runs out. *)
 let evaluate (config : Config.t) (p : Ir.program) ~(sizes : (string * int) list)
-    ?(threads = 1) ?(sample_outer = 0) ?(engine = Compiled) ?budget () : report =
+    ?(threads = 1) ?(sample_outer = 0) ?(engine = Bytecode) ?budget () : report =
   let counters =
     match engine with
     | Tree -> Trace.run config p ~sizes ~sample_outer ?budget ()
     | Compiled -> Trace_compile.run config p ~sizes ~sample_outer ?budget ()
+    | Bytecode -> Trace_bc.run config p ~sizes ~sample_outer ?budget ()
     | Approx a ->
         Trace_compile.run config p ~sizes ~sample_outer ~approx:a ?budget ()
   in
@@ -146,43 +152,52 @@ let fallbacks = Atomic.make 0
 let engine_fallbacks () = Atomic.get fallbacks
 let reset_engine_fallbacks () = Atomic.set fallbacks 0
 
-let warn_fallback engine exn =
+let warn_fallback engine next exn =
   let n = Atomic.fetch_and_add fallbacks 1 + 1 in
   (* throttle to power-of-two counts so a search over thousands of
      candidates cannot flood stderr *)
   if n land (n - 1) = 0 then
     Fmt.epr "%a@." Diag.pp
       (Diag.make ~severity:Diag.Warn
-         "%s trace engine failed (%s); falling back to tree walker (fallback #%d)"
-         (string_of_engine engine) (Printexc.to_string exn) n)
+         "%s trace engine failed (%s); falling back to %s engine (fallback #%d)"
+         (string_of_engine engine) (Printexc.to_string exn)
+         (string_of_engine next) n)
 
 (** [evaluate_guarded config p ~sizes ... ?steps ()] — the resilient entry
     point the scheduler uses. Each attempt gets a fresh budget of [steps]
     walked loop iterations (unlimited when [steps] is [None]);
     [Budget.Exhausted] propagates so callers can map it to [infinity]
-    fitness. Any other failure of the compiled/approx engines logs a
-    throttled warning, bumps {!engine_fallbacks}, and transparently
-    re-runs on the tree walker with a fresh budget. *)
+    fitness. Any other failure of a non-tree engine logs a throttled
+    warning, bumps {!engine_fallbacks}, and transparently re-runs one
+    engine down the bytecode -> compiled -> tree chain with a fresh
+    budget. *)
 let evaluate_guarded (config : Config.t) (p : Ir.program)
     ~(sizes : (string * int) list) ?threads ?sample_outer
-    ?(engine = Compiled) ?steps () : report =
+    ?(engine = Bytecode) ?steps () : report =
   let budget () =
     match steps with Some n -> Budget.make ~steps:n | None -> Budget.unlimited ()
   in
-  match engine with
-  | Tree ->
-      evaluate config p ~sizes ?threads ?sample_outer ~engine:Tree
-        ~budget:(budget ()) ()
-  | (Compiled | Approx _) as eng -> (
-      try
-        evaluate config p ~sizes ?threads ?sample_outer ~engine:eng
-          ~budget:(budget ()) ()
-      with
-      | Budget.Exhausted as e -> raise e
-      | e ->
-          warn_fallback eng e;
-          evaluate config p ~sizes ?threads ?sample_outer ~engine:Tree
-            ~budget:(budget ()) ())
+  let attempt eng =
+    evaluate config p ~sizes ?threads ?sample_outer ~engine:eng
+      ~budget:(budget ()) ()
+  in
+  let rec go eng =
+    let next =
+      match eng with
+      | Bytecode -> Some Compiled
+      | Compiled | Approx _ -> Some Tree
+      | Tree -> None
+    in
+    match next with
+    | None -> attempt eng
+    | Some down -> (
+        try attempt eng with
+        | Budget.Exhausted as e -> raise e
+        | e ->
+            warn_fallback eng down e;
+            go down)
+  in
+  go engine
 
 (** Simulated milliseconds — the unit every experiment reports. *)
 let milliseconds (r : report) = r.seconds *. 1e3

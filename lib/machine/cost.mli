@@ -24,15 +24,17 @@ type report = {
 
 val nest_cycles : Config.t -> threads:int -> Trace.counters -> nest_cost
 
-type engine = Tree | Compiled | Approx of Trace_compile.approx
+type engine = Tree | Compiled | Bytecode | Approx of Trace_compile.approx
 (** Which trace engine produces the counters. [Tree] is the original walker
     (the oracle); [Compiled] is the closure-tree engine, bit-identical to
-    the walker; [Approx] adds line-granular stepping and adaptive loop
-    sampling with bounded relative error (docs/performance.md). *)
+    the walker; [Bytecode] is the flat-LIR engine ({!Trace_bc}),
+    bit-identical to both and the default; [Approx] adds line-granular
+    stepping and adaptive loop sampling with bounded relative error
+    (docs/performance.md). *)
 
 val engine_of_string : string -> engine
-(** Parse "tree" | "compiled" | "approx"; raises [Invalid_argument]
-    otherwise. *)
+(** Parse "tree" | "compiled" | "bytecode" | "approx"; raises
+    [Invalid_argument] otherwise. *)
 
 val string_of_engine : engine -> string
 
@@ -48,7 +50,7 @@ val evaluate :
   report
 (** Trace and cost a program ([sample_outer] > 0 samples the outermost loop
     of each top-level nest and extrapolates; [engine] defaults to
-    [Compiled]). [budget] bounds the walked loop iterations;
+    [Bytecode]). [budget] bounds the walked loop iterations;
     [Daisy_support.Budget.Exhausted] escapes when it runs out. *)
 
 val evaluate_guarded :
@@ -64,12 +66,12 @@ val evaluate_guarded :
 (** The resilient entry point the scheduler uses. Each attempt gets a
     fresh budget of [steps] walked loop iterations (unlimited when
     [None]); [Budget.Exhausted] propagates so callers can map it to
-    [infinity] fitness. Any other compiled/approx-engine failure logs a
+    [infinity] fitness. Any other non-tree-engine failure logs a
     throttled warning, bumps {!engine_fallbacks} and transparently
-    re-runs on the tree walker. *)
+    re-runs one engine down the bytecode -> compiled -> tree chain. *)
 
 val engine_fallbacks : unit -> int
-(** Times {!evaluate_guarded} fell back to the tree walker. *)
+(** Times {!evaluate_guarded} stepped down the engine chain. *)
 
 val reset_engine_fallbacks : unit -> unit
 

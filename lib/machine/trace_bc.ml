@@ -1,0 +1,357 @@
+(** Bytecode trace engine: the cost-model walk over the flat LIR.
+
+    The third trace engine. [Daisy_lir.Bytecode.lower ~hooks] produces one
+    trace section per top-level node — a flat [TLOOP]/[TLOOPBK]/[TCOMP]/
+    [TCALL] stream whose operands index side tables of pre-resolved loop
+    bounds, byte-address generators and computation descriptors — and this
+    module walks those streams against the shared [Cache] simulator.
+
+    {b Exact contract}: bit-identical counters to [Trace_compile.run] in
+    exact mode (and hence to [Trace.run]): the same float additions in the
+    same order, the same cache accesses in the same order, the same lazy
+    error behavior (per-entity descriptors are consulted at execution
+    time, so a node inside a zero-trip loop never raises), the same
+    first-execution spill-slot allocation order, the same cid-keyed
+    first-executed-occurrence memoization of computation contexts, and the
+    same depth-0 [sample_outer] semantics. [test/test_bytecode.ml]
+    enforces this differentially at jobs 1 and 4.
+
+    Approx mode (line stepping, adaptive sampling) stays exclusive to
+    [Trace_compile]; the bytecode engine only replaces the exact path.
+
+    Fault points: ["bc_compile"] fires inside lowering, ["bc_run"] before
+    the walk — [Cost.evaluate_guarded] degrades bytecode -> compiled ->
+    tree on either. *)
+
+open Daisy_support
+module Ir = Daisy_loopir.Ir
+module B = Daisy_lir.Bytecode
+
+(* ------------------------------------------------------------------ *)
+(* Lowering hooks                                                       *)
+
+(** Flops of a computation: rhs plus guard predicate, un-clamped —
+    replicates [Trace.compile_comp]'s accounting. *)
+let comp_flops (c : Ir.comp) : float =
+  let rec gp = function
+    | Ir.Pcmp (_, a, b) -> 1.0 +. Trace.vexpr_flops a +. Trace.vexpr_flops b
+    | Ir.Pand (a, b) | Ir.Por (a, b) -> 1.0 +. gp a +. gp b
+    | Ir.Pnot a -> 1.0 +. gp a
+  in
+  Trace.vexpr_flops c.Ir.rhs
+  +. (match c.Ir.guard with Some g -> gp g | None -> 0.0)
+
+(** Machine-model hooks over a concrete layout, so [Bytecode.lower] can
+    fold byte addresses and precompute spill/flop/stride facts without a
+    dependency on this library. *)
+let hooks_of_layout (layout : Trace.layout) : B.trace_hooks =
+  {
+    B.th_base_of =
+      (fun name ->
+        match layout.Trace.base_of name with
+        | b -> Some b
+        | exception Trace.Unsupported_trace _ -> None);
+    th_dims_of = layout.Trace.dims_of;
+    th_spills = Trace.spill_estimate;
+    th_comp_flops = comp_flops;
+    th_simd_stride = Trace.simd_stride;
+  }
+
+let lower (p : Ir.program) ~(param_env : int Util.SMap.t) : B.t =
+  let layout = Trace.layout_of p ~sizes:param_env in
+  B.lower ~hooks:(hooks_of_layout layout) ~sizes:param_env p
+
+(* ------------------------------------------------------------------ *)
+(* Runtime                                                              *)
+
+(** One bound (executable) access site of a computation occurrence. *)
+type csite = { cs_fn : unit -> int; cs_write : bool; cs_gather : bool }
+
+(** A computation occurrence bound at its first execution against the
+    cid-memoized context — mirrors the per-node closures of
+    [Trace_compile]. *)
+type ccomp = {
+  k_sites : csite array;
+  k_port : float;
+  k_class : int;
+  k_flops : float;
+  k_atomic : bool;
+  k_contended : bool;
+}
+
+(** Walk one trace section; returns its counters, exactly like
+    [Trace_compile.trace_node]. *)
+let trace_tnode (wctx : Trace.walk_ctx) (bc : B.t) (tn : B.tnode) :
+    Trace.counters =
+  let config = wctx.Trace.config in
+  let cache = wctx.Trace.cache in
+  let budget = wctx.Trace.budget in
+  let counters = Trace.zero_counters () in
+  let l1_before = Cache.copy_stats (Cache.l1_stats cache) in
+  let l2_before = Cache.copy_stats (Cache.l2_stats cache) in
+  let iters = Array.make (max 1 tn.B.t_nslots) 0 in
+  let xstack = Array.make (max 1 bc.B.max_xstack) 0 in
+  let bind ix =
+    B.binder ~pool:tn.B.t_pool ~xpool:tn.B.t_xpool ~names:bc.B.names
+      ~regs:iters ~xstack ix
+  in
+  let gather_mult = float_of_int config.Config.vector_width -. 1.0 in
+  let vw = float_of_int config.Config.vector_width in
+  (* loop runtime state, indexed by loop id (loops are not reentrant) *)
+  let nl = Array.length tn.B.t_loops in
+  let lo_fns = Array.make nl (fun () -> 0) in
+  let hi_fns = Array.make nl (fun () -> 0) in
+  Array.iteri
+    (fun i (w : B.tloop) ->
+      lo_fns.(i) <- bind tn.B.t_ixs.(w.B.w_lo);
+      hi_fns.(i) <- bind tn.B.t_ixs.(w.B.w_hi))
+    tn.B.t_loops;
+  let rem = Array.make (max 1 nl) 0 in
+  let cur = Array.make (max 1 nl) 0 in
+  let trips = Array.make (max 1 nl) 0 in
+  let counts = Array.make (max 1 nl) 0 in
+  (* spill slots: counts memoized per lid so duplicated subtrees share,
+     allocation order = first-execution order, base advances only for
+     loops that actually spill *)
+  let sp_n = Array.make (max 1 nl) (-1) in
+  let sp_base = Array.make (max 1 nl) 0 in
+  let spill_tbl : (int, int * int) Hashtbl.t = Hashtbl.create 8 in
+  let stack_base = ref 1024 in
+  (* computation occurrences: cid memo picks the first-executed occurrence
+     as the shared static context *)
+  let nc = Array.length tn.B.t_comps in
+  let comp_rt : ccomp option array = Array.make (max 1 nc) None in
+  let comp_memo : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let bind_site ~(in_simd : bool) (ts : B.tsite) : csite =
+    let fn =
+      match ts.B.ts_acc with
+      | B.Ta_aff (off, n) -> bind (B.Ix_aff (off, n))
+      | B.Ta_gen (base, dims, ixids) ->
+          let fns = Array.map (fun i -> bind tn.B.t_ixs.(i)) ixids in
+          let ni = Array.length fns and nd = Array.length dims in
+          let n = if nd < ni then nd else ni in
+          fun () ->
+            let acc = ref 0 in
+            for k = 0 to n - 1 do
+              acc := (!acc * dims.(k)) + fns.(k) ()
+            done;
+            if nd <> ni then raise (Trace.Unsupported_trace "rank mismatch");
+            base + (8 * !acc)
+    in
+    { cs_fn = fn; cs_write = ts.B.ts_write;
+      cs_gather = ts.B.ts_strided && in_simd }
+  in
+  let bind_comp (id : int) (y : B.tcomp) : ccomp =
+    let mid =
+      match Hashtbl.find_opt comp_memo y.B.y_cid with
+      | Some m -> m
+      | None ->
+          Hashtbl.replace comp_memo y.B.y_cid id;
+          id
+    in
+    let m = tn.B.t_comps.(mid) in
+    let k =
+      {
+        k_sites =
+          Array.map (bind_site ~in_simd:y.B.y_in_simd) m.B.y_sites;
+        k_port = (if m.B.y_class = 1 then 1.0 /. vw else 1.0);
+        k_class = m.B.y_class;
+        k_flops = m.B.y_flops;
+        k_atomic = m.B.y_atomic;
+        k_contended = m.B.y_contended;
+      }
+    in
+    comp_rt.(id) <- Some k;
+    k
+  in
+  (* library calls: dimension thunks bound at first execution *)
+  let nk = Array.length tn.B.t_calls in
+  let call_rt : (unit -> int) array option array = Array.make (max 1 nk) None in
+  let scale_factor = ref 1.0 in
+  let code = tn.B.t_code in
+  let pc = ref 0 in
+  let running = ref true in
+  while !running do
+    let op = code.(!pc) in
+    if op = B.t_comp then begin
+      let id = code.(!pc + 1) in
+      let y = tn.B.t_comps.(id) in
+      (match y.B.y_err with
+      | Some m -> raise (Trace.Unsupported_trace m)
+      | None -> ());
+      let k =
+        match comp_rt.(id) with Some k -> k | None -> bind_comp id y
+      in
+      let sites = k.k_sites in
+      let port = k.k_port in
+      for s = 0 to Array.length sites - 1 do
+        let a = sites.(s) in
+        Cache.access cache ~addr:(a.cs_fn ()) ~write:a.cs_write;
+        if a.cs_write then
+          counters.Trace.stores <- counters.Trace.stores +. port
+        else counters.Trace.loads <- counters.Trace.loads +. port;
+        if a.cs_gather then
+          counters.Trace.gather_extra <-
+            counters.Trace.gather_extra +. gather_mult
+      done;
+      (if k.k_class = 1 then
+         counters.Trace.vec_flops <- counters.Trace.vec_flops +. k.k_flops
+       else if k.k_class = 2 then
+         counters.Trace.unrolled_flops <-
+           counters.Trace.unrolled_flops +. k.k_flops
+       else counters.Trace.flops <- counters.Trace.flops +. k.k_flops);
+      if k.k_atomic then
+        if k.k_contended then
+          counters.Trace.atomics <- counters.Trace.atomics +. 1.0
+        else
+          counters.Trace.atomics_private <-
+            counters.Trace.atomics_private +. 1.0;
+      pc := !pc + 2
+    end
+    else if op = B.t_loop then begin
+      let id = code.(!pc + 1) in
+      let end_pc = code.(!pc + 2) in
+      let w = tn.B.t_loops.(id) in
+      (match w.B.w_err with
+      | Some m -> raise (Trace.Unsupported_trace m)
+      | None -> ());
+      let lo = lo_fns.(id) () in
+      let hi = hi_fns.(id) () in
+      let step = w.B.w_step in
+      let trip =
+        if step > 0 then max 0 (((hi - lo) / step) + 1)
+        else max 0 (((lo - hi) / -step) + 1)
+      in
+      if w.B.w_starts_parallel then begin
+        counters.Trace.has_parallel <- true;
+        counters.Trace.parallel_regions <-
+          counters.Trace.parallel_regions +. 1.0;
+        counters.Trace.par_trip <-
+          Float.max counters.Trace.par_trip (float_of_int trip)
+      end;
+      if sp_n.(id) < 0 then begin
+        let s, b =
+          if not w.B.w_is_leaf then (0, 0)
+          else
+            match Hashtbl.find_opt spill_tbl w.B.w_lid with
+            | Some sb -> sb
+            | None ->
+                let s = w.B.w_spills in
+                let b = !stack_base in
+                if s > 0 then stack_base := !stack_base + (s * 8);
+                Hashtbl.replace spill_tbl w.B.w_lid (s, b);
+                (s, b)
+        in
+        sp_n.(id) <- s;
+        sp_base.(id) <- b
+      end;
+      let count =
+        if
+          w.B.w_depth0
+          && wctx.Trace.sample_outer > 0
+          && trip > wctx.Trace.sample_outer
+        then wctx.Trace.sample_outer
+        else trip
+      in
+      trips.(id) <- trip;
+      counts.(id) <- count;
+      if count = 0 then pc := end_pc
+      else begin
+        rem.(id) <- count;
+        cur.(id) <- lo;
+        Budget.tick budget;
+        iters.(w.B.w_slot) <- lo;
+        pc := !pc + 3
+      end
+    end
+    else if op = B.t_loopbk then begin
+      let id = code.(!pc + 1) in
+      let body_pc = code.(!pc + 2) in
+      let spills = sp_n.(id) in
+      if spills > 0 then begin
+        let base = sp_base.(id) in
+        for sp = 0 to spills - 1 do
+          let addr = base + (sp * 8) in
+          Cache.access cache ~addr ~write:true;
+          Cache.access cache ~addr ~write:false
+        done;
+        let fs = float_of_int spills in
+        counters.Trace.loads <- counters.Trace.loads +. fs;
+        counters.Trace.stores <- counters.Trace.stores +. fs;
+        counters.Trace.spill_ops <-
+          counters.Trace.spill_ops +. (2.0 *. fs)
+      end;
+      let r = rem.(id) - 1 in
+      rem.(id) <- r;
+      if r > 0 then begin
+        let w = tn.B.t_loops.(id) in
+        let i = cur.(id) + w.B.w_step in
+        cur.(id) <- i;
+        Budget.tick budget;
+        iters.(w.B.w_slot) <- i;
+        pc := body_pc
+      end
+      else begin
+        if counts.(id) < trips.(id) then
+          scale_factor :=
+            float_of_int trips.(id) /. float_of_int counts.(id);
+        pc := !pc + 3
+      end
+    end
+    else if op = B.t_call then begin
+      let id = code.(!pc + 1) in
+      let z = tn.B.t_calls.(id) in
+      (match z.B.z_err with
+      | Some m -> raise (Trace.Unsupported_trace m)
+      | None -> ());
+      let fns =
+        match call_rt.(id) with
+        | Some fns -> fns
+        | None ->
+            let fns = Array.map (fun i -> bind tn.B.t_ixs.(i)) z.B.z_dims in
+            call_rt.(id) <- Some fns;
+            fns
+      in
+      let n = Array.length fns in
+      let rec dims k = if k = n then [] else
+        let v = fns.(k) () in
+        v :: dims (k + 1)
+      in
+      let dims = dims 0 in
+      let kernel = bc.B.names.(z.B.z_kernel) in
+      counters.Trace.libcall_flops <-
+        counters.Trace.libcall_flops
+        +. (try Daisy_blas.Kernels.flops kernel dims with _ -> 0.0);
+      counters.Trace.libcall_bytes <-
+        counters.Trace.libcall_bytes
+        +. (try Daisy_blas.Kernels.min_bytes kernel dims with _ -> 0.0);
+      pc := !pc + 2
+    end
+    else (* t_halt *)
+      running := false
+  done;
+  counters.Trace.l1 <- Cache.sub_stats (Cache.l1_stats cache) l1_before;
+  counters.Trace.l2 <- Cache.sub_stats (Cache.l2_stats cache) l2_before;
+  if !scale_factor > 1.0 then begin
+    let regions = counters.Trace.parallel_regions in
+    Trace.scale_counters counters !scale_factor;
+    if regions > 0.0 then counters.Trace.parallel_regions <- regions
+  end;
+  counters
+
+(** [run config p ~sizes ?sample_outer ?budget ()] — lower once, walk every
+    trace section; drop-in replacement for [Trace_compile.run] exact mode. *)
+let run (config : Config.t) (p : Ir.program) ~(sizes : (string * int) list)
+    ?(sample_outer = 0) ?(budget = Budget.unlimited ()) () :
+    Trace.counters list =
+  Fault.inject "bc_run";
+  let param_env =
+    List.fold_left (fun m (k, v) -> Util.SMap.add k v m) Util.SMap.empty sizes
+  in
+  let layout = Trace.layout_of p ~sizes:param_env in
+  let bc = B.lower ~hooks:(hooks_of_layout layout) ~sizes:param_env p in
+  let cache = Cache.create config in
+  let wctx =
+    { Trace.config; cache; layout; param_env; sample_outer; budget }
+  in
+  Array.to_list (Array.map (trace_tnode wctx bc) bc.B.tnodes)

@@ -20,14 +20,15 @@ type ctx = {
 }
 
 let make_ctx ?(config = Config.default) ?(threads = config.Config.cores)
-    ?(sample_outer = 12) ?(engine = Cost.Compiled) ?eval_steps ?eval_deadline
+    ?(sample_outer = 12) ?(engine = Cost.Bytecode) ?eval_steps ?eval_deadline
     ~sizes () =
   { config; sizes; threads; sample_outer; engine; eval_steps; eval_deadline }
 
 (** Simulated runtime in milliseconds. Every evaluation goes through
     {!Cost.evaluate_guarded}: a fresh step budget per candidate
     ([Budget.Exhausted] escapes for the caller to penalize) and a
-    transparent tree-walker fallback on compiled-engine failure. *)
+    transparent step down the bytecode -> compiled -> tree engine chain
+    on engine failure. *)
 let runtime_ms (ctx : ctx) (p : Ir.program) : float =
   Cost.milliseconds
     (Cost.evaluate_guarded ctx.config p ~sizes:ctx.sizes ~threads:ctx.threads

@@ -13,6 +13,7 @@ let () =
       ("transforms", Test_transforms.suite);
       ("machine", Test_machine.suite);
       ("trace", Test_trace.suite);
+      ("bytecode", Test_bytecode.suite);
       ("idioms", Test_idioms.suite);
       ("lift", Test_lift.suite);
       ("arraylang", Test_arraylang.suite);

@@ -73,12 +73,20 @@ let test_budget_interp_engines () =
   Alcotest.check_raises "compiled exhausts" Budget.Exhausted (fun () ->
       ignore
         (Interp.run_compiled_fresh ~budget:(Budget.make ~steps:5) p ~sizes ()));
+  Alcotest.check_raises "bytecode exhausts" Budget.Exhausted (fun () ->
+      ignore
+        (Interp.run_bytecode_fresh ~budget:(Budget.make ~steps:5) p ~sizes ()));
   let s1 = Interp.run_fresh ~budget:(Budget.make ~steps:1_000) p ~sizes () in
   let s2 =
     Interp.run_compiled_fresh ~budget:(Budget.make ~steps:1_000) p ~sizes ()
   in
+  let s3 =
+    Interp.run_bytecode_fresh ~budget:(Budget.make ~steps:1_000) p ~sizes ()
+  in
   Alcotest.(check (float 0.0)) "same result under budget" 0.0
-    (Interp.max_rel_diff p s1 s2)
+    (Interp.max_rel_diff p s1 s2);
+  Alcotest.(check (float 0.0)) "same bytecode result under budget" 0.0
+    (Interp.max_rel_diff p s1 s3)
 
 (* The acceptance regression: an adversarially large iteration space
    (~10^10 walked iterations) must abort within its step budget on every
@@ -95,7 +103,7 @@ let test_budget_bounds_adversarial_evaluation () =
           ignore
             (Cost.evaluate_guarded Config.default p ~sizes ~engine
                ~steps:10_000 ())))
-    [ Cost.Tree; Cost.Compiled ]
+    [ Cost.Tree; Cost.Compiled; Cost.Bytecode ]
 
 let test_budget_exhaustion_is_infinity_fitness () =
   let p = lower gemm_src in
@@ -129,15 +137,62 @@ let test_trace_engine_fallback_same_result () =
         (Cost.milliseconds reference)
         (Cost.milliseconds guarded))
 
+(** The full degradation chain of the trace backend: a failing bytecode
+    engine steps down to the compiled engine; when that is also armed it
+    steps down again to the tree oracle — bit-identical report both
+    times. *)
+let test_bytecode_trace_fallback_chain () =
+  with_faults (fun () ->
+      let p = lower gemm_src in
+      let sizes = [ ("n", 24) ] in
+      let reference =
+        Cost.evaluate_guarded Config.default p ~sizes ~engine:Cost.Tree ()
+      in
+      List.iter
+        (fun (what, labels) ->
+          Fault.clear ();
+          List.iter Fault.arm_always labels;
+          Cost.reset_engine_fallbacks ();
+          let guarded =
+            Cost.evaluate_guarded Config.default p ~sizes
+              ~engine:Cost.Bytecode ()
+          in
+          Alcotest.(check bool) (what ^ ": fell back enough") true
+            (Cost.engine_fallbacks () >= List.length labels);
+          Alcotest.(check (float 0.0)) (what ^ ": bitwise-identical result")
+            (Cost.milliseconds reference)
+            (Cost.milliseconds guarded))
+        [ ("bc_run -> compiled", [ "bc_run" ]);
+          ("bc_compile -> compiled", [ "bc_compile" ]);
+          ("bc_run + trace_compile -> tree", [ "bc_run"; "trace_compile" ]) ])
+
 let test_interp_fallback_preserves_equivalence () =
   with_faults (fun () ->
       let p = lower gemm_src in
+      (* default engine is bytecode: a bc_run crash degrades to closure *)
       Interp.reset_compiled_fallbacks ();
-      Fault.arm_nth "interp_compile" 1;
+      Fault.arm_nth "bc_run" 1;
       Alcotest.(check bool) "equivalent despite engine crash" true
         (Interp.equivalent p p ~sizes:[ ("n", 6) ] ());
       Alcotest.(check bool) "fallback counted" true
-        (Interp.compiled_fallbacks () >= 1))
+        (Interp.compiled_fallbacks () >= 1);
+      (* bc_compile crashes degrade the same way *)
+      Fault.clear ();
+      Interp.reset_compiled_fallbacks ();
+      Fault.arm_nth "bc_compile" 1;
+      Alcotest.(check bool) "equivalent despite lowering crash" true
+        (Interp.equivalent p p ~sizes:[ ("n", 6) ] ());
+      Alcotest.(check bool) "lowering fallback counted" true
+        (Interp.compiled_fallbacks () >= 1);
+      (* both fast engines armed: the chain bottoms out on the tree oracle *)
+      Fault.clear ();
+      Interp.reset_compiled_fallbacks ();
+      Fault.arm_always "bc_run";
+      Fault.arm_always "interp_compile";
+      Alcotest.(check bool) "equivalent on the tree oracle" true
+        (Interp.equivalent p p ~sizes:[ ("n", 6) ] ());
+      Alcotest.(check bool) "two fallbacks per run" true
+        (Interp.compiled_fallbacks () >= 2))
 
 let test_budget_exhaustion_is_not_masked () =
   (* evaluate_guarded must let Exhausted escape, not silently retry on
@@ -595,6 +650,8 @@ let suite =
       test_budget_exhaustion_is_infinity_fitness;
     Alcotest.test_case "fallback: trace engine, identical result" `Quick
       test_trace_engine_fallback_same_result;
+    Alcotest.test_case "fallback: bytecode trace chain" `Quick
+      test_bytecode_trace_fallback_chain;
     Alcotest.test_case "fallback: interp engine, equivalence" `Quick
       test_interp_fallback_preserves_equivalence;
     Alcotest.test_case "fallback: budget exhaustion not masked" `Quick
