@@ -237,22 +237,35 @@ type trace_row = {
   tsizes : (string * int) list;
   tree_s : float;
   tcompiled_s : float;
-  tbytecode_s : float;
+  tbytecode_s : float;  (** unfused bytecode walk (the schema-2 baseline) *)
+  tfused_s : float;  (** fused addressing + batched stream replay *)
+  tmemo_s : float;  (** fused walk against a warm simulation memo *)
   approx_s : float;
+  lat_p50_s : float;  (** per-candidate fused-evaluation latency quantiles *)
+  lat_p95_s : float;
+  lat_p99_s : float;
   exact_identical : bool;
   approx_rel_err : float;
 }
 
-type e2e_row = { engine_name : string; seed_s : float }
+type e2e_row = {
+  engine_name : string;
+  seed_s : float;
+  memo_hits : int;
+  memo_misses : int;
+}
 
 (** Perf-trajectory record for the cost-model fast path: per-kernel
-    wall-clock of the three engines plus the exactness/accuracy checks,
-    and end-to-end scheduling-database seeding per engine. Accumulated
-    across PRs by CI (see docs/performance.md). *)
+    wall-clock of the engines plus the exactness/accuracy checks, and
+    end-to-end scheduling-database seeding per engine. Schema 3 adds the
+    fused/memo columns, per-candidate latency percentiles and the
+    simulation-memo hit counters; [bytecode_s] keeps the schema-2 meaning
+    (unfused walk) so trajectories stay comparable across schemas.
+    Accumulated across PRs by CI (see docs/performance.md). *)
 let write_trace_json ~path (rows : trace_row list) (e2e : e2e_row list) =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
-  out "{\n  \"bench\": \"trace\",\n  \"schema\": 2,\n  \"results\": [\n";
+  out "{\n  \"bench\": \"trace\",\n  \"schema\": 3,\n  \"results\": [\n";
   List.iteri
     (fun i r ->
       let sizes =
@@ -261,26 +274,40 @@ let write_trace_json ~path (rows : trace_row list) (e2e : e2e_row list) =
       in
       out
         "    {\"kernel\": \"%s\", \"sizes\": {%s}, \"tree_s\": %.6f, \
-         \"compiled_s\": %.6f, \"bytecode_s\": %.6f, \"approx_s\": %.6f, \
+         \"compiled_s\": %.6f, \"bytecode_s\": %.6f, \"fused_s\": %.6f, \
+         \"memo_hit_s\": %.6f, \"approx_s\": %.6f, \
          \"speedup_compiled\": %.2f, \"speedup_bytecode\": %.2f, \
-         \"speedup_approx\": %.2f, \
+         \"speedup_fused\": %.2f, \"speedup_approx\": %.2f, \
+         \"lat_p50_s\": %.6f, \"lat_p95_s\": %.6f, \"lat_p99_s\": %.6f, \
          \"exact_identical\": %b, \"approx_rel_err\": %.4f}%s\n"
-        r.tkernel sizes r.tree_s r.tcompiled_s r.tbytecode_s r.approx_s
+        r.tkernel sizes r.tree_s r.tcompiled_s r.tbytecode_s r.tfused_s
+        r.tmemo_s r.approx_s
         (r.tree_s /. r.tcompiled_s)
         (r.tree_s /. r.tbytecode_s)
+        (r.tbytecode_s /. r.tfused_s)
         (r.tree_s /. r.approx_s)
-        r.exact_identical r.approx_rel_err
+        r.lat_p50_s r.lat_p95_s r.lat_p99_s r.exact_identical r.approx_rel_err
         (if i = List.length rows - 1 then "" else ","))
     rows;
   out "  ],\n  \"end_to_end\": [\n";
   List.iteri
     (fun i e ->
-      out "    {\"engine\": \"%s\", \"seed_s\": %.6f}%s\n" e.engine_name
-        e.seed_s
+      out
+        "    {\"engine\": \"%s\", \"seed_s\": %.6f, \"memo_hits\": %d, \
+         \"memo_misses\": %d}%s\n"
+        e.engine_name e.seed_s e.memo_hits e.memo_misses
         (if i = List.length e2e - 1 then "" else ","))
     e2e;
   out "  ]\n}\n";
   close_out oc
+
+(** [percentile sorted q] — nearest-rank quantile of an ascending array. *)
+let percentile (sorted : float array) (q : float) : float =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let idx = int_of_float (Float.round (q *. float_of_int (n - 1))) in
+    sorted.(max 0 (min (n - 1) idx))
 
 let trace_cycles engine p ~sizes =
   (Cost.evaluate Config.default p ~sizes ~threads:1
@@ -293,6 +320,7 @@ let trace_cycles engine p ~sizes =
 let trace_seed_wallclock ~smoke (engine : Cost.engine) =
   let module S = Daisy_scheduler in
   let kernels = if smoke then [ Pb.gemm ] else [ Pb.gemm; Pb.atax; Pb.jacobi_2d ] in
+  let hits = ref 0 and misses = ref 0 in
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun (b : Pb.benchmark) ->
@@ -302,9 +330,14 @@ let trace_seed_wallclock ~smoke (engine : Cost.engine) =
       in
       let db = S.Database.create () in
       S.Seed.seed_database ~epochs:1 ~population:6 ~iterations:2 ctx ~db
-        [ (b.Pb.name, Pb.program b) ])
+        [ (b.Pb.name, Pb.program b) ];
+      match S.Common.sim_memo_stats ctx with
+      | Some (h, m) ->
+          hits := !hits + h;
+          misses := !misses + m
+      | None -> ())
     kernels;
-  Unix.gettimeofday () -. t0
+  (Unix.gettimeofday () -. t0, !hits, !misses)
 
 (** [trace_bench ~smoke ()] — wall-clock of the tree trace walker vs the
     closure-compiled engine vs the flat-bytecode engine (both
@@ -332,7 +365,30 @@ let trace_bench ?(smoke = false) () =
           median_time reps (fun () ->
               ignore
                 (Tb.run Config.default p ~sizes
-                   ~sample_outer:trace_sample_outer ()))
+                   ~sample_outer:trace_sample_outer ~batch:false ()))
+        in
+        (* fused path: collect every repetition so the per-candidate
+           latency percentiles see the full distribution, not the median *)
+        let lat_samples = if smoke then 5 else 15 in
+        let lats =
+          Array.init lat_samples (fun _ ->
+              let t0 = Unix.gettimeofday () in
+              ignore
+                (Tb.run Config.default p ~sizes
+                   ~sample_outer:trace_sample_outer ~batch:true ());
+              Unix.gettimeofday () -. t0)
+        in
+        Array.sort compare lats;
+        let tfused_s = percentile lats 0.5 in
+        let tmemo_s =
+          let memo = Tb.memo_create Config.default in
+          ignore
+            (Tb.run Config.default p ~sizes ~sample_outer:trace_sample_outer
+               ~batch:true ~memo ());
+          median_time reps (fun () ->
+              ignore
+                (Tb.run Config.default p ~sizes
+                   ~sample_outer:trace_sample_outer ~batch:true ~memo ()))
         in
         let approx_s =
           median_time reps (fun () ->
@@ -345,54 +401,91 @@ let trace_bench ?(smoke = false) () =
           Trace.run Config.default p ~sizes ~sample_outer:trace_sample_outer ()
         in
         let exact_identical =
+          let memo = Tb.memo_create Config.default in
           List.for_all2 Tc.counters_equal tree_counters
             (Tc.run Config.default p ~sizes ~sample_outer:trace_sample_outer
                ())
           && List.for_all2 Tc.counters_equal tree_counters
                (Tb.run Config.default p ~sizes
-                  ~sample_outer:trace_sample_outer ())
+                  ~sample_outer:trace_sample_outer ~batch:false ())
+          && List.for_all2 Tc.counters_equal tree_counters
+               (Tb.run Config.default p ~sizes
+                  ~sample_outer:trace_sample_outer ~batch:true ())
+          && List.for_all2 Tc.counters_equal tree_counters
+               (Tb.run Config.default p ~sizes
+                  ~sample_outer:trace_sample_outer ~batch:true ~memo ())
+          && List.for_all2 Tc.counters_equal tree_counters
+               (* memo hit pass *)
+               (Tb.run Config.default p ~sizes
+                  ~sample_outer:trace_sample_outer ~batch:true ~memo ())
         in
         let c_exact = trace_cycles Cost.Compiled p ~sizes in
         let c_approx = trace_cycles (Cost.Approx Tc.default_approx) p ~sizes in
         let approx_rel_err = Float.abs (c_approx -. c_exact) /. c_exact in
         { tkernel = name; tsizes = sizes; tree_s; tcompiled_s; tbytecode_s;
-          approx_s; exact_identical; approx_rel_err })
+          tfused_s; tmemo_s; approx_s;
+          lat_p50_s = percentile lats 0.5;
+          lat_p95_s = percentile lats 0.95;
+          lat_p99_s = percentile lats 0.99;
+          exact_identical; approx_rel_err })
       (trace_cases ~smoke)
   in
-  Format.printf "@.Trace engines: tree walker vs compiled vs bytecode vs \
-                 sampled@.";
-  Format.printf "  %-16s %10s %12s %12s %10s %8s %8s %7s %6s@." "kernel"
-    "tree (s)" "compiled (s)" "bytecode (s)" "approx (s)" "vs tree" "vs comp"
-    "exact" "err";
+  Format.printf "@.Trace engines: tree walker vs compiled vs bytecode \
+                 (unfused/fused/memo) vs sampled@.";
+  Format.printf "  %-16s %10s %12s %12s %10s %10s %8s %7s %6s@." "kernel"
+    "tree (s)" "compiled (s)" "bytecode (s)" "fused (s)" "memo (s)"
+    "fused-x" "exact" "err";
   List.iter
     (fun r ->
       Format.printf
-        "  %-16s %10.5f %12.5f %12.5f %10.5f %7.1fx %7.2fx %7b %5.1f%%@."
-        r.tkernel r.tree_s r.tcompiled_s r.tbytecode_s r.approx_s
-        (r.tree_s /. r.tbytecode_s)
-        (r.tcompiled_s /. r.tbytecode_s)
+        "  %-16s %10.5f %12.5f %12.5f %10.5f %10.5f %7.2fx %7b %5.1f%%@."
+        r.tkernel r.tree_s r.tcompiled_s r.tbytecode_s r.tfused_s r.tmemo_s
+        (r.tbytecode_s /. r.tfused_s)
         r.exact_identical
-        (100.0 *. r.approx_rel_err))
+        (100.0 *. r.approx_rel_err);
+      Format.printf "  %-16s latency p50 %.5f s  p95 %.5f s  p99 %.5f s@." ""
+        r.lat_p50_s r.lat_p95_s r.lat_p99_s)
     rows;
   let geomean xs = exp (List.fold_left (fun a x -> a +. log x) 0.0 xs
                         /. float_of_int (List.length xs)) in
   Format.printf
-    "  geomean speedup vs tree: compiled %.1fx, bytecode %.1fx, approx \
-     %.1fx@."
+    "  geomean speedup vs tree: compiled %.1fx, bytecode %.1fx, fused \
+     %.1fx, approx %.1fx@."
     (geomean (List.map (fun r -> r.tree_s /. r.tcompiled_s) rows))
     (geomean (List.map (fun r -> r.tree_s /. r.tbytecode_s) rows))
+    (geomean (List.map (fun r -> r.tree_s /. r.tfused_s) rows))
     (geomean (List.map (fun r -> r.tree_s /. r.approx_s) rows));
+  (* regression guard against the schema-2 baseline: the fused engine must
+     beat the unfused bytecode walk by >= 2x geomean, and every kernel
+     must stay bit-identical to the tree oracle. CI greps "guard: ok". *)
+  let fused_geo = geomean (List.map (fun r -> r.tbytecode_s /. r.tfused_s) rows) in
+  let all_exact = List.for_all (fun r -> r.exact_identical) rows in
+  Format.printf
+    "  fused-over-unfused geomean: %.2fx (bar: >= 2x), exact: %b -> guard: \
+     %s@."
+    fused_geo all_exact
+    (if fused_geo >= 2.0 && all_exact then "ok" else "FAIL");
   let e2e =
     List.map
       (fun (engine_name, engine) ->
-        { engine_name; seed_s = trace_seed_wallclock ~smoke engine })
+        let seed_s, memo_hits, memo_misses =
+          trace_seed_wallclock ~smoke engine
+        in
+        { engine_name; seed_s; memo_hits; memo_misses })
       [ ("tree", Cost.Tree); ("compiled", Cost.Compiled);
         ("bytecode", Cost.Bytecode);
         ("approx", Cost.Approx Tc.default_approx) ]
   in
   Format.printf "@.End-to-end database seeding (Evolve.search inside):@.";
   List.iter
-    (fun e -> Format.printf "  %-10s %8.3f s@." e.engine_name e.seed_s)
+    (fun e ->
+      let lookups = e.memo_hits + e.memo_misses in
+      if lookups > 0 then
+        Format.printf "  %-10s %8.3f s  (sim memo: %d hits / %d lookups, \
+                       %.0f%%)@."
+          e.engine_name e.seed_s e.memo_hits lookups
+          (100.0 *. float_of_int e.memo_hits /. float_of_int lookups)
+      else Format.printf "  %-10s %8.3f s@." e.engine_name e.seed_s)
     e2e;
   write_trace_json ~path:"BENCH_trace.json" rows e2e;
   Format.printf "  [wrote BENCH_trace.json]@."

@@ -264,6 +264,12 @@ type tloop = {
   w_is_leaf : bool;
   w_starts_parallel : bool;
   w_depth0 : bool;
+  mutable w_body : int array option;
+      (** [Some ids] iff the loop body is a straight-line run of [t_comp]
+          instructions only (no nested loops, no calls): the comp ids in
+          execution order. Patched after the body is emitted; the trace
+          replay uses it as the static precheck for batched stream
+          replay. *)
 }
 
 (** The trace section for one top-level node. *)
@@ -1169,6 +1175,7 @@ let lower_tnode em (hooks : trace_hooks) ~(param_env : int Util.SMap.t)
                 w_is_leaf = is_leaf;
                 w_starts_parallel = starts_parallel;
                 w_depth0 = depth = 0;
+                w_body = None;
               }
             in
             let id = gpush loops w in
@@ -1186,6 +1193,20 @@ let lower_tnode em (hooks : trace_hooks) ~(param_env : int Util.SMap.t)
               ~in_parallel:(in_parallel || starts_parallel)
               ~parallel_iter:
                 (if starts_parallel then Some l.L.iter else parallel_iter);
+            (* straight-line body: a run of [t_comp] only — record the
+               comp ids so the trace replay can batch the whole trip *)
+            let body_end = here () in
+            let straight = ref true in
+            let ids = ref [] in
+            let p = ref body_pc in
+            while !straight && !p < body_end do
+              if Ivec.get sec.sc_code !p = t_comp then begin
+                ids := Ivec.get sec.sc_code (!p + 1) :: !ids;
+                p := !p + top_len.(t_comp)
+              end
+              else straight := false
+            done;
+            if !straight then w.w_body <- Some (Array.of_list (List.rev !ids));
             emit t_loopbk;
             emit id;
             emit body_pc;
@@ -1486,7 +1507,16 @@ let verify (a : t) : string list =
                  err "%s pc %d: loop slot %d out of file" what p w.w_slot;
                if w.w_step = 0 then err "%s pc %d: zero loop step" what p;
                ck_tix p w.w_lo;
-               ck_tix p w.w_hi
+               ck_tix p w.w_hi;
+               match w.w_body with
+               | None -> ()
+               | Some ids ->
+                   Array.iter
+                     (fun id ->
+                       if id < 0 || id >= Array.length tn.t_comps then
+                         err "%s pc %d: body comp id %d out of table" what p
+                           id)
+                     ids
              end
            end
            else if op = t_comp then begin

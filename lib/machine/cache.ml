@@ -2,7 +2,18 @@
 
     Write-allocate, write-back. The simulator tracks per-level accesses,
     misses, evictions and dirty write-backs; the cost model converts these
-    to bandwidth demand. *)
+    to bandwidth demand.
+
+    Geometry is normalized at construction: [line_bytes] and the set count
+    are rounded down to powers of two (with one {!Daisy_support.Diag}
+    warning per distinct geometry) so the hot path can use a shift for the
+    line address and a mask for the set index — no division or modulo per
+    access. The fused trace replay ({!Trace_bc}) additionally uses
+    {!l1_probe} / {!l1_hit_run} to retire whole all-hit loop trips in one
+    O(sites) step, and {!snapshot} / {!restore} to re-install a previously
+    simulated cache state for the cross-candidate simulation memo. *)
+
+module Diag = Daisy_support.Diag
 
 type stats = {
   mutable accesses : float;
@@ -24,31 +35,86 @@ let sub_stats a b =
     writebacks = a.writebacks -. b.writebacks;
   }
 
+let add_stats dst d =
+  dst.accesses <- dst.accesses +. d.accesses;
+  dst.misses <- dst.misses +. d.misses;
+  dst.evicts <- dst.evicts +. d.evicts;
+  dst.writebacks <- dst.writebacks +. d.writebacks
+
 type level = {
-  sets : int;
+  sets : int;  (** always a power of two *)
+  set_mask : int;  (** [sets - 1]; set index = [line land set_mask] *)
   assoc : int;
   line_shift : int;
   tags : int array;  (** sets * assoc; -1 = invalid *)
   dirty : bool array;
   stamp : int array;  (** LRU: higher = more recent *)
   stats : stats;
+  set_epoch : int array;
+      (** per set, bumped whenever a valid line leaves that set
+          (eviction, flush, snapshot restore). A (line, slot) pair
+          observed at its set's epoch [e] is still resident at [slot]
+          while that epoch equals [e]: lines only leave a set through an
+          eviction in that set, and filling invalid ways displaces
+          nothing. The fused replay memoizes per-site slots on this. *)
+  mutable last_slot : int;
+      (** slot used by the most recent access to this level *)
 }
 
-let make_level (c : Config.cache_level) : level =
-  let lines = c.Config.size_bytes / c.Config.line_bytes in
-  let sets = max 1 (lines / c.Config.assoc) in
-  let line_shift =
-    let rec go s n = if n <= 1 then s else go (s + 1) (n / 2) in
-    go 0 c.Config.line_bytes
+(* Largest power of two <= n (n clamped to >= 1), with its log2. *)
+let floor_pow2 n =
+  let n = max 1 n in
+  let p = ref 1 and s = ref 0 in
+  while !p * 2 <= n do
+    p := !p * 2;
+    incr s
+  done;
+  (!p, !s)
+
+(* Warn once per distinct rounded geometry: cache creation sits on the
+   per-candidate path, so an ill-formed Config must not flood stderr. *)
+let warned : (string, unit) Hashtbl.t = Hashtbl.create 8
+let warned_lock = Mutex.create ()
+
+let warn_rounded (c : Config.cache_level) ~line_bytes ~sets_req ~sets =
+  let key =
+    Printf.sprintf "%s/%d/%d/%d" c.Config.name c.Config.size_bytes
+      c.Config.line_bytes c.Config.assoc
   in
+  let fresh =
+    Mutex.protect warned_lock (fun () ->
+        if Hashtbl.mem warned key then false
+        else begin
+          Hashtbl.add warned key ();
+          true
+        end)
+  in
+  if fresh then
+    Fmt.epr "%a@." Diag.pp
+      (Diag.make ~severity:Diag.Warn
+         "cache %s: non-power-of-two geometry (line_bytes=%d, sets=%d) \
+          rounded down to line_bytes=%d, sets=%d"
+         c.Config.name c.Config.line_bytes sets_req line_bytes sets)
+
+let make_level (c : Config.cache_level) : level =
+  let line_bytes, line_shift = floor_pow2 c.Config.line_bytes in
+  let assoc = max 1 c.Config.assoc in
+  let lines = max 1 (c.Config.size_bytes / line_bytes) in
+  let sets_req = max 1 (lines / assoc) in
+  let sets, _ = floor_pow2 sets_req in
+  if line_bytes <> c.Config.line_bytes || sets <> sets_req then
+    warn_rounded c ~line_bytes ~sets_req ~sets;
   {
     sets;
-    assoc = c.Config.assoc;
+    set_mask = sets - 1;
+    assoc;
     line_shift;
-    tags = Array.make (sets * c.Config.assoc) (-1);
-    dirty = Array.make (sets * c.Config.assoc) false;
-    stamp = Array.make (sets * c.Config.assoc) 0;
+    tags = Array.make (sets * assoc) (-1);
+    dirty = Array.make (sets * assoc) false;
+    stamp = Array.make (sets * assoc) 0;
     stats = zero_stats ();
+    set_epoch = Array.make sets 0;
+    last_slot = 0;
   }
 
 type t = { l1 : level; l2 : level; mutable clock : int }
@@ -56,13 +122,16 @@ type t = { l1 : level; l2 : level; mutable clock : int }
 let create (c : Config.t) : t =
   { l1 = make_level c.Config.l1; l2 = make_level c.Config.l2; clock = 0 }
 
+let l1_line_shift t = t.l1.line_shift
+let clock t = t.clock
+
 (** Access one level with a line address. Returns [`Hit] or
     [`Miss of evicted_dirty_line_option]. *)
 let access_level (t : t) (lv : level) (line : int) ~(write : bool) :
     [ `Hit | `Miss of int option ] =
   lv.stats.accesses <- lv.stats.accesses +. 1.0;
   t.clock <- t.clock + 1;
-  let set = line mod lv.sets in
+  let set = line land lv.set_mask in
   let base = set * lv.assoc in
   let rec find w = if w = lv.assoc then -1
     else if lv.tags.(base + w) = line then base + w
@@ -72,6 +141,7 @@ let access_level (t : t) (lv : level) (line : int) ~(write : bool) :
   if slot >= 0 then begin
     lv.stamp.(slot) <- t.clock;
     if write then lv.dirty.(slot) <- true;
+    lv.last_slot <- slot;
     `Hit
   end
   else begin
@@ -93,6 +163,7 @@ let access_level (t : t) (lv : level) (line : int) ~(write : bool) :
       if lv.tags.(slot) = -1 then None
       else begin
         lv.stats.evicts <- lv.stats.evicts +. 1.0;
+        lv.set_epoch.(set) <- lv.set_epoch.(set) + 1;
         let dirty_line = if lv.dirty.(slot) then Some lv.tags.(slot) else None in
         if dirty_line <> None then
           lv.stats.writebacks <- lv.stats.writebacks +. 1.0;
@@ -102,12 +173,13 @@ let access_level (t : t) (lv : level) (line : int) ~(write : bool) :
     lv.tags.(slot) <- line;
     lv.dirty.(slot) <- write;
     lv.stamp.(slot) <- t.clock;
+    lv.last_slot <- slot;
     `Miss evicted
   end
 
-(** [access t ~addr ~write] — one memory access through the hierarchy. *)
-let access (t : t) ~(addr : int) ~(write : bool) : unit =
-  let line = addr lsr t.l1.line_shift in
+(** [access_line t ~line ~write] — one memory access through the
+    hierarchy, line-addressed (the fused replay precomputes lines). *)
+let access_line (t : t) ~(line : int) ~(write : bool) : unit =
   match access_level t t.l1 line ~write with
   | `Hit -> ()
   | `Miss evicted_dirty ->
@@ -119,7 +191,191 @@ let access (t : t) ~(addr : int) ~(write : bool) : unit =
       | Some dline -> ignore (access_level t t.l2 dline ~write:true)
       | None -> ())
 
+(** [access t ~addr ~write] — one memory access through the hierarchy. *)
+let access (t : t) ~(addr : int) ~(write : bool) : unit =
+  access_line t ~line:(addr lsr t.l1.line_shift) ~write
+
+(** [l1_replay_advance t ~addrs ~deltas ~writes ~n ~mline ~mslot ~mep] —
+    one fused replay iteration: the [n] accesses [addrs.(i)]/[writes.(i)]
+    in order, bit-identical to [n] {!access} calls, advancing each
+    address by its delta afterwards. [mline]/[mslot]/[mep] form the
+    caller-owned per-touch slot memo: when touch [i]'s line is unchanged
+    and its set epoch still matches, residency at [mslot.(i)] is proven
+    and the access charges the hit without a tag scan; otherwise the
+    full access runs and the memo re-arms. An eviction inside the loop
+    bumps its set's epoch, so later touches of the same set re-validate
+    against the fresh value. *)
+let l1_replay_advance (t : t) ~(addrs : int array) ~(deltas : int array)
+    ~(writes : bool array) ~(memoable : bool array) ~(n : int)
+    ~(mline : int array) ~(mslot : int array) ~(mep : int array) : unit =
+  let lv = t.l1 in
+  let shift = lv.line_shift in
+  (* indices are bounded by [n] <= every array's length (the replay plan
+     allocates them together), so unchecked indexing is safe here *)
+  for i = 0 to n - 1 do
+    let addr = Array.unsafe_get addrs i in
+    Array.unsafe_set addrs i (addr + Array.unsafe_get deltas i);
+    let line = addr lsr shift in
+    if Array.unsafe_get memoable i then begin
+      let set = line land lv.set_mask in
+      if
+        Array.unsafe_get mep i = Array.unsafe_get lv.set_epoch set
+        && Array.unsafe_get mline i = line
+      then begin
+        lv.stats.accesses <- lv.stats.accesses +. 1.0;
+        t.clock <- t.clock + 1;
+        let slot = Array.unsafe_get mslot i in
+        Array.unsafe_set lv.stamp slot t.clock;
+        if Array.unsafe_get writes i then Array.unsafe_set lv.dirty slot true
+      end
+      else begin
+        let write = Array.unsafe_get writes i in
+        access_line t ~line ~write;
+        Array.unsafe_set mline i line;
+        Array.unsafe_set mslot i lv.last_slot;
+        Array.unsafe_set mep i (Array.unsafe_get lv.set_epoch set)
+      end
+    end
+    else access_line t ~line ~write:(Array.unsafe_get writes i)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Fused replay fast path                                              *)
+
+(** Pure residency probe: true iff every [lines.(0..n-1)] currently hits
+    in L1, filling [slots] with each line's L1 slot index. No statistics,
+    no clock movement, no LRU update — safe to call speculatively. *)
+let l1_probe (t : t) ~(lines : int array) ~(n : int) ~(slots : int array) :
+    bool =
+  let lv = t.l1 in
+  let ok = ref true in
+  let i = ref 0 in
+  while !ok && !i < n do
+    let line = lines.(!i) in
+    let base = (line land lv.set_mask) * lv.assoc in
+    let rec find w =
+      if w = lv.assoc then -1
+      else if lv.tags.(base + w) = line then base + w
+      else find (w + 1)
+    in
+    let s = find 0 in
+    if s < 0 then ok := false else slots.(!i) <- s;
+    incr i
+  done;
+  !ok
+
+(** [l1_probe_memo] — {!l1_probe} consulting (and re-arming) the
+    caller's per-touch slot memo: a touch whose line is unchanged at a
+    matching set epoch is proven resident without a tag scan; a scanned
+    hit records its slot back into the memo (a true residency fact, so
+    later accesses charging hits through it stay bit-identical). *)
+let l1_probe_memo (t : t) ~(lines : int array) ~(n : int)
+    ~(slots : int array) ~(mline : int array) ~(mslot : int array)
+    ~(mep : int array) : bool =
+  let lv = t.l1 in
+  let ok = ref true in
+  let i = ref 0 in
+  while !ok && !i < n do
+    let line = Array.unsafe_get lines !i in
+    let set = line land lv.set_mask in
+    if
+      Array.unsafe_get mep !i = Array.unsafe_get lv.set_epoch set
+      && Array.unsafe_get mline !i = line
+    then Array.unsafe_set slots !i (Array.unsafe_get mslot !i)
+    else begin
+      let base = set * lv.assoc in
+      let rec find w =
+        if w = lv.assoc then -1
+        else if lv.tags.(base + w) = line then base + w
+        else find (w + 1)
+      in
+      let s = find 0 in
+      if s < 0 then ok := false
+      else begin
+        Array.unsafe_set slots !i s;
+        Array.unsafe_set mline !i line;
+        Array.unsafe_set mslot !i s;
+        Array.unsafe_set mep !i (Array.unsafe_get lv.set_epoch set)
+      end
+    end;
+    incr i
+  done;
+  !ok
+
+(** [l1_hit_run t ~slots ~writes ~k ~n] — retire [n] iterations of a
+    [k]-touch all-L1-hit pattern in O(k): bit-identical to calling
+    {!access} n*k times when every touch hits (the caller must have
+    proved residency with {!l1_probe}; all-hit traffic cannot evict, so
+    residency over one probed iteration implies it for the whole run).
+
+    Exactness: per-touch the generic path bumps [accesses] by 1.0 from an
+    integer-valued float (exact while < 2^53, as is the single fused add),
+    bumps the clock, sets the slot stamp to the clock and ORs the dirty
+    bit. The final stamp of slot [slots.(j)] comes from the last
+    iteration: [clock_after - k + j + 1]; writing in ascending [j]
+    resolves touches sharing a slot exactly as the generic order does. *)
+let l1_hit_run (t : t) ~(slots : int array) ~(writes : bool array) ~(k : int)
+    ~(n : int) : unit =
+  let lv = t.l1 in
+  lv.stats.accesses <- lv.stats.accesses +. float_of_int (n * k);
+  t.clock <- t.clock + (n * k);
+  for j = 0 to k - 1 do
+    let s = Array.unsafe_get slots j in
+    Array.unsafe_set lv.stamp s (t.clock - k + j + 1);
+    if Array.unsafe_get writes j then Array.unsafe_set lv.dirty s true
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots (cross-candidate simulation memo)                         *)
+
+type level_image = {
+  im_tags : int array;
+  im_dirty : bool array;
+  im_stamp : int array;  (** relative to the clock at snapshot time *)
+}
+
+type snapshot = { sn_l1 : level_image; sn_l2 : level_image }
+
+let image_of_level (t : t) (lv : level) : level_image =
+  {
+    im_tags = Array.copy lv.tags;
+    im_dirty = Array.copy lv.dirty;
+    im_stamp = Array.map (fun s -> s - t.clock) lv.stamp;
+  }
+
+(** Capture tag/dirty/LRU state with stamps stored relative to the current
+    clock. LRU decisions depend only on stamp order within a set, which
+    clock translation preserves, so a snapshot restored at a different
+    clock reproduces the exact same future simulation. Statistics are not
+    captured. *)
+let snapshot (t : t) : snapshot =
+  { sn_l1 = image_of_level t t.l1; sn_l2 = image_of_level t t.l2 }
+
+let bump_all_epochs (lv : level) =
+  for s = 0 to lv.sets - 1 do
+    lv.set_epoch.(s) <- lv.set_epoch.(s) + 1
+  done
+
+let restore_level (t : t) (lv : level) (im : level_image) : unit =
+  bump_all_epochs lv;
+  Array.blit im.im_tags 0 lv.tags 0 (Array.length lv.tags);
+  Array.blit im.im_dirty 0 lv.dirty 0 (Array.length lv.dirty);
+  let n = Array.length lv.stamp in
+  for i = 0 to n - 1 do
+    lv.stamp.(i) <- im.im_stamp.(i) + t.clock
+  done
+
+(** [restore t sn ~clock_delta] — advance the clock by [clock_delta] (the
+    number of level accesses the memoized walk performed) and re-install
+    the snapshot's tag/dirty/stamp state, rebased to the new clock.
+    Statistics are untouched; the caller adds the memoized deltas. *)
+let restore (t : t) (sn : snapshot) ~(clock_delta : int) : unit =
+  t.clock <- t.clock + clock_delta;
+  restore_level t t.l1 sn.sn_l1;
+  restore_level t t.l2 sn.sn_l2
+
 let flush_level (lv : level) =
+  bump_all_epochs lv;
   Array.fill lv.tags 0 (Array.length lv.tags) (-1);
   Array.fill lv.dirty 0 (Array.length lv.dirty) false
 

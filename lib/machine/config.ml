@@ -60,6 +60,47 @@ let peak_mflops (c : t) =
   c.freq_ghz *. 1000.0 *. c.scalar_flops_per_cycle
   *. float_of_int c.vector_width *. float_of_int c.cores
 
+(** Structural validation: one message per parameter the simulator would
+    have to round or clamp (see {!Cache.make_level}). An empty list means
+    the configuration is simulated exactly as written. *)
+let validate (c : t) : string list =
+  let probs = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> probs := s :: !probs) fmt in
+  let is_pow2 n = n > 0 && n land (n - 1) = 0 in
+  let floor_pow2 n =
+    let n = max 1 n in
+    let p = ref 1 in
+    while !p * 2 <= n do p := !p * 2 done;
+    !p
+  in
+  let level (lv : cache_level) =
+    if lv.line_bytes <= 0 then
+      add "%s: line_bytes must be positive (got %d)" lv.name lv.line_bytes
+    else if not (is_pow2 lv.line_bytes) then
+      add "%s: line_bytes %d is not a power of two (simulated as %d)" lv.name
+        lv.line_bytes (floor_pow2 lv.line_bytes);
+    if lv.assoc <= 0 then
+      add "%s: assoc must be positive (got %d)" lv.name lv.assoc;
+    if lv.size_bytes < lv.line_bytes then
+      add "%s: size_bytes %d is smaller than one line (%d)" lv.name
+        lv.size_bytes lv.line_bytes
+    else begin
+      let line_bytes = floor_pow2 lv.line_bytes in
+      let assoc = max 1 lv.assoc in
+      let sets = max 1 (lv.size_bytes / line_bytes / assoc) in
+      if not (is_pow2 sets) then
+        add "%s: %d sets (size/line/assoc) is not a power of two (simulated \
+             as %d)"
+          lv.name sets (floor_pow2 sets)
+    end
+  in
+  level c.l1;
+  level c.l2;
+  if c.vector_width <= 0 || not (is_pow2 c.vector_width) then
+    add "vector_width %d must be a positive power of two" c.vector_width;
+  if c.cores <= 0 then add "cores must be positive (got %d)" c.cores;
+  List.rev !probs
+
 (** Cost of intrinsics in scalar-equivalent flops. *)
 let intrinsic_flops = function
   | "sqrt" -> 6.0

@@ -32,5 +32,10 @@ val default : t
 val peak_mflops : t -> float
 (** Whole-machine vector-FMA peak in MFLOP/s. *)
 
+val validate : t -> string list
+(** One message per parameter the cache simulator would have to round or
+    clamp (non-power-of-two line size / set count, non-positive
+    associativity, ...). Empty = simulated exactly as written. *)
+
 val intrinsic_flops : string -> float
 (** Cost of intrinsics in scalar-equivalent flops. *)

@@ -109,12 +109,13 @@ let string_of_engine = function
     trace and cost a program. [budget] bounds the walked loop iterations;
     {!Daisy_support.Budget.Exhausted} escapes when it runs out. *)
 let evaluate (config : Config.t) (p : Ir.program) ~(sizes : (string * int) list)
-    ?(threads = 1) ?(sample_outer = 0) ?(engine = Bytecode) ?budget () : report =
+    ?(threads = 1) ?(sample_outer = 0) ?(engine = Bytecode) ?budget ?memo () :
+    report =
   let counters =
     match engine with
     | Tree -> Trace.run config p ~sizes ~sample_outer ?budget ()
     | Compiled -> Trace_compile.run config p ~sizes ~sample_outer ?budget ()
-    | Bytecode -> Trace_bc.run config p ~sizes ~sample_outer ?budget ()
+    | Bytecode -> Trace_bc.run config p ~sizes ~sample_outer ?budget ?memo ()
     | Approx a ->
         Trace_compile.run config p ~sizes ~sample_outer ~approx:a ?budget ()
   in
@@ -173,13 +174,13 @@ let warn_fallback engine next exn =
     budget. *)
 let evaluate_guarded (config : Config.t) (p : Ir.program)
     ~(sizes : (string * int) list) ?threads ?sample_outer
-    ?(engine = Bytecode) ?steps () : report =
+    ?(engine = Bytecode) ?steps ?memo () : report =
   let budget () =
     match steps with Some n -> Budget.make ~steps:n | None -> Budget.unlimited ()
   in
   let attempt eng =
     evaluate config p ~sizes ?threads ?sample_outer ~engine:eng
-      ~budget:(budget ()) ()
+      ~budget:(budget ()) ?memo ()
   in
   let rec go eng =
     let next =
@@ -198,6 +199,15 @@ let evaluate_guarded (config : Config.t) (p : Ir.program)
             go down)
   in
   go engine
+
+(* ------------------------------------------------------------------ *)
+(* Cross-candidate simulation memo (re-exported from the bytecode
+   engine so schedulers depend on [Cost] only)                          *)
+
+type sim_memo = Trace_bc.memo
+
+let sim_memo_create = Trace_bc.memo_create
+let sim_memo_stats = Trace_bc.memo_stats
 
 (** Simulated milliseconds — the unit every experiment reports. *)
 let milliseconds (r : report) = r.seconds *. 1e3

@@ -13,15 +13,42 @@
     time, so a node inside a zero-trip loop never raises), the same
     first-execution spill-slot allocation order, the same cid-keyed
     first-executed-occurrence memoization of computation contexts, and the
-    same depth-0 [sample_outer] semantics. [test/test_bytecode.ml]
-    enforces this differentially at jobs 1 and 4.
+    same depth-0 [sample_outer] semantics. [test/test_bytecode.ml] and the
+    batched-replay block of [test/test_trace.ml] enforce this
+    differentially at jobs 1 and 4.
+
+    {b Batched stream replay} (the fused fast path, on by default; off via
+    [~batch:false] or [DAISY_TRACE_FUSE=0]): when an innermost loop body
+    is a straight-line run of computations ([w_body]) whose sites are all
+    affine with per-iteration byte deltas that divide the L1 line size,
+    the replay precomputes per-site line addresses once per loop entry and
+    bumps them by the delta instead of re-evaluating the affine form and
+    re-deriving [addr lsr line_shift] per access. Whole same-line runs are
+    then retired in O(sites): one leading iteration runs generically, a
+    pure residency probe proves every touched line L1-resident (all-hit
+    traffic cannot evict, so one probed iteration covers the run), and
+    {!Cache.l1_hit_run} plus closed-form counter charging replay the rest.
+    The closed form is used only when every per-iteration increment is a
+    multiple of 2^-12 and magnitudes stay far below 2^53, where repeated
+    float addition equals the fused multiply-add bit-for-bit; otherwise —
+    and whenever the probe declines — the generic per-iteration path runs,
+    so the fast path never changes a counter bit.
+
+    {b Simulation memo} (cross-candidate, opt-in via [?memo]): trace
+    sections are content-addressed by (canonical fingerprint, [sample_outer],
+    incoming cache-state class); a hit replays the memoized outcome —
+    counters copy, raw cache-stat deltas, budget ticks, clock advance and
+    the outgoing tag/dirty/LRU state via {!Cache.restore} — without
+    walking. LRU decisions depend only on stamp order within a set, which
+    clock translation preserves, so the restored state is bit-identical to
+    having re-walked the section.
 
     Approx mode (line stepping, adaptive sampling) stays exclusive to
     [Trace_compile]; the bytecode engine only replaces the exact path.
 
     Fault points: ["bc_compile"] fires inside lowering, ["bc_run"] before
-    the walk — [Cost.evaluate_guarded] degrades bytecode -> compiled ->
-    tree on either. *)
+    the walk, ["trace_fuse"] before a batched walk — [Cost.evaluate_guarded]
+    degrades bytecode -> compiled -> tree on any of them. *)
 
 open Daisy_support
 module Ir = Daisy_loopir.Ir
@@ -79,10 +106,101 @@ type ccomp = {
   k_contended : bool;
 }
 
+(* ------------------------------------------------------------------ *)
+(* Batched replay plans                                                 *)
+
+(** One site of a batched loop: the bound address thunk (evaluated once
+    per loop entry) and its per-iteration byte delta. Only consulted at
+    loop entry — the replay itself runs over the plan's flat unboxed
+    arrays, so the hot loops never chase record pointers or unbox the
+    float fields of this mixed record. *)
+type bsite = {
+  b_write : bool;
+  b_gather : bool;
+  b_port : float;
+  b_fn : unit -> int;
+  b_dd : int;
+  b_shift : int;  (** log2 |b_dd| — eligible deltas divide the pow2 line *)
+}
+
+(** Static replay plan for one straight-line innermost loop. *)
+type bplan = {
+  p_flat : bsite array;  (** all sites, execution order (entry-time only) *)
+  p_nsites : int;  (** [Array.length p_flat] *)
+  p_spills : int;
+  p_sp_base : int;
+  p_touch : int;  (** L1 touches per iteration: sites + 2*spills *)
+  (* hot replay state: flat unboxed arrays, length [p_touch] unless
+     noted (spill entries carry delta 0 and fixed addresses) *)
+  p_addr : int array;  (** running byte address per touch *)
+  p_dd : int array;  (** per-iteration byte delta per touch *)
+  p_shifts : int array;  (** log2 |delta| per touch (chunked mode only) *)
+  p_port : float array;  (** per site: port weight for loads/stores *)
+  p_gth : bool array;  (** per site: gather site *)
+  (* per body comp, in order: flop class/amount and atomic kind *)
+  p_gclass : int array;
+  p_gflops : float array;
+  p_gatomic : bool array;
+  p_gcontended : bool array;
+  p_lines : int array;  (** scratch, length [p_touch] *)
+  p_writes : bool array;  (** per touch, length [p_touch] *)
+  p_memoable : bool array;
+      (** per touch: |delta| < line size, so the slot memo can validate
+          across iterations; streaming touches (|delta| >= line) change
+          lines every iteration and skip the memo entirely *)
+  p_slots : int array;  (** probe scratch, length [p_touch] *)
+  p_striding : int array;  (** indices into [p_flat] with [b_dd <> 0] *)
+  (* caller-owned per-touch slot memo for {!Cache.l1_replay_iter} *)
+  p_mline : int array;
+  p_mslot : int array;
+  p_mep : int array;  (** -1 = not yet armed *)
+  p_batchable : bool;
+      (** every delta is 0 or divides the line with |dd| <= line/2, so
+          run lengths are well defined and hit-runs can retire whole
+          same-line spans; when false the loop still replays through the
+          fused per-iteration path (incremental addresses, no closures) *)
+  p_minrun : int;
+      (** shortest full-line run over striding sites ([max_int] when none
+          stride): hit-runs can retire at most [p_minrun - 1] iterations
+          per chunk, so tiny values mean the chunk machinery churns *)
+  mutable p_chunked : bool;
+      (** current mode: chunk/probe/hit-run machinery vs plain fused
+          per-iteration replay. Seeded from the static geometry and
+          demoted adaptively when observed chunks come out too short to
+          pay for the machinery (many staggered sites shrink the min
+          same-line run far below [p_minrun]). Both modes are exact, so
+          the switch is a pure performance decision. *)
+  mutable p_iters : int;  (** iterations replayed through the chunked mode *)
+  mutable p_chunks : int;  (** chunk-leading generic iterations thereof *)
+  (* per-iteration counter increments, for closed-form charging *)
+  p_loads : float;
+  p_stores : float;
+  p_gather : float;
+  p_flops : float;
+  p_vflops : float;
+  p_uflops : float;
+  p_atomics : float;
+  p_atomics_priv : float;
+  p_spill_f : float;
+  p_dyadic : bool;  (** every increment is a multiple of 2^-12 *)
+}
+
+type bstate = Bunknown | Bineligible | Bplan of bplan
+
+(* Closed-form charging is exact only while every accumulator stays in a
+   range where float addition of 2^-12 multiples is exact: |v| < 2^40
+   keeps v*4096 < 2^53 with a wide margin. *)
+let dyadic_bound = 1.099511627776e12 (* 2^40 *)
+let is_dyadic x = Float.is_integer (x *. 4096.0) && Float.abs x < dyadic_bound
+
+let batch_default =
+  match Sys.getenv_opt "DAISY_TRACE_FUSE" with Some "0" -> false | _ -> true
+
+
 (** Walk one trace section; returns its counters, exactly like
     [Trace_compile.trace_node]. *)
-let trace_tnode (wctx : Trace.walk_ctx) (bc : B.t) (tn : B.tnode) :
-    Trace.counters =
+let trace_tnode ?(batch = batch_default) (wctx : Trace.walk_ctx) (bc : B.t)
+    (tn : B.tnode) : Trace.counters =
   let config = wctx.Trace.config in
   let cache = wctx.Trace.cache in
   let budget = wctx.Trace.budget in
@@ -97,6 +215,8 @@ let trace_tnode (wctx : Trace.walk_ctx) (bc : B.t) (tn : B.tnode) :
   in
   let gather_mult = float_of_int config.Config.vector_width -. 1.0 in
   let vw = float_of_int config.Config.vector_width in
+  let line_shift = Cache.l1_line_shift cache in
+  let line_bytes = 1 lsl line_shift in
   (* loop runtime state, indexed by loop id (loops are not reentrant) *)
   let nl = Array.length tn.B.t_loops in
   let lo_fns = Array.make nl (fun () -> 0) in
@@ -110,6 +230,7 @@ let trace_tnode (wctx : Trace.walk_ctx) (bc : B.t) (tn : B.tnode) :
   let cur = Array.make (max 1 nl) 0 in
   let trips = Array.make (max 1 nl) 0 in
   let counts = Array.make (max 1 nl) 0 in
+  let plans = Array.make (max 1 nl) Bunknown in
   (* spill slots: counts memoized per lid so duplicated subtrees share,
      allocation order = first-execution order, base advances only for
      loops that actually spill *)
@@ -163,6 +284,301 @@ let trace_tnode (wctx : Trace.walk_ctx) (bc : B.t) (tn : B.tnode) :
     in
     comp_rt.(id) <- Some k;
     k
+  in
+  (* per-iteration byte delta of one site of the memoized occurrence:
+     [Some 0] for loop-invariant sites, [None] for non-affine ones *)
+  let site_delta (w : B.tloop) (ts : B.tsite) : int option =
+    match ts.B.ts_acc with
+    | B.Ta_gen _ -> None
+    | B.Ta_aff (off, nt) ->
+        let c = ref 0 in
+        for k = 0 to nt - 1 do
+          if tn.B.t_pool.(off + 1 + (2 * k)) = w.B.w_slot then
+            c := tn.B.t_pool.(off + 2 + (2 * k))
+        done;
+        Some (!c * w.B.w_step)
+  in
+  (* Build the replay plan for a straight-line loop at its first non-empty
+     entry — the comps bind here, which IS their first execution, so the
+     cid memo and spill allocation order are untouched. Never called for
+     zero-trip entries (lazy error contract). *)
+  let build_plan (id : int) (w : B.tloop) : bstate =
+    match w.B.w_body with
+    | None -> Bineligible
+    | Some ids ->
+        let ok =
+          Array.for_all (fun cid -> tn.B.t_comps.(cid).B.y_err = None) ids
+        in
+        if not ok then Bineligible
+        else begin
+          let groups =
+            Array.map
+              (fun cid ->
+                let y = tn.B.t_comps.(cid) in
+                let k =
+                  match comp_rt.(cid) with
+                  | Some k -> k
+                  | None -> bind_comp cid y
+                in
+                (cid, k))
+              ids
+          in
+          let eligible = ref true in
+          let batchable = ref true in
+          let bgroups =
+            Array.map
+              (fun (cid, k) ->
+                let y = tn.B.t_comps.(cid) in
+                let mid =
+                  match Hashtbl.find_opt comp_memo y.B.y_cid with
+                  | Some m -> m
+                  | None -> cid
+                in
+                let m = tn.B.t_comps.(mid) in
+                let sites =
+                  Array.mapi
+                    (fun s (ts : B.tsite) ->
+                      let dd =
+                        match site_delta w ts with
+                        | Some dd -> dd
+                        | None ->
+                            eligible := false;
+                            0
+                      in
+                      let a = abs dd in
+                      if
+                        not
+                          (dd = 0
+                          || (a <= line_bytes / 2 && line_bytes mod a = 0))
+                      then batchable := false;
+                      (* batchable deltas divide the power-of-two line
+                         size, so |dd| is itself a power of two and run
+                         lengths reduce to shifts; the shift is
+                         meaningless (and unused) when not batchable *)
+                      let shift =
+                        let s = ref 0 in
+                        while a > 1 lsl !s do incr s done;
+                        !s
+                      in
+                      {
+                        b_write = k.k_sites.(s).cs_write;
+                        b_gather = k.k_sites.(s).cs_gather;
+                        b_port = k.k_port;
+                        b_fn = k.k_sites.(s).cs_fn;
+                        b_dd = dd;
+                        b_shift = shift;
+                      })
+                    m.B.y_sites
+                in
+                (k, sites))
+              groups
+          in
+          if not !eligible then Bineligible
+          else begin
+            let flat = Array.concat (Array.to_list (Array.map snd bgroups)) in
+            let nst = Array.length flat in
+            let striding = ref [] in
+            let minrun = ref max_int in
+            for s = nst - 1 downto 0 do
+              if flat.(s).b_dd <> 0 then begin
+                striding := s :: !striding;
+                let r = line_bytes lsr flat.(s).b_shift in
+                if r < !minrun then minrun := r
+              end
+            done;
+            let spills = sp_n.(id) in
+            let base = sp_base.(id) in
+            let touch = nst + (2 * spills) in
+            let lines = Array.make (max 1 touch) 0 in
+            let writes = Array.make (max 1 touch) false in
+            let memoable = Array.make (max 1 touch) true in
+            let addrs = Array.make (max 1 touch) 0 in
+            let deltas = Array.make (max 1 touch) 0 in
+            let shifts = Array.make (max 1 touch) 0 in
+            let ports = Array.make (max 1 nst) 0.0 in
+            let gth = Array.make (max 1 nst) false in
+            Array.iteri
+              (fun s a ->
+                writes.(s) <- a.b_write;
+                deltas.(s) <- a.b_dd;
+                shifts.(s) <- a.b_shift;
+                ports.(s) <- a.b_port;
+                gth.(s) <- a.b_gather;
+                memoable.(s) <- abs a.b_dd < line_bytes)
+              flat;
+            for sp = 0 to spills - 1 do
+              let addr = base + (sp * 8) in
+              let line = addr lsr line_shift in
+              lines.(nst + (2 * sp)) <- line;
+              lines.(nst + (2 * sp) + 1) <- line;
+              addrs.(nst + (2 * sp)) <- addr;
+              addrs.(nst + (2 * sp) + 1) <- addr;
+              writes.(nst + (2 * sp)) <- true
+            done;
+            let ng = Array.length bgroups in
+            let gclass = Array.make (max 1 ng) 0 in
+            let gflops = Array.make (max 1 ng) 0.0 in
+            let gatomic = Array.make (max 1 ng) false in
+            let gcontended = Array.make (max 1 ng) false in
+            Array.iteri
+              (fun g ((k : ccomp), _) ->
+                gclass.(g) <- k.k_class;
+                gflops.(g) <- k.k_flops;
+                gatomic.(g) <- k.k_atomic;
+                gcontended.(g) <- k.k_contended)
+              bgroups;
+            let fspills = float_of_int spills in
+            let loads = ref 0.0 and stores = ref 0.0 and gather = ref 0.0 in
+            Array.iter
+              (fun a ->
+                if a.b_write then stores := !stores +. a.b_port
+                else loads := !loads +. a.b_port;
+                if a.b_gather then gather := !gather +. gather_mult)
+              flat;
+            loads := !loads +. fspills;
+            stores := !stores +. fspills;
+            let flops = ref 0.0 and vflops = ref 0.0 and uflops = ref 0.0 in
+            let atomics = ref 0.0 and atomics_priv = ref 0.0 in
+            Array.iter
+              (fun (k, _) ->
+                (if k.k_class = 1 then vflops := !vflops +. k.k_flops
+                 else if k.k_class = 2 then uflops := !uflops +. k.k_flops
+                 else flops := !flops +. k.k_flops);
+                if k.k_atomic then
+                  if k.k_contended then atomics := !atomics +. 1.0
+                  else atomics_priv := !atomics_priv +. 1.0)
+              bgroups;
+            let dyadic =
+              Array.for_all (fun a -> is_dyadic a.b_port) flat
+              && is_dyadic gather_mult
+              && Array.for_all (fun (k, _) -> is_dyadic k.k_flops) bgroups
+              && is_dyadic !loads && is_dyadic !stores && is_dyadic !gather
+              && is_dyadic !flops && is_dyadic !vflops && is_dyadic !uflops
+            in
+            Bplan
+              {
+                p_flat = flat;
+                p_nsites = nst;
+                p_spills = spills;
+                p_sp_base = base;
+                p_touch = touch;
+                p_addr = addrs;
+                p_dd = deltas;
+                p_shifts = shifts;
+                p_port = ports;
+                p_gth = gth;
+                p_gclass = gclass;
+                p_gflops = gflops;
+                p_gatomic = gatomic;
+                p_gcontended = gcontended;
+                p_lines = lines;
+                p_writes = writes;
+                p_memoable = memoable;
+                p_slots = Array.make (max 1 touch) 0;
+                p_striding = Array.of_list !striding;
+                p_mline = Array.make (max 1 touch) (-1);
+                p_mslot = Array.make (max 1 touch) 0;
+                p_mep = Array.make (max 1 touch) (-1);
+                p_batchable = !batchable;
+                p_minrun = !minrun;
+                p_chunked = !batchable && !minrun >= 4;
+                p_iters = 0;
+                p_chunks = 0;
+                p_loads = !loads;
+                p_stores = !stores;
+                p_gather = !gather;
+                p_flops = !flops;
+                p_vflops = !vflops;
+                p_uflops = !uflops;
+                p_atomics = !atomics;
+                p_atomics_priv = !atomics_priv;
+                p_spill_f = fspills;
+                p_dyadic = dyadic;
+              }
+          end
+        end
+  in
+  (* One generic iteration of a batched loop, at the plan's current
+     addresses, advancing them by the deltas — byte-for-byte the dispatch
+     loop's charges. All cache traffic runs first in touch order (the
+     spill write/read pairs sit after the sites), then the counter adds:
+     cache state and counters are disjoint, and per accumulator the add
+     sequence is unchanged, so the split preserves bit-exactness while
+     one call covers the iteration's traffic and the epoch-validated
+     slot memo skips tag scans for proven hits. *)
+  let generic_iteration (pl : bplan) : unit =
+    Cache.l1_replay_advance cache ~addrs:pl.p_addr ~deltas:pl.p_dd
+      ~writes:pl.p_writes ~memoable:pl.p_memoable ~n:pl.p_touch
+      ~mline:pl.p_mline ~mslot:pl.p_mslot ~mep:pl.p_mep;
+    let ports = pl.p_port in
+    let wr = pl.p_writes in
+    let gth = pl.p_gth in
+    for s = 0 to pl.p_nsites - 1 do
+      let port = Array.unsafe_get ports s in
+      (if Array.unsafe_get wr s then
+         counters.Trace.stores <- counters.Trace.stores +. port
+       else counters.Trace.loads <- counters.Trace.loads +. port);
+      if Array.unsafe_get gth s then
+        counters.Trace.gather_extra <-
+          counters.Trace.gather_extra +. gather_mult
+    done;
+    let gflops = pl.p_gflops in
+    for g = 0 to Array.length gflops - 1 do
+      let f = Array.unsafe_get gflops g in
+      let c = Array.unsafe_get pl.p_gclass g in
+      (if c = 1 then
+         counters.Trace.vec_flops <- counters.Trace.vec_flops +. f
+       else if c = 2 then
+         counters.Trace.unrolled_flops <-
+           counters.Trace.unrolled_flops +. f
+       else counters.Trace.flops <- counters.Trace.flops +. f);
+      if pl.p_gatomic.(g) then
+        if pl.p_gcontended.(g) then
+          counters.Trace.atomics <- counters.Trace.atomics +. 1.0
+        else
+          counters.Trace.atomics_private <-
+            counters.Trace.atomics_private +. 1.0
+    done;
+    if pl.p_spills > 0 then begin
+      counters.Trace.loads <- counters.Trace.loads +. pl.p_spill_f;
+      counters.Trace.stores <- counters.Trace.stores +. pl.p_spill_f;
+      counters.Trace.spill_ops <-
+        counters.Trace.spill_ops +. (2.0 *. pl.p_spill_f)
+    end
+  in
+  (* [generic_iteration] with the per-site/per-group counter loops
+     collapsed into one add per accumulator. Valid only under the same
+     dyadic guard that licenses the chunked closed form: every
+     accumulator value and partial sum is then an exactly-represented
+     2^-12 multiple, float addition on them is exact and hence
+     associative, so the per-iteration totals are bit-identical to the
+     site-by-site sequence (this is the chunked transform at m = 1). *)
+  let light_iteration (pl : bplan) : unit =
+    Cache.l1_replay_advance cache ~addrs:pl.p_addr ~deltas:pl.p_dd
+      ~writes:pl.p_writes ~memoable:pl.p_memoable ~n:pl.p_touch
+      ~mline:pl.p_mline ~mslot:pl.p_mslot ~mep:pl.p_mep;
+    (if pl.p_loads <> 0.0 then
+       counters.Trace.loads <- counters.Trace.loads +. pl.p_loads);
+    (if pl.p_stores <> 0.0 then
+       counters.Trace.stores <- counters.Trace.stores +. pl.p_stores);
+    (if pl.p_gather <> 0.0 then
+       counters.Trace.gather_extra <-
+         counters.Trace.gather_extra +. pl.p_gather);
+    (if pl.p_flops <> 0.0 then
+       counters.Trace.flops <- counters.Trace.flops +. pl.p_flops);
+    (if pl.p_vflops <> 0.0 then
+       counters.Trace.vec_flops <- counters.Trace.vec_flops +. pl.p_vflops);
+    (if pl.p_uflops <> 0.0 then
+       counters.Trace.unrolled_flops <-
+         counters.Trace.unrolled_flops +. pl.p_uflops);
+    (if pl.p_atomics <> 0.0 then
+       counters.Trace.atomics <- counters.Trace.atomics +. pl.p_atomics);
+    (if pl.p_atomics_priv <> 0.0 then
+       counters.Trace.atomics_private <-
+         counters.Trace.atomics_private +. pl.p_atomics_priv);
+    (if pl.p_spill_f <> 0.0 then
+       counters.Trace.spill_ops <-
+         counters.Trace.spill_ops +. (2.0 *. pl.p_spill_f))
   in
   (* library calls: dimension thunks bound at first execution *)
   let nk = Array.length tn.B.t_calls in
@@ -261,7 +677,187 @@ let trace_tnode (wctx : Trace.walk_ctx) (bc : B.t) (tn : B.tnode) :
         cur.(id) <- lo;
         Budget.tick budget;
         iters.(w.B.w_slot) <- lo;
-        pc := !pc + 3
+        (match plans.(id) with
+        | Bunknown when batch -> plans.(id) <- build_plan id w
+        | _ -> ());
+        match plans.(id) with
+        | Bplan pl when batch ->
+            (* fused replay of the whole trip: addresses advance
+               incrementally (no per-iteration closure calls), and when
+               the plan is batchable with long enough same-line runs the
+               chunk machinery retires all-hit spans in closed form *)
+            let flat = pl.p_flat in
+            let nst = pl.p_nsites in
+            for s = 0 to nst - 1 do
+              pl.p_addr.(s) <- flat.(s).b_fn ()
+            done;
+            let guard =
+              (* the closed form c +. m*inc equals m repeated adds only
+                 while c is itself a 2^-12 multiple and both stay small
+                 enough that every intermediate is exact: c < 2^38 and
+                 count*inc < 2^38 bound every intermediate accumulator by
+                 2^39 (numerators < 2^51) and every per-chunk product
+                 fm *. inc by 2^38 (numerators < 2^50). Checked once per
+                 loop entry so the replay loops carry no float guards.
+                 The same bounds license [light_iteration]'s collapsed
+                 per-iteration adds (the m = 1 case). *)
+              pl.p_dyadic
+              &&
+              let fcount = float_of_int count in
+              let mag = 2.74877906944e11 (* 2^38 *) in
+              let ok c inc =
+                inc = 0.0
+                || (Float.is_integer (c *. 4096.0)
+                    && Float.abs c < mag
+                    && fcount *. inc < mag)
+              in
+              ok counters.Trace.loads pl.p_loads
+              && ok counters.Trace.stores pl.p_stores
+              && ok counters.Trace.gather_extra pl.p_gather
+              && ok counters.Trace.flops pl.p_flops
+              && ok counters.Trace.vec_flops pl.p_vflops
+              && ok counters.Trace.unrolled_flops pl.p_uflops
+              && ok counters.Trace.atomics pl.p_atomics
+              && ok counters.Trace.atomics_private pl.p_atomics_priv
+              && ok counters.Trace.spill_ops (2.0 *. pl.p_spill_f)
+              && ok (Cache.l1_stats cache).Cache.accesses
+                   (float_of_int pl.p_touch)
+            in
+            let chunked =
+              (* statically: runs shorter than 4 iterations cap hit-run
+                 spans at 3, so the per-chunk probe/min machinery costs
+                 more than the per-iteration path it replaces; demoted
+                 adaptively when observed chunks come out short *)
+              pl.p_chunked
+              && (let ok = ref true in
+                  for s = 0 to nst - 1 do
+                    if
+                      pl.p_addr.(s) < 0
+                      || pl.p_addr.(s) + ((count - 1) * pl.p_dd.(s)) < 0
+                    then ok := false
+                    (* lsr-based run-length math assumes non-negative
+                       addresses throughout the trip *)
+                  done;
+                  !ok)
+              && guard
+            in
+            if not chunked then begin
+              (* fused-only replay: incremental addresses and
+                 table-driven charging, the cache touched
+                 access-by-access — bit-identical to the dispatch loop
+                 for any stride, address sign, or accumulator value *)
+              (* fuel for the whole trip at once (the entry already
+                 ticked iteration one), exactly as the chunked mode
+                 spends per hit-run; the deadline poll that [Budget.tick]
+                 amortizes is kept on the same 4096 cadence *)
+              Budget.spend budget (count - 1);
+              if guard then
+                for it = 1 to count do
+                  if it land 4095 = 0 then Util.check_deadline ();
+                  light_iteration pl
+                done
+              else
+                for it = 1 to count do
+                  if it land 4095 = 0 then Util.check_deadline ();
+                  generic_iteration pl
+                done
+            end
+            else begin
+              let remaining = ref count in
+              let chunks = ref 0 in
+              let first = ref true in
+              let mask = line_bytes - 1 in
+              let striding = pl.p_striding in
+              let ns = Array.length striding in
+              while !remaining > 0 do
+                (* iterations (incl. the current one) for which every
+                   site stays on its current line *)
+                let chunk = ref !remaining in
+                for q = 0 to ns - 1 do
+                  let idx = Array.unsafe_get striding q in
+                  let addr = Array.unsafe_get pl.p_addr idx in
+                  let sh = Array.unsafe_get pl.p_shifts idx in
+                  let r =
+                    if Array.unsafe_get pl.p_dd idx > 0 then
+                      ((line_bytes - (addr land mask) - 1) lsr sh) + 1
+                    else ((addr land mask) lsr sh) + 1
+                  in
+                  if r < !chunk then chunk := r
+                done;
+                if !first then first := false else Budget.tick budget;
+                incr chunks;
+                light_iteration pl;
+                decr remaining;
+                let m = min (!chunk - 1) !remaining in
+                if m > 0 then begin
+                  for s = 0 to nst - 1 do
+                    pl.p_lines.(s) <- pl.p_addr.(s) lsr line_shift
+                  done;
+                  if
+                    Cache.l1_probe_memo cache ~lines:pl.p_lines
+                      ~n:pl.p_touch ~slots:pl.p_slots ~mline:pl.p_mline
+                      ~mslot:pl.p_mslot ~mep:pl.p_mep
+                  then begin
+                    let fm = float_of_int m in
+                    Budget.spend budget m;
+                    Util.check_deadline ();
+                    Cache.l1_hit_run cache ~slots:pl.p_slots
+                      ~writes:pl.p_writes ~k:pl.p_touch ~n:m;
+                    (if pl.p_loads <> 0.0 then
+                       counters.Trace.loads <-
+                         counters.Trace.loads +. (fm *. pl.p_loads));
+                    (if pl.p_stores <> 0.0 then
+                       counters.Trace.stores <-
+                         counters.Trace.stores +. (fm *. pl.p_stores));
+                    (if pl.p_gather <> 0.0 then
+                       counters.Trace.gather_extra <-
+                         counters.Trace.gather_extra +. (fm *. pl.p_gather));
+                    (if pl.p_flops <> 0.0 then
+                       counters.Trace.flops <-
+                         counters.Trace.flops +. (fm *. pl.p_flops));
+                    (if pl.p_vflops <> 0.0 then
+                       counters.Trace.vec_flops <-
+                         counters.Trace.vec_flops +. (fm *. pl.p_vflops));
+                    (if pl.p_uflops <> 0.0 then
+                       counters.Trace.unrolled_flops <-
+                         counters.Trace.unrolled_flops +. (fm *. pl.p_uflops));
+                    (if pl.p_atomics <> 0.0 then
+                       counters.Trace.atomics <-
+                         counters.Trace.atomics +. (fm *. pl.p_atomics));
+                    (if pl.p_atomics_priv <> 0.0 then
+                       counters.Trace.atomics_private <-
+                         counters.Trace.atomics_private
+                         +. (fm *. pl.p_atomics_priv));
+                    (* spill loads/stores are folded into p_loads/p_stores *)
+                    (if pl.p_spill_f <> 0.0 then
+                       counters.Trace.spill_ops <-
+                         counters.Trace.spill_ops
+                         +. (fm *. 2.0 *. pl.p_spill_f));
+                    for s = 0 to nst - 1 do
+                      pl.p_addr.(s) <- pl.p_addr.(s) + (m * pl.p_dd.(s))
+                    done;
+                    remaining := !remaining - m
+                  end
+                end
+              done;
+              (* demote to plain fused replay once enough evidence shows
+                 chunks averaging under 2 iterations: hit-runs then
+                 retire under half the traffic, and the per-chunk min
+                 and probe cost more than they save *)
+              pl.p_iters <- pl.p_iters + count;
+              pl.p_chunks <- pl.p_chunks + !chunks;
+              if pl.p_iters >= 4096 && 2 * pl.p_chunks > pl.p_iters then
+                pl.p_chunked <- false
+            end;
+            rem.(id) <- 0;
+            let last = lo + ((count - 1) * step) in
+            cur.(id) <- last;
+            iters.(w.B.w_slot) <- last;
+            if count < trips.(id) then
+              scale_factor :=
+                float_of_int trips.(id) /. float_of_int counts.(id);
+            pc := end_pc
+        | _ -> pc := !pc + 3
       end
     end
     else if op = B.t_loopbk then begin
@@ -339,12 +935,70 @@ let trace_tnode (wctx : Trace.walk_ctx) (bc : B.t) (tn : B.tnode) :
   end;
   counters
 
-(** [run config p ~sizes ?sample_outer ?budget ()] — lower once, walk every
-    trace section; drop-in replacement for [Trace_compile.run] exact mode. *)
+(* ------------------------------------------------------------------ *)
+(* Cross-candidate simulation memo                                      *)
+
+type memo_key = {
+  mk_fp : string;
+      (** canonical fingerprint: [Marshal] (no sharing) of the trace
+          section plus the artifact name table it indexes *)
+  mk_sample : int;
+  mk_state : int;  (** incoming cache-state class: -1 = cold, else the
+                       id of the entry whose outgoing state we're in *)
+}
+
+type memo_entry = {
+  me_id : int;
+  me_counters : Trace.counters;  (** final (scaled) counters, private *)
+  me_l1 : Cache.stats;  (** raw (unscaled) cache-stat deltas *)
+  me_l2 : Cache.stats;
+  me_ticks : int;  (** budget steps the walk consumed *)
+  me_clock : int;  (** LRU clock advance *)
+  me_snap : Cache.snapshot;  (** outgoing tag/dirty/LRU state *)
+}
+
+(** Cross-candidate simulation memo: safe to share across domains (the
+    table is mutex-guarded; hits only read immutable entries). Keys are
+    exact — structural fingerprints, never lossy hashes — so a hit can
+    only be a re-simulation of an identical section from an identical
+    state class under an identical cache config. *)
+type memo = {
+  mm_config : Config.t;
+  mm_tbl : (memo_key, memo_entry) Hashtbl.t;
+  mm_lock : Mutex.t;
+  mutable mm_next : int;
+  mutable mm_hits : int;
+  mutable mm_misses : int;
+  mm_cap : int;
+}
+
+let memo_create ?(cap = 4096) (config : Config.t) : memo =
+  {
+    mm_config = config;
+    mm_tbl = Hashtbl.create 256;
+    mm_lock = Mutex.create ();
+    mm_next = 0;
+    mm_hits = 0;
+    mm_misses = 0;
+    mm_cap = max 1 cap;
+  }
+
+let memo_stats (m : memo) : int * int =
+  Mutex.protect m.mm_lock (fun () -> (m.mm_hits, m.mm_misses))
+
+let fingerprint (bc : B.t) (tn : B.tnode) : string =
+  Marshal.to_string (tn, bc.B.names) [ Marshal.No_sharing ]
+
+(** [run config p ~sizes ?sample_outer ?budget ?batch ?memo ()] — lower
+    once, walk every trace section; drop-in replacement for
+    [Trace_compile.run] exact mode. [batch] enables the fused batched
+    replay (default on; [DAISY_TRACE_FUSE=0] flips the default); [memo]
+    shares simulation results across calls with an identical config. *)
 let run (config : Config.t) (p : Ir.program) ~(sizes : (string * int) list)
-    ?(sample_outer = 0) ?(budget = Budget.unlimited ()) () :
-    Trace.counters list =
+    ?(sample_outer = 0) ?(budget = Budget.unlimited ())
+    ?(batch = batch_default) ?memo () : Trace.counters list =
   Fault.inject "bc_run";
+  if batch then Fault.inject "trace_fuse";
   let param_env =
     List.fold_left (fun m (k, v) -> Util.SMap.add k v m) Util.SMap.empty sizes
   in
@@ -354,4 +1008,81 @@ let run (config : Config.t) (p : Ir.program) ~(sizes : (string * int) list)
   let wctx =
     { Trace.config; cache; layout; param_env; sample_outer; budget }
   in
-  Array.to_list (Array.map (trace_tnode wctx bc) bc.B.tnodes)
+  let memo =
+    match memo with Some m when m.mm_config = config -> memo | _ -> None
+  in
+  (* incoming state class threads through the tnodes of one run: a fresh
+     cache is Cold (-1); each hit/store moves to that entry's outgoing
+     state; -2 = unclassified (full table), memoization stops there *)
+  let state = ref (-1) in
+  let eval (tnl : B.tnode) : Trace.counters =
+    match memo with
+    | None -> trace_tnode ~batch wctx bc tnl
+    | Some m ->
+        if !state = -2 then trace_tnode ~batch wctx bc tnl
+        else begin
+          let key =
+            { mk_fp = fingerprint bc tnl; mk_sample = sample_outer;
+              mk_state = !state }
+          in
+          let hit =
+            Mutex.protect m.mm_lock (fun () ->
+                match Hashtbl.find_opt m.mm_tbl key with
+                | Some e ->
+                    m.mm_hits <- m.mm_hits + 1;
+                    Some e
+                | None ->
+                    m.mm_misses <- m.mm_misses + 1;
+                    None)
+          in
+          match hit with
+          | Some e ->
+              (* replay the memoized outcome: budget first (Exhausted at
+                 the same fuel the walk would have died at), then clock,
+                 state and raw stat deltas *)
+              Budget.spend budget e.me_ticks;
+              Util.check_deadline ();
+              Cache.restore cache e.me_snap ~clock_delta:e.me_clock;
+              Cache.add_stats (Cache.l1_stats cache) e.me_l1;
+              Cache.add_stats (Cache.l2_stats cache) e.me_l2;
+              state := e.me_id;
+              Trace.copy_counters e.me_counters
+          | None ->
+              let l1b = Cache.copy_stats (Cache.l1_stats cache) in
+              let l2b = Cache.copy_stats (Cache.l2_stats cache) in
+              let clock_b = Cache.clock cache in
+              let fuel_b = Budget.remaining budget in
+              let c = trace_tnode ~batch wctx bc tnl in
+              let entry =
+                {
+                  me_id = 0;
+                  me_counters = Trace.copy_counters c;
+                  me_l1 = Cache.sub_stats (Cache.l1_stats cache) l1b;
+                  me_l2 = Cache.sub_stats (Cache.l2_stats cache) l2b;
+                  me_ticks = fuel_b - Budget.remaining budget;
+                  me_clock = Cache.clock cache - clock_b;
+                  me_snap = Cache.snapshot cache;
+                }
+              in
+              let id =
+                Mutex.protect m.mm_lock (fun () ->
+                    match Hashtbl.find_opt m.mm_tbl key with
+                    | Some e ->
+                        (* racing domain stored it first: deterministic
+                           walks from the same key are identical, adopt *)
+                        e.me_id
+                    | None ->
+                        if Hashtbl.length m.mm_tbl >= m.mm_cap then -2
+                        else begin
+                          let id = m.mm_next in
+                          m.mm_next <- id + 1;
+                          Hashtbl.replace m.mm_tbl key
+                            { entry with me_id = id };
+                          id
+                        end)
+              in
+              state := id;
+              c
+        end
+  in
+  Array.to_list (Array.map eval bc.B.tnodes)

@@ -157,13 +157,10 @@ let trace_node (wctx : Trace.walk_ctx) ?(approx : approx option)
   let l2_lines =
     config.Config.l2.Config.size_bytes / config.Config.l2.Config.line_bytes
   in
-  let line_shift =
-    let s = ref 0 in
-    while 1 lsl !s < line_bytes do
-      incr s
-    done;
-    !s
-  in
+  (* the simulated cache's own shift: [Cache.make_level] rounds
+     non-power-of-two line sizes down, so deriving the shift here from the
+     raw config could disagree with the lines the cache actually tracks *)
+  let line_shift = Cache.l1_line_shift cache in
   (* --- adaptive-sampling machinery (approx mode only) --------------- *)
   let snap (dst : float array) =
     dst.(0) <- counters.Trace.flops;

@@ -17,12 +17,28 @@ type ctx = {
   eval_deadline : float option;
       (** per-candidate wall-clock deadline in seconds for supervised
           search evaluation; [None] = unlimited *)
+  sim_memo : Cost.sim_memo option;
+      (** cross-candidate simulation memo shared by every evaluation
+          under this context (and safe across domains); [None] disables
+          memoization *)
 }
+
+(* The memo is exact (content-addressed trace sections), so it defaults
+   on; DAISY_SIM_MEMO=0 turns it off for differential/debug runs. *)
+let sim_memo_default () =
+  match Sys.getenv_opt "DAISY_SIM_MEMO" with Some "0" -> false | _ -> true
 
 let make_ctx ?(config = Config.default) ?(threads = config.Config.cores)
     ?(sample_outer = 12) ?(engine = Cost.Bytecode) ?eval_steps ?eval_deadline
-    ~sizes () =
-  { config; sizes; threads; sample_outer; engine; eval_steps; eval_deadline }
+    ?sim_memo ~sizes () =
+  let sim_memo =
+    match sim_memo with
+    | Some m -> Some m
+    | None -> if sim_memo_default () then Some (Cost.sim_memo_create config)
+              else None
+  in
+  { config; sizes; threads; sample_outer; engine; eval_steps; eval_deadline;
+    sim_memo }
 
 (** Simulated runtime in milliseconds. Every evaluation goes through
     {!Cost.evaluate_guarded}: a fresh step budget per candidate
@@ -33,12 +49,18 @@ let runtime_ms (ctx : ctx) (p : Ir.program) : float =
   Cost.milliseconds
     (Cost.evaluate_guarded ctx.config p ~sizes:ctx.sizes ~threads:ctx.threads
        ~sample_outer:ctx.sample_outer ~engine:ctx.engine ?steps:ctx.eval_steps
-       ())
+       ?memo:ctx.sim_memo ())
 
 (** Full report (for L1 statistics, FLOP/s). *)
 let report (ctx : ctx) (p : Ir.program) : Cost.report =
   Cost.evaluate_guarded ctx.config p ~sizes:ctx.sizes ~threads:ctx.threads
-    ~sample_outer:ctx.sample_outer ~engine:ctx.engine ?steps:ctx.eval_steps ()
+    ~sample_outer:ctx.sample_outer ~engine:ctx.engine ?steps:ctx.eval_steps
+    ?memo:ctx.sim_memo ()
+
+(** Simulation-memo statistics of a context: [(hits, misses)], or [None]
+    when memoization is off. *)
+let sim_memo_stats (ctx : ctx) : (int * int) option =
+  Option.map Cost.sim_memo_stats ctx.sim_memo
 
 (** A program containing a single top-level node, sharing the array
     declarations of [p] — used to evaluate candidate schedules per nest. *)

@@ -13,6 +13,10 @@ type ctx = {
       (** per-candidate wall-clock deadline in seconds, enforced
           cooperatively by supervised search evaluation
           ([Daisy_support.Pool.map_supervised]); [None] = unlimited *)
+  sim_memo : Daisy_machine.Cost.sim_memo option;
+      (** cross-candidate simulation memo shared by every evaluation
+          under this context (safe across domains); [None] disables
+          memoization *)
 }
 
 val make_ctx :
@@ -22,9 +26,16 @@ val make_ctx :
   ?engine:Daisy_machine.Cost.engine ->
   ?eval_steps:int ->
   ?eval_deadline:float ->
+  ?sim_memo:Daisy_machine.Cost.sim_memo ->
   sizes:(string * int) list ->
   unit ->
   ctx
+(** [sim_memo] defaults to a fresh memo over [config]
+    (exact memoization is always safe); set [DAISY_SIM_MEMO=0] to
+    default it off instead. *)
+
+val sim_memo_stats : ctx -> (int * int) option
+(** [(hits, misses)] of the context's simulation memo, [None] if off. *)
 
 val runtime_ms : ctx -> Daisy_loopir.Ir.program -> float
 (** Simulated runtime in milliseconds, via

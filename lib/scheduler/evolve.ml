@@ -74,6 +74,17 @@ let cache_store cache key v =
   Hashtbl.replace cache.tbl key v;
   Mutex.unlock cache.lock
 
+(** [(hits, misses)] read atomically — a consistent pair even while
+    workers are scoring. The fitness cache is the first memoization
+    level; below it, every cache-miss evaluation reaches the
+    cross-candidate simulation memo through [Common.nest_runtime_ms]
+    (see {!Common.sim_memo_stats} for its counters). *)
+let cache_stats cache =
+  Mutex.lock cache.lock;
+  let r = (cache.hits, cache.misses) in
+  Mutex.unlock cache.lock;
+  r
+
 (** All key fields except the recipe are fixed for a given (outer, p,
     nest) — a whole search varies only in [recipe]. *)
 let base_key ~outer (p : Ir.program) (nest : Ir.loop) : fitness_key =

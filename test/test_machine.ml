@@ -148,6 +148,130 @@ let test_cache_writeback_accounting () =
   Alcotest.(check int) "clean eviction: no writeback" 0
     (int_of_float (Cache.l1_stats c).Cache.writebacks)
 
+let test_cache_nonpow2_geometry () =
+  (* non-power-of-two line size and set count round down at construction
+     (line_bytes 48 -> 32; 1536/32/2 = 24 sets -> 16), so the cache must
+     behave exactly like the explicitly rounded configuration *)
+  let odd =
+    { Config.name = "L1"; size_bytes = 1536; line_bytes = 48; assoc = 2 }
+  in
+  let rounded =
+    { Config.name = "L1"; size_bytes = 1024; line_bytes = 32; assoc = 2 }
+  in
+  let l2 = { Config.name = "L2"; size_bytes = 8192; line_bytes = 64; assoc = 8 } in
+  let run l1 =
+    let c = Cache.create (tiny_config ~l1 ~l2) in
+    (* deterministic pseudo-random mix of reads and writes *)
+    let x = ref 12345 in
+    for _ = 1 to 2000 do
+      x := (!x * 1103515245) + 12345;
+      let r = (!x lsr 16) land 0xffff in
+      Cache.access c ~addr:(r * 8) ~write:(r land 3 = 0)
+    done;
+    (Cache.l1_stats c, Cache.l2_stats c)
+  in
+  let s1, s1' = run odd and s2, s2' = run rounded in
+  let eq name (a : Cache.stats) (b : Cache.stats) =
+    Alcotest.(check (float 0.0)) (name ^ " accesses") b.Cache.accesses a.Cache.accesses;
+    Alcotest.(check (float 0.0)) (name ^ " misses") b.Cache.misses a.Cache.misses;
+    Alcotest.(check (float 0.0)) (name ^ " evicts") b.Cache.evicts a.Cache.evicts;
+    Alcotest.(check (float 0.0)) (name ^ " writebacks") b.Cache.writebacks a.Cache.writebacks
+  in
+  eq "l1" s1 s2;
+  eq "l2" s1' s2'
+
+let test_config_validate () =
+  Alcotest.(check (list string)) "default config is clean" []
+    (Config.validate config);
+  let bad =
+    {
+      config with
+      Config.l1 =
+        { Config.name = "L1"; size_bytes = 1536; line_bytes = 48; assoc = 0 };
+      Config.vector_width = 3;
+    }
+  in
+  let msgs = Config.validate bad in
+  Alcotest.(check bool) "bad geometry reported" true (msgs <> []);
+  Alcotest.(check bool) "mentions the rounded line size" true
+    (List.exists (fun m -> String.length m > 0 && String.index_opt m '3' <> None)
+       msgs)
+
+let test_cache_snapshot_restore () =
+  (* replaying the same access sequence from a restored snapshot at a
+     later clock yields bit-identical statistics deltas: LRU only depends
+     on stamp order, which clock translation preserves *)
+  let c = Cache.create config in
+  for i = 0 to 99 do
+    Cache.access c ~addr:(i * 64) ~write:(i land 1 = 0)
+  done;
+  let snap = Cache.snapshot c in
+  let clock0 = Cache.clock c in
+  let seq () =
+    for i = 0 to 499 do
+      Cache.access c ~addr:(i * 40) ~write:(i land 3 = 0)
+    done
+  in
+  let before = Cache.copy_stats (Cache.l1_stats c) in
+  seq ();
+  let d1 = Cache.sub_stats (Cache.l1_stats c) before in
+  let spent = Cache.clock c - clock0 in
+  (* perturb the cache thoroughly, then restore and replay *)
+  for i = 0 to 999 do
+    Cache.access c ~addr:(i * 72) ~write:true
+  done;
+  Cache.restore c snap ~clock_delta:spent;
+  let before = Cache.copy_stats (Cache.l1_stats c) in
+  seq ();
+  let d2 = Cache.sub_stats (Cache.l1_stats c) before in
+  Alcotest.(check (float 0.0)) "misses replay" d1.Cache.misses d2.Cache.misses;
+  Alcotest.(check (float 0.0)) "evicts replay" d1.Cache.evicts d2.Cache.evicts;
+  Alcotest.(check (float 0.0)) "writebacks replay" d1.Cache.writebacks
+    d2.Cache.writebacks
+
+let test_cache_probe_hit_run () =
+  (* l1_probe + l1_hit_run must leave the cache in exactly the state the
+     per-access path produces: identical stats now AND identical eviction
+     behavior later (stamps and dirty bits match) *)
+  let l1 = { Config.name = "L1"; size_bytes = 256; line_bytes = 64; assoc = 4 } in
+  let l2 = { Config.name = "L2"; size_bytes = 8192; line_bytes = 64; assoc = 8 } in
+  let cfg = tiny_config ~l1 ~l2 in
+  let addrs = [| 0; 64; 128 |] in
+  let writes = [| false; true; false |] in
+  let warm c =
+    Array.iteri (fun j a -> Cache.access c ~addr:a ~write:writes.(j)) addrs
+  in
+  let tail c =
+    (* 5-line cyclic walk: evicts in LRU order, exposing any stamp skew *)
+    for _ = 1 to 3 do
+      for i = 0 to 4 do
+        Cache.access c ~addr:(i * 64) ~write:false
+      done
+    done
+  in
+  let generic = Cache.create cfg in
+  warm generic;
+  for _ = 1 to 7 do
+    Array.iteri (fun j a -> Cache.access generic ~addr:a ~write:writes.(j)) addrs
+  done;
+  tail generic;
+  let fused = Cache.create cfg in
+  warm fused;
+  let lines = Array.map (fun a -> a / 64) addrs in
+  let slots = Array.make 3 0 in
+  Alcotest.(check bool) "probe finds the warm lines" true
+    (Cache.l1_probe fused ~lines ~n:3 ~slots);
+  Cache.l1_hit_run fused ~slots ~writes ~k:3 ~n:7;
+  tail fused;
+  Alcotest.(check int) "clocks agree" (Cache.clock generic) (Cache.clock fused);
+  let sg = Cache.l1_stats generic and sf = Cache.l1_stats fused in
+  Alcotest.(check (float 0.0)) "accesses agree" sg.Cache.accesses sf.Cache.accesses;
+  Alcotest.(check (float 0.0)) "misses agree" sg.Cache.misses sf.Cache.misses;
+  Alcotest.(check (float 0.0)) "evicts agree" sg.Cache.evicts sf.Cache.evicts;
+  let wg = Cache.l2_stats generic and wf = Cache.l2_stats fused in
+  Alcotest.(check (float 0.0)) "dirty writebacks agree" wg.Cache.accesses
+    wf.Cache.accesses
+
 let test_cache_flush_keeps_stats () =
   let c = Cache.create config in
   Cache.access c ~addr:0 ~write:false;
@@ -426,6 +550,10 @@ let suite =
     ("cache direct-mapped conflicts", `Quick, test_cache_direct_mapped_conflict);
     ("cache single-set LRU", `Quick, test_cache_single_set_lru);
     ("cache writeback accounting", `Quick, test_cache_writeback_accounting);
+    ("cache non-pow2 geometry rounds", `Quick, test_cache_nonpow2_geometry);
+    ("config validation", `Quick, test_config_validate);
+    ("cache snapshot/restore", `Quick, test_cache_snapshot_restore);
+    ("cache probe + hit-run", `Quick, test_cache_probe_hit_run);
     ("cache flush keeps stats", `Quick, test_cache_flush_keeps_stats);
     ("line-granular stream agreement", `Quick, test_line_granular_agrees_on_streams);
     ("cache temporal reuse", `Quick, test_cache_reuse_hit);

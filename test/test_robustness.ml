@@ -164,6 +164,7 @@ let test_bytecode_trace_fallback_chain () =
             (Cost.milliseconds guarded))
         [ ("bc_run -> compiled", [ "bc_run" ]);
           ("bc_compile -> compiled", [ "bc_compile" ]);
+          ("trace_fuse -> compiled", [ "trace_fuse" ]);
           ("bc_run + trace_compile -> tree", [ "bc_run"; "trace_compile" ]) ])
 
 let test_interp_fallback_preserves_equivalence () =

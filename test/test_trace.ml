@@ -144,12 +144,14 @@ let test_attributed_loops () =
 (* ------------------------------------------------------------------ *)
 (* Non-affine subscripts, guards, min/max bounds, negative steps         *)
 
-let test_non_affine_guards_negstep () =
-  let n = Expr.var "n" and i = Expr.var "i" and j = Expr.var "j" in
+let n = Expr.var "n"
+let i = Expr.var "i"
+let j = Expr.var "j"
+
+let nonaffine_program =
   let sq_mod = Expr.md (Expr.mul i i) n in
   let clamped = Expr.max_ (Expr.sub i (Expr.const 2)) Expr.zero in
   let dest = { Ir.array = "A"; indices = [ sq_mod ] } in
-  let nonaffine =
     {
       Ir.pname = "nonaffine";
       size_params = [ "n" ];
@@ -168,10 +170,9 @@ let test_non_affine_guards_negstep () =
                          (Ir.Vadd, Ir.Vread dest,
                           Ir.Vread { Ir.array = "B"; indices = [ clamped ] })))
                ]) ];
-    }
-  in
-  check_both "non-affine subscripts" nonaffine ~sizes:[ ("n", 17) ];
-  let guarded =
+  }
+
+let guarded_program =
     {
       Ir.pname = "guarded";
       size_params = [ "n" ];
@@ -201,10 +202,9 @@ let test_non_affine_guards_negstep () =
                                     ]))))
                       ])
                ]) ];
-    }
-  in
-  check_both "guards + min bound + scalar dest" guarded ~sizes:[ ("n", 9) ];
-  let reverse =
+  }
+
+let reverse_program =
     {
       Ir.pname = "reverse";
       size_params = [ "n" ];
@@ -227,12 +227,11 @@ let test_non_affine_guards_negstep () =
                             { Ir.array = "x";
                               indices = [ Expr.add i Expr.one ] })))
                ]) ];
-    }
-  in
-  check_both "negative-step loop" reverse ~sizes:[ ("n", 12) ];
-  (* zero-trip loops: bodies must never be compiled (lazy errors) and the
-     spill-slot allocation order must match the walker's first-visit order *)
-  let zerotrip =
+  }
+
+(* zero-trip loops: bodies must never be compiled (lazy errors) and the
+   spill-slot allocation order must match the walker's first-visit order *)
+let zerotrip_program =
     {
       Ir.pname = "zerotrip";
       size_params = [ "n" ];
@@ -258,9 +257,18 @@ let test_non_affine_guards_negstep () =
                           Ir.Vread { Ir.array = "x"; indices = [ i ] },
                           Ir.Vfloat 1.0)))
                ]) ];
-    }
-  in
-  check_both "zero-trip loop" zerotrip ~sizes:[ ("n", 6) ]
+  }
+
+let edge_cases =
+  [
+    ("non-affine subscripts", nonaffine_program, [ ("n", 17) ]);
+    ("guards + min bound + scalar dest", guarded_program, [ ("n", 9) ]);
+    ("negative-step loop", reverse_program, [ ("n", 12) ]);
+    ("zero-trip loop", zerotrip_program, [ ("n", 6) ]);
+  ]
+
+let test_non_affine_guards_negstep () =
+  List.iter (fun (name, p, sizes) -> check_both name p ~sizes) edge_cases
 
 (* ------------------------------------------------------------------ *)
 (* Random programs                                                      *)
@@ -277,6 +285,121 @@ let prop_trace_bitwise =
         && List.for_all2 Tc.counters_equal tree compiled
       in
       ok 0 && ok 3)
+
+(* ------------------------------------------------------------------ *)
+(* Batched (fused) stream replay + simulation memo: bitwise contract    *)
+
+module Tb = Daisy_machine.Trace_bc
+module Pool = Daisy_support.Pool
+
+let lower = Daisy_lang.Lower.program_of_string ~source:"test.c"
+
+(** The fused bytecode paths must be {e bitwise identical} to the tree
+    oracle: the unfused walk, the batched walk, and — run twice against
+    one memo — both the memo-miss and the memo-hit pass. *)
+let check_batched name (p : Ir.program) ~sizes =
+  List.iter
+    (fun sample_outer ->
+      let tree = Trace.run config p ~sizes ~sample_outer () in
+      let cmp what got =
+        if
+          List.length tree <> List.length got
+          || not (List.for_all2 Tc.counters_equal tree got)
+        then
+          Alcotest.failf "%s (sample=%d): %s differs from tree oracle" name
+            sample_outer what
+      in
+      cmp "unfused bytecode"
+        (Tb.run config p ~sizes ~sample_outer ~batch:false ());
+      cmp "fused bytecode" (Tb.run config p ~sizes ~sample_outer ~batch:true ());
+      let memo = Tb.memo_create config in
+      cmp "memo miss pass"
+        (Tb.run config p ~sizes ~sample_outer ~batch:true ~memo ());
+      cmp "memo hit pass"
+        (Tb.run config p ~sizes ~sample_outer ~batch:true ~memo ());
+      let hits, _ = Tb.memo_stats memo in
+      if tree <> [] && hits = 0 then
+        Alcotest.failf "%s (sample=%d): identical re-run produced no memo hits"
+          name sample_outer)
+    [ 0; 7 ]
+
+let test_batched_polybench () =
+  List.iter
+    (fun (b : Pb.benchmark) ->
+      check_batched ("fused:A:" ^ b.Pb.name) (Pb.program b)
+        ~sizes:b.Pb.test_sizes)
+    (Pb.all @ Pb.extras);
+  List.iter
+    (fun (b : Pb.benchmark) ->
+      let v = Variants.generate ~seed:("bvariant-" ^ b.Pb.name) (Pb.program b) in
+      check_batched ("fused:B:" ^ b.Pb.name) v ~sizes:b.Pb.test_sizes)
+    Pb.all
+
+let test_batched_edge_cases () =
+  (* negative step, zero trip, guards, non-affine subscripts *)
+  List.iter
+    (fun (name, p, sizes) -> check_batched ("fused:" ^ name) p ~sizes)
+    edge_cases;
+  (* write-back accounting: a store stream larger than L1 forces dirty
+     evictions, so any skew in fused dirty bits shows up in writebacks *)
+  let wb =
+    lower
+      {|void wb(int n, double A[n], double B[n]) {
+          for (int r = 0; r < 3; r++)
+            for (int i = 0; i < n; i++)
+              A[i] = A[i] + B[i];
+        }|}
+  in
+  check_batched "fused:writeback stream" wb ~sizes:[ ("n", 4096) ];
+  (* strides that do not divide the line size must decline to the
+     generic path (and still match bitwise) *)
+  let strided =
+    lower
+      {|void st(int n, double A[3 * n], double B[5 * n]) {
+          for (int i = 0; i < n; i++)
+            A[3 * i] = B[5 * i];
+        }|}
+  in
+  check_batched "fused:non-dividing stride" strided ~sizes:[ ("n", 100) ]
+
+let prop_batched_bitwise =
+  QCheck.Test.make ~count:120
+    ~name:"fused bytecode trace bitwise-identical to walker"
+    Test_property.arbitrary_program (fun p ->
+      let sizes = [ ("n", 8) ] in
+      let ok sample_outer =
+        let tree = Trace.run config p ~sizes ~sample_outer () in
+        let fused = Tb.run config p ~sizes ~sample_outer ~batch:true () in
+        let plain = Tb.run config p ~sizes ~sample_outer ~batch:false () in
+        List.length tree = List.length fused
+        && List.for_all2 Tc.counters_equal tree fused
+        && List.for_all2 Tc.counters_equal tree plain
+      in
+      ok 0 && ok 3)
+
+(* a single memo shared across 4 domains must stay deterministic: racing
+   stores resolve to the same entries, so parallel evaluation is
+   bit-identical to sequential *)
+let test_batched_parallel_memo () =
+  let progs =
+    List.map (fun (b : Pb.benchmark) -> (Pb.program b, b.Pb.test_sizes)) Pb.all
+  in
+  let eval memo (p, sizes) =
+    (Cost.evaluate config p ~sizes ~engine:Cost.Bytecode ~memo ()).Cost.nests
+    |> List.map (fun nc -> nc.Cost.counters)
+  in
+  let seq = List.map (eval (Tb.memo_create config)) progs in
+  let shared = Tb.memo_create config in
+  let par =
+    Pool.with_pool ~jobs:4 (fun pool -> Pool.map ?pool (eval shared) progs)
+  in
+  List.iteri
+    (fun i (xs, ys) ->
+      if
+        List.length xs <> List.length ys
+        || not (List.for_all2 Tc.counters_equal xs ys)
+      then Alcotest.failf "jobs 4 + shared memo: benchmark %d differs" i)
+    (List.combine seq par)
 
 (* ------------------------------------------------------------------ *)
 (* Approx mode: documented accuracy contract                            *)
@@ -348,6 +471,10 @@ let suite =
     ("non-affine/guard/negative-step/zero-trip", `Quick,
      test_non_affine_guards_negstep);
     QCheck_alcotest.to_alcotest prop_trace_bitwise;
+    ("fused replay: polybench A/B bitwise", `Slow, test_batched_polybench);
+    ("fused replay: edge cases bitwise", `Quick, test_batched_edge_cases);
+    QCheck_alcotest.to_alcotest prop_batched_bitwise;
+    ("fused replay: shared memo across jobs", `Slow, test_batched_parallel_memo);
     ("approx error bound: polybench", `Slow, test_approx_polybench);
     ("approx error bound: npbench+cloudsc", `Slow, test_approx_npbench_cloudsc);
     ("approx preserves ordering", `Slow, test_approx_ordering);
