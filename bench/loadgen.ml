@@ -1,0 +1,290 @@
+(** Open-loop load generator for daisyd (docs/serving.md, "Load
+    testing").
+
+    Open-loop means arrivals follow a fixed schedule — exponential
+    inter-arrival times from a seeded stream — regardless of how fast
+    the server answers, so queueing delay is actually observed rather
+    than absorbed by a closed feedback loop. Each arrival is one fresh
+    connection (the daemon's admission unit) submitting one kernel from
+    a small mix, tagged round-robin with one of [clients] client ids.
+
+    By default the generator boots an in-process server on a private
+    Unix socket sized to be overloadable (small queue, low degrade
+    depth) so the run exercises shedding and degradation, then stops it
+    with the protocol [shutdown] verb. Set [DAISY_SERVE_SOCKET=path] to
+    aim at an externally started daemon instead (the CI smoke script
+    does this around a kill-and-restart); an external daemon is left
+    running.
+
+    Results go to BENCH_serve.json: latency percentiles over answered
+    requests plus shed/degraded/retry counts from both the client's and
+    the server's perspective. *)
+
+module Serve = Daisy.Serve
+module P = Serve.Protocol
+module Client = Serve.Client
+module Util = Daisy_support.Util
+module Rng = Daisy_support.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Kernel mix                                                          *)
+
+let gemm_src =
+  {|void f(int n, double C[n][n], double A[n][n], double B[n][n]) {
+      for (int i = 0; i < n; i++)
+        for (int k = 0; k < n; k++)
+          for (int j = 0; j < n; j++)
+            C[i][j] += A[i][k] * B[k][j];
+    }|}
+
+let stencil_src =
+  {|void f(int n, double A[n][n], double B[n][n]) {
+      for (int i = 1; i < n - 1; i++)
+        for (int j = 1; j < n - 1; j++)
+          B[i][j] = 0.2 * (A[i][j] + A[i][j-1] + A[i][j+1]
+                           + A[i-1][j] + A[i+1][j]);
+    }|}
+
+let axpy_src =
+  {|void f(int n, double y[n], double x[n]) {
+      for (int i = 0; i < n; i++)
+        y[i] = y[i] + 2.0 * x[i];
+    }|}
+
+let kernels =
+  [ ("gemm", gemm_src); ("stencil", stencil_src); ("axpy", axpy_src) ]
+
+(* ------------------------------------------------------------------ *)
+(* Outcome accounting                                                  *)
+
+type outcome =
+  | Ok_reply of { latency_s : float; degraded : bool; retries : int }
+  | Refused of P.error_code  (** structured server error (busy, ...) *)
+  | Transport of string  (** connect/framing failure *)
+
+type tally = {
+  mutable outcomes : outcome list;
+  lock : Mutex.t;
+}
+
+let record t o =
+  Mutex.lock t.lock;
+  t.outcomes <- o :: t.outcomes;
+  Mutex.unlock t.lock
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1))
+
+(* ------------------------------------------------------------------ *)
+(* One load scenario                                                   *)
+
+type scenario = {
+  label : string;
+  requests : int;
+  rate_hz : float;  (** offered arrival rate *)
+  clients : int;  (** distinct client ids, round-robin *)
+  size : int;  (** value of every size parameter *)
+}
+
+type result = {
+  scenario : scenario;
+  answered : int;
+  shed : int;
+  quota_refused : int;
+  other_refused : int;
+  transport_errors : int;
+  degraded : int;
+  retried : int;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  mean_ms : float;
+  wall_s : float;
+}
+
+let run_scenario ~(address : Serve.Server.address) (sc : scenario) : result =
+  let tally = { outcomes = []; lock = Mutex.create () } in
+  let rng = Rng.of_string ("loadgen-" ^ sc.label) in
+  let one_request i () =
+    let name, source = List.nth kernels (i mod List.length kernels) in
+    ignore name;
+    let started = Util.monotonic_s () in
+    match
+      Client.with_connection ~timeout_s:60.0 address (fun c ->
+          Client.schedule c
+            {
+              P.client = Printf.sprintf "lg-%d" (i mod sc.clients);
+              sizes = [ ("n", sc.size) ];
+              budget = None;
+              deadline_s = Some 30.0;
+              source;
+            })
+    with
+    | reply ->
+        record tally
+          (Ok_reply
+             {
+               latency_s = Util.monotonic_s () -. started;
+               degraded = reply.P.degraded;
+               retries = reply.P.retries;
+             })
+    | exception Client.Server_error (code, _) -> record tally (Refused code)
+    | exception e -> record tally (Transport (Printexc.to_string e))
+  in
+  let t0 = Util.monotonic_s () in
+  let threads = ref [] in
+  for i = 0 to sc.requests - 1 do
+    threads := Thread.create (one_request i) () :: !threads;
+    (* exponential inter-arrival at the offered rate, independent of
+       completions: the open loop *)
+    let u = Rng.float rng in
+    Thread.delay (-.log (1.0 -. u) /. sc.rate_hz)
+  done;
+  List.iter Thread.join !threads;
+  let wall_s = Util.monotonic_s () -. t0 in
+  let outcomes = tally.outcomes in
+  let latencies =
+    List.filter_map
+      (function Ok_reply { latency_s; _ } -> Some latency_s | _ -> None)
+      outcomes
+    |> Array.of_list
+  in
+  Array.sort compare latencies;
+  let count f = List.length (List.filter f outcomes) in
+  let sum = Array.fold_left ( +. ) 0.0 latencies in
+  {
+    scenario = sc;
+    answered = Array.length latencies;
+    shed = count (function Refused P.Busy -> true | _ -> false);
+    quota_refused = count (function Refused P.Quota -> true | _ -> false);
+    other_refused =
+      count (function
+        | Refused (P.Busy | P.Quota) -> false
+        | Refused _ -> true
+        | _ -> false);
+    transport_errors = count (function Transport _ -> true | _ -> false);
+    degraded =
+      count (function Ok_reply { degraded = true; _ } -> true | _ -> false);
+    retried =
+      count (function Ok_reply { retries; _ } -> retries > 0 | _ -> false);
+    p50_ms = 1000.0 *. percentile latencies 0.50;
+    p95_ms = 1000.0 *. percentile latencies 0.95;
+    p99_ms = 1000.0 *. percentile latencies 0.99;
+    mean_ms =
+      (if Array.length latencies = 0 then 0.0
+       else 1000.0 *. sum /. float_of_int (Array.length latencies));
+    wall_s;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* JSON output                                                         *)
+
+let write_json ~path (rows : result list) (server_stats : (string * int) list)
+    =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n  \"bench\": \"serve\",\n  \"schema\": 1,\n  \"results\": [\n";
+  List.iteri
+    (fun i r ->
+      out
+        "    {\"scenario\": \"%s\", \"requests\": %d, \"rate_hz\": %.1f, \
+         \"clients\": %d, \"answered\": %d, \"shed\": %d, \
+         \"quota_refused\": %d, \"other_refused\": %d, \
+         \"transport_errors\": %d, \"degraded\": %d, \"retried\": %d, \
+         \"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, \
+         \"mean_ms\": %.3f, \"wall_s\": %.3f}%s\n"
+        r.scenario.label r.scenario.requests r.scenario.rate_hz
+        r.scenario.clients r.answered r.shed r.quota_refused r.other_refused
+        r.transport_errors r.degraded r.retried r.p50_ms r.p95_ms r.p99_ms
+        r.mean_ms r.wall_s
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  out "  ],\n  \"server\": {";
+  List.iteri
+    (fun i (k, v) ->
+      out "%s\"%s\": %d" (if i = 0 then "" else ", ") k v)
+    server_stats;
+  out "}\n}\n";
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+
+let in_process_config socket =
+  {
+    (Serve.Server.default_config (`Unix socket)) with
+    (* deliberately overloadable: one worker, a two-deep queue and an
+       immediate degrade threshold, so the overload scenario actually
+       sheds and degrades instead of absorbing the burst *)
+    Serve.Server.jobs = 1;
+    queue_capacity = 2;
+    degrade_depth = 1;
+    client_quota = 64;
+    idle_timeout_s = 10.0;
+  }
+
+let pp_result r =
+  Format.printf
+    "  %-10s %4d req @ %5.1f/s (%d clients): %4d ok, %3d shed, %3d \
+     degraded, %2d retried, p50 %.1f ms, p95 %.1f ms, p99 %.1f ms@."
+    r.scenario.label r.scenario.requests r.scenario.rate_hz
+    r.scenario.clients r.answered r.shed r.degraded r.retried r.p50_ms
+    r.p95_ms r.p99_ms
+
+let run_scenarios scenarios =
+  let external_socket = Sys.getenv_opt "DAISY_SERVE_SOCKET" in
+  let address, server_domain, own_server =
+    match external_socket with
+    | Some path -> (`Unix path, None, false)
+    | None ->
+        let socket =
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "daisyd-bench-%d.sock" (Unix.getpid ()))
+        in
+        let ready = Atomic.make false in
+        let config = in_process_config socket in
+        let d =
+          Domain.spawn (fun () ->
+              Serve.Server.run ~on_ready:(fun () -> Atomic.set ready true)
+                config)
+        in
+        let deadline = Util.monotonic_s () +. 10.0 in
+        while (not (Atomic.get ready)) && Util.monotonic_s () < deadline do
+          Thread.delay 0.01
+        done;
+        if not (Atomic.get ready) then failwith "in-process daisyd never bound";
+        (`Unix socket, Some d, true)
+  in
+  let results = List.map (run_scenario ~address) scenarios in
+  List.iter pp_result results;
+  let server_stats =
+    try Client.with_connection address Client.stats with _ -> []
+  in
+  (if own_server then
+     try Client.with_connection address Client.shutdown with _ -> ());
+  Option.iter (fun d -> ignore (Domain.join d)) server_domain;
+  write_json ~path:"BENCH_serve.json" results server_stats;
+  Format.printf "  [wrote BENCH_serve.json]@."
+
+(** The full run: a moderate phase the server keeps up with, then an
+    overload burst that must shed/degrade rather than collapse. *)
+let serve_bench_full () =
+  Format.printf "serve: open-loop load against daisyd@.";
+  run_scenarios
+    [
+      { label = "steady"; requests = 60; rate_hz = 10.0; clients = 2; size = 48 };
+      { label = "burst"; requests = 120; rate_hz = 200.0; clients = 3; size = 96 };
+    ]
+
+(** CI smoke: small enough for a shared runner, still two clients and a
+    burst phase. *)
+let serve_bench_smoke () =
+  Format.printf "serve-smoke: open-loop load against daisyd (CI sizes)@.";
+  run_scenarios
+    [
+      { label = "steady"; requests = 16; rate_hz = 8.0; clients = 2; size = 32 };
+      { label = "burst"; requests = 40; rate_hz = 150.0; clients = 2; size = 96 };
+    ]

@@ -29,6 +29,10 @@ let experiments =
      Micro.ann_bench_full);
     ("ann-smoke", "ANN index comparison up to 10^5 entries (CI smoke)",
      Micro.ann_bench_smoke);
+    ("serve", "daisyd under open-loop load: latency percentiles + shed/degraded (BENCH_serve.json)",
+     Loadgen.serve_bench_full);
+    ("serve-smoke", "daisyd open-loop load, CI sizes (BENCH_serve.json)",
+     Loadgen.serve_bench_smoke);
   ]
 
 let () =

@@ -540,6 +540,97 @@ let polybench_cmd =
     Term.(const run $ name_arg $ threads_arg $ jobs_arg $ sample_outer_arg
           $ engine_arg $ eval_budget_arg)
 
+let submit_cmd =
+  let run file defs socket tcp client budget deadline timeout =
+    run_protected (fun () ->
+        let address : Daisy.Serve.Server.address =
+          match (socket, tcp) with
+          | Some _, Some _ ->
+              invalid_arg "--socket and --tcp are mutually exclusive"
+          | Some path, None -> `Unix path
+          | None, Some spec -> (
+              match String.index_opt spec ':' with
+              | Some i ->
+                  let host = String.sub spec 0 i in
+                  let port =
+                    String.sub spec (i + 1) (String.length spec - i - 1)
+                  in
+                  (try `Tcp (host, int_of_string port)
+                   with _ -> invalid_arg "--tcp expects HOST:PORT")
+              | None -> invalid_arg "--tcp expects HOST:PORT")
+          | None, None ->
+              invalid_arg "submit needs --socket PATH or --tcp HOST:PORT"
+        in
+        let source = read_file file in
+        let module C = Daisy.Serve.Client in
+        let module P = Daisy.Serve.Protocol in
+        match
+          C.with_connection ~timeout_s:timeout address (fun c ->
+              C.schedule c
+                {
+                  P.client;
+                  sizes = defs;
+                  budget;
+                  deadline_s = deadline;
+                  source;
+                })
+        with
+        | reply ->
+            List.iter
+              (fun (d : P.decision) ->
+                Fmt.pr "  %s: %s@." d.P.label d.P.action)
+              reply.P.decisions;
+            Fmt.pr
+              "predicted runtime: %.3f ms (engine %s%s, %d blas call(s), \
+               %d retries, served in %.3f s)@."
+              reply.P.cost_ms reply.P.engine
+              (if reply.P.degraded then ", degraded" else "")
+              reply.P.blas_calls reply.P.retries reply.P.eval_s
+        | exception C.Server_error (code, message) ->
+            Fmt.epr "daisyc: daisyd refused the request (%s): %s@."
+              (P.string_of_error_code code)
+              message;
+            exit 1
+        | exception Failure m ->
+            Fmt.epr "daisyc: %s@." m;
+            exit 1
+        | exception Unix.Unix_error (e, fn, arg) ->
+            Fmt.epr "daisyc: cannot reach daisyd: %s: %s (%s)@." fn
+              (Unix.error_message e) arg;
+            exit 1)
+  in
+  let socket_arg =
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix socket of a running $(b,daisyd).")
+  in
+  let tcp_arg =
+    Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT"
+           ~doc:"TCP address of a running $(b,daisyd).")
+  in
+  let client_arg =
+    Arg.(value & opt string "daisyc" & info [ "client" ] ~docv:"ID"
+           ~doc:"Client id for the daemon's per-client quota accounting.")
+  in
+  let budget_arg =
+    Arg.(value & opt (some int) None & info [ "eval-budget" ] ~docv:"STEPS"
+           ~doc:"Request-side per-evaluation step fuel (the server may cap \
+                 it lower).")
+  in
+  let deadline_arg =
+    Arg.(value & opt (some float) None & info [ "eval-deadline" ] ~docv:"SEC"
+           ~doc:"Request-side wall deadline in seconds (the server may cap \
+                 it lower).")
+  in
+  let timeout_arg =
+    Arg.(value & opt float 60.0 & info [ "timeout" ] ~docv:"SEC"
+           ~doc:"Client-side bound on waiting for the response.")
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:"Submit a kernel to a running daisyd and print its schedule")
+    Term.(const run $ file_arg $ defines_arg $ socket_arg $ tcp_arg
+          $ client_arg $ budget_arg $ deadline_arg $ timeout_arg)
+
 let variant_cmd =
   let run file seed =
     let p = load file in
@@ -564,4 +655,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ parse_cmd; lir_cmd; normalize_cmd; schedule_cmd; seed_cmd;
-            bench_cmd; reuse_cmd; variant_cmd; polybench_cmd ]))
+            bench_cmd; reuse_cmd; variant_cmd; polybench_cmd; submit_cmd ]))

@@ -19,7 +19,9 @@
     {- {!Blas}, {!Embedding}: idiom detection and performance embeddings.}
     {- {!Scheduler}: the daisy auto-scheduler and all baseline models.}
     {- {!Arraylang}: the NumPy-style frontend for the Python experiments.}
-    {- {!Benchmarks}: PolyBench A/B variants, NPBench versions, CLOUDSC.}} *)
+    {- {!Benchmarks}: PolyBench A/B variants, NPBench versions, CLOUDSC.}
+    {- {!Serve}: the daisyd scheduling daemon (framed protocol, admission
+       control, graceful degradation — docs/serving.md).}} *)
 
 module Support = Daisy_support
 module Poly = Daisy_poly
@@ -37,6 +39,7 @@ module Embedding = Daisy_embedding
 module Scheduler = Daisy_scheduler
 module Arraylang = Daisy_arraylang
 module Benchmarks = Daisy_benchmarks
+module Serve = Daisy_serve
 
 (** Result of the one-call pipeline. *)
 type compiled = {

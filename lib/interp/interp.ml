@@ -252,13 +252,12 @@ let reset_compiled_fallbacks () = Atomic.set fallbacks 0
 
 let warn_fallback ~from ~to_ exn =
   let n = Atomic.fetch_and_add fallbacks 1 + 1 in
-  (* throttle to power-of-two counts so a hot loop of failures does not
-     flood stderr *)
-  if n land (n - 1) = 0 then
-    Fmt.epr "%a@." Diag.pp
-      (Diag.make ~severity:Diag.Warn
-         "%s engine failed (%s); falling back to %s engine (fallback #%d)"
-         from (Printexc.to_string exn) to_ n)
+  (* per-label throttling (Diag.warn_throttled): a hot loop of bytecode
+     failures cannot flood stderr, nor silence closure-engine warnings *)
+  Diag.warn_throttled
+    ~label:("interp_fallback:" ^ from)
+    "%s engine failed (%s); falling back to %s engine (fallback #%d)" from
+    (Printexc.to_string exn) to_ n
 
 (* [Runtime_error] and [Invalid_argument] are semantic — all engines
    raise them identically for the same program — so they propagate; any

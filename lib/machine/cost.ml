@@ -155,14 +155,14 @@ let reset_engine_fallbacks () = Atomic.set fallbacks 0
 
 let warn_fallback engine next exn =
   let n = Atomic.fetch_and_add fallbacks 1 + 1 in
-  (* throttle to power-of-two counts so a search over thousands of
-     candidates cannot flood stderr *)
-  if n land (n - 1) = 0 then
-    Fmt.epr "%a@." Diag.pp
-      (Diag.make ~severity:Diag.Warn
-         "%s trace engine failed (%s); falling back to %s engine (fallback #%d)"
-         (string_of_engine engine) (Printexc.to_string exn)
-         (string_of_engine next) n)
+  (* per-label throttling (Diag.warn_throttled): a search over thousands
+     of candidates cannot flood stderr, and each failing engine keeps its
+     own counter *)
+  Diag.warn_throttled
+    ~label:("trace_fallback:" ^ string_of_engine engine)
+    "%s trace engine failed (%s); falling back to %s engine (fallback #%d)"
+    (string_of_engine engine) (Printexc.to_string exn)
+    (string_of_engine next) n
 
 (** [evaluate_guarded config p ~sizes ... ?steps ()] — the resilient entry
     point the scheduler uses. Each attempt gets a fresh budget of [steps]

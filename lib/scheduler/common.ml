@@ -40,6 +40,27 @@ let make_ctx ?(config = Config.default) ?(threads = config.Config.cores)
   { config; sizes; threads; sample_outer; engine; eval_steps; eval_deadline;
     sim_memo }
 
+(** Derive a per-request evaluation context from a long-lived base
+    context — the serving layer's entry point. The derived context
+    shares the machine config, thread count, sampling bound and the
+    cross-candidate simulation memo (content-addressed, so sharing it
+    across requests is always safe), while the evaluation knobs — trace
+    engine, step fuel, wall deadline, problem sizes — are overridden per
+    request. *)
+let request_ctx (base : ctx) ?engine ?eval_steps ?eval_deadline ?sizes () :
+    ctx =
+  {
+    base with
+    engine = Option.value ~default:base.engine engine;
+    eval_steps =
+      (match eval_steps with Some _ -> eval_steps | None -> base.eval_steps);
+    eval_deadline =
+      (match eval_deadline with
+      | Some _ -> eval_deadline
+      | None -> base.eval_deadline);
+    sizes = Option.value ~default:base.sizes sizes;
+  }
+
 (** Simulated runtime in milliseconds. Every evaluation goes through
     {!Cost.evaluate_guarded}: a fresh step budget per candidate
     ([Budget.Exhausted] escapes for the caller to penalize) and a

@@ -34,6 +34,19 @@ val make_ctx :
     (exact memoization is always safe); set [DAISY_SIM_MEMO=0] to
     default it off instead. *)
 
+val request_ctx :
+  ctx ->
+  ?engine:Daisy_machine.Cost.engine ->
+  ?eval_steps:int ->
+  ?eval_deadline:float ->
+  ?sizes:(string * int) list ->
+  unit ->
+  ctx
+(** Derive a request-scoped context from a long-lived base context (the
+    serving layer's entry point): shares config, threads, sampling bound
+    and the simulation memo; overrides engine/fuel/deadline/sizes per
+    request. *)
+
 val sim_memo_stats : ctx -> (int * int) option
 (** [(hits, misses)] of the context's simulation memo, [None] if off. *)
 

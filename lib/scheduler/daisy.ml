@@ -295,6 +295,36 @@ let schedule ?(options = default_options) ?quarantine (ctx : Common.ctx)
     blas_calls = !blas_calls;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Request-scoped scheduling: the serving layer's entry point            *)
+
+type request_outcome = {
+  report : schedule_report;
+  predicted_ms : float;
+  engine_used : Daisy_machine.Cost.engine;
+}
+
+(** [schedule_request ~base ~db p] — run one scheduling request under a
+    context derived from [base] ({!Common.request_ctx}): per-request
+    trace [engine] (a loaded server degrades to [Cost.Approx]),
+    per-evaluation step fuel [eval_steps] ([Budget.Exhausted] escapes),
+    and a wall-clock [eval_deadline] covering the {e whole} request —
+    normalization, every candidate evaluation, and the final cost — via
+    [Util.with_deadline] on the calling domain
+    ([Util.Deadline_exceeded] escapes). The returned [predicted_ms] is
+    the simulated runtime of the scheduled program under the same
+    request context. *)
+let schedule_request ?options ?quarantine ~(base : Common.ctx) ?engine
+    ?eval_steps ?eval_deadline ?sizes ~(db : Database.t) (p : Ir.program) :
+    request_outcome =
+  let ctx =
+    Common.request_ctx base ?engine ?eval_steps ?eval_deadline ?sizes ()
+  in
+  Util.with_deadline ctx.Common.eval_deadline (fun () ->
+      let report = schedule ?options ?quarantine ctx ~db p in
+      let predicted_ms = Common.runtime_ms ctx report.program in
+      { report; predicted_ms; engine_used = ctx.Common.engine })
+
 let pp_decision ppf (d : nest_decision) =
   match d.action with
   | `Blas k -> Fmt.pf ppf "%s: BLAS call %s" d.label k

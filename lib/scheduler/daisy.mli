@@ -43,4 +43,29 @@ val schedule :
     deterministically and reported to the sink with a shrunk
     reproducer, so a miscompiling recipe can never be scheduled. *)
 
+type request_outcome = {
+  report : schedule_report;
+  predicted_ms : float;  (** simulated ms of the scheduled program *)
+  engine_used : Daisy_machine.Cost.engine;
+}
+
+val schedule_request :
+  ?options:options ->
+  ?quarantine:Quarantine.t ->
+  base:Common.ctx ->
+  ?engine:Daisy_machine.Cost.engine ->
+  ?eval_steps:int ->
+  ?eval_deadline:float ->
+  ?sizes:(string * int) list ->
+  db:Database.t ->
+  Daisy_loopir.Ir.program ->
+  request_outcome
+(** Request-scoped {!schedule} — the serving layer's entry point. Derives
+    a per-request context from [base] ({!Common.request_ctx}) and runs
+    the whole request (normalization, candidate tournament, final cost)
+    under the request's wall deadline on the calling domain
+    ([Daisy_support.Util.Deadline_exceeded] escapes); [eval_steps] fuels
+    each candidate evaluation ([Daisy_support.Budget.Exhausted]
+    escapes). *)
+
 val pp_decision : nest_decision Fmt.t

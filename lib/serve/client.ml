@@ -1,0 +1,80 @@
+(** A small blocking client for the daisyd protocol — used by the
+    [daisyc submit] subcommand, the bench load generator, and the
+    serve tests. One connection, request/response in lockstep. *)
+
+module Util = Daisy_support.Util
+module P = Protocol
+
+type t = { fd : Unix.file_descr; timeout_s : float }
+
+exception Server_error of P.error_code * string
+
+let connect ?(timeout_s = 30.0) (address : Server.address) : t =
+  Util.ignore_sigpipe ();
+  let fd =
+    match address with
+    | `Unix path ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        (try Unix.connect fd (Unix.ADDR_UNIX path)
+         with e -> (try Unix.close fd with _ -> ()); raise e);
+        fd
+    | `Tcp (host, port) ->
+        let addr =
+          try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+          with Not_found -> Unix.inet_addr_loopback
+        in
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        (try Unix.connect fd (Unix.ADDR_INET (addr, port))
+         with e -> (try Unix.close fd with _ -> ()); raise e);
+        fd
+  in
+  { fd; timeout_s }
+
+let close t = try Unix.close t.fd with Unix.Unix_error (_, _, _) -> ()
+
+let with_connection ?timeout_s address f =
+  let t = connect ?timeout_s address in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+(** One request/response round trip. Raises [Failure] on a framing or
+    parse problem (including the server vanishing mid-response). *)
+let request (t : t) (req : P.request) : P.response =
+  P.write_frame t.fd (P.encode_request req);
+  match P.read_frame ~timeout_s:t.timeout_s t.fd with
+  | Ok payload -> (
+      match P.parse_response payload with
+      | Ok r -> r
+      | Error m -> failwith ("daisyd sent an unparseable response: " ^ m))
+  | Error fe ->
+      failwith ("no response from daisyd: " ^ P.string_of_frame_error fe)
+
+(** [schedule] round trip that unpacks the reply, raising
+    {!Server_error} on a structured server error. *)
+let schedule (t : t) (r : P.schedule_request) : P.schedule_reply =
+  match request t (P.Schedule r) with
+  | P.Schedule_reply reply -> reply
+  | P.Error_reply { code; message; _ } -> raise (Server_error (code, message))
+  | _ -> failwith "daisyd answered a schedule request with the wrong verb"
+
+let ping t =
+  match request t P.Ping with
+  | P.Pong -> ()
+  | _ -> failwith "daisyd answered ping with the wrong verb"
+
+let stats t =
+  match request t P.Stats with
+  | P.Stats_reply kvs -> kvs
+  | P.Error_reply { code; message; _ } -> raise (Server_error (code, message))
+  | _ -> failwith "daisyd answered stats with the wrong verb"
+
+let reload t =
+  match request t P.Reload with
+  | P.Reload_reply status -> status
+  | P.Error_reply { code; message; _ } -> raise (Server_error (code, message))
+  | _ -> failwith "daisyd answered reload with the wrong verb"
+
+let shutdown t =
+  match request t P.Shutdown with
+  | P.Shutdown_reply -> ()
+  | P.Error_reply { code; message; _ } -> raise (Server_error (code, message))
+  | _ -> failwith "daisyd answered shutdown with the wrong verb"

@@ -1,0 +1,28 @@
+(** Blocking daisyd client: one connection, request/response in
+    lockstep. Used by [daisyc submit], the bench load generator, and
+    the serve tests. *)
+
+type t
+
+exception Server_error of Protocol.error_code * string
+
+val connect : ?timeout_s:float -> Server.address -> t
+(** [timeout_s] (default 30 s) bounds every response read. Raises
+    [Unix.Unix_error] when the server is not there. *)
+
+val close : t -> unit
+
+val with_connection :
+  ?timeout_s:float -> Server.address -> (t -> 'a) -> 'a
+
+val request : t -> Protocol.request -> Protocol.response
+(** Raw round trip. Raises [Failure] on framing/parse problems. *)
+
+val schedule : t -> Protocol.schedule_request -> Protocol.schedule_reply
+(** Raises {!Server_error} on a structured server error ([busy],
+    [quarantined], …). *)
+
+val ping : t -> unit
+val stats : t -> (string * int) list
+val reload : t -> string
+val shutdown : t -> unit

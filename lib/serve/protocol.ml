@@ -1,0 +1,405 @@
+(** The daisyd wire protocol (docs/serving.md).
+
+    Frames are ["DSY1"] magic + 4-byte big-endian payload length +
+    payload. The payload is line-oriented UTF-8 text: a
+    ["daisy1 <verb>"] first line, [key value] header lines, a blank
+    line, then an optional body (the kernel source for requests, the
+    per-nest decisions for responses). Magic-first framing makes garbage
+    on the stream deterministically detectable, and the length prefix
+    bounds every read so a hostile client can neither desynchronize the
+    server nor make it buffer unboundedly. *)
+
+module Util = Daisy_support.Util
+
+let default_max_frame = 4 * 1024 * 1024
+let magic = "DSY1"
+
+type frame_error =
+  | Eof  (** clean end-of-stream between frames *)
+  | Disconnect  (** the peer vanished mid-frame *)
+  | Timeout  (** the frame did not complete within the read deadline *)
+  | Oversized of int  (** declared length beyond the frame cap *)
+  | Bad_magic  (** garbage where a frame header was expected *)
+
+let string_of_frame_error = function
+  | Eof -> "end of stream"
+  | Disconnect -> "peer disconnected mid-frame"
+  | Timeout -> "frame read timed out"
+  | Oversized n -> Printf.sprintf "oversized frame length %d" n
+  | Bad_magic -> "bad frame magic (garbage on stream)"
+
+(* ------------------------------------------------------------------ *)
+(* Frame IO                                                            *)
+
+let write_frame fd payload =
+  let n = String.length payload in
+  let b = Bytes.create (8 + n) in
+  Bytes.blit_string magic 0 b 0 4;
+  Bytes.set b 4 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set b 5 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set b 6 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set b 7 (Char.chr (n land 0xff));
+  Bytes.blit_string payload 0 b 8 n;
+  Util.write_all fd b 0 (8 + n)
+
+(* Read exactly [len] bytes before the absolute deadline; [`Eof] only
+   when the stream ends cleanly before the first byte of the frame
+   ([started = false]). [deadline = infinity] blocks indefinitely. *)
+let read_exactly ~deadline ~started fd buf off len =
+  let rec go off len started =
+    if len <= 0 then `Ok
+    else
+      let wait () =
+        if deadline = infinity then true
+        else
+          let remaining = deadline -. Util.monotonic_s () in
+          if remaining <= 0.0 then false
+          else
+            let r, _, _ =
+              Util.retry_eintr (fun () -> Unix.select [ fd ] [] [] remaining)
+            in
+            r <> []
+      in
+      if not (wait ()) then `Timeout
+      else
+        match Util.read_retry fd buf off len with
+        | 0 -> if started then `Disconnect else `Eof
+        | n -> go (off + n) (len - n) true
+        | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+            if started then `Disconnect else `Eof
+  in
+  go off len started
+
+let read_frame ?(max_frame = default_max_frame) ?(timeout_s = infinity) fd :
+    (string, frame_error) result =
+  let deadline =
+    if timeout_s = infinity then infinity else Util.monotonic_s () +. timeout_s
+  in
+  let header = Bytes.create 8 in
+  match read_exactly ~deadline ~started:false fd header 0 8 with
+  | `Eof -> Error Eof
+  | `Disconnect -> Error Disconnect
+  | `Timeout -> Error Timeout
+  | `Ok ->
+      if Bytes.sub_string header 0 4 <> magic then Error Bad_magic
+      else
+        let b i = Char.code (Bytes.get header (4 + i)) in
+        let len = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+        if len > max_frame then Error (Oversized len)
+        else
+          let payload = Bytes.create len in
+          (match read_exactly ~deadline ~started:true fd payload 0 len with
+          | `Ok -> Ok (Bytes.to_string payload)
+          | `Timeout -> Error Timeout
+          | `Eof | `Disconnect -> Error Disconnect)
+
+(* ------------------------------------------------------------------ *)
+(* Payloads                                                            *)
+
+let version_line = "daisy1"
+
+type schedule_request = {
+  client : string;
+  sizes : (string * int) list;
+  budget : int option;  (** per-candidate-evaluation step fuel cap *)
+  deadline_s : float option;  (** whole-request wall deadline *)
+  source : string;  (** kernel source in the lang DSL *)
+}
+
+type request =
+  | Ping
+  | Stats
+  | Reload
+  | Shutdown
+  | Schedule of schedule_request
+
+type error_code =
+  | Busy  (** admission control shed the request; retry later *)
+  | Quota  (** the client is over its concurrent-connection quota *)
+  | Quarantined  (** this exact program previously crashed the evaluator *)
+  | Protocol  (** framing failure; the connection is closed *)
+  | Bad_request  (** well-framed but unparseable request *)
+  | Eval_failed  (** the evaluator failed (twice, for transient faults) *)
+  | Deadline  (** the request blew its wall deadline *)
+  | Fuel  (** the request blew its evaluation step budget *)
+  | Shutting_down  (** the server is draining; retry against a new one *)
+
+let string_of_error_code = function
+  | Busy -> "busy"
+  | Quota -> "quota"
+  | Quarantined -> "quarantined"
+  | Protocol -> "protocol"
+  | Bad_request -> "bad-request"
+  | Eval_failed -> "eval-failed"
+  | Deadline -> "deadline"
+  | Fuel -> "fuel"
+  | Shutting_down -> "shutting-down"
+
+let error_code_of_string = function
+  | "busy" -> Some Busy
+  | "quota" -> Some Quota
+  | "quarantined" -> Some Quarantined
+  | "protocol" -> Some Protocol
+  | "bad-request" -> Some Bad_request
+  | "eval-failed" -> Some Eval_failed
+  | "deadline" -> Some Deadline
+  | "fuel" -> Some Fuel
+  | "shutting-down" -> Some Shutting_down
+  | _ -> None
+
+type decision = { label : string; action : string }
+
+type schedule_reply = {
+  degraded : bool;  (** served in degraded mode (approx cost model) *)
+  engine : string;  (** trace engine that produced the prediction *)
+  cost_ms : float;  (** predicted runtime of the scheduled program *)
+  eval_s : float;  (** server-side evaluation wall time *)
+  retries : int;  (** transient-failure retries spent on this request *)
+  queue_depth : int;  (** queue depth observed at admission *)
+  blas_calls : int;
+  decisions : decision list;
+}
+
+type response =
+  | Pong
+  | Stats_reply of (string * int) list
+  | Reload_reply of string
+  | Shutdown_reply
+  | Schedule_reply of schedule_reply
+  | Error_reply of { code : error_code; message : string; retryable : bool }
+
+(* ---- encoding ---- *)
+
+let encode_request = function
+  | Ping -> version_line ^ " ping\n\n"
+  | Stats -> version_line ^ " stats\n\n"
+  | Reload -> version_line ^ " reload\n\n"
+  | Shutdown -> version_line ^ " shutdown\n\n"
+  | Schedule r ->
+      let b = Buffer.create (256 + String.length r.source) in
+      Buffer.add_string b (version_line ^ " schedule\n");
+      Buffer.add_string b (Printf.sprintf "client %s\n" r.client);
+      List.iter
+        (fun (k, v) -> Buffer.add_string b (Printf.sprintf "size %s %d\n" k v))
+        r.sizes;
+      Option.iter
+        (fun n -> Buffer.add_string b (Printf.sprintf "budget %d\n" n))
+        r.budget;
+      Option.iter
+        (fun d -> Buffer.add_string b (Printf.sprintf "deadline %h\n" d))
+        r.deadline_s;
+      Buffer.add_char b '\n';
+      Buffer.add_string b r.source;
+      Buffer.contents b
+
+let encode_response = function
+  | Pong -> version_line ^ " ok pong\n\n"
+  | Shutdown_reply -> version_line ^ " ok shutdown\n\n"
+  | Stats_reply kvs ->
+      let b = Buffer.create 256 in
+      Buffer.add_string b (version_line ^ " ok stats\n");
+      List.iter
+        (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s %d\n" k v))
+        kvs;
+      Buffer.add_char b '\n';
+      Buffer.contents b
+  | Reload_reply status ->
+      Printf.sprintf "%s ok reload\nstatus %s\n\n" version_line status
+  | Schedule_reply r ->
+      let b = Buffer.create 512 in
+      Buffer.add_string b (version_line ^ " ok schedule\n");
+      Buffer.add_string b
+        (Printf.sprintf "degraded %d\n" (if r.degraded then 1 else 0));
+      Buffer.add_string b (Printf.sprintf "engine %s\n" r.engine);
+      Buffer.add_string b (Printf.sprintf "cost_ms %h\n" r.cost_ms);
+      Buffer.add_string b (Printf.sprintf "eval_s %h\n" r.eval_s);
+      Buffer.add_string b (Printf.sprintf "retries %d\n" r.retries);
+      Buffer.add_string b (Printf.sprintf "queue_depth %d\n" r.queue_depth);
+      Buffer.add_string b (Printf.sprintf "blas_calls %d\n" r.blas_calls);
+      Buffer.add_char b '\n';
+      List.iter
+        (fun d -> Buffer.add_string b (Printf.sprintf "%s\t%s\n" d.label d.action))
+        r.decisions;
+      Buffer.contents b
+  | Error_reply { code; message; retryable } ->
+      Printf.sprintf "%s error %s\nretryable %d\n\n%s" version_line
+        (string_of_error_code code)
+        (if retryable then 1 else 0)
+        message
+
+(* ---- parsing ---- *)
+
+(* Split a payload into (first line, header lines, body). *)
+let split_payload (s : string) : (string * string list * string, string) result =
+  match String.index_opt s '\n' with
+  | None -> Error "missing header line"
+  | Some i -> (
+      let first = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      (* headers end at the first blank line *)
+      let rec find_blank pos =
+        if pos >= String.length rest then None
+        else
+          match String.index_from_opt rest pos '\n' with
+          | None -> None
+          | Some j ->
+              if j = pos then Some j
+              else find_blank (j + 1)
+      in
+      match find_blank 0 with
+      | None -> Error "missing blank line after headers"
+      | Some j ->
+          let headers = String.sub rest 0 j in
+          let body = String.sub rest (j + 1) (String.length rest - j - 1) in
+          let lines =
+            if headers = "" then []
+            else String.split_on_char '\n' headers
+          in
+          Ok (first, lines, body))
+
+let split_kv line =
+  match String.index_opt line ' ' with
+  | None -> (line, "")
+  | Some i ->
+      ( String.sub line 0 i,
+        String.sub line (i + 1) (String.length line - i - 1) )
+
+let parse_request (payload : string) : (request, string) result =
+  match split_payload payload with
+  | Error m -> Error m
+  | Ok (first, headers, body) -> (
+      match String.split_on_char ' ' first with
+      | [ v; verb ] when v = version_line -> (
+          match verb with
+          | "ping" -> Ok Ping
+          | "stats" -> Ok Stats
+          | "reload" -> Ok Reload
+          | "shutdown" -> Ok Shutdown
+          | "schedule" ->
+              let client = ref "" in
+              let sizes = ref [] in
+              let budget = ref None in
+              let deadline = ref None in
+              let err = ref None in
+              List.iter
+                (fun line ->
+                  if !err = None && line <> "" then
+                    let k, v = split_kv line in
+                    match k with
+                    | "client" ->
+                        if v = "" then err := Some "empty client id"
+                        else client := v
+                    | "size" -> (
+                        match String.split_on_char ' ' v with
+                        | [ name; n ] -> (
+                            match int_of_string_opt n with
+                            | Some n -> sizes := (name, n) :: !sizes
+                            | None ->
+                                err :=
+                                  Some
+                                    (Printf.sprintf "bad size value %S" n))
+                        | _ ->
+                            err :=
+                              Some
+                                (Printf.sprintf "bad size header %S" line))
+                    | "budget" -> (
+                        match int_of_string_opt v with
+                        | Some n when n > 0 -> budget := Some n
+                        | _ ->
+                            err :=
+                              Some (Printf.sprintf "bad budget %S" v))
+                    | "deadline" -> (
+                        match float_of_string_opt v with
+                        | Some d when d > 0.0 -> deadline := Some d
+                        | _ ->
+                            err :=
+                              Some (Printf.sprintf "bad deadline %S" v))
+                    | _ -> err := Some (Printf.sprintf "unknown header %S" k))
+                headers;
+              (match !err with
+              | Some m -> Error m
+              | None ->
+                  if !client = "" then Error "missing client header"
+                  else if body = "" then Error "empty kernel source"
+                  else
+                    Ok
+                      (Schedule
+                         {
+                           client = !client;
+                           sizes = List.rev !sizes;
+                           budget = !budget;
+                           deadline_s = !deadline;
+                           source = body;
+                         }))
+          | v -> Error (Printf.sprintf "unknown request verb %S" v))
+      | _ -> Error (Printf.sprintf "bad request header %S" first))
+
+let parse_response (payload : string) : (response, string) result =
+  match split_payload payload with
+  | Error m -> Error m
+  | Ok (first, headers, body) -> (
+      let header_kvs = List.filter_map (fun l -> if l = "" then None else Some (split_kv l)) headers in
+      let find k = List.assoc_opt k header_kvs in
+      match String.split_on_char ' ' first with
+      | [ v; "ok"; "pong" ] when v = version_line -> Ok Pong
+      | [ v; "ok"; "shutdown" ] when v = version_line -> Ok Shutdown_reply
+      | [ v; "ok"; "stats" ] when v = version_line ->
+          let kvs =
+            List.filter_map
+              (fun (k, s) ->
+                match int_of_string_opt s with
+                | Some n -> Some (k, n)
+                | None -> None)
+              header_kvs
+          in
+          Ok (Stats_reply kvs)
+      | [ v; "ok"; "reload" ] when v = version_line ->
+          Ok (Reload_reply (Option.value ~default:"" (find "status")))
+      | [ v; "ok"; "schedule" ] when v = version_line -> (
+          let int_of k = Option.bind (find k) int_of_string_opt in
+          let float_of k = Option.bind (find k) float_of_string_opt in
+          match
+            (int_of "degraded", find "engine", float_of "cost_ms",
+             float_of "eval_s", int_of "retries", int_of "queue_depth",
+             int_of "blas_calls")
+          with
+          | ( Some degraded, Some engine, Some cost_ms, Some eval_s,
+              Some retries, Some queue_depth, Some blas_calls ) ->
+              let decisions =
+                String.split_on_char '\n' body
+                |> List.filter_map (fun line ->
+                       if line = "" then None
+                       else
+                         match String.index_opt line '\t' with
+                         | None -> Some { label = line; action = "" }
+                         | Some i ->
+                             Some
+                               {
+                                 label = String.sub line 0 i;
+                                 action =
+                                   String.sub line (i + 1)
+                                     (String.length line - i - 1);
+                               })
+              in
+              Ok
+                (Schedule_reply
+                   {
+                     degraded = degraded <> 0;
+                     engine;
+                     cost_ms;
+                     eval_s;
+                     retries;
+                     queue_depth;
+                     blas_calls;
+                     decisions;
+                   })
+          | _ -> Error "missing schedule reply headers")
+      | [ v; "error"; code ] when v = version_line -> (
+          match error_code_of_string code with
+          | Some code ->
+              let retryable =
+                match find "retryable" with Some "1" -> true | _ -> false
+              in
+              Ok (Error_reply { code; message = body; retryable })
+          | None -> Error (Printf.sprintf "unknown error code %S" code))
+      | _ -> Error (Printf.sprintf "bad response header %S" first))

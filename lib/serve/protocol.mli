@@ -1,0 +1,87 @@
+(** The daisyd wire protocol: ["DSY1"]-magic length-prefixed frames
+    carrying line-oriented request/response payloads. See
+    docs/serving.md for the full spec. *)
+
+val default_max_frame : int
+(** 4 MiB — the default bound on a frame's declared payload length. *)
+
+val magic : string
+
+type frame_error =
+  | Eof  (** clean end-of-stream between frames *)
+  | Disconnect  (** the peer vanished mid-frame *)
+  | Timeout  (** the frame did not complete within the read deadline *)
+  | Oversized of int  (** declared length beyond the frame cap *)
+  | Bad_magic  (** garbage where a frame header was expected *)
+
+val string_of_frame_error : frame_error -> string
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Write one frame (EINTR-safe; raises [Unix_error (EPIPE, _, _)] if
+    the peer hung up and SIGPIPE is ignored). *)
+
+val read_frame :
+  ?max_frame:int ->
+  ?timeout_s:float ->
+  Unix.file_descr ->
+  (string, frame_error) result
+(** Read one frame's payload. [timeout_s] bounds the whole frame
+    (header + payload) from the moment the call is made; [infinity]
+    (the default) blocks. *)
+
+(** {1 Payloads} *)
+
+type schedule_request = {
+  client : string;
+  sizes : (string * int) list;
+  budget : int option;  (** per-candidate-evaluation step fuel cap *)
+  deadline_s : float option;  (** whole-request wall deadline *)
+  source : string;  (** kernel source in the lang DSL *)
+}
+
+type request =
+  | Ping
+  | Stats
+  | Reload
+  | Shutdown
+  | Schedule of schedule_request
+
+type error_code =
+  | Busy  (** admission control shed the request; retry later *)
+  | Quota  (** the client is over its concurrent-connection quota *)
+  | Quarantined  (** this exact program previously crashed the evaluator *)
+  | Protocol  (** framing failure; the connection is closed *)
+  | Bad_request  (** well-framed but unparseable request *)
+  | Eval_failed  (** the evaluator failed (twice, for transient faults) *)
+  | Deadline  (** the request blew its wall deadline *)
+  | Fuel  (** the request blew its evaluation step budget *)
+  | Shutting_down  (** the server is draining; retry against a new one *)
+
+val string_of_error_code : error_code -> string
+val error_code_of_string : string -> error_code option
+
+type decision = { label : string; action : string }
+
+type schedule_reply = {
+  degraded : bool;  (** served in degraded mode (approx cost model) *)
+  engine : string;  (** trace engine that produced the prediction *)
+  cost_ms : float;  (** predicted runtime of the scheduled program *)
+  eval_s : float;  (** server-side evaluation wall time *)
+  retries : int;  (** transient-failure retries spent on this request *)
+  queue_depth : int;  (** queue depth observed at admission *)
+  blas_calls : int;
+  decisions : decision list;
+}
+
+type response =
+  | Pong
+  | Stats_reply of (string * int) list
+  | Reload_reply of string
+  | Shutdown_reply
+  | Schedule_reply of schedule_reply
+  | Error_reply of { code : error_code; message : string; retryable : bool }
+
+val encode_request : request -> string
+val parse_request : string -> (request, string) result
+val encode_response : response -> string
+val parse_response : string -> (response, string) result

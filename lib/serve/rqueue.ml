@@ -1,0 +1,61 @@
+(** A bounded, closable MPMC queue — the admission-control heart of the
+    server. [try_push] never blocks: a full queue refuses the item, so
+    the accept loop can shed load deterministically instead of queueing
+    unboundedly. [pop] blocks until an item arrives or the queue is
+    closed; closing wakes every waiter, and drained workers see [None]
+    only once the queue is both closed {e and} empty — the graceful
+    SIGTERM drain. *)
+
+type 'a t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  items : 'a Queue.t;
+  capacity : int;
+  mutable closed : bool;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Rqueue.create: capacity must be >= 1";
+  {
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    items = Queue.create ();
+    capacity;
+    closed = false;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let try_push t x =
+  locked t (fun () ->
+      if t.closed || Queue.length t.items >= t.capacity then false
+      else begin
+        Queue.push x t.items;
+        Condition.signal t.nonempty;
+        true
+      end)
+
+let pop t =
+  locked t (fun () ->
+      while Queue.is_empty t.items && not t.closed do
+        Condition.wait t.nonempty t.lock
+      done;
+      if Queue.is_empty t.items then None else Some (Queue.pop t.items))
+
+let close t =
+  locked t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)
+
+let closed t = locked t (fun () -> t.closed)
+let length t = locked t (fun () -> Queue.length t.items)
+
+let drain t =
+  locked t (fun () ->
+      let acc = ref [] in
+      while not (Queue.is_empty t.items) do
+        acc := Queue.pop t.items :: !acc
+      done;
+      List.rev !acc)

@@ -1,0 +1,27 @@
+(** A bounded, closable MPMC queue — the server's admission control.
+    [try_push] never blocks (a full or closed queue refuses the item,
+    the deterministic load-shed); [pop] blocks until an item or close;
+    workers drain remaining items after {!close} before seeing [None]. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] when [capacity < 1]. *)
+
+val try_push : 'a t -> 'a -> bool
+(** [false] iff the queue is full or closed (the item is refused). *)
+
+val pop : 'a t -> 'a option
+(** Block until an item is available ([Some]) or the queue is closed
+    and empty ([None]). *)
+
+val close : 'a t -> unit
+(** Refuse further pushes and wake all blocked poppers. Items already
+    queued are still popped (drain semantics). Idempotent. *)
+
+val closed : 'a t -> bool
+val length : 'a t -> int
+
+val drain : 'a t -> 'a list
+(** Atomically remove and return everything queued (for cleanup paths
+    that must close refused connections). *)

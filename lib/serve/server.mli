@@ -1,0 +1,67 @@
+(** The daisyd server loop: accept, admission-control, degrade, serve.
+    See docs/serving.md for the operational contract. *)
+
+type address = [ `Unix of string | `Tcp of string * int ]
+
+type config = {
+  address : address;
+  jobs : int;  (** worker domains serving requests *)
+  queue_capacity : int;  (** admission bound: beyond it requests shed *)
+  degrade_depth : int;  (** queue depth at which evaluation degrades *)
+  client_quota : int;  (** max concurrent serving connections per client *)
+  eval_steps : int option;  (** server-side per-evaluation fuel cap *)
+  eval_deadline_s : float option;  (** server-side per-request deadline cap *)
+  idle_timeout_s : float;  (** per-connection frame read timeout *)
+  retry_backoff_s : float;  (** backoff before the single transient retry *)
+  db_path : string option;  (** warm store (hot-reloadable) *)
+  checkpoint : string option;  (** poison set + counters journal *)
+  default_size : int;  (** value for size parameters a request omits *)
+  max_frame : int;
+  threads : int;  (** simulated core count of the machine model *)
+  sample_outer : int;
+}
+
+val default_config : address -> config
+
+type counters = {
+  accepted : int Atomic.t;
+  served : int Atomic.t;
+  shed : int Atomic.t;
+  degraded : int Atomic.t;
+  retried : int Atomic.t;
+  failed : int Atomic.t;
+  quarantined : int Atomic.t;
+  poisoned : int Atomic.t;
+  quota_refused : int Atomic.t;
+  protocol_errors : int Atomic.t;
+  hangups : int Atomic.t;
+  reloads : int Atomic.t;
+}
+
+type t
+
+val run : ?on_ready:(unit -> unit) -> config -> t
+(** Bind, spawn [jobs] worker domains, and serve until shutdown — via
+    the protocol [shutdown] verb, {!request_stop}, or an installed
+    interrupt handler ([Daisy_support.Checkpoint.interrupted]). Blocks
+    the calling thread; [on_ready] fires once the listener is bound.
+    Shutdown drains queued connections, joins the workers, checkpoints
+    the poison set and counters, and removes a Unix socket file.
+    Raises [Daisy_support.Diag.Error] if the warm store is unreadable
+    at boot (fail fast) and [Unix.Unix_error] if the address cannot be
+    bound. *)
+
+val request_stop : t -> unit
+(** Ask a running server to stop from another thread/domain; the accept
+    loop notices within its poll interval (~0.1 s). *)
+
+val counters : t -> counters
+val queue_depth : t -> int
+val store : t -> Store.t
+
+val string_of_address : address -> string
+
+(**/**)
+
+val handle_schedule : t -> Protocol.schedule_request -> Protocol.response
+val create : config -> t

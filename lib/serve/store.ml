@@ -1,0 +1,118 @@
+(** The warm store: the transfer-tuning database (and its optional ANN
+    sidecar) a running daemon serves from, with crash-safe hot reload.
+
+    An offline [daisyc seed --db-out] job rewrites the database file
+    atomically (write-temp/fsync/rename); the daemon detects the update
+    with a cheap [stat] pre-check and swaps in the new snapshot only
+    when the {e content fingerprint} actually changed — a rewrite of
+    identical contents is reported [`Unchanged], so downstream caches
+    keyed on the fingerprint stay valid. In-flight requests keep using
+    the snapshot they started with (snapshots are immutable once
+    published); a failed reload — unreadable file, bad magic, injected
+    ["serve_reload"] fault — keeps the previous snapshot serving and
+    warns (throttled per-label). *)
+
+module Database = Daisy_scheduler.Database
+module Diag = Daisy_support.Diag
+module Fault = Daisy_support.Fault
+
+type snapshot = {
+  db : Database.t;
+  fingerprint : string;
+  index : string option;  (** description of the attached ANN sidecar *)
+}
+
+type t = {
+  path : string option;
+  lock : Mutex.t;
+  mutable current : snapshot;
+  mutable last_stat : (float * int) option;  (** (mtime, size) pre-check *)
+  mutable reloads : int;
+  mutable failed_reloads : int;
+}
+
+let empty_snapshot () =
+  { db = Database.create (); fingerprint = "empty"; index = None }
+
+(* Load a database file into a fresh snapshot: the ["serve_reload"]
+   fault point fires before the read, per-entry corruption is tolerated
+   by [Database.load] (warned, throttled), and the ANN sidecar at
+   [path ^ ".ann"] is attached when present and valid — a missing,
+   stale or corrupt sidecar silently degrades to the linear scan. *)
+let load_snapshot path : snapshot =
+  Fault.inject "serve_reload";
+  let db, warnings = Database.load path in
+  List.iter
+    (fun w -> Diag.warn_throttled ~label:"serve_db_load" "%s" w)
+    warnings;
+  let index =
+    let ann = path ^ ".ann" in
+    if Sys.file_exists ann then
+      match Database.load_index db ann with
+      | Ok desc -> Some desc
+      | Error reason ->
+          Diag.warn_throttled ~label:"serve_ann_load"
+            "ann sidecar %s not attached (%s); serving from the linear scan"
+            ann reason;
+          None
+    else None
+  in
+  { db; fingerprint = Database.fingerprint db; index }
+
+let stat_of path =
+  match Unix.stat path with
+  | { Unix.st_mtime; st_size; _ } -> Some (st_mtime, st_size)
+  | exception Unix.Unix_error (_, _, _) -> None
+
+let create ?path () : t =
+  let current, last_stat =
+    match path with
+    | None -> (empty_snapshot (), None)
+    | Some p -> (load_snapshot p, stat_of p)
+  in
+  {
+    path;
+    lock = Mutex.create ();
+    current;
+    last_stat;
+    reloads = 0;
+    failed_reloads = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let snapshot t = locked t (fun () -> t.current)
+let db t = (snapshot t).db
+let fingerprint t = (snapshot t).fingerprint
+let reloads t = locked t (fun () -> t.reloads)
+let failed_reloads t = locked t (fun () -> t.failed_reloads)
+
+let reload_if_changed ?(force = false) t :
+    [ `Reloaded of string | `Unchanged | `Failed of string ] =
+  match t.path with
+  | None -> `Unchanged
+  | Some path ->
+      locked t (fun () ->
+          let st = stat_of path in
+          if (not force) && st <> None && st = t.last_stat then `Unchanged
+          else
+            match load_snapshot path with
+            | snap ->
+                t.last_stat <- st;
+                if String.equal snap.fingerprint t.current.fingerprint then
+                  `Unchanged
+                else begin
+                  t.current <- snap;
+                  t.reloads <- t.reloads + 1;
+                  `Reloaded snap.fingerprint
+                end
+            | exception e ->
+                t.failed_reloads <- t.failed_reloads + 1;
+                let reason = Printexc.to_string e in
+                Diag.warn_throttled ~label:"serve_reload"
+                  "warm-store reload of %s failed (%s); keeping the previous \
+                   snapshot"
+                  path reason;
+                `Failed reason)

@@ -1,0 +1,36 @@
+(** The daemon's warm store: an immutable snapshot of the
+    transfer-tuning database (plus optional ANN sidecar) with
+    fingerprint-checked atomic hot reload. See docs/serving.md,
+    "Hot reload". *)
+
+type snapshot = {
+  db : Daisy_scheduler.Database.t;
+  fingerprint : string;  (** {!Daisy_scheduler.Database.fingerprint} *)
+  index : string option;  (** attached ANN sidecar description *)
+}
+
+type t
+
+val create : ?path:string -> unit -> t
+(** [create ~path ()] loads the database at [path] (raising
+    [Daisy_support.Diag.Error] on whole-file problems — the daemon
+    fails fast at boot) and attaches the [path ^ ".ann"] sidecar when
+    present and valid. Without [path], an empty store (requests are
+    served from baselines only). *)
+
+val snapshot : t -> snapshot
+(** The current snapshot. Immutable once returned: in-flight requests
+    keep serving from it across a concurrent reload. *)
+
+val db : t -> Daisy_scheduler.Database.t
+val fingerprint : t -> string
+val reloads : t -> int
+val failed_reloads : t -> int
+
+val reload_if_changed :
+  ?force:bool -> t -> [ `Reloaded of string | `Unchanged | `Failed of string ]
+(** Cheap [stat] pre-check (skipped with [force]), then reload and swap
+    only when the content fingerprint changed. A failed reload — file
+    unreadable, bad magic, injected ["serve_reload"] fault — keeps the
+    previous snapshot and returns [`Failed]: a hot reload can never
+    take a serving daemon down. *)

@@ -30,3 +30,72 @@ let () =
   Printexc.register_printer (function
     | Error d -> Some (to_string d)
     | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Per-label throttled warnings.
+
+   Hot failure paths (engine fallbacks, corrupt-store queries, serve
+   retries) must not flood stderr, but one label throttling must not
+   silence another: each label keeps its own counter and emits on
+   power-of-two call counts (1, 2, 4, 8, ...). The counters are exposed
+   so tests can assert "exactly one warning" without scraping stderr.
+   Mutex-guarded: warnings fire from pool worker domains. *)
+
+let warn_lock = Mutex.create ()
+
+type warn_counter = { mutable calls : int; mutable emitted : int }
+
+let warn_tbl : (string, warn_counter) Hashtbl.t = Hashtbl.create 8
+
+let warn_throttled ~label fmt =
+  Fmt.kstr
+    (fun message ->
+      let emit_as =
+        Mutex.lock warn_lock;
+        let c =
+          match Hashtbl.find_opt warn_tbl label with
+          | Some c -> c
+          | None ->
+              let c = { calls = 0; emitted = 0 } in
+              Hashtbl.add warn_tbl label c;
+              c
+        in
+        c.calls <- c.calls + 1;
+        let emit = c.calls land (c.calls - 1) = 0 in
+        if emit then c.emitted <- c.emitted + 1;
+        let n = c.calls in
+        Mutex.unlock warn_lock;
+        if emit then Some n else None
+      in
+      match emit_as with
+      | None -> ()
+      | Some n ->
+          let message =
+            if n = 1 then message
+            else Printf.sprintf "%s (occurrence #%d of '%s')" message n label
+          in
+          Fmt.epr "%a@." pp { severity = Warn; loc = Loc.dummy; message })
+    fmt
+
+let warn_calls label =
+  Mutex.lock warn_lock;
+  let n =
+    match Hashtbl.find_opt warn_tbl label with Some c -> c.calls | None -> 0
+  in
+  Mutex.unlock warn_lock;
+  n
+
+let warn_emitted label =
+  Mutex.lock warn_lock;
+  let n =
+    match Hashtbl.find_opt warn_tbl label with Some c -> c.emitted | None -> 0
+  in
+  Mutex.unlock warn_lock;
+  n
+
+let reset_warn ?label () =
+  Mutex.lock warn_lock;
+  (match label with
+  | Some l -> Hashtbl.remove warn_tbl l
+  | None -> Hashtbl.reset warn_tbl);
+  Mutex.unlock warn_lock

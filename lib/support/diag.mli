@@ -16,3 +16,20 @@ val make :
 
 val errorf : ?loc:Loc.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
 (** Raise {!exception:Error} with a formatted message. *)
+
+val warn_throttled : label:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Emit a warning to stderr, throttled {e per label}: each label keeps
+    its own call counter and only the power-of-two calls (1st, 2nd, 4th,
+    8th, ...) print, so a hot loop of failures on one label neither
+    floods stderr nor silences warnings of other labels. Thread-safe. *)
+
+val warn_calls : string -> int
+(** Calls recorded for a label by {!warn_throttled} (including
+    suppressed ones) — lets tests assert warning behaviour without
+    scraping stderr. *)
+
+val warn_emitted : string -> int
+(** Warnings actually printed for a label. *)
+
+val reset_warn : ?label:string -> unit -> unit
+(** Reset one label's counters, or all of them. *)

@@ -169,6 +169,48 @@ let () =
         Some "Daisy_support.Util.Deadline_exceeded (evaluation wall-clock deadline exceeded)"
     | _ -> None)
 
+(* ------------------------------------------------------------------ *)
+(* SIGPIPE hygiene and EINTR-safe IO — the serving layer's substrate.
+
+   A daemon talking to clients over sockets must survive two classic
+   Unix hazards: a peer hanging up mid-write (SIGPIPE kills the whole
+   process by default) and signals interrupting slow syscalls (EINTR
+   surfacing as [Unix_error] from reads/writes that should simply be
+   retried). Every socket read/write in the toolchain goes through the
+   helpers below. *)
+
+let sigpipe_ignored = ref false
+
+let ignore_sigpipe () =
+  if not !sigpipe_ignored then begin
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ | Sys_error _ -> ());
+    sigpipe_ignored := true
+  end
+
+let rec retry_eintr f =
+  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> retry_eintr f
+
+let read_retry fd buf off len = retry_eintr (fun () -> Unix.read fd buf off len)
+
+let really_read fd buf off len =
+  let rec go off len =
+    if len <= 0 then true
+    else
+      let n = read_retry fd buf off len in
+      if n = 0 then false else go (off + n) (len - n)
+  in
+  go off len
+
+let write_all fd buf off len =
+  let rec go off len =
+    if len > 0 then begin
+      let n = retry_eintr (fun () -> Unix.write fd buf off len) in
+      go (off + n) (len - n)
+    end
+  in
+  go off len
+
 (** Format a float with engineering-friendly precision for report tables. *)
 let pp_si ppf v =
   let a = Float.abs v in

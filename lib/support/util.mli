@@ -58,5 +58,27 @@ val with_deadline : float option -> (unit -> 'a) -> 'a
 (** [with_deadline (Some s) f] runs [f] with a deadline [s] seconds from
     now on this domain, clearing it afterwards; [None] is just [f ()]. *)
 
+val ignore_sigpipe : unit -> unit
+(** Ignore SIGPIPE process-wide (idempotent). A peer hanging up
+    mid-write then surfaces as [Unix_error (EPIPE, _, _)] at the write
+    site instead of killing the process — mandatory before serving
+    sockets. *)
+
+val retry_eintr : (unit -> 'a) -> 'a
+(** Run a syscall wrapper, retrying as long as it fails with
+    [Unix_error (EINTR, _, _)] (a signal arrived mid-call). *)
+
+val read_retry : Unix.file_descr -> bytes -> int -> int -> int
+(** [Unix.read] with EINTR retry. *)
+
+val really_read : Unix.file_descr -> bytes -> int -> int -> bool
+(** [really_read fd buf off len] — read exactly [len] bytes (EINTR-safe,
+    looping over short reads); [false] iff end-of-stream arrived first. *)
+
+val write_all : Unix.file_descr -> bytes -> int -> int -> unit
+(** Write exactly [len] bytes (EINTR-safe, looping over short writes).
+    Raises [Unix_error (EPIPE, _, _)] if the peer has hung up (with
+    {!ignore_sigpipe} in effect). *)
+
 val pp_si : float Fmt.t
 (** Engineering-friendly float formatting for report tables. *)

@@ -26,4 +26,5 @@ let () =
       ("robustness", Test_robustness.suite);
       ("checkpoint", Test_checkpoint.suite);
       ("resume", Test_resume.suite);
+      ("serve", Test_serve.suite);
     ]
