@@ -48,18 +48,21 @@ let variant_b (b : Pb.benchmark) =
 let shared_db : S.Database.t option ref = ref None
 
 (* Shard records in the harness checkpoint: each benchmark's entries as
-   flat 4-line chunks ({!S.Database.entry_to_lines}); the round-trip is
-   exact, so a resumed harness merges the same shards bit-for-bit. *)
+   flat fixed-size line chunks ({!S.Database.entry_to_lines},
+   {!S.Database.entry_lines} lines each); the round-trip is exact, so a
+   resumed harness merges the same shards bit-for-bit. *)
 
 let shard_to_lines (shard : S.Database.t) : string list =
   List.concat_map S.Database.entry_to_lines (S.Database.entries shard)
 
 let shard_of_lines (lines : string list) : S.Database.t option =
+  let chunk = S.Database.entry_lines in
   let rec go acc = function
     | [] -> Some (List.rev acc)
-    | a :: b :: c :: d :: rest -> (
-        match S.Database.entry_of_lines [ a; b; c; d ] with
-        | Ok e -> go (e :: acc) rest
+    | lines when List.length lines >= chunk -> (
+        let body = Daisy_support.Util.take chunk lines in
+        match S.Database.entry_of_lines body with
+        | Ok e -> go (e :: acc) (Daisy_support.Util.drop chunk lines)
         | Error _ -> None)
     | _ -> None
   in

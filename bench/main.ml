@@ -29,6 +29,10 @@ let experiments =
      Micro.ann_bench_full);
     ("ann-smoke", "ANN index comparison up to 10^5 entries (CI smoke)",
      Micro.ann_bench_smoke);
+    ("shard", "sharded warm store vs monolithic, 10^3..10^6 (BENCH_shard.json)",
+     Micro.shard_bench_full);
+    ("shard-smoke", "sharded warm store comparison up to 10^5 entries (CI smoke)",
+     Micro.shard_bench_smoke);
     ("serve", "daisyd under open-loop load: latency percentiles + shed/degraded (BENCH_serve.json)",
      Loadgen.serve_bench_full);
     ("serve-smoke", "daisyd open-loop load, CI sizes (BENCH_serve.json)",
@@ -87,8 +91,10 @@ let () =
            full engine comparisons *)
         List.filter_map
           (fun (n, _, _) ->
-            if n = "interp-smoke" || n = "trace-smoke" || n = "ann-smoke" then
-              None
+            if
+              n = "interp-smoke" || n = "trace-smoke" || n = "ann-smoke"
+              || n = "shard-smoke"
+            then None
             else Some n)
           experiments
     | names -> names

@@ -687,6 +687,188 @@ let ann_bench ?(smoke = false) () =
 let ann_bench_full () = ann_bench ()
 let ann_bench_smoke () = ann_bench ~smoke:true ()
 
+(* ------------------------------------------------------------------ *)
+(* Sharded warm store vs monolithic database (BENCH_shard.json)        *)
+
+module Shardstore = Daisy_scheduler.Shardstore
+module Database = Daisy_scheduler.Database
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let synth_entries_of vecs : Database.entry list =
+  Array.to_list
+    (Array.mapi
+       (fun i v ->
+         {
+           Database.source = Printf.sprintf "synth:%d" i;
+           embedding = v;
+           recipe = [];
+           canon_hash = i;
+           cost_ms = float_of_int (i land 0xff);
+         })
+       vecs)
+
+type shard_row = {
+  zn : int;
+  create_s : float;
+  shards : int;
+  mono_q_s : float;  (** per-query seconds, monolithic scan *)
+  shard_q_s : float;  (** per-query seconds, sharded (per-shard ANN) *)
+  append_s : float;  (** per-entry durable (fsynced) WAL append *)
+  compact_s : float;  (** folding the batch: affected shards only *)
+  rewritten : int;  (** shards (and sidecars) rewritten by that fold *)
+  full_reindex_s : float;  (** one ANN build over the whole database *)
+  zagree : bool;  (** sharded top-k == monolithic scan, every query *)
+}
+
+let write_shard_json ~path (rows : shard_row list) =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n  \"bench\": \"shard\",\n  \"schema\": 1,\n  \"results\": [\n";
+  List.iteri
+    (fun i r ->
+      out
+        "    {\"n\": %d, \"create_s\": %.6f, \"shards\": %d, \
+         \"mono_query_s\": %.9f, \"shard_query_s\": %.9f, \"append_s\": \
+         %.9f, \"compact_s\": %.6f, \"rewritten\": %d, \
+         \"incremental_reindex_s\": %.6f, \"full_reindex_s\": %.6f, \
+         \"reindex_speedup\": %.2f, \"agree\": %b}%s\n"
+        r.zn r.create_s r.shards r.mono_q_s r.shard_q_s r.append_s
+        r.compact_s r.rewritten r.compact_s r.full_reindex_s
+        (r.full_reindex_s /. r.compact_s)
+        r.zagree
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  out "  ]\n}\n";
+  close_out oc
+
+(** [shard_bench ~smoke ()] — the sharded warm store against the
+    monolithic database across 10^3..10^6 entries (10^5 in the smoke
+    configuration): exact top-k parity, per-query latency, durable
+    append cost, and the incremental-rebuild headline — folding an
+    appended batch rewrites (and re-indexes) only the affected shards,
+    against a full re-index of the whole database. Acceptance
+    (docs/performance.md): at 10^5 entries the incremental fold is
+    >= 5x faster than the full re-index. Written to BENCH_shard.json. *)
+let shard_bench ?(smoke = false) () =
+  let k = 5 in
+  let reps = if smoke then 1 else 3 in
+  let sizes =
+    [ 1_000; 10_000; 100_000 ] @ (if smoke then [] else [ 1_000_000 ])
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let vecs = synth_embeddings n in
+        let entries = synth_entries_of vecs in
+        let mono = Database.of_entries entries in
+        let queries = synth_queries (Rng.of_string "bench-shard-q") vecs in
+        let nq = float_of_int (List.length queries) in
+        let dir = Filename.temp_file "bench-shard" ".d" in
+        Sys.remove dir;
+        Fun.protect
+          ~finally:(fun () -> rm_rf dir)
+          (fun () ->
+            let t0 = Unix.gettimeofday () in
+            let st = Shardstore.create dir mono in
+            let create_s = Unix.gettimeofday () -. t0 in
+            let shards = (Shardstore.stats st).Shardstore.st_shards in
+            let mono_q q =
+              List.map
+                (fun (d, (e : Database.entry)) -> (d, e.Database.source))
+                (Database.query_embedding mono ~k q)
+            in
+            let shard_q q =
+              List.map
+                (fun (d, (e : Database.entry)) -> (d, e.Database.source))
+                (Shardstore.query_embedding st ~k q)
+            in
+            let zagree = List.for_all (fun q -> mono_q q = shard_q q) queries in
+            let mono_q_s =
+              median_time reps (fun () ->
+                  List.iter (fun q -> ignore (mono_q q)) queries)
+              /. nq
+            in
+            let shard_q_s =
+              median_time reps (fun () ->
+                  List.iter (fun q -> ignore (shard_q q)) queries)
+              /. nq
+            in
+            (* a seeding batch lands: durable append, then incremental
+               fold (only the affected shards re-index) *)
+            let rng = Rng.of_string (Printf.sprintf "bench-shard-app-%d" n) in
+            let batch =
+              List.init 16 (fun i ->
+                  let base = vecs.(Rng.int rng n) in
+                  {
+                    Database.source = Printf.sprintf "appended:%d" i;
+                    embedding =
+                      Array.map (fun v -> v +. (0.01 *. Rng.float rng)) base;
+                    recipe = [];
+                    canon_hash = n + i;
+                    cost_ms = 1.0;
+                  })
+            in
+            let t0 = Unix.gettimeofday () in
+            Shardstore.append st batch;
+            let append_s =
+              (Unix.gettimeofday () -. t0)
+              /. float_of_int (List.length batch)
+            in
+            let t0 = Unix.gettimeofday () in
+            let rewritten = Shardstore.compact st in
+            let compact_s = Unix.gettimeofday () -. t0 in
+            let t0 = Unix.gettimeofday () in
+            ignore
+              (Database.rebuild_index mono (Filename.concat dir "full.ann"));
+            let full_reindex_s = Unix.gettimeofday () -. t0 in
+            {
+              zn = n;
+              create_s;
+              shards;
+              mono_q_s;
+              shard_q_s;
+              append_s;
+              compact_s;
+              rewritten;
+              full_reindex_s;
+              zagree;
+            }))
+      sizes
+  in
+  Format.printf "@.Sharded warm store vs monolithic database (top-%d)@." k;
+  Format.printf "  %9s %7s %12s %12s %12s %10s %5s %10s %8s %6s@." "entries"
+    "shards" "scan (s)" "sharded (s)" "append (s)" "fold (s)" "rw"
+    "reidx (s)" "vs fold" "exact";
+  List.iter
+    (fun r ->
+      Format.printf
+        "  %9d %7d %12.3e %12.3e %12.3e %10.3e %5d %10.3e %7.1fx %6b@." r.zn
+        r.shards r.mono_q_s r.shard_q_s r.append_s r.compact_s r.rewritten
+        r.full_reindex_s
+        (r.full_reindex_s /. r.compact_s)
+        r.zagree)
+    rows;
+  (match List.find_opt (fun r -> r.zn = 100_000) rows with
+  | Some r ->
+      Format.printf
+        "  acceptance: at 1e5 entries the incremental fold is %.1fx the \
+         full re-index (bar: >= 5x), agreement %b@."
+        (r.full_reindex_s /. r.compact_s)
+        r.zagree
+  | None -> ());
+  write_shard_json ~path:"BENCH_shard.json" rows;
+  Format.printf "  [wrote BENCH_shard.json]@."
+
+let shard_bench_full () = shard_bench ()
+let shard_bench_smoke () = shard_bench ~smoke:true ()
+
 let run () =
   seed_speedup ();
   Format.printf "@.Toolchain micro-benchmarks (bechamel)@.";

@@ -367,9 +367,12 @@ let schedule_cmd =
 
 let seed_cmd =
   let run files defs threads jobs sample_outer engine eval_budget
-      eval_deadline db_out checkpoint resume quarantine_dir =
+      eval_deadline db_out shard_out shard_cap shard_append_only checkpoint
+      resume quarantine_dir =
     let programs = List.map (fun f -> (f, load f)) files in
     run_protected (fun () ->
+        if db_out = None && shard_out = None then
+          invalid_arg "seed needs --db-out FILE and/or --shard-out DIR";
         let sizes =
           List.concat_map (fun (_, p) -> sizes_of defs p) programs
           |> Daisy.Support.Util.dedup ~eq:(fun (a, _) (b, _) ->
@@ -391,16 +394,48 @@ let seed_cmd =
            every committed epoch: a crash between epochs still leaves a
            usable --db-out *)
         let on_epoch =
-          Option.map
-            (fun _ _epoch partial -> S.Database.save partial db_out)
-            journal
+          match (journal, db_out) with
+          | Some _, Some out ->
+              Some (fun _epoch partial -> S.Database.save partial out)
+          | _ -> None
         in
         let db = S.Database.create () in
         Daisy.Support.Pool.with_pool ~jobs (fun pool ->
             S.Seed.seed_database ~epochs:1 ~population:6 ~iterations:2 ?pool
               ?journal ?quarantine ?on_epoch ctx ~db
               (List.map (fun (f, p) -> (p.Ir.pname ^ ":" ^ f, p)) programs));
-        S.Database.save db db_out;
+        Option.iter (fun out -> S.Database.save db out) db_out;
+        (* sharded output: create a fresh store, or append to an existing
+           one through its WAL and fold + trim at this single-writer
+           moment (only the affected shards are rewritten) *)
+        Option.iter
+          (fun dirname ->
+            let module Sh = S.Shardstore in
+            if Sh.is_store_dir dirname then begin
+              let st = Sh.open_ ~shard_cap dirname in
+              Sh.append st (List.rev (S.Database.entries db));
+              if shard_append_only then
+                Fmt.pr
+                  "sharded store: appended %d entries to %s's WAL (%d \
+                   pending; folding left to the store's maintainer)@."
+                  (S.Database.size db) dirname (Sh.wal_depth st)
+              else begin
+                let rewritten = Sh.compact ~now:(Unix.gettimeofday ()) st in
+                ignore (Sh.trim_wal st);
+                Fmt.pr
+                  "sharded store: merged %d entries into %s (%d of %d \
+                   shard(s) rewritten)@."
+                  (S.Database.size db) dirname rewritten
+                  (Sh.stats st).Sh.st_shards
+              end
+            end
+            else
+              let st = Sh.create ~shard_cap dirname db in
+              Fmt.pr "sharded store: %d entries in %d shard(s) -> %s@."
+                (Sh.size st)
+                (Sh.stats st).Sh.st_shards
+                dirname)
+          shard_out;
         Option.iter Daisy.Support.Checkpoint.delete journal;
         report_quarantine quarantine;
         (match S.Common.sim_memo_stats ctx with
@@ -408,7 +443,10 @@ let seed_cmd =
             Fmt.pr "simulation memo: %d hits / %d lookups (%.0f%%)@." h (h + m)
               (100.0 *. float_of_int h /. float_of_int (h + m))
         | _ -> ());
-        Fmt.pr "saved database: %d entries -> %s@." (S.Database.size db)
+        Option.iter
+          (fun out ->
+            Fmt.pr "saved database: %d entries -> %s@." (S.Database.size db)
+              out)
           db_out)
   in
   let files_arg =
@@ -416,16 +454,40 @@ let seed_cmd =
            ~doc:"Kernel source files to seed from.")
   in
   let db_out_arg =
-    Arg.(required & opt (some string) None & info [ "db-out" ] ~docv:"FILE"
+    Arg.(value & opt (some string) None & info [ "db-out" ] ~docv:"FILE"
            ~doc:"Where to write the database (versioned, checksummed \
                  format; see docs/robustness.md).")
+  in
+  let shard_out_arg =
+    Arg.(value & opt (some string) None & info [ "shard-out" ] ~docv:"DIR"
+           ~doc:"Write (or merge into) a sharded warm store at $(docv): \
+                 per-shard segments + ANN sidecars under a checksummed \
+                 manifest with a write-ahead log. An existing store is \
+                 appended to through its WAL and compacted — only the \
+                 affected shards are rewritten. See docs/robustness.md, \
+                 \"Sharded warm store\".")
+  in
+  let shard_cap_arg =
+    Arg.(value & opt int S.Shardstore.default_shard_cap
+         & info [ "shard-cap" ] ~docv:"N"
+             ~doc:"Split shards past $(docv) entries at compaction.")
+  in
+  let shard_append_only_arg =
+    Arg.(value & flag & info [ "shard-append-only" ]
+           ~doc:"With $(b,--shard-out) into an existing store: only \
+                 append to the write-ahead log, leaving compaction to \
+                 the store's maintainer. Use this when a running \
+                 $(b,daisyd) owns the store's background compaction — at \
+                 most one process may compact at a time, but an appender \
+                 is always safe alongside it.")
   in
   Cmd.v
     (Cmd.info "seed"
        ~doc:"Seed a transfer-tuning database from kernels and save it")
     Term.(const run $ files_arg $ defines_arg $ threads_arg $ jobs_arg
           $ sample_outer_arg $ engine_arg $ eval_budget_arg
-          $ eval_deadline_arg $ db_out_arg $ checkpoint_arg $ resume_arg
+          $ eval_deadline_arg $ db_out_arg $ shard_out_arg $ shard_cap_arg
+          $ shard_append_only_arg $ checkpoint_arg $ resume_arg
           $ quarantine_arg)
 
 let bench_cmd =
@@ -541,7 +603,7 @@ let polybench_cmd =
           $ engine_arg $ eval_budget_arg)
 
 let submit_cmd =
-  let run file defs socket tcp client budget deadline timeout =
+  let run file defs socket tcp client budget deadline timeout show_stats =
     run_protected (fun () ->
         let address : Daisy.Serve.Server.address =
           match (socket, tcp) with
@@ -566,16 +628,20 @@ let submit_cmd =
         let module P = Daisy.Serve.Protocol in
         match
           C.with_connection ~timeout_s:timeout address (fun c ->
-              C.schedule c
-                {
-                  P.client;
-                  sizes = defs;
-                  budget;
-                  deadline_s = deadline;
-                  source;
-                })
+              let reply =
+                C.schedule c
+                  {
+                    P.client;
+                    sizes = defs;
+                    budget;
+                    deadline_s = deadline;
+                    source;
+                  }
+              in
+              let stats = if show_stats then Some (C.stats c) else None in
+              (reply, stats))
         with
-        | reply ->
+        | reply, stats ->
             List.iter
               (fun (d : P.decision) ->
                 Fmt.pr "  %s: %s@." d.P.label d.P.action)
@@ -585,7 +651,26 @@ let submit_cmd =
                %d retries, served in %.3f s)@."
               reply.P.cost_ms reply.P.engine
               (if reply.P.degraded then ", degraded" else "")
-              reply.P.blas_calls reply.P.retries reply.P.eval_s
+              reply.P.blas_calls reply.P.retries reply.P.eval_s;
+            Option.iter
+              (fun kvs ->
+                Fmt.pr "daemon stats:@.";
+                let w =
+                  List.fold_left
+                    (fun a (k, _) -> max a (String.length k))
+                    0 kvs
+                in
+                List.iter
+                  (fun (k, v) ->
+                    match k with
+                    | ("last_compaction" | "last_scrub") when v = 0 ->
+                        Fmt.pr "  %-*s  never@." w k
+                    | "last_compaction" | "last_scrub" ->
+                        Fmt.pr "  %-*s  %d (%.0f s ago)@." w k v
+                          (Unix.gettimeofday () -. float_of_int v)
+                    | _ -> Fmt.pr "  %-*s  %d@." w k v)
+                  kvs)
+              stats
         | exception C.Server_error (code, message) ->
             Fmt.epr "daisyc: daisyd refused the request (%s): %s@."
               (P.string_of_error_code code)
@@ -625,11 +710,19 @@ let submit_cmd =
     Arg.(value & opt float 60.0 & info [ "timeout" ] ~docv:"SEC"
            ~doc:"Client-side bound on waiting for the response.")
   in
+  let stats_arg =
+    Arg.(value & flag & info [ "stats" ]
+           ~doc:"Also fetch and pretty-print the daemon's serving \
+                 counters — including, for a sharded warm store, shard \
+                 count, WAL depth, quarantined shards and the last \
+                 compaction/scrub times.")
+  in
   Cmd.v
     (Cmd.info "submit"
        ~doc:"Submit a kernel to a running daisyd and print its schedule")
     Term.(const run $ file_arg $ defines_arg $ socket_arg $ tcp_arg
-          $ client_arg $ budget_arg $ deadline_arg $ timeout_arg)
+          $ client_arg $ budget_arg $ deadline_arg $ timeout_arg
+          $ stats_arg)
 
 let variant_cmd =
   let run file seed =

@@ -38,12 +38,26 @@ let tcp_arg =
                $(b,--socket)).")
 
 let db_arg =
-  Arg.(value & opt (some file) None & info [ "db" ] ~docv:"FILE"
-         ~doc:"Warm store: a transfer-tuning database written by \
-               $(b,daisyc seed --db-out). A $(i,FILE)$(b,.ann) sidecar is \
-               attached when present and valid. The daemon re-checks the \
-               file about once a second and hot-swaps a new snapshot in \
-               when its content fingerprint changes.")
+  Arg.(value & opt (some file) None & info [ "db" ] ~docv:"PATH"
+         ~doc:"Warm store: either a transfer-tuning database file written \
+               by $(b,daisyc seed --db-out) (a $(i,PATH)$(b,.ann) sidecar \
+               is attached when present and valid), or a sharded store \
+               directory written by $(b,daisyc seed --shard-out). The \
+               daemon re-checks it about once a second; a file swaps in \
+               whole, a sharded store hot-reloads at per-shard \
+               granularity and is background-compacted and scrubbed (see \
+               $(b,--compact-depth), $(b,--scrub-interval)).")
+
+let compact_depth_arg =
+  Arg.(value & opt int 64 & info [ "compact-depth" ] ~docv:"N"
+         ~doc:"Sharded store only: background-compact once $(docv) WAL \
+               entries are pending, off the request path (0 disables).")
+
+let scrub_interval_arg =
+  Arg.(value & opt float 0.0 & info [ "scrub-interval" ] ~docv:"SEC"
+         ~doc:"Sharded store only: background-scrub every $(docv) seconds, \
+               verifying segment checksums and ANN sidecars and repairing \
+               quarantined shards (0 disables).")
 
 let jobs_arg =
   Arg.(value & opt int 2 & info [ "jobs" ] ~docv:"N"
@@ -102,7 +116,8 @@ let sample_outer_arg =
          ~doc:"Outer-loop sampling bound of the cost model (0 = exact).")
 
 let run socket tcp db jobs queue degrade_depth quota eval_budget eval_deadline
-    idle_timeout checkpoint default_size threads sample_outer =
+    idle_timeout checkpoint default_size threads sample_outer compact_depth
+    scrub_interval =
   let address =
     match (socket, tcp) with
     | Some _, Some _ ->
@@ -131,6 +146,8 @@ let run socket tcp db jobs queue degrade_depth quota eval_budget eval_deadline
       default_size;
       threads;
       sample_outer;
+      compact_depth;
+      scrub_interval_s = scrub_interval;
     }
   in
   Daisy.Support.Checkpoint.install_signal_handlers ();
@@ -168,4 +185,5 @@ let () =
           Term.(const run $ socket_arg $ tcp_arg $ db_arg $ jobs_arg
                 $ queue_arg $ degrade_arg $ quota_arg $ eval_budget_arg
                 $ eval_deadline_arg $ idle_timeout_arg $ checkpoint_arg
-                $ default_size_arg $ threads_arg $ sample_outer_arg)))
+                $ default_size_arg $ threads_arg $ sample_outer_arg
+                $ compact_depth_arg $ scrub_interval_arg)))

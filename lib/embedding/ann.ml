@@ -991,3 +991,18 @@ let load ~path ~fingerprint:(expect_fp : string) : (t, string) result =
                     lock = Mutex.create ();
                   };
             })
+
+(** [verify ~path ~fingerprint] — the scrubber's deep integrity check:
+    {!load} the index (header, tree, table), then fetch and
+    checksum-verify {e every} page — corruption that {!load} alone would
+    only surface mid-query. *)
+let verify ~path ~fingerprint : (string, string) result =
+  match load ~path ~fingerprint with
+  | Error _ as e -> e
+  | Ok t -> (
+      try
+        for p = 0 to t.npages - 1 do
+          ignore (fetch_page t p)
+        done;
+        Ok (describe t)
+      with Corrupt m -> Error (path ^ ": " ^ m))

@@ -72,3 +72,10 @@ val pages : t -> int
 
 val describe : t -> string
 (** One-line human-readable summary, e.g. ["kd, 1500 entries, 42 pages"]. *)
+
+val verify : path:string -> fingerprint:string -> (string, string) result
+(** [verify ~path ~fingerprint] — deep integrity check: {!load}, then
+    fetch and checksum-verify every page (corruption {!load} alone would
+    only surface lazily, mid-query). [Ok description] when the whole
+    file is intact; [Error reason] otherwise. The sharded warm store's
+    scrubber runs this over every shard sidecar. *)

@@ -18,6 +18,18 @@ type entry = {
   embedding : Embedding.t;
   recipe : Recipe.t;
   canon_hash : int;  (** canonical structure hash of the normalized nest *)
+  cost_ms : float;  (** predicted runtime of the recipe; [nan] = unknown *)
+}
+
+(** A pluggable read path: lets a database handle serve from another
+    store (the sharded warm store) without materialising a monolithic
+    entry list. A backed handle is read-only. *)
+type backend = {
+  b_size : unit -> int;
+  b_entries : unit -> entry list;
+  b_query : k:int -> Embedding.t -> (float * entry) list;
+  b_exact : int -> entry list;
+  b_fingerprint : unit -> string;
 }
 
 type t = {
@@ -25,45 +37,102 @@ type t = {
   mutable index : (Ann.t * entry array) option;
       (* ANN index over [entries] plus the entry snapshot its indices
          refer to; any mutation of [entries] detaches it *)
+  backend : backend option;
 }
 
-let create () = { entries = []; index = None }
-let of_entries entries = { entries; index = None }
+let create () = { entries = []; index = None; backend = None }
+let of_entries entries = { entries; index = None; backend = None }
+let of_backend b = { entries = []; index = None; backend = Some b }
+let is_backed db = db.backend <> None
 
-let size db = List.length db.entries
+let size db =
+  match db.backend with
+  | Some b -> b.b_size ()
+  | None -> List.length db.entries
 
-let add db ~source ~(nest : Ir.loop) ~(recipe : Recipe.t) =
-  db.entries <-
+let read_only db op =
+  if db.backend <> None then
+    invalid_arg (Printf.sprintf "Database.%s: backed database is read-only" op)
+
+(* ------------------------------------------------------------------ *)
+(* Content-keyed dedup: one entry per (normalized structure, recipe).
+
+   The key is the pair (canonical structure hash, recipe string); a
+   duplicate keeps whichever entry has the {e better} (lower) cost — an
+   unknown cost ([nan]) always loses to a known one, and ties keep the
+   incumbent. Replacement happens {e in place}, so the entry order (and
+   therefore every query tie-break and the content fingerprint) is
+   independent of how many times a duplicate arrives — [add] replays and
+   shard [merge]s are idempotent, which is what makes WAL replay after a
+   mid-compaction crash safe (docs/robustness.md, "Sharded warm
+   store"). *)
+
+let dedup_key (e : entry) : string =
+  Printf.sprintf "%d/%s" e.canon_hash (Recipe.to_string e.recipe)
+
+(** [better_cost a b] — is cost [a] strictly better than [b]? *)
+let better_cost (a : float) (b : float) : bool =
+  match (Float.is_nan a, Float.is_nan b) with
+  | true, _ -> false
+  | false, true -> true
+  | false, false -> a < b
+
+(* Replace the first entry matching [key] when [e] improves on it;
+   [None] when no entry matches (the caller appends). *)
+let rec replace_dup key e = function
+  | [] -> None
+  | hd :: tl ->
+      if String.equal (dedup_key hd) key then
+        Some (if better_cost e.cost_ms hd.cost_ms then e :: tl else hd :: tl)
+      else Option.map (fun tl' -> hd :: tl') (replace_dup key e tl)
+
+let add_entry db (e : entry) =
+  read_only db "add";
+  (match replace_dup (dedup_key e) e db.entries with
+  | Some entries -> db.entries <- entries
+  | None -> db.entries <- e :: db.entries);
+  db.index <- None
+
+let add ?(cost_ms = nan) db ~source ~(nest : Ir.loop) ~(recipe : Recipe.t) =
+  add_entry db
     {
       source;
       embedding = Embedding.of_node (Ir.Nloop nest);
       recipe;
       canon_hash = Ir.hash_structure [ Ir.Nloop nest ];
+      cost_ms;
     }
-    :: db.entries;
-  db.index <- None
 
-let entries db = db.entries
+let entries db =
+  match db.backend with Some b -> b.b_entries () | None -> db.entries
 
 (** [merge ~into src] — append the entries of [src] to [into], exactly as
-    if [src]'s adds had been replayed on [into] in their original order.
-    Lets independent shards be seeded in parallel and combined in a fixed
-    order, reproducing the sequential database bit-for-bit. *)
+    if [src]'s adds had been replayed on [into] in their original order:
+    duplicates (same structure hash + recipe string) keep the
+    better-cost entry in the incumbent's position, so repeated merges
+    and WAL replays are idempotent. Lets independent shards be seeded in
+    parallel and combined in a fixed order, reproducing the sequential
+    database bit-for-bit. *)
 let merge ~into src =
-  into.entries <- src.entries @ into.entries;
+  read_only into "merge";
+  List.iter (add_entry into) (List.rev (entries src));
   into.index <- None
 
 (** Entries whose normalized structure is identical to [nest] — exact
     transfer hits. *)
+let exact_matches_hash db (h : int) : entry list =
+  match db.backend with
+  | Some b -> b.b_exact h
+  | None -> List.filter (fun e -> e.canon_hash = h) db.entries
+
 let exact_matches db (nest : Ir.loop) : entry list =
-  let h = Ir.hash_structure [ Ir.Nloop nest ] in
-  List.filter (fun e -> e.canon_hash = h) db.entries
+  exact_matches_hash db (Ir.hash_structure [ Ir.Nloop nest ])
 
 let pp ppf db =
   Fmt.pf ppf "@[<v>database: %d entries@,%a@]" (size db)
     (Fmt.list ~sep:Fmt.cut (fun ppf e ->
          Fmt.pf ppf "  %s: %a" e.source Recipe.pp e.recipe))
-    db.entries
+    (entries db)
 
 (* ------------------------------------------------------------------ *)
 (* Persistence: versioned, checksummed, corruption-tolerant.
@@ -72,14 +141,18 @@ let pp ppf db =
 
    {v
    DAISYDB 1
-   entry <16-hex FNV-1a-64 checksum of the 4 body lines joined by \n>
+   entry <16-hex FNV-1a-64 checksum of the 5 body lines joined by \n>
    source "gemm:nest0"
    hash 129386423
+   cost 0x1.8p+1 (predicted ms, %h; nan = unknown)
    embedding 0x1.8p+1 0x0p+0 ... (dim %h-printed floats, exact round-trip)
    recipe [interchange(1 0); vectorize]
    end
    ...
    v}
+
+   Files written before the cost column (4-line bodies) still load:
+   their entries parse with an unknown cost.
 
    Entries are written head-first and loaded in file order, so a
    round-trip reproduces the in-memory entry list — and therefore every
@@ -95,6 +168,7 @@ let entry_body (e : entry) : string list =
   [
     Printf.sprintf "source %S" e.source;
     Printf.sprintf "hash %d" e.canon_hash;
+    Printf.sprintf "cost %h" e.cost_ms;
     "embedding "
     ^ String.concat " "
         (List.map (Printf.sprintf "%h") (Array.to_list e.embedding));
@@ -115,7 +189,7 @@ let save (db : t) (path : string) : unit =
           Printf.fprintf oc "entry %s\n" (checksum (String.concat "\n" body));
           List.iter (fun l -> Printf.fprintf oc "%s\n" l) body;
           Printf.fprintf oc "end\n")
-        db.entries)
+        (entries db))
 
 let strip_prefix p s =
   let lp = String.length p in
@@ -125,46 +199,64 @@ let strip_prefix p s =
 
 let parse_body (body : string list) : (entry, string) result =
   let ( let* ) = Result.bind in
-  match body with
-    | [ src_l; hash_l; emb_l; rec_l ] ->
-        let* source =
-          try Ok (Scanf.sscanf src_l "source %S" Fun.id)
-          with Scanf.Scan_failure _ | Failure _ | End_of_file ->
-            Error "malformed source line"
+  (* 5-line body (with the cost column); 4-line bodies from files written
+     before it load with an unknown cost *)
+  let parts =
+    match body with
+    | [ src_l; hash_l; cost_l; emb_l; rec_l ] ->
+        Ok (src_l, hash_l, Some cost_l, emb_l, rec_l)
+    | [ src_l; hash_l; emb_l; rec_l ] -> Ok (src_l, hash_l, None, emb_l, rec_l)
+    | _ ->
+        Error
+          (Printf.sprintf "expected 5 body lines, got %d" (List.length body))
+  in
+  let* src_l, hash_l, cost_l, emb_l, rec_l = parts in
+  let* source =
+    try Ok (Scanf.sscanf src_l "source %S" Fun.id)
+    with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+      Error "malformed source line"
+  in
+  let* canon_hash =
+    match strip_prefix "hash " hash_l with
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some h -> Ok h
+        | None -> Error "malformed hash line")
+    | None -> Error "malformed hash line"
+  in
+  let* cost_ms =
+    match cost_l with
+    | None -> Ok nan
+    | Some l -> (
+        match strip_prefix "cost " l with
+        | None -> Error "malformed cost line"
+        | Some s -> (
+            match float_of_string_opt (String.trim s) with
+            | Some c -> Ok c
+            | None -> Error "malformed cost value"))
+  in
+  let* embedding =
+    match strip_prefix "embedding " emb_l with
+    | None -> Error "malformed embedding line"
+    | Some s ->
+        let toks =
+          String.split_on_char ' ' s |> List.filter (fun t -> t <> "")
         in
-        let* canon_hash =
-          match strip_prefix "hash " hash_l with
-          | Some s -> (
-              match int_of_string_opt (String.trim s) with
-              | Some h -> Ok h
-              | None -> Error "malformed hash line")
-          | None -> Error "malformed hash line"
-        in
-        let* embedding =
-          match strip_prefix "embedding " emb_l with
-          | None -> Error "malformed embedding line"
-          | Some s ->
-              let toks =
-                String.split_on_char ' ' s |> List.filter (fun t -> t <> "")
-              in
-              let floats = List.filter_map float_of_string_opt toks in
-              if List.length floats <> List.length toks then
-                Error "malformed embedding value"
-              else if List.length floats <> Embedding.dim then
-                Error
-                  (Printf.sprintf "embedding has %d values, expected %d"
-                     (List.length floats) Embedding.dim)
-              else Ok (Array.of_list floats)
-        in
-        let* recipe =
-          match strip_prefix "recipe " rec_l with
-          | None -> Error "malformed recipe line"
-          | Some s -> Recipe.of_string s
-        in
-        Ok { source; embedding; recipe; canon_hash }
-  | _ ->
-      Error
-        (Printf.sprintf "expected 4 body lines, got %d" (List.length body))
+        let floats = List.filter_map float_of_string_opt toks in
+        if List.length floats <> List.length toks then
+          Error "malformed embedding value"
+        else if List.length floats <> Embedding.dim then
+          Error
+            (Printf.sprintf "embedding has %d values, expected %d"
+               (List.length floats) Embedding.dim)
+        else Ok (Array.of_list floats)
+  in
+  let* recipe =
+    match strip_prefix "recipe " rec_l with
+    | None -> Error "malformed recipe line"
+    | Some s -> Recipe.of_string s
+  in
+  Ok { source; embedding; recipe; canon_hash; cost_ms }
 
 let parse_entry (ck : string) (body : string list) : (entry, string) result =
   let expected = checksum (String.concat "\n" body) in
@@ -173,10 +265,12 @@ let parse_entry (ck : string) (body : string list) : (entry, string) result =
       (Printf.sprintf "checksum mismatch (stored %s, computed %s)" ck expected)
   else parse_body body
 
-(* The 4-line body framing, exposed so other persistent stores (the bench
-   harness's shard checkpoints) can embed entries in their own records. *)
+(* The 5-line body framing, exposed so other persistent stores (the bench
+   harness's shard checkpoints, the sharded warm store's WAL) can embed
+   entries in their own records. *)
 let entry_to_lines = entry_body
 let entry_of_lines = parse_body
+let entry_lines = 5
 
 let load (path : string) : t * string list =
   let ic =
@@ -251,7 +345,8 @@ let load (path : string) : t * string list =
             i := !j + 1
           end
   done;
-  ({ entries = List.rev !entries; index = None }, List.rev !warnings)
+  ({ entries = List.rev !entries; index = None; backend = None },
+   List.rev !warnings)
 
 (* ------------------------------------------------------------------ *)
 (* Sub-linear queries: an optional ANN index over the entries.
@@ -269,7 +364,10 @@ let load (path : string) : t * string list =
     ([%h] floats), so the fingerprint survives persistence — an index
     built before a save still attaches after the reload. *)
 let fingerprint (db : t) : string =
-  checksum (String.concat "\n" (List.concat_map entry_body db.entries))
+  match db.backend with
+  | Some b -> b.b_fingerprint ()
+  | None ->
+      checksum (String.concat "\n" (List.concat_map entry_body db.entries))
 
 let index_fallback_count = Atomic.make 0
 
@@ -283,6 +381,7 @@ let index_description db =
   Option.map (fun (ann, _) -> Ann.describe ann) db.index
 
 let build_index ?algo (db : t) : unit =
+  read_only db "build_index";
   let arr = Array.of_list db.entries in
   let ann =
     Ann.build ?algo ~fingerprint:(fingerprint db) ~dim:Embedding.dim
@@ -301,6 +400,7 @@ let save_index (db : t) (path : string) : unit =
     fingerprint differs from [fingerprint db]) — the caller decides
     whether to rebuild or just scan. *)
 let load_index (db : t) (path : string) : (string, string) result =
+  read_only db "load_index";
   match Ann.load ~path ~fingerprint:(fingerprint db) with
   | Error m -> Error m
   | Ok ann ->
@@ -334,6 +434,9 @@ let scan db ~k (q : Embedding.t) : (float * entry) list =
 let query_embedding (db : t) ~k (q : Embedding.t) : (float * entry) list =
   if k <= 0 then []
   else
+    match db.backend with
+    | Some b -> b.b_query ~k q
+    | None -> (
     match db.index with
     | None -> scan db ~k q
     | Some (ann, arr) -> (
@@ -344,7 +447,7 @@ let query_embedding (db : t) ~k (q : Embedding.t) : (float * entry) list =
           Fmt.epr "%a@." Diag.pp
             (Diag.make ~severity:Diag.Warn
                "ann index unusable (%s) — falling back to linear scan" m);
-          scan db ~k q)
+          scan db ~k q))
 
 (** [query db ~k nest] — the [k] entries nearest to [nest] in embedding
     space (closest first). *)

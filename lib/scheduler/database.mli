@@ -7,7 +7,22 @@ type entry = {
   embedding : Daisy_embedding.Embedding.t;
   recipe : Daisy_transforms.Recipe.t;
   canon_hash : int;  (** canonical structure hash of the normalized nest *)
+  cost_ms : float;  (** predicted runtime of the recipe; [nan] = unknown *)
 }
+
+type backend = {
+  b_size : unit -> int;
+  b_entries : unit -> entry list;
+  b_query :
+    k:int -> Daisy_embedding.Embedding.t -> (float * entry) list;
+  b_exact : int -> entry list;
+  b_fingerprint : unit -> string;
+}
+(** A pluggable read path: {!of_backend} builds a read-only database
+    handle whose {!size}/{!entries}/{!query}/{!exact_matches}/
+    {!fingerprint} delegate to these functions — how the sharded warm
+    store ({!Shardstore}) serves through the ordinary [~db] interface
+    without materialising a monolithic entry list. *)
 
 type t
 
@@ -17,21 +32,45 @@ val of_entries : entry list -> t
 (** A database holding exactly [entries] (same order as {!entries}
     returns them). *)
 
+val of_backend : backend -> t
+(** A read-only handle delegating to [backend]. Mutations ([add],
+    [merge]) and index management raise [Invalid_argument]. *)
+
+val is_backed : t -> bool
+
 val size : t -> int
 
 val add :
+  ?cost_ms:float ->
   t ->
   source:string ->
   nest:Daisy_loopir.Ir.loop ->
   recipe:Daisy_transforms.Recipe.t ->
   unit
+(** Add an entry. Content-keyed dedup: if an entry with the same
+    canonical structure hash {e and} recipe string already exists, the
+    one with the better (lower) [cost_ms] is kept — in the incumbent's
+    position, so entry order is independent of duplicate arrivals and
+    replays are idempotent. An omitted [cost_ms] ([nan]) always loses to
+    a known cost; ties keep the incumbent. *)
 
 val entries : t -> entry list
 (** All entries, most recently added first. *)
 
 val merge : into:t -> t -> unit
 (** [merge ~into src] appends [src]'s entries to [into] as if [src]'s adds
-    had been replayed on [into] in order (for parallel shard seeding). *)
+    had been replayed on [into] in order (for parallel shard seeding).
+    Deduplicates like {!add}: merging the same shard twice — or
+    replaying a WAL whose records were already compacted in — leaves
+    [into] bit-identical to merging it once. *)
+
+val dedup_key : entry -> string
+(** The content key {!add}/{!merge} deduplicate on: canonical structure
+    hash + recipe string. *)
+
+val better_cost : float -> float -> bool
+(** [better_cost a b] — the dedup tie-break: is cost [a] strictly better
+    than cost [b]? ([nan] never beats anything; anything beats [nan].) *)
 
 val query : t -> k:int -> Daisy_loopir.Ir.loop -> (float * entry) list
 (** The [k] nearest entries in embedding space, closest first. Runs
@@ -84,14 +123,23 @@ val exact_matches : t -> Daisy_loopir.Ir.loop -> entry list
 (** Entries whose normalized structure is identical — exact transfer
     hits. *)
 
+val exact_matches_hash : t -> int -> entry list
+(** {!exact_matches} for a pre-computed canonical structure hash. *)
+
 val entry_to_lines : entry -> string list
-(** The 4-line body framing used by {!save}, exposed so other
-    persistent stores (e.g. the bench harness's shard checkpoints) can
-    embed entries in their own records. Inverse of {!entry_of_lines}. *)
+(** The {!entry_lines}-line body framing used by {!save}, exposed so
+    other persistent stores (e.g. the bench harness's shard checkpoints,
+    the sharded warm store's WAL) can embed entries in their own
+    records. Inverse of {!entry_of_lines}. *)
 
 val entry_of_lines : string list -> (entry, string) result
-(** Parse the 4 body lines produced by {!entry_to_lines} (no checksum
-    framing). *)
+(** Parse the body lines produced by {!entry_to_lines} (no checksum
+    framing). Also accepts the legacy 4-line body (no cost column);
+    such entries parse with an unknown ([nan]) cost. *)
+
+val entry_lines : int
+(** Body lines per entry as {!entry_to_lines} writes them (currently
+    5: source, hash, cost, embedding, recipe). *)
 
 val save : t -> string -> unit
 (** [save db path] — write the versioned on-disk format: a

@@ -287,8 +287,8 @@ let seed_database ?(epochs = 3) ?(population = 8) ?(iterations = 3) ?pool
         let partial = Database.create () in
         List.iter
           (fun st ->
-            Database.add partial ~source:st.label ~nest:st.nest
-              ~recipe:st.best)
+            Database.add ~cost_ms:st.best_ms partial ~source:st.label
+              ~nest:st.nest ~recipe:st.best)
           states;
         f epoch partial
   in
@@ -337,5 +337,7 @@ let seed_database ?(epochs = 3) ?(population = 8) ?(iterations = 3) ?pool
     end
   done;
   List.iter
-    (fun st -> Database.add db ~source:st.label ~nest:st.nest ~recipe:st.best)
+    (fun st ->
+      Database.add ~cost_ms:st.best_ms db ~source:st.label ~nest:st.nest
+        ~recipe:st.best)
     states

@@ -1,0 +1,1216 @@
+(** The self-healing sharded warm store.
+
+    A store is a directory:
+
+    {v
+    MANIFEST              DAISYMAN 1: checksummed shard map + routing tree
+    wal.log               DAISYWAL 1: checksummed append records
+    shard-<id>-g<G>.db    immutable DAISYDB segment (generation G)
+    shard-<id>-g<G>.db.ann  DAISYANN sidecar for that segment
+    v}
+
+    Entries partition by embedding region: a k-d tree of median splits
+    (widest-spread dimension first, the same ranking key discipline as
+    {!Daisy_embedding.Ann}) routes every embedding to exactly one leaf
+    shard, so bit-equal embeddings always share a shard and the
+    cross-shard top-k merge needs no tie-break beyond
+    {!Daisy_embedding.Embedding.compare_key}.
+
+    Durability contract (see docs/robustness.md, "Sharded warm store"):
+
+    - {e Segments are immutable.} {!append} only writes WAL records
+      (FNV-1a-64 per-record checksum, fsync before return); committed
+      shard files are never rewritten in place.
+    - {e The manifest is the commit point.} {!compact} and {!scrub}
+      write new-generation segments {e first}, then replace the
+      manifest via {!Daisy_support.Checkpoint.atomic_write}; a crash on
+      either side of the rename leaves the store bit-identical to the
+      pre- or post-operation state. The WAL is replaced with an empty
+      file {e after} the manifest rename — a crash between the two
+      over-replays records into shards that already contain them, which
+      {!Database.merge}'s content-keyed dedup absorbs.
+    - {e Torn tails are tolerated.} Replay stops at the first
+      incomplete record; {!open_} truncates the tear so later appends
+      stay parseable (single-writer discipline: at most one process
+      appends/compacts; readers {!refresh} concurrently).
+    - {e Corruption is contained.} A segment that fails its checksums
+      or fingerprint is quarantined: the store keeps serving the other
+      shards (plus whatever entries survived, by scan), emits one
+      throttled ["shard_quarantine"] warning, and counts the event;
+      {!scrub} repairs the shard from the in-memory state (survivors +
+      WAL replay) when possible.
+
+    Fault labels: ["shard_wal"] (mid-record, per WAL append),
+    ["shard_compact"] (per new segment + manifest rename),
+    ["shard_scrub"] (per repair segment + manifest rename). *)
+
+module Util = Daisy_support.Util
+module Diag = Daisy_support.Diag
+module Fault = Daisy_support.Fault
+module Checkpoint = Daisy_support.Checkpoint
+module Embedding = Daisy_embedding.Embedding
+module Ann = Daisy_embedding.Ann
+
+let manifest_name = "MANIFEST"
+let wal_name = "wal.log"
+let man_magic = "DAISYMAN 1"
+let wal_magic = "DAISYWAL 1"
+let wal_header = wal_magic ^ "\n"
+let default_shard_cap = 512
+
+(* process-wide counter of ANN sidecar builds — the incremental-rebuild
+   assertion: an append + compact touching one shard must bump this by
+   exactly the number of shards rewritten, not the shard count *)
+let ann_build_count = Atomic.make 0
+let ann_builds () = Atomic.get ann_build_count
+let reset_ann_builds () = Atomic.set ann_build_count 0
+
+let quarantine_count = Atomic.make 0
+let quarantines () = Atomic.get quarantine_count
+let reset_quarantines () = Atomic.set quarantine_count 0
+
+(* ------------------------------------------------------------------ *)
+(* Routing tree *)
+
+type tree =
+  | Leaf of int
+  | Split of { sdim : int; thr : float; left : tree; right : tree }
+
+let rec route (tr : tree) (e : Embedding.t) : int =
+  match tr with
+  | Leaf id -> id
+  | Split { sdim; thr; left; right } ->
+      if sdim < Array.length e && e.(sdim) >= thr then route right e
+      else route left e
+
+let rec tree_leaves = function
+  | Leaf id -> [ id ]
+  | Split { left; right; _ } -> tree_leaves left @ tree_leaves right
+
+let rec replace_leaf (tr : tree) (id : int) (sub : tree) : tree =
+  match tr with
+  | Leaf i when i = id -> sub
+  | Leaf _ -> tr
+  | Split s ->
+      Split
+        {
+          s with
+          left = replace_leaf s.left id sub;
+          right = replace_leaf s.right id sub;
+        }
+
+let rec tree_to_lines = function
+  | Leaf id -> [ Printf.sprintf "leaf %d" id ]
+  | Split { sdim; thr; left; right } ->
+      Printf.sprintf "split %d %h" sdim thr
+      :: (tree_to_lines left @ tree_to_lines right)
+
+let tree_of_lines (lines : string list) : (tree * string list) option =
+  let rec go = function
+    | [] -> None
+    | l :: rest -> (
+        match String.split_on_char ' ' l with
+        | [ "leaf"; id ] ->
+            Option.map (fun id -> (Leaf id, rest)) (int_of_string_opt id)
+        | [ "split"; d; thr ] -> (
+            match (int_of_string_opt d, float_of_string_opt thr) with
+            | Some sdim, Some thr ->
+                Option.bind (go rest) (fun (left, rest) ->
+                    Option.map
+                      (fun (right, rest) ->
+                        (Split { sdim; thr; left; right }, rest))
+                      (go rest))
+            | _ -> None)
+        | _ -> None)
+  in
+  go lines
+
+(* Median split on the widest-spread dimension — the same discipline as
+   {!Ann}'s k-d builder: the threshold is the median coordinate value,
+   advanced past a run of minimum values so both sides are non-empty.
+   Returns [None] when every dimension has zero spread (an oversized
+   leaf is the only option). The partition is stable, so chronological
+   order survives within each side. *)
+let split_entries (es : Database.entry array) :
+    (int * float * Database.entry array * Database.entry array) option =
+  let n = Array.length es in
+  if n < 2 then None
+  else
+    let dim =
+      Array.fold_left
+        (fun d (e : Database.entry) -> max d (Array.length e.embedding))
+        0 es
+    in
+    let best = ref (-1) and best_spread = ref 0. in
+    for d = 0 to dim - 1 do
+      let mn = ref infinity and mx = ref neg_infinity in
+      Array.iter
+        (fun (e : Database.entry) ->
+          let v = if d < Array.length e.embedding then e.embedding.(d) else 0. in
+          if v < !mn then mn := v;
+          if v > !mx then mx := v)
+        es;
+      let s = !mx -. !mn in
+      if s > !best_spread then (
+        best := d;
+        best_spread := s)
+    done;
+    if !best < 0 then None
+    else
+      let d = !best in
+      let coord (e : Database.entry) =
+        if d < Array.length e.embedding then e.embedding.(d) else 0.
+      in
+      let coords = Array.map coord es in
+      Array.sort Float.compare coords;
+      let thr = ref coords.(n / 2) in
+      if Float.equal !thr coords.(0) then begin
+        let i = ref (n / 2) in
+        while !i < n && Float.equal coords.(!i) coords.(0) do
+          incr i
+        done;
+        if !i < n then thr := coords.(!i)
+      end;
+      let left = Array.of_seq (Seq.filter (fun e -> coord e < !thr) (Array.to_seq es)) in
+      let right =
+        Array.of_seq (Seq.filter (fun e -> coord e >= !thr) (Array.to_seq es))
+      in
+      if Array.length left = 0 || Array.length right = 0 then None
+      else Some (d, !thr, left, right)
+
+(* Partition chronological entries into leaf shards of at most [cap]
+   entries (oversized leaves only under zero spread), assigning fresh
+   leaf ids from [next_id]. *)
+let rec build_partition ~cap (next_id : int ref)
+    (es : Database.entry array) : tree * (int * Database.entry array) list =
+  if Array.length es <= cap then (
+    let id = !next_id in
+    incr next_id;
+    (Leaf id, [ (id, es) ]))
+  else
+    match split_entries es with
+    | None ->
+        let id = !next_id in
+        incr next_id;
+        (Leaf id, [ (id, es) ])
+    | Some (sdim, thr, l, r) ->
+        let left, ls = build_partition ~cap next_id l in
+        let right, rs = build_partition ~cap next_id r in
+        (Split { sdim; thr; left; right }, ls @ rs)
+
+(* ------------------------------------------------------------------ *)
+(* Store state *)
+
+type shard = {
+  sid : int;
+  mutable file : string;  (** segment basename *)
+  mutable fp : string;  (** segment content fingerprint per manifest *)
+  mutable ann_file : string option;
+  mutable declared : int;  (** entry count per manifest *)
+  mutable db : Database.t;  (** committed entries (immutable segment) *)
+  mutable pending : Database.entry list;  (** WAL entries, chronological *)
+  mutable view : Database.t;
+      (** committed + pending, merge-deduped; [== db] when no pending *)
+  mutable quarantined : bool;
+}
+
+type t = {
+  dir : string;
+  shard_cap : int;
+  lock : Mutex.t;
+  mutable gen : int;
+  mutable next_id : int;
+  mutable tree : tree;
+  mutable shards : shard list;  (** sorted by [sid] *)
+  mutable compacted : float;  (** unix seconds; [nan] = never *)
+  mutable scrubbed : float;
+  mutable man_ck : string;  (** manifest body checksum (refresh identity) *)
+  mutable consumed : int;
+      (** WAL byte offset up to which records are folded into segments
+          (or re-held past it); persisted in the manifest *)
+  mutable wal_size : int;  (** replayed-through WAL offset (bytes) *)
+  mutable wal_torn : bool;  (** an append died mid-record on this handle *)
+}
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let dir t = t.dir
+let ( // ) = Filename.concat
+let man_path t = t.dir // manifest_name
+let wal_path t = t.dir // wal_name
+
+let seg_name ~sid ~gen = Printf.sprintf "shard-%03d-g%d.db" sid gen
+
+let is_store_dir (path : string) : bool =
+  Sys.file_exists path
+  && Sys.is_directory path
+  && Sys.file_exists (path // manifest_name)
+
+let rebuild_view (sh : shard) : unit =
+  match sh.pending with
+  | [] -> sh.view <- sh.db
+  | pend ->
+      let v = Database.of_entries (Database.entries sh.db) in
+      Database.merge ~into:v (Database.of_entries (List.rev pend));
+      sh.view <- v
+
+let find_shard t (sid : int) : shard =
+  match List.find_opt (fun sh -> sh.sid = sid) t.shards with
+  | Some sh -> sh
+  | None ->
+      Diag.errorf "shardstore %s: routing tree references unknown shard %d"
+        t.dir sid
+
+(* ------------------------------------------------------------------ *)
+(* Manifest *)
+
+let manifest_body t : string list =
+  let tl = tree_to_lines t.tree in
+  let ts v = if Float.is_nan v then "-" else Printf.sprintf "%h" v in
+  [
+    Printf.sprintf "gen %d" t.gen;
+    Printf.sprintf "nextid %d" t.next_id;
+    Printf.sprintf "consumed %d" t.consumed;
+    Printf.sprintf "compacted %s" (ts t.compacted);
+    Printf.sprintf "scrubbed %s" (ts t.scrubbed);
+    Printf.sprintf "tree %d" (List.length tl);
+  ]
+  @ tl
+  @ [ Printf.sprintf "shards %d" (List.length t.shards) ]
+  @ List.map
+      (fun sh ->
+        Printf.sprintf "shard %d %d %s %s %s" sh.sid sh.declared sh.fp sh.file
+          (Option.value sh.ann_file ~default:"-"))
+      t.shards
+
+let write_manifest ?fault_label t : unit =
+  let body = manifest_body t in
+  let ck = Util.fnv1a64 (String.concat "\n" body) in
+  Checkpoint.atomic_write ?fault_label (man_path t) (fun oc ->
+      output_string oc (man_magic ^ "\n");
+      Printf.fprintf oc "checksum %s\n" ck;
+      List.iter (fun l -> output_string oc (l ^ "\n")) body);
+  t.man_ck <- ck
+
+type man = {
+  m_gen : int;
+  m_next_id : int;
+  m_consumed : int;
+  m_compacted : float;
+  m_scrubbed : float;
+  m_tree : tree;
+  m_shards : (int * int * string * string * string option) list;
+      (** id, entries, fp, file, ann *)
+  m_ck : string;
+}
+
+let read_manifest (path : string) : man =
+  let fail fmt = Printf.ksprintf (fun m -> Diag.errorf "%s: %s" path m) fmt in
+  let lines =
+    match In_channel.with_open_bin path In_channel.input_all with
+    | s -> String.split_on_char '\n' s
+    | exception Sys_error m -> Diag.errorf "%s" m
+  in
+  match lines with
+  | magic :: ck_l :: body0 -> (
+      if not (String.equal magic man_magic) then
+        fail "not a daisy shard manifest (bad magic line %S)" magic;
+      let body =
+        match List.rev body0 with "" :: r -> List.rev r | _ -> body0
+      in
+      let ck =
+        match String.split_on_char ' ' ck_l with
+        | [ "checksum"; ck ] -> ck
+        | _ -> fail "malformed checksum line %S" ck_l
+      in
+      if not (String.equal ck (Util.fnv1a64 (String.concat "\n" body))) then
+        fail "manifest checksum mismatch (corrupt manifest)";
+      let int_field name = function
+        | l :: rest -> (
+            match String.split_on_char ' ' l with
+            | [ n; v ] when String.equal n name -> (
+                match int_of_string_opt v with
+                | Some v -> (v, rest)
+                | None -> fail "malformed %s line %S" name l)
+            | _ -> fail "expected '%s ...', got %S" name l)
+        | [] -> fail "truncated manifest (missing %s)" name
+      in
+      let ts_field name = function
+        | l :: rest -> (
+            match String.split_on_char ' ' l with
+            | [ n; "-" ] when String.equal n name -> (nan, rest)
+            | [ n; v ] when String.equal n name -> (
+                match float_of_string_opt v with
+                | Some v -> (v, rest)
+                | None -> fail "malformed %s line %S" name l)
+            | _ -> fail "expected '%s ...', got %S" name l)
+        | [] -> fail "truncated manifest (missing %s)" name
+      in
+      let m_gen, body = int_field "gen" body in
+      let m_next_id, body = int_field "nextid" body in
+      let m_consumed, body = int_field "consumed" body in
+      let m_compacted, body = ts_field "compacted" body in
+      let m_scrubbed, body = ts_field "scrubbed" body in
+      let ntree, body = int_field "tree" body in
+      if List.length body < ntree then fail "truncated tree section";
+      let tree_lines = Util.take ntree body in
+      let body = Util.drop ntree body in
+      let m_tree =
+        match tree_of_lines tree_lines with
+        | Some (tr, []) -> tr
+        | _ -> fail "malformed tree section"
+      in
+      let nshards, body = int_field "shards" body in
+      if List.length body <> nshards then
+        fail "shard section has %d lines, header says %d" (List.length body)
+          nshards;
+      let m_shards =
+        List.map
+          (fun l ->
+            match String.split_on_char ' ' l with
+            | [ "shard"; id; cnt; fp; file; ann ] -> (
+                match (int_of_string_opt id, int_of_string_opt cnt) with
+                | Some id, Some cnt ->
+                    ( id,
+                      cnt,
+                      fp,
+                      file,
+                      if String.equal ann "-" then None else Some ann )
+                | _ -> fail "malformed shard line %S" l)
+            | _ -> fail "malformed shard line %S" l)
+          body
+      in
+      {
+        m_gen;
+        m_next_id;
+        m_consumed;
+        m_compacted;
+        m_scrubbed;
+        m_tree;
+        m_shards;
+        m_ck = ck;
+      })
+  | _ -> fail "truncated manifest"
+
+(* ------------------------------------------------------------------ *)
+(* WAL *)
+
+let wal_record (e : Database.entry) : string =
+  let lines = Database.entry_to_lines e in
+  let ck = Util.fnv1a64 (String.concat "\n" lines) in
+  Printf.sprintf "rec %s %d\n%send\n" ck (List.length lines)
+    (String.concat "" (List.map (fun l -> l ^ "\n") lines))
+
+(* Parse records from [from] to the end of [s]. Returns the entries of
+   every intact record, the byte offset after the last complete record
+   (the good end — anything past it is a torn tail), per-record
+   warnings, and whether a tail was torn. A complete record with a bad
+   checksum or unparseable body is skipped with a warning (replay
+   continues past it); an incomplete record stops the replay. *)
+let parse_wal_records (s : string) (from : int) :
+    Database.entry list * int * string list * bool =
+  let len = String.length s in
+  let entries = ref [] and warnings = ref [] in
+  let pos = ref from and good = ref from and torn = ref false in
+  let line_at p =
+    if p >= len then None
+    else
+      match String.index_from_opt s p '\n' with
+      | None -> None
+      | Some nl -> Some (String.sub s p (nl - p), nl + 1)
+  in
+  while (not !torn) && !pos < len do
+    let start = !pos in
+    match line_at start with
+    | None -> torn := true
+    | Some (hdr, p1) -> (
+        match String.split_on_char ' ' hdr with
+        | [ "rec"; ck; nl_s ] -> (
+            match int_of_string_opt nl_s with
+            | Some nlines when nlines >= 0 && nlines <= 64 -> (
+                let rec body acc p i =
+                  if i = 0 then
+                    match line_at p with
+                    | Some ("end", p') -> Some (List.rev acc, p')
+                    | _ -> None
+                  else
+                    match line_at p with
+                    | Some (l, p') -> body (l :: acc) p' (i - 1)
+                    | None -> None
+                in
+                match body [] p1 nlines with
+                | None -> torn := true
+                | Some (lines, p') -> (
+                    pos := p';
+                    good := p';
+                    if
+                      String.equal ck
+                        (Util.fnv1a64 (String.concat "\n" lines))
+                    then
+                      match Database.entry_of_lines lines with
+                      | Ok e -> entries := e :: !entries
+                      | Error m ->
+                          warnings :=
+                            Printf.sprintf
+                              "WAL record at byte %d: unparseable entry (%s)"
+                              start m
+                            :: !warnings
+                    else
+                      warnings :=
+                        Printf.sprintf
+                          "WAL record at byte %d: checksum mismatch" start
+                        :: !warnings))
+            | _ -> torn := true)
+        | _ -> torn := true)
+  done;
+  (List.rev !entries, !good, List.rev !warnings, !torn)
+
+let read_wal (path : string) : string =
+  if Sys.file_exists path then
+    In_channel.with_open_bin path In_channel.input_all
+  else ""
+
+(* Append [records] to the WAL and fsync. The ["shard_wal"] fault point
+   fires once per record, {e between} the two halves of its bytes — a
+   process killed there leaves a torn tail (dropped on replay); a mere
+   exception rolls the file back to the pre-batch size, so a surviving
+   handle sees append as all-or-nothing. *)
+let wal_append t (records : string list) : unit =
+  if t.wal_torn then begin
+    (* a previous append on this handle died mid-record; drop the tear
+       before writing after it *)
+    (try Unix.truncate (wal_path t) t.wal_size with Unix.Unix_error _ -> ());
+    t.wal_torn <- false
+  end;
+  let fresh = not (Sys.file_exists (wal_path t)) in
+  let fd =
+    Unix.openfile (wal_path t) Unix.[ O_WRONLY; O_CREAT; O_APPEND ] 0o644
+  in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let write s off len =
+        let n = ref off in
+        while !n < off + len do
+          n := !n + Unix.write_substring fd s !n (off + len - !n)
+        done
+      in
+      if fresh then begin
+        write wal_header 0 (String.length wal_header);
+        t.wal_size <- String.length wal_header
+      end;
+      let base = t.wal_size in
+      (try
+         List.iter
+           (fun r ->
+             let len = String.length r in
+             let half = (len + 1) / 2 in
+             write r 0 half;
+             Fault.inject "shard_wal";
+             write r half (len - half);
+             t.wal_size <- t.wal_size + len)
+           records
+       with e ->
+         (* an exception mid-batch (injected fault, disk full) rolls the
+            file back: append is all-or-nothing for a surviving handle.
+            Only a process crash leaves the torn tail, which replay-on-
+            open drops. *)
+         (match Unix.ftruncate fd base with
+         | () -> t.wal_size <- base
+         | exception Unix.Unix_error _ -> t.wal_torn <- true);
+         (try Unix.fsync fd with Unix.Unix_error _ -> ());
+         raise e);
+      Unix.fsync fd)
+
+let reset_wal t : unit =
+  Checkpoint.atomic_write (wal_path t) (fun oc -> output_string oc wal_header);
+  t.wal_size <- String.length wal_header;
+  t.consumed <- String.length wal_header;
+  t.wal_torn <- false
+
+(* ------------------------------------------------------------------ *)
+(* Segment load + quarantine *)
+
+let quarantine_shard t (sh : shard) (reason : string) : unit =
+  if not sh.quarantined then begin
+    sh.quarantined <- true;
+    Atomic.incr quarantine_count;
+    Diag.warn_throttled ~label:"shard_quarantine"
+      "shardstore %s: shard %d quarantined (%s); serving %d surviving \
+       entries by scan"
+      t.dir sh.sid reason (Database.size sh.db)
+  end
+
+(* Load a shard's segment (and sidecar) from disk into [sh.db]. Any
+   whole-file failure, per-entry corruption, or fingerprint mismatch
+   quarantines the shard — it keeps serving whatever loaded, by scan. A
+   bad sidecar alone never quarantines: the shard just loses its index
+   acceleration. *)
+let load_segment t (sh : shard) : unit =
+  let path = t.dir // sh.file in
+  match Database.load path with
+  | exception Diag.Error d -> quarantine_shard t sh (Diag.to_string d)
+  | exception Sys_error m -> quarantine_shard t sh m
+  | db, warnings -> (
+      sh.db <- db;
+      let fp = Database.fingerprint db in
+      if warnings <> [] then
+        quarantine_shard t sh
+          (Printf.sprintf "%d corrupt entries" (List.length warnings))
+      else if not (String.equal fp sh.fp) then
+        quarantine_shard t sh
+          (Printf.sprintf "fingerprint mismatch (manifest %s, segment %s)"
+             sh.fp fp)
+      else
+        match sh.ann_file with
+        | None -> ()
+        | Some ann -> (
+            match Database.load_index db (t.dir // ann) with
+            | Ok _ -> ()
+            | Error reason ->
+                Diag.warn_throttled ~label:"shard_sidecar"
+                  "shardstore %s: shard %d sidecar unusable (%s); queries \
+                   fall back to scan"
+                  t.dir sh.sid reason))
+
+(* Remove generation files no manifest entry references, plus crashed
+   [atomic_write] temps ([<name>.tmp.<pid>]) — leftovers of a
+   compaction or repair that died before its manifest rename. Safe
+   against live readers: entries are always materialised in memory, so
+   yanking an old paged sidecar at worst downgrades an in-flight handle
+   to the scan path. *)
+let gc_orphans t : unit =
+  let live =
+    List.concat_map (fun sh -> [ sh.file; sh.file ^ ".ann" ]) t.shards
+  in
+  let has_infix hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.equal (String.sub hay i nn) needle || go (i + 1)) in
+    go 0
+  in
+  Array.iter
+    (fun f ->
+      let stale =
+        has_infix f ".tmp."
+        || String.length f >= 6
+           && String.equal (String.sub f 0 6) "shard-"
+           && (Filename.check_suffix f ".db"
+             || Filename.check_suffix f ".db.ann")
+           && not (List.mem f live)
+      in
+      if stale then try Sys.remove (t.dir // f) with Sys_error _ -> ())
+    (try Sys.readdir t.dir with Sys_error _ -> [||])
+
+(* ------------------------------------------------------------------ *)
+(* Open / create *)
+
+let replay_wal ?(truncate_tear = false) t : int =
+  let s = read_wal (wal_path t) in
+  let len = String.length s in
+  let hdr =
+    let h = String.length wal_header in
+    if len >= h && String.equal (String.sub s 0 h) wal_header then h
+    else if len = 0 then 0
+    else Diag.errorf "shardstore %s: %s is not a daisy WAL" t.dir wal_name
+  in
+  let start =
+    (* records before [consumed] are folded into segments; a [consumed]
+       outside the file (a trim raced a crash) clamps to the header, and
+       over-replaying the prefix is absorbed by merge dedup *)
+    if t.consumed > len || t.consumed < hdr then hdr else t.consumed
+  in
+  t.consumed <- start;
+  let entries, good, warnings, torn = parse_wal_records s start in
+  List.iter
+    (fun w -> Diag.warn_throttled ~label:"shard_wal_replay" "shardstore %s: %s" t.dir w)
+    warnings;
+  if torn then begin
+    Diag.warn_throttled ~label:"shard_wal_replay"
+      "shardstore %s: dropped torn WAL tail (%d bytes)" t.dir
+      (String.length s - good);
+    if truncate_tear then
+      try Unix.truncate (wal_path t) good with Unix.Unix_error _ -> ()
+  end;
+  t.wal_size <- good;
+  t.wal_torn <- false;
+  List.iter
+    (fun (e : Database.entry) ->
+      let sh = find_shard t (route t.tree e.embedding) in
+      sh.pending <- e :: sh.pending)
+    entries;
+  List.iter
+    (fun sh ->
+      sh.pending <- List.rev sh.pending;
+      rebuild_view sh)
+    t.shards;
+  List.length entries
+
+let open_ ?(shard_cap = default_shard_cap) (dirname : string) : t =
+  let m = read_manifest (dirname // manifest_name) in
+  let t =
+    {
+      dir = dirname;
+      shard_cap;
+      lock = Mutex.create ();
+      gen = m.m_gen;
+      next_id = m.m_next_id;
+      tree = m.m_tree;
+      shards = [];
+      compacted = m.m_compacted;
+      scrubbed = m.m_scrubbed;
+      man_ck = m.m_ck;
+      consumed = m.m_consumed;
+      wal_size = 0;
+      wal_torn = false;
+    }
+  in
+  t.shards <-
+    List.map
+      (fun (sid, declared, fp, file, ann_file) ->
+        let empty = Database.create () in
+        {
+          sid;
+          file;
+          fp;
+          ann_file;
+          declared;
+          db = empty;
+          pending = [];
+          view = empty;
+          quarantined = false;
+        })
+      (List.sort (fun (a, _, _, _, _) (b, _, _, _, _) -> compare a b) m.m_shards);
+  (* every tree leaf must resolve *)
+  List.iter (fun id -> ignore (find_shard t id)) (tree_leaves t.tree);
+  List.iter (fun sh -> load_segment t sh) t.shards;
+  List.iter (fun sh -> rebuild_view sh) t.shards;
+  gc_orphans t;
+  ignore (replay_wal ~truncate_tear:true t);
+  t
+
+(* Write one shard's segment + sidecar for generation [gen]; returns the
+   updated (file, fp, ann_file, declared). [fault] names the injection
+   point fired before the segment write. *)
+let write_segment t ~fault ~gen (sid : int) (db : Database.t) :
+    string * string * string option * int =
+  let file = seg_name ~sid ~gen in
+  Fault.inject fault;
+  Database.save db (t.dir // file);
+  let fp = Database.fingerprint db in
+  let ann_file =
+    if Database.size db = 0 then None
+    else begin
+      Atomic.incr ann_build_count;
+      ignore (Database.rebuild_index db (t.dir // (file ^ ".ann")));
+      Some (file ^ ".ann")
+    end
+  in
+  (file, fp, ann_file, Database.size db)
+
+let create ?(shard_cap = default_shard_cap) ?(overwrite = false)
+    (dirname : string) (db : Database.t) : t =
+  if (not overwrite) && is_store_dir dirname then
+    Diag.errorf "shardstore %s: already a store (pass overwrite to replace)"
+      dirname;
+  if not (Sys.file_exists dirname) then Unix.mkdir dirname 0o755;
+  let chron = Array.of_list (List.rev (Database.entries db)) in
+  let next_id = ref 0 in
+  let tree, parts = build_partition ~cap:shard_cap next_id chron in
+  let t =
+    {
+      dir = dirname;
+      shard_cap;
+      lock = Mutex.create ();
+      gen = 1;
+      next_id = !next_id;
+      tree;
+      shards = [];
+      compacted = nan;
+      scrubbed = nan;
+      man_ck = "";
+      consumed = String.length wal_header;
+      wal_size = 0;
+      wal_torn = false;
+    }
+  in
+  t.shards <-
+    List.map
+      (fun (sid, es) ->
+        let sdb =
+          Database.of_entries (List.rev (Array.to_list es))
+        in
+        let file, fp, ann_file, declared =
+          write_segment t ~fault:"shard_compact" ~gen:t.gen sid sdb
+        in
+        {
+          sid;
+          file;
+          fp;
+          ann_file;
+          declared;
+          db = sdb;
+          pending = [];
+          view = sdb;
+          quarantined = false;
+        })
+      parts;
+  reset_wal t;
+  write_manifest ~fault_label:"shard_compact" t;
+  gc_orphans t;
+  t
+
+(* A failed compaction/scrub (injected fault, IO error) can leave the
+   in-memory handle mid-mutation; disk, though, is always a consistent
+   pre- or post-state. Reload it so the handle survives. Caller holds
+   the lock. *)
+let reload_in_place t : unit =
+  let t' = open_ ~shard_cap:t.shard_cap t.dir in
+  t.gen <- t'.gen;
+  t.next_id <- t'.next_id;
+  t.tree <- t'.tree;
+  t.shards <- t'.shards;
+  t.compacted <- t'.compacted;
+  t.scrubbed <- t'.scrubbed;
+  t.man_ck <- t'.man_ck;
+  t.consumed <- t'.consumed;
+  t.wal_size <- t'.wal_size;
+  t.wal_torn <- t'.wal_torn
+
+(* ------------------------------------------------------------------ *)
+(* Append *)
+
+let append t (es : Database.entry list) : unit =
+  if es = [] then ()
+  else
+    with_lock t (fun () ->
+        wal_append t (List.map wal_record es);
+        List.iter
+          (fun (e : Database.entry) ->
+            let sh = find_shard t (route t.tree e.embedding) in
+            sh.pending <- sh.pending @ [ e ];
+            rebuild_view sh)
+          es)
+
+(* ------------------------------------------------------------------ *)
+(* Compaction *)
+
+let compact_locked ~now t : int =
+  let affected =
+        List.filter (fun sh -> sh.pending <> [] && not sh.quarantined) t.shards
+      in
+      if affected = [] then 0
+      else begin
+        let gen = t.gen + 1 in
+        (* fold committed + pending, splitting shards past the cap; all
+           new-generation files land before the manifest rename commits
+           them, so a crash anywhere up to the rename is the pre-state
+           (the orphans are collected on the next open) *)
+        let rewritten = ref 0 in
+        let new_shards, removed =
+          List.fold_left
+            (fun (acc, removed) sh ->
+              if not (List.memq sh affected) then (sh :: acc, removed)
+              else begin
+                let folded = Database.of_entries (Database.entries sh.view) in
+                if Database.size folded > t.shard_cap then begin
+                  let chron =
+                    Array.of_list (List.rev (Database.entries folded))
+                  in
+                  let next = ref t.next_id in
+                  let sub, parts = build_partition ~cap:t.shard_cap next chron in
+                  (* an unsplittable oversized shard keeps its leaf *)
+                  match parts with
+                  | [ _ ] ->
+                      let file, fp, ann_file, declared =
+                        write_segment t ~fault:"shard_compact" ~gen sh.sid
+                          folded
+                      in
+                      incr rewritten;
+                      ( {
+                          sh with
+                          file;
+                          fp;
+                          ann_file;
+                          declared;
+                          db = folded;
+                          pending = [];
+                          view = folded;
+                        }
+                        :: acc,
+                        removed )
+                  | _ ->
+                      t.next_id <- !next;
+                      t.tree <- replace_leaf t.tree sh.sid sub;
+                      let subs =
+                        List.map
+                          (fun (sid, es) ->
+                            let sdb =
+                              Database.of_entries (List.rev (Array.to_list es))
+                            in
+                            let file, fp, ann_file, declared =
+                              write_segment t ~fault:"shard_compact" ~gen sid
+                                sdb
+                            in
+                            incr rewritten;
+                            {
+                              sid;
+                              file;
+                              fp;
+                              ann_file;
+                              declared;
+                              db = sdb;
+                              pending = [];
+                              view = sdb;
+                              quarantined = false;
+                            })
+                          parts
+                      in
+                      (List.rev_append subs acc, sh :: removed)
+                end
+                else begin
+                  let file, fp, ann_file, declared =
+                    write_segment t ~fault:"shard_compact" ~gen sh.sid folded
+                  in
+                  incr rewritten;
+                  ( {
+                      sh with
+                      file;
+                      fp;
+                      ann_file;
+                      declared;
+                      db = folded;
+                      pending = [];
+                      view = folded;
+                    }
+                    :: acc,
+                    removed )
+                end
+              end)
+            ([], []) t.shards
+        in
+        ignore removed;
+        t.shards <- List.sort (fun a b -> compare a.sid b.sid) new_shards;
+        t.gen <- gen;
+        t.compacted <- now;
+        (* Commit protocol: the WAL file is never replaced, so a
+           concurrent appender in another process is safe — the manifest
+           rename just advances [consumed] past every record folded
+           here; anything a racing appender writes lands after the
+           boundary and replays normally. Quarantined shards' pending
+           records are re-appended past the boundary first so they
+           survive a reopen; a crash between that append and the rename
+           leaves them duplicated in the WAL, which replay dedups. *)
+        let fold_boundary = t.wal_size in
+        let held =
+          List.concat_map
+            (fun sh -> if sh.quarantined then sh.pending else [])
+            t.shards
+        in
+        if held <> [] then wal_append t (List.map wal_record held);
+        t.consumed <- fold_boundary;
+        write_manifest ~fault_label:"shard_compact" t;
+        gc_orphans t;
+        !rewritten
+      end
+
+let compact ?(now = nan) t : int =
+  with_lock t (fun () ->
+      try compact_locked ~now t
+      with e ->
+        reload_in_place t;
+        raise e)
+
+(* ------------------------------------------------------------------ *)
+(* Scrub *)
+
+type scrub_report = {
+  sr_shards : int;
+  sr_corrupt : int;
+  sr_repaired : int;
+  sr_sidecars_rebuilt : int;
+  sr_entries_lost : int;
+}
+
+let scrub_locked ~repair ~now t : scrub_report =
+      let corrupt = ref 0
+      and repaired = ref 0
+      and sidecars = ref 0
+      and lost = ref 0 in
+      let dirty = ref false in
+      let gen = t.gen + 1 in
+      List.iter
+        (fun sh ->
+          let path = t.dir // sh.file in
+          let disk_ok =
+            match Database.load path with
+            | exception Diag.Error _ -> false
+            | exception Sys_error _ -> false
+            | db, warnings ->
+                warnings = []
+                && String.equal (Database.fingerprint db) sh.fp
+          in
+          if not disk_ok then begin
+            incr corrupt;
+            quarantine_shard t sh "scrub: segment failed verification";
+            if repair then begin
+              (* the in-memory view (survivors + WAL replay) is the best
+                 recovery we have; write it as a fresh generation *)
+              let folded = Database.of_entries (Database.entries sh.view) in
+              let file, fp, ann_file, declared =
+                write_segment t ~fault:"shard_scrub" ~gen sh.sid folded
+              in
+              lost := !lost + max 0 (sh.declared - declared);
+              sh.file <- file;
+              sh.fp <- fp;
+              sh.ann_file <- ann_file;
+              sh.declared <- declared;
+              sh.db <- folded;
+              sh.pending <- [];
+              sh.view <- folded;
+              sh.quarantined <- false;
+              incr repaired;
+              dirty := true
+            end
+          end
+          else
+            (* segment intact: deep-verify the sidecar *)
+            match sh.ann_file with
+            | None -> ()
+            | Some ann -> (
+                match Ann.verify ~path:(t.dir // ann) ~fingerprint:sh.fp with
+                | Ok _ -> ()
+                | Error reason ->
+                    Diag.warn_throttled ~label:"shard_sidecar"
+                      "shardstore %s: shard %d sidecar failed scrub (%s)"
+                      t.dir sh.sid reason;
+                    if repair then begin
+                      Atomic.incr ann_build_count;
+                      ignore (Database.rebuild_index sh.db (t.dir // ann));
+                      incr sidecars;
+                      dirty := true
+                    end))
+        t.shards;
+      t.scrubbed <- now;
+      if !dirty then t.gen <- gen;
+      write_manifest ~fault_label:"shard_scrub" t;
+      gc_orphans t;
+      {
+        sr_shards = List.length t.shards;
+        sr_corrupt = !corrupt;
+        sr_repaired = !repaired;
+        sr_sidecars_rebuilt = !sidecars;
+        sr_entries_lost = !lost;
+      }
+
+let scrub ?(repair = true) ?(now = nan) t : scrub_report =
+  with_lock t (fun () ->
+      try scrub_locked ~repair ~now t
+      with e ->
+        reload_in_place t;
+        raise e)
+
+(* ------------------------------------------------------------------ *)
+(* WAL trim *)
+
+(* Drop the consumed WAL prefix (appends never shrink it; only this
+   does). Only call at a known single-writer moment — daemon startup,
+   the end of a seeding run — because a record another process appends
+   between the read and the rename would be lost. Crash-safe: the
+   manifest commits [consumed = header] {e before} the file shrinks, so
+   a crash between the two re-replays the folded prefix on the next
+   open, which merge dedup absorbs. Returns the bytes dropped. *)
+let trim_wal t : int =
+  with_lock t (fun () ->
+      let hdr = String.length wal_header in
+      if t.wal_torn then 0
+      else
+        let s = read_wal (wal_path t) in
+        let len = String.length s in
+        let boundary =
+          if t.consumed > len || t.consumed < hdr then hdr else t.consumed
+        in
+        if boundary <= hdr || len < hdr then 0
+        else begin
+          let tail = String.sub s boundary (len - boundary) in
+          t.consumed <- hdr;
+          write_manifest t;
+          Checkpoint.atomic_write (wal_path t) (fun oc ->
+              output_string oc wal_header;
+              output_string oc tail);
+          t.wal_size <- hdr + max 0 (t.wal_size - boundary);
+          boundary - hdr
+        end)
+
+(* ------------------------------------------------------------------ *)
+(* Refresh (reader following an external writer) *)
+
+let refresh t : [ `Unchanged | `Changed of int * int ] =
+  with_lock t (fun () ->
+      let m = read_manifest (man_path t) in
+      if String.equal m.m_ck t.man_ck then begin
+        (* manifest unchanged: only the WAL can have grown *)
+        let s = read_wal (wal_path t) in
+        if String.length s <= t.wal_size then `Unchanged
+        else begin
+          let entries, good, _warnings, _torn =
+            (* no tear-truncation here: the writer may be mid-append *)
+            parse_wal_records s t.wal_size
+          in
+          t.wal_size <- good;
+          List.iter
+            (fun (e : Database.entry) ->
+              let sh = find_shard t (route t.tree e.embedding) in
+              sh.pending <- sh.pending @ [ e ];
+              rebuild_view sh)
+            entries;
+          if entries = [] then `Unchanged
+          else `Changed (0, List.length entries)
+        end
+      end
+      else begin
+        (* a compaction/scrub/recreate landed: rebuild the shard list,
+           reusing any in-memory shard whose (file, fingerprint) is
+           unchanged — those keep their loaded segment and sidecar *)
+        let old = t.shards in
+        t.gen <- m.m_gen;
+        t.next_id <- m.m_next_id;
+        t.tree <- m.m_tree;
+        t.compacted <- m.m_compacted;
+        t.scrubbed <- m.m_scrubbed;
+        t.man_ck <- m.m_ck;
+        let swapped = ref 0 in
+        t.shards <-
+          List.map
+            (fun (sid, declared, fp, file, ann_file) ->
+              match
+                List.find_opt
+                  (fun sh ->
+                    String.equal sh.file file
+                    && String.equal sh.fp fp
+                    && not sh.quarantined)
+                  old
+              with
+              | Some sh ->
+                  sh.pending <- [];
+                  sh.view <- sh.db;
+                  { sh with sid; declared; ann_file }
+              | None ->
+                  incr swapped;
+                  let empty = Database.create () in
+                  let sh =
+                    {
+                      sid;
+                      file;
+                      fp;
+                      ann_file;
+                      declared;
+                      db = empty;
+                      pending = [];
+                      view = empty;
+                      quarantined = false;
+                    }
+                  in
+                  load_segment t sh;
+                  sh)
+            (List.sort
+               (fun (a, _, _, _, _) (b, _, _, _, _) -> compare a b)
+               m.m_shards);
+        List.iter (fun id -> ignore (find_shard t id)) (tree_leaves t.tree);
+        t.consumed <- m.m_consumed;
+        t.wal_size <- 0;
+        let appended = replay_wal t in
+        `Changed (!swapped, appended)
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Queries *)
+
+let snapshot_views t : Database.t list =
+  with_lock t (fun () -> List.map (fun sh -> sh.view) t.shards)
+
+let size t : int =
+  List.fold_left (fun a v -> a + Database.size v) 0 (snapshot_views t)
+
+let entries t : Database.entry list =
+  List.concat_map Database.entries (snapshot_views t)
+
+(* Exact cross-shard top-k: each shard's view answers its own top-k
+   (ANN-accelerated when the shard has no pending entries, scan
+   otherwise), and the union re-ranks under [Embedding.nearest_by] —
+   the same ranking key as the monolithic scan. Routing sends bit-equal
+   embeddings to one shard, so cross-shard ties beyond [compare_key]
+   cannot occur, and within a shard the view preserves arrival order:
+   the merged top-k is bit-identical to the monolithic scan. *)
+let query_embedding t ~k (q : Embedding.t) : (float * Database.entry) list =
+  if k <= 0 then []
+  else
+    let views = snapshot_views t in
+    let union =
+      List.concat_map
+        (fun v -> List.map snd (Database.query_embedding v ~k q))
+        views
+    in
+    Embedding.nearest_by
+      ~embed:(fun (e : Database.entry) -> e.embedding)
+      k union q
+
+let exact_matches_hash t (h : int) : Database.entry list =
+  List.concat_map
+    (fun v -> Database.exact_matches_hash v h)
+    (snapshot_views t)
+
+(* Logical content fingerprint: the checksum of every entry body,
+   sorted — invariant under partitioning, compaction and splits, so hot
+   reload only swaps when the {e contents} changed. *)
+let fingerprint t : string =
+  let bodies =
+    List.concat_map
+      (fun v ->
+        List.map
+          (fun e -> String.concat "\n" (Database.entry_to_lines e))
+          (Database.entries v))
+      (snapshot_views t)
+  in
+  Util.fnv1a64 (String.concat "\n\n" (List.sort String.compare bodies))
+
+let as_database t : Database.t =
+  Database.of_backend
+    {
+      Database.b_size = (fun () -> size t);
+      b_entries = (fun () -> entries t);
+      b_query = (fun ~k q -> query_embedding t ~k q);
+      b_exact = (fun h -> exact_matches_hash t h);
+      b_fingerprint = (fun () -> fingerprint t);
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+type stats = {
+  st_shards : int;
+  st_entries : int;
+  st_wal_depth : int;
+  st_quarantined : int;
+  st_gen : int;
+  st_compacted : float;  (** unix seconds; [nan] = never *)
+  st_scrubbed : float;
+}
+
+let stats t : stats =
+  with_lock t (fun () ->
+      {
+        st_shards = List.length t.shards;
+        st_entries =
+          List.fold_left (fun a sh -> a + Database.size sh.view) 0 t.shards;
+        st_wal_depth =
+          List.fold_left (fun a sh -> a + List.length sh.pending) 0 t.shards;
+        st_quarantined =
+          List.length (List.filter (fun sh -> sh.quarantined) t.shards);
+        st_gen = t.gen;
+        st_compacted = t.compacted;
+        st_scrubbed = t.scrubbed;
+      })
+
+let wal_depth t : int = (stats t).st_wal_depth

@@ -1,0 +1,152 @@
+(** Crash-consistent, self-healing sharded warm store for the
+    transfer-tuning database.
+
+    A store is a directory: a checksummed [DAISYMAN 1] manifest binding
+    immutable per-shard DAISYDB segments (each with its own DAISYANN
+    sidecar) plus a checksummed write-ahead log for appends. Entries
+    partition by embedding region through a k-d tree of median splits,
+    so every embedding routes to exactly one shard and the cross-shard
+    top-k merge is bit-identical to the monolithic scan (the
+    {!Daisy_embedding.Embedding.compare_key} contract).
+
+    Durability: segments are immutable; appends only touch the WAL
+    (per-record FNV-1a-64 checksums, fsync, torn-tail-tolerant replay);
+    {!compact} and {!scrub} write new-generation segments first and
+    commit them with one atomic manifest rename, which also advances
+    the manifest's [consumed] WAL offset past every folded record — the
+    WAL file itself is only ever appended to (see {!trim_wal}). Every
+    crash point — the ["shard_wal"], ["shard_compact"] and
+    ["shard_scrub"] {!Daisy_support.Fault} labels — leaves a store that
+    opens cleanly and answers bit-identically to the pre- or
+    post-operation state; any WAL over-replay is absorbed by
+    {!Database.merge}'s content-keyed dedup.
+
+    Corruption containment: a shard failing its checksums or
+    fingerprint is quarantined — the store keeps serving the remaining
+    shards (surviving entries of the bad one answer by scan), emits one
+    throttled ["shard_quarantine"] warning, counts the event, and
+    {!scrub} repairs the shard from survivors + WAL when possible.
+
+    Writer discipline: at most one process appends at a time, and at
+    most one process compacts/scrubs/trims at a time — but because
+    compaction never rewrites the WAL, the appender and the maintainer
+    may be {e different} processes (a seeder appending under a
+    compacting daemon is safe). Any number of readers may {!refresh}
+    concurrently. See docs/robustness.md, "Sharded warm store". *)
+
+type t
+
+val default_shard_cap : int
+(** Compaction splits a shard past this many entries (512). *)
+
+val is_store_dir : string -> bool
+(** Does [path] name a store directory (has a [MANIFEST])? *)
+
+val create : ?shard_cap:int -> ?overwrite:bool -> string -> Database.t -> t
+(** [create dir db] — partition [db]'s entries into a fresh store at
+    [dir] (created if missing): per-shard segments + ANN sidecars, a
+    manifest, an empty WAL. Refuses to replace an existing store unless
+    [overwrite]. *)
+
+val open_ : ?shard_cap:int -> string -> t
+(** Open an existing store: verify and parse the manifest, load every
+    segment (quarantining corrupt ones), collect orphaned generation
+    files, replay the WAL (dropping and truncating a torn tail). Raises
+    [Daisy_support.Diag.Error] only for a missing/corrupt manifest —
+    segment corruption degrades, never fails the open. *)
+
+val dir : t -> string
+
+val append : t -> Database.entry list -> unit
+(** Durably append entries: one checksummed WAL record each (fsync
+    before return), routed to their shards' pending sets. Committed
+    segments are not touched. The ["shard_wal"] fault point fires
+    mid-record; a crash there leaves every earlier record durable and
+    the torn record dropped on replay. *)
+
+val compact : ?now:float -> t -> int
+(** Fold pending WAL entries into their shards — {e only} the affected
+    shards are rewritten (new-generation segment + rebuilt sidecar),
+    splitting any shard past [shard_cap]. The manifest rename is the
+    commit point (["shard_compact"] fault label; crash before = pre-
+    state, after = post-state modulo idempotent WAL re-replay); it
+    advances the [consumed] boundary rather than touching the WAL file,
+    so a concurrent appender in another process loses nothing. Returns
+    the number of shards rewritten (0 = nothing to fold). [now] stamps
+    the manifest's last-compaction time. *)
+
+val trim_wal : t -> int
+(** Drop the consumed (already-folded) WAL prefix; returns the bytes
+    reclaimed. Call only at a single-writer moment (daemon startup, end
+    of a seeding run): records appended by {e another} process during
+    the trim would be lost. Crash-safe at every point. *)
+
+type scrub_report = {
+  sr_shards : int;
+  sr_corrupt : int;  (** segments that failed verification *)
+  sr_repaired : int;
+  sr_sidecars_rebuilt : int;
+  sr_entries_lost : int;  (** manifest count minus recovered entries *)
+}
+
+val scrub : ?repair:bool -> ?now:float -> t -> scrub_report
+(** Walk every shard verifying segment checksums + fingerprint and
+    deep-verifying ANN sidecars ({!Daisy_embedding.Ann.verify}). A bad
+    segment is quarantined and — with [repair], the default — rewritten
+    from the in-memory state (survivors + WAL replay) under the
+    ["shard_scrub"] fault label; a bad sidecar alone is rebuilt in
+    place. *)
+
+val refresh : t -> [ `Unchanged | `Changed of int * int ]
+(** Follow an external writer: re-read the manifest and WAL.
+    [`Changed (swapped, appended)] — [swapped] shards were reloaded
+    from disk (unchanged shards are reused by (file, fingerprint)
+    identity: per-shard hot reload), [appended] new WAL records
+    replayed. *)
+
+val size : t -> int
+val entries : t -> Database.entry list
+(** All entries (committed + pending, deduped), grouped by shard. *)
+
+val query_embedding :
+  t -> k:int -> Daisy_embedding.Embedding.t -> (float * Database.entry) list
+(** Exact top-k across shards: per-shard top-k (ANN-accelerated when
+    the shard has no pending entries) re-ranked under
+    [Embedding.nearest_by] — bit-identical (distances and order) to the
+    monolithic scan of {!entries}. *)
+
+val exact_matches_hash : t -> int -> Database.entry list
+
+val fingerprint : t -> string
+(** Logical content fingerprint (sorted entry bodies): invariant under
+    partitioning, compaction and splits — the hot-reload staleness
+    rule. *)
+
+val as_database : t -> Database.t
+(** A read-only {!Database.t} handle serving through this store
+    ({!Database.of_backend}) — drop-in for every [~db] consumer. *)
+
+type stats = {
+  st_shards : int;
+  st_entries : int;
+  st_wal_depth : int;  (** pending (un-compacted) WAL entries *)
+  st_quarantined : int;
+  st_gen : int;
+  st_compacted : float;  (** unix seconds; [nan] = never *)
+  st_scrubbed : float;
+}
+
+val stats : t -> stats
+val wal_depth : t -> int
+
+val ann_builds : unit -> int
+(** Process-wide count of ANN sidecar builds — the incremental-rebuild
+    assertion: appending to one shard and compacting must bump this by
+    the rewritten-shard count, not the total shard count. *)
+
+val reset_ann_builds : unit -> unit
+
+val quarantines : unit -> int
+(** Process-wide count of shard quarantine events. *)
+
+val reset_quarantines : unit -> unit

@@ -60,6 +60,11 @@ type config = {
   max_frame : int;
   threads : int;  (** simulated core count of the machine model *)
   sample_outer : int;
+  compact_depth : int;
+      (** sharded store: background-compact once this many WAL entries
+          are pending (0 disables the compactor) *)
+  scrub_interval_s : float;
+      (** sharded store: background-scrub this often (0 disables) *)
 }
 
 let default_config address =
@@ -79,6 +84,8 @@ let default_config address =
     max_frame = P.default_max_frame;
     threads = 12;
     sample_outer = 12;
+    compact_depth = 64;
+    scrub_interval_s = 0.0;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -97,6 +104,8 @@ type counters = {
   protocol_errors : int Atomic.t;  (** framing/parse failures observed *)
   hangups : int Atomic.t;  (** peers that vanished while we responded *)
   reloads : int Atomic.t;  (** warm-store snapshots swapped in *)
+  compactions : int Atomic.t;  (** background shard compactions run *)
+  scrubs : int Atomic.t;  (** background shard scrubs run *)
 }
 
 let make_counters () =
@@ -113,6 +122,8 @@ let make_counters () =
     protocol_errors = Atomic.make 0;
     hangups = Atomic.make 0;
     reloads = Atomic.make 0;
+    compactions = Atomic.make 0;
+    scrubs = Atomic.make 0;
   }
 
 let counter_kvs (c : counters) ~queue_depth ~poison_size =
@@ -129,9 +140,29 @@ let counter_kvs (c : counters) ~queue_depth ~poison_size =
     ("protocol_errors", Atomic.get c.protocol_errors);
     ("hangups", Atomic.get c.hangups);
     ("reloads", Atomic.get c.reloads);
+    ("compactions", Atomic.get c.compactions);
+    ("scrubs", Atomic.get c.scrubs);
     ("queue_depth", queue_depth);
     ("poison_size", poison_size);
   ]
+
+(* Sharded-store gauges, appended to the [stats] reply when the warm
+   store is a store directory. Timestamps are unix seconds (0 = never). *)
+let shard_kvs store ~shard_swaps =
+  match Store.shard_stats store with
+  | None -> []
+  | Some s ->
+      let ts f = if Float.is_nan f then 0 else int_of_float f in
+      [
+        ("shards", s.Daisy_scheduler.Shardstore.st_shards);
+        ("shard_entries", s.Daisy_scheduler.Shardstore.st_entries);
+        ("wal_depth", s.Daisy_scheduler.Shardstore.st_wal_depth);
+        ("shards_quarantined", s.Daisy_scheduler.Shardstore.st_quarantined);
+        ("shard_gen", s.Daisy_scheduler.Shardstore.st_gen);
+        ("shard_swaps", shard_swaps);
+        ("last_compaction", ts s.Daisy_scheduler.Shardstore.st_compacted);
+        ("last_scrub", ts s.Daisy_scheduler.Shardstore.st_scrubbed);
+      ]
 
 type t = {
   config : config;
@@ -146,6 +177,8 @@ type t = {
   reg_lock : Mutex.t;
   stop : bool Atomic.t;
   journal : Checkpoint.journal option;
+  maint_busy : bool Atomic.t;  (** one background maintenance at a time *)
+  mutable last_scrub_check : float;  (** monotonic; gates the scrub cadence *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -353,7 +386,8 @@ let handle_request t (req : P.request) : P.response * [ `Keep | `Stop ] =
       in
       ( P.Stats_reply
           (counter_kvs t.counters ~queue_depth:(Rqueue.length t.queue)
-             ~poison_size),
+             ~poison_size
+          @ shard_kvs t.store ~shard_swaps:(Store.shard_swaps t.store)),
         `Keep )
   | P.Reload ->
       let status =
@@ -577,10 +611,70 @@ let create (config : config) : t =
       reg_lock = Mutex.create ();
       stop = Atomic.make false;
       journal;
+      maint_busy = Atomic.make false;
+      last_scrub_check = Util.monotonic_s ();
     }
   in
   restore_state t;
   t
+
+(* ------------------------------------------------------------------ *)
+(* Background shard maintenance (sharded warm store only)              *)
+
+(* Called from the accept loop's 1 s tick; never blocks it. Compaction
+   folds the pending WAL into the affected shards once it is
+   [compact_depth] deep; scrubbing re-verifies every segment and
+   sidecar each [scrub_interval_s]. Both run on a detached thread — the
+   request path only ever contends on the store's own lock, for the
+   duration of the affected segments' rewrite. A failed run is warned
+   (throttled) and the handle self-heals from disk; the daemon keeps
+   serving. *)
+let maybe_maintain t =
+  match Store.sharded t.store with
+  | None -> ()
+  | Some st ->
+      let due_compact =
+        t.config.compact_depth > 0
+        && Daisy_scheduler.Shardstore.wal_depth st >= t.config.compact_depth
+      in
+      let now = Util.monotonic_s () in
+      let due_scrub =
+        t.config.scrub_interval_s > 0.0
+        && now -. t.last_scrub_check >= t.config.scrub_interval_s
+      in
+      if
+        (due_compact || due_scrub)
+        && Atomic.compare_and_set t.maint_busy false true
+      then begin
+        if due_scrub then t.last_scrub_check <- now;
+        ignore
+          (Thread.create
+             (fun () ->
+               Fun.protect
+                 ~finally:(fun () -> Atomic.set t.maint_busy false)
+                 (fun () ->
+                   let wall = Unix.gettimeofday () in
+                   (if due_compact then
+                      match
+                        Daisy_scheduler.Shardstore.compact ~now:wall st
+                      with
+                      | rewritten ->
+                          if rewritten > 0 then
+                            Atomic.incr t.counters.compactions
+                      | exception e ->
+                          Diag.warn_throttled ~label:"serve_maint"
+                            "background compaction failed: %s"
+                            (Printexc.to_string e));
+                   if due_scrub then
+                     match Daisy_scheduler.Shardstore.scrub ~now:wall st with
+                     | (_ : Daisy_scheduler.Shardstore.scrub_report) ->
+                         Atomic.incr t.counters.scrubs
+                     | exception e ->
+                         Diag.warn_throttled ~label:"serve_maint"
+                           "background scrub failed: %s"
+                           (Printexc.to_string e)))
+             ())
+      end
 
 let request_stop t = Atomic.set t.stop true
 
@@ -605,9 +699,10 @@ let run ?on_ready (config : config) : t =
       let now = Util.monotonic_s () in
       if now -. !last_reload_check >= 1.0 then begin
         last_reload_check := now;
-        match Store.reload_if_changed t.store with
+        (match Store.reload_if_changed t.store with
         | `Reloaded _ -> Atomic.incr t.counters.reloads
-        | `Unchanged | `Failed _ -> ()
+        | `Unchanged | `Failed _ -> ());
+        maybe_maintain t
       end;
       let ready =
         match Util.retry_eintr (fun () -> Unix.select [ listener ] [] [] 0.1)

@@ -19,6 +19,11 @@ type config = {
   max_frame : int;
   threads : int;  (** simulated core count of the machine model *)
   sample_outer : int;
+  compact_depth : int;
+      (** sharded store: background-compact once this many WAL entries
+          are pending (0 disables; default 64) *)
+  scrub_interval_s : float;
+      (** sharded store: background-scrub this often (0 disables) *)
 }
 
 val default_config : address -> config
@@ -36,6 +41,8 @@ type counters = {
   protocol_errors : int Atomic.t;
   hangups : int Atomic.t;
   reloads : int Atomic.t;
+  compactions : int Atomic.t;  (** background shard compactions that folded *)
+  scrubs : int Atomic.t;  (** background shard scrubs completed *)
 }
 
 type t

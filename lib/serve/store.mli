@@ -15,8 +15,11 @@ val create : ?path:string -> unit -> t
 (** [create ~path ()] loads the database at [path] (raising
     [Daisy_support.Diag.Error] on whole-file problems — the daemon
     fails fast at boot) and attaches the [path ^ ".ann"] sidecar when
-    present and valid. Without [path], an empty store (requests are
-    served from baselines only). *)
+    present and valid. When [path] is a sharded store directory
+    ({!Daisy_scheduler.Shardstore.is_store_dir}) the snapshot serves
+    {e through} the shard store instead, with per-shard hot reload and
+    quarantine-degraded corruption handling. Without [path], an empty
+    store (requests are served from baselines only). *)
 
 val snapshot : t -> snapshot
 (** The current snapshot. Immutable once returned: in-flight requests
@@ -26,6 +29,16 @@ val db : t -> Daisy_scheduler.Database.t
 val fingerprint : t -> string
 val reloads : t -> int
 val failed_reloads : t -> int
+
+val sharded : t -> Daisy_scheduler.Shardstore.t option
+(** The backing shard store, when [path] named a store directory — the
+    daemon's background compactor and scrubber drive maintenance
+    through this handle. *)
+
+val shard_stats : t -> Daisy_scheduler.Shardstore.stats option
+val shard_swaps : t -> int
+(** Total shards swapped in across all refreshes (0 for a monolithic
+    store) — the per-shard hot-reload counter. *)
 
 val reload_if_changed :
   ?force:bool -> t -> [ `Reloaded of string | `Unchanged | `Failed of string ]

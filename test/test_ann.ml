@@ -233,6 +233,7 @@ let mk_entry rng i : S.Database.entry =
       Array.init Embedding.dim (fun _ -> float_of_int (Rng.int rng 3));
     recipe = (if Rng.bool rng then [] else [ Daisy_transforms.Recipe.Vectorize ]);
     canon_hash = i;
+    cost_ms = nan;
   }
 
 let check_query_paths ~name db ~k q expect_n =

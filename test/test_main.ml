@@ -19,6 +19,7 @@ let () =
       ("arraylang", Test_arraylang.suite);
       ("scheduler", Test_scheduler.suite);
       ("ann", Test_ann.suite);
+      ("shardstore", Test_shardstore.suite);
       ("benchmarks", Test_benchmarks.suite);
       ("property", Test_property.suite);
       ("parallel", Test_parallel.suite);

@@ -1,0 +1,612 @@
+(** Crash-consistency and differential tests for the sharded warm store
+    (docs/robustness.md, "Sharded warm store"). The contracts under
+    test: sharded top-k is bit-identical to the monolithic scan
+    (distances and order, on a 200-database differential suite); every
+    ["shard_wal"]/["shard_compact"]/["shard_scrub"] crash point leaves a
+    store that opens cleanly and answers like the pre- or post-state;
+    a corrupt shard quarantines with exactly one throttled warning
+    while the rest keep serving; compaction re-indexes only the
+    touched shards. *)
+
+module Embedding = Daisy_embedding.Embedding
+module Fault = Daisy_support.Fault
+module Diag = Daisy_support.Diag
+module Rng = Daisy_support.Rng
+module S = Daisy_scheduler
+module Store = S.Shardstore
+
+let with_faults f =
+  Fun.protect ~finally:Fault.clear (fun () ->
+      Fault.clear ();
+      f ())
+
+(* ------------------------------------------------------------------ *)
+(* Scratch directories *)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let with_dir (f : string -> 'a) : 'a =
+  let d = Filename.temp_file "shardstore" ".d" in
+  Sys.remove d;
+  Unix.mkdir d 0o700;
+  Fun.protect ~finally:(fun () -> rm_rf d) (fun () -> f d)
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic entries (same grid trick as test_ann: ties and duplicates
+   are common by construction) *)
+
+let mk_entry ?(cost = nan) ?hash ?(recipe = []) ~grid rng i :
+    S.Database.entry =
+  {
+    S.Database.source = Printf.sprintf "synth:%d" i;
+    embedding =
+      Array.init Embedding.dim (fun _ -> float_of_int (Rng.int rng grid));
+    recipe;
+    canon_hash = (match hash with Some h -> h | None -> i);
+    cost_ms = cost;
+  }
+
+let mk_entries ?(grid = 4) rng ~n : S.Database.entry list =
+  List.init n (mk_entry ~grid rng)
+
+(* chronological list -> monolithic database *)
+let mono_of (chron : S.Database.entry list) : S.Database.t =
+  S.Database.of_entries (List.rev chron)
+
+let random_q rng ~grid =
+  Array.init Embedding.dim (fun _ -> float_of_int (Rng.int rng grid))
+
+let topk_key (l : (float * S.Database.entry) list) =
+  List.map (fun (d, (e : S.Database.entry)) -> (d, e.source)) l
+
+let result = Alcotest.(list (pair (float 0.0) string))
+
+let check_topk ~name store mono ~k q =
+  Alcotest.check result name
+    (topk_key (S.Database.query_embedding mono ~k q))
+    (topk_key (Store.query_embedding store ~k q))
+
+(* ------------------------------------------------------------------ *)
+(* Round-trip + as_database *)
+
+let test_roundtrip () =
+  with_dir (fun dir ->
+      let rng = Rng.of_string "shard-roundtrip" in
+      let chron = mk_entries rng ~n:60 in
+      let st = Store.create ~shard_cap:8 dir (mono_of chron) in
+      let mono = mono_of chron in
+      Alcotest.(check int) "size" 60 (Store.size st);
+      Alcotest.(check bool)
+        "several shards" true ((Store.stats st).Store.st_shards > 1);
+      for i = 0 to 9 do
+        let q = random_q rng ~grid:4 in
+        check_topk ~name:(Printf.sprintf "query %d" i) st mono ~k:10 q
+      done;
+      (* reopen: same contents, same answers *)
+      let st2 = Store.open_ dir in
+      Alcotest.(check string)
+        "fingerprint survives reopen" (Store.fingerprint st)
+        (Store.fingerprint st2);
+      let q = random_q rng ~grid:4 in
+      check_topk ~name:"reopened query" st2 mono ~k:5 q;
+      (* the Database.of_backend handle serves the same answers *)
+      let db = Store.as_database st in
+      Alcotest.(check int) "backed size" 60 (S.Database.size db);
+      Alcotest.check result "backed query"
+        (topk_key (S.Database.query_embedding mono ~k:7 q))
+        (topk_key (S.Database.query_embedding db ~k:7 q));
+      let h = 17 in
+      Alcotest.(check int)
+        "backed exact matches"
+        (List.length (S.Database.exact_matches_hash mono h))
+        (List.length (S.Database.exact_matches_hash db h));
+      Alcotest.check_raises "backed db is read-only"
+        (Invalid_argument "Database.merge: backed database is read-only")
+        (fun () -> S.Database.merge ~into:db (mono_of [])))
+
+(* ------------------------------------------------------------------ *)
+(* The 200-database differential: sharded top-k == monolithic scan,
+   distances and order, committed + pending + dedup included *)
+
+let test_differential_200 () =
+  for seed = 0 to 199 do
+    let rng = Rng.of_string (Printf.sprintf "shard-diff-%d" seed) in
+    let grid = 1 + Rng.int rng 5 in
+    let n = 1 + Rng.int rng 80 in
+    let cap = 4 + Rng.int rng 24 in
+    let chron = List.init n (mk_entry ~grid rng) in
+    (* split into a created base and an appended tail; odd seeds also
+       append better-cost duplicates of base entries (same hash +
+       recipe + embedding, lower cost) to exercise dedup *)
+    let nbase = 1 + Rng.int rng n in
+    let base = Daisy_support.Util.take nbase chron in
+    let tail = Daisy_support.Util.drop nbase chron in
+    let dups =
+      if seed mod 2 = 1 && base <> [] then
+        List.filteri (fun i _ -> i mod 3 = 0) base
+        |> List.map (fun (e : S.Database.entry) ->
+               {
+                 e with
+                 source = e.source ^ "+retuned";
+                 cost_ms = float_of_int (Rng.int rng 100);
+               })
+      else []
+    in
+    let appended = tail @ dups in
+    let mono = mono_of base in
+    S.Database.merge ~into:mono (mono_of appended);
+    with_dir (fun dir ->
+        let st = Store.create ~shard_cap:cap dir (mono_of base) in
+        Store.append st appended;
+        for qi = 0 to 2 do
+          let q = random_q rng ~grid in
+          let k = [| 1; 5; 10 |].(qi) in
+          check_topk
+            ~name:(Printf.sprintf "seed %d query %d (pending)" seed qi)
+            st mono ~k q
+        done;
+        (* compacting must not change a single answer *)
+        ignore (Store.compact st);
+        let q = random_q rng ~grid in
+        check_topk ~name:(Printf.sprintf "seed %d compacted" seed) st mono
+          ~k:10 q;
+        (* nor must a crash-free reopen *)
+        if seed mod 7 = 0 then begin
+          let st2 = Store.open_ dir in
+          check_topk ~name:(Printf.sprintf "seed %d reopened" seed) st2 mono
+            ~k:10 q
+        end)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* WAL: torn tail replay + the shard_wal fault point *)
+
+let test_wal_torn_tail () =
+  with_dir (fun dir ->
+      let rng = Rng.of_string "shard-torn" in
+      let chron = mk_entries rng ~n:20 in
+      let st = Store.create ~shard_cap:8 dir (mono_of chron) in
+      let extra = List.init 2 (fun i -> mk_entry ~grid:4 rng (100 + i)) in
+      Store.append st extra;
+      let fp_pre = Store.fingerprint st in
+      (* simulate a crash mid-append: half a record at the tail *)
+      let wal = Filename.concat dir "wal.log" in
+      let oc = open_out_gen [ Open_append ] 0o644 wal in
+      output_string oc "rec deadbeefdeadbeef 5\nsource \"torn";
+      close_out oc;
+      let st2 = Store.open_ dir in
+      Alcotest.(check string)
+        "torn tail dropped: pre-state" fp_pre (Store.fingerprint st2);
+      Alcotest.(check int)
+        "both appended records replayed" 2
+        (Store.wal_depth st2);
+      (* the tear was truncated: appending after it still replays *)
+      Store.append st2 [ mk_entry ~grid:4 rng 200 ];
+      let st3 = Store.open_ dir in
+      Alcotest.(check int) "append after tear" 3 (Store.wal_depth st3));
+  (* the fault point: an injected failure mid-record rolls the batch
+     back — all-or-nothing for the surviving handle, pre-state on disk *)
+  with_faults (fun () ->
+      with_dir (fun dir ->
+          let rng = Rng.of_string "shard-walfault" in
+          let chron = mk_entries rng ~n:12 in
+          let st = Store.create ~shard_cap:8 dir (mono_of chron) in
+          let fp_pre = Store.fingerprint st in
+          Fault.arm_nth "shard_wal" 1;
+          (match Store.append st [ mk_entry ~grid:4 rng 50 ] with
+          | () -> Alcotest.fail "armed append did not fail"
+          | exception Fault.Injected "shard_wal" -> ());
+          Alcotest.(check string)
+            "handle at pre-state" fp_pre (Store.fingerprint st);
+          Alcotest.(check string)
+            "disk at pre-state" fp_pre
+            (Store.fingerprint (Store.open_ dir));
+          (* the handle survives: the retry lands *)
+          Store.append st [ mk_entry ~grid:4 rng 50 ];
+          Alcotest.(check int) "retry visible" 1 (Store.wal_depth st);
+          Alcotest.(check string)
+            "reopen sees the retry" (Store.fingerprint st)
+            (Store.fingerprint (Store.open_ dir))))
+
+(* ------------------------------------------------------------------ *)
+(* Kill/resume at every compaction crash point *)
+
+let test_compact_crash_points () =
+  with_faults (fun () ->
+      let expected_fp = ref "" in
+      let expected_q = ref [] in
+      let build dir =
+        Fault.clear ();
+        let rng = Rng.of_string "shard-compact-crash" in
+        let chron = mk_entries ~grid:3 rng ~n:40 in
+        let st = Store.create ~shard_cap:8 dir (mono_of chron) in
+        (* enough appends to touch several shards and force a split *)
+        let extra = List.init 20 (fun i -> mk_entry ~grid:3 rng (100 + i)) in
+        Store.append st extra;
+        let q = random_q rng ~grid:3 in
+        (st, q)
+      in
+      (* the reference run: no faults *)
+      with_dir (fun dir ->
+          let st, q = build dir in
+          ignore (Store.compact st);
+          expected_fp := Store.fingerprint st;
+          expected_q := topk_key (Store.query_embedding st ~k:10 q));
+      let nth = ref 1 in
+      let continue = ref true in
+      while !continue && !nth <= 40 do
+        with_dir (fun dir ->
+            let st, q = build dir in
+            Fault.arm_nth "shard_compact" !nth;
+            match Store.compact st with
+            | _ ->
+                (* the armed call count exceeded the crash points *)
+                Alcotest.(check int)
+                  "final run fired no fault" 0
+                  (Fault.fired "shard_compact");
+                Alcotest.(check string)
+                  "clean compact contents" !expected_fp (Store.fingerprint st);
+                continue := false
+            | exception Fault.Injected "shard_compact" ->
+                Fault.clear ();
+                (* the dying handle healed itself from disk... *)
+                Alcotest.(check string)
+                  (Printf.sprintf "crash %d: handle contents" !nth)
+                  !expected_fp (Store.fingerprint st);
+                (* ...and an independent reopen sees the same contents
+                   and the same answers (pre- or post-compaction are
+                   logically identical; dedup absorbs WAL re-replay) *)
+                let st2 = Store.open_ dir in
+                Alcotest.(check string)
+                  (Printf.sprintf "crash %d: reopen contents" !nth)
+                  !expected_fp (Store.fingerprint st2);
+                Alcotest.check result
+                  (Printf.sprintf "crash %d: reopen answers" !nth)
+                  !expected_q
+                  (topk_key (Store.query_embedding st2 ~k:10 q));
+                (* resume: compaction completes on the reopened store *)
+                ignore (Store.compact st2);
+                Alcotest.(check int)
+                  (Printf.sprintf "crash %d: resumed, WAL drained" !nth)
+                  0 (Store.wal_depth st2);
+                Alcotest.(check string)
+                  (Printf.sprintf "crash %d: resumed contents" !nth)
+                  !expected_fp (Store.fingerprint st2);
+                incr nth)
+      done;
+      Alcotest.(check bool) "exercised at least 3 crash points" true (!nth > 3))
+
+(* ------------------------------------------------------------------ *)
+(* Corruption: quarantine, one throttled warning, scrub repair *)
+
+(* flip one byte well inside a file *)
+let corrupt_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  close_in ic;
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  ignore (Unix.lseek fd (n / 2) Unix.SEEK_SET);
+  ignore (Unix.write_substring fd "\xff" 0 1);
+  Unix.close fd
+
+(* the first segment file the manifest references *)
+let first_segment dir =
+  let man = In_channel.with_open_bin (Filename.concat dir "MANIFEST") In_channel.input_all in
+  let lines = String.split_on_char '\n' man in
+  List.find_map
+    (fun l ->
+      match String.split_on_char ' ' l with
+      | [ "shard"; _; _; _; file; _ ] -> Some file
+      | _ -> None)
+    lines
+  |> Option.get
+
+let test_corrupt_one_shard () =
+  with_dir (fun dir ->
+      let rng = Rng.of_string "shard-corrupt" in
+      let chron = mk_entries ~grid:5 rng ~n:60 in
+      let st0 = Store.create ~shard_cap:8 dir (mono_of chron) in
+      Alcotest.(check bool)
+        "at least 3 shards" true ((Store.stats st0).Store.st_shards >= 3);
+      let victim = first_segment dir in
+      (* which entries live in the victim segment? *)
+      let victim_db, _ = S.Database.load (Filename.concat dir victim) in
+      let victim_sources =
+        List.map
+          (fun (e : S.Database.entry) -> e.source)
+          (S.Database.entries victim_db)
+      in
+      Alcotest.(check bool) "victim is non-empty" true (victim_sources <> []);
+      corrupt_file (Filename.concat dir victim);
+      (* the flipped byte kills some entries of the segment, not all:
+         the quarantined shard keeps serving the survivors by scan *)
+      let survived =
+        match S.Database.load (Filename.concat dir victim) with
+        | db, _ ->
+            List.map
+              (fun (e : S.Database.entry) -> e.source)
+              (S.Database.entries db)
+        | exception Daisy_support.Diag.Error _ -> []
+      in
+      let lost =
+        List.filter (fun s -> not (List.mem s survived)) victim_sources
+      in
+      Alcotest.(check bool) "corruption lost something" true (lost <> []);
+      Diag.reset_warn ();
+      let before = Store.quarantines () in
+      let st = Store.open_ dir in
+      let stats = Store.stats st in
+      Alcotest.(check int) "one shard quarantined" 1 stats.Store.st_quarantined;
+      Alcotest.(check int)
+        "quarantine counter" (before + 1) (Store.quarantines ());
+      (* the other shards keep serving: every non-victim entry is still
+         found, with monolithic-scan answers over the survivors *)
+      let survivors =
+        List.filter
+          (fun (e : S.Database.entry) -> not (List.mem e.source lost))
+          chron
+      in
+      let mono = mono_of survivors in
+      for i = 0 to 9 do
+        let q = random_q rng ~grid:5 in
+        Alcotest.check result
+          (Printf.sprintf "degraded query %d" i)
+          (topk_key (S.Database.query_embedding mono ~k:10 q))
+          (topk_key (Store.query_embedding st ~k:10 q))
+      done;
+      (* exactly one throttled warning, however many queries ran *)
+      Alcotest.(check int)
+        "exactly one quarantine warning" 1
+        (Diag.warn_emitted "shard_quarantine");
+      (* scrub repairs from the in-memory survivors; the lost entries
+         are counted, the store leaves quarantine *)
+      let r = Store.scrub st in
+      Alcotest.(check int) "one corrupt shard" 1 r.Store.sr_corrupt;
+      Alcotest.(check int) "one repaired shard" 1 r.Store.sr_repaired;
+      Alcotest.(check int)
+        "lost entries counted" (List.length lost) r.Store.sr_entries_lost;
+      Alcotest.(check int)
+        "quarantine lifted" 0 (Store.stats st).Store.st_quarantined;
+      (* a fresh open is clean and a fresh scrub reports nothing *)
+      let st2 = Store.open_ dir in
+      Alcotest.(check int)
+        "reopen clean" 0 (Store.stats st2).Store.st_quarantined;
+      let r2 = Store.scrub st2 in
+      Alcotest.(check int) "second scrub clean" 0 r2.Store.sr_corrupt;
+      Alcotest.(check string)
+        "repair survives reopen" (Store.fingerprint st)
+        (Store.fingerprint st2))
+
+(* Kill/resume at every scrub-repair crash point. *)
+let test_scrub_crash_points () =
+  with_faults (fun () ->
+      let build dir =
+        Fault.clear ();
+        let rng = Rng.of_string "shard-scrub-crash" in
+        let chron = mk_entries ~grid:3 rng ~n:40 in
+        let st0 = Store.create ~shard_cap:8 dir (mono_of chron) in
+        ignore st0;
+        corrupt_file (Filename.concat dir (first_segment dir));
+        Store.open_ dir
+      in
+      let expected_fp = ref "" in
+      with_dir (fun dir ->
+          let st = build dir in
+          ignore (Store.scrub st);
+          expected_fp := Store.fingerprint st);
+      let nth = ref 1 in
+      let continue = ref true in
+      while !continue && !nth <= 20 do
+        with_dir (fun dir ->
+            let st = build dir in
+            Fault.arm_nth "shard_scrub" !nth;
+            match Store.scrub st with
+            | _ ->
+                Alcotest.(check int)
+                  "final scrub fired no fault" 0 (Fault.fired "shard_scrub");
+                continue := false
+            | exception Fault.Injected "shard_scrub" ->
+                Fault.clear ();
+                (* survivors are intact either side of the crash *)
+                Alcotest.(check string)
+                  (Printf.sprintf "scrub crash %d: healed handle" !nth)
+                  !expected_fp (Store.fingerprint st);
+                let st2 = Store.open_ dir in
+                Alcotest.(check string)
+                  (Printf.sprintf "scrub crash %d: reopen contents" !nth)
+                  !expected_fp (Store.fingerprint st2);
+                (* resume: the repair completes *)
+                let r = Store.scrub st2 in
+                Alcotest.(check int)
+                  (Printf.sprintf "scrub crash %d: resumed repair" !nth)
+                  0
+                  ((Store.stats st2).Store.st_quarantined + min 0 r.Store.sr_corrupt);
+                incr nth)
+      done;
+      Alcotest.(check bool)
+        "exercised at least 1 scrub crash point" true (!nth > 1))
+
+(* ------------------------------------------------------------------ *)
+(* Incremental rebuild: one appended shard => one sidecar rebuilt *)
+
+let test_incremental_rebuild () =
+  with_dir (fun dir ->
+      let rng = Rng.of_string "shard-incr" in
+      let chron = mk_entries ~grid:5 rng ~n:60 in
+      ignore (Store.create ~shard_cap:8 dir (mono_of chron));
+      (* reopen with headroom so one append folds without splitting *)
+      let st = Store.open_ ~shard_cap:32 dir in
+      let shards = (Store.stats st).Store.st_shards in
+      Alcotest.(check bool) "several shards" true (shards >= 3);
+      Store.append st [ mk_entry ~grid:5 rng 100 ];
+      Store.reset_ann_builds ();
+      let rewritten = Store.compact st in
+      Alcotest.(check int) "one shard rewritten" 1 rewritten;
+      Alcotest.(check int)
+        "one sidecar rebuilt, not the world" 1 (Store.ann_builds ());
+      Alcotest.(check int)
+        "shard count unchanged" shards (Store.stats st).Store.st_shards;
+      (* nothing pending: a second compact is a no-op, no builds *)
+      Store.reset_ann_builds ();
+      Alcotest.(check int) "no-op compact" 0 (Store.compact st);
+      Alcotest.(check int) "no-op builds nothing" 0 (Store.ann_builds ()))
+
+(* Shards past the cap split during compaction, keeping answers exact. *)
+let test_split_on_growth () =
+  with_dir (fun dir ->
+      let rng = Rng.of_string "shard-split" in
+      let base = mk_entries ~grid:5 rng ~n:8 in
+      let st = Store.create ~shard_cap:8 dir (mono_of base) in
+      Alcotest.(check int) "single shard" 1 (Store.stats st).Store.st_shards;
+      let extra = List.init 30 (fun i -> mk_entry ~grid:5 rng (10 + i)) in
+      Store.append st extra;
+      ignore (Store.compact st);
+      Alcotest.(check bool)
+        "split happened" true ((Store.stats st).Store.st_shards > 1);
+      Alcotest.(check int) "WAL drained" 0 (Store.wal_depth st);
+      let mono = mono_of base in
+      S.Database.merge ~into:mono (mono_of extra);
+      for i = 0 to 4 do
+        let q = random_q rng ~grid:5 in
+        check_topk ~name:(Printf.sprintf "post-split query %d" i) st mono
+          ~k:10 q
+      done;
+      let st2 = Store.open_ dir in
+      Alcotest.(check string)
+        "split survives reopen" (Store.fingerprint st) (Store.fingerprint st2))
+
+(* ------------------------------------------------------------------ *)
+(* Idempotent replay: merging/appending the same records twice is a
+   no-op (the crash window between manifest rename and WAL reset) *)
+
+let test_idempotent_replay () =
+  with_dir (fun dir ->
+      let rng = Rng.of_string "shard-idem" in
+      let chron = mk_entries ~grid:4 rng ~n:30 in
+      let extra =
+        List.init 10 (fun i ->
+            mk_entry ~grid:4 ~cost:(float_of_int i) rng (50 + i))
+      in
+      let st = Store.create ~shard_cap:8 dir (mono_of chron) in
+      Store.append st extra;
+      ignore (Store.compact st);
+      let fp = Store.fingerprint st in
+      (* over-replay: the same records appended again fold to nothing *)
+      Store.append st extra;
+      ignore (Store.compact st);
+      Alcotest.(check string) "double append is a no-op" fp (Store.fingerprint st);
+      Alcotest.(check int) "size stable" 40 (Store.size st));
+  (* the Database-level satellite: merge twice == merge once; a
+     better-cost duplicate replaces in place *)
+  let rng = Rng.of_string "shard-idem-db" in
+  let shard = mono_of (mk_entries ~grid:4 rng ~n:20) in
+  let into = S.Database.create () in
+  S.Database.merge ~into shard;
+  let once = S.Database.fingerprint into in
+  S.Database.merge ~into shard;
+  Alcotest.(check string)
+    "merge twice == merge once" once
+    (S.Database.fingerprint into);
+  let e = List.nth (S.Database.entries into) 7 in
+  let better = { e with S.Database.cost_ms = -1.0; source = "better" } in
+  S.Database.merge ~into (S.Database.of_entries [ better ]);
+  Alcotest.(check int) "dedup kept size" 20 (S.Database.size into);
+  let winner =
+    List.find
+      (fun (x : S.Database.entry) ->
+        S.Database.dedup_key x = S.Database.dedup_key e)
+      (S.Database.entries into)
+  in
+  Alcotest.(check string) "better cost won in place" "better" winner.source
+
+(* ------------------------------------------------------------------ *)
+(* trim_wal: compaction only advances the consumed boundary — the WAL
+   file keeps its bytes (concurrent-appender safety) until an explicit
+   single-writer trim reclaims the folded prefix *)
+
+let test_trim_wal () =
+  with_dir (fun dir ->
+      let rng = Rng.of_string "shard-trim" in
+      let chron = mk_entries ~grid:4 rng ~n:20 in
+      let st = Store.create ~shard_cap:32 dir (mono_of chron) in
+      let wal = Filename.concat dir "wal.log" in
+      let wal_bytes () = (Unix.stat wal).Unix.st_size in
+      Store.append st [ mk_entry ~grid:4 rng 100; mk_entry ~grid:4 rng 101 ];
+      let full = wal_bytes () in
+      ignore (Store.compact st);
+      (* compaction leaves the WAL bytes in place *)
+      Alcotest.(check int) "compact keeps WAL bytes" full (wal_bytes ());
+      Alcotest.(check int) "nothing pending" 0 (Store.wal_depth st);
+      let fp = Store.fingerprint st in
+      let dropped = Store.trim_wal st in
+      Alcotest.(check bool) "trim reclaimed bytes" true (dropped > 0);
+      Alcotest.(check bool) "WAL shrank" true (wal_bytes () < full);
+      Alcotest.(check int) "second trim is a no-op" 0 (Store.trim_wal st);
+      (* a reopen after the trim replays nothing and answers identically *)
+      let st2 = Store.open_ dir in
+      Alcotest.(check string) "content stable across trim" fp
+        (Store.fingerprint st2);
+      Alcotest.(check int) "no pending after reopen" 0 (Store.wal_depth st2);
+      (* appends keep working on the trimmed log *)
+      Store.append st2 [ mk_entry ~grid:4 rng 102 ];
+      Alcotest.(check int) "append after trim" 1 (Store.wal_depth st2);
+      Alcotest.(check int) "size grew" 23 (Store.size st2))
+
+(* ------------------------------------------------------------------ *)
+(* refresh: a reader follows an external writer, swapping only the
+   shards whose segments changed *)
+
+let test_refresh () =
+  with_dir (fun dir ->
+      let rng = Rng.of_string "shard-refresh" in
+      let chron = mk_entries ~grid:4 rng ~n:40 in
+      let writer = Store.create ~shard_cap:8 dir (mono_of chron) in
+      let reader = Store.open_ dir in
+      Alcotest.(check bool)
+        "reader starts unchanged" true (Store.refresh reader = `Unchanged);
+      (* an append is picked up from the WAL without touching shards *)
+      Store.append writer [ mk_entry ~grid:4 rng 100 ];
+      (match Store.refresh reader with
+      | `Changed (0, 1) -> ()
+      | _ -> Alcotest.fail "expected `Changed (0, 1) after append");
+      Alcotest.(check string)
+        "reader sees the append" (Store.fingerprint writer)
+        (Store.fingerprint reader);
+      (* compaction swaps only the affected shard *)
+      let shards = (Store.stats writer).Store.st_shards in
+      ignore (Store.compact writer);
+      (match Store.refresh reader with
+      | `Changed (swapped, _) ->
+          Alcotest.(check int) "one shard swapped" 1 swapped;
+          Alcotest.(check bool) "fewer than all" true (swapped < shards)
+      | `Unchanged -> Alcotest.fail "reader missed the compaction");
+      Alcotest.(check string)
+        "reader tracks compaction" (Store.fingerprint writer)
+        (Store.fingerprint reader);
+      let q = random_q rng ~grid:4 in
+      Alcotest.check result "reader answers match writer"
+        (topk_key (Store.query_embedding writer ~k:10 q))
+        (topk_key (Store.query_embedding reader ~k:10 q));
+      Alcotest.(check bool)
+        "steady state" true (Store.refresh reader = `Unchanged))
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip + as_database" `Quick test_roundtrip;
+    Alcotest.test_case "200-database differential" `Slow test_differential_200;
+    Alcotest.test_case "WAL torn tail + fault" `Quick test_wal_torn_tail;
+    Alcotest.test_case "compact crash points" `Quick test_compact_crash_points;
+    Alcotest.test_case "corrupt one shard" `Quick test_corrupt_one_shard;
+    Alcotest.test_case "scrub crash points" `Quick test_scrub_crash_points;
+    Alcotest.test_case "incremental rebuild" `Quick test_incremental_rebuild;
+    Alcotest.test_case "split on growth" `Quick test_split_on_growth;
+    Alcotest.test_case "idempotent replay" `Quick test_idempotent_replay;
+    Alcotest.test_case "WAL trim" `Quick test_trim_wal;
+    Alcotest.test_case "reader refresh" `Quick test_refresh;
+  ]
